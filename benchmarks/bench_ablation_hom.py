@@ -1,0 +1,43 @@
+"""ABL-HOM — homomorphism search orderings.
+
+Dynamic fewest-candidates-first vs static vs one-shot connected join
+ordering, on a selective pattern over a larger instance.
+"""
+
+import random
+
+import pytest
+
+from repro.core.homomorphism import homomorphisms
+from repro.core.instance import Instance
+from repro.core.parser import parse_cq
+
+PATTERN = parse_cq(
+    "Q() <- R(x,y), R(y,z), R(z,w), U(x), U(w)"
+).atoms
+
+
+def _instance(seed: int, n: int, edges: int, marks: int) -> Instance:
+    rng = random.Random(seed)
+    inst = Instance()
+    for _ in range(edges):
+        inst.add_tuple("R", (rng.randrange(n), rng.randrange(n)))
+    for _ in range(marks):
+        inst.add_tuple("U", (rng.randrange(n),))
+    return inst
+
+
+@pytest.fixture(scope="module")
+def target():
+    return _instance(3, 60, 240, 4)
+
+
+def _count(ordering: str, target: Instance) -> int:
+    return sum(1 for _ in homomorphisms(PATTERN, target, ordering=ordering))
+
+
+@pytest.mark.parametrize("ordering", ["dynamic", "static", "connected"])
+def test_ordering(benchmark, ordering, target):
+    count = benchmark(_count, ordering, target)
+    # all orderings agree on the answer
+    assert count == _count("dynamic", target)

@@ -1,0 +1,47 @@
+"""RPQ-LL — the related-work regime: losslessness of RPQ views.
+
+The paper's §1 positions its results against [10, 11, 15]: monotonic
+determinacy for RPQ views = losslessness under the sound view
+assumption (decidable, implies Datalog rewritability).  We run our
+checkers on a family of RPQ configurations and report the verdicts.
+"""
+
+import pytest
+
+from repro.core.containment import Verdict
+from repro.determinacy.checker import check_tests
+from repro.rpq import rpq_query, rpq_views
+
+from benchmarks.conftest import report
+
+CASES = [
+    # (query, views, expected-refuted?)
+    ("a b", {"Va": "a", "Vb": "b"}, False),
+    ("a", {"Vab": "a | b"}, True),
+    ("( a b ) +", {"Va": "a", "Vb": "b"}, False),
+    ("a ( b ) * c", {"Va": "a", "Vb": "b"}, True),  # c missing
+    ("a | b", {"Vab": "a | b"}, False),
+]
+
+
+@pytest.mark.parametrize("query_text,view_defs,refuted", CASES)
+def test_rpq_losslessness(benchmark, query_text, view_defs, refuted):
+    query = rpq_query(query_text, "Q").to_datalog()
+    views = rpq_views(view_defs)
+
+    result = benchmark.pedantic(
+        check_tests,
+        args=(query, views),
+        kwargs={"approx_depth": 4, "view_depth": 3, "max_tests": 300},
+        rounds=1, iterations=1,
+    )
+    if refuted:
+        assert result.verdict is Verdict.NO
+    else:
+        assert result.verdict is not Verdict.NO
+    report(
+        f"RPQ-LL ({query_text!r} / {sorted(view_defs.values())})",
+        "monotonic determinacy of an RPQ over RPQ views = losslessness "
+        "under the sound view assumption (decidable, [10]/[15])",
+        f"verdict {result.verdict.value}: {result.detail}",
+    )

@@ -1,0 +1,110 @@
+"""SEP — separators (§7, Thm 9).
+
+* the certain-answer separator (PTime for CQ views) agrees with Q;
+* the stratified separator for Q_TP (appendix) agrees with Q_TP;
+* the Thm 9 phenomenon: the faithful separator's cost is the machine's
+  running time — exponential in the input size while the view instance
+  grows linearly.
+"""
+
+import pytest
+
+from repro.constructions.machines import counter_run, encode_run
+from repro.constructions.thm9 import TuringSeparator, thm9_query, thm9_views
+from repro.core.datalog import DatalogQuery
+from repro.core.parser import parse_cq, parse_program
+from repro.rewriting.separator import CertainAnswerSeparator
+from repro.rewriting.verification import check_separator
+from repro.views.view import View, ViewSet
+
+from benchmarks.conftest import report
+
+
+def test_sep_certain_answers(benchmark):
+    query = DatalogQuery(parse_program(
+        """
+        P(x) <- U(x).
+        P(x) <- R(x,y), P(y).
+        Goal() <- S(x), P(x).
+        """
+    ), "Goal")
+    views = ViewSet([
+        View("VR", parse_cq("V(x,y) <- R(x,y)")),
+        View("VU", parse_cq("V(x) <- U(x)")),
+        View("VS", parse_cq("V(x) <- S(x)")),
+    ])
+    separator = CertainAnswerSeparator(query, views)
+    bad = benchmark(check_separator, query, views, separator, None, 30)
+    assert bad is None
+    report(
+        "SEP (certain answers)",
+        "Datalog rewritings give PTime separators; certain answers "
+        "separate for mon. determined queries over CQ views",
+        "inverse-rules separator agrees with Q on 30 random instances",
+    )
+
+
+def test_sep_stratified(benchmark):
+    from repro.constructions.reduction_thm6 import thm6_query, thm6_views
+    from repro.constructions.tiling import unsolvable_example
+    from repro.rewriting.stratified import StratifiedSeparator
+
+    tp = unsolvable_example()
+    query = thm6_query(tp)
+    views = thm6_views(tp)
+    separator = StratifiedSeparator(tp)
+    as_set = lambda j: {()} if separator.boolean(j) else set()  # noqa: E731
+    bad = benchmark(check_separator, query, views, as_set, None, 20)
+    assert bad is None
+    report(
+        "SEP (stratified, appendix)",
+        "Q_TP always has a stratified-Datalog (PTime) separator even "
+        "when no Datalog rewriting exists",
+        "R = Vhelper ∨ Q*verify ∨ (Q*start ∧ ProductTest) agrees with "
+        "Q_TP on 20 random instances",
+    )
+
+
+@pytest.mark.parametrize("bits", [2, 3, 4, 5])
+def test_sep_thm9_cost_tracks_machine(benchmark, bits):
+    machine, word, trace = counter_run(bits)
+    honest = encode_run(word, trace, machine)
+    views = thm9_views(machine)
+    image = views.image(honest)
+    separator = TuringSeparator(machine, tape_length=len(word) + 1)
+
+    verdict = benchmark.pedantic(
+        separator.boolean, args=(image,), rounds=1, iterations=1
+    )
+    assert verdict is True
+    steps = separator.simulated_steps
+    input_size = len(word)
+    assert steps >= 2 ** bits  # exponential in the input size
+    report(
+        f"SEP (Thm 9, {bits} bits)",
+        "no computable time bound covers all separators: the faithful "
+        "separator must simulate the machine",
+        f"input size {input_size}, machine steps simulated {steps} "
+        f"(≥ 2^{bits})",
+    )
+
+
+def test_sep_thm9_query_agrees(benchmark):
+    """The Thm 9 query agrees with the separator on the view images."""
+    machine, word, trace = counter_run(2)
+    honest = encode_run(word, trace, machine)
+    query = thm9_query(machine)
+    views = thm9_views(machine)
+
+    def both():
+        image = views.image(honest)
+        separator = TuringSeparator(machine, tape_length=len(word) + 1)
+        return query.boolean(honest), separator.boolean(image)
+
+    q_verdict, s_verdict = benchmark.pedantic(both, rounds=1, iterations=1)
+    assert q_verdict == s_verdict is True
+    report(
+        "SEP (Thm 9 agreement)",
+        "the separator computes Q ∘ V on honest encodings",
+        "query and separator agree on the accepting run",
+    )

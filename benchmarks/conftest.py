@@ -1,0 +1,16 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark prints the paper's claim next to what we measure, so
+``pytest benchmarks/ --benchmark-only -s`` regenerates the rows of
+Table 1, Table 2 and the figure constructions (see DESIGN.md §3 and
+EXPERIMENTS.md for the recorded outcomes).
+"""
+
+from __future__ import annotations
+
+
+def report(experiment: str, claim: str, measured: str) -> None:
+    """Uniform claim-vs-measured console row."""
+    print(f"\n[{experiment}]")
+    print(f"  paper   : {claim}")
+    print(f"  measured: {measured}")

@@ -1,0 +1,58 @@
+"""Quickstart: views, determinacy, rewritings in ten minutes.
+
+Run with ``python examples/quickstart.py``.
+
+The scenario: a company database with ``Emp(emp, dept)`` and
+``Mgr(dept, boss)``.  Two view publishers expose different slices; we
+ask which queries can be answered from the views alone, and compute
+rewritings when they can.
+"""
+
+from repro import (
+    View,
+    ViewSet,
+    decide_monotonic_determinacy,
+    parse_cq,
+    parse_instance,
+    rewrite_forward_backward,
+    NotRewritableError,
+)
+
+
+def main() -> None:
+    # -- the query: who has a boss? -----------------------------------
+    query = parse_cq("Q(e) <- Emp(e, d), Mgr(d, b)")
+    print("query:", query, "\n")
+
+    # -- view publisher 1: both relations, fully ----------------------
+    full_views = ViewSet([
+        View("VEmp", parse_cq("V(e,d) <- Emp(e,d)")),
+        View("VMgr", parse_cq("V(d,b) <- Mgr(d,b)")),
+    ])
+    result = decide_monotonic_determinacy(query, full_views)
+    print("full views:", result.verdict.value, "-", result.detail)
+    rewriting = rewrite_forward_backward(query, full_views)
+    print("rewriting over the views:", rewriting, "\n")
+
+    # evaluate the rewriting against a concrete database
+    db = parse_instance(
+        "Emp('ada','eng'). Emp('bob','ops'). Mgr('eng','carol')."
+    )
+    answers = rewriting.evaluate(full_views.image(db))
+    print("who has a boss?", sorted(answers), "\n")
+
+    # -- view publisher 2: departments are anonymized -----------------
+    lossy_views = ViewSet([
+        View("VEmp", parse_cq("V(e) <- Emp(e,d)")),      # drops the dept
+        View("VMgr", parse_cq("V(b) <- Mgr(d,b)")),      # drops the dept
+    ])
+    result = decide_monotonic_determinacy(query, lossy_views)
+    print("anonymized views:", result.verdict.value, "-", result.detail)
+    try:
+        rewrite_forward_backward(query, lossy_views)
+    except NotRewritableError as exc:
+        print("as expected, no rewriting exists:", exc)
+
+
+if __name__ == "__main__":
+    main()

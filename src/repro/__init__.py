@@ -1,0 +1,118 @@
+"""repro — monotonic determinacy and rewritability for recursive queries
+and views.
+
+A faithful, laptop-scale implementation of the algorithms, decision
+procedures and counterexample constructions of *"On Monotonic
+Determinacy and Rewritability for Recursive Queries and Views"*
+(Benedikt, Kikot, Ostropolski-Nalewaja, Romero — PODS 2020).
+
+Quickstart::
+
+    from repro import *
+
+    q = parse_cq("Q(x) <- R(x,y), S(y)")
+    views = ViewSet([
+        View("VR", parse_cq("V(x,y) <- R(x,y)")),
+        View("VS", parse_cq("V(y) <- S(y)")),
+    ])
+    result = decide_monotonic_determinacy(q, views)   # exact for CQs
+    rewriting = rewrite_forward_backward(q, views)    # the UCQ rewriting
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from repro.core import (
+    Atom,
+    CanonConst,
+    ConjunctiveQuery,
+    ContainmentResult,
+    DatalogProgram,
+    DatalogQuery,
+    Fact,
+    Instance,
+    Rule,
+    Schema,
+    UCQ,
+    Variable,
+    Verdict,
+    approximations,
+    cq_contained,
+    cq_contained_in_datalog,
+    cq_from_instance,
+    datalog_contained_bounded,
+    datalog_contained_in_ucq,
+    find_homomorphism,
+    fixpoint,
+    has_homomorphism,
+    instance_homomorphism,
+    instance_maps_into,
+    is_normalized,
+    normalize,
+    parse_cq,
+    parse_instance,
+    parse_program,
+    parse_query,
+    parse_ucq,
+    ucq_contained,
+    variables,
+)
+from repro.views import (
+    View,
+    ViewSet,
+    atomic_views,
+    certain_answers,
+    chase_with_inverse_rules,
+    inverse_rules_rewriting,
+)
+from repro.determinacy import (
+    CanonicalTest,
+    DeterminacyResult,
+    canonical_tests,
+    check_tests,
+    decide_cq_ucq,
+    decide_fgdl,
+    decide_monotonic_determinacy,
+)
+from repro.rewriting import (
+    CertainAnswerSeparator,
+    NotRewritableError,
+    check_rewriting,
+    check_separator,
+    datalog_rewriting,
+    rewrite_cq,
+    rewrite_forward_backward,
+)
+from repro.automata import (
+    NTA,
+    approximations_automaton,
+    backward_query,
+    datalog_in_ucq_exact,
+)
+from repro.td import TreeCode, TreeDecomposition, decode, decompose, encode
+from repro.games import duplicator_wins, unravel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Atom", "CanonConst", "ConjunctiveQuery", "ContainmentResult",
+    "DatalogProgram", "DatalogQuery", "Fact", "Instance", "Rule",
+    "Schema", "UCQ", "Variable", "Verdict", "approximations",
+    "cq_contained", "cq_contained_in_datalog", "cq_from_instance",
+    "datalog_contained_bounded", "datalog_contained_in_ucq",
+    "find_homomorphism", "fixpoint", "has_homomorphism",
+    "instance_homomorphism", "instance_maps_into", "is_normalized",
+    "normalize", "parse_cq", "parse_instance", "parse_program",
+    "parse_query", "parse_ucq", "ucq_contained", "variables", "View",
+    "ViewSet", "atomic_views", "certain_answers",
+    "chase_with_inverse_rules", "inverse_rules_rewriting",
+    "CanonicalTest", "DeterminacyResult", "canonical_tests",
+    "check_tests", "decide_cq_ucq", "decide_fgdl",
+    "decide_monotonic_determinacy", "CertainAnswerSeparator",
+    "NotRewritableError", "check_rewriting", "check_separator",
+    "datalog_rewriting", "rewrite_cq", "rewrite_forward_backward",
+    "NTA", "approximations_automaton", "backward_query",
+    "datalog_in_ucq_exact", "TreeCode", "TreeDecomposition", "decode",
+    "decompose", "encode", "duplicator_wins", "unravel",
+    "__version__",
+]

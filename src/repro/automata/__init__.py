@@ -1,0 +1,30 @@
+"""Tree automata and the forward/backward mappings (§3)."""
+
+from repro.automata.nta import (
+    NTA,
+    Transition,
+    emptiness_against,
+    run_symbolic,
+)
+from repro.automata.forward import (
+    approximations_automaton,
+    fold_repeated_idb_args,
+    required_width,
+    standard_code_of_expansion,
+    view_image_automaton_atomic,
+)
+from repro.automata.cq_automaton import CQMatchDTA, UCQMatchDTA
+from repro.automata.containment import (
+    datalog_in_cq_exact,
+    datalog_in_ucq_exact,
+)
+from repro.automata.backward import backward_query, backward_query_mdl
+
+__all__ = [
+    "NTA", "Transition", "emptiness_against", "run_symbolic",
+    "approximations_automaton", "required_width",
+    "standard_code_of_expansion", "CQMatchDTA", "UCQMatchDTA",
+    "datalog_in_cq_exact", "datalog_in_ucq_exact", "backward_query",
+    "backward_query_mdl", "fold_repeated_idb_args",
+    "view_image_automaton_atomic",
+]

@@ -1,0 +1,163 @@
+"""Jointly-annotated terms (appendix, Prop. 12).
+
+A jointly-annotated term for an automaton ``A``, instance ``I`` and
+k-tuple ``ā`` is an accepted code ``T`` plus an assignment ``b`` of
+nodes to k-tuples of ``I``-elements respecting the edge-map equalities
+and the node marks — Prop. 12: such a term exists iff ``I ⊨ Q_A(ā)``
+for the backward-mapped query.  We implement both directions
+executably:
+
+* :func:`find_jointly_annotated_term` — bottom-up search over pairs
+  (automaton state, element tuple), the semantic counterpart of
+  evaluating ``Q_A``;
+* :func:`is_jointly_annotated_term` — an independent checker of
+  conditions (3)/(4) of the definition.
+"""
+
+from __future__ import annotations
+
+from itertools import product as iproduct
+from typing import Optional
+
+from repro.core.instance import Instance
+from repro.automata.nta import NTA
+from repro.td.codes import CodeNode, TreeCode
+
+
+def _marks_hold(marks, values: tuple, instance: Instance) -> bool:
+    return all(
+        instance.has_tuple(pred, tuple(values[p] for p in positions))
+        for pred, positions in marks
+    )
+
+
+def find_jointly_annotated_term(
+    nta: NTA,
+    instance: Instance,
+    max_pairs: int = 100_000,
+) -> Optional[tuple[TreeCode, dict]]:
+    """An accepted code + node assignment over ``instance``, or None.
+
+    Returns ``(code, assignment)`` where ``assignment`` maps each
+    :class:`CodeNode` (by identity) to its element tuple; the root's
+    tuple is the ``ā`` of Prop. 12.
+    """
+    domain = sorted(instance.active_domain(), key=repr)
+    if not domain:
+        return None
+    k = nta.width
+
+    # inhabited: (state, values) -> witness CodeNode; assignment side table
+    inhabited: dict = {}
+    assignment: dict = {}
+
+    def tuples_matching(marks):
+        """All k-tuples of elements satisfying the marks — seeded from
+        the mark atoms to avoid blind |adom|^k enumeration."""
+        # positions constrained by marks get candidates from facts
+        for values in iproduct(domain, repeat=k):
+            if _marks_hold(marks, values, instance):
+                yield values
+
+    changed = True
+    while changed:
+        changed = False
+        for t in nta.transitions:
+            if t.arity == 0:
+                for values in tuples_matching(t.symbol[0]):
+                    key = (t.target, values)
+                    if key in inhabited:
+                        continue
+                    node = CodeNode(t.symbol[0], ())
+                    inhabited[key] = node
+                    assignment[id(node)] = values
+                    changed = True
+                    if len(inhabited) > max_pairs:
+                        raise RuntimeError("annotated-term search blew up")
+                continue
+            child_options = []
+            feasible = True
+            for child_state in t.children:
+                options = [
+                    (values, node)
+                    for (state, values), node in inhabited.items()
+                    if state == child_state
+                ]
+                if not options:
+                    feasible = False
+                    break
+                child_options.append(options)
+            if not feasible:
+                continue
+            for combo in iproduct(*child_options):
+                for values in tuples_matching(t.symbol[0]):
+                    ok = True
+                    for (child_values, _node), emap in zip(
+                        combo, t.symbol[1]
+                    ):
+                        for i, j in emap:
+                            if values[i] != child_values[j]:
+                                ok = False
+                                break
+                        if not ok:
+                            break
+                    if not ok:
+                        continue
+                    key = (t.target, values)
+                    if key in inhabited:
+                        continue
+                    node = CodeNode(
+                        t.symbol[0],
+                        tuple(
+                            (emap, child_node)
+                            for emap, (_v, child_node) in zip(
+                                t.symbol[1], combo
+                            )
+                        ),
+                    )
+                    inhabited[key] = node
+                    assignment[id(node)] = values
+                    changed = True
+                    if len(inhabited) > max_pairs:
+                        raise RuntimeError(
+                            "annotated-term search blew up"
+                        )
+    for (state, values), node in inhabited.items():
+        if state in nta.final:
+            code = TreeCode(node, k)
+            return code, {
+                id(n): assignment[id(n)] for n in node.nodes()
+            }
+    return None
+
+
+def is_jointly_annotated_term(
+    code: TreeCode,
+    assignment: dict,
+    nta: NTA,
+    instance: Instance,
+) -> bool:
+    """Check the Prop. 12 conditions independently.
+
+    ``assignment`` maps ``id(node)`` to the node's element tuple; the
+    code must be accepted by the automaton, every node's marks must hold
+    of its tuple in ``instance`` (conditions (3)/(4)), and edge maps
+    must equate the connected positions.
+    """
+    if not nta.accepts(code):
+        return False
+
+    def check(node: CodeNode) -> bool:
+        values = assignment[id(node)]
+        if not _marks_hold(node.marks, values, instance):
+            return False
+        for emap, child in node.children:
+            child_values = assignment[id(child)]
+            for i, j in emap:
+                if values[i] != child_values[j]:
+                    return False
+            if not check(child):
+                return False
+        return True
+
+    return check(code.root)

@@ -1,0 +1,188 @@
+"""Backward mapping: NTA → Datalog query ``Q_A`` (§3, Prop. 7).
+
+Each automaton transition becomes a rule over predicates ``P_q`` of arity
+``k`` (the code width): the rule asserts that the bag values can be
+labelled ``q`` because some transition fires, with the equalities of the
+edge maps compiled away by substitution and the node marks becoming body
+atoms.  ``Adom`` rules make every active-domain element available for the
+"dummy" positions.
+
+``I ⊨ Q_A`` iff there is a jointly-annotated term for the automaton over
+``I`` (Prop. 12); under the hypotheses of Prop. 7 this makes ``Q_A`` a
+Datalog rewriting of the original query over the views.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.atoms import Atom
+from repro.core.datalog import DatalogProgram, DatalogQuery, Rule
+from repro.core.schema import Schema
+from repro.core.terms import Variable
+from repro.automata.nta import NTA, Transition
+
+ADOM = "Adom·"
+
+
+def _adom_rules(schema: Schema) -> list[Rule]:
+    """``Adom(x) ← R(..., x, ...)`` for every relation and position."""
+    rules = []
+    for pred in sorted(schema.names()):
+        arity = schema.arity(pred)
+        args = tuple(Variable(f"d{i}") for i in range(arity))
+        for i in range(arity):
+            rules.append(Rule(Atom(ADOM, (args[i],)), (Atom(pred, args),)))
+    return rules
+
+
+def _state_pred(index: int) -> str:
+    return f"P·q{index}"
+
+
+def _transition_rule(
+    t: Transition, k: int, state_index: dict
+) -> Rule:
+    """One backward rule, with edge-map equalities substituted away."""
+    parent = [Variable(f"x{i}") for i in range(k)]
+    body: list[Atom] = []
+
+    # child atoms with equalities x_i = x^j_{s_j(i)} compiled in
+    for j, (child_state, emap) in enumerate(zip(t.children, t.symbol[1])):
+        child_vars = [Variable(f"x·{j}·{i}") for i in range(k)]
+        for i, target_pos in emap:
+            child_vars[target_pos] = parent[i]
+        body.append(
+            Atom(_state_pred(state_index[child_state]), tuple(child_vars))
+        )
+
+    # marks become input atoms
+    marks, _ = t.symbol
+    for pred, positions in sorted(marks, key=repr):
+        body.append(Atom(pred, tuple(parent[p] for p in positions)))
+
+    # Adom atoms keep the rule safe for dummy positions
+    for var in parent:
+        body.append(Atom(ADOM, (var,)))
+
+    return Rule(
+        Atom(_state_pred(state_index[t.target]), tuple(parent)), tuple(body)
+    )
+
+
+def backward_query_mdl(
+    nta: NTA,
+    input_schema: Schema,
+    name: str = "Q_A_mdl",
+    goal: Optional[str] = None,
+) -> DatalogQuery:
+    """The MDL variant of the backward mapping (Thm 1, last part).
+
+    Requires a *frontier-one* automaton: every edge map identifies at
+    most one position, and every state is of the form ``(pred, (p,))``
+    or ``(pred, ())`` (as produced by the forward mapping of an MDL
+    program).  Each rule then only passes the single frontier element
+    to its children, so all new predicates are at most unary and the
+    resulting program is Monadic Datalog.
+    """
+    for t in nta.transitions:
+        if len(t.target[1]) > 1:
+            raise ValueError(
+                f"state {t.target} has a non-unary frontier; "
+                "backward_query_mdl needs an MDL forward automaton"
+            )
+        for emap in t.symbol[1]:
+            if len(emap) > 1:
+                raise ValueError(
+                    "edge maps must identify at most one position "
+                    "(frontier-one codes)"
+                )
+
+    states = sorted(nta.states(), key=repr)
+    state_index = {q: i for i, q in enumerate(states)}
+    rules = _adom_rules(input_schema)
+
+    for t in nta.transitions:
+        bag = [Variable(f"x{i}") for i in range(nta.width)]
+        body: list[Atom] = []
+        for child_state, emap in zip(t.children, t.symbol[1]):
+            child_frontier = child_state[1]
+            if child_frontier:
+                # the edge map must connect the shared position
+                (pair,) = tuple(emap) if emap else ((None, None),)
+                parent_pos = pair[0]
+                if parent_pos is None:
+                    raise ValueError(
+                        "child with a frontier needs a connecting edge"
+                    )
+                body.append(
+                    Atom(
+                        _state_pred(state_index[child_state]),
+                        (bag[parent_pos],),
+                    )
+                )
+            else:
+                body.append(
+                    Atom(_state_pred(state_index[child_state]), ())
+                )
+        marks, _ = t.symbol
+        used = set()
+        for pred, positions in sorted(marks, key=repr):
+            body.append(Atom(pred, tuple(bag[p] for p in positions)))
+            used.update(positions)
+        head_positions = t.target[1]
+        head_args = tuple(bag[p] for p in head_positions)
+        for p in head_positions:
+            if p not in used:
+                body.append(Atom(ADOM, (bag[p],)))
+        rules.append(
+            Rule(
+                Atom(_state_pred(state_index[t.target]), head_args),
+                tuple(body),
+            )
+        )
+
+    goal_pred = goal or "Goal·A"
+    frontier = Variable("x0")
+    for q in sorted(nta.final, key=repr):
+        body_atom = (
+            Atom(_state_pred(state_index[q]), (frontier,))
+            if q[1]
+            else Atom(_state_pred(state_index[q]), ())
+        )
+        rules.append(Rule(Atom(goal_pred, ()), (body_atom,)))
+    if not nta.final:
+        rules.append(Rule(Atom(goal_pred, ()), (Atom("Never⊥", ()),)))
+    return DatalogQuery(DatalogProgram(tuple(rules)), goal_pred, name)
+
+
+def backward_query(
+    nta: NTA,
+    input_schema: Schema,
+    name: str = "Q_A",
+    goal: Optional[str] = None,
+) -> DatalogQuery:
+    """The Datalog query of the backward mapping.
+
+    ``input_schema`` is the signature the rewriting runs over (the view
+    schema in the determinacy application); it supplies the ``Adom``
+    rules.  The goal is Boolean: ``Goal ← P_q(x̄)`` for accepting ``q``.
+    """
+    states = sorted(nta.states(), key=repr)
+    state_index = {q: i for i, q in enumerate(states)}
+    rules = _adom_rules(input_schema)
+    for t in nta.transitions:
+        rules.append(_transition_rule(t, nta.width, state_index))
+    goal_pred = goal or "Goal·A"
+    parent = tuple(Variable(f"x{i}") for i in range(nta.width))
+    for q in sorted(nta.final, key=repr):
+        rules.append(
+            Rule(
+                Atom(goal_pred, ()),
+                (Atom(_state_pred(state_index[q]), parent),),
+            )
+        )
+    if not nta.final:
+        # empty language: goal defined over a never-populated relation
+        rules.append(Rule(Atom(goal_pred, ()), (Atom("Never⊥", ()),)))
+    return DatalogQuery(DatalogProgram(tuple(rules)), goal_pred, name)

@@ -1,0 +1,223 @@
+"""The CQ-match automaton: a symbolic deterministic bottom-up automaton
+deciding, for a fixed Boolean CQ ``Q`` and any tree code ``T``, whether
+``Q`` maps homomorphically into ``D(T)``.
+
+This is the Courcelle-style dynamic programming over tree decompositions,
+packaged as a :class:`repro.automata.nta.SymbolicDTA`:
+
+* a *partial solution* is a pair ``(matched, bound)`` — a set of atoms
+  of ``Q`` witnessed by marks in the subtree (each atom at exactly one
+  node), and a partial map from the variables still occurring in
+  unmatched atoms to current bag positions;
+* the automaton state at a node is the set of all viable partial
+  solutions;
+* moving up an edge drops solutions whose bound element disappears (the
+  element classes of a code are connected subtrees, so a dropped element
+  never comes back);
+* the state is final when the fully-matched solution is present.
+
+Because the automaton is deterministic and symbolic, complementation is
+just negating :meth:`is_final`, which is how Prop. 6's "¬Q" automaton is
+realized for (unions of) conjunctive queries — enough for the exact
+Datalog ⊑ UCQ containment behind Thm 5.
+
+Atoms of ``Q`` are matched *bag-locally*: an atom is witnessed by a mark
+of a single node.  This matches the decoding semantics of §3 exactly.
+"""
+
+from __future__ import annotations
+
+from repro.core.cq import ConjunctiveQuery
+from repro.core.terms import is_variable
+from repro.core.ucq import UCQ, as_ucq
+from repro.automata.nta import Symbol
+
+Solution = tuple  # (matched: frozenset[int], bound: frozenset[(var, pos)])
+
+_EMPTY: Solution = (frozenset(), frozenset())
+
+
+class CQMatchDTA:
+    """Symbolic DTA for Boolean CQ matching on codes of a fixed width."""
+
+    def __init__(self, cq: ConjunctiveQuery, width: int) -> None:
+        if not cq.is_boolean():
+            raise ValueError("CQ-match automaton requires a Boolean CQ")
+        for atom in cq.atoms:
+            if any(not is_variable(t) for t in atom.args):
+                raise ValueError(
+                    "CQ-match automaton requires constant-free CQs"
+                )
+        self.cq = cq
+        self.width = width
+        self.atoms = list(cq.atoms)
+        self.all_matched = frozenset(range(len(self.atoms)))
+        self.vars = sorted(cq.variables(), key=lambda v: v.name)
+        # var -> indices of atoms containing it
+        self.atoms_of = {
+            v: frozenset(
+                i for i, a in enumerate(self.atoms) if v in a.variables()
+            )
+            for v in self.vars
+        }
+
+    # ------------------------------------------------------------------
+    # solution bookkeeping
+    # ------------------------------------------------------------------
+    def _normalize(self, matched: frozenset, bound: dict) -> Solution:
+        """Drop bindings of variables with no unmatched atoms."""
+        live = {
+            v: p
+            for v, p in bound.items()
+            if self.atoms_of[v] - matched
+        }
+        return (matched, frozenset(live.items()))
+
+    def _prune(self, solutions: set) -> frozenset:
+        """Deduplicate (and short-circuit once fully matched).
+
+        NOTE: domination pruning by larger matched sets would be unsound
+        here — merges require *disjoint* matched sets (see
+        :meth:`_merge`), so a smaller matched set can be mergeable where
+        a larger one is not.  Once the full solution appears, it alone
+        suffices for acceptance, but other solutions must be kept for
+        upward merges... except nothing above can un-match; we keep all.
+        """
+        return frozenset(solutions)
+
+    # ------------------------------------------------------------------
+    # node processing
+    # ------------------------------------------------------------------
+    def _extend_at_node(self, solutions: set, marks: frozenset) -> set:
+        """Assign additional variables to bag positions and match marks.
+
+        Implemented as a saturation: repeatedly, for each unmatched atom
+        and each mark of the same predicate, try to unify (binding free
+        variables, checking bound ones).  Additionally, keep unextended
+        solutions (a variable may be bound higher up).  Variables only
+        ever need to be bound when an atom is matched, and every atom is
+        matched at exactly one node, so binding-on-match is complete.
+        """
+        marks_by_pred: dict[str, list[tuple]] = {}
+        for pred, positions in marks:
+            marks_by_pred.setdefault(pred, []).append(positions)
+
+        frontier = set(solutions)
+        seen = set(solutions)
+        while frontier:
+            matched, bound = frontier.pop()
+            bound_map = dict(bound)
+            for index in self.all_matched - matched:
+                atom = self.atoms[index]
+                for positions in marks_by_pred.get(atom.pred, ()):
+                    new_bound = dict(bound_map)
+                    ok = True
+                    for term, pos in zip(atom.args, positions):
+                        if term in new_bound:
+                            if new_bound[term] != pos:
+                                ok = False
+                                break
+                        else:
+                            new_bound[term] = pos
+                    if not ok:
+                        continue
+                    candidate = self._normalize(
+                        matched | {index}, new_bound
+                    )
+                    if candidate not in seen:
+                        seen.add(candidate)
+                        frontier.add(candidate)
+        return seen
+
+    def _lift_through_edge(self, solution: Solution, emap) -> Solution | None:
+        """Translate a child solution into parent bag coordinates."""
+        to_parent = {j: i for i, j in emap}
+        matched, bound = solution
+        lifted = {}
+        for var, pos in bound:
+            parent_pos = to_parent.get(pos)
+            if parent_pos is None:
+                return None  # element vanishes with unmatched atoms left
+            lifted[var] = parent_pos
+        return (matched, frozenset(lifted.items()))
+
+    def _merge(self, left: Solution, right: Solution) -> Solution | None:
+        """Combine certificates from two subtrees.
+
+        Matched sets must be DISJOINT: each query atom is witnessed at
+        exactly one node of the run.  (Merging overlapping certificates
+        would be unsound: the same atom matched in both children with
+        different embeddings can leave no single homomorphism, yet the
+        union would claim one.  Disjointness keeps every variable shared
+        between the two certificates *bound* on both sides, so the
+        consistency check below is complete.)
+        """
+        lm, lb = left
+        rm, rb = right
+        if lm & rm:
+            return None
+        merged = dict(lb)
+        for var, pos in rb:
+            if merged.get(var, pos) != pos:
+                return None
+            merged[var] = pos
+        return self._normalize(lm | rm, merged)
+
+    # ------------------------------------------------------------------
+    # SymbolicDTA interface
+    # ------------------------------------------------------------------
+    def leaf(self, symbol: Symbol) -> frozenset:
+        marks, _ = symbol
+        return self._prune(self._extend_at_node({_EMPTY}, marks))
+
+    def step(self, child_states: tuple, symbol: Symbol) -> frozenset:
+        marks, edge_maps = symbol
+        lifted_per_child = []
+        for state, emap in zip(child_states, edge_maps):
+            lifted = set()
+            for solution in state:
+                moved = self._lift_through_edge(solution, emap)
+                if moved is not None:
+                    lifted.add(moved)
+            lifted.add(_EMPTY)
+            lifted_per_child.append(lifted)
+
+        combined = {_EMPTY}
+        for child_solutions in lifted_per_child:
+            next_combined = set()
+            for acc in combined:
+                for sol in child_solutions:
+                    merged = self._merge(acc, sol)
+                    if merged is not None:
+                        next_combined.add(merged)
+            combined = next_combined
+
+        return self._prune(self._extend_at_node(combined, marks))
+
+    def is_final(self, state: frozenset) -> bool:
+        return any(matched == self.all_matched for matched, _ in state)
+
+
+class UCQMatchDTA:
+    """Product of CQ-match automata: final iff some disjunct matches."""
+
+    def __init__(self, ucq: UCQ | ConjunctiveQuery, width: int) -> None:
+        self.parts = [
+            CQMatchDTA(d, width) for d in as_ucq(ucq).disjuncts
+        ]
+        self.width = width
+
+    def leaf(self, symbol: Symbol) -> tuple:
+        return tuple(p.leaf(symbol) for p in self.parts)
+
+    def step(self, child_states: tuple, symbol: Symbol) -> tuple:
+        return tuple(
+            p.step(tuple(cs[i] for cs in child_states), symbol)
+            for i, p in enumerate(self.parts)
+        )
+
+    def is_final(self, state: tuple) -> bool:
+        return any(
+            p.is_final(component)
+            for p, component in zip(self.parts, state)
+        )

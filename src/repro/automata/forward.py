@@ -1,0 +1,301 @@
+"""Forward mapping: Datalog query → NTA capturing its approximations
+(Prop. 3).
+
+States are pairs ``(P, n̄)``: an IDB predicate with an assignment of its
+head arguments to bag positions.  A transition for a rule ``P(x̄) ← φ``
+chooses an injective placement ``m`` of the rule's variables into the
+``k`` bag positions; the symbol's marks are the EDB atoms of ``φ`` under
+``m`` and each IDB body atom spawns a child state with the *same*
+positions, connected by the identity edge map on those positions (the
+"standard code" convention from the proof of Prop. 3).
+
+:func:`standard_code_of_expansion` produces, for an expansion tree, the
+standard code accepted by this automaton — together they witness the
+"capture" property:
+
+* every approximation has an accepted code (its standard code), and
+* every accepted tree decodes to (an isomorphic copy of) the canonical
+  database of an approximation.
+
+Restriction: programs must be constant-free and IDB body atoms must not
+repeat a variable (true of every construction in the paper).
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Iterator, Optional
+
+from repro.core.approximation import ExpansionNode
+from repro.core.atoms import Atom
+from repro.core.datalog import DatalogProgram, DatalogQuery, Rule
+from repro.core.terms import Variable, is_variable
+from repro.automata.nta import NTA, Transition
+from repro.td.codes import CodeNode, TreeCode
+
+
+def _check_supported(query: DatalogQuery) -> None:
+    idb = query.program.idb_predicates()
+    for rule in query.program.rules:
+        for atom in (rule.head, *rule.body):
+            if any(not is_variable(t) for t in atom.args):
+                raise ValueError(
+                    "forward mapping requires constant-free rules, got "
+                    f"{atom!r}"
+                )
+        if len(set(rule.head.args)) != len(rule.head.args):
+            raise ValueError(
+                f"forward mapping requires distinct head variables: {rule!r}"
+            )
+        for atom in rule.body:
+            if atom.pred in idb and len(set(atom.args)) != len(atom.args):
+                raise ValueError(
+                    "forward mapping requires IDB body atoms without "
+                    f"repeated variables, got {atom!r}"
+                )
+
+
+def _pattern_of(args: tuple) -> tuple[int, ...]:
+    """The equality pattern of an argument tuple, e.g. (x,y,x) → (0,1,0)."""
+    classes: dict = {}
+    out = []
+    for arg in args:
+        if arg not in classes:
+            classes[arg] = len(classes)
+        out.append(classes[arg])
+    return tuple(out)
+
+
+def _fold_name(pred: str, pattern: tuple[int, ...]) -> str:
+    if pattern == tuple(range(len(pattern))):
+        return pred
+    return f"{pred}[{','.join(map(str, pattern))}]"
+
+
+def fold_repeated_idb_args(query: DatalogQuery) -> DatalogQuery:
+    """Specialize IDB predicates per argument-equality pattern.
+
+    ``V(z, z)`` in a body becomes ``V[0,0](z)`` whose rules are those of
+    ``V`` with the head arguments unified.  The expansions (hence the
+    captured language) are unchanged; the result satisfies the forward
+    mapping's no-repeated-IDB-arguments requirement.
+    """
+    program = query.program
+    idb = program.idb_predicates()
+    identity = tuple(range(program.arity_of(query.goal)))
+    needed: list[tuple[str, tuple[int, ...]]] = [(query.goal, identity)]
+    done: set = set()
+    new_rules: list[Rule] = []
+    while needed:
+        pred, pattern = needed.pop()
+        if (pred, pattern) in done:
+            continue
+        done.add((pred, pattern))
+        for rule in program.rules_for(pred):
+            # unify head variables within each pattern class (union-find)
+            parent: dict = {}
+
+            def find(term):
+                while parent.get(term, term) != term:
+                    term = parent[term]
+                return term
+
+            for arg, cls in zip(rule.head.args, pattern):
+                first = rule.head.args[pattern.index(cls)]
+                ra, rf = find(arg), find(first)
+                if ra != rf:
+                    parent[ra] = rf
+
+            def resolve(term):
+                return find(term)
+
+            class_order = sorted(set(pattern), key=pattern.index)
+            head_args = tuple(
+                resolve(rule.head.args[pattern.index(cls)])
+                for cls in class_order
+            )
+            body = []
+            for atom in rule.body:
+                args = tuple(resolve(t) for t in atom.args)
+                if atom.pred in idb:
+                    sub_pattern = _pattern_of(args)
+                    distinct: list = []
+                    for arg in args:
+                        if arg not in distinct:
+                            distinct.append(arg)
+                    body.append(
+                        Atom(
+                            _fold_name(atom.pred, sub_pattern),
+                            tuple(distinct),
+                        )
+                    )
+                    needed.append((atom.pred, sub_pattern))
+                else:
+                    body.append(Atom(atom.pred, args))
+            new_rules.append(
+                Rule(Atom(_fold_name(pred, pattern), head_args), tuple(body))
+            )
+    return DatalogQuery(
+        DatalogProgram(tuple(new_rules)),
+        _fold_name(query.goal, identity),
+        query.name,
+    )
+
+
+def required_width(query: DatalogQuery) -> int:
+    """The minimal code width: the maximal rule variable count."""
+    return max(query.program.max_rule_variables(), 1)
+
+
+def _placements(
+    variables: list[Variable], width: int, pinned: dict
+) -> Iterator[dict]:
+    """Injective placements of ``variables`` into ``range(width)``.
+
+    ``pinned`` pre-assigns some variables; remaining variables fill the
+    free positions injectively.
+    """
+    free_vars = [v for v in variables if v not in pinned]
+    used = set(pinned.values())
+    free_positions = [p for p in range(width) if p not in used]
+    if len(free_vars) > len(free_positions):
+        return
+    for perm in permutations(free_positions, len(free_vars)):
+        out = dict(pinned)
+        out.update(zip(free_vars, perm))
+        yield out
+
+
+def _rule_transitions(
+    rule: Rule, idb: set[str], width: int
+) -> Iterator[Transition]:
+    variables = sorted(rule.variables(), key=lambda v: v.name)
+    idb_atoms = [a for a in rule.body if a.pred in idb]
+    edb_atoms = [a for a in rule.body if a.pred not in idb]
+    for placement in _placements(variables, width, {}):
+        marks = frozenset(
+            (a.pred, tuple(placement[t] for t in a.args)) for a in edb_atoms
+        )
+        target = (
+            rule.head.pred,
+            tuple(placement[t] for t in rule.head.args),
+        )
+        children = []
+        edge_maps = []
+        for atom in idb_atoms:
+            positions = tuple(placement[t] for t in atom.args)
+            children.append((atom.pred, positions))
+            edge_maps.append(frozenset((p, p) for p in positions))
+        yield Transition(
+            tuple(children), (marks, tuple(edge_maps)), target
+        )
+
+
+def approximations_automaton(
+    query: DatalogQuery, width: Optional[int] = None
+) -> NTA:
+    """The NTA of Prop. 3, capturing the canonical databases of the CQ
+    approximations of ``query``."""
+    query = fold_repeated_idb_args(query)
+    _check_supported(query)
+    k = width if width is not None else required_width(query)
+    if k < required_width(query):
+        raise ValueError(
+            f"width {k} below required {required_width(query)}"
+        )
+    idb = query.program.idb_predicates()
+    transitions: list[Transition] = []
+    for rule in query.program.rules:
+        transitions.extend(_rule_transitions(rule, idb, k))
+    final = {
+        t.target
+        for t in transitions
+        if t.target[0] == query.goal
+    }
+    # also states reachable as targets from other rules for the goal
+    return NTA(transitions, final, k).trim()
+
+
+def view_image_automaton_atomic(nta, views) -> "NTA":
+    """The view-image automaton for *atomic* views (Thm 1 pipeline).
+
+    Atomic views (``V_R(x̄) ← R(x̄)``) act bag-locally on codes: the
+    image of a decoded instance is obtained by renaming each mark to its
+    view predicate and erasing marks of hidden relations.  The result
+    captures ``{V(Q_i)}`` exactly, so Prop. 7 applies and
+    :func:`repro.automata.backward.backward_query` yields a Datalog
+    rewriting whenever the query is monotonically determined.
+
+    Raises for non-atomic view definitions.
+    """
+    from repro.core.cq import ConjunctiveQuery
+
+    renaming: dict[str, str] = {}
+    for view in views:
+        definition = view.definition
+        if not (
+            isinstance(definition, ConjunctiveQuery)
+            and definition.size() == 1
+            and not definition.existential_variables()
+            and len(set(definition.head_vars)) == len(definition.head_vars)
+            and definition.atoms[0].args == definition.head_vars
+        ):
+            raise ValueError(
+                f"view {view.name} is not atomic (single identical-args "
+                "atom); use the inverse-rules route instead"
+            )
+        renaming[definition.atoms[0].pred] = view.name
+
+    def relabel(symbol):
+        marks, emaps = symbol
+        kept = frozenset(
+            (renaming[pred], positions)
+            for pred, positions in marks
+            if pred in renaming
+        )
+        return (kept, emaps)
+
+    return nta.map_symbols(relabel)
+
+
+def standard_code_of_expansion(
+    tree: ExpansionNode, width: int
+) -> TreeCode:
+    """The standard code of an expansion (proof of Prop. 3).
+
+    One node per rule firing; shared terms keep the same bag position in
+    parent and child; marks are exactly the firing's EDB atoms.
+    """
+
+    def build(node: ExpansionNode, pinned: dict) -> CodeNode:
+        terms = node.bag()
+        placement_iter = _placements(
+            sorted(
+                [t for t in terms if t not in pinned],
+                key=repr,
+            ),
+            width,
+            pinned,
+        )
+        placement = next(placement_iter, None)
+        if placement is None:
+            raise ValueError(
+                f"width {width} too small for expansion bag {terms}"
+            )
+        marks = frozenset(
+            (a.pred, tuple(placement[t] for t in a.args))
+            for a in node.edb_atoms()
+        )
+        children = []
+        for pos_index, child in zip(node.idb_positions, node.children):
+            atom = node.rule.body[pos_index].substitute(node.mapping)
+            child_pinned = {
+                t: placement[t] for t in atom.args
+            }
+            emap = frozenset(
+                (placement[t], placement[t]) for t in atom.args
+            )
+            children.append((emap, build(child, child_pinned)))
+        return CodeNode(marks, tuple(children))
+
+    return TreeCode(build(tree, {}), width)

@@ -1,0 +1,377 @@
+"""Nondeterministic tree automata over tree codes (§3).
+
+An :class:`NTA` runs bottom-up on tree codes.  A node's *symbol* is its
+alphabet letter ``σ^{s̄}_L``: the pair ``(marks, edge-maps)`` as produced
+by :meth:`repro.td.codes.CodeNode.label`.  We allow arbitrary bounded
+outdegree instead of the paper's strict binarization (see
+:mod:`repro.td.codes` for why this is inessential).
+
+Provided operations: membership, emptiness with accepted-tree witness
+extraction, product (intersection), projection onto a sub-signature
+(Prop. 5), enumeration of accepted trees, and product-emptiness against
+a *symbolic deterministic* automaton (used to complement the CQ-match
+automaton without materializing the alphabet).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from itertools import product as iproduct
+from typing import Callable, Iterator, Optional, Protocol
+
+from repro.td.codes import CodeNode, TreeCode
+
+Symbol = tuple  # (frozenset of AtomMark, tuple of EdgeMap)
+
+
+@dataclass(frozen=True)
+class Transition:
+    """``(q_1, ..., q_m), σ → q`` (m = 0 for leaf transitions)."""
+
+    children: tuple
+    symbol: Symbol
+    target: object
+
+    @property
+    def arity(self) -> int:
+        return len(self.children)
+
+
+class NTA:
+    """A bottom-up nondeterministic tree automaton."""
+
+    def __init__(self, transitions, final, width: int) -> None:
+        self.transitions: tuple[Transition, ...] = tuple(transitions)
+        self.final: frozenset = frozenset(final)
+        self.width = width
+        self._by_symbol: dict = defaultdict(list)
+        for t in self.transitions:
+            self._by_symbol[t.symbol].append(t)
+
+    # ------------------------------------------------------------------
+    # basics
+    # ------------------------------------------------------------------
+    def states(self) -> set:
+        out = set()
+        for t in self.transitions:
+            out.add(t.target)
+            out.update(t.children)
+        return out | set(self.final)
+
+    def size(self) -> int:
+        return len(self.transitions)
+
+    def symbols(self) -> set:
+        return set(self._by_symbol)
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    def _states_of(self, node: CodeNode) -> set:
+        child_state_sets = [
+            self._states_of(child) for _, child in node.children
+        ]
+        symbol = node.label()
+        result = set()
+        for t in self._by_symbol.get(symbol, ()):
+            if t.arity != len(child_state_sets):
+                continue
+            if all(
+                t.children[i] in child_state_sets[i]
+                for i in range(t.arity)
+            ):
+                result.add(t.target)
+        return result
+
+    def accepts(self, code: TreeCode) -> bool:
+        """Whether some run labels the root with a final state."""
+        if code.width != self.width:
+            return False
+        return bool(self._states_of(code.root) & self.final)
+
+    # ------------------------------------------------------------------
+    # emptiness and witnesses
+    # ------------------------------------------------------------------
+    def witness(self) -> Optional[TreeCode]:
+        """An accepted tree code, or None when the language is empty."""
+        inhabited: dict = {}
+        changed = True
+        while changed:
+            changed = False
+            for t in self.transitions:
+                if t.target in inhabited:
+                    continue
+                if all(c in inhabited for c in t.children):
+                    node = CodeNode(
+                        t.symbol[0],
+                        tuple(
+                            (emap, inhabited[c])
+                            for emap, c in zip(t.symbol[1], t.children)
+                        ),
+                    )
+                    inhabited[t.target] = node
+                    changed = True
+        for q in self.final:
+            if q in inhabited:
+                return TreeCode(inhabited[q], self.width)
+        return None
+
+    def is_empty(self) -> bool:
+        return self.witness() is None
+
+    # ------------------------------------------------------------------
+    # closure operations
+    # ------------------------------------------------------------------
+    def product(self, other: "NTA") -> "NTA":
+        """Intersection (synchronized product)."""
+        if self.width != other.width:
+            raise ValueError("width mismatch in product")
+        transitions = []
+        for symbol, mine in self._by_symbol.items():
+            theirs = other._by_symbol.get(symbol, ())
+            for t1 in mine:
+                for t2 in theirs:
+                    if t1.arity != t2.arity:
+                        continue
+                    transitions.append(
+                        Transition(
+                            tuple(zip(t1.children, t2.children)),
+                            symbol,
+                            (t1.target, t2.target),
+                        )
+                    )
+        final = {
+            (q1, q2) for q1 in self.final for q2 in other.final
+        }
+        return NTA(transitions, final, self.width)
+
+    def union(self, other: "NTA") -> "NTA":
+        """Union via disjoint renaming of states."""
+        if self.width != other.width:
+            raise ValueError("width mismatch in union")
+        transitions = [
+            Transition(
+                tuple(("L", c) for c in t.children), t.symbol, ("L", t.target)
+            )
+            for t in self.transitions
+        ] + [
+            Transition(
+                tuple(("R", c) for c in t.children), t.symbol, ("R", t.target)
+            )
+            for t in other.transitions
+        ]
+        final = {("L", q) for q in self.final} | {
+            ("R", q) for q in other.final
+        }
+        return NTA(transitions, final, self.width)
+
+    def project(self, keep_predicates) -> "NTA":
+        """Projection onto a sub-signature (Prop. 5).
+
+        Marks of relations outside ``keep_predicates`` are erased from
+        every symbol; states and finality are unchanged, so the language
+        is exactly the projection of the original language.
+        """
+        keep = set(keep_predicates)
+        transitions = [
+            Transition(
+                t.children,
+                (
+                    frozenset(m for m in t.symbol[0] if m[0] in keep),
+                    t.symbol[1],
+                ),
+                t.target,
+            )
+            for t in self.transitions
+        ]
+        return NTA(transitions, self.final, self.width)
+
+    def map_symbols(self, fn: Callable[[Symbol], Symbol]) -> "NTA":
+        """Relabel symbols by an arbitrary function."""
+        return NTA(
+            [
+                Transition(t.children, fn(t.symbol), t.target)
+                for t in self.transitions
+            ],
+            self.final,
+            self.width,
+        )
+
+    def trim(self) -> "NTA":
+        """Remove transitions not both inhabited and co-reachable."""
+        inhabited: set = set()
+        changed = True
+        while changed:
+            changed = False
+            for t in self.transitions:
+                if t.target not in inhabited and all(
+                    c in inhabited for c in t.children
+                ):
+                    inhabited.add(t.target)
+                    changed = True
+        useful = set(q for q in self.final if q in inhabited)
+        changed = True
+        while changed:
+            changed = False
+            for t in self.transitions:
+                if t.target in useful:
+                    for c in t.children:
+                        if c in inhabited and c not in useful:
+                            useful.add(c)
+                            changed = True
+        transitions = [
+            t
+            for t in self.transitions
+            if t.target in useful and all(c in useful for c in t.children)
+        ]
+        return NTA(transitions, useful & self.final, self.width)
+
+    # ------------------------------------------------------------------
+    # enumeration
+    # ------------------------------------------------------------------
+    def accepted_trees(self, max_size: int) -> Iterator[TreeCode]:
+        """All accepted trees with at most ``max_size`` nodes.
+
+        Dynamic programming by size; the stream is finite and exhaustive
+        up to the bound (used by bounded determinacy checking and tests).
+        """
+        by_size: dict[int, dict] = defaultdict(lambda: defaultdict(list))
+        for size in range(1, max_size + 1):
+            for t in self.transitions:
+                if t.arity == 0:
+                    if size == 1:
+                        node = CodeNode(t.symbol[0], ())
+                        by_size[1][t.target].append(node)
+                    continue
+                # partitions of size-1 among children
+                for split in _compositions(size - 1, t.arity):
+                    options = []
+                    feasible = True
+                    for child_state, child_size in zip(t.children, split):
+                        trees = by_size[child_size].get(child_state, [])
+                        if not trees:
+                            feasible = False
+                            break
+                        options.append(trees)
+                    if not feasible:
+                        continue
+                    for combo in iproduct(*options):
+                        node = CodeNode(
+                            t.symbol[0],
+                            tuple(
+                                (emap, sub)
+                                for emap, sub in zip(t.symbol[1], combo)
+                            ),
+                        )
+                        by_size[size][t.target].append(node)
+            for q in self.final:
+                for node in by_size[size].get(q, ()):
+                    yield TreeCode(node, self.width)
+
+
+def _compositions(total: int, parts: int) -> Iterator[tuple[int, ...]]:
+    """All ways to write ``total`` as an ordered sum of ``parts`` positives."""
+    if parts == 0:
+        if total == 0:
+            yield ()
+        return
+    if parts == 1:
+        if total >= 1:
+            yield (total,)
+        return
+    for first in range(1, total - parts + 2):
+        for rest in _compositions(total - first, parts - 1):
+            yield (first,) + rest
+
+
+# ---------------------------------------------------------------------------
+# symbolic deterministic automata
+# ---------------------------------------------------------------------------
+
+
+class SymbolicDTA(Protocol):
+    """A deterministic bottom-up automaton given by functions.
+
+    Used for automata whose state space is huge but whose reachable part
+    is small (e.g. the CQ-match automaton): the transition function is
+    *computed* from the symbol rather than tabulated, which also gives
+    complementation for free (negate ``is_final``).
+    """
+
+    def leaf(self, symbol: Symbol) -> object: ...
+
+    def step(self, child_states: tuple, symbol: Symbol) -> object: ...
+
+    def is_final(self, state: object) -> bool: ...
+
+
+def run_symbolic(dta: SymbolicDTA, code: TreeCode) -> object:
+    """The (unique) state the symbolic automaton reaches at the root."""
+
+    def walk(node: CodeNode):
+        if not node.children:
+            return dta.leaf(node.label())
+        child_states = tuple(walk(child) for _, child in node.children)
+        return dta.step(child_states, node.label())
+
+    return walk(code.root)
+
+
+def emptiness_against(
+    nta: NTA,
+    dta: SymbolicDTA,
+    accept_pair: Callable[[bool, object], bool],
+    max_pairs: int = 200_000,
+) -> Optional[TreeCode]:
+    """A tree accepted by ``nta`` whose ``dta`` root state satisfies
+    ``accept_pair(nta_state_is_final, dta_state)`` — or None.
+
+    This is the product-emptiness of ``nta`` with the (possibly
+    complemented) symbolic automaton, computed over reachable pairs only.
+    ``max_pairs`` guards against blow-up; exceeding it raises.
+    """
+    # inhabited: (nta_state, dta_state) -> witness CodeNode
+    inhabited: dict = {}
+    by_nta_state: dict = defaultdict(list)
+
+    def add(pair, node) -> bool:
+        if pair in inhabited:
+            return False
+        if len(inhabited) >= max_pairs:
+            raise RuntimeError(
+                f"emptiness_against exceeded {max_pairs} reachable pairs"
+            )
+        inhabited[pair] = node
+        by_nta_state[pair[0]].append(pair)
+        return True
+
+    changed = True
+    while changed:
+        changed = False
+        for t in nta.transitions:
+            if t.arity == 0:
+                s = dta.leaf(t.symbol)
+                node = CodeNode(t.symbol[0], ())
+                if add((t.target, s), node):
+                    changed = True
+                continue
+            pools = [by_nta_state.get(c, ()) for c in t.children]
+            if any(not pool for pool in pools):
+                continue
+            for combo in iproduct(*[list(p) for p in pools]):
+                child_dta = tuple(pair[1] for pair in combo)
+                s = dta.step(child_dta, t.symbol)
+                node = CodeNode(
+                    t.symbol[0],
+                    tuple(
+                        (emap, inhabited[pair])
+                        for emap, pair in zip(t.symbol[1], combo)
+                    ),
+                )
+                if add((t.target, s), node):
+                    changed = True
+    for (q, s), node in inhabited.items():
+        if q in nta.final and accept_pair(True, s):
+            return TreeCode(node, nta.width)
+    return None

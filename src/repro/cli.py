@@ -1,0 +1,173 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+* ``decide``  — monotonic determinacy of a query over views
+* ``rewrite`` — compute a rewriting (UCQ for CQ/UCQ queries, inverse
+  rules for recursive queries over CQ views)
+* ``certain`` — certain answers of a query over a view instance
+* ``eval``    — evaluate a query over an instance
+
+Inputs are files in the library's text syntax (see
+:mod:`repro.core.parser`).  A *query file* contains Datalog rules plus a
+directive line ``# goal: <Pred>`` (absent: the file is parsed as a
+single CQ).  A *views file* contains blocks separated by ``# view:
+<Name>`` directives, each holding one CQ (single rule) or Datalog
+program with ``# goal:``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.cq import ConjunctiveQuery
+from repro.core.datalog import DatalogQuery
+from repro.core.parser import parse_cq, parse_instance, parse_program
+from repro.views.view import View, ViewSet
+
+
+def _parse_query_text(text: str):
+    goal = None
+    lines = []
+    for line in text.splitlines():
+        stripped = line.strip()
+        if stripped.startswith("# goal:"):
+            goal = stripped.split(":", 1)[1].strip()
+        else:
+            lines.append(line)
+    body = "\n".join(lines)
+    if goal is None:
+        return parse_cq(body)
+    return DatalogQuery(parse_program(body), goal)
+
+
+def load_query(path: str):
+    return _parse_query_text(Path(path).read_text())
+
+
+def load_views(path: str) -> ViewSet:
+    text = Path(path).read_text()
+    blocks: list[tuple[str, list[str]]] = []
+    current: tuple[str, list[str]] | None = None
+    for line in text.splitlines():
+        stripped = line.strip()
+        if stripped.startswith("# view:"):
+            name = stripped.split(":", 1)[1].strip()
+            current = (name, [])
+            blocks.append(current)
+        elif current is not None:
+            current[1].append(line)
+    if not blocks:
+        raise SystemExit("views file needs at least one '# view:' block")
+    views = []
+    for name, lines in blocks:
+        views.append(View(name, _parse_query_text("\n".join(lines))))
+    return ViewSet(views)
+
+
+def cmd_decide(args: argparse.Namespace) -> int:
+    from repro.determinacy.checker import decide_monotonic_determinacy
+
+    query = load_query(args.query)
+    views = load_views(args.views)
+    result = decide_monotonic_determinacy(
+        query, views, approx_depth=args.depth
+    )
+    print(f"verdict : {result.verdict.value}")
+    print(f"method  : {result.method}")
+    print(f"detail  : {result.detail}")
+    if result.counterexample is not None:
+        print("--- counterexample (failing canonical test) ---")
+        print(result.counterexample.describe())
+    return 0 if result.verdict.value != "no" else 1
+
+
+def cmd_rewrite(args: argparse.Namespace) -> int:
+    query = load_query(args.query)
+    views = load_views(args.views)
+    if isinstance(query, ConjunctiveQuery):
+        from repro.rewriting.forward_backward import (
+            NotRewritableError,
+            rewrite_forward_backward,
+        )
+
+        try:
+            rewriting = rewrite_forward_backward(query, views)
+        except NotRewritableError as exc:
+            print(f"not rewritable: {exc}", file=sys.stderr)
+            return 1
+        for disjunct in rewriting.disjuncts:
+            print(repr(disjunct))
+        return 0
+    from repro.rewriting.datalog_rewriting import datalog_rewriting
+
+    rewriting = datalog_rewriting(query, views)
+    print(f"# goal: {rewriting.goal}")
+    for rule in rewriting.program.rules:
+        print(repr(rule))
+    return 0
+
+
+def cmd_certain(args: argparse.Namespace) -> int:
+    from repro.views.inverse_rules import certain_answers
+
+    query = load_query(args.query)
+    if isinstance(query, ConjunctiveQuery):
+        raise SystemExit("certain answers need a Datalog query file")
+    views = load_views(args.views)
+    view_instance = parse_instance(Path(args.instance).read_text())
+    for row in sorted(
+        certain_answers(query, views, view_instance), key=repr
+    ):
+        print(row)
+    return 0
+
+
+def cmd_eval(args: argparse.Namespace) -> int:
+    query = load_query(args.query)
+    instance = parse_instance(Path(args.instance).read_text())
+    for row in sorted(query.evaluate(instance), key=repr):
+        print(row)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="monotonic determinacy & rewritability toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    decide = sub.add_parser("decide", help="decide monotonic determinacy")
+    decide.add_argument("query")
+    decide.add_argument("views")
+    decide.add_argument("--depth", type=int, default=4)
+    decide.set_defaults(func=cmd_decide)
+
+    rewrite = sub.add_parser("rewrite", help="compute a rewriting")
+    rewrite.add_argument("query")
+    rewrite.add_argument("views")
+    rewrite.set_defaults(func=cmd_rewrite)
+
+    certain = sub.add_parser("certain", help="certain answers")
+    certain.add_argument("query")
+    certain.add_argument("views")
+    certain.add_argument("instance")
+    certain.set_defaults(func=cmd_certain)
+
+    evaluate = sub.add_parser("eval", help="evaluate a query")
+    evaluate.add_argument("query")
+    evaluate.add_argument("instance")
+    evaluate.set_defaults(func=cmd_eval)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

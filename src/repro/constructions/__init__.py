@@ -1,0 +1,72 @@
+"""Every concrete construction from the paper (§6, §7, appendix)."""
+
+from repro.constructions.grids import cross, grid_graph, grid_instance
+from repro.constructions.tiling import (
+    TilingProblem,
+    solvable_example,
+    unsolvable_example,
+)
+from repro.constructions.reduction_thm6 import (
+    axes_instance,
+    grid_test_instance,
+    ha_cq,
+    thm6_query,
+    thm6_views,
+    tile_predicates,
+    va_cq,
+)
+from repro.constructions.tp_star import (
+    abstract_tiles,
+    psi,
+    tp_star,
+    walk_tile_assignment,
+)
+from repro.constructions.diamonds import (
+    diamond_chain,
+    diamond_query,
+    diamond_views,
+    long_row_cq,
+    unravelled_counterexample,
+)
+from repro.constructions.thm8 import (
+    Thm8Witness,
+    build_witness,
+    grid_untilable_up_to,
+    w_instance_from_unravelling,
+)
+from repro.constructions.machines import (
+    TuringMachine,
+    counter_machine,
+    counter_run,
+    encode_run,
+    machine_tables,
+    run_string,
+)
+from repro.constructions.thm9 import (
+    TuringSeparator,
+    thm9_query,
+    thm9_views,
+)
+from repro.constructions.example1 import (
+    chain_instance,
+    example1_query,
+    paper_rewriting_v0_v2,
+    paper_rewriting_v3_v4,
+    views_v0_v2,
+    views_v3_v4,
+)
+
+__all__ = [
+    "cross", "grid_graph", "grid_instance", "TilingProblem",
+    "solvable_example", "unsolvable_example", "axes_instance",
+    "grid_test_instance", "ha_cq", "thm6_query", "thm6_views",
+    "tile_predicates", "va_cq", "abstract_tiles", "psi", "tp_star",
+    "walk_tile_assignment", "diamond_chain", "diamond_query",
+    "diamond_views", "long_row_cq", "unravelled_counterexample",
+    "Thm8Witness", "build_witness", "grid_untilable_up_to",
+    "w_instance_from_unravelling", "TuringMachine", "counter_machine",
+    "counter_run", "encode_run", "machine_tables", "run_string",
+    "TuringSeparator", "thm9_query", "thm9_views", "chain_instance",
+    "example1_query", "paper_rewriting_v0_v2", "paper_rewriting_v3_v4",
+    "views_v0_v2", "views_v3_v4",
+]

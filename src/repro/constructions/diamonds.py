@@ -1,0 +1,144 @@
+"""The diamond construction of Theorem 7 (Figures 3 and 4).
+
+An MDL query ``Q`` walking a chain of A/B/C/D-"diamonds" from an
+``M``-marked source to a ``U``-marked sink, and CQ views ``S, R, T``
+over which ``Q`` is Datalog-rewritable (inverse rules) but **not**
+MDL-rewritable.  The separating instances:
+
+* ``I_k`` — a chain of ``k+1`` diamonds (``Q`` holds);
+* ``J_k = V(I_k)`` — its view image (Figure 3(b));
+* ``J'_k`` — a (1,k)-unravelling of ``J_k`` (truncated here);
+* ``I'_k`` — the inverse-rules chase of ``J'_k`` (``Q`` fails: any
+  S-to-T path needs ``k+1`` R-hops, but in the unravelling the
+  long row of R-rectangles of Figure 4 cannot be realized).
+"""
+
+from __future__ import annotations
+
+from repro.core.atoms import Atom
+from repro.core.cq import ConjunctiveQuery
+from repro.core.datalog import DatalogProgram, DatalogQuery, Rule
+from repro.core.instance import Instance
+from repro.core.terms import variables
+from repro.views.view import View, ViewSet
+from repro.views.inverse_rules import chase_with_inverse_rules
+from repro.games.unravelling import Unravelling, unravel
+
+
+def diamond_query() -> DatalogQuery:
+    """The MDL query of Thm 7."""
+    x, y, z, v = variables("x y z v")
+    diamond = (
+        Atom("A", (x, y)),
+        Atom("B", (y, v)),
+        Atom("C", (x, z)),
+        Atom("D", (z, v)),
+    )
+    rules = (
+        Rule(Atom("W", (x,)), diamond + (Atom("U", (v,)),)),
+        Rule(Atom("W", (x,)), diamond + (Atom("W", (v,)),)),
+        Rule(Atom("Goal", ()), (Atom("W", (x,)), Atom("M", (x,)))),
+    )
+    return DatalogQuery(DatalogProgram(rules), "Goal", "Q_diamond")
+
+
+def diamond_views() -> ViewSet:
+    """The CQ views ``S, R, T`` of Thm 7."""
+    x, y, z, v = variables("x y z v")
+    y2, z2 = variables("y2 z2")
+    return ViewSet(
+        [
+            View(
+                "S",
+                ConjunctiveQuery(
+                    (x, y, z),
+                    (
+                        Atom("M", (x,)),
+                        Atom("A", (x, y)),
+                        Atom("C", (x, z)),
+                    ),
+                    "S",
+                ),
+            ),
+            View(
+                "R",
+                ConjunctiveQuery(
+                    (y, z, y2, z2),
+                    (
+                        Atom("B", (y, v)),
+                        Atom("D", (z, v)),
+                        Atom("A", (v, y2)),
+                        Atom("C", (v, z2)),
+                    ),
+                    "R",
+                ),
+            ),
+            View(
+                "T",
+                ConjunctiveQuery(
+                    (y, z, v),
+                    (
+                        Atom("U", (v,)),
+                        Atom("B", (y, v)),
+                        Atom("D", (z, v)),
+                    ),
+                    "T",
+                ),
+            ),
+        ]
+    )
+
+
+def diamond_chain(diamonds: int) -> Instance:
+    """``I_k``-style chain with the given number of diamonds.
+
+    Elements: hubs ``p0 .. p_n`` with ``M(p0)`` and ``U(p_n)``; diamond
+    ``i`` links ``p_i`` to ``p_{i+1}`` through ``a_i`` (A/B) and ``c_i``
+    (C/D).
+    """
+    if diamonds < 1:
+        raise ValueError("need at least one diamond")
+    out = Instance()
+    out.add_tuple("M", (("p", 0),))
+    for i in range(diamonds):
+        out.add_tuple("A", (("p", i), ("a", i)))
+        out.add_tuple("B", (("a", i), ("p", i + 1)))
+        out.add_tuple("C", (("p", i), ("c", i)))
+        out.add_tuple("D", (("c", i), ("p", i + 1)))
+    out.add_tuple("U", (("p", diamonds),))
+    return out
+
+
+def long_row_cq(length: int) -> ConjunctiveQuery:
+    """The Figure 4 pattern: a row of ``length`` R-rectangles."""
+    atoms = []
+    head: list = []
+    ys = [variables(f"y{i}")[0] for i in range(length + 1)]
+    zs = [variables(f"z{i}")[0] for i in range(length + 1)]
+    for i in range(length):
+        atoms.append(Atom("R", (ys[i], zs[i], ys[i + 1], zs[i + 1])))
+    return ConjunctiveQuery(tuple(head), tuple(atoms), f"row{length}")
+
+
+def unravelled_counterexample(
+    k: int, depth: int, max_nodes: int = 200_000
+) -> tuple[Instance, Instance, Unravelling]:
+    """``(J_k, I'_k, unravelling)`` for the Thm 7 argument.
+
+    ``J_k`` is the view image of the ``k+1``-diamond chain; the second
+    component is the inverse-rules chase of the depth-``depth``
+    truncation of its (1,k)-unravelling.
+    """
+    chain = diamond_chain(k + 1)
+    views = diamond_views()
+    image = views.image(chain)
+    unravelling = unravel(
+        image,
+        max(k, 4),  # bags must fit the arity-4 R-facts
+        depth,
+        frontier_one=True,
+        max_nodes=max_nodes,
+        scenes="fact-supported",
+    )
+    chased = chase_with_inverse_rules(views, unravelling.instance)
+    return image, chased, unravelling

@@ -1,0 +1,117 @@
+"""Example 1 of the paper, end to end.
+
+A Boolean Datalog query over a ternary ``T``, binary ``B`` and unary
+``U1``/``U2``, with two view families:
+
+* ``V0–V2`` (CQ views): the paper's Datalog rewriting replaces the
+  recursive rule body by ``V0`` and the unary atoms by ``V1``/``V2``;
+* ``V3``/``V4`` (a CQ view + a recursive FGDL view): the paper's
+  rewriting is the single CQ ``∃y z  V3(y, z) ∧ V4(y, z)``.
+
+Both claimed rewritings are constructed here and verified by the EX1
+benchmark against direct evaluation on generated instances.
+"""
+
+from __future__ import annotations
+
+from repro.core.cq import ConjunctiveQuery
+from repro.core.datalog import DatalogQuery
+from repro.core.instance import Instance
+from repro.core.parser import parse_cq, parse_program
+from repro.views.view import View, ViewSet
+
+
+def example1_query() -> DatalogQuery:
+    """The query ``Q`` of Example 1."""
+    program = parse_program(
+        """
+        GoalQ() <- U1(x), W1(x).
+        W1(x) <- T(x,y,z), B(z,w), B(y,w), W1(w).
+        W1(x) <- U2(x).
+        """
+    )
+    return DatalogQuery(program, "GoalQ", "Q_ex1")
+
+
+def views_v0_v2() -> ViewSet:
+    """The CQ views ``V0, V1, V2``."""
+    return ViewSet(
+        [
+            View("V0", parse_cq("V(x,w) <- T(x,y,z), B(z,w), B(y,w)", "V0")),
+            View("V1", parse_cq("V(x) <- U1(x)", "V1")),
+            View("V2", parse_cq("V(x) <- U2(x)", "V2")),
+        ]
+    )
+
+
+def views_v3_v4() -> ViewSet:
+    """The CQ view ``V3`` and the recursive FGDL view ``V4``."""
+    v3 = View("V3", parse_cq("V(y,z) <- U1(x), T(x,y,z)", "V3"))
+    v4_program = parse_program(
+        """
+        GoalV4(y,z) <- T(x,y,z), B(z,w), B(y,w), T(w,q,r), GoalV4(q,r).
+        GoalV4(y,z) <- B(y,w), B(z,w), U2(w).
+        """
+    )
+    v4 = View("V4", DatalogQuery(v4_program, "GoalV4", "V4"))
+    return ViewSet([v3, v4])
+
+
+def paper_rewriting_v0_v2() -> DatalogQuery:
+    """The paper's Datalog rewriting over ``V0–V2``."""
+    program = parse_program(
+        """
+        GoalR() <- V1(x), W1(x).
+        W1(x) <- V0(x,w), W1(w).
+        W1(x) <- V2(x).
+        """
+    )
+    return DatalogQuery(program, "GoalR", "Q_ex1_rw")
+
+
+def paper_rewriting_v3_v4() -> ConjunctiveQuery:
+    """The paper's CQ rewriting over ``V3``/``V4``."""
+    return parse_cq("R() <- V3(y,z), V4(y,z)", "Q_ex1_cq_rw")
+
+
+def views_v3_v4_repaired() -> ViewSet:
+    """Erratum E1 repair: expose the zero-iteration case via ``V5``.
+
+    With ``V5(x) ← U1(x), U2(x)`` added, ``Q`` *is* monotonically
+    determined over the views and the UCQ rewriting of
+    :func:`repaired_rewriting_v3_v5` is exact.
+    """
+    base = views_v3_v4()
+    v5 = View("V5", parse_cq("V(x) <- U1(x), U2(x)", "V5"))
+    return ViewSet(list(base) + [v5])
+
+
+def repaired_rewriting_v3_v5():
+    """The UCQ rewriting over the repaired view set."""
+    from repro.core.parser import parse_ucq
+
+    return parse_ucq(
+        """
+        R() <- V3(y,z), V4(y,z).
+        R() <- V5(x).
+        """,
+        "Q_ex1_ucq_rw",
+    )
+
+
+def chain_instance(links: int, closed: bool = True) -> Instance:
+    """A ``T``/``B`` chain exercising the recursion.
+
+    ``links`` diamonds ``T(p_i, a_i, b_i), B(b_i, p_{i+1}),
+    B(a_i, p_{i+1})`` with ``U1`` at the start and — when ``closed`` —
+    ``U2`` at the end (so ``Q`` holds exactly when ``closed``).
+    """
+    out = Instance()
+    out.add_tuple("U1", (("p", 0),))
+    for i in range(links):
+        out.add_tuple("T", (("p", i), ("a", i), ("b", i)))
+        out.add_tuple("B", (("b", i), ("p", i + 1)))
+        out.add_tuple("B", (("a", i), ("p", i + 1)))
+    if closed:
+        out.add_tuple("U2", (("p", links),))
+    return out

@@ -1,0 +1,54 @@
+"""Grid structures (§6, §7).
+
+* ``Igrid(n, m)`` — the database instance over ``δ = {H, V, I, F}``
+  whose domain is the ``n × m`` grid, with horizontal/vertical successor
+  relations and initial/final markers at the corners (Thm 8).
+* :func:`grid_graph` — the grid graph ``G_{n,m}`` (Gaifman graph of the
+  grid instance), used by the TP* construction of Lemma 6.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.core.instance import Instance
+
+DELTA_SCHEMA = {"H": 2, "V": 2, "I": 1, "F": 1}
+
+
+def grid_instance(n: int, m: int) -> Instance:
+    """``Igrid(n, m)``: domain ``{(i, j)}``, 1-based as in the paper."""
+    if n < 1 or m < 1:
+        raise ValueError("grid dimensions must be positive")
+    out = Instance()
+    out.add_tuple("I", ((1, 1),))
+    out.add_tuple("F", ((n, m),))
+    for j in range(1, m + 1):
+        for i in range(1, n):
+            out.add_tuple("H", ((i, j), (i + 1, j)))
+    for i in range(1, n + 1):
+        for j in range(1, m):
+            out.add_tuple("V", ((i, j), (i, j + 1)))
+    return out
+
+
+def grid_graph(n: int, m: int) -> nx.Graph:
+    """The grid graph ``G_{n,m}`` (undirected)."""
+    graph = nx.Graph()
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            graph.add_node((i, j))
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            if i < n:
+                graph.add_edge((i, j), (i + 1, j))
+            if j < m:
+                graph.add_edge((i, j), (i, j + 1))
+    return graph
+
+
+def cross(n: int, m: int, p: int, q: int) -> set:
+    """The ``(p, q)``-cross ``C_{p,q}`` of ``G_{n,m}`` (Claim 3)."""
+    return {(p, j) for j in range(1, m + 1)} | {
+        (i, q) for i in range(1, n + 1)
+    }

@@ -1,0 +1,243 @@
+"""Deterministic Turing machines and run-string encodings (Thm 9).
+
+Machines run on a fixed-length tape segment (configurations are padded
+to a common length), which keeps consecutive configurations aligned —
+the property the Datalog consistency-checking rules of
+:mod:`repro.constructions.thm9` rely on.
+
+A *run string* follows the paper's format::
+
+    ⊢ w ⊣ c_1 ; c_2 ; ... ; c_n ⊳
+
+with ``⊢ = σInpBegin``, ``⊣ = σInpEnd``, ``; = separator`` and
+``⊳ = σRunEnd``.  Each configuration ``c_i`` is the tape content with
+the symbol under the head replaced by a composite (state, symbol)
+letter.  :func:`encode_run` renders the run as a relational instance
+over ``Succ/U_a`` (input segment) and ``Succ'/U'_a`` (run segment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.instance import Instance
+
+LEFT, RIGHT, STAY = -1, 1, 0
+
+MARK_INP_BEGIN = "MInpBegin"
+MARK_INP_END = "MInpEnd"
+MARK_SEP = "MSep"
+MARK_RUN_END = "MRunEnd"
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """A machine configuration on a fixed-length tape."""
+
+    state: str
+    head: int
+    tape: tuple
+
+    def letters(self) -> tuple:
+        """The configuration as a string of letters; the head cell is a
+        composite ``("q", state, symbol)`` letter."""
+        out = []
+        for i, symbol in enumerate(self.tape):
+            if i == self.head:
+                out.append(("q", self.state, symbol))
+            else:
+                out.append(symbol)
+        return tuple(out)
+
+
+@dataclass(frozen=True)
+class TuringMachine:
+    """A deterministic single-tape machine on a bounded tape segment."""
+
+    states: tuple
+    input_alphabet: tuple
+    tape_alphabet: tuple
+    blank: str
+    start: str
+    accept: str
+    reject: str
+    transitions: dict = field(default_factory=dict)
+    # transitions: (state, symbol) -> (state, symbol, move)
+
+    def initial(self, word: tuple, tape_length: int) -> Configuration:
+        tape = tuple(word) + tuple(
+            self.blank for _ in range(tape_length - len(word))
+        )
+        return Configuration(self.start, 0, tape)
+
+    def halted(self, config: Configuration) -> bool:
+        return config.state in (self.accept, self.reject)
+
+    def step(self, config: Configuration) -> Configuration:
+        key = (config.state, config.tape[config.head])
+        if key not in self.transitions:
+            raise ValueError(f"no transition for {key}")
+        state, symbol, move = self.transitions[key]
+        tape = list(config.tape)
+        tape[config.head] = symbol
+        head = config.head + move
+        if not 0 <= head < len(tape):
+            raise ValueError("head left the bounded tape segment")
+        return Configuration(state, head, tuple(tape))
+
+    def run(
+        self, word: tuple, tape_length: Optional[int] = None,
+        max_steps: int = 100_000,
+    ) -> list[Configuration]:
+        """The full run (halting machines only; raises past the budget)."""
+        tape_length = tape_length or max(len(word) + 1, 2)
+        config = self.initial(word, tape_length)
+        trace = [config]
+        for _ in range(max_steps):
+            if self.halted(config):
+                return trace
+            config = self.step(config)
+            trace.append(config)
+        raise RuntimeError(f"machine exceeded {max_steps} steps")
+
+    def accepts(self, word: tuple, **kwargs) -> bool:
+        return self.run(word, **kwargs)[-1].state == self.accept
+
+
+def run_string(word: tuple, trace: list[Configuration]) -> list:
+    """The run string: markers, input, and configuration letters."""
+    out: list = [MARK_INP_BEGIN]
+    out.extend(word)
+    out.append(MARK_INP_END)
+    for i, config in enumerate(trace):
+        if i:
+            out.append(MARK_SEP)
+        out.extend(config.letters())
+    out.append(MARK_RUN_END)
+    return out
+
+
+def letter_predicate(letter, primed: bool) -> str:
+    """The unary predicate name of a letter (markers are never primed)."""
+    if letter in (MARK_INP_BEGIN, MARK_INP_END, MARK_SEP, MARK_RUN_END):
+        return letter
+    prefix = "Up·" if primed else "U·"
+    if isinstance(letter, tuple):
+        return f"{prefix}q·{letter[1]}·{letter[2]}"
+    return f"{prefix}{letter}"
+
+
+def encode_run(
+    word: tuple,
+    trace: list[Configuration],
+    machine: Optional["TuringMachine"] = None,
+) -> Instance:
+    """Relational encoding of a run string.
+
+    Positions are integers.  Letters are carried by binary relations
+    ``Letter(p, a)`` (input segment) and ``Letter'(p, a)`` (run
+    segment); markers additionally get unary marks.  The input segment
+    (up to and including ``σInpEnd``) uses ``Succ`` edges, the rest
+    ``Succ'`` (the edge leaving ``σInpEnd`` already belongs to the run
+    segment).  When ``machine`` is given, its fixed local tables
+    (:func:`machine_tables`) are included — the re-encoding of the
+    paper's per-letter unary predicates documented in DESIGN.md §4.
+    """
+    letters = run_string(word, trace)
+    out = Instance()
+    inp_end = letters.index(MARK_INP_END)
+    for pos, letter in enumerate(letters):
+        if letter in (MARK_INP_BEGIN, MARK_INP_END, MARK_SEP, MARK_RUN_END):
+            out.add_tuple(letter, (pos,))
+        if pos <= inp_end:
+            out.add_tuple("Letter", (pos, letter))
+        if pos >= inp_end:
+            out.add_tuple("Letter·p", (pos, letter))
+        if pos + 1 < len(letters):
+            succ = "Succ" if pos < inp_end else "Succ·p"
+            out.add_tuple(succ, (pos, pos + 1))
+    if machine is not None:
+        from repro.constructions.thm9 import letter_class_tables
+
+        out.update(machine_tables(machine).facts())
+        out.update(letter_class_tables(machine).facts())
+    return out
+
+
+def machine_tables(machine: "TuringMachine") -> Instance:
+    """The machine's fixed local tables as relations.
+
+    * ``Step·T(a, b, c, d)`` — in consecutive configurations, the letter
+      below ``b`` (with neighbours ``a``, ``c``) must be ``d``;
+    * ``Init·T(a, b)`` — the first configuration's head letter for input
+      letter ``a``;
+    * ``Diff·T(a, b)`` — letter inequality (positive encoding of ≠).
+    """
+    from repro.constructions.thm9 import _config_letters, _expected_letter
+
+    out = Instance()
+    config_letters = _config_letters(machine)
+    boundary = [MARK_SEP, MARK_INP_END, MARK_RUN_END]
+    window_side = config_letters + boundary
+    for a in window_side:
+        for b in config_letters:
+            for c in window_side:
+                heads = sum(
+                    1 for x in (a, b, c) if isinstance(x, tuple)
+                )
+                if heads > 1 or a == MARK_RUN_END or c == MARK_INP_END:
+                    continue
+                expected = _expected_letter(machine, a, b, c)
+                if expected is not None:
+                    out.add_tuple("Step·T", (a, b, c, expected))
+    for a in machine.input_alphabet:
+        out.add_tuple("Init·T", (a, ("q", machine.start, a)))
+    everything = config_letters + boundary
+    for a in everything:
+        for b in everything:
+            if a != b:
+                out.add_tuple("Diff·T", (a, b))
+    return out
+
+
+def counter_machine(bits: int) -> TuringMachine:
+    """A binary up-counter: runs ``Θ(2^bits)`` steps then accepts.
+
+    Input: ``bits`` zeros.  Repeatedly increments the binary number on
+    the tape until it overflows, then accepts — a concrete machine with
+    exponential running time for the Thm 9 separator experiment.
+    """
+    # states: scan right to the blank end (s), increment from the right
+    # (i), rewind to the left marker (r); accept when the carry reaches
+    # the "#" end marker (overflow).
+    transitions = {
+        ("s", "#"): ("s", "#", RIGHT),
+        ("s", "0"): ("s", "0", RIGHT),
+        ("s", "1"): ("s", "1", RIGHT),
+        ("s", "_"): ("i", "_", LEFT),
+        ("i", "0"): ("r", "1", LEFT),
+        ("i", "1"): ("i", "0", LEFT),
+        ("i", "#"): ("acc", "#", STAY),  # carry fell off: overflow
+        ("r", "0"): ("r", "0", LEFT),
+        ("r", "1"): ("r", "1", LEFT),
+        ("r", "#"): ("s", "#", RIGHT),
+    }
+    return TuringMachine(
+        states=("s", "i", "r", "acc", "rej"),
+        input_alphabet=("#", "0", "1"),
+        tape_alphabet=("#", "0", "1", "_"),
+        blank="_",
+        start="s",
+        accept="acc",
+        reject="rej",
+        transitions=transitions,
+    )
+
+
+def counter_run(bits: int, max_steps: int = 1_000_000):
+    """Word + trace of the counter machine on ``bits`` zero bits."""
+    machine = counter_machine(bits)
+    word = ("#",) + tuple("0" for _ in range(bits))
+    trace = machine.run(word, tape_length=bits + 2, max_steps=max_steps)
+    return machine, word, trace

@@ -1,0 +1,364 @@
+"""The §6 reduction: tiling → monotonic determinacy for MDL queries and
+UCQ views (Thm 6, Prop. 10, Figures 1 and 2).
+
+Given a tiling problem ``TP`` we build the MDL query ``Q_TP`` (rules
+(1)–(11)) and the UCQ views ``V_TP`` (grid-generating view ``S``, atomic
+views, special views) such that ``Q_TP`` is *not* monotonically
+determined by ``V_TP`` iff ``TP`` has a solution.
+
+Conventions (the paper's figures are internally inconsistent about the
+orientation of ``C``/``D``; we fix one orientation and use it
+everywhere):
+
+* the x-axis is an ``XSucc``-chain marked ``C`` and terminated ``XEnd``;
+* the y-axis is a ``YSucc``-chain marked ``D`` and terminated ``YEnd``;
+* grid points project onto the axes via ``XProj(x, z)``/``YProj(y, z)``;
+* the grid-generating view produces ``S(x-point, y-point)``.
+
+Three corrections to the paper's rule listing (flagged in
+EXPERIMENTS.md): rule (10) reads ``YSucc(y, z)`` where the matching view
+``V_I`` and the Thm 8 case analysis require ``YProj(y, z)``; the CQ
+``VA`` reads ``XSucc(y1, y2)`` where Figure 1(b) shows ``YSucc``; and the
+base rules (3)/(5) are strengthened to ``A(x) ← XSucc(x,x'), XEnd(x'),
+C(x')`` (symmetrically for ``B``) so that every ``Qstart`` expansion has
+both axes non-empty — with the paper's bare ``A(x) ← XEnd(x)`` base, the
+degenerate expansion "marked x-axis + zero-length y-axis" has an *empty*
+``S`` view, its ``C`` marks become invisible, and the resulting canonical
+test fails even for unsolvable tiling problems, breaking Prop. 10's "⇒"
+direction.  Our checker found this counterexample automatically; the
+strengthened base rules restore the intended equivalence.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.core.atoms import Atom
+from repro.core.cq import ConjunctiveQuery
+from repro.core.datalog import DatalogProgram, DatalogQuery, Rule
+from repro.core.instance import Instance
+from repro.core.terms import variables
+from repro.core.ucq import UCQ
+from repro.views.view import View, ViewSet
+from repro.constructions.tiling import TilingProblem
+
+GOAL = "Goal"
+
+
+def tile_predicates(tp: TilingProblem) -> dict:
+    """Stable names ``T0, T1, ...`` for the tiles."""
+    return {tile: f"T{i}" for i, tile in enumerate(tp.tiles)}
+
+
+def ha_cq() -> ConjunctiveQuery:
+    """``HA(z1, z2, x1, x2, y)``: z2 is the right neighbour of z1."""
+    z1, z2, x1, x2, y = variables("z1 z2 x1 x2 y")
+    return ConjunctiveQuery(
+        (z1, z2, x1, x2, y),
+        (
+            Atom("YProj", (y, z1)),
+            Atom("YProj", (y, z2)),
+            Atom("XProj", (x1, z1)),
+            Atom("XProj", (x2, z2)),
+            Atom("XSucc", (x1, x2)),
+        ),
+        "HA",
+    )
+
+
+def va_cq() -> ConjunctiveQuery:
+    """``VA(z1, z2, x, y1, y2)``: z2 is the upper neighbour of z1."""
+    z1, z2, x, y1, y2 = variables("z1 z2 x y1 y2")
+    return ConjunctiveQuery(
+        (z1, z2, x, y1, y2),
+        (
+            Atom("YProj", (y1, z1)),
+            Atom("YProj", (y2, z2)),
+            Atom("XProj", (x, z1)),
+            Atom("XProj", (x, z2)),
+            Atom("YSucc", (y1, y2)),
+        ),
+        "VA",
+    )
+
+
+def thm6_query(tp: TilingProblem) -> DatalogQuery:
+    """``Q_TP``: the MDL query with rules (1)–(11)."""
+    preds = tile_predicates(tp)
+    x, x2, y, y2, u, z, z1, z2, o = variables("x x2 y y2 u z z1 z2 o")
+    x1v, x2v, y1v = variables("xa xb ya")
+
+    rules = [
+        # (1)-(5): Qstart — base rules strengthened, see module docstring
+        Rule(Atom("Qstart", ()), (Atom("A", (x,)), Atom("B", (x,)))),
+        Rule(
+            Atom("A", (x,)),
+            (Atom("XSucc", (x, x2)), Atom("A", (x2,)), Atom("C", (x2,))),
+        ),
+        Rule(
+            Atom("A", (x,)),
+            (Atom("XSucc", (x, x2)), Atom("XEnd", (x2,)), Atom("C", (x2,))),
+        ),
+        Rule(
+            Atom("B", (y,)),
+            (Atom("YSucc", (y, y2)), Atom("B", (y2,)), Atom("D", (y2,))),
+        ),
+        Rule(
+            Atom("B", (y,)),
+            (Atom("YSucc", (y, y2)), Atom("YEnd", (y2,)), Atom("D", (y2,))),
+        ),
+        # (6)-(7): Qhelper
+        Rule(
+            Atom("Qhelper", ()),
+            (Atom("C", (u,)), Atom("YProj", (y, z)), Atom("XProj", (x, z))),
+        ),
+        Rule(
+            Atom("Qhelper", ()),
+            (Atom("D", (u,)), Atom("YProj", (y, z)), Atom("XProj", (x, z))),
+        ),
+    ]
+
+    ha = ha_cq()
+    va = va_cq()
+    # (8): horizontal incompatibilities
+    for left in tp.tiles:
+        for right in tp.tiles:
+            if (left, right) in tp.horizontal:
+                continue
+            sub = dict(
+                zip(ha.head_vars, (z1, z2, x1v, x2v, y))
+            )
+            rules.append(
+                Rule(
+                    Atom("Qverify", ()),
+                    tuple(a.substitute(sub) for a in ha.atoms)
+                    + (
+                        Atom(preds[left], (z1,)),
+                        Atom(preds[right], (z2,)),
+                    ),
+                )
+            )
+    # (9): vertical incompatibilities
+    for below in tp.tiles:
+        for above in tp.tiles:
+            if (below, above) in tp.vertical:
+                continue
+            sub = dict(zip(va.head_vars, (z1, z2, x, y1v, y2)))
+            rules.append(
+                Rule(
+                    Atom("Qverify", ()),
+                    tuple(a.substitute(sub) for a in va.atoms)
+                    + (
+                        Atom(preds[below], (z1,)),
+                        Atom(preds[above], (z2,)),
+                    ),
+                )
+            )
+    # (10): wrong initial tile at (1,1)
+    for tile in tp.tiles:
+        if tile in tp.initial:
+            continue
+        rules.append(
+            Rule(
+                Atom("Qverify", ()),
+                (
+                    Atom("YSucc", (o, y)),
+                    Atom("YProj", (y, z)),
+                    Atom("XSucc", (o, x)),
+                    Atom("XProj", (x, z)),
+                    Atom(preds[tile], (z,)),
+                ),
+            )
+        )
+    # (11): wrong final tile at (n,m)
+    for tile in tp.tiles:
+        if tile in tp.final:
+            continue
+        rules.append(
+            Rule(
+                Atom("Qverify", ()),
+                (
+                    Atom("YEnd", (y,)),
+                    Atom("YProj", (y, z)),
+                    Atom(preds[tile], (z,)),
+                    Atom("XProj", (x, z)),
+                    Atom("XEnd", (x,)),
+                ),
+            )
+        )
+    # Goal: the disjunction Qstart ∨ Qhelper ∨ Qverify
+    for part in ("Qstart", "Qhelper", "Qverify"):
+        rules.append(Rule(Atom(GOAL, ()), (Atom(part, ()),)))
+    return DatalogQuery(DatalogProgram(tuple(rules)), GOAL, "Q_TP")
+
+
+def thm6_views(tp: TilingProblem) -> ViewSet:
+    """``V_TP``: grid-generating, atomic, and special views."""
+    preds = tile_predicates(tp)
+    x, y, z, u, o, z1, z2 = variables("x y z u o z1 z2")
+    x1, x2, y1, y2 = variables("x1 x2 y1 y2")
+
+    # grid-generating view S
+    s_disjuncts = [
+        ConjunctiveQuery((x, y), (Atom("C", (x,)), Atom("D", (y,))), "S0")
+    ]
+    for tile in tp.tiles:
+        s_disjuncts.append(
+            ConjunctiveQuery(
+                (x, y),
+                (
+                    Atom("XProj", (x, z)),
+                    Atom(preds[tile], (z,)),
+                    Atom("YProj", (y, z)),
+                ),
+                f"S·{preds[tile]}",
+            )
+        )
+    views = [View("S", UCQ(s_disjuncts, "S"))]
+
+    # atomic views
+    for pred, arity in (
+        ("YSucc", 2), ("XSucc", 2), ("YEnd", 1), ("XEnd", 1),
+    ):
+        args = (x, y)[:arity]
+        views.append(
+            View(
+                f"V{pred}",
+                ConjunctiveQuery(args, (Atom(pred, args),), f"V{pred}"),
+            )
+        )
+    for tile in tp.tiles:
+        views.append(
+            View(
+                f"V{preds[tile]}",
+                ConjunctiveQuery(
+                    (x,), (Atom(preds[tile], (x,)),), f"V{preds[tile]}"
+                ),
+            )
+        )
+
+    # special views
+    views.append(
+        View(
+            "VhelperC",
+            ConjunctiveQuery(
+                (u, x, y, z),
+                (
+                    Atom("C", (u,)),
+                    Atom("XProj", (x, z)),
+                    Atom("YProj", (y, z)),
+                ),
+                "VhelperC",
+            ),
+        )
+    )
+    views.append(
+        View(
+            "VhelperD",
+            ConjunctiveQuery(
+                (u, x, y, z),
+                (
+                    Atom("D", (u,)),
+                    Atom("XProj", (x, z)),
+                    Atom("YProj", (y, z)),
+                ),
+                "VhelperD",
+            ),
+        )
+    )
+    ha = ha_cq()
+    va = va_cq()
+    views.append(View("VHA", ConjunctiveQuery(ha.head_vars, ha.atoms, "VHA")))
+    views.append(View("VVA", ConjunctiveQuery(va.head_vars, va.atoms, "VVA")))
+    views.append(
+        View(
+            "VI",
+            ConjunctiveQuery(
+                (o, x, y, z),
+                (
+                    Atom("XSucc", (o, x)),
+                    Atom("XProj", (x, z)),
+                    Atom("YSucc", (o, y)),
+                    Atom("YProj", (y, z)),
+                ),
+                "VI",
+            ),
+        )
+    )
+    views.append(
+        View(
+            "VF",
+            ConjunctiveQuery(
+                (x, y, z),
+                (
+                    Atom("XProj", (x, z)),
+                    Atom("XEnd", (x,)),
+                    Atom("YEnd", (y,)),
+                    Atom("YProj", (y, z)),
+                ),
+                "VF",
+            ),
+        )
+    )
+    return ViewSet(views)
+
+
+# ---------------------------------------------------------------------------
+# concrete instances (Figures 1 and 2)
+# ---------------------------------------------------------------------------
+
+
+def axes_instance(
+    length: int, width: Optional[int] = None, marked: bool = True
+) -> Instance:
+    """``I_ℓ`` (Figure 2(a)): the two axes with a common origin.
+
+    ``length`` is the x-axis length, ``width`` the y-axis length
+    (defaults to ``length``).  With ``marked=False`` the ``C``/``D``
+    marks are omitted — that is the shape axes take inside grid-like
+    *tests* (Figure 1(a)), where the marks are hidden by the views.
+    """
+    width = width if width is not None else length
+    out = Instance()
+    origin = "o"
+    out.add_tuple("XSucc", (origin, ("x", 1)))
+    out.add_tuple("YSucc", (origin, ("y", 1)))
+    for i in range(1, length + 1):
+        if marked:
+            out.add_tuple("C", (("x", i),))
+        if i < length:
+            out.add_tuple("XSucc", (("x", i), ("x", i + 1)))
+    for j in range(1, width + 1):
+        if marked:
+            out.add_tuple("D", (("y", j),))
+        if j < width:
+            out.add_tuple("YSucc", (("y", j), ("y", j + 1)))
+    out.add_tuple("XEnd", (("x", length),))
+    out.add_tuple("YEnd", (("y", width),))
+    return out
+
+
+def grid_test_instance(
+    tp: TilingProblem,
+    n: int,
+    m: int,
+    tiling: Optional[Mapping[tuple, object]] = None,
+) -> Instance:
+    """A grid-like test (Figure 1(a)): axes + tiled grid points.
+
+    ``tiling`` maps ``(i, j)`` (1-based) to tiles; defaults to the first
+    tile everywhere.  The axes are unmarked: in a test, the ``C``/``D``
+    marks of the source instance are hidden by the views.
+    """
+    preds = tile_predicates(tp)
+    out = axes_instance(n, m, marked=False)
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            point = ("z", i, j)
+            out.add_tuple("XProj", (("x", i), point))
+            out.add_tuple("YProj", (("y", j), point))
+            tile = (
+                tiling[(i, j)] if tiling is not None else tp.tiles[0]
+            )
+            out.add_tuple(preds[tile], (point,))
+    return out

@@ -1,0 +1,158 @@
+"""Theorem 8: an MDL query monotonically determined over UCQ views with
+no Datalog rewriting.
+
+The query/views are ``Q_TP*`` and ``V_TP*`` — the §6 reduction applied
+to the tiling problem ``TP*`` of Lemma 6.  Because no rectangular grid
+can be tiled with ``TP*``, every canonical test succeeds, so ``Q_TP*``
+*is* monotonically determined.  Because large grids are k-approximately
+tilable, the instance pairs ``(I_ℓ, I'_ℓ)`` below separate ``Q_TP*``
+from every Datalog query over the views (Fact 2).
+
+This module builds the chain of objects from the proof:
+
+``I_ℓ`` (the marked axes) → ``E_ℓ = V(I_ℓ)`` → ``U_ℓ`` (an unravelling
+truncation) → ``W_ℓ`` (the S-facts viewed as a δ-instance) → a tiling
+``χ`` of ``W_ℓ`` → ``I'_ℓ`` (inverse chase materializing ``χ``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.datalog import DatalogQuery
+from repro.core.instance import Instance
+from repro.views.view import ViewSet
+from repro.games.unravelling import Unravelling, unravel
+from repro.constructions.grids import grid_instance
+from repro.constructions.reduction_thm6 import (
+    axes_instance,
+    thm6_query,
+    thm6_views,
+    tile_predicates,
+)
+from repro.constructions.tiling import TilingProblem
+from repro.constructions.tp_star import tp_star
+
+
+@dataclass
+class Thm8Witness:
+    """All intermediate objects of the Thm 8 construction."""
+
+    tp: TilingProblem
+    query: DatalogQuery
+    views: ViewSet
+    ell: int
+    source: Instance  # I_ℓ
+    image: Instance  # E_ℓ = V(I_ℓ)
+    unravelling: Unravelling  # U_ℓ (truncated)
+    w_instance: Instance  # W_ℓ over δ
+    tiling: Optional[dict]  # χ : W_ℓ → I_TP*
+    counterexample: Optional[Instance]  # I'_ℓ
+
+
+def w_instance_from_unravelling(unravelling: Unravelling) -> Instance:
+    """``W_ℓ``: the S-facts of ``U_ℓ`` as a δ-instance.
+
+    Domain: pairs ``(u, v)`` with ``S(u, v)`` in ``U_ℓ`` (``u`` an
+    x-axis copy, ``v`` a y-axis copy, per our §6 orientation).
+    ``H``/``V`` follow ``VXSucc``/``VYSucc``; ``I``/``F`` mark the pairs
+    projecting to the grid corners.
+    """
+    u_inst = unravelling.instance
+    phi = unravelling.projection
+    points = sorted(u_inst.tuples("S"), key=repr)
+    out = Instance()
+    xs = {phi[p[0]] for p in points}
+    ys = {phi[p[1]] for p in points}
+    x_first, x_last = ("x", 1), ("x", max(i for (_, i) in xs))
+    y_first, y_last = ("y", 1), ("y", max(j for (_, j) in ys))
+    for point in points:
+        u, v = point
+        if phi[u] == x_first and phi[v] == y_first:
+            out.add_tuple("I", (point,))
+        if phi[u] == x_last and phi[v] == y_last:
+            out.add_tuple("F", (point,))
+        for u2, v2 in points:
+            if v2 == v and u_inst.has_tuple("VXSucc", (u, u2)):
+                out.add_tuple("H", (point, (u2, v2)))
+            if u2 == u and u_inst.has_tuple("VYSucc", (v, v2)):
+                out.add_tuple("V", (point, (u2, v2)))
+    return out
+
+
+def counterexample_instance(
+    unravelling: Unravelling,
+    tiling: dict,
+    tp: TilingProblem,
+) -> Instance:
+    """``I'_ℓ``: materialize the unravelling over the base schema.
+
+    ``VXSucc/VYSucc/VXEnd/VYEnd`` facts become their base versions;
+    every ``S(u, v)`` becomes ``XProj(u, s)``, ``YProj(v, s)`` and
+    ``T_i(s)`` for a fresh ``s``, where ``χ((u, v)) = T_i``.
+    """
+    preds = tile_predicates(tp)
+    u_inst = unravelling.instance
+    out = Instance()
+    renames = {
+        "VXSucc": "XSucc", "VYSucc": "YSucc",
+        "VXEnd": "XEnd", "VYEnd": "YEnd",
+    }
+    for view_name, base_name in renames.items():
+        for row in u_inst.tuples(view_name):
+            out.add_tuple(base_name, row)
+    for index, point in enumerate(sorted(u_inst.tuples("S"), key=repr)):
+        u, v = point
+        fresh = ("s", index)
+        out.add_tuple("XProj", (u, fresh))
+        out.add_tuple("YProj", (v, fresh))
+        # Points absent from the tiling's domain carry no W_ℓ-fact, so
+        # no compatibility or corner rule can ever fire on them: any
+        # tile is safe there.
+        tile = tiling.get(point, tp.tiles[0])
+        out.add_tuple(preds[tile], (fresh,))
+    return out
+
+
+def build_witness(
+    ell: int,
+    depth: int = 2,
+    k: Optional[int] = None,
+    max_nodes: int = 200_000,
+) -> Thm8Witness:
+    """Run the whole Thm 8 pipeline for the given ``ℓ``.
+
+    ``k`` defaults to the paper's ``⌊√(ℓ-1)⌋`` (at least 2).  The
+    unravelling is a depth-``depth`` fact-supported truncation.
+    """
+    tp = tp_star()
+    query = thm6_query(tp)
+    views = thm6_views(tp)
+    source = axes_instance(ell)
+    image = views.image(source)
+    k = k if k is not None else max(2, math.isqrt(max(ell - 1, 1)))
+    unravelling = unravel(
+        image, k, depth, max_nodes=max_nodes, scenes="fact-supported"
+    )
+    w_inst = w_instance_from_unravelling(unravelling)
+    tiling = tp.tile_instance(w_inst)
+    counterexample = (
+        counterexample_instance(unravelling, tiling, tp)
+        if tiling is not None
+        else None
+    )
+    return Thm8Witness(
+        tp, query, views, ell, source, image, unravelling, w_inst,
+        tiling, counterexample,
+    )
+
+
+def grid_untilable_up_to(tp: TilingProblem, bound: int) -> bool:
+    """Check no ``n×m`` grid with ``n, m ≤ bound`` is tilable."""
+    return all(
+        not tp.can_tile(grid_instance(n, m))
+        for n in range(1, bound + 1)
+        for m in range(1, bound + 1)
+    )

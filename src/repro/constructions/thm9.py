@@ -1,0 +1,338 @@
+"""The Theorem 9 construction: no computable time bound on separators.
+
+The paper pairs a Datalog query that (i) accepts any *badly-shaped*
+run-string instance and (ii) accepts honest encodings of *accepting*
+runs, with views exposing (a) the input segment, (b) a Boolean
+"badly-shaped" detector and (c) a "pre-run" marker.  Determinism of the
+machine makes the query monotonically determined over the views, while
+any separator effectively decides the machine's acceptance — so its
+running time is bottlenecked by the machine's.
+
+Scoped rendering (DESIGN.md §4): no concrete time-hierarchy machine is
+available to "beat", so we instantiate the construction with concrete
+machines (the exponential-time binary counter of
+:mod:`repro.constructions.machines`) and *measure* the phenomenon: the
+faithful separator's cost tracks the machine's running time, which grows
+exponentially in the input size while the view instance grows only
+linearly.  Letters are carried by a binary ``Letter`` relation and the
+machine's step function by a materialized ``Step·T`` table — a constant
+re-encoding of the paper's per-letter unary predicates that keeps the
+Datalog program machine-size-independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.atoms import Atom
+from repro.core.cq import ConjunctiveQuery
+from repro.core.datalog import DatalogProgram, DatalogQuery, Rule
+from repro.core.instance import Instance
+from repro.core.terms import variables
+from repro.views.view import View, ViewSet
+from repro.constructions.machines import (
+    MARK_INP_BEGIN,
+    MARK_INP_END,
+    MARK_RUN_END,
+    MARK_SEP,
+    TuringMachine,
+)
+
+
+def _config_letters(machine: TuringMachine) -> list:
+    """All letters that may appear inside a configuration segment."""
+    letters: list = list(machine.tape_alphabet)
+    for state in machine.states:
+        for symbol in machine.tape_alphabet:
+            letters.append(("q", state, symbol))
+    return letters
+
+
+def _expected_letter(machine: TuringMachine, left, mid, right):
+    """The letter below ``mid`` in the successor configuration.
+
+    ``left``/``right`` may be segment markers.  A halted head repeats
+    its configuration (so honest encodings may simply stop at the
+    halting configuration).
+    """
+
+    def is_head(letter) -> bool:
+        return isinstance(letter, tuple) and letter[0] == "q"
+
+    if is_head(mid):
+        state, symbol = mid[1], mid[2]
+        key = (state, symbol)
+        if key not in machine.transitions:
+            return mid
+        new_state, new_symbol, move = machine.transitions[key]
+        if move == 0:
+            return ("q", new_state, new_symbol)
+        return new_symbol
+    if is_head(left):
+        key = (left[1], left[2])
+        if key in machine.transitions:
+            new_state, _sym, move = machine.transitions[key]
+            if move == 1:
+                return ("q", new_state, mid)
+    if is_head(right):
+        key = (right[1], right[2])
+        if key in machine.transitions:
+            new_state, _sym, move = machine.transitions[key]
+            if move == -1:
+                return ("q", new_state, mid)
+    return mid
+
+
+def _badly_shaped_rules(machine: TuringMachine, goal: str) -> list[Rule]:
+    """Datalog detection of badly-shaped run strings.
+
+    Families: (1) local marker violations, (2) first configuration must
+    mirror the input word, (3) consecutive configurations must follow
+    the machine's step function (synchronized two-pointer walk +
+    ``Step·T``/``Diff·T`` lookups).
+    """
+    p, q, p2, q2, s, t = variables("p q p2 q2 s t")
+    a, b, c, d, e = variables("a b c d e")
+    pl, pr = variables("pl pr")
+    rules: list[Rule] = []
+
+    # --- family 1: local marker violations ------------------------------
+    rules.append(Rule(Atom(goal, ()), (
+        Atom(MARK_SEP, (p,)), Atom("Succ·p", (p, q)), Atom(MARK_SEP, (q,)),
+    )))
+    rules.append(Rule(Atom(goal, ()), (
+        Atom(MARK_SEP, (p,)), Atom("Succ·p", (p, q)),
+        Atom(MARK_RUN_END, (q,)),
+    )))
+    rules.append(Rule(Atom(goal, ()), (
+        Atom(MARK_INP_END, (p,)), Atom("Succ·p", (p, q)),
+        Atom(MARK_RUN_END, (q,)),
+    )))
+
+    # --- family 2: first configuration mirrors the input ----------------
+    # head letter at the first cell:
+    rules.append(Rule(Atom(goal, ()), (
+        Atom(MARK_INP_BEGIN, (s,)),
+        Atom("Succ", (s, p)),
+        Atom("Letter", (p, a)),
+        Atom(MARK_INP_END, (t,)),
+        Atom("Succ·p", (t, q)),
+        Atom("Letter·p", (q, b)),
+        Atom("Init·T", (a, c)),
+        Atom("Diff·T", (c, b)),
+    )))
+    # SyncInit(p, q): matching offsets >= 2; verbatim copies afterwards.
+    rules.append(Rule(Atom("SyncInit·9", (p2, q2)), (
+        Atom(MARK_INP_BEGIN, (s,)),
+        Atom("Succ", (s, p)),
+        Atom("Succ", (p, p2)),
+        Atom(MARK_INP_END, (t,)),
+        Atom("Succ·p", (t, q)),
+        Atom("Succ·p", (q, q2)),
+    )))
+    rules.append(Rule(Atom("SyncInit·9", (p2, q2)), (
+        Atom("SyncInit·9", (p, q)),
+        Atom("Succ", (p, p2)),
+        Atom("Succ·p", (q, q2)),
+    )))
+    # Only compare positions carrying genuine input letters: the first
+    # configuration is blank-padded past the (shorter) input segment.
+    rules.append(Rule(Atom(goal, ()), (
+        Atom("SyncInit·9", (p, q)),
+        Atom("Letter", (p, a)),
+        Atom("InputLetter·T", (a,)),
+        Atom("Letter·p", (q, b)),
+        Atom("Diff·T", (a, b)),
+    )))
+
+    # --- family 3: consecutive configurations ---------------------------
+    # SegNext(s, t): t is a later segment boundary reachable from
+    # boundary s without crossing another boundary.
+    rules.append(Rule(Atom("NoSep·9", (s, p)), (Atom("Succ·p", (s, p)),)))
+    rules.append(Rule(Atom("NoSep·9", (s, t)), (
+        Atom("NoSep·9", (s, p)),
+        Atom("NotSep·9", (p,)),
+        Atom("Succ·p", (p, t)),
+    )))
+    # NotSep: any position carrying a non-marker letter (config letters
+    # never coincide with markers in honest encodings).
+    for letter_rel in ("Letter·p",):
+        rules.append(Rule(Atom("NotSep·9", (p,)), (
+            Atom(letter_rel, (p, a)), Atom("ConfigLetter·T", (a,)),
+        )))
+    rules.append(Rule(Atom("SegNext·9", (s, t)), (
+        Atom("NoSep·9", (s, t)), Atom(MARK_SEP, (t,)),
+    )))
+    # Sync(p, q): same offset in consecutive segments.
+    for start_marker in (MARK_INP_END, MARK_SEP):
+        rules.append(Rule(Atom("Sync·9", (p, q)), (
+            Atom(start_marker, (s,)),
+            Atom("SegNext·9", (s, t)),
+            Atom("Succ·p", (s, p)),
+            Atom("Succ·p", (t, q)),
+        )))
+    rules.append(Rule(Atom("Sync·9", (p2, q2)), (
+        Atom("Sync·9", (p, q)),
+        Atom("Succ·p", (p, p2)),
+        Atom("Succ·p", (q, q2)),
+    )))
+    # window mismatch via the step table:
+    rules.append(Rule(Atom(goal, ()), (
+        Atom("Sync·9", (p, q)),
+        Atom("Succ·p", (pl, p)),
+        Atom("Letter·p", (pl, a)),
+        Atom("Letter·p", (p, b)),
+        Atom("Succ·p", (p, pr)),
+        Atom("Letter·p", (pr, c)),
+        Atom("Step·T", (a, b, c, d)),
+        Atom("Letter·p", (q, e)),
+        Atom("Diff·T", (d, e)),
+        Atom("ConfigLetter·T", (b,)),
+        Atom("ConfigLetter·T", (e,)),
+    )))
+    return rules
+
+
+def _accept_rules(machine: TuringMachine) -> list[Rule]:
+    """Accepting-run detection: an accept-head letter in the final
+    segment (only config letters between it and ``σRunEnd``)."""
+    p, q, a = variables("p q a")
+    rules = [
+        Rule(Atom("ToEnd·9", (p,)), (
+            Atom("Succ·p", (p, q)), Atom(MARK_RUN_END, (q,)),
+        )),
+        Rule(Atom("ToEnd·9", (p,)), (
+            Atom("Succ·p", (p, q)),
+            Atom("Letter·p", (q, a)),
+            Atom("ConfigLetter·T", (a,)),
+            Atom("ToEnd·9", (q,)),
+        )),
+        Rule(Atom("Accept·9", ()), (
+            Atom("Letter·p", (p, a)),
+            Atom("AcceptLetter·T", (a,)),
+            Atom("ToEnd·9", (p,)),
+        )),
+    ]
+    return rules
+
+
+def letter_class_tables(machine: TuringMachine) -> Instance:
+    """Unary letter-class tables used by the query and views."""
+    out = Instance()
+    for letter in _config_letters(machine):
+        out.add_tuple("ConfigLetter·T", (letter,))
+    for letter in machine.input_alphabet:
+        out.add_tuple("InputLetter·T", (letter,))
+    for symbol in machine.tape_alphabet:
+        out.add_tuple("AcceptLetter·T", (("q", machine.accept, symbol),))
+        for state in (machine.accept, machine.reject):
+            out.add_tuple("HaltLetter·T", (("q", state, symbol),))
+    return out
+
+
+def thm9_query(machine: TuringMachine) -> DatalogQuery:
+    """``Q = BadlyShaped ∨ Accept`` over run-string instances."""
+    rules = _badly_shaped_rules(machine, goal="Bad·9")
+    rules += _accept_rules(machine)
+    rules.append(Rule(Atom("Goal·9", ()), (Atom("Bad·9", ()),)))
+    rules.append(Rule(Atom("Goal·9", ()), (Atom("Accept·9", ()),)))
+    return DatalogQuery(DatalogProgram(tuple(rules)), "Goal·9", "Q_thm9")
+
+
+def _prerun_rules(machine: TuringMachine) -> list[Rule]:
+    """``V_prerun(x)``: x is the σInpEnd of a run segment whose final
+    part contains a halting-state letter."""
+    p, q, x, a = variables("p q x a")
+    return [
+        Rule(Atom("Fwd·V", (x, p)), (
+            Atom(MARK_INP_END, (x,)), Atom("Succ·p", (x, p)),
+        )),
+        Rule(Atom("Fwd·V", (x, q)), (
+            Atom("Fwd·V", (x, p)), Atom("Succ·p", (p, q)),
+        )),
+        Rule(Atom("ToEnd·V", (p,)), (
+            Atom("Succ·p", (p, q)), Atom(MARK_RUN_END, (q,)),
+        )),
+        Rule(Atom("ToEnd·V", (p,)), (
+            Atom("Succ·p", (p, q)),
+            Atom("Letter·p", (q, a)),
+            Atom("ConfigLetter·T", (a,)),
+            Atom("ToEnd·V", (q,)),
+        )),
+        Rule(Atom("PreRun·V", (x,)), (
+            Atom("Fwd·V", (x, p)),
+            Atom("Letter·p", (p, a)),
+            Atom("HaltLetter·T", (a,)),
+            Atom("ToEnd·V", (p,)),
+        )),
+    ]
+
+
+def thm9_views(machine: TuringMachine) -> ViewSet:
+    """The Thm 9 views: input views + badly-shaped + pre-run."""
+    x, y, a = variables("x y a")
+    views = [
+        View("VSucc", ConjunctiveQuery(
+            (x, y), (Atom("Succ", (x, y)),), "VSucc")),
+        View("VLetter", ConjunctiveQuery(
+            (x, a), (Atom("Letter", (x, a)),), "VLetter")),
+        View("VInpBegin", ConjunctiveQuery(
+            (x,), (Atom(MARK_INP_BEGIN, (x,)),), "VIB")),
+        View("VInpEnd", ConjunctiveQuery(
+            (x,), (Atom(MARK_INP_END, (x,)),), "VIE")),
+        View("Vbad", DatalogQuery(
+            DatalogProgram(tuple(
+                _badly_shaped_rules(machine, goal="Bad·V")
+            )),
+            "Bad·V",
+            "Vbad",
+        )),
+        View("Vprerun", DatalogQuery(
+            DatalogProgram(tuple(_prerun_rules(machine))),
+            "PreRun·V",
+            "Vprerun",
+        )),
+    ]
+    return ViewSet(views)
+
+
+@dataclass
+class TuringSeparator:
+    """The faithful separator: reconstruct the input, run the machine.
+
+    On a view instance: accept if the badly-shaped view fired; else, if
+    a pre-run is present, decode the input word from the input views and
+    simulate the machine — :attr:`simulated_steps` is the Thm 9 cost
+    metric that no computable bound can cap in general.
+    """
+
+    machine: TuringMachine
+    tape_length: int
+    simulated_steps: int = 0
+
+    def boolean(self, view_instance: Instance) -> bool:
+        if view_instance.tuples("Vbad"):
+            return True
+        if not view_instance.tuples("Vprerun"):
+            return False
+        word = self._decode_input(view_instance)
+        trace = self.machine.run(word, tape_length=self.tape_length)
+        self.simulated_steps += len(trace)
+        return trace[-1].state == self.machine.accept
+
+    def _decode_input(self, view_instance: Instance) -> tuple:
+        succ = {u: v for u, v in view_instance.tuples("VSucc")}
+        letter_at = {
+            pos: letter
+            for pos, letter in view_instance.tuples("VLetter")
+        }
+        begin = next(iter(view_instance.tuples("VInpBegin")))[0]
+        word = []
+        position = succ.get(begin)
+        while position is not None and position in letter_at:
+            letter = letter_at[position]
+            if letter == MARK_INP_END:
+                break
+            word.append(letter)
+            position = succ.get(position)
+        return tuple(word)

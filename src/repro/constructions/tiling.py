@@ -1,0 +1,114 @@
+"""Tiling problems (§6).
+
+A :class:`TilingProblem` ``(Tiles, HC, VC, IT, FT)`` asks for an ``n×m``
+assignment respecting horizontal/vertical compatibility, with an initial
+tile bottom-left and a final tile top-right.  The problem "does TP have
+a solution" is undecidable in general; :func:`solve` is the bounded
+search used by the T2-MDL-UCQ benchmark to drive the Thm 6 reduction on
+*decidable* source instances.
+
+Tiling is homomorphism: an instance over ``δ`` can be tiled by ``TP``
+iff it maps into the relational structure ``I_TP`` (:func:`as_instance`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Optional
+
+from repro.core.homomorphism import instance_homomorphism
+from repro.core.instance import Instance
+from repro.constructions.grids import grid_instance
+
+Tile = Hashable
+
+
+@dataclass(frozen=True)
+class TilingProblem:
+    """``TP = (Tiles, HC, VC, IT, FT)``."""
+
+    tiles: tuple
+    horizontal: frozenset  # pairs (left, right)
+    vertical: frozenset  # pairs (below, above)
+    initial: frozenset
+    final: frozenset
+
+    def __init__(
+        self,
+        tiles: Iterable[Tile],
+        horizontal: Iterable[tuple],
+        vertical: Iterable[tuple],
+        initial: Iterable[Tile],
+        final: Iterable[Tile],
+    ) -> None:
+        object.__setattr__(self, "tiles", tuple(tiles))
+        object.__setattr__(self, "horizontal", frozenset(horizontal))
+        object.__setattr__(self, "vertical", frozenset(vertical))
+        object.__setattr__(self, "initial", frozenset(initial))
+        object.__setattr__(self, "final", frozenset(final))
+
+    def as_instance(self) -> Instance:
+        """``I_TP``: the tiling problem as a structure over ``δ``."""
+        out = Instance()
+        for left, right in self.horizontal:
+            out.add_tuple("H", (left, right))
+        for below, above in self.vertical:
+            out.add_tuple("V", (below, above))
+        for tile in self.initial:
+            out.add_tuple("I", (tile,))
+        for tile in self.final:
+            out.add_tuple("F", (tile,))
+        return out
+
+    def tile_instance(self, instance: Instance) -> Optional[dict]:
+        """A tiling of a δ-instance, as a homomorphism into ``I_TP``."""
+        return instance_homomorphism(instance, self.as_instance())
+
+    def can_tile(self, instance: Instance) -> bool:
+        return self.tile_instance(instance) is not None
+
+    def tile_grid(self, n: int, m: int) -> Optional[dict]:
+        """A solution on the ``n × m`` grid, or None."""
+        return self.tile_instance(grid_instance(n, m))
+
+    def solve(
+        self, max_n: int, max_m: Optional[int] = None
+    ) -> Optional[tuple[int, int, dict]]:
+        """Bounded search for a solution: the smallest ``(n, m)`` grid.
+
+        Returns ``(n, m, tiling)`` or None when no grid up to the bounds
+        can be tiled.  (The unbounded problem is undecidable; callers
+        pick the bound.)
+        """
+        max_m = max_m if max_m is not None else max_n
+        for total in range(2, max_n + max_m + 1):
+            for n in range(1, max_n + 1):
+                m = total - n
+                if not 1 <= m <= max_m:
+                    continue
+                tiling = self.tile_grid(n, m)
+                if tiling is not None:
+                    return n, m, tiling
+        return None
+
+
+def solvable_example() -> TilingProblem:
+    """A small solvable tiling problem (2×2 chessboard-ish)."""
+    return TilingProblem(
+        tiles=("a", "b"),
+        horizontal={("a", "b"), ("b", "a")},
+        vertical={("a", "b"), ("b", "a")},
+        initial={"a"},
+        final={"a", "b"},
+    )
+
+
+def unsolvable_example() -> TilingProblem:
+    """A small unsolvable problem: the final tile is unreachable."""
+    return TilingProblem(
+        tiles=("a", "b", "c"),
+        horizontal={("a", "a"), ("b", "b")},
+        vertical={("a", "a"), ("b", "b")},
+        initial={"a"},
+        final={"c"},
+    )

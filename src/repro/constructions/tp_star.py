@@ -1,0 +1,174 @@
+"""The tiling problem ``TP*`` of Lemma 6 (appendix, after [4]).
+
+``TP*`` has the property that **no** rectangular grid can be tiled, yet
+every k-unravelling of a large enough grid *can* — the engine behind
+Theorem 8's non-rewritability result.
+
+Construction: tiles are pairs ``(u, b̄)`` of an "abstract grid point"
+``u ∈ G_{3,3}`` and a 0/1 assignment ``b̄`` to its incident edges whose
+sum is *odd* at the corner ``(1,1)`` and *even* everywhere else; the
+compatibility relations force adjacent (or same-class) tiles to agree on
+the 0/1 value of their shared (abstract) edge.  A tiling of ``G_{n,m}``
+would give a 0/1 edge assignment whose degree sums have odd total — but
+each edge is counted twice, a contradiction (Claim 2).  Partial
+assignments built from walks starting at the corner satisfy all local
+parity checks, giving the Duplicator's winning strategy (Claim 3).
+"""
+
+from __future__ import annotations
+
+from itertools import product as iproduct
+from typing import Optional
+
+from repro.constructions.tiling import TilingProblem
+
+_DIRECTIONS = ("up", "right", "down", "left")
+_OFFSETS = {
+    "up": (0, 1),
+    "right": (1, 0),
+    "down": (0, -1),
+    "left": (-1, 0),
+}
+
+
+def _neighbour(vertex: tuple, direction: str, n: int, m: int) -> Optional[tuple]:
+    dx, dy = _OFFSETS[direction]
+    i, j = vertex[0] + dx, vertex[1] + dy
+    if 1 <= i <= n and 1 <= j <= m:
+        return (i, j)
+    return None
+
+
+def incident_directions(vertex: tuple, n: int, m: int) -> tuple[str, ...]:
+    """The canonical enumeration of incident edges, by direction."""
+    return tuple(
+        d for d in _DIRECTIONS if _neighbour(vertex, d, n, m) is not None
+    )
+
+
+def edge_of(vertex: tuple, direction: str, n: int, m: int) -> frozenset:
+    other = _neighbour(vertex, direction, n, m)
+    if other is None:
+        raise ValueError(f"no {direction} edge at {vertex} in G_{n},{m}")
+    return frozenset((vertex, other))
+
+
+def abstract_tiles() -> list[tuple]:
+    """All tiles ``(u, b1, ..., b_du)`` with the parity condition."""
+    tiles = []
+    for i in range(1, 4):
+        for j in range(1, 4):
+            u = (i, j)
+            directions = incident_directions(u, 3, 3)
+            want = 1 if u == (1, 1) else 0
+            for bits in iproduct((0, 1), repeat=len(directions)):
+                if sum(bits) % 2 == want:
+                    tiles.append((u,) + bits)
+    return tiles
+
+
+def _bit_at(tile: tuple, direction: str) -> Optional[int]:
+    """The tile's bit for the given direction (None if absent)."""
+    u = tile[0]
+    directions = incident_directions(u, 3, 3)
+    if direction not in directions:
+        return None
+    return tile[1 + directions.index(direction)]
+
+
+def _compatible_pairs(axis: str) -> set[tuple]:
+    """HC* (axis='h') or VC* (axis='v') per the Lemma 6 construction."""
+    pairs: set[tuple] = set()
+    tiles = abstract_tiles()
+    ahead = "right" if axis == "h" else "up"
+    behind = "left" if axis == "h" else "down"
+
+    by_abstract: dict[tuple, list[tuple]] = {}
+    for tile in tiles:
+        by_abstract.setdefault(tile[0], []).append(tile)
+
+    # distinct abstract points joined by a real edge of G3,3
+    for u, us in by_abstract.items():
+        v = _neighbour(u, ahead, 3, 3)
+        if v is None:
+            continue
+        vs = by_abstract[v]
+        for t1 in us:
+            b1 = _bit_at(t1, ahead)
+            for t2 in vs:
+                if b1 == _bit_at(t2, behind):
+                    pairs.add((t1, t2))
+
+    # same abstract point (the "interior repeats")
+    for u, us in by_abstract.items():
+        if _neighbour(u, ahead, 3, 3) is None or _neighbour(
+            u, behind, 3, 3
+        ) is None:
+            continue  # only points with both edges repeat along the axis
+        for t1 in us:
+            b1 = _bit_at(t1, ahead)
+            for t2 in us:
+                if b1 == _bit_at(t2, behind):
+                    pairs.add((t1, t2))
+    return pairs
+
+
+def tp_star() -> TilingProblem:
+    """The tiling problem ``TP*`` of Lemma 6."""
+    tiles = abstract_tiles()
+    return TilingProblem(
+        tiles=tiles,
+        horizontal=_compatible_pairs("h"),
+        vertical=_compatible_pairs("v"),
+        initial=[t for t in tiles if t[0] == (1, 1)],
+        final=[t for t in tiles if t[0] == (3, 3)],
+    )
+
+
+def psi(n: int, m: int) -> dict[tuple, tuple]:
+    """``Ψ``: abstraction of ``G_{n,m}`` points to ``G_{3,3}`` points."""
+
+    def clamp(value: int, top: int) -> int:
+        if value == 1:
+            return 1
+        if value == top:
+            return 3
+        return 2
+
+    return {
+        (i, j): (clamp(i, n), clamp(j, m))
+        for i in range(1, n + 1)
+        for j in range(1, m + 1)
+    }
+
+
+def walk_tile_assignment(
+    walk: list[tuple], n: int, m: int
+) -> dict[tuple, tuple]:
+    """``h_P`` from Claim 3: the tile assignment induced by a walk.
+
+    ``walk`` is a sequence of adjacent ``G_{n,m}`` vertices starting at
+    ``(1,1)``; the assignment is defined on every vertex except the
+    walk's endpoint, mapping ``a`` to ``(Ψ(a), x^P_{e^a_1}, ...)`` where
+    ``x^P_e`` is the parity of the number of times the walk uses ``e``.
+    """
+    if not walk or walk[0] != (1, 1):
+        raise ValueError("walks must start at (1, 1)")
+    use_count: dict[frozenset, int] = {}
+    for a, b in zip(walk, walk[1:]):
+        edge = frozenset((a, b))
+        use_count[edge] = use_count.get(edge, 0) + 1
+    abstraction = psi(n, m)
+    assignment: dict[tuple, tuple] = {}
+    endpoint = walk[-1]
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            vertex = (i, j)
+            if vertex == endpoint:
+                continue
+            bits = tuple(
+                use_count.get(edge_of(vertex, d, n, m), 0) % 2
+                for d in incident_directions(vertex, n, m)
+            )
+            assignment[vertex] = (abstraction[vertex],) + bits
+    return assignment

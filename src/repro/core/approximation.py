@@ -1,0 +1,239 @@
+"""CQ approximations of Datalog queries (§2, Prop. 1).
+
+``CQAppr(Π, U(x̄), i)`` unfolds the program: rule bodies with intensional
+atoms replaced by (smaller-depth) approximations of those atoms.  We work
+with an explicit *expansion tree* representation — one node per rule
+firing — because later constructions need more than the flat CQ:
+
+* the canonical tree decomposition with one bag per rule body (used by
+  the forward mapping, Prop. 3, and by Lemma 1's treespan bound), and
+* the proof-tree structure itself (Lemma 5's canonical tests, Prop. 12).
+
+:func:`approximations` yields the flat CQs, deduplicated up to variable
+renaming, in nondecreasing expansion depth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.core.atoms import Atom
+from repro.core.cq import ConjunctiveQuery
+from repro.core.datalog import DatalogProgram, DatalogQuery, Rule
+from repro.core.terms import Term, Variable, is_variable
+from repro.util.fresh import FreshNames
+
+
+@dataclass(frozen=True)
+class ExpansionNode:
+    """One rule firing in an expansion tree.
+
+    ``mapping`` sends the rule's variables to *global* terms (fresh
+    variables, or constants propagated from rule heads).  ``children``
+    aligns 1:1 with the intensional atoms of the rule body, in body
+    order (``idb_positions`` gives their indices in ``rule.body``).
+    """
+
+    rule: Rule
+    mapping: dict
+    children: tuple["ExpansionNode", ...]
+    idb_positions: tuple[int, ...]
+
+    def edb_atoms(self) -> list[Atom]:
+        """The rule's extensional atoms under the global mapping."""
+        idb = set(self.idb_positions)
+        return [
+            atom.substitute(self.mapping)
+            for i, atom in enumerate(self.rule.body)
+            if i not in idb
+        ]
+
+    def head_atom(self) -> Atom:
+        """The derived head fact/atom under the global mapping."""
+        return self.rule.head.substitute(self.mapping)
+
+    def bag(self) -> list:
+        """All global terms of this node (its decomposition bag)."""
+        seen: list = []
+        for term in self.mapping.values():
+            if term not in seen:
+                seen.append(term)
+        return seen
+
+    def nodes(self) -> Iterator["ExpansionNode"]:
+        """Pre-order traversal."""
+        yield self
+        for child in self.children:
+            yield from child.nodes()
+
+    def depth(self) -> int:
+        if not self.children:
+            return 1
+        return 1 + max(c.depth() for c in self.children)
+
+    def all_atoms(self) -> list[Atom]:
+        """All EDB atoms of the whole tree (the expansion's body)."""
+        out: list[Atom] = []
+        for node in self.nodes():
+            out.extend(node.edb_atoms())
+        return out
+
+
+def _idb_positions(rule: Rule, idb: set[str]) -> tuple[int, ...]:
+    return tuple(i for i, a in enumerate(rule.body) if a.pred in idb)
+
+
+def expansion_trees(
+    program: DatalogProgram,
+    pred: str,
+    max_depth: int,
+    fresh: Optional[FreshNames] = None,
+    head_terms: Optional[tuple[Term, ...]] = None,
+) -> Iterator[ExpansionNode]:
+    """All expansion trees for ``pred`` of depth at most ``max_depth``.
+
+    ``head_terms`` fixes the global terms the head arguments map to (used
+    when expanding an intensional atom inside a larger expansion); by
+    default fresh variables are created.
+    """
+    fresh = fresh or FreshNames("x")
+    idb = program.idb_predicates()
+    if max_depth <= 0:
+        return
+    for rule in program.rules:
+        head_vars = [t for t in rule.head.args if is_variable(t)]
+        if len(set(head_vars)) != len(head_vars):
+            raise ValueError(
+                "expansion requires distinct head variables per rule "
+                f"(unification up the tree is not supported): {rule!r}"
+            )
+
+    for rule in program.rules_for(pred):
+        head_args = rule.head.args
+        mapping: dict = {}
+        if head_terms is not None:
+            if len(head_terms) != len(head_args):
+                raise ValueError("head arity mismatch in expansion")
+            consistent = True
+            for rv, gt in zip(head_args, head_terms):
+                if is_variable(rv):
+                    if rv in mapping and mapping[rv] != gt:
+                        consistent = False
+                        break
+                    mapping[rv] = gt
+                elif rv != gt:
+                    consistent = False
+                    break
+            if not consistent:
+                continue
+        else:
+            for rv in head_args:
+                if is_variable(rv) and rv not in mapping:
+                    mapping[rv] = Variable(fresh())
+        for var in rule.variables():
+            if var not in mapping:
+                mapping[var] = Variable(fresh())
+
+        positions = _idb_positions(rule, idb)
+        if not positions:
+            yield ExpansionNode(rule, mapping, (), ())
+            continue
+        if max_depth == 1:
+            continue
+
+        def expand_from(
+            index: int, acc: list[ExpansionNode]
+        ) -> Iterator[tuple[ExpansionNode, ...]]:
+            if index == len(positions):
+                yield tuple(acc)
+                return
+            atom = rule.body[positions[index]]
+            child_head = tuple(
+                mapping[t] if is_variable(t) else t for t in atom.args
+            )
+            for child in expansion_trees(
+                program, atom.pred, max_depth - 1, fresh, child_head
+            ):
+                acc.append(child)
+                yield from expand_from(index + 1, acc)
+                acc.pop()
+
+        for children in expand_from(0, []):
+            yield ExpansionNode(rule, dict(mapping), children, positions)
+
+
+def tree_to_cq(tree: ExpansionNode, name: str = "Q") -> ConjunctiveQuery:
+    """Flatten an expansion tree to its CQ approximation."""
+    head = tree.head_atom()
+    head_vars = tuple(t for t in head.args if is_variable(t))
+    if len(head_vars) != len(head.args):
+        raise ValueError("expansion head contains constants; not a plain CQ")
+    return ConjunctiveQuery(head_vars, tuple(tree.all_atoms()), name)
+
+
+def approximations(
+    query: DatalogQuery,
+    max_depth: int,
+    max_count: Optional[int] = None,
+    dedup: bool = True,
+) -> Iterator[ConjunctiveQuery]:
+    """CQ approximations of a Datalog query, by nondecreasing depth.
+
+    Deduplicates up to variable renaming (certificate-based) unless
+    ``dedup=False``.  ``max_count`` caps the number yielded.
+    """
+    seen: set = set()
+    count = 0
+    for depth in range(1, max_depth + 1):
+        for tree in expansion_trees(query.program, query.goal, depth):
+            if tree.depth() != depth:
+                continue  # emitted at a smaller depth already
+            cq = tree_to_cq(tree, f"{query.name}~{depth}")
+            if dedup:
+                cert = cq.certificate()
+                if cert in seen:
+                    continue
+                seen.add(cert)
+            yield cq
+            count += 1
+            if max_count is not None and count >= max_count:
+                return
+
+
+def approximation_trees(
+    query: DatalogQuery,
+    max_depth: int,
+    max_count: Optional[int] = None,
+) -> Iterator[ExpansionNode]:
+    """Expansion trees of the goal, by nondecreasing depth, deduped."""
+    seen: set = set()
+    count = 0
+    for depth in range(1, max_depth + 1):
+        for tree in expansion_trees(query.program, query.goal, depth):
+            if tree.depth() != depth:
+                continue
+            cq = tree_to_cq(tree)
+            cert = cq.certificate()
+            if cert in seen:
+                continue
+            seen.add(cert)
+            yield tree
+            count += 1
+            if max_count is not None and count >= max_count:
+                return
+
+
+def approximation_holds_somewhere(
+    query: DatalogQuery,
+    instance,
+    max_depth: int,
+) -> bool:
+    """Sanity helper for Prop. 1: some approximation maps into ``instance``.
+
+    Equivalent to bounded evaluation of the query; used in tests to check
+    Prop. 1 against ``FPEval``.
+    """
+    return any(
+        cq.boolean(instance) for cq in approximations(query, max_depth)
+    )

@@ -1,0 +1,89 @@
+"""Atoms and facts.
+
+An :class:`Atom` is a predicate applied to a tuple of terms.  A *fact* is a
+ground atom (no variables); :data:`Fact` is provided as an alias so that
+code reads naturally (``Fact("R", (1, 2))``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.core.terms import Term, Variable, is_variable
+
+
+@dataclass(frozen=True, slots=True)
+class Atom:
+    """A predicate symbol applied to terms.
+
+    ``args`` is always stored as a tuple, so atoms are hashable and can be
+    collected in sets (instances, rule bodies).
+    """
+
+    pred: str
+    args: tuple[Term, ...]
+
+    def __init__(self, pred: str, args: Iterable[Term] = ()) -> None:
+        object.__setattr__(self, "pred", pred)
+        object.__setattr__(self, "args", tuple(args))
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+    def variables(self) -> set[Variable]:
+        """The set of variables occurring in this atom."""
+        return {t for t in self.args if isinstance(t, Variable)}
+
+    def constants(self) -> set:
+        """The set of constants occurring in this atom."""
+        return {t for t in self.args if not isinstance(t, Variable)}
+
+    def is_ground(self) -> bool:
+        """True when the atom contains no variables (i.e. it is a fact)."""
+        return not any(is_variable(t) for t in self.args)
+
+    def substitute(self, mapping: Mapping[Term, Term]) -> "Atom":
+        """Apply a substitution to the arguments.
+
+        Terms absent from ``mapping`` are left unchanged, so a partial
+        substitution produces a partially-ground atom.
+        """
+        return Atom(self.pred, tuple(mapping.get(t, t) for t in self.args))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(str(a) for a in self.args)
+        return f"{self.pred}({inner})"
+
+
+Fact = Atom
+"""A fact is a ground :class:`Atom`; the alias documents intent."""
+
+
+def make_fact(pred: str, *args: Term) -> Atom:
+    """Construct a fact, asserting groundness.
+
+    >>> make_fact("R", 1, 2)
+    R(1, 2)
+    """
+    atom = Atom(pred, args)
+    if not atom.is_ground():
+        raise ValueError(f"fact must be ground, got {atom!r}")
+    return atom
+
+
+def atoms_variables(atoms: Iterable[Atom]) -> set[Variable]:
+    """All variables occurring in an iterable of atoms."""
+    out: set[Variable] = set()
+    for atom in atoms:
+        out |= atom.variables()
+    return out
+
+
+def atoms_constants(atoms: Iterable[Atom]) -> set:
+    """All constants occurring in an iterable of atoms."""
+    out: set = set()
+    for atom in atoms:
+        out |= atom.constants()
+    return out

@@ -1,0 +1,139 @@
+"""Query containment.
+
+Decidable cases implemented exactly:
+
+* CQ ⊑ CQ, UCQ ⊑ UCQ — Chandra–Merlin / Sagiv–Yannakakis.
+* CQ ⊑ Datalog — evaluate the Datalog query on the canonical database
+  (exact: the canonical database is the most general model of the CQ and
+  Datalog is preserved under homomorphisms).
+* Datalog ⊑ CQ / UCQ — exact via the tree-automata pipeline
+  (:mod:`repro.automata.containment`, the technique behind Thm 5): the
+  forward automaton captures the approximations of the program; a
+  deterministic "CQ matches" automaton is complemented; emptiness of the
+  product decides containment and produces a counterexample expansion.
+
+Datalog ⊑ Datalog is undecidable [25]; :func:`datalog_contained_bounded`
+is a sound refuter parameterized by expansion depth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional, Union
+
+from repro.core.cq import ConjunctiveQuery
+from repro.core.datalog import DatalogQuery
+from repro.core.ucq import UCQ, as_ucq
+from repro.core.approximation import approximations
+
+
+class Verdict(Enum):
+    """Three-valued answer for semi-decidable problems."""
+
+    YES = "yes"
+    NO = "no"
+    UNKNOWN = "unknown"
+
+    def __bool__(self) -> bool:
+        return self is Verdict.YES
+
+
+@dataclass(frozen=True)
+class ContainmentResult:
+    """Outcome of a containment check, with an optional counterexample."""
+
+    verdict: Verdict
+    counterexample: Optional[ConjunctiveQuery] = None
+    detail: str = ""
+
+    def __bool__(self) -> bool:
+        return self.verdict is Verdict.YES
+
+
+QueryLike = Union[ConjunctiveQuery, UCQ, DatalogQuery]
+
+
+def cq_contained(sub: ConjunctiveQuery, sup: ConjunctiveQuery) -> bool:
+    """``sub ⊑ sup`` for CQs (NP-complete, Chandra–Merlin)."""
+    return sub.is_contained_in(sup)
+
+
+def ucq_contained(sub: QueryLike, sup: QueryLike) -> bool:
+    """``sub ⊑ sup`` for (coercible-to-)UCQs (Π₂ᵖ-complete)."""
+    return as_ucq(sub).is_contained_in(as_ucq(sup))
+
+
+def cq_contained_in_datalog(
+    sub: Union[ConjunctiveQuery, UCQ], sup: DatalogQuery
+) -> bool:
+    """``sub ⊑ sup`` for a CQ/UCQ in a Datalog query — exact.
+
+    The canonical database of each disjunct is evaluated under ``sup``;
+    by genericity and monotonicity this decides containment.
+    """
+    for disjunct in as_ucq(sub).disjuncts:
+        canon = disjunct.canonical_database()
+        if not sup.holds(canon, disjunct.frozen_head()):
+            return False
+    return True
+
+
+def datalog_contained_in_ucq(
+    sub: DatalogQuery,
+    sup: Union[ConjunctiveQuery, UCQ],
+    max_depth: Optional[int] = None,
+) -> ContainmentResult:
+    """``sub ⊑ sup`` for Datalog in CQ/UCQ.
+
+    Exact (2ExpTime worst case) via the automata pipeline when
+    ``max_depth`` is None; with ``max_depth`` set, falls back to the
+    bounded sound refuter over expansions (YES becomes UNKNOWN).
+    """
+    sup_ucq = as_ucq(sup)
+    if max_depth is None:
+        from repro.automata.containment import datalog_in_ucq_exact
+
+        return datalog_in_ucq_exact(sub, sup_ucq)
+    for approx in approximations(sub, max_depth):
+        if not any(approx.is_contained_in(d) for d in sup_ucq.disjuncts):
+            return ContainmentResult(
+                Verdict.NO, approx, f"expansion of depth ≤ {max_depth} escapes"
+            )
+    return ContainmentResult(
+        Verdict.UNKNOWN, None, f"all expansions up to depth {max_depth} pass"
+    )
+
+
+def datalog_contained_bounded(
+    sub: DatalogQuery, sup: DatalogQuery, max_depth: int
+) -> ContainmentResult:
+    """Sound refuter for Datalog ⊑ Datalog (undecidable in general [25]).
+
+    Checks every expansion of ``sub`` up to ``max_depth`` against ``sup``
+    (each individual check is exact).  ``NO`` results carry a witness
+    expansion; otherwise the verdict is ``UNKNOWN``.
+    """
+    for approx in approximations(sub, max_depth):
+        if not cq_contained_in_datalog(approx, sup):
+            return ContainmentResult(
+                Verdict.NO, approx, "witness expansion found"
+            )
+    return ContainmentResult(
+        Verdict.UNKNOWN, None, f"verified up to depth {max_depth}"
+    )
+
+
+def datalog_equivalent_bounded(
+    left: DatalogQuery, right: DatalogQuery, max_depth: int
+) -> ContainmentResult:
+    """Bounded equivalence check: both containments, bounded."""
+    forward = datalog_contained_bounded(left, right, max_depth)
+    if forward.verdict is Verdict.NO:
+        return forward
+    backward = datalog_contained_bounded(right, left, max_depth)
+    if backward.verdict is Verdict.NO:
+        return backward
+    return ContainmentResult(
+        Verdict.UNKNOWN, None, f"equivalent up to depth {max_depth}"
+    )

@@ -1,0 +1,215 @@
+"""Conjunctive queries (§2).
+
+A :class:`ConjunctiveQuery` is ``q(x̄) = ∃ȳ φ(x̄, ȳ)`` with ``φ`` a
+conjunction of atoms.  Provides canonical databases, evaluation by
+homomorphism (Chandra–Merlin), classical containment, radius and
+connectivity, and renaming utilities used throughout the library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Optional, Sequence
+
+from repro.core.atoms import Atom, atoms_variables
+from repro.core.gaifman import is_connected as _instance_connected
+from repro.core.gaifman import radius as _instance_radius
+from repro.core.homomorphism import has_homomorphism, homomorphisms
+from repro.core.instance import Instance
+from repro.core.terms import Variable, is_variable
+from repro.util.canonical import canonical_form
+from repro.util.fresh import FreshNames
+
+
+@dataclass(frozen=True, slots=True)
+class CanonConst:
+    """The canonical-database constant ``c_x`` for a variable ``x``."""
+
+    name: str
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"c[{self.name}]"
+
+
+@dataclass(frozen=True)
+class ConjunctiveQuery:
+    """A conjunctive query with ordered answer variables.
+
+    ``head_vars`` may be empty (Boolean query).  Every head variable must
+    occur in the body (safety).
+    """
+
+    head_vars: tuple[Variable, ...]
+    atoms: tuple[Atom, ...]
+    name: str = "Q"
+
+    def __init__(
+        self,
+        head_vars: Iterable[Variable] = (),
+        atoms: Iterable[Atom] = (),
+        name: str = "Q",
+    ) -> None:
+        object.__setattr__(self, "head_vars", tuple(head_vars))
+        object.__setattr__(self, "atoms", tuple(atoms))
+        object.__setattr__(self, "name", name)
+        body_vars = atoms_variables(self.atoms)
+        for var in self.head_vars:
+            if var not in body_vars:
+                raise ValueError(f"unsafe head variable {var} in CQ {name}")
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    @property
+    def arity(self) -> int:
+        return len(self.head_vars)
+
+    def is_boolean(self) -> bool:
+        return not self.head_vars
+
+    def variables(self) -> set[Variable]:
+        return atoms_variables(self.atoms)
+
+    def existential_variables(self) -> set[Variable]:
+        return self.variables() - set(self.head_vars)
+
+    def predicates(self) -> set[str]:
+        return {a.pred for a in self.atoms}
+
+    def size(self) -> int:
+        """Number of atoms."""
+        return len(self.atoms)
+
+    def canonical_database(self) -> Instance:
+        """``Canondb(Q)``: each variable ``x`` frozen to ``c_x`` (§2)."""
+        frozen = {v: CanonConst(v.name) for v in self.variables()}
+        return Instance(a.substitute(frozen) for a in self.atoms)
+
+    def frozen_head(self) -> tuple:
+        """The head tuple in canonical-database constants."""
+        return tuple(CanonConst(v.name) for v in self.head_vars)
+
+    def is_connected(self) -> bool:
+        """Gaifman connectivity of the canonical database."""
+        return _instance_connected(self.canonical_database())
+
+    def radius(self) -> float:
+        """Radius of the Gaifman graph of the canonical database (§2)."""
+        return _instance_radius(self.canonical_database())
+
+    def certificate(self) -> tuple:
+        """Renaming-invariant identity (for dedup up to isomorphism)."""
+        return canonical_form(self.atoms, self.head_vars)
+
+    # ------------------------------------------------------------------
+    # evaluation (Chandra–Merlin)
+    # ------------------------------------------------------------------
+    def evaluate(self, instance: Instance) -> set[tuple]:
+        """Output of the query: all head-variable images of homomorphisms."""
+        seen: set[tuple] = set()
+        for hom in homomorphisms(self.atoms, instance):
+            seen.add(tuple(hom[v] for v in self.head_vars))
+        return seen
+
+    def holds(self, instance: Instance, answer: Sequence = ()) -> bool:
+        """``I ⊨ Q(answer)``; for Boolean queries pass no answer."""
+        if len(answer) != self.arity:
+            raise ValueError(
+                f"arity mismatch: query has {self.arity}, got {len(answer)}"
+            )
+        fixed = dict(zip(self.head_vars, answer))
+        return has_homomorphism(self.atoms, instance, fixed)
+
+    def boolean(self, instance: Instance) -> bool:
+        """Truth value on ``instance`` ignoring head variables."""
+        return has_homomorphism(self.atoms, instance)
+
+    # ------------------------------------------------------------------
+    # containment and equivalence
+    # ------------------------------------------------------------------
+    def is_contained_in(self, other: "ConjunctiveQuery") -> bool:
+        """``self ⊑ other``: a containment mapping from other into self."""
+        if self.arity != other.arity:
+            return False
+        canon = self.canonical_database()
+        fixed = dict(zip(other.head_vars, self.frozen_head()))
+        return has_homomorphism(other.atoms, canon, fixed)
+
+    def is_equivalent_to(self, other: "ConjunctiveQuery") -> bool:
+        return self.is_contained_in(other) and other.is_contained_in(self)
+
+    def core(self) -> "ConjunctiveQuery":
+        """A core of the query: minimal equivalent sub-query.
+
+        Repeatedly tries to drop an atom while preserving equivalence (a
+        folding endomorphism exists).  Exponential in the worst case but
+        the queries we core are small.
+        """
+        atoms = list(self.atoms)
+        changed = True
+        while changed:
+            changed = False
+            for i in range(len(atoms)):
+                candidate = atoms[:i] + atoms[i + 1:]
+                used = atoms_variables(candidate)
+                if any(v not in used for v in self.head_vars):
+                    continue
+                smaller = ConjunctiveQuery(self.head_vars, candidate, self.name)
+                if smaller.is_equivalent_to(self):
+                    atoms = candidate
+                    changed = True
+                    break
+        return ConjunctiveQuery(self.head_vars, atoms, self.name)
+
+    # ------------------------------------------------------------------
+    # renaming
+    # ------------------------------------------------------------------
+    def substitute(self, mapping: Mapping) -> "ConjunctiveQuery":
+        """Apply a term substitution to head and body."""
+        head = tuple(mapping.get(v, v) for v in self.head_vars)
+        for term in head:
+            if not is_variable(term):
+                raise ValueError("substitution must keep head variables")
+        return ConjunctiveQuery(
+            head, tuple(a.substitute(mapping) for a in self.atoms), self.name
+        )
+
+    def rename_apart(self, fresh: Optional[FreshNames] = None) -> "ConjunctiveQuery":
+        """A copy with all variables renamed to globally fresh ones."""
+        fresh = fresh or FreshNames("u")
+        renaming = {v: Variable(fresh()) for v in self.variables()}
+        return self.substitute(renaming)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        head = ", ".join(v.name for v in self.head_vars)
+        body = ", ".join(map(repr, self.atoms))
+        return f"{self.name}({head}) :- {body}"
+
+
+def cq_from_instance(
+    instance: Instance, answer: Sequence = (), name: str = "Q"
+) -> ConjunctiveQuery:
+    """Interpret an instance as a CQ (its elements become variables).
+
+    Used by the forward–backward method (Prop. 8): "interpreting the
+    resulting facts as a query".  ``answer`` lists elements that become
+    answer variables, in order.
+    """
+    var_of = {
+        e: Variable(f"z{i}")
+        for i, e in enumerate(sorted(instance.active_domain(), key=repr))
+    }
+    atoms = tuple(
+        Atom(f.pred, tuple(var_of[a] for a in f.args))
+        for f in sorted(instance.facts(), key=repr)
+    )
+    head = tuple(var_of[e] for e in answer)
+    return ConjunctiveQuery(head, atoms, name)
+
+
+def iter_subqueries(query: ConjunctiveQuery) -> Iterator[ConjunctiveQuery]:
+    """All sub-queries obtained by dropping one atom (safety permitting)."""
+    for i in range(len(query.atoms)):
+        rest = query.atoms[:i] + query.atoms[i + 1:]
+        if set(query.head_vars) <= atoms_variables(rest):
+            yield ConjunctiveQuery(query.head_vars, rest, query.name)

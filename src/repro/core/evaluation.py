@@ -1,0 +1,118 @@
+"""Fixpoint evaluation of Datalog programs (``FPEval``, §2).
+
+Two strategies:
+
+* :func:`naive_fixpoint` — re-derives everything each round (kept for the
+  ABL-EVAL ablation benchmark and as a correctness oracle in tests).
+* :func:`seminaive_fixpoint` — the production strategy: each round only
+  considers rule instantiations using at least one *newly derived* IDB
+  fact, via delta-rule rewriting of each rule body.
+
+Both return the minimal IDB-extension of the input instance satisfying
+the program, i.e. ``FPEval(Π, I)`` including the original EDB facts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.core.atoms import Atom
+from repro.core.datalog import DatalogProgram, Rule
+from repro.core.homomorphism import _bindings_for_row, _pattern, homomorphisms
+from repro.core.instance import Instance
+
+
+def _rule_derivations(rule: Rule, instance: Instance) -> Iterator[Atom]:
+    """All head facts derivable from ``rule`` against ``instance``."""
+    if not rule.body:
+        yield rule.head
+        return
+    for hom in homomorphisms(rule.body, instance):
+        yield rule.head.substitute(hom)
+
+
+def naive_fixpoint(program: DatalogProgram, instance: Instance) -> Instance:
+    """Round-based naive evaluation."""
+    state = instance.copy()
+    changed = True
+    while changed:
+        derived = [
+            fact
+            for rule in program.rules
+            for fact in _rule_derivations(rule, state)
+        ]
+        changed = False
+        for fact in derived:
+            if state.add(fact):
+                changed = True
+    return state
+
+
+def _delta_derivations(
+    rule: Rule,
+    state: Instance,
+    delta: Instance,
+    idb: set[str],
+) -> Iterator[Atom]:
+    """Derivations of ``rule`` using >=1 delta fact for some IDB body atom.
+
+    For each IDB body atom position ``i`` we seed the join with the delta
+    facts at that atom and match the remaining atoms against the full
+    state.  This enumerates every instantiation touching the delta (a
+    superset-free cover is not needed; duplicates are deduplicated by the
+    caller's ``Instance.add``).
+    """
+    body = rule.body
+    for i, atom in enumerate(body):
+        if atom.pred not in idb:
+            continue
+        rest = body[:i] + body[i + 1:]
+        for row in delta.matching(atom.pred, _pattern(atom, {})):
+            seed = _bindings_for_row(atom, row, {})
+            if seed is None:
+                continue
+            for hom in homomorphisms(rest, state, fixed=seed):
+                yield rule.head.substitute(hom)
+
+
+def seminaive_fixpoint(program: DatalogProgram, instance: Instance) -> Instance:
+    """Semi-naive evaluation with per-round deltas."""
+    idb = program.idb_predicates()
+    state = instance.copy()
+
+    # Round 0: rules fire on the EDB alone (plus unconditional facts).
+    delta = Instance()
+    for rule in program.rules:
+        for fact in _rule_derivations(rule, state):
+            if fact not in state:
+                delta.add(fact)
+    state.update(delta.facts())
+
+    while len(delta):
+        fresh = Instance()
+        for rule in program.rules:
+            if not any(a.pred in idb for a in rule.body):
+                continue  # cannot use new IDB facts
+            for fact in _delta_derivations(rule, state, delta, idb):
+                if fact not in state and fact not in fresh:
+                    fresh.add(fact)
+        state.update(fresh.facts())
+        delta = fresh
+    return state
+
+
+def fixpoint(
+    program: DatalogProgram, instance: Instance, strategy: str = "seminaive"
+) -> Instance:
+    """``FPEval(Π, I)`` with a selectable strategy."""
+    if strategy == "seminaive":
+        return seminaive_fixpoint(program, instance)
+    if strategy == "naive":
+        return naive_fixpoint(program, instance)
+    raise ValueError(f"unknown strategy {strategy!r}")
+
+
+def idb_facts(program: DatalogProgram, instance: Instance) -> Instance:
+    """Only the derived IDB facts of the fixpoint."""
+    full = fixpoint(program, instance)
+    return full.restrict(program.idb_predicates())

@@ -1,0 +1,87 @@
+"""Gaifman graphs, radius, and connectivity (§2 of the paper).
+
+The Gaifman graph of an instance has the active-domain elements as nodes
+and an edge between any two elements co-occurring in a fact.  The *radius*
+``min_u max_v dist(u, v)`` bounds how far view definitions can "reach"
+(Lemma 3 uses the maximal radius of the view CQs).
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import combinations
+
+import networkx as nx
+
+from repro.core.instance import Instance
+
+
+def gaifman_graph(instance: Instance) -> nx.Graph:
+    """The Gaifman graph of ``instance`` (isolated elements included)."""
+    graph = nx.Graph()
+    graph.add_nodes_from(instance.active_domain())
+    for fact in instance.facts():
+        distinct = set(fact.args)
+        for u, v in combinations(distinct, 2):
+            graph.add_edge(u, v)
+    return graph
+
+
+def radius(instance: Instance) -> float:
+    """Radius of the Gaifman graph.
+
+    Returns 0 for empty or single-element instances and ``math.inf`` when
+    the graph is disconnected (a disconnected CQ has unbounded reach; the
+    paper handles such views by splitting them into connected parts).
+    """
+    graph = gaifman_graph(instance)
+    if graph.number_of_nodes() <= 1:
+        return 0
+    if not nx.is_connected(graph):
+        return math.inf
+    ecc = nx.eccentricity(graph)
+    return min(ecc.values())
+
+
+def is_connected(instance: Instance) -> bool:
+    """Whether the Gaifman graph is connected (vacuously true if <=1 node)."""
+    graph = gaifman_graph(instance)
+    if graph.number_of_nodes() <= 1:
+        return True
+    return nx.is_connected(graph)
+
+
+def connected_components(instance: Instance) -> list[Instance]:
+    """Split an instance into its Gaifman-connected components.
+
+    Facts over disjoint element sets land in different components; the
+    0-ary facts (if any) are attached to every component or returned as a
+    separate component when the instance is otherwise empty.
+    """
+    graph = gaifman_graph(instance)
+    components = list(nx.connected_components(graph))
+    if not components:
+        return [instance.copy()] if len(instance) else []
+    parts: list[Instance] = []
+    nullary = [f for f in instance.facts() if not f.args]
+    for comp in components:
+        part = Instance()
+        for fact in instance.facts():
+            if fact.args and set(fact.args) <= comp:
+                part.add(fact)
+        for fact in nullary:
+            part.add(fact)
+        if len(part):
+            parts.append(part)
+    if not parts and nullary:
+        parts.append(Instance(nullary))
+    return parts
+
+
+def distance(instance: Instance, u, v) -> float:
+    """Gaifman distance between two elements (``inf`` if disconnected)."""
+    graph = gaifman_graph(instance)
+    try:
+        return nx.shortest_path_length(graph, u, v)
+    except (nx.NetworkXNoPath, nx.NodeNotFound):
+        return math.inf

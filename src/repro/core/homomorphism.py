@@ -1,0 +1,265 @@
+"""Homomorphism engine.
+
+Homomorphism search is the computational heart of the library: CQ
+evaluation, containment, canonical tests, tiling-as-homomorphism and the
+pebble-game machinery all reduce to it.  We implement backtracking join
+over the atoms of the source pattern with
+
+* per-atom candidate enumeration through the instance's positional index,
+* dynamic "fewest candidates first" atom ordering (with a static mode kept
+  for the ablation benchmark ABL-HOM), and
+* early consistency checks for repeated variables.
+
+Constants map to themselves (standard CQ semantics, §2).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Optional, Sequence
+
+from repro.core.atoms import Atom
+from repro.core.instance import Instance
+from repro.core.terms import Variable, is_variable
+
+
+def _pattern(atom: Atom, assignment: Mapping) -> list:
+    """The match pattern of ``atom`` under the current partial assignment."""
+    pattern = []
+    for term in atom.args:
+        if is_variable(term):
+            pattern.append(assignment.get(term))
+        else:
+            pattern.append(term)
+    return pattern
+
+
+def _bindings_for_row(
+    atom: Atom, row: tuple, assignment: Mapping
+) -> Optional[dict]:
+    """New variable bindings making ``atom`` match ``row``, or None.
+
+    Checks consistency for repeated variables within the atom and against
+    the existing assignment.
+    """
+    new: dict = {}
+    for term, value in zip(atom.args, row):
+        if is_variable(term):
+            bound = assignment.get(term, new.get(term))
+            if bound is None:
+                new[term] = value
+            elif bound != value:
+                return None
+        elif term != value:
+            return None
+    return new
+
+
+def _candidate_count(atom: Atom, target: Instance, assignment: Mapping) -> int:
+    return target.count_matching(atom.pred, _pattern(atom, assignment))
+
+
+def _search(
+    atoms: Sequence[Atom],
+    target: Instance,
+    assignment: dict,
+    dynamic: bool,
+) -> Iterator[dict]:
+    """Yield total assignments extending ``assignment`` over all atoms.
+
+    Iterative backtracking (an explicit frame stack): patterns with
+    thousands of atoms — whole-instance homomorphism checks — must not
+    hit the Python recursion limit.
+    """
+    if not atoms:
+        yield dict(assignment)
+        return
+
+    remaining = list(atoms)
+
+    def pick(pool: list[Atom]) -> Atom:
+        if dynamic:
+            best = min(
+                range(len(pool)),
+                key=lambda i: _candidate_count(pool[i], target, assignment),
+            )
+        else:
+            best = 0
+        return pool.pop(best)
+
+    # each frame: (atom, row-iterator, bindings-made, rest-pool)
+    first = pick(remaining)
+    stack = [
+        (
+            first,
+            target.matching(first.pred, _pattern(first, assignment)),
+            None,
+            remaining,
+        )
+    ]
+    while stack:
+        atom, rows, made, pool = stack[-1]
+        if made is not None:
+            for key in made:
+                del assignment[key]
+            stack[-1] = (atom, rows, None, pool)
+        advanced = False
+        for row in rows:
+            new = _bindings_for_row(atom, row, assignment)
+            if new is None:
+                continue
+            assignment.update(new)
+            if not pool:
+                yield dict(assignment)
+                for key in new:
+                    del assignment[key]
+                continue
+            stack[-1] = (atom, rows, new, pool)
+            rest = list(pool)
+            nxt = pick(rest)
+            stack.append(
+                (
+                    nxt,
+                    target.matching(nxt.pred, _pattern(nxt, assignment)),
+                    None,
+                    rest,
+                )
+            )
+            advanced = True
+            break
+        if not advanced:
+            stack.pop()
+
+
+def _connected_order(atoms: list[Atom], target: Instance) -> list[Atom]:
+    """A one-shot join order: cheapest seed, then variable-connected.
+
+    Used for large patterns where per-step candidate counting (dynamic
+    ordering) costs more than it saves.
+    """
+    remaining = list(atoms)
+    ordered: list[Atom] = []
+    bound: set = set()
+    while remaining:
+        connected = [
+            a for a in remaining if a.variables() & bound
+        ] or remaining
+        best = min(
+            connected,
+            key=lambda a: len(target.tuples(a.pred)),
+        )
+        remaining.remove(best)
+        ordered.append(best)
+        bound |= best.variables()
+    return ordered
+
+
+_DYNAMIC_ATOM_LIMIT = 30
+
+
+def homomorphisms(
+    atoms: Iterable[Atom],
+    target: Instance,
+    fixed: Optional[Mapping[Variable, object]] = None,
+    ordering: str = "auto",
+) -> Iterator[dict]:
+    """All homomorphisms from the atom set into ``target``.
+
+    ``fixed`` pre-binds variables (used to evaluate queries at a given
+    tuple and to check rooted mappings).  ``ordering``:
+
+    * ``"dynamic"`` — fewest-candidates-first at every step (best for
+      small patterns);
+    * ``"static"`` — the given atom order;
+    * ``"connected"`` — one-shot connected join order;
+    * ``"auto"`` (default) — dynamic below ``_DYNAMIC_ATOM_LIMIT``
+      atoms, connected above.
+    """
+    atom_list = list(atoms)
+    if ordering == "auto":
+        ordering = (
+            "dynamic" if len(atom_list) <= _DYNAMIC_ATOM_LIMIT
+            else "connected"
+        )
+    if ordering == "connected":
+        atom_list = _connected_order(atom_list, target)
+        ordering = "static"
+    assignment: dict = dict(fixed) if fixed else {}
+    yield from _search(atom_list, target, assignment, ordering == "dynamic")
+
+
+def find_homomorphism(
+    atoms: Iterable[Atom],
+    target: Instance,
+    fixed: Optional[Mapping[Variable, object]] = None,
+    ordering: str = "auto",
+) -> Optional[dict]:
+    """The first homomorphism found, or None."""
+    return next(homomorphisms(atoms, target, fixed, ordering), None)
+
+
+def has_homomorphism(
+    atoms: Iterable[Atom],
+    target: Instance,
+    fixed: Optional[Mapping[Variable, object]] = None,
+) -> bool:
+    """Whether some homomorphism exists."""
+    return find_homomorphism(atoms, target, fixed) is not None
+
+
+def _instance_as_atoms(source: Instance) -> tuple[list[Atom], dict]:
+    """View an instance as a pattern: one variable per domain element."""
+    var_of = {e: Variable(f"_e{i}") for i, e in enumerate(sorted(
+        source.active_domain(), key=repr))}
+    pattern = [
+        Atom(f.pred, tuple(var_of[a] for a in f.args)) for f in source.facts()
+    ]
+    return pattern, var_of
+
+
+def instance_homomorphism(
+    source: Instance, target: Instance
+) -> Optional[dict]:
+    """A homomorphism ``source -> target`` on elements, or None.
+
+    This is the ``I → I'`` relation of §2: every element of the source may
+    be renamed (there are no constants-in-data; data elements are
+    freely mappable).
+    """
+    pattern, var_of = _instance_as_atoms(source)
+    hom = find_homomorphism(pattern, target)
+    if hom is None:
+        return None
+    return {elem: hom[var] for elem, var in var_of.items()}
+
+
+def instance_maps_into(source: Instance, target: Instance) -> bool:
+    """``source → target`` (§2 notation)."""
+    return instance_homomorphism(source, target) is not None
+
+
+def homomorphically_equivalent(left: Instance, right: Instance) -> bool:
+    """Mutual homomorphisms in both directions."""
+    return instance_maps_into(left, right) and instance_maps_into(right, left)
+
+
+def is_partial_homomorphism(
+    mapping: Mapping, source: Instance, target: Instance
+) -> bool:
+    """Check the pebble-game condition (§7).
+
+    ``mapping`` is a partial map on the active domain of ``source``.  The
+    condition: whenever all arguments of a source fact lie in the domain
+    of ``mapping``, the image fact must be in ``target``.
+    """
+    dom = set(mapping)
+    for fact in source.facts():
+        if all(arg in dom for arg in fact.args):
+            image = tuple(mapping[arg] for arg in fact.args)
+            if not target.has_tuple(fact.pred, image):
+                return False
+    return True
+
+
+def count_homomorphisms(atoms: Iterable[Atom], target: Instance) -> int:
+    """Number of homomorphisms (used in tests and benchmarks)."""
+    return sum(1 for _ in homomorphisms(atoms, target))

@@ -1,0 +1,255 @@
+"""Database instances: sets of facts with per-predicate indexes.
+
+An :class:`Instance` is a set of facts over a schema (§2).  Internally
+facts are stored as a map ``pred -> set of argument tuples`` which makes
+joins, view application, and fixpoint evaluation efficient.  A secondary
+index ``(pred, position, value) -> tuples`` is built lazily for pattern
+matching and invalidated on mutation.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Callable, Iterable, Iterator, Optional, Sequence
+
+from repro.core.atoms import Atom, Fact
+from repro.core.schema import Schema
+
+
+class Instance:
+    """A (finite) database instance.
+
+    Supports the operations the paper uses pervasively: active domain
+    computation, restriction to a sub-signature, unions, element renaming
+    (homomorphic images), and sub-instance checks.
+    """
+
+    __slots__ = ("_tuples", "_index", "_index_dirty")
+
+    def __init__(self, facts: Iterable[Fact] = ()) -> None:
+        self._tuples: dict[str, set[tuple]] = defaultdict(set)
+        self._index: dict[tuple, list[tuple]] = {}
+        self._index_dirty = True
+        for fact in facts:
+            self.add(fact)
+
+    # ------------------------------------------------------------------
+    # construction and mutation
+    # ------------------------------------------------------------------
+    @staticmethod
+    def of(*facts: Fact) -> "Instance":
+        """Varargs constructor: ``Instance.of(Fact("R", (1, 2)), ...)``."""
+        return Instance(facts)
+
+    @staticmethod
+    def from_tuples(pred_tuples: dict[str, Iterable[Sequence]]) -> "Instance":
+        """Build from ``{"R": [(1, 2), ...], ...}``."""
+        inst = Instance()
+        for pred, rows in pred_tuples.items():
+            for row in rows:
+                inst.add_tuple(pred, tuple(row))
+        return inst
+
+    def add(self, fact: Fact) -> bool:
+        """Add a fact; returns True if it was new."""
+        if not fact.is_ground():
+            raise ValueError(f"cannot add non-ground atom {fact!r}")
+        return self.add_tuple(fact.pred, fact.args)
+
+    def add_tuple(self, pred: str, args: tuple) -> bool:
+        """Add a fact given as predicate + argument tuple."""
+        rows = self._tuples[pred]
+        if args in rows:
+            return False
+        rows.add(args)
+        self._index_dirty = True
+        return True
+
+    def update(self, facts: Iterable[Fact]) -> None:
+        for fact in facts:
+            self.add(fact)
+
+    def discard(self, fact: Fact) -> None:
+        rows = self._tuples.get(fact.pred)
+        if rows is not None and fact.args in rows:
+            rows.remove(fact.args)
+            self._index_dirty = True
+
+    def copy(self) -> "Instance":
+        clone = Instance()
+        for pred, rows in self._tuples.items():
+            if rows:
+                clone._tuples[pred] = set(rows)
+        return clone
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def facts(self) -> Iterator[Fact]:
+        """Iterate over all facts as :class:`Atom` objects."""
+        for pred, rows in self._tuples.items():
+            for row in rows:
+                yield Atom(pred, row)
+
+    def tuples(self, pred: str) -> frozenset:
+        """All argument tuples of relation ``pred`` (empty if absent)."""
+        return frozenset(self._tuples.get(pred, ()))
+
+    def predicates(self) -> set[str]:
+        """Relation names with at least one fact."""
+        return {p for p, rows in self._tuples.items() if rows}
+
+    def schema(self) -> Schema:
+        """Infer the schema of the stored facts."""
+        return Schema.from_atoms(self.facts())
+
+    def active_domain(self) -> set:
+        """``adom(I)``: every element occurring in some fact."""
+        dom: set = set()
+        for rows in self._tuples.values():
+            for row in rows:
+                dom.update(row)
+        return dom
+
+    def __len__(self) -> int:
+        return sum(len(rows) for rows in self._tuples.values())
+
+    def __bool__(self) -> bool:
+        return any(self._tuples.values())
+
+    def __contains__(self, fact: Fact) -> bool:
+        rows = self._tuples.get(fact.pred)
+        return rows is not None and fact.args in rows
+
+    def has_tuple(self, pred: str, args: tuple) -> bool:
+        rows = self._tuples.get(pred)
+        return rows is not None and args in rows
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Instance):
+            return NotImplemented
+        preds = self.predicates() | other.predicates()
+        return all(self.tuples(p) == other.tuples(p) for p in preds)
+
+    def __hash__(self) -> int:  # instances are mutable; identity hash
+        return id(self)
+
+    def __le__(self, other: "Instance") -> bool:
+        """Sub-instance check (fact-set inclusion)."""
+        return all(
+            self.tuples(p) <= other.tuples(p) for p in self.predicates()
+        )
+
+    def __or__(self, other: "Instance") -> "Instance":
+        merged = self.copy()
+        merged.update(other.facts())
+        return merged
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        n = len(self)
+        preds = ", ".join(sorted(self.predicates()))
+        return f"<Instance {n} facts over {{{preds}}}>"
+
+    def pretty(self) -> str:
+        """Multi-line human-readable rendering (sorted, stable)."""
+        lines = []
+        for pred in sorted(self.predicates()):
+            for row in sorted(self._tuples[pred], key=repr):
+                lines.append(f"{pred}({', '.join(map(repr, row))})")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # pattern matching (used by the homomorphism engine and FPEval)
+    # ------------------------------------------------------------------
+    def _build_index(self) -> None:
+        self._index = defaultdict(list)
+        for pred, rows in self._tuples.items():
+            for row in rows:
+                for pos, val in enumerate(row):
+                    self._index[(pred, pos, val)].append(row)
+        self._index_dirty = False
+
+    def matching(
+        self, pred: str, pattern: Sequence[Optional[Any]]
+    ) -> Iterator[tuple]:
+        """Yield tuples of ``pred`` agreeing with ``pattern``.
+
+        ``pattern`` is a sequence where ``None`` means "any value".  Uses
+        the positional index when some position is bound, otherwise scans.
+        Repeated values in the pattern are enforced.
+        """
+        rows = self._tuples.get(pred)
+        if not rows:
+            return
+        bound = [(i, v) for i, v in enumerate(pattern) if v is not None]
+        if bound:
+            if self._index_dirty:
+                self._build_index()
+            # Pick the most selective bound position.
+            best: Optional[list[tuple]] = None
+            for pos, val in bound:
+                cands = self._index.get((pred, pos, val), [])
+                if best is None or len(cands) < len(best):
+                    best = cands
+            candidates: Iterable[tuple] = best if best is not None else rows
+        else:
+            candidates = rows
+        for row in candidates:
+            if row not in rows:  # stale index entry after discard
+                continue
+            if all(row[i] == v for i, v in bound):
+                yield row
+
+    def count_matching(self, pred: str, pattern: Sequence[Optional[Any]]) -> int:
+        return sum(1 for _ in self.matching(pred, pattern))
+
+    # ------------------------------------------------------------------
+    # transformations
+    # ------------------------------------------------------------------
+    def restrict(self, predicates: Iterable[str]) -> "Instance":
+        """Restriction to a sub-signature: ``I ↾ Σ'``."""
+        keep = set(predicates)
+        out = Instance()
+        for pred, rows in self._tuples.items():
+            if pred in keep and rows:
+                out._tuples[pred] = set(rows)
+        return out
+
+    def drop(self, predicates: Iterable[str]) -> "Instance":
+        """Remove all facts of the given predicates."""
+        omit = set(predicates)
+        return self.restrict(self.predicates() - omit)
+
+    def map_elements(self, mapping: Callable[[Any], Any] | dict) -> "Instance":
+        """Homomorphic image: apply ``mapping`` to every domain element.
+
+        ``mapping`` may be a dict (elements absent from it are kept as-is)
+        or a callable.
+        """
+        if isinstance(mapping, dict):
+            fn = lambda x: mapping.get(x, x)  # noqa: E731
+        else:
+            fn = mapping
+        out = Instance()
+        for pred, rows in self._tuples.items():
+            for row in rows:
+                out.add_tuple(pred, tuple(fn(v) for v in row))
+        return out
+
+    def relabel_predicates(self, renaming: dict[str, str]) -> "Instance":
+        """Rename relation symbols (absent names kept as-is)."""
+        out = Instance()
+        for pred, rows in self._tuples.items():
+            target = renaming.get(pred, pred)
+            for row in rows:
+                out.add_tuple(target, row)
+        return out
+
+    def difference(self, other: "Instance") -> "Instance":
+        """Facts of ``self`` not present in ``other``."""
+        out = Instance()
+        for pred, rows in self._tuples.items():
+            extra = rows - set(other.tuples(pred))
+            if extra:
+                out._tuples[pred] = extra
+        return out

@@ -1,0 +1,185 @@
+"""Monadic Datalog normalization (Prop. 2, after [Chaudhuri–Vardi]).
+
+An MDL query is *normalized* when the body of any recursive rule contains
+no IDB atom carrying the head variable.  Normalization matters because CQ
+approximations of normalized queries admit tree decompositions with
+``l(TD) ≤ 2`` (Lemma 1), the hypothesis of the treewidth bound of Lemma 3.
+
+Construction.  For each unary IDB ``I`` we build a new predicate ``N_I``
+with one rule per *absorption configuration* ``(R, f)``:
+
+* ``R`` is a set of unary IDBs with ``I ∈ R``,
+* ``f`` picks a defining rule for each member of ``R``,
+* the "on-x" demands are closed (every IDB atom on the head variable in a
+  chosen body has its predicate in ``R``) and *acyclic* (so the combined
+  support corresponds to a well-founded derivation, never circular
+  support like ``I(x) ← I(x)``), and
+* every member of ``R ∖ {I}`` is demanded by some chosen body.
+
+The emitted body is the union of the chosen bodies with the head variable
+unified, non-head variables renamed apart, on-x IDB atoms dropped, and
+remaining IDB atoms renamed to their ``N_…`` versions.  Nullary-headed
+rules only need the renaming.  The result is a normalized MDL query
+equivalent to the input.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations, product
+from typing import Iterator
+
+import networkx as nx
+
+from repro.core.atoms import Atom
+from repro.core.datalog import DatalogProgram, DatalogQuery, Rule
+from repro.core.terms import Variable
+from repro.util.fresh import FreshNames
+
+
+def is_normalized(query: DatalogQuery) -> bool:
+    """Whether no rule body has an IDB atom on the rule's head variable."""
+    idb = query.program.idb_predicates()
+    for rule in query.program.rules:
+        head_vars = rule.head.variables()
+        if not head_vars:
+            continue
+        for atom in rule.body:
+            if atom.pred in idb and atom.variables() & head_vars:
+                return False
+    return True
+
+
+def _on_head_idbs(rule: Rule, idb: set[str]) -> set[str]:
+    """Predicates of body IDB atoms carrying the head variable."""
+    head_vars = rule.head.variables()
+    return {
+        a.pred
+        for a in rule.body
+        if a.pred in idb and a.variables() & head_vars
+    }
+
+
+def _rename_body(
+    rule: Rule,
+    head_var: Variable,
+    idb: set[str],
+    new_name: dict[str, str],
+    fresh: FreshNames,
+) -> list[Atom]:
+    """One chosen rule's contribution to an absorption body.
+
+    Head variable unified to ``head_var``, other variables fresh, on-x
+    IDB atoms dropped, remaining IDB atoms renamed.
+    """
+    old_head = next(iter(rule.head.variables()))
+    renaming: dict[Variable, Variable] = {old_head: head_var}
+    for var in rule.variables():
+        if var not in renaming:
+            renaming[var] = Variable(fresh())
+    out: list[Atom] = []
+    for atom in rule.body:
+        sub = atom.substitute(renaming)
+        if atom.pred in idb:
+            if head_var in sub.variables():
+                continue  # absorbed via R
+            out.append(Atom(new_name[atom.pred], sub.args))
+        else:
+            out.append(sub)
+    return out
+
+
+def _configurations(
+    program: DatalogProgram, pred: str, idb: set[str]
+) -> Iterator[dict[str, Rule]]:
+    """All valid absorption configurations ``(R, f)`` for ``pred``.
+
+    Yields the rule choice ``f`` as a dict ``R → Rule``; validity is the
+    closure + acyclicity + demandedness condition documented above.
+    """
+    unary_idbs = sorted(
+        p for p in idb if program.arity_of(p) == 1
+    )
+    others = [p for p in unary_idbs if p != pred]
+    for extra_size in range(len(others) + 1):
+        for extra in combinations(others, extra_size):
+            members = (pred,) + extra
+            rule_options = [program.rules_for(p) for p in members]
+            if any(not opts for opts in rule_options):
+                continue
+            for choice in product(*rule_options):
+                config = dict(zip(members, choice))
+                demands = {
+                    p: _on_head_idbs(r, idb) & set(unary_idbs)
+                    for p, r in config.items()
+                }
+                # closure: every demand is in R
+                if any(d - set(members) for d in demands.values()):
+                    continue
+                # demandedness: each extra member is demanded by someone
+                demanded: set[str] = set()
+                for d in demands.values():
+                    demanded |= d
+                if any(p not in demanded for p in extra):
+                    continue
+                # acyclicity of the on-x support
+                graph = nx.DiGraph()
+                graph.add_nodes_from(members)
+                for p, d in demands.items():
+                    for q in d:
+                        graph.add_edge(q, p)  # q must be derived before p
+                if not nx.is_directed_acyclic_graph(graph):
+                    continue
+                yield config
+
+
+def normalize(query: DatalogQuery) -> DatalogQuery:
+    """Return a normalized MDL query equivalent to ``query`` (Prop. 2).
+
+    Raises for non-monadic input.  Already-normalized queries are renamed
+    but otherwise unchanged in structure.
+    """
+    program = query.program
+    if not program.is_monadic():
+        raise ValueError("normalization applies to Monadic Datalog only")
+    idb = program.idb_predicates()
+    new_name = {p: f"N_{p}" for p in idb}
+    fresh = FreshNames("n")
+
+    new_rules: list[Rule] = []
+    for pred in sorted(idb):
+        arity = program.arity_of(pred)
+        if arity == 0:
+            # Nullary heads are trivially normalized; just rename IDBs.
+            for rule in program.rules_for(pred):
+                body = []
+                for atom in rule.body:
+                    if atom.pred in idb:
+                        body.append(Atom(new_name[atom.pred], atom.args))
+                    else:
+                        body.append(atom)
+                new_rules.append(Rule(Atom(new_name[pred], ()), tuple(body)))
+            continue
+
+        head_var = Variable(f"x_{pred}")
+        seen_bodies: set = set()
+        for config in _configurations(program, pred, idb):
+            body: list[Atom] = []
+            for member in sorted(config):
+                body.extend(
+                    _rename_body(config[member], head_var, idb, new_name, fresh)
+                )
+            from repro.util.canonical import canonical_form
+
+            cert = canonical_form(body, (head_var,))
+            if cert in seen_bodies:
+                continue
+            seen_bodies.add(cert)
+            new_rules.append(
+                Rule(Atom(new_name[pred], (head_var,)), tuple(body))
+            )
+
+    return DatalogQuery(
+        DatalogProgram(tuple(new_rules)),
+        new_name[query.goal],
+        f"{query.name}_normalized",
+    )

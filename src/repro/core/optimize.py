@@ -1,0 +1,128 @@
+"""Datalog program optimization.
+
+Generated programs (inverse rules, backward mappings, folded programs)
+carry redundancy: subsumed rules, redundant body atoms, unreachable
+IDBs.  The passes here shrink them while provably preserving the query:
+
+* :func:`minimize_rule_bodies` — per-rule body minimization (drop atoms
+  whose removal keeps the rule equivalent, the CQ-core idea lifted to
+  rules with a frozen head);
+* :func:`drop_subsumed_rules` — remove rules subsumed by another rule
+  for the same head;
+* :func:`reachable_rules` — keep only rules contributing to the goal;
+* :func:`optimize_query` — the composed pipeline.
+
+Rule subsumption here is the sound syntactic one (treating IDB body
+atoms as opaque): rule ``r`` subsumes ``r'`` when there is a
+homomorphism from ``r``'s body to ``r'``'s body fixing the head — then
+everything ``r'`` derives, ``r`` derives, over every IDB extension.
+"""
+
+from __future__ import annotations
+
+from repro.core.atoms import Atom
+from repro.core.cq import CanonConst
+from repro.core.datalog import DatalogProgram, DatalogQuery, Rule
+from repro.core.homomorphism import has_homomorphism
+from repro.core.instance import Instance
+from repro.core.terms import Variable, is_variable
+
+
+def _freeze(term):
+    return CanonConst(term.name) if isinstance(term, Variable) else term
+
+
+def _body_instance(rule: Rule) -> Instance:
+    return Instance(
+        Atom(a.pred, tuple(_freeze(t) for t in a.args)) for a in rule.body
+    )
+
+
+def rule_subsumes(general: Rule, specific: Rule) -> bool:
+    """Whether ``general`` derives everything ``specific`` does.
+
+    Sound test: a homomorphism from ``general``'s body into the frozen
+    body of ``specific`` that maps the head atoms identically.
+    """
+    if general.head.pred != specific.head.pred:
+        return False
+    if general.head.arity != specific.head.arity:
+        return False
+    fixed = {}
+    for g_term, s_term in zip(general.head.args, specific.head.args):
+        if is_variable(g_term):
+            target = _freeze(s_term)
+            if fixed.get(g_term, target) != target:
+                return False
+            fixed[g_term] = target
+        elif g_term != s_term:
+            return False
+    return has_homomorphism(general.body, _body_instance(specific), fixed)
+
+
+def minimize_rule_bodies(program: DatalogProgram) -> DatalogProgram:
+    """Drop body atoms whose removal keeps the rule self-subsuming."""
+    new_rules = []
+    for rule in program.rules:
+        body = list(rule.body)
+        changed = True
+        while changed:
+            changed = False
+            for index in range(len(body)):
+                candidate_body = body[:index] + body[index + 1:]
+                vars_left = set()
+                for atom in candidate_body:
+                    vars_left |= atom.variables()
+                if not rule.head.variables() <= vars_left:
+                    continue
+                candidate = Rule(rule.head, tuple(candidate_body))
+                if rule_subsumes(candidate, rule) and rule_subsumes(
+                    rule, candidate
+                ):
+                    body = candidate_body
+                    changed = True
+                    break
+        new_rules.append(Rule(rule.head, tuple(body)))
+    return DatalogProgram(tuple(new_rules))
+
+
+def drop_subsumed_rules(program: DatalogProgram) -> DatalogProgram:
+    """Remove rules subsumed by another rule of the program."""
+    kept: list[Rule] = []
+    for rule in program.rules:
+        if any(rule_subsumes(existing, rule) for existing in kept):
+            continue
+        kept = [
+            existing
+            for existing in kept
+            if not rule_subsumes(rule, existing)
+        ]
+        kept.append(rule)
+    return DatalogProgram(tuple(kept))
+
+
+def reachable_rules(query: DatalogQuery) -> DatalogQuery:
+    """Keep only rules whose head is reachable from the goal."""
+    needed = {query.goal}
+    changed = True
+    idb = query.program.idb_predicates()
+    while changed:
+        changed = False
+        for rule in query.program.rules:
+            if rule.head.pred in needed:
+                for atom in rule.body:
+                    if atom.pred in idb and atom.pred not in needed:
+                        needed.add(atom.pred)
+                        changed = True
+    rules = tuple(
+        r for r in query.program.rules if r.head.pred in needed
+    )
+    return DatalogQuery(DatalogProgram(rules), query.goal, query.name)
+
+
+def optimize_query(query: DatalogQuery) -> DatalogQuery:
+    """Reachability pruning + body minimization + rule subsumption."""
+    pruned = reachable_rules(query)
+    minimized = minimize_rule_bodies(pruned.program)
+    slim = drop_subsumed_rules(minimized)
+    return DatalogQuery(slim, query.goal, query.name)

@@ -1,0 +1,205 @@
+"""A small text syntax for rules, queries and instances.
+
+Grammar (whitespace-insensitive)::
+
+    program  := rule*
+    rule     := atom ("<-" | ":-") atomlist "."?   |  atom "."?
+    atom     := PRED "(" termlist? ")"
+    term     := VARIABLE | CONSTANT | NUMBER | STRING
+
+Conventions: predicate names start with an upper-case letter; bare
+lower-case identifiers are variables; numbers, single-quoted strings and
+identifiers starting with ``$`` are constants.  Comments run from ``%`` or
+``#`` to end of line.
+
+Example::
+
+    parse_program('''
+        W(x) <- A(x,y), B(y,v), W(v).
+        W(x) <- U(x).
+        Goal() <- W(x), M(x).
+    ''')
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator
+
+from repro.core.atoms import Atom
+from repro.core.cq import ConjunctiveQuery
+from repro.core.datalog import DatalogProgram, DatalogQuery, Rule
+from repro.core.instance import Instance
+from repro.core.terms import Variable
+from repro.core.ucq import UCQ
+
+_TOKEN = re.compile(
+    r"""
+    (?P<ws>\s+|%[^\n]*|\#[^\n]*)
+  | (?P<arrow><-|:-)
+  | (?P<lpar>\()
+  | (?P<rpar>\))
+  | (?P<comma>,)
+  | (?P<dot>\.)
+  | (?P<string>'[^']*')
+  | (?P<number>-?\d+)
+  | (?P<name>\$?\w+)
+    """,
+    re.VERBOSE,
+)
+
+
+class ParseError(ValueError):
+    """Raised on malformed input, with position information."""
+
+
+def _tokens(text: str) -> Iterator[tuple[str, str]]:
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN.match(text, pos)
+        if match is None:
+            raise ParseError(f"unexpected character {text[pos]!r} at {pos}")
+        pos = match.end()
+        kind = match.lastgroup
+        if kind != "ws":
+            yield kind, match.group()
+    yield "eof", ""
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self._stream = list(_tokens(text))
+        self._i = 0
+
+    def peek(self) -> tuple[str, str]:
+        return self._stream[self._i]
+
+    def next(self) -> tuple[str, str]:
+        tok = self._stream[self._i]
+        self._i += 1
+        return tok
+
+    def expect(self, kind: str) -> str:
+        got_kind, value = self.next()
+        if got_kind != kind:
+            raise ParseError(f"expected {kind}, got {got_kind} {value!r}")
+        return value
+
+    def parse_term(self):
+        kind, value = self.next()
+        if kind == "string":
+            return value[1:-1]
+        if kind == "number":
+            return int(value)
+        if kind == "name":
+            if value.startswith("$"):
+                return value[1:]
+            if value[0].islower() or value[0] == "_":
+                return Variable(value)
+            return value  # upper-case bare name used as a constant
+        raise ParseError(f"expected term, got {kind} {value!r}")
+
+    def parse_atom(self) -> Atom:
+        name = self.expect("name")
+        if not name[0].isupper():
+            raise ParseError(f"predicate must start upper-case: {name!r}")
+        self.expect("lpar")
+        args = []
+        if self.peek()[0] != "rpar":
+            args.append(self.parse_term())
+            while self.peek()[0] == "comma":
+                self.next()
+                args.append(self.parse_term())
+        self.expect("rpar")
+        return Atom(name, tuple(args))
+
+    def parse_atomlist(self) -> list[Atom]:
+        atoms = [self.parse_atom()]
+        while self.peek()[0] == "comma":
+            self.next()
+            atoms.append(self.parse_atom())
+        return atoms
+
+    def parse_rule(self) -> Rule:
+        head = self.parse_atom()
+        body: list[Atom] = []
+        if self.peek()[0] == "arrow":
+            self.next()
+            body = self.parse_atomlist()
+        if self.peek()[0] == "dot":
+            self.next()
+        return Rule(head, tuple(body))
+
+    def parse_program(self) -> list[Rule]:
+        rules = []
+        while self.peek()[0] != "eof":
+            rules.append(self.parse_rule())
+        return rules
+
+
+def parse_atom(text: str) -> Atom:
+    """Parse a single atom, e.g. ``"R(x, 'a', 3)"``."""
+    return _Parser(text).parse_atom()
+
+
+def parse_rule(text: str) -> Rule:
+    """Parse a single rule."""
+    return _Parser(text).parse_rule()
+
+
+def parse_program(text: str) -> DatalogProgram:
+    """Parse a whole program."""
+    return DatalogProgram(tuple(_Parser(text).parse_program()))
+
+
+def parse_query(text: str, goal: str, name: str = "Q") -> DatalogQuery:
+    """Parse a program and wrap it as a query with the given goal IDB."""
+    return DatalogQuery(parse_program(text), goal, name)
+
+
+def parse_cq(text: str, name: str = "Q") -> ConjunctiveQuery:
+    """Parse ``Head(x, y) <- Body...`` as a conjunctive query.
+
+    The head predicate name is discarded; the head arguments (which must
+    be variables) become the answer tuple.
+    """
+    rule = _Parser(text).parse_rule()
+    head_vars = []
+    for term in rule.head.args:
+        if not isinstance(term, Variable):
+            raise ParseError("CQ head arguments must be variables")
+        head_vars.append(term)
+    return ConjunctiveQuery(tuple(head_vars), rule.body, name)
+
+
+def parse_ucq(text: str, name: str = "Q") -> UCQ:
+    """Parse several rules with a common head shape as a UCQ."""
+    rules = _Parser(text).parse_program()
+    return UCQ(
+        tuple(
+            ConjunctiveQuery(
+                tuple(t for t in r.head.args if isinstance(t, Variable)),
+                r.body,
+                name,
+            )
+            for r in rules
+        ),
+        name,
+    )
+
+
+def parse_instance(text: str) -> Instance:
+    """Parse ground facts, e.g. ``"R('a','b'). R('b','c')."``.
+
+    Bare upper-case names in argument positions are constants, so
+    ``"Edge(A, B)."`` also works.
+    """
+    rules = _Parser(text).parse_program()
+    inst = Instance()
+    for rule in rules:
+        if rule.body:
+            raise ParseError("instances may not contain rules")
+        if not rule.head.is_ground():
+            raise ParseError(f"non-ground fact {rule.head!r}")
+        inst.add(rule.head)
+    return inst

@@ -1,0 +1,153 @@
+"""Proof terms for Datalog derivations (appendix, "Proof terms and
+annotated proof terms").
+
+A proof term witnesses ``I ⊨ Q(d̄)``: a finite tree whose nodes carry
+ground facts, leaves carry EDB facts of ``I``, and each internal node
+carries the rule whose instantiation derives its fact from its
+children's facts.  Proof terms are the paper's working semantics for
+Datalog (Lemma 5's test construction and Prop. 12's jointly-annotated
+terms are built from them); here they double as *explanations*: why did
+the query accept?
+
+:func:`prove` extracts a proof term from a fixpoint run by recording,
+for every derived fact, the first rule instantiation that produced it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence
+
+from repro.core.atoms import Atom
+from repro.core.datalog import DatalogProgram, DatalogQuery, Rule
+from repro.core.homomorphism import homomorphisms
+from repro.core.instance import Instance
+
+
+@dataclass(frozen=True)
+class ProofNode:
+    """One node of a proof term."""
+
+    fact: Atom
+    rule: Optional[Rule]  # None for leaves (EDB facts)
+    children: tuple["ProofNode", ...]
+
+    def is_leaf(self) -> bool:
+        return self.rule is None
+
+    def nodes(self) -> Iterator["ProofNode"]:
+        yield self
+        for child in self.children:
+            yield from child.nodes()
+
+    def depth(self) -> int:
+        if not self.children:
+            return 1
+        return 1 + max(c.depth() for c in self.children)
+
+    def leaf_facts(self) -> list[Atom]:
+        """The EDB facts supporting the derivation."""
+        return [n.fact for n in self.nodes() if n.is_leaf()]
+
+    def pretty(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        label = f"{self.fact!r}"
+        if self.rule is not None:
+            label += f"   [by {self.rule!r}]"
+        lines = [pad + label]
+        for child in self.children:
+            lines.append(child.pretty(indent + 1))
+        return "\n".join(lines)
+
+
+class _Derivations:
+    """First-derivation bookkeeping during a naive fixpoint run."""
+
+    def __init__(self, program: DatalogProgram, instance: Instance) -> None:
+        self.program = program
+        self.instance = instance
+        self.idb = program.idb_predicates()
+        # fact -> (rule, body facts) of its first derivation
+        self.support: dict[Atom, tuple[Rule, tuple[Atom, ...]]] = {}
+        self._saturate()
+
+    def _saturate(self) -> None:
+        state = self.instance.copy()
+        changed = True
+        while changed:
+            derived: list[tuple[Atom, Rule, tuple[Atom, ...]]] = []
+            for rule in self.program.rules:
+                if not rule.body:
+                    derived.append((rule.head, rule, ()))
+                    continue
+                for hom in homomorphisms(rule.body, state):
+                    head = rule.head.substitute(hom)
+                    body = tuple(a.substitute(hom) for a in rule.body)
+                    derived.append((head, rule, body))
+            changed = False
+            for head, rule, body in derived:
+                if state.add(head):
+                    changed = True
+                if head not in self.support and (
+                    head.pred in self.idb and head not in self.instance
+                ):
+                    self.support.setdefault(head, (rule, body))
+        self.state = state
+
+    def build(self, fact: Atom, seen: frozenset = frozenset()) -> ProofNode:
+        if fact in self.instance or fact.pred not in self.idb:
+            return ProofNode(fact, None, ())
+        if fact in seen:  # cannot happen for first derivations, guard anyway
+            raise RuntimeError(f"cyclic support for {fact!r}")
+        rule, body = self.support[fact]
+        seen = seen | {fact}
+        children = tuple(self.build(b, seen) for b in body)
+        return ProofNode(fact, rule, children)
+
+
+def prove(
+    query: DatalogQuery,
+    instance: Instance,
+    answer: Sequence = (),
+) -> Optional[ProofNode]:
+    """A proof term for ``I ⊨ Q(answer)``, or None when it fails.
+
+    The returned tree is rooted at the goal fact; its leaves are facts
+    of ``instance``.
+    """
+    derivations = _Derivations(query.program, instance)
+    goal_fact = Atom(query.goal, tuple(answer))
+    if not derivations.state.has_tuple(query.goal, tuple(answer)):
+        return None
+    return derivations.build(goal_fact)
+
+
+def verify_proof(
+    proof: ProofNode, program: DatalogProgram, instance: Instance
+) -> bool:
+    """Independently check a proof term (the appendix's conditions).
+
+    * leaves are facts of ``instance`` (or facts over EDB relations);
+    * each internal node's fact is the head of its rule under some
+      instantiation matching exactly its children's facts.
+    """
+    for node in proof.nodes():
+        if node.is_leaf():
+            if node.fact.pred in program.idb_predicates():
+                return False
+            if node.fact not in instance:
+                return False
+            continue
+        rule = node.rule
+        child_facts = Instance(c.fact for c in node.children)
+        matched = False
+        for hom in homomorphisms(rule.body, child_facts):
+            if rule.head.substitute(hom) != node.fact:
+                continue
+            body = {a.substitute(hom) for a in rule.body}
+            if body == {c.fact for c in node.children}:
+                matched = True
+                break
+        if not matched:
+            return False
+    return True

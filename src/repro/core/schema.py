@@ -1,0 +1,79 @@
+"""Relational schemas.
+
+A :class:`Schema` maps relation names to arities (§2 of the paper).  Most
+of the library infers schemas from data, but decision procedures that need
+to distinguish *base* from *view* signatures (``Σ_B`` vs ``Σ_V``) carry
+explicit schemas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+from repro.core.atoms import Atom
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An immutable map from relation name to arity."""
+
+    relations: Mapping[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "relations", dict(self.relations))
+
+    def arity(self, pred: str) -> int:
+        return self.relations[pred]
+
+    def __contains__(self, pred: str) -> bool:
+        return pred in self.relations
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.relations)
+
+    def __len__(self) -> int:
+        return len(self.relations)
+
+    def names(self) -> set[str]:
+        return set(self.relations)
+
+    def union(self, other: "Schema") -> "Schema":
+        """Union of two schemas; arities must agree on shared names."""
+        merged = dict(self.relations)
+        for name, arity in other.relations.items():
+            if merged.get(name, arity) != arity:
+                raise ValueError(
+                    f"arity clash for {name}: {merged[name]} vs {arity}"
+                )
+            merged[name] = arity
+        return Schema(merged)
+
+    def restrict(self, names: Iterable[str]) -> "Schema":
+        """The sub-schema containing only the given relation names."""
+        keep = set(names)
+        return Schema({n: a for n, a in self.relations.items() if n in keep})
+
+    @staticmethod
+    def from_atoms(atoms: Iterable[Atom]) -> "Schema":
+        """Infer a schema from atoms; raises on inconsistent arities."""
+        rels: dict[str, int] = {}
+        for atom in atoms:
+            seen = rels.get(atom.pred)
+            if seen is None:
+                rels[atom.pred] = atom.arity
+            elif seen != atom.arity:
+                raise ValueError(
+                    f"inconsistent arity for {atom.pred}: {seen} vs {atom.arity}"
+                )
+        return Schema(rels)
+
+    def check(self, atom: Atom) -> None:
+        """Raise if ``atom`` does not conform to this schema."""
+        if atom.pred not in self.relations:
+            raise ValueError(f"unknown relation {atom.pred}")
+        if self.relations[atom.pred] != atom.arity:
+            raise ValueError(
+                f"{atom.pred} has arity {self.relations[atom.pred]}, "
+                f"got {atom.arity}"
+            )

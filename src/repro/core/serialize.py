@@ -1,0 +1,92 @@
+"""Serialization back to the text syntax (inverse of the parser).
+
+Round-trip guarantee (tested): ``parse_program(program_to_text(p))`` is
+the same program up to variable names, and
+``parse_instance(instance_to_text(i))`` is the same instance, for
+instances whose elements are strings or integers.
+"""
+
+from __future__ import annotations
+
+from repro.core.atoms import Atom
+from repro.core.cq import ConjunctiveQuery
+from repro.core.datalog import DatalogProgram, DatalogQuery, Rule
+from repro.core.instance import Instance
+from repro.core.terms import is_variable
+from repro.core.ucq import UCQ
+
+
+class UnserializableError(ValueError):
+    """Raised for elements the text syntax cannot express."""
+
+
+def term_to_text(term) -> str:
+    if is_variable(term):
+        return term.name
+    if isinstance(term, bool):
+        raise UnserializableError(f"cannot serialize {term!r}")
+    if isinstance(term, int):
+        return str(term)
+    if isinstance(term, str):
+        if "'" in term:
+            raise UnserializableError(
+                f"string constants may not contain quotes: {term!r}"
+            )
+        return f"'{term}'"
+    raise UnserializableError(
+        f"only str/int elements serialize to text, got {type(term).__name__}"
+    )
+
+
+import re as _re
+
+_PRED = _re.compile(r"[A-Z]\w*\Z")
+_VAR = _re.compile(r"[a-z_]\w*\Z")
+
+
+def atom_to_text(atom: Atom) -> str:
+    if not _PRED.match(atom.pred):
+        raise UnserializableError(
+            f"predicate {atom.pred!r} is outside the text syntax "
+            "(generated programs with decorated names don't round-trip)"
+        )
+    for term in atom.args:
+        if is_variable(term) and not _VAR.match(term.name):
+            raise UnserializableError(
+                f"variable {term!r} is outside the text syntax"
+            )
+    inner = ", ".join(term_to_text(t) for t in atom.args)
+    return f"{atom.pred}({inner})"
+
+
+def rule_to_text(rule: Rule) -> str:
+    head = atom_to_text(rule.head)
+    if not rule.body:
+        return f"{head}."
+    body = ", ".join(atom_to_text(a) for a in rule.body)
+    return f"{head} <- {body}."
+
+
+def program_to_text(program: DatalogProgram) -> str:
+    return "\n".join(rule_to_text(r) for r in program.rules)
+
+
+def query_to_text(query: DatalogQuery) -> str:
+    """Serialize with the CLI's ``# goal:`` directive."""
+    return f"# goal: {query.goal}\n{program_to_text(query.program)}"
+
+
+def cq_to_text(cq: ConjunctiveQuery, head_name: str = "Q") -> str:
+    head = Atom(head_name, cq.head_vars)
+    return rule_to_text(Rule(head, cq.atoms))
+
+
+def ucq_to_text(ucq: UCQ, head_name: str = "Q") -> str:
+    return "\n".join(cq_to_text(d, head_name) for d in ucq.disjuncts)
+
+
+def instance_to_text(instance: Instance) -> str:
+    lines = []
+    for fact in sorted(instance.facts(), key=repr):
+        lines.append(atom_to_text(fact) + ".")
+    return "\n".join(lines)

@@ -1,0 +1,64 @@
+"""Terms: variables and constants.
+
+The term language is deliberately minimal.  A :class:`Variable` is a named
+placeholder; *anything else hashable* used in an atom position is treated
+as a constant (strings, ints, tuples of such, ...).  This keeps instances
+lightweight — the domain of a database instance is a set of plain Python
+values — while queries mix variables and constants freely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+Term = Hashable
+"""A term is a :class:`Variable` or any hashable constant."""
+
+
+@dataclass(frozen=True, slots=True)
+class Variable:
+    """A query variable, identified by name.
+
+    Two variables with the same name are the same variable.  Use
+    :func:`variables` for compact construction of several at once.
+    """
+
+    name: str
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"?{self.name}"
+
+    def __str__(self) -> str:
+        return f"?{self.name}"
+
+
+def variables(names: str) -> tuple[Variable, ...]:
+    """Build a tuple of variables from a whitespace/comma separated string.
+
+    >>> x, y = variables("x y")
+    >>> x
+    ?x
+    """
+    parts = names.replace(",", " ").split()
+    return tuple(Variable(p) for p in parts)
+
+
+def is_variable(term: Any) -> bool:
+    """True when ``term`` is a :class:`Variable`."""
+    return isinstance(term, Variable)
+
+
+def is_constant(term: Any) -> bool:
+    """True when ``term`` is a constant (i.e. not a :class:`Variable`)."""
+    return not isinstance(term, Variable)
+
+
+def term_variables(terms) -> set[Variable]:
+    """All variables occurring in an iterable of terms."""
+    return {t for t in terms if isinstance(t, Variable)}
+
+
+def term_constants(terms) -> set:
+    """All constants occurring in an iterable of terms."""
+    return {t for t in terms if not isinstance(t, Variable)}

@@ -1,0 +1,102 @@
+"""Unions of conjunctive queries.
+
+A :class:`UCQ` is a finite disjunction of CQs of the same arity.  The
+Sagiv–Yannakakis criterion gives containment: ``⋃Qi ⊑ ⋃Pj`` iff every
+``Qi`` is contained in some ``Pj``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.cq import ConjunctiveQuery
+from repro.core.instance import Instance
+
+
+@dataclass(frozen=True)
+class UCQ:
+    """A union (disjunction) of conjunctive queries of equal arity."""
+
+    disjuncts: tuple[ConjunctiveQuery, ...]
+    name: str = "Q"
+
+    def __init__(
+        self, disjuncts: Iterable[ConjunctiveQuery], name: str = "Q"
+    ) -> None:
+        ds = tuple(disjuncts)
+        if not ds:
+            raise ValueError("UCQ needs at least one disjunct")
+        arities = {d.arity for d in ds}
+        if len(arities) != 1:
+            raise ValueError(f"mixed arities in UCQ: {arities}")
+        object.__setattr__(self, "disjuncts", ds)
+        object.__setattr__(self, "name", name)
+
+    @property
+    def arity(self) -> int:
+        return self.disjuncts[0].arity
+
+    def is_boolean(self) -> bool:
+        return self.arity == 0
+
+    def predicates(self) -> set[str]:
+        out: set[str] = set()
+        for d in self.disjuncts:
+            out |= d.predicates()
+        return out
+
+    def evaluate(self, instance: Instance) -> set[tuple]:
+        answers: set[tuple] = set()
+        for d in self.disjuncts:
+            answers |= d.evaluate(instance)
+        return answers
+
+    def holds(self, instance: Instance, answer: Sequence = ()) -> bool:
+        return any(d.holds(instance, answer) for d in self.disjuncts)
+
+    def boolean(self, instance: Instance) -> bool:
+        return any(d.boolean(instance) for d in self.disjuncts)
+
+    def is_contained_in(self, other: "UCQ") -> bool:
+        """Sagiv–Yannakakis: each disjunct contained in some disjunct."""
+        return all(
+            any(d.is_contained_in(p) for p in other.disjuncts)
+            for d in self.disjuncts
+        )
+
+    def is_equivalent_to(self, other: "UCQ") -> bool:
+        return self.is_contained_in(other) and other.is_contained_in(self)
+
+    def simplify(self) -> "UCQ":
+        """Drop disjuncts subsumed by another disjunct."""
+        kept: list[ConjunctiveQuery] = []
+        for i, d in enumerate(self.disjuncts):
+            subsumed = False
+            for j, other in enumerate(self.disjuncts):
+                if i == j:
+                    continue
+                if d.is_contained_in(other) and not (
+                    other.is_contained_in(d) and j > i
+                ):
+                    if not other.is_contained_in(d) or j < i:
+                        subsumed = True
+                        break
+            if not subsumed:
+                kept.append(d)
+        return UCQ(kept, self.name)
+
+    def __len__(self) -> int:
+        return len(self.disjuncts)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return " ∨ ".join(map(repr, self.disjuncts))
+
+
+def as_ucq(query) -> UCQ:
+    """Coerce a CQ or UCQ to a UCQ."""
+    if isinstance(query, UCQ):
+        return query
+    if isinstance(query, ConjunctiveQuery):
+        return UCQ((query,), query.name)
+    raise TypeError(f"cannot coerce {type(query).__name__} to UCQ")

@@ -1,0 +1,44 @@
+"""Deciding monotonic determinacy (§5, §6)."""
+
+from repro.determinacy.result import CanonicalTest, DeterminacyResult
+from repro.determinacy.tests import (
+    canonical_tests,
+    test_succeeds,
+    tests_for_approximation,
+    view_definition_expansions,
+)
+from repro.determinacy.checker import (
+    check_tests,
+    decide_monotonic_determinacy,
+)
+from repro.determinacy.cq_query import (
+    decide_cq_ucq,
+    forward_backward_candidate,
+    unfold_candidate,
+)
+from repro.determinacy.automata_checker import decide_fgdl, lemma3_bound
+from repro.determinacy.reductions import (
+    containment_to_determinacy,
+    equivalence_to_determinacy,
+)
+from repro.determinacy.homomorphic import (
+    homomorphic_violation,
+    monotonic_violation,
+)
+from repro.determinacy.minimize import (
+    minimize_failing_test,
+    minimize_violation_pair,
+    violation_pair_from_test,
+)
+
+__all__ = [
+    "CanonicalTest", "DeterminacyResult", "canonical_tests",
+    "test_succeeds", "tests_for_approximation",
+    "view_definition_expansions", "check_tests",
+    "decide_monotonic_determinacy", "decide_cq_ucq",
+    "forward_backward_candidate", "unfold_candidate", "decide_fgdl",
+    "lemma3_bound", "containment_to_determinacy",
+    "equivalence_to_determinacy", "homomorphic_violation",
+    "monotonic_violation", "minimize_failing_test",
+    "minimize_violation_pair", "violation_pair_from_test",
+]

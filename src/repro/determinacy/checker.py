@@ -1,0 +1,114 @@
+"""The monotonic-determinacy checker.
+
+:func:`decide_monotonic_determinacy` dispatches by query fragment:
+
+* CQ / UCQ query — *exact* decision via the forward–backward candidate
+  and automata containment (Prop. 8 / Thm 5);
+* recursive query — the canonical-test procedure of Lemma 5, bounded by
+  an expansion-depth budget.  ``NO`` answers are always exact (a failing
+  test is a genuine counterexample); ``UNKNOWN`` reports the budget.
+
+The bounded branch is the honest rendering of the paper's landscape:
+full decidability only holds for the restricted fragments of Thms 3–5,
+and is *impossible* in general (Thm 6, Prop. 9).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.core.containment import Verdict
+from repro.core.cq import ConjunctiveQuery
+from repro.core.datalog import DatalogQuery
+from repro.core.ucq import UCQ
+from repro.views.view import ViewSet
+from repro.determinacy.cq_query import decide_cq_ucq
+from repro.determinacy.result import DeterminacyResult
+from repro.determinacy.tests import canonical_tests, test_succeeds
+
+QueryLike = Union[ConjunctiveQuery, UCQ, DatalogQuery]
+
+
+def _test_space_is_finite(query: QueryLike, views: ViewSet) -> bool:
+    """Whether the canonical-test space is finite.
+
+    True when the query is a CQ/UCQ (finitely many approximations) and
+    every view definition is a CQ/UCQ (finitely many inversion choices
+    per fact).  In that case exhausting the tests *decides* monotonic
+    determinacy (Lemma 5), so the checker can answer YES.
+    """
+    if not isinstance(query, (ConjunctiveQuery, UCQ)):
+        return False
+    return views.fragments() <= {"CQ", "UCQ"}
+
+
+def check_tests(
+    query: QueryLike,
+    views: ViewSet,
+    approx_depth: int = 4,
+    view_depth: int = 3,
+    max_tests: Optional[int] = None,
+) -> DeterminacyResult:
+    """Run the canonical-test procedure up to the given budgets.
+
+    When the test space is finite (CQ/UCQ query and views) and no budget
+    truncated the enumeration, a clean pass is an exact YES.
+    """
+    executed = 0
+    for test in canonical_tests(query, views, approx_depth, view_depth):
+        executed += 1
+        if not test_succeeds(test, query):
+            return DeterminacyResult(
+                Verdict.NO,
+                "canonical tests (Lemma 5)",
+                test,
+                f"failing test found after {executed} tests",
+                {"tests_executed": executed},
+            )
+        if max_tests is not None and executed >= max_tests:
+            return DeterminacyResult(
+                Verdict.UNKNOWN,
+                "canonical tests (Lemma 5)",
+                None,
+                f"test budget {max_tests} exhausted",
+                {"tests_executed": executed},
+            )
+    if _test_space_is_finite(query, views):
+        return DeterminacyResult(
+            Verdict.YES,
+            "canonical tests (Lemma 5, finite test space)",
+            None,
+            f"all {executed} tests succeed and the test space is finite",
+            {"tests_executed": executed},
+        )
+    return DeterminacyResult(
+        Verdict.UNKNOWN,
+        "canonical tests (Lemma 5)",
+        None,
+        (
+            f"all {executed} tests up to approximation depth "
+            f"{approx_depth} / view depth {view_depth} succeed"
+        ),
+        {"tests_executed": executed},
+    )
+
+
+def decide_monotonic_determinacy(
+    query: QueryLike,
+    views: ViewSet,
+    approx_depth: int = 4,
+    view_depth: int = 3,
+    max_tests: Optional[int] = None,
+) -> DeterminacyResult:
+    """Decide (or boundedly check) monotonic determinacy of ``query``.
+
+    Exact for CQ/UCQ queries over constant-free views; otherwise the
+    bounded Lemma-5 procedure.
+    """
+    if isinstance(query, (ConjunctiveQuery, UCQ)):
+        try:
+            result, _rewriting = decide_cq_ucq(query, views)
+            return result
+        except ValueError:
+            pass  # unsupported shape (constants, ...): fall back
+    return check_tests(query, views, approx_depth, view_depth, max_tests)

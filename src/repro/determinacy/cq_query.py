@@ -1,0 +1,129 @@
+"""Exact monotonic-determinacy decision for CQ/UCQ queries (Prop. 8, Thm 5).
+
+For a CQ (or UCQ) query over arbitrary views, monotonic determinacy is
+equivalent to the *canonical candidate* being a rewriting:
+
+* ``Q' = ⋁_i V(Q_i)`` — apply the views to each disjunct's canonical
+  database and read the result back as a CQ over the view schema;
+* ``Q'' = unfold the view definitions into Q'``;
+* ``Q`` is monotonically determined iff ``Q'' ⊑ Q`` (the converse
+  containment always holds).
+
+``Q'' ⊑ Q`` is a Datalog-in-UCQ containment, decided exactly by the
+automata pipeline (2ExpTime worst case, Thm 5).  When a disjunct's answer
+tuple is invisible in its view image the candidate is unsafe and ``Q`` is
+*not* monotonically determined — the renaming counterexample is recorded
+in the result detail.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.core.atoms import Atom
+from repro.core.containment import Verdict
+from repro.core.cq import ConjunctiveQuery, cq_from_instance
+from repro.core.datalog import DatalogProgram, DatalogQuery, Rule
+from repro.core.ucq import UCQ, as_ucq
+from repro.views.view import ViewSet
+from repro.determinacy.result import CanonicalTest, DeterminacyResult
+
+
+def forward_backward_candidate(
+    query: Union[ConjunctiveQuery, UCQ], views: ViewSet
+) -> tuple[Optional[UCQ], str]:
+    """The canonical UCQ rewriting candidate ``⋁_i V(Q_i)`` (Prop. 8).
+
+    Returns ``(candidate, problem)``: the candidate is None when some
+    disjunct's answer tuple is not exposed by the views (the "unsafe"
+    case, which already refutes monotonic determinacy for that query).
+    """
+    disjuncts = []
+    for i, disjunct in enumerate(as_ucq(query).disjuncts):
+        canon = disjunct.canonical_database()
+        image = views.image(canon)
+        answer = disjunct.frozen_head()
+        if not set(answer) <= image.active_domain():
+            missing = [a for a in answer if a not in image.active_domain()]
+            return None, (
+                f"answer element(s) {missing} of disjunct {i} invisible in "
+                "its view image: renaming them yields instances with equal "
+                "view images but different outputs"
+            )
+        disjuncts.append(
+            cq_from_instance(image, answer, name=f"{disjunct.name}′")
+        )
+    return UCQ(disjuncts, f"{as_ucq(query).name}′"), ""
+
+
+def unfold_candidate(
+    candidate: UCQ, views: ViewSet, goal: str = "Goal″"
+) -> DatalogQuery:
+    """``Q''``: the candidate with view definitions unfolded (as Datalog)."""
+    program, _ = views.combined_program()
+    rules = list(program.rules)
+    for disjunct in candidate.disjuncts:
+        rules.append(
+            Rule(Atom(goal, disjunct.head_vars), disjunct.atoms)
+        )
+    return DatalogQuery(DatalogProgram(tuple(rules)), goal, "Q″")
+
+
+def decide_cq_ucq(
+    query: Union[ConjunctiveQuery, UCQ],
+    views: ViewSet,
+) -> tuple[DeterminacyResult, Optional[UCQ]]:
+    """Exact decision + the UCQ rewriting when determined.
+
+    Requires constant-free view definitions (the automata path); raises
+    ``ValueError`` otherwise — callers fall back to the bounded checker.
+    """
+    candidate, problem = forward_backward_candidate(query, views)
+    if candidate is None:
+        return (
+            DeterminacyResult(
+                Verdict.NO, "forward-backward (Prop. 8)", None, problem
+            ),
+            None,
+        )
+    unfolded = unfold_candidate(candidate, views)
+    from repro.automata.containment import datalog_in_ucq_exact
+
+    containment = datalog_in_ucq_exact(unfolded, as_ucq(query))
+    if containment.verdict is Verdict.YES:
+        return (
+            DeterminacyResult(
+                Verdict.YES,
+                "forward-backward + automata containment (Thm 5)",
+                None,
+                "Q'' ⊑ Q verified; candidate is a UCQ rewriting",
+            ),
+            candidate,
+        )
+    test = _containment_counterexample_to_test(
+        containment.counterexample, query, views
+    )
+    return (
+        DeterminacyResult(
+            Verdict.NO,
+            "forward-backward + automata containment (Thm 5)",
+            test,
+            "an unfolding of the candidate escapes Q",
+        ),
+        None,
+    )
+
+
+def _containment_counterexample_to_test(
+    counterexample: Optional[ConjunctiveQuery],
+    query: Union[ConjunctiveQuery, UCQ],
+    views: ViewSet,
+) -> Optional[CanonicalTest]:
+    """Package the escaping expansion as a (failing) canonical test."""
+    if counterexample is None:
+        return None
+    witness = counterexample.canonical_database()
+    base = witness.restrict(views.base_predicates())
+    image = views.image(base)
+    approx = next(iter(as_ucq(query).disjuncts))
+    return CanonicalTest(approx, image, base)

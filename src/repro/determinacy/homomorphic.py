@@ -1,0 +1,77 @@
+"""Homomorphic determinacy (§3, Lemma 4).
+
+``Q`` is homomorphically determined by ``V`` when every homomorphism
+``h : V(I1) → V(I2)`` carries answers of ``Q`` on ``I1`` to answers on
+``I2``.  Lemma 4 shows that for Datalog queries and views this coincides
+with monotonic determinacy.  The helpers here let tests and benchmarks
+*witness* both directions on concrete instances.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.core.cq import ConjunctiveQuery
+from repro.core.datalog import DatalogQuery
+from repro.core.homomorphism import homomorphisms, _instance_as_atoms
+from repro.core.instance import Instance
+from repro.core.ucq import UCQ
+from repro.views.view import ViewSet
+
+QueryLike = Union[ConjunctiveQuery, UCQ, DatalogQuery]
+
+
+def _evaluate(query: QueryLike, instance: Instance) -> set[tuple]:
+    return query.evaluate(instance)
+
+
+def homomorphic_violation(
+    query: QueryLike,
+    views: ViewSet,
+    left: Instance,
+    right: Instance,
+    max_homs: int = 200,
+) -> Optional[dict]:
+    """A homomorphism ``V(left) → V(right)`` violating homomorphic
+    determinacy on this pair, or None.
+
+    Enumerates up to ``max_homs`` homomorphisms between the view images
+    and checks that each maps ``Q(left)`` into ``Q(right)``.
+    """
+    left_image = views.image(left)
+    right_image = views.image(right)
+    left_answers = _evaluate(query, left)
+    if not left_answers:
+        return None
+    right_answers = _evaluate(query, right)
+    pattern, var_of = _instance_as_atoms(left_image)
+    count = 0
+    for hom in homomorphisms(pattern, right_image):
+        count += 1
+        element_map = {e: hom[v] for e, v in var_of.items()}
+        for answer in left_answers:
+            if not all(a in element_map for a in answer):
+                continue
+            mapped = tuple(element_map[a] for a in answer)
+            if mapped not in right_answers:
+                return element_map
+        if count >= max_homs:
+            break
+    return None
+
+
+def monotonic_violation(
+    query: QueryLike,
+    views: ViewSet,
+    left: Instance,
+    right: Instance,
+) -> Optional[tuple]:
+    """An answer witnessing a monotonic-determinacy violation on a pair.
+
+    Requires ``V(left) ⊆ V(right)``; returns an answer in ``Q(left)``
+    missing from ``Q(right)``, or None.
+    """
+    if not views.image(left) <= views.image(right):
+        return None
+    missing = _evaluate(query, left) - _evaluate(query, right)
+    return next(iter(missing), None)

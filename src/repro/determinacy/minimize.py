@@ -1,0 +1,92 @@
+"""Counterexample minimization.
+
+Failing canonical tests and monotonic-determinacy violation pairs are
+often much larger than necessary (they inherit the size of the
+approximation that produced them).  Greedy fact-removal minimization
+makes counterexamples readable — the same compression idea as the
+finite-variants argument of the appendix (Prop. 11): a violation always
+restricts to a finite (here: inclusion-minimal) sub-violation.
+
+Because the query is monotone, a failing ``D'`` stays failing under any
+removal; what must be preserved is *testhood* — the view image of the
+shrunk ``D'`` must still contain ``V(Q_i)``, so the pair remains a
+genuine violation of monotonic determinacy.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.core.cq import ConjunctiveQuery
+from repro.core.datalog import DatalogQuery
+from repro.core.instance import Instance
+from repro.core.ucq import UCQ
+from repro.views.view import ViewSet
+from repro.determinacy.result import CanonicalTest
+from repro.determinacy.tests import test_succeeds
+
+QueryLike = Union[ConjunctiveQuery, UCQ, DatalogQuery]
+
+
+def minimize_failing_test(
+    test: CanonicalTest, query: QueryLike, views: ViewSet
+) -> CanonicalTest:
+    """Shrink a failing test's ``D'`` to an inclusion-minimal instance
+    that is still a test (its image covers ``V(Q_i)``).
+
+    ``Q`` keeps failing on every sub-instance by monotonicity, so the
+    only constraint is the image inclusion.
+    """
+    if test_succeeds(test, query):
+        raise ValueError("can only minimize failing tests")
+    current = test.test_instance.copy()
+    for fact in sorted(test.test_instance.facts(), key=repr):
+        current.discard(fact)
+        if not test.view_image <= views.image(current):
+            current.add(fact)
+    return CanonicalTest(test.approximation, test.view_image, current)
+
+
+def minimize_violation_pair(
+    query: QueryLike,
+    views: ViewSet,
+    left: Instance,
+    right: Instance,
+) -> tuple[Instance, Instance]:
+    """Shrink a monotonic-determinacy violation pair.
+
+    Requires ``V(left) ⊆ V(right)`` and ``Q(left) ⊄ Q(right)``; returns
+    a pair with the same properties, inclusion-minimal on both sides
+    (left first, then right under the image-inclusion constraint).
+    """
+
+    def violated(a: Instance, b: Instance) -> bool:
+        if not views.image(a) <= views.image(b):
+            return False
+        return bool(query.evaluate(a) - query.evaluate(b))
+
+    if not violated(left, right):
+        raise ValueError("not a monotonic-determinacy violation pair")
+    left = left.copy()
+    right = right.copy()
+    for fact in sorted(list(left.facts()), key=repr):
+        left.discard(fact)
+        if not violated(left, right):
+            left.add(fact)
+    for fact in sorted(list(right.facts()), key=repr):
+        right.discard(fact)
+        if not violated(left, right):
+            right.add(fact)
+    return left, right
+
+
+def violation_pair_from_test(
+    test: CanonicalTest,
+) -> tuple[Instance, Instance]:
+    """The violation pair a failing test witnesses (Lemma 5 direction).
+
+    ``left`` is the approximation's canonical database (where ``Q(ā)``
+    holds), ``right`` is ``D'`` (where it fails); ``V(left) ⊆ V(right)``
+    by construction of the test.
+    """
+    return test.approximation.canonical_database(), test.test_instance

@@ -1,0 +1,95 @@
+"""Lower-bound reductions for monotonic determinacy (Prop. 9, §6).
+
+* Lemma 7: for a single view ``(V, Q_V)``, the query ``Q`` is
+  monotonically determined over ``{V}`` iff ``Q ≡ Q_V``.  Reduces
+  equivalence (NP-hard for CQs, Π₂ᵖ for UCQs, 2ExpTime for CQ vs MDL,
+  undecidable for Datalog) to monotonic determinacy.
+* Lemma 8: ``Q1 ⊑ Q2`` iff ``Q = (Q1 ∧ e) ∨ Q2`` is monotonically
+  determined over the atomic views of every EDB except the fresh nullary
+  ``e``.  Reduces containment to monotonic determinacy with *atomic*
+  views.
+
+These constructors are used by the T2-LOWER benchmark to verify the
+reductions' faithfulness on decidable source instances.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.core.atoms import Atom
+from repro.core.cq import ConjunctiveQuery
+from repro.core.datalog import DatalogProgram, DatalogQuery, Rule
+from repro.core.ucq import UCQ, as_ucq
+from repro.views.view import View, ViewSet, atomic_views
+
+QueryLike = Union[ConjunctiveQuery, UCQ, DatalogQuery]
+
+EXTRA_MARKER = "E·extra"
+
+
+def _as_datalog(query: QueryLike, goal: str, suffix: str) -> DatalogQuery:
+    """Coerce to a Datalog query with the given goal name."""
+    if isinstance(query, (ConjunctiveQuery, UCQ)):
+        disjuncts = as_ucq(query).disjuncts
+        rules = tuple(
+            Rule(Atom(goal, d.head_vars), d.atoms) for d in disjuncts
+        )
+        return DatalogQuery(DatalogProgram(rules), goal)
+    renamed = query.relabel_idbs(suffix)
+    rules = renamed.program.rules + tuple(
+        Rule(
+            Atom(goal, r.head.args), r.body
+        )
+        for r in renamed.program.rules_for(renamed.goal)
+    )
+    # keep the old goal rules too (the goal may feed recursion)
+    return DatalogQuery(DatalogProgram(rules), goal)
+
+
+def equivalence_to_determinacy(
+    query: QueryLike, view_query: QueryLike
+) -> tuple[QueryLike, ViewSet]:
+    """Lemma 7 instance: ``query`` over the single view ``view_query``.
+
+    The returned pair is monotonically determined iff the two queries
+    are equivalent.
+    """
+    view = View("V·eq", view_query)
+    return query, ViewSet([view])
+
+
+def containment_to_determinacy(
+    sub: QueryLike, sup: QueryLike
+) -> tuple[DatalogQuery, ViewSet]:
+    """Lemma 8 instance: ``(sub ∧ e) ∨ sup`` over atomic views.
+
+    The query is monotonically determined over the views iff
+    ``sub ⊑ sup``.
+    """
+    q1 = _as_datalog(sub, "Goal·1", "·L8a")
+    q2 = _as_datalog(sup, "Goal·2", "·L8b")
+    rules = list(q1.program.rules) + list(q2.program.rules)
+    rules.append(
+        Rule(Atom("Goal·L8", ()), (Atom(q1.goal, tuple(
+            _head_vars(q1))), Atom(EXTRA_MARKER, ())))
+    )
+    rules.append(
+        Rule(Atom("Goal·L8", ()), (Atom(q2.goal, tuple(_head_vars(q2))),))
+    )
+    query = DatalogQuery(DatalogProgram(tuple(rules)), "Goal·L8")
+
+    # atomic views for every EDB except the marker e
+    edbs = {
+        p: query.program.arity_of(p)
+        for p in query.program.edb_predicates()
+        if p != EXTRA_MARKER
+    }
+    views = ViewSet(atomic_views(edbs, prefix="V·"))
+    return query, views
+
+
+def _head_vars(query: DatalogQuery) -> tuple:
+    from repro.core.terms import Variable
+
+    return tuple(Variable(f"h{i}") for i in range(query.arity))

@@ -1,0 +1,57 @@
+"""Result types for determinacy checking."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.containment import Verdict
+from repro.core.cq import ConjunctiveQuery
+from repro.core.instance import Instance
+
+
+@dataclass(frozen=True)
+class CanonicalTest:
+    """One canonical test ``(Q_i, D')`` for monotonic determinacy (§5).
+
+    ``approximation`` is the CQ approximation of the query,
+    ``view_image`` its view image ``V(Q_i)``, and ``test_instance`` the
+    instance ``D'`` obtained by applying inverses of view definitions.
+    """
+
+    approximation: ConjunctiveQuery
+    view_image: Instance
+    test_instance: Instance
+
+    def describe(self) -> str:
+        return (
+            f"approximation: {self.approximation!r}\n"
+            f"view image:\n{self.view_image.pretty()}\n"
+            f"test instance D':\n{self.test_instance.pretty()}"
+        )
+
+
+@dataclass(frozen=True)
+class DeterminacyResult:
+    """Outcome of a monotonic-determinacy check.
+
+    * ``YES`` — monotonically determined (exact methods only);
+    * ``NO`` — a failing canonical test was found (always exact, by
+      Lemma 5 failing tests are genuine counterexamples);
+    * ``UNKNOWN`` — the bounded procedure exhausted its budget.
+    """
+
+    verdict: Verdict
+    method: str
+    counterexample: Optional[CanonicalTest] = None
+    detail: str = ""
+    stats: dict = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return self.verdict is Verdict.YES
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DeterminacyResult({self.verdict.value}, method={self.method},"
+            f" detail={self.detail!r})"
+        )

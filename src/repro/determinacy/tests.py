@@ -1,0 +1,138 @@
+"""Canonical tests for monotonic determinacy (Lemma 5, §5).
+
+A test ``(Q_i, D')`` pairs a CQ approximation of the query with an
+instance obtained from its view image by *applying inverses of the view
+definitions*: each view fact ``V(c̄)`` is replaced by the atoms of a
+chosen CQ approximation of ``Q_V``, with the head instantiated at ``c̄``
+and the existential variables replaced by fresh nulls.
+
+``Q`` is monotonically determined over ``V`` iff **every** test succeeds
+(``D' ⊨ Q(ā)``).  The test space is infinite for recursive queries or
+views; the generators here enumerate it by expansion depth, which makes
+the checker of :mod:`repro.determinacy.checker` a complete refuter and a
+bounded verifier.
+"""
+
+from __future__ import annotations
+
+from itertools import product as iproduct
+from typing import Iterator, Optional, Union
+
+from repro.core.approximation import approximations
+from repro.core.atoms import Atom
+from repro.core.cq import ConjunctiveQuery
+from repro.core.datalog import DatalogQuery
+from repro.core.instance import Instance
+from repro.core.terms import is_variable
+from repro.core.ucq import UCQ
+from repro.util.fresh import FreshNames
+from repro.views.view import View, ViewSet
+from repro.determinacy.result import CanonicalTest
+
+QueryLike = Union[ConjunctiveQuery, UCQ, DatalogQuery]
+
+
+def query_approximations(
+    query: QueryLike, max_depth: int
+) -> Iterator[ConjunctiveQuery]:
+    """CQ approximations of a query of any supported kind."""
+    if isinstance(query, ConjunctiveQuery):
+        yield query
+    elif isinstance(query, UCQ):
+        yield from query.disjuncts
+    else:
+        yield from approximations(query, max_depth)
+
+
+def view_definition_expansions(
+    view: View, max_depth: int
+) -> list[ConjunctiveQuery]:
+    """CQ approximations of one view's definition."""
+    definition = view.definition
+    if isinstance(definition, ConjunctiveQuery):
+        return [definition]
+    if isinstance(definition, UCQ):
+        return list(definition.disjuncts)
+    return list(approximations(definition, max_depth))
+
+
+def _instantiate(
+    expansion: ConjunctiveQuery, row: tuple, fresh: FreshNames
+) -> list[Atom]:
+    """Fire ``∀x̄ V(x̄) → Q'(x̄)``: head at ``row``, existentials fresh."""
+    mapping: dict = dict(zip(expansion.head_vars, row))
+    for var in expansion.existential_variables():
+        mapping[var] = f"∃{fresh()}"
+    atoms = []
+    for atom in expansion.atoms:
+        args = tuple(
+            mapping[t] if is_variable(t) else t for t in atom.args
+        )
+        atoms.append(Atom(atom.pred, args))
+    return atoms
+
+
+def tests_for_approximation(
+    approximation: ConjunctiveQuery,
+    views: ViewSet,
+    view_depth: int = 3,
+    max_tests: Optional[int] = None,
+) -> Iterator[CanonicalTest]:
+    """All canonical tests built on one approximation.
+
+    One test per combination of view-definition expansion choices, one
+    choice per view fact of the image.  ``max_tests`` caps the stream.
+    """
+    image = views.image(approximation.canonical_database())
+    facts = sorted(image.facts(), key=repr)
+    expansions = {
+        view.name: view_definition_expansions(view, view_depth)
+        for view in views
+    }
+    option_lists = []
+    for fact in facts:
+        options = expansions[fact.pred]
+        if not options:
+            options = []  # view definition has no expansions: fact
+            # cannot be inverted; treat as an empty choice set, which
+            # kills every combination (no test exists through this fact).
+        option_lists.append(options)
+
+    count = 0
+    if any(not opts for opts in option_lists):
+        return
+    for combo in iproduct(*option_lists):
+        fresh = FreshNames("null")
+        test_instance = Instance()
+        for fact, expansion in zip(facts, combo):
+            for atom in _instantiate(expansion, fact.args, fresh):
+                test_instance.add(atom)
+        yield CanonicalTest(approximation, image, test_instance)
+        count += 1
+        if max_tests is not None and count >= max_tests:
+            return
+
+
+def test_succeeds(test: CanonicalTest, query: QueryLike) -> bool:
+    """Whether ``D' ⊨ Q(ā)`` for the approximation's frozen answer."""
+    answer = test.approximation.frozen_head()
+    instance = test.test_instance
+    if isinstance(query, ConjunctiveQuery):
+        return query.holds(instance, answer)
+    if isinstance(query, UCQ):
+        return query.holds(instance, answer)
+    return query.holds(instance, answer)
+
+
+def canonical_tests(
+    query: QueryLike,
+    views: ViewSet,
+    approx_depth: int = 4,
+    view_depth: int = 3,
+    max_tests_per_approximation: Optional[int] = None,
+) -> Iterator[CanonicalTest]:
+    """Enumerate canonical tests by approximation depth."""
+    for approximation in query_approximations(query, approx_depth):
+        yield from tests_for_approximation(
+            approximation, views, view_depth, max_tests_per_approximation
+        )

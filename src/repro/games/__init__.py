@@ -1,0 +1,19 @@
+"""Pebble games and unravellings (§7)."""
+
+from repro.games.pebble import (
+    duplicator_wins,
+    kconsistency_closure,
+    separates_in_datalog,
+)
+from repro.games.unravelling import (
+    Unravelling,
+    bags_are_partial_isomorphisms,
+    projection_is_homomorphism,
+    unravel,
+)
+
+__all__ = [
+    "duplicator_wins", "kconsistency_closure", "separates_in_datalog",
+    "Unravelling", "bags_are_partial_isomorphisms",
+    "projection_is_homomorphism", "unravel",
+]

@@ -1,0 +1,153 @@
+"""Existential k-pebble games (§7, Facts 1, 2, 5).
+
+We decide whether the Duplicator wins the existential k-pebble game on
+``(I, I')`` — written ``I →k I'`` — by computing the largest family
+``H`` of partial homomorphisms satisfying the two closure conditions of
+Fact 5 (the k-consistency algorithm of [4, 5]):
+
+1. downward closure: subfunctions of members are members;
+2. extendability: every member of size < k extends to any further
+   source element within the family.
+
+The Duplicator wins iff the closure is non-empty.  The cost is
+``O((n·m)^k)``-ish; the benchmarks stay at ``k ≤ 3`` on laptop-size
+structures, exactly the regime the Thm 8 construction needs
+(``2 ≤ k < min{n, m}`` with ``n = m = 3..5``).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations, product as iproduct
+from typing import Iterable, Optional
+
+from repro.core.instance import Instance
+
+
+def _constraints_within(
+    instance: Instance, domain: tuple
+) -> list[tuple[str, tuple]]:
+    """Facts of ``instance`` whose elements all lie in ``domain``."""
+    dom = set(domain)
+    return [
+        (f.pred, f.args)
+        for f in instance.facts()
+        if all(a in dom for a in f.args)
+    ]
+
+
+def _partial_homs(
+    source: Instance, target: Instance, domain: tuple
+) -> Iterable[frozenset]:
+    """All partial homomorphisms with exactly the given domain."""
+    constraints = _constraints_within(source, domain)
+    target_dom = sorted(target.active_domain(), key=repr)
+    for images in iproduct(target_dom, repeat=len(domain)):
+        mapping = dict(zip(domain, images))
+        if all(
+            target.has_tuple(pred, tuple(mapping[a] for a in args))
+            for pred, args in constraints
+        ):
+            yield frozenset(mapping.items())
+
+
+def duplicator_wins(
+    source: Instance, target: Instance, k: int
+) -> bool:
+    """``source →k target``: does the Duplicator win the k-pebble game?"""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    source_dom = sorted(source.active_domain(), key=repr)
+    if not source_dom:
+        return True
+    if not target.active_domain():
+        return False
+
+    # H[frozenset(domain)] = set of partial homs (as frozensets of pairs)
+    family: dict[frozenset, set] = {frozenset(): {frozenset()}}
+    for size in range(1, min(k, len(source_dom)) + 1):
+        for domain in combinations(source_dom, size):
+            key = frozenset(domain)
+            family[key] = set(_partial_homs(source, target, domain))
+
+    changed = True
+    while changed:
+        changed = False
+        for key in list(family):
+            keep = set()
+            for f in family[key]:
+                if _consistent(f, key, family, source_dom, k):
+                    keep.add(f)
+            if len(keep) != len(family[key]):
+                family[key] = keep
+                changed = True
+        if not family[frozenset()]:
+            return False
+    return bool(family[frozenset()])
+
+
+def _consistent(
+    f: frozenset,
+    key: frozenset,
+    family: dict,
+    source_dom: list,
+    k: int,
+) -> bool:
+    # downward closure: immediate subfunctions must be present
+    for pair in f:
+        sub_key = key - {pair[0]}
+        if f - {pair} not in family.get(sub_key, ()):
+            return False
+    # extendability
+    if len(key) < k:
+        for a in source_dom:
+            if a in key:
+                continue
+            super_key = key | {a}
+            supers = family.get(super_key, ())
+            if not any(f <= g for g in supers):
+                return False
+    return True
+
+
+def kconsistency_closure(
+    source: Instance, target: Instance, k: int
+) -> dict:
+    """The full closed family (for inspection in tests/benchmarks)."""
+    source_dom = sorted(source.active_domain(), key=repr)
+    family: dict[frozenset, set] = {frozenset(): {frozenset()}}
+    for size in range(1, min(k, len(source_dom)) + 1):
+        for domain in combinations(source_dom, size):
+            family[frozenset(domain)] = set(
+                _partial_homs(source, target, domain)
+            )
+    changed = True
+    while changed:
+        changed = False
+        for key in list(family):
+            keep = {
+                f
+                for f in family[key]
+                if _consistent(f, key, family, source_dom, k)
+            }
+            if len(keep) != len(family[key]):
+                family[key] = keep
+                changed = True
+    return family
+
+
+def separates_in_datalog(
+    accepting: Instance,
+    rejecting: Instance,
+    k: int,
+) -> Optional[bool]:
+    """Fact 2 helper: can ANY Datalog query with rule bodies of size ≤ k
+    accept ``accepting`` and reject ``rejecting``?
+
+    Returns False (definitely not separable at this k) when
+    ``accepting →k rejecting`` — existential k-pebble games preserve
+    Boolean Datalog with bodies of size ≤ k — and None (no conclusion)
+    otherwise.
+    """
+    if duplicator_wins(accepting, rejecting, k):
+        return False
+    return None

@@ -1,0 +1,181 @@
+"""k-unravellings and (1,k)-unravellings (§7).
+
+A k-unravelling of ``I`` is a (generally infinite) instance of treewidth
+< k that maps onto ``I`` and is ``→k``-equivalent to it (Fact 4).  All
+uses in the paper inspect bounded neighbourhoods, so we build *depth-d
+truncations*: the tree of "scenes" (subsets of ``adom(I)`` of size ≤ k),
+where a child keeps the parent's copies of shared elements (at most one
+for the (1,k)-variant) and takes fresh copies otherwise.
+
+:func:`unravel` returns the truncated instance together with the
+homomorphism ``Φ`` onto ``I`` (condition (1): each bag is a partial
+isomorphism by construction, because scene facts are copied fact-for-
+fact).
+
+Truncation caveat (documented in DESIGN.md): properties of the form
+"some hom exists into the unravelling" are witnessed soundly by a deep
+enough truncation; "no hom exists" is evidenced on the truncation and
+justified analytically in the benchmarks (distance arguments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+from repro.core.instance import Instance
+
+
+@dataclass
+class Unravelling:
+    """A truncated unravelling with its projection homomorphism."""
+
+    instance: Instance
+    projection: dict  # copy element -> original element
+    bags: list[tuple]  # the bags of the witnessing tree decomposition
+    k: int
+    depth: int
+
+    def copy_count(self) -> int:
+        return len(self.projection)
+
+
+def _scenes(elements: list, k: int) -> list[tuple]:
+    out: list[tuple] = []
+    for size in range(1, k + 1):
+        out.extend(combinations(elements, size))
+    return out
+
+
+def _fact_supported_scenes(instance: Instance, k: int) -> list[tuple]:
+    """Scenes contained in the element set of some fact.
+
+    A *sub*-unravelling: conditions (1) and the treewidth/projection
+    properties are preserved; the full condition (2) is weakened to
+    fact-supported subsets.  Homomorphism targets lose nothing (facts
+    only live in fact-supported bags), and the blow-up drops from
+    ``n^k`` to ``|facts|·2^arity`` scenes.
+    """
+    out: set[tuple] = set()
+    for fact in instance.facts():
+        elems = sorted(set(fact.args), key=repr)
+        for size in range(1, min(k, len(elems)) + 1):
+            out.update(combinations(elems, size))
+    return sorted(out, key=repr)
+
+
+def unravel(
+    instance: Instance,
+    k: int,
+    depth: int,
+    frontier_one: bool = False,
+    max_nodes: int = 200_000,
+    scenes: str = "all",
+) -> Unravelling:
+    """The depth-``depth`` truncation of a (1,)k-unravelling.
+
+    ``frontier_one=True`` builds a (1,k)-unravelling: neighbouring bags
+    share at most one element (children are generated per choice of the
+    single kept element, plus an all-fresh child).  ``scenes`` is
+    ``"all"`` (the paper's condition (2)) or ``"fact-supported"`` (see
+    :func:`_fact_supported_scenes`).
+    """
+    elements = sorted(instance.active_domain(), key=repr)
+    if scenes == "fact-supported":
+        scene_list = _fact_supported_scenes(instance, k)
+    elif scenes == "all":
+        scene_list = _scenes(elements, k)
+    else:
+        raise ValueError(f"unknown scenes mode {scenes!r}")
+    scenes = scene_list
+    facts_by_scene = {
+        scene: [
+            f
+            for f in instance.facts()
+            if f.args and set(f.args) <= set(scene)
+        ]
+        for scene in scenes
+    }
+
+    out = Instance()
+    projection: dict = {}
+    bags: list[tuple] = []
+    counter = [0]
+
+    def fresh_copy(original) -> tuple:
+        counter[0] += 1
+        copy = (original, counter[0])
+        projection[copy] = original
+        return copy
+
+    def add_scene_facts(scene: tuple, copies: dict) -> None:
+        for fact in facts_by_scene[scene]:
+            out.add_tuple(fact.pred, tuple(copies[a] for a in fact.args))
+
+    def expand(scene: tuple, copies: dict, level: int) -> None:
+        if counter[0] > max_nodes:
+            raise RuntimeError(
+                f"unravelling truncation exceeded {max_nodes} copies"
+            )
+        bags.append(tuple(copies[a] for a in scene))
+        add_scene_facts(scene, copies)
+        if level == depth:
+            return
+        for child_scene in scenes:
+            shared = [a for a in child_scene if a in copies]
+            if frontier_one and len(shared) > 1:
+                keep_choices = [(a,) for a in shared]
+            elif frontier_one:
+                keep_choices = [tuple(shared)] if shared else [()]
+            else:
+                keep_choices = [tuple(shared)]
+            if frontier_one and shared:
+                keep_choices = list(keep_choices) + [()]
+            for kept in keep_choices:
+                child_copies = {}
+                for a in child_scene:
+                    if a in kept:
+                        child_copies[a] = copies[a]
+                    else:
+                        child_copies[a] = fresh_copy(a)
+                expand(child_scene, child_copies, level + 1)
+
+    # A single root scene suffices: condition (2) only constrains the
+    # children of each node, and every scene appears below the root.
+    root_scene = scenes[0] if scenes else ()
+    if root_scene:
+        root_copies = {a: fresh_copy(a) for a in root_scene}
+        expand(root_scene, root_copies, 0)
+    return Unravelling(out, projection, bags, k, depth)
+
+
+def projection_is_homomorphism(unravelling: Unravelling, original: Instance) -> bool:
+    """Check Φ : U → I (Fact 4(1), first half)."""
+    for fact in unravelling.instance.facts():
+        image = tuple(unravelling.projection[a] for a in fact.args)
+        if not original.has_tuple(fact.pred, image):
+            return False
+    return True
+
+
+def bags_are_partial_isomorphisms(
+    unravelling: Unravelling, original: Instance
+) -> bool:
+    """Condition (1) of the unravelling definition.
+
+    Φ restricted to each bag must be a partial isomorphism: injective
+    (holds by construction: distinct bag copies have distinct originals)
+    and reflecting facts — within a bag, the copies carry *all* facts
+    the originals satisfy.
+    """
+    for bag in unravelling.bags:
+        originals = [unravelling.projection[c] for c in bag]
+        if len(set(originals)) != len(originals):
+            return False
+        back = dict(zip(originals, bag))
+        for fact in original.facts():
+            if fact.args and all(a in back for a in fact.args):
+                copied = tuple(back[a] for a in fact.args)
+                if not unravelling.instance.has_tuple(fact.pred, copied):
+                    return False
+    return True

@@ -1,0 +1,33 @@
+"""Rewritings and separators (§4, §7)."""
+
+from repro.rewriting.forward_backward import (
+    NotRewritableError,
+    evaluate_rewriting_over_base,
+    rewrite_cq,
+    rewrite_forward_backward,
+)
+from repro.rewriting.datalog_rewriting import (
+    backward_rewriting_from_automaton,
+    datalog_rewriting,
+    verify_rewriting_on_instances,
+)
+from repro.rewriting.separator import (
+    CertainAnswerSeparator,
+    SmallImageSeparator,
+    agree_on_image,
+    separator_from_rewriting,
+)
+from repro.rewriting.verification import (
+    check_rewriting,
+    check_separator,
+    random_instances,
+)
+
+__all__ = [
+    "NotRewritableError", "evaluate_rewriting_over_base", "rewrite_cq",
+    "rewrite_forward_backward", "backward_rewriting_from_automaton",
+    "datalog_rewriting", "verify_rewriting_on_instances",
+    "CertainAnswerSeparator", "SmallImageSeparator", "agree_on_image",
+    "separator_from_rewriting", "check_rewriting", "check_separator",
+    "random_instances",
+]

@@ -1,0 +1,77 @@
+"""Datalog rewritings of monotonically determined recursive queries
+(Thm 1, Thm 2, and the inverse-rules route of [14]).
+
+Two construction routes:
+
+* :func:`datalog_rewriting` — for CQ views, the de-functionalized
+  inverse-rules program ([14]); it computes certain answers, hence is a
+  rewriting exactly when the query is monotonically determined.  With
+  ``frontier_guard=True`` the appendix's guard-completion yields an FGDL
+  program for FGDL queries.
+* :func:`backward_rewriting_from_automaton` — the Thm 1 pipeline piece:
+  given an automaton satisfying Prop. 7's two inclusions for ``(Q, V)``,
+  its backward mapping is a Datalog rewriting.  We expose it so the
+  benchmarks can exercise the forward→project→backward loop on concrete
+  automata (e.g. the identity-views case, where the forward automaton of
+  Prop. 3 itself qualifies).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.datalog import DatalogQuery
+from repro.core.schema import Schema
+from repro.views.view import ViewSet
+from repro.views.inverse_rules import inverse_rules_rewriting
+from repro.automata.backward import backward_query
+from repro.automata.nta import NTA
+
+
+def datalog_rewriting(
+    query: DatalogQuery,
+    views: ViewSet,
+    frontier_guard: bool = False,
+) -> DatalogQuery:
+    """A Datalog rewriting over CQ views via inverse rules ([14]).
+
+    The returned program computes, on every view instance, the certain
+    answers of ``query`` w.r.t. ``views``; when ``query`` is
+    monotonically determined over ``views`` this equals ``Q ∘ V`` and is
+    therefore a rewriting.  Certification of monotonic determinacy is
+    the caller's concern (see :mod:`repro.determinacy`).
+    """
+    return inverse_rules_rewriting(
+        query, views, frontier_guard=frontier_guard
+    )
+
+
+def backward_rewriting_from_automaton(
+    nta: NTA,
+    view_schema: Schema,
+    name: str = "Q_A",
+) -> DatalogQuery:
+    """Backward-map an automaton into a Datalog query over the views.
+
+    Correctness contract (Prop. 7): if ``Q`` is homomorphically
+    determined over ``V`` — which Lemma 4 grants whenever it is
+    monotonically determined — and ``nta`` accepts codes of all view
+    images of approximations while everything it accepts receives a
+    homomorphism from some view image, then the result is a rewriting.
+    """
+    return backward_query(nta, view_schema, name=name)
+
+
+def verify_rewriting_on_instances(
+    query: DatalogQuery,
+    views: ViewSet,
+    rewriting: DatalogQuery,
+    instances,
+) -> Optional[object]:
+    """First instance where ``rewriting(V(I)) ≠ Q(I)``, or None."""
+    for instance in instances:
+        expected = query.evaluate(instance)
+        got = rewriting.evaluate(views.image(instance))
+        if expected != got:
+            return instance
+    return None

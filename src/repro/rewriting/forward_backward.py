@@ -1,0 +1,68 @@
+"""CQ/UCQ rewritings via the forward–backward method (Prop. 8).
+
+For a CQ (resp. UCQ) query monotonically determined over arbitrary
+Datalog views, the canonical candidate ``⋁_i V(Q_i)`` *is* a rewriting —
+polynomial-size in ``|Q|`` and ``|V|``.  :func:`rewrite_forward_backward`
+computes the candidate and (optionally) certifies it through the exact
+Thm 5 containment check.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.core.containment import Verdict
+from repro.core.cq import ConjunctiveQuery
+from repro.core.ucq import UCQ, as_ucq
+from repro.views.view import ViewSet
+from repro.determinacy.cq_query import decide_cq_ucq, forward_backward_candidate
+
+
+class NotRewritableError(ValueError):
+    """Raised when certification shows the query is not monotonically
+    determined (hence has no monotone rewriting)."""
+
+
+def rewrite_forward_backward(
+    query: Union[ConjunctiveQuery, UCQ],
+    views: ViewSet,
+    certify: bool = True,
+) -> UCQ:
+    """The UCQ rewriting of a monotonically determined CQ/UCQ query.
+
+    With ``certify=True`` (default) the Thm 5 decision procedure runs
+    first and a :class:`NotRewritableError` carries the refutation when
+    the query is not monotonically determined.  With ``certify=False``
+    the candidate is returned unconditionally (it still computes a sound
+    under-approximation: it is contained in any monotone rewriting).
+    """
+    if certify:
+        result, rewriting = decide_cq_ucq(query, views)
+        if result.verdict is not Verdict.YES:
+            raise NotRewritableError(
+                f"not monotonically determined: {result.detail}"
+            )
+        assert rewriting is not None
+        return rewriting
+    candidate, problem = forward_backward_candidate(query, views)
+    if candidate is None:
+        raise NotRewritableError(problem)
+    return candidate
+
+
+def rewrite_cq(
+    query: ConjunctiveQuery, views: ViewSet, certify: bool = True
+) -> ConjunctiveQuery:
+    """The CQ rewriting of a CQ query (Prop. 8(1))."""
+    ucq = rewrite_forward_backward(query, views, certify)
+    assert len(ucq.disjuncts) == 1
+    return ucq.disjuncts[0]
+
+
+def evaluate_rewriting_over_base(
+    rewriting: Union[ConjunctiveQuery, UCQ],
+    views: ViewSet,
+    base_instance,
+) -> set[tuple]:
+    """Evaluate a view-schema rewriting against a base instance."""
+    return as_ucq(rewriting).evaluate(views.image(base_instance))

@@ -1,0 +1,127 @@
+"""Separators (§2, §7).
+
+A *separator* of ``Q`` w.r.t. ``V`` is any function on view instances
+agreeing with ``Q`` on all view images — a rewriting not required to
+live in a logic.  The paper's observations:
+
+* Datalog rewritings are PTime separators; UCQ rewritings are AC⁰.
+* For Datalog queries and UCQ views there is a separator in NP and one
+  in co-NP (every view image is the image of a small instance).
+* Theorem 9: no computable time bound covers all separators for Datalog
+  queries monotonically determined over Datalog views.
+
+:class:`CertainAnswerSeparator` is the inverse-rules separator (exact
+for monotonically determined queries over CQ views, Theorem 10).
+:class:`SmallImageSeparator` realizes the NP-style guess-a-preimage
+separator for UCQ views by bounded search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product as iproduct
+from typing import Callable, Union
+
+from repro.core.cq import ConjunctiveQuery
+from repro.core.datalog import DatalogQuery
+from repro.core.instance import Instance
+from repro.core.ucq import UCQ
+from repro.views.view import ViewSet
+from repro.views.inverse_rules import certain_answers
+from repro.determinacy.tests import view_definition_expansions, _instantiate
+from repro.util.fresh import FreshNames
+
+QueryLike = Union[ConjunctiveQuery, UCQ, DatalogQuery]
+
+
+@dataclass
+class CertainAnswerSeparator:
+    """Separator computed by the inverse-rules chase (CQ views).
+
+    PTime in the view instance for a fixed query; exact on view images
+    of monotonically determined queries (Theorem 10 of the appendix).
+    """
+
+    query: DatalogQuery
+    views: ViewSet
+    calls: int = 0
+
+    def __call__(self, view_instance: Instance) -> set[tuple]:
+        self.calls += 1
+        return certain_answers(self.query, self.views, view_instance)
+
+    def boolean(self, view_instance: Instance) -> bool:
+        return () in self(view_instance)
+
+
+@dataclass
+class SmallImageSeparator:
+    """The NP-separator for (U)CQ views: search a small preimage.
+
+    For UCQ views, every view image is the view image of an instance of
+    size polynomial in the image (replace each view fact by one expanded
+    disjunct).  On input ``J`` we enumerate the candidate preimages
+    obtainable by inverting each fact with some disjunct and evaluate
+    ``Q`` on each — "guess a preimage, accept if ``Q`` holds" — taking
+    the union (for the co-NP variant, the intersection).
+    """
+
+    query: QueryLike
+    views: ViewSet
+    mode: str = "np"  # "np" = union over preimages, "conp" = intersection
+    stats: dict = field(default_factory=dict)
+
+    def __call__(self, view_instance: Instance) -> set[tuple]:
+        facts = sorted(view_instance.facts(), key=repr)
+        options = []
+        for fact in facts:
+            expansions = view_definition_expansions(
+                self.views[fact.pred], max_depth=3
+            )
+            options.append([(fact, e) for e in expansions])
+        answers: set[tuple] = set()
+        first = True
+        count = 0
+        for combo in iproduct(*options):
+            fresh = FreshNames("pre")
+            candidate = Instance()
+            for fact, expansion in combo:
+                for atom in _instantiate(expansion, fact.args, fresh):
+                    candidate.add(atom)
+            count += 1
+            result = self.query.evaluate(candidate)
+            if self.mode == "np":
+                answers |= result
+            elif first:
+                answers = set(result)
+                first = False
+            else:
+                answers &= result
+        self.stats["preimages"] = count
+        return answers
+
+    def boolean(self, view_instance: Instance) -> bool:
+        return () in self(view_instance)
+
+
+def separator_from_rewriting(
+    rewriting: QueryLike,
+) -> Callable[[Instance], set[tuple]]:
+    """Wrap a logical rewriting as a separator function."""
+
+    def separator(view_instance: Instance) -> set[tuple]:
+        return rewriting.evaluate(view_instance)
+
+    return separator
+
+
+def agree_on_image(
+    query: QueryLike,
+    views: ViewSet,
+    separator: Callable[[Instance], set[tuple]],
+    base_instance: Instance,
+) -> bool:
+    """Whether the separator matches ``Q`` on one base instance's image."""
+    return separator(views.image(base_instance)) == query.evaluate(
+        base_instance
+    )

@@ -1,0 +1,130 @@
+"""The stratified-Datalog separator for ``Q_TP`` (appendix, "Additional
+comments on non-Datalog-rewritable examples").
+
+For every tiling problem ``TP`` whose rectangular grids cannot be tiled,
+the query ``Q_TP`` of Thm 6 — although not Datalog-rewritable over
+``V_TP`` when ``TP`` is ``TP*`` (Thm 8) — has a *positive Boolean
+combination* rewriting::
+
+    R = Vhelper_C ∨ Vhelper_D ∨ Q*_verify ∨ (Q*_start ∧ ProductTest)
+
+where ``Q*_start``/``Q*_verify`` are the view-schema versions of
+``Qstart``/``Qverify`` and ``ProductTest`` checks that ``S`` equals the
+product of its projections (expressible in relational algebra, hence in
+stratified Datalog).  In particular ``Q_TP*`` always has a PTime
+separator.  :class:`StratifiedSeparator` implements ``R`` directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.atoms import Atom
+from repro.core.datalog import DatalogProgram, DatalogQuery, Rule
+from repro.core.instance import Instance
+from repro.core.terms import variables
+from repro.constructions.reduction_thm6 import tile_predicates
+from repro.constructions.tiling import TilingProblem
+
+
+def product_test(view_instance: Instance) -> bool:
+    """Whether ``S`` equals the product of its projections.
+
+    Relational algebra (uses difference), hence stratified-Datalog
+    expressible but not plain-Datalog monotone.
+    """
+    s_rows = view_instance.tuples("S")
+    left = {x for x, _ in s_rows}
+    right = {y for _, y in s_rows}
+    return all((x, y) in s_rows for x in left for y in right)
+
+
+def star_start_query() -> DatalogQuery:
+    """``Q*_start``: ``Qstart`` with ``C``/``D`` read off ``S``'s
+    projections and the successor/end views."""
+    program_rules = []
+    x, x2, y, y2, u, v = variables("x x2 y y2 u v")
+    program_rules += [
+        Rule(Atom("Cs", (x,)), (Atom("S", (x, v)),)),
+        Rule(Atom("Ds", (y,)), (Atom("S", (u, y)),)),
+        Rule(Atom("As", (x,)), (
+            Atom("VXSucc", (x, x2)), Atom("As", (x2,)), Atom("Cs", (x2,)),
+        )),
+        Rule(Atom("As", (x,)), (
+            Atom("VXSucc", (x, x2)), Atom("VXEnd", (x2,)), Atom("Cs", (x2,)),
+        )),
+        Rule(Atom("Bs", (y,)), (
+            Atom("VYSucc", (y, y2)), Atom("Bs", (y2,)), Atom("Ds", (y2,)),
+        )),
+        Rule(Atom("Bs", (y,)), (
+            Atom("VYSucc", (y, y2)), Atom("VYEnd", (y2,)), Atom("Ds", (y2,)),
+        )),
+        Rule(Atom("Qstart·s", ()), (Atom("As", (x,)), Atom("Bs", (x,)))),
+    ]
+    return DatalogQuery(
+        DatalogProgram(tuple(program_rules)), "Qstart·s", "Q*start"
+    )
+
+
+def star_verify_query(tp: TilingProblem) -> DatalogQuery:
+    """``Q*_verify``: the (8)–(11) rules over the view signature."""
+    preds = tile_predicates(tp)
+    z1, z2, x, y, o = variables("z1 z2 x y o")
+    x1, x2, y1, y2 = variables("x1 x2 y1 y2")
+    rules = []
+    for left in tp.tiles:
+        for right in tp.tiles:
+            if (left, right) in tp.horizontal:
+                continue
+            rules.append(Rule(Atom("Qverify·s", ()), (
+                Atom("VHA", (z1, z2, x1, x2, y)),
+                Atom(f"V{preds[left]}", (z1,)),
+                Atom(f"V{preds[right]}", (z2,)),
+            )))
+    for below, above in (
+        (b, a)
+        for b in tp.tiles
+        for a in tp.tiles
+        if (b, a) not in tp.vertical
+    ):
+        rules.append(Rule(Atom("Qverify·s", ()), (
+            Atom("VVA", (z1, z2, x, y1, y2)),
+            Atom(f"V{preds[below]}", (z1,)),
+            Atom(f"V{preds[above]}", (z2,)),
+        )))
+    for tile in tp.tiles:
+        if tile not in tp.initial:
+            rules.append(Rule(Atom("Qverify·s", ()), (
+                Atom("VI", (o, x, y, z1)),
+                Atom(f"V{preds[tile]}", (z1,)),
+            )))
+        if tile not in tp.final:
+            rules.append(Rule(Atom("Qverify·s", ()), (
+                Atom("VF", (x, y, z1)),
+                Atom(f"V{preds[tile]}", (z1,)),
+            )))
+    return DatalogQuery(
+        DatalogProgram(tuple(rules)), "Qverify·s", "Q*verify"
+    )
+
+
+@dataclass
+class StratifiedSeparator:
+    """The appendix's PTime separator ``R`` for ``Q_TP`` over ``V_TP``."""
+
+    tp: TilingProblem
+
+    def __post_init__(self) -> None:
+        self._start = star_start_query()
+        self._verify = star_verify_query(self.tp)
+
+    def boolean(self, view_instance: Instance) -> bool:
+        if view_instance.tuples("VhelperC"):
+            return True
+        if view_instance.tuples("VhelperD"):
+            return True
+        if self._verify.boolean(view_instance):
+            return True
+        return self._start.boolean(view_instance) and product_test(
+            view_instance
+        )

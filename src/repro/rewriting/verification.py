@@ -1,0 +1,116 @@
+"""Randomized verification of rewritings and separators.
+
+Rewriting equivalence is undecidable in general, so the benchmarks and
+the property-based tests validate candidate rewritings the empirical
+way: generate many random instances over the base schema, compare
+``Q(I)`` with ``R(V(I))``.  The generator is seeded and biased toward
+small element pools so joins actually fire.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterator, Optional, Union
+
+from repro.core.cq import ConjunctiveQuery
+from repro.core.datalog import DatalogQuery
+from repro.core.instance import Instance
+from repro.core.schema import Schema
+from repro.core.ucq import UCQ
+from repro.views.view import ViewSet
+
+QueryLike = Union[ConjunctiveQuery, UCQ, DatalogQuery]
+
+
+def random_instances(
+    schema: Schema,
+    count: int,
+    seed: int = 0,
+    max_elements: int = 5,
+    max_facts_per_relation: int = 6,
+) -> Iterator[Instance]:
+    """A seeded stream of random instances over ``schema``."""
+    rng = random.Random(seed)
+    for _ in range(count):
+        n = rng.randint(1, max_elements)
+        instance = Instance()
+        for pred in sorted(schema.names()):
+            arity = schema.arity(pred)
+            for _ in range(rng.randint(0, max_facts_per_relation)):
+                instance.add_tuple(
+                    pred, tuple(rng.randrange(n) for _ in range(arity))
+                )
+        yield instance
+
+
+def check_rewriting(
+    query: QueryLike,
+    views: ViewSet,
+    rewriting: QueryLike,
+    schema: Optional[Schema] = None,
+    trials: int = 50,
+    seed: int = 0,
+) -> Optional[Instance]:
+    """First random instance where ``rewriting(V(I)) ≠ Q(I)``, or None."""
+    schema = schema or _base_schema(query, views)
+    for instance in random_instances(schema, trials, seed):
+        if rewriting.evaluate(views.image(instance)) != query.evaluate(
+            instance
+        ):
+            return instance
+    return None
+
+
+def check_separator(
+    query: QueryLike,
+    views: ViewSet,
+    separator: Callable[[Instance], set[tuple]],
+    schema: Optional[Schema] = None,
+    trials: int = 50,
+    seed: int = 0,
+) -> Optional[Instance]:
+    """First random instance where the separator disagrees, or None."""
+    schema = schema or _base_schema(query, views)
+    for instance in random_instances(schema, trials, seed):
+        if separator(views.image(instance)) != query.evaluate(instance):
+            return instance
+    return None
+
+
+def _base_schema(query: QueryLike, views: ViewSet) -> Schema:
+    """Infer the base schema from query EDBs and view definitions."""
+    preds: dict[str, int] = {}
+
+    def note(pred: str, arity: int) -> None:
+        preds.setdefault(pred, arity)
+
+    if isinstance(query, DatalogQuery):
+        for rule in query.program.rules:
+            idb = query.program.idb_predicates()
+            for atom in rule.body:
+                if atom.pred not in idb:
+                    note(atom.pred, atom.arity)
+    else:
+        disjuncts = (
+            query.disjuncts if isinstance(query, UCQ) else (query,)
+        )
+        for d in disjuncts:
+            for atom in d.atoms:
+                note(atom.pred, atom.arity)
+    for view in views:
+        definition = view.definition
+        if isinstance(definition, ConjunctiveQuery):
+            atoms_iter = definition.atoms
+            for atom in atoms_iter:
+                note(atom.pred, atom.arity)
+        elif isinstance(definition, UCQ):
+            for d in definition.disjuncts:
+                for atom in d.atoms:
+                    note(atom.pred, atom.arity)
+        else:
+            idb = definition.program.idb_predicates()
+            for rule in definition.program.rules:
+                for atom in rule.body:
+                    if atom.pred not in idb:
+                        note(atom.pred, atom.arity)
+    return Schema(preds)

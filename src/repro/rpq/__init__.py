@@ -1,0 +1,24 @@
+"""Regular path queries (the related-work query class of [10, 11, 15, 16]).
+
+The paper situates its results against the RPQ line of work:
+monotonic determinacy for RPQ views — "losslessness under the sound view
+assumption" — is decidable in ExpSpace and implies Datalog rewritability,
+while plain determinacy is undecidable.  This package makes that regime
+runnable inside our framework: RPQs compile to linear Datalog over a
+graph schema, RPQ views are ordinary views, and our checkers/rewriters
+apply unchanged.
+"""
+
+from repro.rpq.regex import Regex, parse_regex
+from repro.rpq.automaton import GlushkovNFA, nfa_of
+from repro.rpq.query import (
+    RPQ,
+    rpq_query,
+    rpq_view,
+    rpq_views,
+)
+
+__all__ = [
+    "Regex", "parse_regex", "GlushkovNFA", "nfa_of", "RPQ",
+    "rpq_query", "rpq_view", "rpq_views",
+]

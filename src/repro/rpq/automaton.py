@@ -1,0 +1,131 @@
+"""Glushkov (position) automata for label regexes.
+
+An ε-free NFA whose states are the positions of the regex — the right
+shape for compiling RPQs into linear Datalog: one unary/binary IDB per
+state, one rule per transition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.rpq.regex import (
+    Epsilon,
+    Label,
+    Regex,
+    Star,
+    Union_,
+    nullable,
+)
+
+
+@dataclass(frozen=True)
+class GlushkovNFA:
+    """An ε-free NFA with a single initial state 0.
+
+    ``transitions``: set of ``(source, label, target)``;
+    ``accepting``: set of states; ``accepts_empty`` handles ε.
+    """
+
+    states: frozenset
+    transitions: frozenset
+    accepting: frozenset
+    accepts_empty: bool
+
+    def successors(self, state, label) -> set:
+        return {
+            t for (s, lab, t) in self.transitions
+            if s == state and lab == label
+        }
+
+    def accepts(self, word: tuple) -> bool:
+        if not word:
+            return self.accepts_empty
+        current = {0}
+        for label in word:
+            current = {
+                t
+                for s in current
+                for (src, lab, t) in self.transitions
+                if src == s and lab == label
+            }
+            if not current:
+                return False
+        return bool(current & self.accepting)
+
+
+def nfa_of(regex: Regex) -> GlushkovNFA:
+    """The Glushkov automaton of a regex."""
+    first, last, follow, labels = _glushkov(regex, [0])
+    transitions = set()
+    for pos in first:
+        transitions.add((0, labels[pos], pos))
+    for a, b in follow:
+        transitions.add((a, labels[b], b))
+    states = frozenset({0} | set(labels))
+    return GlushkovNFA(
+        states=states,
+        transitions=frozenset(transitions),
+        accepting=frozenset(last),
+        accepts_empty=nullable(regex),
+    )
+
+
+def _glushkov(regex: Regex, counter: list) -> tuple:
+    """(first, last, follow, labels) with a shared position counter."""
+    if isinstance(regex, Epsilon):
+        return set(), set(), set(), {}
+    if isinstance(regex, Label):
+        counter[0] += 1
+        pos = counter[0]
+        return {pos}, {pos}, set(), {pos: regex.name}
+    if isinstance(regex, Star):
+        first, last, follow, labels = _glushkov(regex.inner, counter)
+        follow = set(follow)
+        for a in last:
+            for b in first:
+                follow.add((a, b))
+        return first, last, follow, labels
+    if isinstance(regex, Union_):
+        first: set = set()
+        last: set = set()
+        follow: set = set()
+        labels: dict = {}
+        for part in regex.parts:
+            f, l, fo, lab = _glushkov(part, counter)
+            first |= f
+            last |= l
+            follow |= fo
+            labels.update(lab)
+        return first, last, follow, labels
+    # Concat
+    annotated = [_glushkov(part, counter) for part in regex.parts]
+    first: set = set()
+    prefix_nullable = True
+    for (f, _l, _fo, _lab), part in zip(annotated, regex.parts):
+        if prefix_nullable:
+            first |= f
+        prefix_nullable = prefix_nullable and nullable(part)
+    last: set = set()
+    suffix_nullable = True
+    for (f, l, _fo, _lab), part in zip(
+        reversed(annotated), tuple(reversed(regex.parts))
+    ):
+        if suffix_nullable:
+            last |= l
+        suffix_nullable = suffix_nullable and nullable(part)
+    follow: set = set()
+    labels: dict = {}
+    for f, l, fo, lab in annotated:
+        follow |= fo
+        labels.update(lab)
+    prev_last: set = set()
+    for (f, l, _fo, _lab), part in zip(annotated, regex.parts):
+        for a in prev_last:
+            for b in f:
+                follow.add((a, b))
+        if nullable(part):
+            prev_last = prev_last | l
+        else:
+            prev_last = set(l)
+    return first, last, follow, labels

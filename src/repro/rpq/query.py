@@ -1,0 +1,127 @@
+"""RPQs as Datalog queries over a graph schema.
+
+A graph database has one binary relation ``E·a`` per edge label ``a``.
+An RPQ ``L`` returns the pairs ``(x, y)`` connected by a path spelling a
+word of ``L``; it compiles to *linear* Datalog with one binary IDB per
+NFA state.  RPQ views make the "losslessness" setting of [10, 11, 15]
+expressible inside this library: monotonic determinacy of an RPQ over
+RPQ views is exactly losslessness under the sound view assumption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.atoms import Atom
+from repro.core.datalog import DatalogProgram, DatalogQuery, Rule
+from repro.core.instance import Instance
+from repro.core.terms import variables
+from repro.views.view import View, ViewSet
+from repro.rpq.automaton import GlushkovNFA, nfa_of
+from repro.rpq.regex import Regex, parse_regex
+
+
+def edge_predicate(label: str) -> str:
+    return f"E·{label}"
+
+
+def graph_instance(edges) -> Instance:
+    """Build a graph database from ``(source, label, target)`` triples."""
+    out = Instance()
+    for source, label, target in edges:
+        out.add_tuple(edge_predicate(label), (source, target))
+    return out
+
+
+@dataclass(frozen=True)
+class RPQ:
+    """A regular path query with its compiled automaton."""
+
+    name: str
+    regex: Regex
+    nfa: GlushkovNFA
+
+    def to_datalog(self) -> DatalogQuery:
+        """The linear Datalog compilation (binary IDB per NFA state)."""
+        x, y, z = variables("x y z")
+        rules: list[Rule] = []
+
+        def state_pred(state) -> str:
+            return f"{self.name}·q{state}"
+
+        for source, label, target in sorted(
+            self.nfa.transitions, key=repr
+        ):
+            if source == 0:
+                # Glushkov automata have no transitions back into the
+                # initial state, so state 0 needs no IDB of its own.
+                rules.append(
+                    Rule(
+                        Atom(state_pred(target), (x, y)),
+                        (Atom(edge_predicate(label), (x, y)),),
+                    )
+                )
+            else:
+                rules.append(
+                    Rule(
+                        Atom(state_pred(target), (x, y)),
+                        (
+                            Atom(state_pred(source), (x, z)),
+                            Atom(edge_predicate(label), (z, y)),
+                        ),
+                    )
+                )
+        goal = f"Goal·{self.name}"
+        for state in sorted(self.nfa.accepting, key=repr):
+            rules.append(
+                Rule(
+                    Atom(goal, (x, y)),
+                    (Atom(state_pred(state), (x, y)),),
+                )
+            )
+        if self.nfa.accepts_empty:
+            # ε: every active-domain element reaches itself
+            labels = sorted(
+                {label for (_s, label, _t) in self.nfa.transitions}
+            ) or ["·none"]
+            for label in labels:
+                rules.append(
+                    Rule(Atom(goal, (x, x)), (
+                        Atom(edge_predicate(label), (x, y)),
+                    ))
+                )
+                rules.append(
+                    Rule(Atom(goal, (x, x)), (
+                        Atom(edge_predicate(label), (y, x)),
+                    ))
+                )
+        if not any(r.head.pred == goal for r in rules):
+            rules.append(
+                Rule(Atom(goal, (x, y)), (Atom("Never⊥", (x, y)),))
+            )
+        return DatalogQuery(DatalogProgram(tuple(rules)), goal, self.name)
+
+    def evaluate(self, graph: Instance) -> set[tuple]:
+        return self.to_datalog().evaluate(graph)
+
+    def accepts_word(self, word: tuple) -> bool:
+        return self.nfa.accepts(word)
+
+
+def rpq_query(regex_text: str, name: str = "rpq") -> RPQ:
+    """Parse and compile an RPQ."""
+    regex = parse_regex(regex_text)
+    return RPQ(name, regex, nfa_of(regex))
+
+
+def rpq_view(name: str, regex_text: str) -> View:
+    """A view defined by an RPQ."""
+    return View(name, rpq_query(regex_text, name).to_datalog())
+
+
+def rpq_views(definitions: Mapping[str, str]) -> ViewSet:
+    """A view set from ``{name: regex}``."""
+    return ViewSet([
+        rpq_view(name, text) for name, text in sorted(definitions.items())
+    ])

@@ -1,0 +1,172 @@
+"""Regular expressions over edge labels.
+
+Grammar (labels are identifiers; standard precedence)::
+
+    regex   := term ('|' term)*
+    term    := factor+
+    factor  := base ('*' | '+' | '?')*
+    base    := LABEL | '(' regex ')' | 'ε'
+
+Example: ``"a (b | c)* d"`` — an ``a``-edge, then ``b``/``c``-edges, then
+a ``d``-edge.
+"""
+
+from __future__ import annotations
+
+import re as _re
+from dataclasses import dataclass
+from typing import Iterator, Union
+
+
+@dataclass(frozen=True)
+class Label:
+    name: str
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+@dataclass(frozen=True)
+class Epsilon:
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "ε"
+
+
+@dataclass(frozen=True)
+class Concat:
+    parts: tuple
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return " ".join(map(repr, self.parts))
+
+
+@dataclass(frozen=True)
+class Union_:
+    parts: tuple
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "(" + " | ".join(map(repr, self.parts)) + ")"
+
+
+@dataclass(frozen=True)
+class Star:
+    inner: "Regex"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.inner!r})*"
+
+
+Regex = Union[Label, Epsilon, Concat, Union_, Star]
+
+# labels may carry a trailing '-' (2RPQ inverse, see repro.rpq.two_way)
+_TOKEN = _re.compile(r"\s*(?:(\w+-?|\w+⁻)|([()|*+?])|(ε))")
+
+
+class RegexParseError(ValueError):
+    pass
+
+
+def _tokens(text: str) -> Iterator[str]:
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN.match(text, pos)
+        if match is None or match.end() == pos:
+            rest = text[pos:].strip()
+            if not rest:
+                break
+            raise RegexParseError(f"bad regex near {rest[:10]!r}")
+        pos = match.end()
+        yield match.group(1) or match.group(2) or match.group(3)
+    yield ""  # eof
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self._toks = list(_tokens(text))
+        self._i = 0
+
+    def peek(self) -> str:
+        return self._toks[self._i]
+
+    def next(self) -> str:
+        tok = self._toks[self._i]
+        self._i += 1
+        return tok
+
+    def parse(self) -> Regex:
+        out = self._union()
+        if self.peek() != "":
+            raise RegexParseError(f"trailing input at {self.peek()!r}")
+        return out
+
+    def _union(self) -> Regex:
+        parts = [self._concat()]
+        while self.peek() == "|":
+            self.next()
+            parts.append(self._concat())
+        return parts[0] if len(parts) == 1 else Union_(tuple(parts))
+
+    def _concat(self) -> Regex:
+        parts = []
+        while self.peek() not in ("", "|", ")"):
+            parts.append(self._postfix())
+        if not parts:
+            return Epsilon()
+        return parts[0] if len(parts) == 1 else Concat(tuple(parts))
+
+    def _postfix(self) -> Regex:
+        base = self._base()
+        while self.peek() in ("*", "+", "?"):
+            op = self.next()
+            if op == "*":
+                base = Star(base)
+            elif op == "+":
+                base = Concat((base, Star(base)))
+            else:
+                base = Union_((base, Epsilon()))
+        return base
+
+    def _base(self) -> Regex:
+        tok = self.next()
+        if tok == "(":
+            inner = self._union()
+            if self.next() != ")":
+                raise RegexParseError("unbalanced parentheses")
+            return inner
+        if tok in ("", ")", "|", "*", "+", "?"):
+            raise RegexParseError(f"unexpected {tok!r}")
+        if tok == "ε":
+            return Epsilon()
+        return Label(tok)
+
+
+def parse_regex(text: str) -> Regex:
+    """Parse a regular expression over edge labels."""
+    return _Parser(text).parse()
+
+
+def labels_of(regex: Regex) -> set[str]:
+    """All edge labels mentioned."""
+    if isinstance(regex, Label):
+        return {regex.name}
+    if isinstance(regex, Epsilon):
+        return set()
+    if isinstance(regex, (Concat, Union_)):
+        out: set[str] = set()
+        for part in regex.parts:
+            out |= labels_of(part)
+        return out
+    return labels_of(regex.inner)
+
+
+def nullable(regex: Regex) -> bool:
+    """Whether the language contains the empty word."""
+    if isinstance(regex, Epsilon):
+        return True
+    if isinstance(regex, Label):
+        return False
+    if isinstance(regex, Star):
+        return True
+    if isinstance(regex, Concat):
+        return all(nullable(p) for p in regex.parts)
+    return any(nullable(p) for p in regex.parts)

@@ -1,0 +1,86 @@
+"""Two-way regular path queries (2RPQs, [11]).
+
+A 2RPQ may traverse edges backwards: the label alphabet is extended
+with inverses ``a⁻`` (written ``a-`` in the text syntax).  Compilation
+is the same linear-Datalog translation with the edge atom flipped for
+inverse labels.
+"""
+
+from __future__ import annotations
+
+from repro.core.atoms import Atom
+from repro.core.datalog import DatalogProgram, DatalogQuery, Rule
+from repro.core.terms import variables
+from repro.rpq.automaton import nfa_of
+from repro.rpq.query import edge_predicate
+from repro.rpq.regex import parse_regex
+
+INVERSE_SUFFIX = "⁻"
+
+
+def _normalize_label(label: str) -> tuple[str, bool]:
+    """``a-`` / ``a⁻`` → (base label, inverted?)."""
+    if label.endswith("-") or label.endswith(INVERSE_SUFFIX):
+        return label.rstrip("-" + INVERSE_SUFFIX), True
+    return label, False
+
+
+def two_way_rpq(regex_text: str, name: str = "rpq2") -> DatalogQuery:
+    """Compile a 2RPQ to Datalog.
+
+    Inverse labels are written with a trailing ``-``, e.g.
+    ``"a ( b- ) * c"`` walks an ``a``-edge forward, ``b``-edges
+    backward, then a ``c``-edge forward.
+    """
+    regex = parse_regex(regex_text)
+    nfa = nfa_of(regex)
+    x, y, z = variables("x y z")
+    rules: list[Rule] = []
+
+    def state_pred(state) -> str:
+        return f"{name}·q{state}"
+
+    def edge_atom(label: str, source, target) -> Atom:
+        base, inverted = _normalize_label(label)
+        if inverted:
+            return Atom(edge_predicate(base), (target, source))
+        return Atom(edge_predicate(base), (source, target))
+
+    for source, label, target in sorted(nfa.transitions, key=repr):
+        if source == 0:
+            rules.append(
+                Rule(
+                    Atom(state_pred(target), (x, y)),
+                    (edge_atom(label, x, y),),
+                )
+            )
+        else:
+            rules.append(
+                Rule(
+                    Atom(state_pred(target), (x, y)),
+                    (
+                        Atom(state_pred(source), (x, z)),
+                        edge_atom(label, z, y),
+                    ),
+                )
+            )
+    goal = f"Goal·{name}"
+    for state in sorted(nfa.accepting, key=repr):
+        rules.append(
+            Rule(Atom(goal, (x, y)), (Atom(state_pred(state), (x, y)),))
+        )
+    if nfa.accepts_empty:
+        bases = sorted({
+            _normalize_label(label)[0]
+            for (_s, label, _t) in nfa.transitions
+        }) or ["·none"]
+        for base in bases:
+            rules.append(Rule(Atom(goal, (x, x)), (
+                Atom(edge_predicate(base), (x, y)),
+            )))
+            rules.append(Rule(Atom(goal, (x, x)), (
+                Atom(edge_predicate(base), (y, x)),
+            )))
+    if not any(r.head.pred == goal for r in rules):
+        rules.append(Rule(Atom(goal, (x, y)), (Atom("Never⊥", (x, y)),)))
+    return DatalogQuery(DatalogProgram(tuple(rules)), goal, name)

@@ -1,0 +1,27 @@
+"""Tree decompositions and tree codes (§3)."""
+
+from repro.td.decomposition import (
+    DecompositionNode,
+    TreeDecomposition,
+    decomposition_from_bags,
+    single_bag_decomposition,
+)
+from repro.td.heuristics import (
+    decompose,
+    decomposition_of_expansion,
+    treewidth_exact,
+)
+from repro.td.codes import (
+    CodeNode,
+    TreeCode,
+    code_of_instance,
+    decode,
+    encode,
+)
+
+__all__ = [
+    "DecompositionNode", "TreeDecomposition", "decomposition_from_bags",
+    "single_bag_decomposition", "decompose", "decomposition_of_expansion",
+    "treewidth_exact", "CodeNode", "TreeCode", "code_of_instance",
+    "decode", "encode",
+]

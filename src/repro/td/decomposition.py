@@ -1,0 +1,179 @@
+"""Tree decompositions (§3).
+
+Follows the paper's convention: a decomposition *of width k* has bags of
+at most ``k`` elements (not the usual ``k+1``).  A decomposition is a
+rooted tree of *bags* (tuples of distinct elements); we also support the
+rooted variant for pairs ``(I, ā)`` where ``ā`` must be an initial
+segment of the root bag.
+
+``l(TD)`` — the maximum number of bags containing a single element — is
+the "treespan" quantity of Lemma 1/Lemma 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional
+
+from repro.core.instance import Instance
+
+
+@dataclass
+class DecompositionNode:
+    """A bag in a rooted tree decomposition."""
+
+    bag: tuple
+    children: list["DecompositionNode"] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if len(set(self.bag)) != len(self.bag):
+            raise ValueError(f"bag has duplicate elements: {self.bag}")
+
+    def nodes(self) -> Iterator["DecompositionNode"]:
+        yield self
+        for child in self.children:
+            yield from child.nodes()
+
+    def max_outdegree(self) -> int:
+        return max(
+            (len(n.children) for n in self.nodes()), default=0
+        ) if self.children else 0
+
+
+@dataclass
+class TreeDecomposition:
+    """A rooted tree decomposition ``TD = (τ, λ)``."""
+
+    root: DecompositionNode
+
+    def nodes(self) -> list[DecompositionNode]:
+        return list(self.root.nodes())
+
+    def width(self) -> int:
+        """Maximum bag size (the paper's ``k``)."""
+        return max(len(n.bag) for n in self.nodes())
+
+    def treespan(self) -> int:
+        """``l(TD)``: max number of bags containing one element."""
+        counts: dict = {}
+        for node in self.nodes():
+            for element in node.bag:
+                counts[element] = counts.get(element, 0) + 1
+        return max(counts.values(), default=0)
+
+    def elements(self) -> set:
+        out: set = set()
+        for node in self.nodes():
+            out.update(node.bag)
+        return out
+
+    # ------------------------------------------------------------------
+    # validity
+    # ------------------------------------------------------------------
+    def is_valid_for(
+        self, instance: Instance, rooted_tuple: tuple = ()
+    ) -> bool:
+        """Check the two decomposition conditions (plus rootedness).
+
+        * every fact's elements lie together in some bag,
+        * for every element, the bags containing it form a subtree,
+        * ``rooted_tuple`` (if given) is an initial segment of the root bag.
+        """
+        nodes = self.nodes()
+        if rooted_tuple and self.root.bag[: len(rooted_tuple)] != tuple(
+            rooted_tuple
+        ):
+            return False
+        bags = [set(n.bag) for n in nodes]
+        for fact in instance.facts():
+            need = set(fact.args)
+            if not any(need <= bag for bag in bags):
+                return False
+        if not (instance.active_domain() <= self.elements()):
+            return False
+        return self._connected_occurrences()
+
+    def _connected_occurrences(self) -> bool:
+        index: dict[int, DecompositionNode] = {}
+        parent: dict[int, Optional[int]] = {id(self.root): None}
+        order: list[DecompositionNode] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            index[id(node)] = node
+            order.append(node)
+            for child in node.children:
+                parent[id(child)] = id(node)
+                stack.append(child)
+        for element in self.elements():
+            holders = [n for n in order if element in n.bag]
+            if len(holders) <= 1:
+                continue
+            # connected iff each holder except one has a holder parent
+            holder_ids = {id(n) for n in holders}
+            roots = [
+                n for n in holders
+                if parent[id(n)] is None or parent[id(n)] not in holder_ids
+            ]
+            if len(roots) != 1:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # normal forms
+    # ------------------------------------------------------------------
+    def binarized(self) -> "TreeDecomposition":
+        """An equivalent decomposition with outdegree at most 2.
+
+        A node with ``m > 2`` children is replaced by a right-leaning
+        chain of copies of the same bag (§3: "It is easy to show that if
+        an instance has any tree decomposition of width k, it has one
+        with this property").
+        """
+
+        def rebuild(node: DecompositionNode) -> DecompositionNode:
+            children = [rebuild(c) for c in node.children]
+            if len(children) <= 2:
+                return DecompositionNode(node.bag, children)
+            head = children[0]
+            rest = children[1:]
+            current = DecompositionNode(node.bag, [rest[-1]])
+            for child in reversed(rest[:-1]):
+                current = DecompositionNode(node.bag, [child, current])
+            return DecompositionNode(node.bag, [head, current])
+
+        return TreeDecomposition(rebuild(self.root))
+
+    def is_frontier_one(self) -> bool:
+        """Neighbouring bags share at most one element (Thm 1, MDL case)."""
+
+        def check(node: DecompositionNode) -> bool:
+            for child in node.children:
+                if len(set(node.bag) & set(child.bag)) > 1:
+                    return False
+                if not check(child):
+                    return False
+            return True
+
+        return check(self.root)
+
+    def size(self) -> int:
+        return len(self.nodes())
+
+
+def decomposition_from_bags(
+    bag_tree: dict, root_key, bags: dict
+) -> TreeDecomposition:
+    """Build from adjacency ``{key: [child keys]}`` plus ``{key: bag}``."""
+
+    def build(key) -> DecompositionNode:
+        return DecompositionNode(
+            tuple(bags[key]), [build(c) for c in bag_tree.get(key, ())]
+        )
+
+    return TreeDecomposition(build(root_key))
+
+
+def single_bag_decomposition(elements: Iterable) -> TreeDecomposition:
+    """The trivial one-bag decomposition."""
+    return TreeDecomposition(DecompositionNode(tuple(elements)))

@@ -1,0 +1,6 @@
+"""Small shared utilities: fresh-name generation and canonical forms."""
+
+from repro.util.fresh import FreshNames, fresh_constant, fresh_variable
+from repro.util.canonical import canonical_form
+
+__all__ = ["FreshNames", "fresh_constant", "fresh_variable", "canonical_form"]

@@ -1,0 +1,147 @@
+"""Canonical forms for atom sets up to variable renaming.
+
+Enumerating CQ approximations of a Datalog query (§2) produces many
+isomorphic copies; deduplicating them keeps the test-based determinacy
+checker and the containment procedures tractable.  ``canonical_form``
+returns a hashable certificate that is invariant under renaming of
+variables (constants and free/distinguished variables are held fixed),
+computed by colour refinement followed by individualize-and-refine
+backtracking that selects the lexicographically minimal certificate.
+
+For patterns with very many variables the exact search can blow up; we
+cap the backtracking width and fall back to a deterministic (sound but
+possibly non-canonical) labelling, which only costs duplicate work
+downstream, never incorrect answers.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Sequence
+
+from repro.core.atoms import Atom
+from repro.core.terms import Variable, is_variable
+
+_FALLBACK_VARIABLE_LIMIT = 40
+
+
+def _refine(
+    atoms: Sequence[Atom], colors: dict[Variable, tuple]
+) -> dict[Variable, tuple]:
+    """One round of colour refinement; returns the new colouring."""
+    signature: dict[Variable, list] = defaultdict(list)
+    for atom in atoms:
+        for pos, term in enumerate(atom.args):
+            if not is_variable(term):
+                continue
+            context = tuple(
+                colors[t] if is_variable(t) else ("const", repr(t))
+                for t in atom.args
+            )
+            signature[term].append((atom.pred, pos, context))
+    return {
+        var: (colors[var], tuple(sorted(signature.get(var, ()), key=repr)))
+        for var in colors
+    }
+
+
+def _stable_colors(
+    atoms: Sequence[Atom], free: Sequence[Variable]
+) -> dict[Variable, tuple]:
+    variables = sorted(
+        {v for a in atoms for v in a.variables()}, key=lambda v: v.name
+    )
+    free_index = {v: i for i, v in enumerate(free)}
+    colors: dict[Variable, tuple] = {
+        v: (("free", free_index[v]) if v in free_index else ("bound",))
+        for v in variables
+    }
+    for _ in range(len(variables) + 1):
+        refined = _refine(atoms, colors)
+        if len(set(refined.values())) == len(set(colors.values())):
+            colors = refined
+            break
+        colors = refined
+    return colors
+
+
+def _certificate(
+    atoms: Sequence[Atom], labels: dict[Variable, int],
+    free: Sequence[Variable],
+) -> tuple:
+    rendered = []
+    for atom in atoms:
+        args = tuple(
+            ("v", labels[t]) if is_variable(t) else ("c", repr(t))
+            for t in atom.args
+        )
+        rendered.append((atom.pred, args))
+    head = tuple(("v", labels[v]) for v in free)
+    return (head, tuple(sorted(rendered)))
+
+
+def _search_minimal(
+    atoms: Sequence[Atom],
+    order_groups: list[list[Variable]],
+) -> tuple:
+    """Backtracking over ambiguous colour classes for the minimal certificate."""
+    best: list = [None]
+
+    flat_free: Sequence[Variable] = order_groups[0] if order_groups else []
+
+    def assign(groups: list[list[Variable]], labels: dict[Variable, int]):
+        if not groups:
+            cert = _certificate(atoms, labels, flat_free)
+            if best[0] is None or cert < best[0]:
+                best[0] = cert
+            return
+        group, rest = groups[0], groups[1:]
+        if len(group) == 1:
+            labels[group[0]] = len(labels)
+            assign(rest, labels)
+            del labels[group[0]]
+            return
+        for i, var in enumerate(group):
+            labels[var] = len(labels)
+            remaining = group[:i] + group[i + 1:]
+            assign([remaining] + rest, labels)
+            del labels[var]
+
+    assign(order_groups[1:] if order_groups else [], {
+        v: i for i, v in enumerate(flat_free)
+    })
+    if best[0] is None:
+        best[0] = _certificate(atoms, {
+            v: i for i, v in enumerate(flat_free)
+        }, flat_free)
+    return best[0]
+
+
+def canonical_form(
+    atoms: Iterable[Atom], free: Sequence[Variable] = ()
+) -> tuple:
+    """A renaming-invariant certificate of an atom set.
+
+    ``free`` lists distinguished variables whose identity (order) matters,
+    e.g. the answer variables of a CQ.
+    """
+    atom_list = sorted(set(atoms), key=repr)
+    free = tuple(free)
+    variables = {v for a in atom_list for v in a.variables()}
+    bound = sorted(variables - set(free), key=lambda v: v.name)
+
+    if len(bound) > _FALLBACK_VARIABLE_LIMIT:
+        labels = {v: i for i, v in enumerate(free)}
+        for var in bound:
+            labels[var] = len(labels)
+        return _certificate(atom_list, labels, free)
+
+    colors = _stable_colors(atom_list, free)
+    classes: dict[tuple, list[Variable]] = defaultdict(list)
+    for var in bound:
+        classes[colors[var]].append(var)
+    groups = [list(free)] + [
+        sorted(classes[c], key=lambda v: v.name)
+        for c in sorted(classes, key=repr)
+    ]
+    return _search_minimal(atom_list, groups)

@@ -1,0 +1,21 @@
+"""Views, view images and the inverse-rules algorithm."""
+
+from repro.views.view import View, ViewSet, atomic_views, cq_view
+from repro.views.split import (
+    reconstruct_image,
+    split_disconnected_views,
+)
+from repro.views.inverse_rules import (
+    SkolemTerm,
+    certain_answers,
+    chase_with_inverse_rules,
+    inverse_rules,
+    inverse_rules_rewriting,
+)
+
+__all__ = [
+    "View", "ViewSet", "atomic_views", "cq_view", "SkolemTerm",
+    "certain_answers", "chase_with_inverse_rules", "inverse_rules",
+    "inverse_rules_rewriting", "reconstruct_image",
+    "split_disconnected_views",
+]

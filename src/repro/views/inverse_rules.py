@@ -1,0 +1,373 @@
+"""The inverse-rules algorithm (Duschka–Genesereth–Levy [14]).
+
+Given CQ views ``V`` over a base schema and a Datalog query ``Q``, the
+TGDs ``V(x̄) → ∃ȳ Q_V(x̄, ȳ)`` are skolemized into *inverse rules*; the
+logic program ``Q ∪ Γ_V`` computes the certain answers of ``Q`` over any
+view instance (Theorem 10 in the appendix).  De-functionalization turns
+the logic program into plain Datalog over *annotated* predicates, and —
+when ``Q`` is frontier-guarded — a guard-completion step restores
+frontier-guardedness (appendix, "Rewritability results inherited from
+prior work").
+
+Three public entry points:
+
+* :func:`chase_with_inverse_rules` — materialize the skolem chase of a
+  view instance (one application per view fact; the chase of inverse
+  rules is non-recursive).
+* :func:`certain_answers` — evaluate ``Q`` over the chased instance and
+  filter out answers mentioning skolem nulls.
+* :func:`inverse_rules_rewriting` — the de-functionalized Datalog query
+  over the view schema (the paper's Datalog rewriting when ``Q`` is
+  monotonically determined over ``V``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Optional
+
+from repro.core.atoms import Atom
+from repro.core.cq import ConjunctiveQuery
+from repro.core.datalog import DatalogProgram, DatalogQuery, Rule
+from repro.core.instance import Instance
+from repro.core.terms import Variable, is_variable
+from repro.views.view import ViewSet
+
+
+@dataclass(frozen=True, slots=True)
+class SkolemTerm:
+    """A ground skolem value ``f(c1, ..., cn)`` (a labelled null)."""
+
+    function: str
+    args: tuple
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(map(repr, self.args))
+        return f"{self.function}({inner})"
+
+
+@dataclass(frozen=True)
+class InverseRule:
+    """One skolemized inverse rule ``A' ← V(x̄)``.
+
+    ``head`` is an atom of the base schema whose arguments are either
+    head positions of the view (ints) or skolem function names (str) to
+    be applied to the full view tuple.
+    """
+
+    view: str
+    view_arity: int
+    head_pred: str
+    head_spec: tuple  # each entry: ("pos", i) | ("skolem", fname) | ("const", c)
+
+    def fire(self, row: tuple) -> Atom:
+        """The head fact produced for one view fact."""
+        args = []
+        for kind, payload in self.head_spec:
+            if kind == "pos":
+                args.append(row[payload])
+            elif kind == "skolem":
+                args.append(SkolemTerm(payload, row))
+            else:
+                args.append(payload)
+        return Atom(self.head_pred, tuple(args))
+
+
+def _require_cq_views(views: ViewSet) -> None:
+    if not views.all_cq_definitions():
+        raise ValueError(
+            "inverse rules are defined for CQ views; got "
+            f"{sorted(views.fragments())}"
+        )
+
+
+def inverse_rules(views: ViewSet) -> list[InverseRule]:
+    """The inverse rules of a set of CQ views."""
+    _require_cq_views(views)
+    out: list[InverseRule] = []
+    for view in views:
+        cq: ConjunctiveQuery = view.definition  # type: ignore[assignment]
+        head_pos = {v: i for i, v in enumerate(cq.head_vars)}
+        skolem_of = {
+            v: f"f_{view.name}_{v.name}"
+            for v in sorted(cq.existential_variables(), key=lambda v: v.name)
+        }
+        for atom in cq.atoms:
+            spec = []
+            for term in atom.args:
+                if is_variable(term):
+                    if term in head_pos:
+                        spec.append(("pos", head_pos[term]))
+                    else:
+                        spec.append(("skolem", skolem_of[term]))
+                else:
+                    spec.append(("const", term))
+            out.append(
+                InverseRule(view.name, view.arity, atom.pred, tuple(spec))
+            )
+    return out
+
+
+def chase_with_inverse_rules(
+    views: ViewSet, view_instance: Instance
+) -> Instance:
+    """Apply every inverse rule to every view fact.
+
+    The result is a base-schema instance whose view image contains the
+    input (sound-view semantics); skolem nulls appear as
+    :class:`SkolemTerm` elements.
+    """
+    rules = inverse_rules(views)
+    out = Instance()
+    for rule in rules:
+        for row in view_instance.tuples(rule.view):
+            out.add(rule.fire(row))
+    return out
+
+
+def has_skolem(row: tuple) -> bool:
+    return any(isinstance(v, SkolemTerm) for v in row)
+
+
+def certain_answers(
+    query: DatalogQuery, views: ViewSet, view_instance: Instance
+) -> set[tuple]:
+    """Certain answers of ``Q`` w.r.t. ``V`` over a view instance.
+
+    ``⋂ { Q(I) : V(I) ⊇ J }`` — computed as ``Q`` over the inverse-rule
+    chase with skolem-mentioning tuples removed (Theorem 10, [14]).
+    """
+    chased = chase_with_inverse_rules(views, view_instance)
+    return {row for row in query.evaluate(chased) if not has_skolem(row)}
+
+
+# ---------------------------------------------------------------------------
+# De-functionalization
+# ---------------------------------------------------------------------------
+
+_PLAIN = "p"
+
+
+@dataclass(frozen=True, slots=True)
+class _Annotation:
+    """Per-position annotation of a predicate: plain or a skolem function."""
+
+    entries: tuple  # each entry: _PLAIN or (fname, arity)
+
+    def suffix(self) -> str:
+        parts = []
+        for entry in self.entries:
+            parts.append(_PLAIN if entry == _PLAIN else entry[0])
+        return "·".join(parts)
+
+
+def _annotated_name(pred: str, annotation: _Annotation) -> str:
+    return f"{pred}⟨{annotation.suffix()}⟩"
+
+
+def _flatten_atom(
+    atom: Atom, assignment: dict, view_arities: dict[str, int]
+) -> tuple[str, tuple]:
+    """Annotated predicate name + flattened argument tuple for an atom.
+
+    ``assignment`` maps each variable to ``_PLAIN`` or a skolem function
+    name; skolem-annotated variables expand to the component variables
+    ``v·1 ... v·k``.
+    """
+    entries = []
+    args: list = []
+    for term in atom.args:
+        if not is_variable(term):
+            entries.append(_PLAIN)
+            args.append(term)
+            continue
+        choice = assignment[term]
+        if choice == _PLAIN:
+            entries.append(_PLAIN)
+            args.append(term)
+        else:
+            fname, arity = choice
+            entries.append((fname, arity))
+            args.extend(Variable(f"{term.name}·{j}") for j in range(arity))
+    return _annotated_name(atom.pred, _Annotation(tuple(entries))), tuple(args)
+
+
+def _skolem_functions(views: ViewSet) -> dict[str, int]:
+    """All skolem function names with their arities (= view arities)."""
+    out: dict[str, int] = {}
+    for view in views:
+        cq: ConjunctiveQuery = view.definition  # type: ignore[assignment]
+        for v in cq.existential_variables():
+            out[f"f_{view.name}_{v.name}"] = view.arity
+    return out
+
+
+def _defunctionalized_inverse_rules(
+    views: ViewSet,
+) -> list[Rule]:
+    """Annotated Datalog versions of the inverse rules."""
+    rules = []
+    for inv in inverse_rules(views):
+        view_vars = tuple(Variable(f"w{i}") for i in range(inv.view_arity))
+        entries = []
+        args: list = []
+        for kind, payload in inv.head_spec:
+            if kind == "pos":
+                entries.append(_PLAIN)
+                args.append(view_vars[payload])
+            elif kind == "skolem":
+                entries.append((payload, inv.view_arity))
+                args.extend(view_vars)
+            else:
+                entries.append(_PLAIN)
+                args.append(payload)
+        name = _annotated_name(inv.head_pred, _Annotation(tuple(entries)))
+        rules.append(
+            Rule(Atom(name, tuple(args)), (Atom(inv.view, view_vars),))
+        )
+    return rules
+
+
+def _annotated_query_rules(
+    query: DatalogQuery, views: ViewSet
+) -> list[Rule]:
+    """All annotated versions of the query's rules."""
+    skolems = sorted(_skolem_functions(views).items())
+    choices: list = [_PLAIN] + [(f, a) for f, a in skolems]
+    view_arities = {v.name: v.arity for v in views}
+    out = []
+    for rule in query.program.rules:
+        rule_vars = sorted(rule.variables(), key=lambda v: v.name)
+        for combo in product(choices, repeat=len(rule_vars)):
+            assignment = dict(zip(rule_vars, combo))
+            head_name, head_args = _flatten_atom(
+                rule.head, assignment, view_arities
+            )
+            body = tuple(
+                Atom(*_flatten_atom(atom, assignment, view_arities))
+                for atom in rule.body
+            )
+            out.append(Rule(Atom(head_name, head_args), body))
+    return out
+
+
+def _prune_unproductive(
+    rules: list[Rule], edb: set[str]
+) -> list[Rule]:
+    """Drop rules whose body mentions an IDB no kept rule can derive.
+
+    Iterates to a fixpoint (a lightweight bottom-up reachability pass);
+    essential because annotation enumeration produces many rules over
+    annotated predicates that no inverse rule ever feeds.
+    """
+    kept = list(rules)
+    changed = True
+    while changed:
+        derivable = {r.head.pred for r in kept} | edb
+        filtered = [
+            r
+            for r in kept
+            if all(a.pred in derivable for a in r.body)
+        ]
+        changed = len(filtered) != len(kept)
+        kept = filtered
+    return kept
+
+
+def inverse_rules_rewriting(
+    query: DatalogQuery,
+    views: ViewSet,
+    frontier_guard: bool = False,
+    name: Optional[str] = None,
+) -> DatalogQuery:
+    """The de-functionalized inverse-rules Datalog query over ``Σ_V``.
+
+    Computes the certain answers of ``query`` w.r.t. ``views`` on any
+    view instance; when ``query`` is monotonically determined over
+    ``views`` this is a Datalog rewriting ([14]; appendix of the paper).
+
+    With ``frontier_guard=True`` each rule whose frontier is not guarded
+    is split per producing inverse rule and the corresponding view atom
+    conjoined, yielding a frontier-guarded program whenever the input
+    query is FGDL (appendix construction).
+    """
+    inv_rules = _defunctionalized_inverse_rules(views)
+    q_rules = _annotated_query_rules(query, views)
+    goal_plain = _annotated_name(
+        query.goal, _Annotation(tuple(_PLAIN for _ in range(query.arity)))
+    )
+    all_rules = _prune_unproductive(
+        inv_rules + q_rules, set(views.names())
+    )
+    if not any(r.head.pred == goal_plain for r in all_rules):
+        # Query can never produce a skolem-free answer: empty rewriting
+        # (a rule over a never-populated relation "Never⊥").
+        head_vars = tuple(Variable(f"x{i}") for i in range(query.arity))
+        all_rules = all_rules + [
+            Rule(Atom(goal_plain, head_vars), (Atom("Never⊥", head_vars),))
+        ]
+    if frontier_guard:
+        all_rules = _guard_rules(all_rules, inv_rules, set(views.names()))
+    return DatalogQuery(
+        DatalogProgram(tuple(all_rules)),
+        goal_plain,
+        name or f"{query.name}_inv",
+    )
+
+
+def _guard_rules(
+    rules: list[Rule], inv_rules: list[Rule], view_preds: set[str]
+) -> list[Rule]:
+    """Conjoin guarding view atoms (appendix guard-completion).
+
+    For each rule whose head variables do not co-occur in a view atom of
+    its body: find body atoms over inverse-rule-produced predicates
+    containing all head variables; split the rule per producing inverse
+    rule, conjoining that inverse rule's view atom (unified positionally).
+    """
+    producers: dict[str, list[Rule]] = {}
+    for inv in inv_rules:
+        producers.setdefault(inv.head.pred, []).append(inv)
+
+    out: list[Rule] = []
+    for rule in rules:
+        frontier = rule.head.variables()
+        if not frontier or any(
+            a.pred in view_preds and frontier <= a.variables()
+            for a in rule.body
+        ):
+            out.append(rule)
+            continue
+        guard_candidates = [
+            a
+            for a in rule.body
+            if a.pred in producers and frontier <= a.variables()
+        ]
+        if not guard_candidates:
+            out.append(rule)  # cannot guard (query not FGDL); keep as-is
+            continue
+        guard = guard_candidates[0]
+        for index, producer in enumerate(producers[guard.pred]):
+            # producer: guard.pred(formal...) <- V(w0..wk); unify
+            # positionally, then fill unconstrained view variables fresh.
+            unifier: dict = {}
+            ok = True
+            for formal, actual in zip(producer.head.args, guard.args):
+                if is_variable(formal):
+                    if formal in unifier and unifier[formal] != actual:
+                        ok = False
+                        break
+                    unifier[formal] = actual
+                elif formal != actual:
+                    ok = False
+                    break
+            if not ok:
+                continue
+            view_formal = producer.body[0]
+            for var in view_formal.variables():
+                if var not in unifier:
+                    unifier[var] = Variable(f"{var.name}·g{index}")
+            view_atom = view_formal.substitute(unifier)
+            out.append(Rule(rule.head, rule.body + (view_atom,)))
+    return out

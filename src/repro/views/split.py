@@ -1,0 +1,158 @@
+"""Splitting disconnected CQ views into connected ones (proof of Thm 2).
+
+Lemma 3's treewidth bound needs *connected* view definitions.  The
+paper argues this is without loss of generality: a disconnected view
+``V(x̄, ȳ) = Q1(x̄) ∧ Q2(ȳ)`` is interdefinable with the connected views
+``V1(x̄) = Q1(x̄) ∧ ∃ȳ Q2(ȳ)`` and ``V2(ȳ) = (∃x̄ Q1(x̄)) ∧ Q2(ȳ)`` —
+``V`` is their product, and each is a projection of ``V``.
+
+:func:`split_disconnected_views` performs the transformation;
+:func:`reconstruct_image` recovers the original view image from the
+split image (the paper's "we can restore V as their product").
+
+Components with no answer variables stay attached to every part (they
+are Boolean guards).
+"""
+
+from __future__ import annotations
+
+from repro.core.atoms import Atom
+from repro.core.cq import ConjunctiveQuery
+from repro.core.gaifman import gaifman_graph
+from repro.core.instance import Instance
+from repro.views.view import View, ViewSet
+
+import networkx as nx
+
+
+def _components(cq: ConjunctiveQuery) -> list[tuple[Atom, ...]]:
+    """Gaifman-connected components of the body, as atom groups."""
+    canon = cq.canonical_database()
+    graph = gaifman_graph(canon)
+    element_component: dict = {}
+    for index, comp in enumerate(nx.connected_components(graph)):
+        for element in comp:
+            element_component[element] = index
+    groups: dict[int, list[Atom]] = {}
+    nullary: list[Atom] = []
+    for atom in cq.atoms:
+        if not atom.args:
+            nullary.append(atom)
+            continue
+        first = atom.args[0]
+        key = element_component[
+            _freeze(first)
+        ]
+        groups.setdefault(key, []).append(atom)
+    parts = [tuple(group) for _k, group in sorted(groups.items())]
+    if nullary:
+        if parts:
+            parts = [part + tuple(nullary) for part in parts]
+        else:
+            parts = [tuple(nullary)]
+    return parts
+
+
+def _freeze(term):
+    from repro.core.cq import CanonConst
+    from repro.core.terms import Variable
+
+    if isinstance(term, Variable):
+        return CanonConst(term.name)
+    return term
+
+
+def split_disconnected_views(views: ViewSet) -> tuple[ViewSet, dict]:
+    """Replace each disconnected CQ view by its connected parts.
+
+    Returns ``(new_views, plan)`` where ``plan`` maps each original
+    view name to the list of ``(part name, head positions)`` pairs its
+    image is the product of.  Connected views (and non-CQ views) pass
+    through unchanged with a singleton plan.
+    """
+    new_views: list[View] = []
+    plan: dict[str, list[tuple[str, tuple[int, ...]]]] = {}
+    for view in views:
+        definition = view.definition
+        if not isinstance(definition, ConjunctiveQuery):
+            new_views.append(view)
+            plan[view.name] = [
+                (view.name, tuple(range(view.arity)))
+            ]
+            continue
+        parts = _components(definition)
+        if len(parts) <= 1:
+            new_views.append(view)
+            plan[view.name] = [
+                (view.name, tuple(range(view.arity)))
+            ]
+            continue
+        part_entries: list[tuple[str, tuple[int, ...]]] = []
+        for index, part_atoms in enumerate(parts):
+            part_vars = set()
+            for atom in part_atoms:
+                part_vars |= atom.variables()
+            head = tuple(
+                (pos, var)
+                for pos, var in enumerate(definition.head_vars)
+                if var in part_vars
+            )
+            # the other components become Boolean guards (∃-closed)
+            guards = tuple(
+                atom
+                for other_index, other in enumerate(parts)
+                if other_index != index
+                for atom in other
+            )
+            part_name = f"{view.name}·{index}"
+            part_cq = ConjunctiveQuery(
+                tuple(var for _pos, var in head),
+                part_atoms + guards,
+                part_name,
+            )
+            new_views.append(View(part_name, part_cq))
+            part_entries.append(
+                (part_name, tuple(pos for pos, _var in head))
+            )
+        plan[view.name] = part_entries
+    return ViewSet(new_views), plan
+
+
+def reconstruct_image(
+    split_image: Instance, plan: dict, original: ViewSet
+) -> Instance:
+    """Rebuild the original view image from the split image.
+
+    Each original view's rows are the product of its parts' rows,
+    re-assembled by head position.
+    """
+    out = Instance()
+    for view in original:
+        entries = plan[view.name]
+        if len(entries) == 1 and entries[0][0] == view.name:
+            for row in split_image.tuples(view.name):
+                out.add_tuple(view.name, row)
+            continue
+        # product over parts
+        partial_rows: list[dict[int, object]] = [{}]
+        feasible = True
+        for part_name, positions in entries:
+            rows = split_image.tuples(part_name)
+            if not rows:
+                feasible = False
+                break
+            next_rows = []
+            for partial in partial_rows:
+                for row in rows:
+                    merged = dict(partial)
+                    merged.update(zip(positions, row))
+                    next_rows.append(merged)
+            partial_rows = next_rows
+        if not feasible:
+            continue
+        for partial in partial_rows:
+            out.add_tuple(
+                view.name,
+                tuple(partial[i] for i in range(view.arity)),
+            )
+    return out

@@ -1,0 +1,184 @@
+"""Views and view images (§2).
+
+A :class:`View` is a named query (CQ, UCQ or Datalog) over the base
+schema; a :class:`ViewSet` bundles views and computes view images
+``V(I)``.  The view set also exposes the combined program ``Π_V`` used by
+Theorems 1–4 (IDBs renamed apart, goal predicates identified with the view
+predicates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Union
+
+from repro.core.atoms import Atom
+from repro.core.cq import ConjunctiveQuery
+from repro.core.datalog import DatalogProgram, DatalogQuery, Rule
+from repro.core.instance import Instance
+from repro.core.schema import Schema
+from repro.core.terms import Variable
+from repro.core.ucq import UCQ
+
+ViewDefinition = Union[ConjunctiveQuery, UCQ, DatalogQuery]
+
+
+@dataclass(frozen=True)
+class View:
+    """A view ``(V, Q_V)``: a view relation with its defining query."""
+
+    name: str
+    definition: ViewDefinition
+
+    @property
+    def arity(self) -> int:
+        return self.definition.arity
+
+    def fragment(self) -> str:
+        """One of ``CQ``, ``UCQ``, ``MDL``, ``FGDL``, ``Datalog``."""
+        if isinstance(self.definition, ConjunctiveQuery):
+            return "CQ"
+        if isinstance(self.definition, UCQ):
+            return "UCQ"
+        return self.definition.fragment()
+
+    def output(self, instance: Instance) -> set[tuple]:
+        return self.definition.evaluate(instance)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"View({self.name}/{self.arity}: {self.fragment()})"
+
+
+class ViewSet:
+    """A finite collection of views over a common base schema."""
+
+    def __init__(self, views: Iterable[View]) -> None:
+        self._views = list(views)
+        names = [v.name for v in self._views]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate view names in {names}")
+
+    def __iter__(self) -> Iterator[View]:
+        return iter(self._views)
+
+    def __len__(self) -> int:
+        return len(self._views)
+
+    def __getitem__(self, name: str) -> View:
+        for view in self._views:
+            if view.name == name:
+                return view
+        raise KeyError(name)
+
+    def names(self) -> list[str]:
+        return [v.name for v in self._views]
+
+    def view_schema(self) -> Schema:
+        """``Σ_V``: the schema of the view predicates."""
+        return Schema({v.name: v.arity for v in self._views})
+
+    def base_predicates(self) -> set[str]:
+        """``Σ_B``: relations used by the definitions (EDBs only)."""
+        preds: set[str] = set()
+        for view in self._views:
+            definition = view.definition
+            if isinstance(definition, ConjunctiveQuery):
+                preds |= definition.predicates()
+            elif isinstance(definition, UCQ):
+                preds |= definition.predicates()
+            else:
+                preds |= definition.program.edb_predicates()
+        return preds
+
+    def fragments(self) -> set[str]:
+        return {v.fragment() for v in self._views}
+
+    _FRAGMENT_RANK = {
+        "CQ": 0, "UCQ": 1, "MDL": 2, "FGDL": 3,
+        "nonrecursive": 3, "Datalog": 4,
+    }
+
+    def fragment(self) -> str:
+        """Coarsest fragment over all views (for dispatching checkers)."""
+        frags = self.fragments() or {"CQ"}
+        top = max(frags, key=self._FRAGMENT_RANK.__getitem__)
+        return "FGDL" if top == "nonrecursive" else top
+
+    def image(self, instance: Instance) -> Instance:
+        """The view image ``V(I)`` (§2)."""
+        out = Instance()
+        for view in self._views:
+            for row in view.output(instance):
+                out.add_tuple(view.name, row)
+        return out
+
+    def all_cq_definitions(self) -> bool:
+        return all(isinstance(v.definition, ConjunctiveQuery) for v in self)
+
+    def combined_program(self) -> tuple[DatalogProgram, dict[str, str]]:
+        """``Π_V``: union of all view programs with disjoint IDBs.
+
+        Every definition is first coerced to Datalog (a CQ view becomes a
+        single rule, a UCQ view one rule per disjunct).  Goal predicates
+        are identified with the view names.  Returns the program and a map
+        ``view name → view name`` (kept for interface symmetry).
+        """
+        rules: list[Rule] = []
+        for index, view in enumerate(self._views):
+            definition = view.definition
+            if isinstance(definition, ConjunctiveQuery):
+                rules.append(
+                    Rule(Atom(view.name, definition.head_vars), definition.atoms)
+                )
+            elif isinstance(definition, UCQ):
+                for disjunct in definition.disjuncts:
+                    rules.append(
+                        Rule(Atom(view.name, disjunct.head_vars), disjunct.atoms)
+                    )
+            else:
+                renamed = definition.relabel_idbs(f"_v{index}")
+                for rule in renamed.program.rules:
+                    rules.append(rule)
+                goal_pred = renamed.goal
+                goal_rules = [r for r in rules if r.head.pred == goal_pred]
+                for rule in goal_rules:
+                    rules.remove(rule)
+                    rules.append(Rule(Atom(view.name, rule.head.args), rule.body))
+                # goal may also occur in bodies (recursive goal)
+                rules = [
+                    r.relabel_predicates({goal_pred: view.name}) for r in rules
+                ]
+        return DatalogProgram(tuple(rules)), {v.name: v.name for v in self}
+
+    def max_definition_radius(self) -> float:
+        """Greatest radius of a CQ definition (Lemma 3's ``r``)."""
+        radii = [
+            v.definition.radius()
+            for v in self
+            if isinstance(v.definition, ConjunctiveQuery)
+        ]
+        return max(radii, default=0)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ViewSet({', '.join(map(repr, self._views))})"
+
+
+def cq_view(name: str, cq: ConjunctiveQuery) -> View:
+    return View(name, cq)
+
+
+def atomic_views(predicates: dict[str, int], prefix: str = "V") -> list[View]:
+    """Identity views ``V_R(x̄) ← R(x̄)`` for the given predicates.
+
+    Used by the constructions of §6 and Prop. 9 ("atomic views").
+    """
+    out = []
+    for pred, arity in predicates.items():
+        args = tuple(Variable(f"x{i}") for i in range(arity))
+        out.append(
+            View(
+                f"{prefix}{pred}",
+                ConjunctiveQuery(args, (Atom(pred, args),), f"{prefix}{pred}"),
+            )
+        )
+    return out

@@ -1,0 +1,72 @@
+"""Jointly-annotated terms (Prop. 12)."""
+
+import pytest
+
+from repro.automata.annotated import (
+    find_jointly_annotated_term,
+    is_jointly_annotated_term,
+)
+from repro.automata.backward import backward_query
+from repro.automata.forward import approximations_automaton
+from repro.core.datalog import DatalogQuery
+from repro.core.instance import Instance
+from repro.core.parser import parse_instance, parse_program
+from repro.core.schema import Schema
+
+from tests.conftest import random_instance
+
+
+@pytest.fixture(scope="module")
+def setting():
+    q = DatalogQuery(parse_program(
+        """
+        P(x) <- U(x).
+        P(x) <- R(x,y), P(y).
+        Goal() <- S(x), P(x).
+        """
+    ), "Goal")
+    nta = approximations_automaton(q)
+    back = backward_query(nta, Schema({"R": 2, "S": 1, "U": 1}))
+    return q, nta, back
+
+
+def test_term_exists_on_positive_instance(setting):
+    _q, nta, _back = setting
+    inst = parse_instance("R('a','b'). U('b'). S('a').")
+    term = find_jointly_annotated_term(nta, inst)
+    assert term is not None
+    code, assignment = term
+    assert is_jointly_annotated_term(code, assignment, nta, inst)
+
+
+def test_no_term_on_negative_instance(setting):
+    _q, nta, _back = setting
+    inst = parse_instance("R('a','b'). U('b').")  # no S
+    assert find_jointly_annotated_term(nta, inst) is None
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_prop12_equivalence(setting, seed):
+    """Term exists ⟺ the backward query holds (Prop. 12)."""
+    _q, nta, back = setting
+    inst = random_instance(
+        seed, {"R": 2, "S": 1, "U": 1}, max_elements=3, max_facts=4
+    )
+    term = find_jointly_annotated_term(nta, inst)
+    assert (term is not None) == back.boolean(inst)
+
+
+def test_checker_rejects_bad_assignment(setting):
+    _q, nta, _back = setting
+    inst = parse_instance("R('a','b'). U('b'). S('a').")
+    code, assignment = find_jointly_annotated_term(nta, inst)
+    # corrupt one node's tuple
+    some_node = next(iter(code.root.nodes()))
+    bad = dict(assignment)
+    bad[id(some_node)] = tuple("zz" for _ in bad[id(some_node)])
+    assert not is_jointly_annotated_term(code, bad, nta, inst)
+
+
+def test_empty_instance(setting):
+    _q, nta, _back = setting
+    assert find_jointly_annotated_term(nta, Instance()) is None

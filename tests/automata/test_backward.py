@@ -1,0 +1,150 @@
+"""The backward mapping (Prop. 7): NTA → Datalog."""
+
+import pytest
+
+from repro.automata.backward import backward_query
+from repro.automata.forward import approximations_automaton
+from repro.automata.nta import NTA
+from repro.core.datalog import DatalogQuery
+from repro.core.parser import parse_program
+from repro.core.schema import Schema
+
+from tests.conftest import random_instance
+
+
+def _round_trip_query(text: str, goal: str, schema: dict) -> tuple:
+    q = DatalogQuery(parse_program(text), goal)
+    nta = approximations_automaton(q)
+    back = backward_query(nta, Schema(schema))
+    return q, back
+
+
+@pytest.mark.parametrize("seed", range(15))
+def test_backward_of_forward_reachability(seed):
+    """With identity views, backward(forward(Q)) ≡ Q (Prop. 7 sanity)."""
+    q, back = _round_trip_query(
+        """
+        P(x) <- U(x).
+        P(x) <- R(x,y), P(y).
+        Goal() <- S(x), P(x).
+        """,
+        "Goal",
+        {"R": 2, "S": 1, "U": 1},
+    )
+    inst = random_instance(seed, {"R": 2, "S": 1, "U": 1})
+    assert back.boolean(inst) == q.boolean(inst)
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_backward_of_forward_branching(seed):
+    q, back = _round_trip_query(
+        """
+        B(x) <- L(x).
+        B(x) <- E(x,y), E(x,z), B(y), B(z).
+        Goal() <- M(x), B(x).
+        """,
+        "Goal",
+        {"E": 2, "L": 1, "M": 1},
+    )
+    inst = random_instance(seed, {"E": 2, "L": 1, "M": 1}, max_elements=4)
+    assert back.boolean(inst) == q.boolean(inst)
+
+
+def test_backward_of_empty_automaton():
+    nta = NTA([], set(), width=2)
+    back = backward_query(nta, Schema({"R": 2}))
+    inst = random_instance(0, {"R": 2})
+    assert not back.boolean(inst)
+
+
+def test_backward_program_is_safe_datalog():
+    q, back = _round_trip_query(
+        """
+        P(x) <- U(x).
+        P(x) <- R(x,y), P(y).
+        Goal() <- P(x).
+        """,
+        "Goal",
+        {"R": 2, "U": 1},
+    )
+    # every rule is safe (constructor would have raised otherwise) and
+    # the Adom predicate is populated from all schema positions
+    adom_rules = [
+        r for r in back.program.rules if r.head.pred.startswith("Adom")
+    ]
+    assert len(adom_rules) == 3  # R has 2 positions, U has 1
+
+
+def test_backward_mdl_round_trip():
+    """Thm 1's MDL refinement: an MDL forward automaton backward-maps
+    to an MDL rewriting."""
+    from repro.automata.backward import backward_query_mdl
+    from repro.core.parser import parse_cq
+    from repro.rewriting.verification import check_rewriting
+    from repro.views.view import View, ViewSet
+
+    q = DatalogQuery(parse_program(
+        """
+        P(x) <- U(x).
+        P(x) <- R(x,y), P(y).
+        Goal() <- S(x), P(x).
+        """
+    ), "Goal")
+    nta = approximations_automaton(q)
+    rewriting = backward_query_mdl(nta, Schema({"R": 2, "S": 1, "U": 1}))
+    assert rewriting.program.is_monadic()
+    identity = ViewSet([
+        View("R", parse_cq("V(x,y) <- R(x,y)")),
+        View("U", parse_cq("V(x) <- U(x)")),
+        View("S", parse_cq("V(x) <- S(x)")),
+    ])
+    assert check_rewriting(q, identity, rewriting, trials=25) is None
+
+
+def test_backward_mdl_rejects_wide_frontiers():
+    from repro.automata.backward import backward_query_mdl
+
+    q = DatalogQuery(parse_program(
+        "T(x,y) <- R(x,y). T(x,y) <- R(x,z), T(z,y). Goal() <- T(x,x)."
+    ), "Goal")
+    nta = approximations_automaton(q)
+    with pytest.raises(ValueError):
+        backward_query_mdl(nta, Schema({"R": 2}))
+
+
+def test_atomic_view_pipeline():
+    """Forward → project-to-views → backward: the exact Thm 1 pipeline
+    for atomic views."""
+    from repro.automata.forward import view_image_automaton_atomic
+    from repro.core.parser import parse_cq
+    from repro.rewriting.verification import check_rewriting
+    from repro.views.view import View, ViewSet
+
+    q = DatalogQuery(parse_program(
+        """
+        P(x) <- U(x).
+        P(x) <- R(x,y), P(y).
+        Goal() <- S(x), P(x).
+        """
+    ), "Goal")
+    views = ViewSet([
+        View("VR", parse_cq("V(x,y) <- R(x,y)")),
+        View("VU", parse_cq("V(x) <- U(x)")),
+        View("VS", parse_cq("V(x) <- S(x)")),
+    ])
+    nta = view_image_automaton_atomic(approximations_automaton(q), views)
+    rewriting = backward_query(nta, Schema({"VR": 2, "VU": 1, "VS": 1}))
+    assert check_rewriting(q, views, rewriting, trials=25) is None
+
+
+def test_atomic_view_pipeline_rejects_non_atomic():
+    from repro.automata.forward import view_image_automaton_atomic
+    from repro.core.parser import parse_cq
+    from repro.views.view import View, ViewSet
+
+    q = DatalogQuery(parse_program("P(x) <- R(x,y)."), "P")
+    projection = ViewSet([View("VP", parse_cq("V(x) <- R(x,y)"))])
+    with pytest.raises(ValueError):
+        view_image_automaton_atomic(
+            approximations_automaton(q), projection
+        )

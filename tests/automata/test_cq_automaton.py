@@ -1,0 +1,96 @@
+"""The CQ-match symbolic automaton vs direct evaluation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.automata.cq_automaton import CQMatchDTA, UCQMatchDTA
+from repro.automata.nta import run_symbolic
+from repro.core.atoms import Atom
+from repro.core.instance import Instance
+from repro.core.parser import parse_cq, parse_instance, parse_ucq
+from repro.td.codes import code_of_instance
+
+QUERIES = [
+    parse_cq("Q() <- R(x,y)"),
+    parse_cq("Q() <- R(x,x)"),
+    parse_cq("Q() <- R(x,y), R(y,z)"),
+    parse_cq("Q() <- R(x,y), R(y,x)"),
+    parse_cq("Q() <- R(x,y), R(x,z), U(y), U(z)"),
+    parse_cq("Q() <- R(x,y), U(x), U(y)"),
+]
+
+
+def _agree(cq, inst: Instance, width=None) -> bool:
+    code = code_of_instance(inst, width)
+    dta = CQMatchDTA(cq, code.width)
+    return dta.is_final(run_symbolic(dta, code)) == cq.boolean(inst)
+
+
+def test_simple_cases():
+    inst = parse_instance("R('a','b'). R('b','c'). U('b').")
+    for cq in QUERIES:
+        assert _agree(cq, inst)
+
+
+def test_match_spanning_bags():
+    """A long path needs assignments surviving across bags."""
+    inst = parse_instance(
+        "R(1,2). R(2,3). R(3,4). R(4,5). U(1). U(5)."
+    )
+    long_path = parse_cq("Q() <- R(a,b), R(b,c), R(c,d), R(d,e)")
+    assert _agree(long_path, inst)
+    too_long = parse_cq(
+        "Q() <- R(a,b), R(b,c), R(c,d), R(d,e), R(e,f)"
+    )
+    assert _agree(too_long, inst)
+
+
+def test_requires_boolean():
+    with pytest.raises(ValueError):
+        CQMatchDTA(parse_cq("Q(x) <- R(x,y)"), 2)
+
+
+def test_requires_constant_free():
+    with pytest.raises(ValueError):
+        CQMatchDTA(parse_cq("Q() <- R(x,'a')"), 2)
+
+
+def test_ucq_automaton():
+    ucq = parse_ucq(
+        """
+        Q() <- R(x,x).
+        Q() <- U(x), R(x,y).
+        """
+    )
+    inst1 = parse_instance("R('a','a').")
+    inst2 = parse_instance("U('a'). R('a','b').")
+    inst3 = parse_instance("R('a','b').")
+    for inst, expected in ((inst1, True), (inst2, True), (inst3, False)):
+        code = code_of_instance(inst)
+        dta = UCQMatchDTA(ucq, code.width)
+        assert dta.is_final(run_symbolic(dta, code)) == expected
+
+
+@given(
+    st.lists(st.tuples(st.integers(0, 3), st.integers(0, 3)), max_size=8),
+    st.lists(st.integers(0, 3), max_size=3),
+)
+@settings(max_examples=50, deadline=None)
+def test_agreement_on_random_instances(edges, marks):
+    inst = Instance(Atom("R", row) for row in edges)
+    for m in marks:
+        inst.add_tuple("U", (m,))
+    if not len(inst):
+        return
+    for cq in QUERIES:
+        assert _agree(cq, inst)
+
+
+@given(st.lists(st.tuples(st.integers(0, 4), st.integers(0, 4)), min_size=1, max_size=10))
+@settings(max_examples=30, deadline=None)
+def test_agreement_with_padded_width(edges):
+    """Extra (dummy) width never changes the verdict."""
+    inst = Instance(Atom("R", row) for row in edges)
+    cq = parse_cq("Q() <- R(x,y), R(y,z)")
+    assert _agree(cq, inst)
+    assert _agree(cq, inst, width=5)

@@ -1,0 +1,111 @@
+"""The forward mapping (Prop. 3)."""
+
+import pytest
+
+from repro.automata.forward import (
+    approximations_automaton,
+    fold_repeated_idb_args,
+    required_width,
+    standard_code_of_expansion,
+)
+from repro.core.approximation import approximation_trees, approximations
+from repro.core.cq import cq_from_instance
+from repro.core.datalog import DatalogQuery
+from repro.core.parser import parse_program
+from repro.td.codes import decode
+
+from tests.conftest import random_instance
+
+
+def test_standard_codes_accepted(reach_query):
+    nta = approximations_automaton(reach_query)
+    for tree in approximation_trees(reach_query, 5):
+        code = standard_code_of_expansion(tree, nta.width)
+        assert nta.accepts(code)
+
+
+def test_witness_decodes_to_approximation(reach_query):
+    nta = approximations_automaton(reach_query)
+    witness = nta.witness()
+    decoded, _ = decode(witness)
+    witness_cq = cq_from_instance(decoded)
+    certificates = {
+        # compare as Boolean patterns (decoded heads are not marked)
+        cq_from_instance(a.canonical_database()).certificate()
+        for a in approximations(reach_query, 6)
+    }
+    assert witness_cq.certificate() in certificates
+
+
+def test_accepted_trees_match_approximations(reach_query):
+    """Every accepted tree up to size 4 decodes to some approximation."""
+    nta = approximations_automaton(reach_query)
+    certificates = {
+        cq_from_instance(a.canonical_database()).certificate()
+        for a in approximations(reach_query, 8)
+    }
+    count = 0
+    for code in nta.accepted_trees(4):
+        decoded, _ = decode(code)
+        assert cq_from_instance(decoded).certificate() in certificates
+        count += 1
+    assert count > 0
+
+
+def test_width_parameter(reach_query):
+    k = required_width(reach_query)
+    bigger = approximations_automaton(reach_query, width=k + 1)
+    assert bigger.width == k + 1
+    assert bigger.witness() is not None
+    with pytest.raises(ValueError):
+        approximations_automaton(reach_query, width=k - 1)
+
+
+def test_constants_rejected():
+    q = DatalogQuery(parse_program("P(x) <- R(x,'a')."), "P")
+    with pytest.raises(ValueError):
+        approximations_automaton(q)
+
+
+def test_fold_repeated_idb_args_semantics():
+    """Folding preserves evaluation."""
+    q = DatalogQuery(parse_program(
+        """
+        T(x,y) <- R(x,y).
+        T(x,y) <- R(x,z), T(z,y).
+        Goal() <- T(x,x), U(x).
+        """
+    ), "Goal")
+    folded = fold_repeated_idb_args(q)
+    # the folded program has no repeated-variable IDB atoms
+    idb = folded.program.idb_predicates()
+    for rule in folded.program.rules:
+        for atom in rule.body:
+            if atom.pred in idb:
+                assert len(set(atom.args)) == len(atom.args)
+    for seed in range(10):
+        inst = random_instance(seed, {"R": 2, "U": 1})
+        assert folded.evaluate(inst) == q.evaluate(inst)
+
+
+def test_automaton_with_folding_finds_diagonal_expansions():
+    """Expansions through T(x,x) are captured after folding."""
+    q = DatalogQuery(parse_program(
+        """
+        T(x,y) <- R(x,y).
+        Goal() <- T(x,x), U(x).
+        """
+    ), "Goal")
+    nta = approximations_automaton(q)
+    witness = nta.witness()
+    assert witness is not None
+    decoded, _ = decode(witness)
+    # decoded contains a self-loop R(e, e) and U(e)
+    (row,) = decoded.tuples("R")
+    assert row[0] == row[1]
+    assert decoded.has_tuple("U", (row[0],))
+
+
+def test_binary_goal_states(reach_query):
+    nta = approximations_automaton(reach_query)
+    assert all(state[0] in {"Goal", "P"} for state in nta.states())

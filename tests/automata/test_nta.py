@@ -1,0 +1,105 @@
+"""Tree automata core operations."""
+
+import pytest
+
+from repro.automata.nta import NTA, Transition
+from repro.td.codes import CodeNode, TreeCode
+
+# A toy alphabet: leaf symbol A, internal symbol B with one child
+LEAF_A = (frozenset({("A", ())}), ())
+LEAF_C = (frozenset({("C", ())}), ())
+EMAP = frozenset({(0, 0)})
+UNARY_B = (frozenset({("B", ())}), (EMAP,))
+
+
+def _chain_nta(accept_parity: int) -> NTA:
+    """Accepts B-chains over an A-leaf whose length has given parity."""
+    transitions = [
+        Transition((), LEAF_A, ("p", 0)),
+        Transition((("p", 0),), UNARY_B, ("p", 1)),
+        Transition((("p", 1),), UNARY_B, ("p", 0)),
+    ]
+    return NTA(transitions, {("p", accept_parity)}, width=1)
+
+
+def _chain_code(length: int) -> TreeCode:
+    node = CodeNode(LEAF_A[0], ())
+    for _ in range(length):
+        node = CodeNode(UNARY_B[0], ((EMAP, node),))
+    return TreeCode(node, 1)
+
+
+def test_membership():
+    even = _chain_nta(0)
+    assert even.accepts(_chain_code(0))
+    assert not even.accepts(_chain_code(1))
+    assert even.accepts(_chain_code(4))
+
+
+def test_width_mismatch_rejects():
+    even = _chain_nta(0)
+    assert not even.accepts(TreeCode(CodeNode(LEAF_A[0], ()), 2))
+
+
+def test_witness_and_emptiness():
+    odd = _chain_nta(1)
+    witness = odd.witness()
+    assert witness is not None
+    assert odd.accepts(witness)
+    empty = NTA([Transition((), LEAF_A, "q")], {"unreachable"}, width=1)
+    assert empty.is_empty()
+
+
+def test_product_intersects():
+    even = _chain_nta(0)
+    odd = _chain_nta(1)
+    both = even.product(odd)
+    assert both.is_empty()
+    same = even.product(even)
+    assert same.accepts(_chain_code(2))
+    assert not same.accepts(_chain_code(3))
+
+
+def test_union():
+    even = _chain_nta(0)
+    odd = _chain_nta(1)
+    union = even.union(odd)
+    assert union.accepts(_chain_code(2))
+    assert union.accepts(_chain_code(3))
+
+
+def test_project_erases_marks():
+    even = _chain_nta(0)
+    projected = even.project({"B"})  # erase A marks
+    bare_leaf = CodeNode(frozenset(), ())
+    code = TreeCode(
+        CodeNode(UNARY_B[0], ((EMAP, CodeNode(UNARY_B[0], ((EMAP, bare_leaf),))),)) ,
+        1,
+    )
+    assert projected.accepts(code)
+
+
+def test_trim_removes_useless():
+    transitions = [
+        Transition((), LEAF_A, "good"),
+        Transition((), LEAF_C, "dead-end"),  # never co-reachable
+        Transition(("missing",), UNARY_B, "good"),  # never inhabited
+    ]
+    nta = NTA(transitions, {"good"}, width=1)
+    trimmed = nta.trim()
+    assert trimmed.size() == 1
+    assert trimmed.accepts(_chain_code(0))
+
+
+def test_accepted_trees_enumeration():
+    even = _chain_nta(0)
+    trees = list(even.accepted_trees(5))
+    # sizes 1, 3, 5 => chains of length 0, 2, 4
+    assert len(trees) == 3
+    assert all(even.accepts(t) for t in trees)
+
+
+def test_states_and_symbols():
+    even = _chain_nta(0)
+    assert ("p", 0) in even.states()
+    assert LEAF_A in even.symbols()

@@ -1,0 +1,65 @@
+"""Shared fixtures and strategies for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.core import DatalogQuery, Instance, parse_instance, parse_program
+
+
+@pytest.fixture
+def path_instance() -> Instance:
+    """A small R-path with a U-marked endpoint."""
+    return parse_instance("R('a','b'). R('b','c'). R('c','d'). U('d').")
+
+
+@pytest.fixture
+def reach_query() -> DatalogQuery:
+    """Reachability-to-U, the running MDL example."""
+    program = parse_program(
+        """
+        P(x) <- U(x).
+        P(x) <- R(x,y), P(y).
+        Goal(x) <- P(x).
+        """
+    )
+    return DatalogQuery(program, "Goal", "reach")
+
+
+def random_instance(
+    seed: int,
+    preds: dict[str, int],
+    max_elements: int = 5,
+    max_facts: int = 6,
+) -> Instance:
+    """A deterministic pseudo-random instance (plain random, not
+    hypothesis — for quick cross-validation loops)."""
+    rng = random.Random(seed)
+    n = rng.randint(1, max_elements)
+    inst = Instance()
+    for pred, arity in sorted(preds.items()):
+        for _ in range(rng.randint(0, max_facts)):
+            inst.add_tuple(pred, tuple(rng.randrange(n) for _ in range(arity)))
+    return inst
+
+
+# hypothesis strategy: small binary-relation instances
+@st.composite
+def small_graph_instances(draw, pred: str = "R", max_n: int = 5):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            max_size=10,
+        )
+    )
+    inst = Instance()
+    for u, v in edges:
+        inst.add_tuple(pred, (u, v))
+    return inst

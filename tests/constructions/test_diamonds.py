@@ -1,0 +1,85 @@
+"""The Thm 7 diamond construction (Figures 3, 4)."""
+
+import pytest
+
+from repro.constructions.diamonds import (
+    diamond_chain,
+    diamond_query,
+    diamond_views,
+    long_row_cq,
+    unravelled_counterexample,
+)
+from repro.core.homomorphism import instance_maps_into
+from repro.rewriting.datalog_rewriting import datalog_rewriting
+from repro.rewriting.verification import check_rewriting
+
+
+def test_query_is_mdl():
+    assert diamond_query().program.is_monadic()
+
+
+def test_views_are_cq():
+    assert diamond_views().fragments() == {"CQ"}
+
+
+@pytest.mark.parametrize("k", [1, 2, 3])
+def test_query_holds_on_chains(k):
+    assert diamond_query().boolean(diamond_chain(k))
+
+
+def test_query_fails_without_sink():
+    chain = diamond_chain(2)
+    chain.discard(next(f for f in chain.facts() if f.pred == "U"))
+    assert not diamond_query().boolean(chain)
+
+
+def test_view_image_shape():
+    image = diamond_views().image(diamond_chain(3))
+    assert len(image.tuples("S")) == 1
+    assert len(image.tuples("R")) == 2
+    assert len(image.tuples("T")) == 1
+
+
+def test_datalog_rewriting_exists():
+    """The positive half of Thm 7: Q is Datalog-rewritable."""
+    q = diamond_query()
+    views = diamond_views()
+    rewriting = datalog_rewriting(q, views)
+    assert check_rewriting(q, views, rewriting, trials=30) is None
+
+
+@pytest.fixture(scope="module")
+def counterexample():
+    return unravelled_counterexample(2, depth=2)
+
+
+def test_unravelled_instance_fails_query(counterexample):
+    _image, chased, _unr = counterexample
+    assert len(chased)
+    assert not diamond_query().boolean(chased)
+
+
+def test_unravelling_below_view_image(counterexample):
+    """J'_k ⊆ V(I'_k): the chase regenerates every unravelled view fact."""
+    _image, chased, unr = counterexample
+    assert unr.instance <= diamond_views().image(chased)
+
+
+def test_long_row_does_not_map(counterexample):
+    """Figure 4: no row of 2 R-rectangles embeds into the
+    (1,k)-unravelling (bags cannot share two elements)."""
+    _image, _chased, unr = counterexample
+    row = long_row_cq(2)
+    assert not instance_maps_into(row.canonical_database(), unr.instance)
+
+
+def test_single_rectangle_does_map(counterexample):
+    _image, _chased, unr = counterexample
+    row = long_row_cq(1)
+    assert instance_maps_into(row.canonical_database(), unr.instance)
+
+
+def test_long_row_cq_shape():
+    row = long_row_cq(3)
+    assert row.size() == 3
+    assert len(row.variables()) == 8  # 2k + 2

@@ -1,0 +1,89 @@
+"""Example 1, including the V3/V4 erratum."""
+
+import pytest
+
+from repro.constructions.example1 import (
+    chain_instance,
+    example1_query,
+    paper_rewriting_v0_v2,
+    paper_rewriting_v3_v4,
+    views_v0_v2,
+    views_v3_v4,
+)
+from repro.core.instance import Instance
+from repro.rewriting.verification import check_rewriting, random_instances
+from repro.core.schema import Schema
+
+
+def test_query_shape():
+    q = example1_query()
+    assert q.program.is_monadic()
+    assert q.is_boolean()
+
+
+@pytest.mark.parametrize("links", [1, 2, 3])
+def test_chain_instances(links):
+    q = example1_query()
+    assert q.boolean(chain_instance(links))
+    assert not q.boolean(chain_instance(links, closed=False))
+
+
+def test_v0_v2_rewriting_verified():
+    q = example1_query()
+    views = views_v0_v2()
+    assert check_rewriting(
+        q, views, paper_rewriting_v0_v2(), trials=40
+    ) is None
+
+
+def test_v3_v4_rewriting_on_chains():
+    """The paper's CQ rewriting is correct on chain instances."""
+    q = example1_query()
+    views = views_v3_v4()
+    rewriting = paper_rewriting_v3_v4()
+    for links in (1, 2, 3):
+        for closed in (True, False):
+            inst = chain_instance(links, closed)
+            assert rewriting.boolean(views.image(inst)) == q.boolean(inst)
+
+
+def test_v3_v4_erratum_degenerate_case():
+    """Erratum (recorded in EXPERIMENTS.md): on the zero-iteration
+    instance {U1(a), U2(a)} the view image is empty, so Q is NOT
+    monotonically determined over V3/V4 and the claimed CQ rewriting
+    fails."""
+    q = example1_query()
+    views = views_v3_v4()
+    degenerate = Instance()
+    degenerate.add_tuple("U1", ("a",))
+    degenerate.add_tuple("U2", ("a",))
+    assert q.boolean(degenerate)
+    assert len(views.image(degenerate)) == 0
+    assert not paper_rewriting_v3_v4().boolean(views.image(degenerate))
+    # the pair (degenerate, ∅) violates monotonic determinacy:
+    empty = Instance()
+    assert views.image(degenerate) == views.image(empty)
+    assert q.boolean(degenerate) and not q.boolean(empty)
+
+
+def test_v3_v4_rewriting_correct_on_nondegenerate_instances():
+    """Restricted to instances where every U1∩U2 point would need a
+    T-step anyway, the claimed rewriting agrees with Q."""
+    q = example1_query()
+    views = views_v3_v4()
+    rewriting = paper_rewriting_v3_v4()
+    schema = Schema({"T": 3, "B": 2, "U1": 1, "U2": 1})
+    agreements = disagreements = 0
+    for inst in random_instances(schema, 40, seed=3):
+        shared = {
+            u for (u,) in inst.tuples("U1")
+        } & {u for (u,) in inst.tuples("U2")}
+        got = rewriting.boolean(views.image(inst))
+        expected = q.boolean(inst)
+        if shared:
+            continue  # potentially degenerate; not covered by the claim
+        if got == expected:
+            agreements += 1
+        else:
+            disagreements += 1
+    assert disagreements == 0 and agreements > 0

@@ -1,0 +1,83 @@
+"""Grid structures and tiling problems (§6, §7)."""
+
+import pytest
+
+from repro.constructions.grids import cross, grid_graph, grid_instance
+from repro.constructions.tiling import (
+    TilingProblem,
+    solvable_example,
+    unsolvable_example,
+)
+
+
+def test_grid_instance_shape():
+    grid = grid_instance(3, 2)
+    assert len(grid.tuples("H")) == 4  # 2 per row x 2 rows
+    assert len(grid.tuples("V")) == 3  # 1 per column x 3 columns
+    assert grid.has_tuple("I", ((1, 1),))
+    assert grid.has_tuple("F", ((3, 2),))
+
+
+def test_grid_instance_rejects_bad_dims():
+    with pytest.raises(ValueError):
+        grid_instance(0, 3)
+
+
+def test_grid_graph_matches_instance():
+    graph = grid_graph(3, 3)
+    assert graph.number_of_nodes() == 9
+    assert graph.number_of_edges() == 12
+
+
+def test_cross():
+    c = cross(3, 3, 2, 2)
+    assert len(c) == 5
+    assert (2, 1) in c and (1, 2) in c and (2, 2) in c
+
+
+def test_solvable_example():
+    tp = solvable_example()
+    solution = tp.solve(3)
+    assert solution is not None
+    n, m, tiling = solution
+    assert tiling[(1, 1)] in tp.initial
+    assert tiling[(n, m)] in tp.final
+
+
+def test_unsolvable_example():
+    assert unsolvable_example().solve(4) is None
+
+
+def test_tiling_as_homomorphism():
+    tp = solvable_example()
+    grid = grid_instance(2, 2)
+    tiling = tp.tile_instance(grid)
+    assert tiling is not None
+    # compatibility along H edges
+    for left, right in grid.tuples("H"):
+        assert (tiling[left], tiling[right]) in tp.horizontal
+
+
+def test_can_tile_non_grid_instance():
+    """Tiling applies to arbitrary δ-instances, not only grids."""
+    from repro.core.instance import Instance
+
+    tp = solvable_example()
+    inst = Instance()
+    inst.add_tuple("H", ("p", "q"))
+    assert tp.can_tile(inst)
+    inst.add_tuple("H", ("p", "p"))  # needs a self-compatible tile
+    assert not tp.can_tile(inst)
+
+
+def test_as_instance_round_trip():
+    tp = solvable_example()
+    structure = tp.as_instance()
+    assert structure.tuples("H") == tp.horizontal
+    assert {t for (t,) in structure.tuples("I")} == set(tp.initial)
+
+
+def test_solve_finds_smallest_total():
+    tp = solvable_example()
+    n, m, _ = tp.solve(3)
+    assert n == m == 1  # 'a' is both initial and final

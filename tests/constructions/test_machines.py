@@ -1,0 +1,103 @@
+"""The Turing machine substrate (Thm 9)."""
+
+import pytest
+
+from repro.constructions.machines import (
+    MARK_INP_BEGIN,
+    MARK_RUN_END,
+    MARK_SEP,
+    TuringMachine,
+    counter_machine,
+    counter_run,
+    encode_run,
+    machine_tables,
+    run_string,
+)
+
+
+def test_counter_machine_accepts_and_runtime_doubles():
+    steps = []
+    for bits in (2, 3, 4, 5):
+        machine, word, trace = counter_run(bits)
+        assert trace[-1].state == machine.accept
+        steps.append(len(trace))
+    # exponential growth: each extra bit at least doubles the run
+    for a, b in zip(steps, steps[1:]):
+        assert b >= 2 * a
+
+
+def test_determinism_and_step():
+    machine, word, trace = counter_run(2)
+    # re-stepping reproduces the trace
+    config = trace[0]
+    for expected in trace[1:]:
+        config = machine.step(config)
+        assert config == expected
+
+
+def test_run_stops_at_halt():
+    machine, word, trace = counter_run(2)
+    assert machine.halted(trace[-1])
+    assert not machine.halted(trace[0])
+
+
+def test_max_steps_guard():
+    machine = counter_machine(8)
+    word = ("#",) + tuple("0" for _ in range(8))
+    with pytest.raises(RuntimeError):
+        machine.run(word, tape_length=10, max_steps=10)
+
+
+def test_head_cannot_leave_tape():
+    machine = TuringMachine(
+        states=("s", "acc", "rej"),
+        input_alphabet=("a",),
+        tape_alphabet=("a", "_"),
+        blank="_",
+        start="s",
+        accept="acc",
+        reject="rej",
+        transitions={("s", "a"): ("s", "a", -1)},
+    )
+    with pytest.raises(ValueError):
+        machine.run(("a",), tape_length=2)
+
+
+def test_run_string_format():
+    machine, word, trace = counter_run(2)
+    letters = run_string(word, trace)
+    assert letters[0] == MARK_INP_BEGIN
+    assert letters[-1] == MARK_RUN_END
+    assert letters.count(MARK_SEP) == len(trace) - 1
+
+
+def test_configuration_letters_mark_head():
+    machine, word, trace = counter_run(2)
+    head_letters = [
+        letter
+        for letter in trace[0].letters()
+        if isinstance(letter, tuple)
+    ]
+    assert head_letters == [("q", "s", "#")]
+
+
+def test_encode_run_segments():
+    machine, word, trace = counter_run(2)
+    inst = encode_run(word, trace)
+    # Succ edges live strictly before σInpEnd; Succ' after
+    succ = inst.tuples("Succ")
+    succp = inst.tuples("Succ·p")
+    assert succ and succp
+    max_succ = max(b for _a, b in succ)
+    min_succp = min(a for a, _b in succp)
+    assert max_succ == min_succp  # they meet at σInpEnd
+
+
+def test_machine_tables_are_functional():
+    machine = counter_machine(2)
+    tables = machine_tables(machine)
+    seen = {}
+    for a, b, c, d in tables.tuples("Step·T"):
+        assert seen.setdefault((a, b, c), d) == d
+    assert tables.tuples("Init·T")
+    assert all(a != b for a, b in tables.tuples("Diff·T"))

@@ -1,0 +1,103 @@
+"""The Thm 6 reduction and Prop. 10."""
+
+import pytest
+
+from repro.constructions.reduction_thm6 import (
+    axes_instance,
+    grid_test_instance,
+    ha_cq,
+    thm6_query,
+    thm6_views,
+    va_cq,
+)
+from repro.constructions.tiling import solvable_example, unsolvable_example
+from repro.core.containment import Verdict
+from repro.determinacy.checker import check_tests
+
+
+@pytest.fixture(scope="module")
+def solvable():
+    tp = solvable_example()
+    return tp, thm6_query(tp), thm6_views(tp)
+
+
+@pytest.fixture(scope="module")
+def unsolvable():
+    tp = unsolvable_example()
+    return tp, thm6_query(tp), thm6_views(tp)
+
+
+def test_query_is_mdl(solvable):
+    _tp, query, _views = solvable
+    assert query.program.is_monadic()
+
+
+def test_views_are_cq_or_ucq(solvable):
+    _tp, _query, views = solvable
+    assert views.fragments() <= {"CQ", "UCQ"}
+
+
+def test_adjacency_cqs_on_grid_test(solvable):
+    """HA/VA detect exactly the grid adjacencies (Figure 1(b))."""
+    tp, _query, _views = solvable
+    inst = grid_test_instance(tp, 3, 2)
+    ha_pairs = {
+        (row[0], row[1]) for row in ha_cq().evaluate(inst)
+    }
+    assert (("z", 1, 1), ("z", 2, 1)) in ha_pairs
+    assert (("z", 1, 1), ("z", 1, 2)) not in ha_pairs
+    va_pairs = {
+        (row[0], row[1]) for row in va_cq().evaluate(inst)
+    }
+    assert (("z", 1, 1), ("z", 1, 2)) in va_pairs
+    assert (("z", 1, 1), ("z", 2, 1)) not in va_pairs
+
+
+def test_qstart_on_marked_axes(solvable):
+    _tp, query, _views = solvable
+    assert query.boolean(axes_instance(3))
+    # without the C/D marks Qstart cannot fire
+    assert not query.boolean(axes_instance(3, marked=False))
+
+
+def test_query_false_on_valid_tiling(solvable):
+    tp, query, _views = solvable
+    tiling = tp.tile_grid(2, 2)
+    assert not query.boolean(grid_test_instance(tp, 2, 2, tiling))
+
+
+def test_query_true_on_broken_tiling(solvable):
+    tp, query, _views = solvable
+    tiling = dict(tp.tile_grid(2, 2))
+    tiling[(1, 1)] = "b"  # breaks the initial-tile condition
+    assert query.boolean(grid_test_instance(tp, 2, 2, tiling))
+
+
+def test_view_image_of_axes_has_product_s(solvable):
+    """Figure 2: S on the image of I_ℓ is the C×D product."""
+    _tp, _query, views = solvable
+    image = views.image(axes_instance(2))
+    assert len(image.tuples("S")) == 4
+    assert len(image.tuples("VXSucc")) == 2  # o->x1->x2
+
+
+def test_prop10_solvable_means_not_determined(solvable):
+    _tp, query, views = solvable
+    result = check_tests(query, views, approx_depth=4, view_depth=1)
+    assert result.verdict is Verdict.NO
+
+
+def test_prop10_unsolvable_all_tests_pass(unsolvable):
+    _tp, query, views = unsolvable
+    result = check_tests(
+        query, views, approx_depth=3, view_depth=1, max_tests=150
+    )
+    assert result.verdict is Verdict.UNKNOWN  # no failing test found
+
+
+def test_counterexample_is_a_grid_like_test(solvable):
+    _tp, query, views = solvable
+    result = check_tests(query, views, approx_depth=4, view_depth=1)
+    d_prime = result.counterexample.test_instance
+    assert d_prime.tuples("XProj") and d_prime.tuples("YProj")
+    assert not d_prime.tuples("C") and not d_prime.tuples("D")

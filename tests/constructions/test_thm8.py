@@ -1,0 +1,81 @@
+"""The Theorem 8 pipeline."""
+
+import pytest
+
+from repro.constructions.thm8 import build_witness, grid_untilable_up_to
+from repro.constructions.tp_star import tp_star
+from repro.core.homomorphism import instance_maps_into
+
+
+@pytest.fixture(scope="module")
+def witness():
+    return build_witness(4, depth=2)
+
+
+def test_tp_star_grids_untilable():
+    assert grid_untilable_up_to(tp_star(), 3)
+
+
+def test_query_true_on_source(witness):
+    assert witness.query.boolean(witness.source)
+
+
+def test_image_is_nonempty_with_product_s(witness):
+    ell = witness.ell
+    assert len(witness.image.tuples("S")) == ell * ell
+
+
+def test_w_instance_shape(witness):
+    """W_ℓ's facts follow the unravelled successor relations."""
+    w = witness.w_instance
+    assert len(w)
+    for (u1, v1), (u2, v2) in w.tuples("H"):
+        assert v1 == v2
+        assert witness.unravelling.instance.has_tuple("VXSucc", (u1, u2))
+    for (u1, v1), (u2, v2) in w.tuples("V"):
+        assert u1 == u2
+        assert witness.unravelling.instance.has_tuple("VYSucc", (v1, v2))
+
+
+def test_w_instance_is_tilable(witness):
+    """Claim 1: the unravelled grid CAN be tiled with TP*."""
+    assert witness.tiling is not None
+    tp_structure = witness.tp.as_instance()
+    # the tiling is a genuine homomorphism
+    for point, tile in witness.tiling.items():
+        assert tile in set(witness.tp.tiles)
+    for left, right in witness.w_instance.tuples("H"):
+        if left in witness.tiling and right in witness.tiling:
+            assert (
+                witness.tiling[left], witness.tiling[right]
+            ) in witness.tp.horizontal
+
+
+def test_query_false_on_counterexample(witness):
+    """Q_TP*(I'_ℓ) = False: the separating pair of Thm 8."""
+    assert witness.counterexample is not None
+    assert not witness.query.boolean(witness.counterexample)
+
+
+def test_unravelling_maps_into_counterexample_image(witness):
+    """U_ℓ → V(I'_ℓ) (so Fact 4(2) gives V(I_ℓ) →k V(I'_ℓ))."""
+    image = witness.views.image(witness.counterexample)
+    assert witness.unravelling.instance <= image
+
+
+def test_counterexample_has_no_cd_marks(witness):
+    assert not witness.counterexample.tuples("C")
+    assert not witness.counterexample.tuples("D")
+
+
+def test_monotonic_determinacy_holds_boundedly():
+    """Since no grid is TP*-tilable, every canonical test succeeds —
+    checked up to a small depth (the full claim is Thm 8)."""
+    from repro.core.containment import Verdict
+    from repro.determinacy.checker import check_tests
+
+    w = build_witness(2, depth=1)
+    result = check_tests(
+        w.query, w.views, approx_depth=3, view_depth=1, max_tests=60
+    )
+    assert result.verdict is Verdict.UNKNOWN  # no failing test

@@ -1,0 +1,112 @@
+"""The Theorem 9 construction."""
+
+import pytest
+
+from repro.constructions.machines import counter_run, encode_run
+from repro.constructions.thm9 import (
+    TuringSeparator,
+    thm9_query,
+    thm9_views,
+)
+from repro.core.atoms import Atom
+
+
+@pytest.fixture(scope="module")
+def setting():
+    machine, word, trace = counter_run(2)
+    honest = encode_run(word, trace, machine)
+    return machine, word, trace, honest
+
+
+def test_query_accepts_honest_accepting_run(setting):
+    machine, _word, _trace, honest = setting
+    assert thm9_query(machine).boolean(honest)
+
+
+def test_badly_shaped_view_quiet_on_honest_run(setting):
+    machine, _word, _trace, honest = setting
+    image = thm9_views(machine).image(honest)
+    assert not image.tuples("Vbad")
+    assert len(image.tuples("Vprerun")) == 1
+
+
+def test_corrupted_letter_detected(setting):
+    machine, _word, _trace, honest = setting
+    corrupted = honest.copy()
+    pos, letter = next(
+        (p, a) for p, a in sorted(honest.tuples("Letter·p"))
+        if a == "0" and p > 12
+    )
+    corrupted.discard(Atom("Letter·p", (pos, letter)))
+    corrupted.add_tuple("Letter·p", (pos, "1"))
+    assert thm9_query(machine).boolean(corrupted)
+    image = thm9_views(machine).image(corrupted)
+    assert image.tuples("Vbad")
+
+
+def test_corrupted_initial_config_detected(setting):
+    machine, word, trace, _honest = setting
+    # swap a bit of the first configuration
+    honest = encode_run(word, trace, machine)
+    first_cells = sorted(
+        (p, a) for p, a in honest.tuples("Letter·p")
+        if isinstance(a, str) and a in ("0", "1")
+    )
+    pos, letter = first_cells[0]
+    bad = honest.copy()
+    bad.discard(Atom("Letter·p", (pos, letter)))
+    bad.add_tuple("Letter·p", (pos, "1" if letter == "0" else "0"))
+    image = thm9_views(machine).image(bad)
+    assert image.tuples("Vbad")
+
+
+def test_double_separator_detected(setting):
+    machine, _word, _trace, honest = setting
+    bad = honest.copy()
+    seps = sorted(p for (p,) in honest.tuples("MSep"))
+    # make position after a separator also a separator
+    bad.add_tuple("MSep", (seps[0] + 1,))
+    image = thm9_views(machine).image(bad)
+    assert image.tuples("Vbad")
+
+
+def test_truncated_run_neither_accepting_nor_bad(setting):
+    """Cutting the run before the accept state: no pre-run, no accept."""
+    machine, word, trace, _honest = setting
+    truncated = encode_run(word, trace[:-1], machine)
+    assert not thm9_query(machine).boolean(truncated)
+    image = thm9_views(machine).image(truncated)
+    assert not image.tuples("Vbad")
+    assert not image.tuples("Vprerun")
+
+
+def test_separator_simulates_machine(setting):
+    machine, word, trace, honest = setting
+    image = thm9_views(machine).image(honest)
+    separator = TuringSeparator(machine, tape_length=len(word) + 1)
+    assert separator.boolean(image)
+    assert separator.simulated_steps == len(trace)
+
+
+def test_separator_shortcut_on_bad_view(setting):
+    machine, word, _trace, _honest = setting
+    from repro.core.instance import Instance
+
+    j = Instance()
+    j.add_tuple("Vbad", ())
+    separator = TuringSeparator(machine, tape_length=len(word) + 1)
+    assert separator.boolean(j)
+    assert separator.simulated_steps == 0  # no simulation needed
+
+
+def test_separator_cost_grows_with_machine_time():
+    """The Thm 9 phenomenon: separator cost tracks machine time."""
+    costs = []
+    for bits in (2, 3, 4):
+        machine, word, trace = counter_run(bits)
+        honest = encode_run(word, trace, machine)
+        image = thm9_views(machine).image(honest)
+        separator = TuringSeparator(machine, tape_length=len(word) + 1)
+        separator.boolean(image)
+        costs.append(separator.simulated_steps)
+    assert costs[2] > 2 * costs[1] > 4 * costs[0]

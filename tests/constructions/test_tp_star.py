@@ -1,0 +1,93 @@
+"""The parity tiling problem TP* (Lemma 6)."""
+
+import pytest
+
+from repro.constructions.grids import grid_instance
+from repro.constructions.tp_star import (
+    abstract_tiles,
+    incident_directions,
+    psi,
+    tp_star,
+    walk_tile_assignment,
+)
+from repro.games.pebble import duplicator_wins
+
+
+def test_tile_count():
+    """2 odd-parity tiles at the corner (deg 2); the rest even-parity:
+    corners 2 each, edges 4 each, center 8."""
+    tiles = abstract_tiles()
+    assert len(tiles) == 4 * 2 + 4 * 4 + 8
+    corner_tiles = [t for t in tiles if t[0] == (1, 1)]
+    assert all(sum(t[1:]) % 2 == 1 for t in corner_tiles)
+    other = [t for t in tiles if t[0] != (1, 1)]
+    assert all(sum(t[1:]) % 2 == 0 for t in other)
+
+
+def test_incident_directions():
+    assert incident_directions((1, 1), 3, 3) == ("up", "right")
+    assert incident_directions((2, 2), 3, 3) == (
+        "up", "right", "down", "left",
+    )
+    assert incident_directions((3, 2), 3, 3) == ("up", "down", "left")
+
+
+def test_initial_final_tiles():
+    tp = tp_star()
+    assert all(t[0] == (1, 1) for t in tp.initial)
+    assert all(t[0] == (3, 3) for t in tp.final)
+
+
+@pytest.mark.parametrize("n,m", [(1, 1), (2, 2), (3, 3), (4, 3), (3, 4)])
+def test_claim2_no_grid_tilable(n, m):
+    assert not tp_star().can_tile(grid_instance(n, m))
+
+
+def test_claim3_duplicator_wins_at_k2():
+    """Igrid(3,3) →2 I_TP* although no homomorphism exists."""
+    tp = tp_star()
+    assert duplicator_wins(grid_instance(3, 3), tp.as_instance(), 2)
+
+
+def test_psi_abstraction():
+    mapping = psi(5, 4)
+    assert mapping[(1, 1)] == (1, 1)
+    assert mapping[(5, 4)] == (3, 3)
+    assert mapping[(3, 2)] == (2, 2)
+    assert mapping[(1, 2)] == (1, 2)
+    assert mapping[(4, 1)] == (2, 1)
+
+
+def test_walk_assignment_is_partial_tiling():
+    """Claim 3: the assignment from a corner walk satisfies every
+    constraint among assigned vertices."""
+    n = m = 4
+    tp = tp_star()
+    walk = [(1, 1), (2, 1), (2, 2), (3, 2), (3, 3)]
+    assignment = walk_tile_assignment(walk, n, m)
+    assert (4, 4) in assignment and walk[-1] not in assignment
+    tiles = set(tp.tiles)
+    for vertex, tile in assignment.items():
+        assert tile in tiles, f"{vertex} got invalid tile {tile}"
+    grid = grid_instance(n, m)
+    for left, right in grid.tuples("H"):
+        if left in assignment and right in assignment:
+            assert (assignment[left], assignment[right]) in tp.horizontal
+    for below, above in grid.tuples("V"):
+        if below in assignment and above in assignment:
+            assert (assignment[below], assignment[above]) in tp.vertical
+    assert assignment[(1, 1)] in tp.initial
+
+
+def test_walk_must_start_at_corner():
+    with pytest.raises(ValueError):
+        walk_tile_assignment([(2, 2)], 3, 3)
+
+
+def test_longer_walks_stay_valid():
+    """Parity bookkeeping survives edge re-use."""
+    tp = tp_star()
+    walk = [(1, 1), (2, 1), (1, 1), (2, 1), (2, 2)]
+    assignment = walk_tile_assignment(walk, 4, 4)
+    tiles = set(tp.tiles)
+    assert all(t in tiles for t in assignment.values())

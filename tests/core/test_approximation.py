@@ -1,0 +1,131 @@
+"""CQ approximations and expansion trees (§2, Prop. 1)."""
+
+import pytest
+
+from repro.core.approximation import (
+    approximation_trees,
+    approximations,
+    expansion_trees,
+    tree_to_cq,
+)
+from repro.core.datalog import DatalogQuery
+from repro.core.parser import parse_instance, parse_program
+
+from tests.conftest import random_instance
+
+
+def test_path_approximations_by_depth(reach_query):
+    approx = list(approximations(reach_query, 5))
+    # depth 2: U(x); depth 3: R,U; depth 4: R,R,U; depth 5: R,R,R,U
+    assert len(approx) == 4
+    sizes = sorted(a.size() for a in approx)
+    assert sizes == [1, 2, 3, 4]
+
+
+def test_approximations_deduplicate():
+    # two rules producing isomorphic bodies yield one approximation
+    program = parse_program(
+        """
+        P(x) <- R(x,y).
+        P(x) <- R(x,z).
+        Goal(x) <- P(x).
+        """
+    )
+    q = DatalogQuery(parse_program(
+        "P(x) <- R(x,y). P(x) <- R(x,z). Goal(x) <- P(x)."
+    ), "Goal")
+    assert len(list(approximations(q, 3))) == 1
+    assert len(list(approximations(q, 3, dedup=False))) == 2
+
+
+def test_max_count_cap(reach_query):
+    assert len(list(approximations(reach_query, 10, max_count=3))) == 3
+
+
+def test_prop1_approximation_iff_query_holds(reach_query):
+    """Prop. 1 on small instances: Q holds iff some expansion maps in.
+
+    The expansion depth needed is bounded by the instance size here.
+    """
+    for seed in range(10):
+        inst = random_instance(seed, {"R": 2, "U": 1}, max_elements=4)
+        expected = reach_query.evaluate(inst)
+        got = set()
+        for cq in approximations(reach_query, 6):
+            got |= cq.evaluate(inst)
+        assert got == expected
+
+
+def test_expansion_tree_structure(reach_query):
+    trees = list(approximation_trees(reach_query, 4))
+    deepest = max(trees, key=lambda t: t.depth())
+    assert deepest.depth() == 4
+    # pre-order traversal covers all nodes
+    assert len(list(deepest.nodes())) == 4
+    # flattening matches the CQ approximations
+    cq = tree_to_cq(deepest)
+    assert cq.size() == 3  # R, R, U
+
+
+def test_expansion_head_terms_consistency():
+    """Child expansions are rooted at the parent's terms."""
+    program = parse_program(
+        """
+        P(x,y) <- R(x,y).
+        P(x,y) <- R(x,z), P(z,y).
+        Goal(x,y) <- P(x,y).
+        """
+    )
+    q = DatalogQuery(program, "Goal")
+    for tree in approximation_trees(q, 3):
+        cq = tree_to_cq(tree)
+        # head variables appear in the body atoms
+        body_vars = set()
+        for atom in cq.atoms:
+            body_vars |= atom.variables()
+        assert set(cq.head_vars) <= body_vars
+
+
+def test_nonlinear_rule_expansions():
+    program = parse_program(
+        """
+        B(x) <- L(x).
+        B(x) <- E(x,y), E(x,z), B(y), B(z).
+        Goal(x) <- B(x).
+        """
+    )
+    q = DatalogQuery(program, "Goal")
+    # depth 3 includes the tree with two leaf children
+    sizes = {cq.size() for cq in approximations(q, 3)}
+    assert 1 in sizes  # L(x)
+    assert 4 in sizes  # E, E, L, L
+    trees = list(approximation_trees(q, 3))
+    assert any(
+        len(node.children) == 2
+        for tree in trees
+        for node in tree.nodes()
+    )
+
+
+def test_repeated_head_variable_rejected():
+    program = parse_program(
+        """
+        P(x,x) <- R(x,x).
+        Goal() <- P(u,v).
+        """
+    )
+    q = DatalogQuery(program, "Goal")
+    with pytest.raises(ValueError):
+        list(approximations(q, 2))
+
+
+def test_zero_depth_yields_nothing(reach_query):
+    assert list(expansion_trees(reach_query.program, "Goal", 0)) == []
+
+
+def test_approximations_are_sound(reach_query):
+    """Every approximation is contained in the query (Prop. 1 direction)."""
+    inst = parse_instance("R('a','b'). U('b').")
+    answers = reach_query.evaluate(inst)
+    for cq in approximations(reach_query, 4):
+        assert cq.evaluate(inst) <= answers

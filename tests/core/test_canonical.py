@@ -1,0 +1,66 @@
+"""Canonical forms of atom sets."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.atoms import Atom
+from repro.core.parser import parse_cq
+from repro.core.terms import Variable
+from repro.util.canonical import canonical_form
+
+
+def test_invariant_under_renaming():
+    a = parse_cq("Q() <- R(x,y), R(y,z), U(z)")
+    b = parse_cq("Q() <- R(u,v), R(v,w), U(w)")
+    assert canonical_form(a.atoms) == canonical_form(b.atoms)
+
+
+def test_distinguishes_structure():
+    path = parse_cq("Q() <- R(x,y), R(y,z)")
+    fork = parse_cq("Q() <- R(x,y), R(x,z)")
+    assert canonical_form(path.atoms) != canonical_form(fork.atoms)
+
+
+def test_free_variables_pin_identity():
+    a = parse_cq("Q(x) <- R(x,y)")
+    b = parse_cq("Q(y) <- R(x,y)")
+    assert canonical_form(a.atoms, a.head_vars) != canonical_form(
+        b.atoms, b.head_vars
+    )
+
+
+def test_constants_matter():
+    a = parse_cq("Q() <- R(x,'a')")
+    b = parse_cq("Q() <- R(x,'b')")
+    assert canonical_form(a.atoms) != canonical_form(b.atoms)
+
+
+def test_symmetric_structure_with_backtracking():
+    """Two interchangeable branches force individualize-and-refine."""
+    a = parse_cq("Q() <- R(x,y), R(x,z), U(y), U(z)")
+    b = parse_cq("Q() <- R(x,b), R(x,a), U(a), U(b)")
+    assert canonical_form(a.atoms) == canonical_form(b.atoms)
+
+
+@given(st.permutations(["x", "y", "z", "w"]))
+@settings(max_examples=24, deadline=None)
+def test_random_renaming_invariance(names):
+    base = parse_cq("Q() <- R(x,y), R(y,z), S(z,w), S(w,x)")
+    renaming = {
+        Variable(old): Variable(new)
+        for old, new in zip(["x", "y", "z", "w"], names)
+    }
+    renamed = [a.substitute(renaming) for a in base.atoms]
+    assert canonical_form(base.atoms) == canonical_form(renamed)
+
+
+def test_duplicate_atoms_collapse():
+    x, y = Variable("x"), Variable("y")
+    once = [Atom("R", (x, y))]
+    twice = [Atom("R", (x, y)), Atom("R", (x, y))]
+    assert canonical_form(once) == canonical_form(twice)
+
+
+def test_large_pattern_fallback_is_deterministic():
+    xs = [Variable(f"v{i}") for i in range(50)]
+    atoms = [Atom("R", (xs[i], xs[i + 1])) for i in range(49)]
+    assert canonical_form(atoms) == canonical_form(list(reversed(atoms)))

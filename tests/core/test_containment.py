@@ -1,0 +1,144 @@
+"""Containment procedures (exact and bounded)."""
+
+import pytest
+
+from repro.core.containment import (
+    Verdict,
+    cq_contained,
+    cq_contained_in_datalog,
+    datalog_contained_bounded,
+    datalog_contained_in_ucq,
+    datalog_equivalent_bounded,
+    ucq_contained,
+)
+from repro.core.datalog import DatalogQuery
+from repro.core.parser import parse_cq, parse_program, parse_ucq
+
+
+@pytest.fixture
+def reach_to_u():
+    return DatalogQuery(parse_program(
+        """
+        P(x) <- U(x).
+        P(x) <- R(x,y), P(y).
+        Goal() <- S(x), P(x).
+        """
+    ), "Goal")
+
+
+def test_cq_contained_wrappers():
+    assert cq_contained(
+        parse_cq("Q() <- R(x,y), R(y,z)"), parse_cq("Q() <- R(u,v)")
+    )
+    assert ucq_contained(
+        parse_cq("Q() <- R(x,y), R(y,z)"),
+        parse_ucq("Q() <- R(u,v). Q() <- S(u)."),
+    )
+
+
+def test_cq_in_datalog_exact(reach_to_u):
+    # S-point with U: contained
+    assert cq_contained_in_datalog(
+        parse_cq("Q() <- S(x), U(x)"), reach_to_u
+    )
+    # one R-hop to U: contained
+    assert cq_contained_in_datalog(
+        parse_cq("Q() <- S(x), R(x,y), U(y)"), reach_to_u
+    )
+    # S and U disconnected: NOT contained
+    assert not cq_contained_in_datalog(
+        parse_cq("Q() <- S(x), U(y)"), reach_to_u
+    )
+
+
+def test_ucq_in_datalog(reach_to_u):
+    ucq = parse_ucq(
+        """
+        Q() <- S(x), U(x).
+        Q() <- S(x), R(x,y), U(y).
+        """
+    )
+    assert cq_contained_in_datalog(ucq, reach_to_u)
+
+
+def test_datalog_in_cq_exact_yes(reach_to_u):
+    result = datalog_contained_in_ucq(reach_to_u, parse_cq("C() <- U(y)"))
+    assert result.verdict is Verdict.YES
+    assert bool(result)
+
+
+def test_datalog_in_cq_exact_no_with_counterexample(reach_to_u):
+    result = datalog_contained_in_ucq(
+        reach_to_u, parse_cq("C() <- S(x), U(x)")
+    )
+    assert result.verdict is Verdict.NO
+    witness = result.counterexample
+    assert witness is not None
+    # the witness is a genuine separating expansion:
+    assert cq_contained_in_datalog(witness, reach_to_u)
+    assert not witness.is_contained_in(parse_cq("C() <- S(x), U(x)"))
+
+
+def test_datalog_in_ucq_exact(reach_to_u):
+    sup = parse_ucq(
+        """
+        C() <- S(x), U(x).
+        C() <- S(x), R(x,y).
+        """
+    )
+    assert datalog_contained_in_ucq(reach_to_u, sup).verdict is Verdict.YES
+
+
+def test_datalog_in_ucq_bounded_mode(reach_to_u):
+    refuted = datalog_contained_in_ucq(
+        reach_to_u, parse_cq("C() <- S(x), U(x)"), max_depth=5
+    )
+    assert refuted.verdict is Verdict.NO
+    unknown = datalog_contained_in_ucq(
+        reach_to_u, parse_cq("C() <- U(y)"), max_depth=5
+    )
+    assert unknown.verdict is Verdict.UNKNOWN
+
+
+def test_datalog_in_ucq_arity_mismatch(reach_to_u):
+    result = datalog_contained_in_ucq(
+        reach_to_u, parse_cq("C(x) <- S(x)")
+    )
+    assert result.verdict is Verdict.NO
+
+
+def test_nonboolean_datalog_in_cq():
+    q = DatalogQuery(parse_program(
+        """
+        T(x,y) <- R(x,y).
+        T(x,y) <- R(x,z), T(z,y).
+        """
+    ), "T")
+    # every T-pair starts and ends with an R-edge:
+    result = datalog_contained_in_ucq(
+        q, parse_cq("C(x,y) <- R(x,w), R(v,y)")
+    )
+    assert result.verdict is Verdict.YES
+    result2 = datalog_contained_in_ucq(q, parse_cq("C(x,y) <- R(x,y)"))
+    assert result2.verdict is Verdict.NO
+
+
+def test_datalog_bounded_containment():
+    path = DatalogQuery(parse_program(
+        "P(x) <- U(x). P(x) <- R(x,y), P(y)."
+    ), "P")
+    loopy = DatalogQuery(parse_program("P2(x) <- U(x)."), "P2")
+    refuted = datalog_contained_bounded(path, loopy, max_depth=4)
+    assert refuted.verdict is Verdict.NO
+    assert refuted.counterexample is not None
+    unknown = datalog_contained_bounded(loopy, path, max_depth=4)
+    assert unknown.verdict is Verdict.UNKNOWN
+
+
+def test_datalog_equivalence_bounded(reach_query):
+    clone = DatalogQuery(reach_query.program, reach_query.goal, "clone")
+    res = datalog_equivalent_bounded(reach_query, clone, max_depth=4)
+    assert res.verdict is Verdict.UNKNOWN  # "equivalent up to depth"
+    other = DatalogQuery(parse_program("G(x) <- U(x)."), "G")
+    res2 = datalog_equivalent_bounded(reach_query, other, max_depth=4)
+    assert res2.verdict is Verdict.NO

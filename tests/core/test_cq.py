@@ -1,0 +1,143 @@
+"""Conjunctive queries: evaluation, containment, structure."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.atoms import Atom
+from repro.core.cq import CanonConst, ConjunctiveQuery, cq_from_instance
+from repro.core.instance import Instance
+from repro.core.parser import parse_cq, parse_instance
+from repro.core.terms import Variable
+
+
+def test_unsafe_head_rejected():
+    with pytest.raises(ValueError):
+        ConjunctiveQuery((Variable("x"),), (Atom("R", (Variable("y"),)),))
+
+
+def test_evaluate_path():
+    cq = parse_cq("Q(x,z) <- R(x,y), R(y,z)")
+    inst = parse_instance("R('a','b'). R('b','c').")
+    assert cq.evaluate(inst) == {("a", "c")}
+
+
+def test_boolean_and_holds():
+    cq = parse_cq("Q() <- R(x,y), R(y,x)")
+    assert not cq.boolean(parse_instance("R('a','b')."))
+    assert cq.boolean(parse_instance("R('a','b'). R('b','a')."))
+    unary = parse_cq("Q(x) <- R(x,y)")
+    assert unary.holds(parse_instance("R('a','b')."), ("a",))
+    assert not unary.holds(parse_instance("R('a','b')."), ("b",))
+
+
+def test_holds_arity_check():
+    cq = parse_cq("Q(x) <- R(x,y)")
+    with pytest.raises(ValueError):
+        cq.holds(Instance(), ())
+
+
+def test_canonical_database_freezes_variables():
+    cq = parse_cq("Q(x) <- R(x,y)")
+    canon = cq.canonical_database()
+    assert canon.has_tuple("R", (CanonConst("x"), CanonConst("y")))
+    assert cq.frozen_head() == (CanonConst("x"),)
+
+
+def test_evaluation_on_canonical_database_yields_head():
+    """The Chandra–Merlin identity: Q holds of its own frozen head."""
+    cq = parse_cq("Q(x,y) <- R(x,z), S(z,y), U(z)")
+    assert cq.holds(cq.canonical_database(), cq.frozen_head())
+
+
+def test_containment_classic():
+    # more atoms = more constrained = contained
+    path2 = parse_cq("Q(x) <- R(x,y), R(y,z)")
+    path1 = parse_cq("Q(x) <- R(x,y)")
+    assert path2.is_contained_in(path1)
+    assert not path1.is_contained_in(path2)
+
+
+def test_containment_with_fork_equivalence():
+    fork = parse_cq("Q(x) <- R(x,y), R(x,z)")
+    single = parse_cq("Q(x) <- R(x,y)")
+    assert fork.is_equivalent_to(single)
+
+
+def test_containment_arity_mismatch():
+    assert not parse_cq("Q(x) <- R(x,y)").is_contained_in(
+        parse_cq("Q(x,y) <- R(x,y)")
+    )
+
+
+def test_core_folds_redundant_atoms():
+    fork = parse_cq("Q(x) <- R(x,y), R(x,z)")
+    core = fork.core()
+    assert core.size() == 1
+    assert core.is_equivalent_to(fork)
+
+
+def test_core_keeps_non_redundant():
+    tri = parse_cq("Q() <- E(x,y), E(y,z), E(z,x)")
+    assert tri.core().size() == 3
+
+
+def test_radius_and_connectivity():
+    path = parse_cq("Q() <- R(x,y), R(y,z)")
+    assert path.radius() == 1
+    assert path.is_connected()
+    disconnected = parse_cq("Q() <- R(x,y), S(u,v)")
+    assert not disconnected.is_connected()
+    assert math.isinf(disconnected.radius())
+
+
+def test_rename_apart_preserves_semantics():
+    cq = parse_cq("Q(x) <- R(x,y), U(y)")
+    renamed = cq.rename_apart()
+    assert renamed.is_equivalent_to(cq)
+    assert not (cq.variables() & renamed.variables())
+
+
+def test_certificate_invariant_under_renaming():
+    cq = parse_cq("Q(x) <- R(x,y), R(y,z), U(z)")
+    renamed = cq.substitute(
+        {Variable("y"): Variable("w"), Variable("z"): Variable("v")}
+    )
+    assert cq.certificate() == renamed.certificate()
+
+
+def test_certificate_distinguishes_head_order():
+    a = parse_cq("Q(x,y) <- R(x,y)")
+    b = parse_cq("Q(y,x) <- R(x,y)")
+    assert a.certificate() != b.certificate()
+
+
+def test_cq_from_instance_round_trip():
+    inst = parse_instance("R('a','b'). U('b').")
+    cq = cq_from_instance(inst, answer=("a",))
+    assert cq.arity == 1
+    # the derived query holds on the original instance at 'a'
+    assert cq.holds(inst, ("a",))
+
+
+@given(st.lists(st.tuples(st.integers(0, 3), st.integers(0, 3)), max_size=8))
+@settings(max_examples=40, deadline=None)
+def test_evaluation_monotone(rows):
+    """CQ answers only grow when facts are added."""
+    cq = parse_cq("Q(x) <- R(x,y), R(y,x)")
+    inst = Instance(Atom("R", row) for row in rows)
+    bigger = inst.copy()
+    bigger.add_tuple("R", (0, 0))
+    assert cq.evaluate(inst) <= cq.evaluate(bigger)
+
+
+@given(st.lists(st.tuples(st.integers(0, 2), st.integers(0, 2)), max_size=6))
+@settings(max_examples=30, deadline=None)
+def test_containment_soundness_on_random_instances(rows):
+    """If Q1 ⊑ Q2 syntactically then answers are included semantically."""
+    q1 = parse_cq("Q(x) <- R(x,y), R(y,z)")
+    q2 = parse_cq("Q(x) <- R(x,y)")
+    assert q1.is_contained_in(q2)
+    inst = Instance(Atom("R", row) for row in rows)
+    assert q1.evaluate(inst) <= q2.evaluate(inst)

@@ -1,0 +1,98 @@
+"""Gaifman graphs, schemas, and small utilities."""
+
+import math
+
+import pytest
+
+from repro.core.atoms import Atom
+from repro.core.gaifman import (
+    connected_components,
+    distance,
+    gaifman_graph,
+    is_connected,
+    radius,
+)
+from repro.core.instance import Instance
+from repro.core.parser import parse_instance
+from repro.core.schema import Schema
+from repro.util.fresh import FreshNames, name_stream
+
+
+def test_gaifman_graph_edges():
+    inst = parse_instance("T('a','b','c'). R('c','d').")
+    graph = gaifman_graph(inst)
+    assert graph.has_edge("a", "b") and graph.has_edge("b", "c")
+    assert graph.has_edge("c", "d")
+    assert not graph.has_edge("a", "d")
+
+
+def test_radius_values():
+    path = parse_instance("R('a','b'). R('b','c').")
+    assert radius(path) == 1  # center b
+    assert radius(parse_instance("U('a').")) == 0
+    disconnected = parse_instance("U('a'). U('b').")
+    assert math.isinf(radius(disconnected))
+
+
+def test_connected_components_split():
+    inst = parse_instance("R('a','b'). R('x','y'). Flag().")
+    parts = connected_components(inst)
+    assert len(parts) == 2
+    # the nullary fact attaches to both components
+    for part in parts:
+        assert part.has_tuple("Flag", ())
+
+
+def test_connected_components_nullary_only():
+    inst = parse_instance("Flag().")
+    parts = connected_components(inst)
+    assert len(parts) == 1 and parts[0].has_tuple("Flag", ())
+
+
+def test_distance():
+    inst = parse_instance("R('a','b'). R('b','c').")
+    assert distance(inst, "a", "c") == 2
+    assert math.isinf(distance(inst, "a", "zzz"))
+
+
+def test_is_connected_trivial_cases():
+    assert is_connected(Instance())
+    assert is_connected(parse_instance("U('a')."))
+
+
+def test_schema_union_and_restrict():
+    left = Schema({"R": 2, "U": 1})
+    right = Schema({"S": 3, "U": 1})
+    merged = left.union(right)
+    assert merged.names() == {"R", "S", "U"}
+    assert merged.restrict(["R"]).names() == {"R"}
+    with pytest.raises(ValueError):
+        left.union(Schema({"R": 3}))
+
+
+def test_schema_check_and_inference():
+    schema = Schema({"R": 2})
+    schema.check(Atom("R", (1, 2)))
+    with pytest.raises(ValueError):
+        schema.check(Atom("R", (1,)))
+    with pytest.raises(ValueError):
+        schema.check(Atom("S", (1,)))
+    inferred = Schema.from_atoms([Atom("R", (1, 2)), Atom("U", (3,))])
+    assert inferred.arity("U") == 1
+    with pytest.raises(ValueError):
+        Schema.from_atoms([Atom("R", (1, 2)), Atom("R", (1,))])
+
+
+def test_fresh_names():
+    fresh = FreshNames("null")
+    first, second = fresh(), fresh()
+    assert first != second and first.startswith("null_")
+    assert len(fresh.take(3)) == 3
+    stream = name_stream("p")
+    assert next(stream) == "p_0" and next(stream) == "p_1"
+
+
+def test_instance_pretty_is_stable():
+    inst = parse_instance("R('b','a'). R('a','b'). U('z').")
+    assert inst.pretty() == inst.copy().pretty()
+    assert "U('z')" in inst.pretty()

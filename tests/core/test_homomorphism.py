@@ -1,0 +1,140 @@
+"""The homomorphism engine."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.atoms import Atom
+from repro.core.homomorphism import (
+    count_homomorphisms,
+    find_homomorphism,
+    has_homomorphism,
+    homomorphically_equivalent,
+    homomorphisms,
+    instance_homomorphism,
+    instance_maps_into,
+    is_partial_homomorphism,
+)
+from repro.core.instance import Instance
+from repro.core.parser import parse_cq, parse_instance
+from repro.core.terms import Variable
+
+
+def _clique(n: int) -> Instance:
+    inst = Instance()
+    for i in range(n):
+        for j in range(n):
+            if i != j:
+                inst.add_tuple("E", (i, j))
+    return inst
+
+
+def test_simple_match():
+    inst = parse_instance("R('a','b').")
+    hom = find_homomorphism(parse_cq("Q() <- R(x,y)").atoms, inst)
+    assert hom == {Variable("x"): "a", Variable("y"): "b"}
+
+
+def test_no_match():
+    inst = parse_instance("R('a','b').")
+    assert not has_homomorphism(parse_cq("Q() <- R(x,x)").atoms, inst)
+
+
+def test_repeated_variable_within_atom():
+    inst = parse_instance("R('a','a'). R('a','b').")
+    homs = list(homomorphisms(parse_cq("Q() <- R(x,x)").atoms, inst))
+    assert homs == [{Variable("x"): "a"}]
+
+
+def test_constants_must_match_exactly():
+    inst = parse_instance("R('a','b').")
+    assert has_homomorphism(parse_cq("Q() <- R('a', y)").atoms, inst)
+    assert not has_homomorphism(parse_cq("Q() <- R('z', y)").atoms, inst)
+
+
+def test_fixed_bindings_respected():
+    inst = parse_instance("R('a','b'). R('c','d').")
+    x, y = Variable("x"), Variable("y")
+    homs = list(
+        homomorphisms(parse_cq("Q() <- R(x,y)").atoms, inst, fixed={x: "c"})
+    )
+    assert homs == [{x: "c", y: "d"}]
+
+
+def test_count_homomorphisms_triangle():
+    # 6 automorphism-like maps of an oriented triangle into K3
+    tri = parse_cq("Q() <- E(x,y), E(y,z), E(z,x)")
+    assert count_homomorphisms(tri.atoms, _clique(3)) == 6
+
+
+def test_all_orderings_agree():
+    inst = parse_instance(
+        "R('a','b'). R('b','c'). R('c','a'). S('a'). S('b')."
+    )
+    pattern = parse_cq("Q() <- R(x,y), R(y,z), S(x)").atoms
+    counts = {
+        ordering: sum(
+            1 for _ in homomorphisms(pattern, inst, ordering=ordering)
+        )
+        for ordering in ("dynamic", "static", "connected")
+    }
+    assert len(set(counts.values())) == 1
+
+
+def test_nullary_atoms():
+    inst = Instance([Atom("Flag", ())])
+    assert has_homomorphism([Atom("Flag", ())], inst)
+    assert not has_homomorphism([Atom("Other", ())], inst)
+
+
+def test_instance_homomorphism_clique():
+    # K3 -> K4 embeds; K4 -> K3 does not
+    assert instance_maps_into(_clique(3), _clique(4))
+    assert not instance_maps_into(_clique(4), _clique(3))
+
+
+def test_instance_homomorphism_returns_element_map():
+    path = parse_instance("R('a','b').")
+    loop = Instance([Atom("R", ("z", "z"))])
+    hom = instance_homomorphism(path, loop)
+    assert hom == {"a": "z", "b": "z"}
+
+
+def test_homomorphic_equivalence():
+    loop = Instance([Atom("E", (0, 0))])
+    assert homomorphically_equivalent(loop, _clique(1) | loop)
+    assert not homomorphically_equivalent(loop, _clique(3))
+
+
+def test_is_partial_homomorphism():
+    source = parse_instance("R('a','b'). R('b','c').")
+    target = parse_instance("R('x','y').")
+    assert is_partial_homomorphism({"a": "x", "b": "y"}, source, target)
+    assert not is_partial_homomorphism({"a": "y", "b": "x"}, source, target)
+    # domain not covering any fact: vacuously a partial hom
+    assert is_partial_homomorphism({"a": "x", "c": "x"}, source, target)
+
+
+@given(
+    st.lists(st.tuples(st.integers(0, 3), st.integers(0, 3)), max_size=8),
+    st.permutations(list(range(4))),
+)
+@settings(max_examples=40, deadline=None)
+def test_isomorphic_images_preserve_homomorphism_count(rows, perm):
+    """Renaming target elements by a bijection preserves hom counts."""
+    target = Instance(Atom("R", row) for row in rows)
+    renamed = target.map_elements(lambda v: perm[v])
+    pattern = parse_cq("Q() <- R(x,y), R(y,z)").atoms
+    assert count_homomorphisms(pattern, target) == count_homomorphisms(
+        pattern, renamed
+    )
+
+
+@given(st.lists(st.tuples(st.integers(0, 3), st.integers(0, 3)), max_size=8))
+@settings(max_examples=40, deadline=None)
+def test_hom_into_superset_monotone(rows):
+    """If a pattern maps into I it maps into any extension of I."""
+    inst = Instance(Atom("R", row) for row in rows)
+    bigger = inst.copy()
+    bigger.add_tuple("R", (9, 9))
+    pattern = parse_cq("Q() <- R(x,y), R(y,x)").atoms
+    if has_homomorphism(pattern, inst):
+        assert has_homomorphism(pattern, bigger)

@@ -1,0 +1,132 @@
+"""MDL normalization (Prop. 2)."""
+
+import pytest
+
+from repro.core.datalog import DatalogQuery
+from repro.core.normalization import is_normalized, normalize
+from repro.core.parser import parse_program
+
+from tests.conftest import random_instance
+
+
+def _equivalent_on_random(q1, q2, preds, seeds=range(12)) -> bool:
+    return all(
+        q1.evaluate(random_instance(s, preds)) ==
+        q2.evaluate(random_instance(s, preds))
+        for s in seeds
+    )
+
+
+def test_is_normalized_detects_head_variable_idbs():
+    bad = DatalogQuery(parse_program(
+        """
+        A(x) <- R(x,y), A(x), B(y).
+        A(x) <- U(x).
+        B(x) <- U(x).
+        """
+    ), "A")
+    assert not is_normalized(bad)
+    good = DatalogQuery(parse_program(
+        """
+        A(x) <- R(x,y), A(y).
+        A(x) <- U(x).
+        """
+    ), "A")
+    assert is_normalized(good)
+
+
+def test_normalize_rejects_non_monadic():
+    q = DatalogQuery(parse_program(
+        "T(x,y) <- R(x,y). T(x,y) <- R(x,z), T(z,y)."
+    ), "T")
+    with pytest.raises(ValueError):
+        normalize(q)
+
+
+def test_normalize_already_normalized(reach_query):
+    normalized = normalize(reach_query)
+    assert is_normalized(normalized)
+    assert _equivalent_on_random(
+        reach_query, normalized, {"R": 2, "U": 1}
+    )
+
+
+def test_normalize_chained_unary_idbs():
+    """I1(x) <- I2(x) chains are absorbed."""
+    q = DatalogQuery(parse_program(
+        """
+        I1(x) <- I2(x).
+        I2(x) <- R(x,y), I1(y).
+        I2(x) <- U(x).
+        """
+    ), "I1")
+    normalized = normalize(q)
+    assert is_normalized(normalized)
+    assert _equivalent_on_random(q, normalized, {"R": 2, "U": 1})
+
+
+def test_normalize_head_variable_conjunction():
+    """A(x) needs B(x) at the same point: absorption via R-sets."""
+    q = DatalogQuery(parse_program(
+        """
+        A(x) <- S(x,y), B(x), C2(y).
+        B(x) <- U(x).
+        C2(x) <- W(x).
+        Goal() <- A(x).
+        """
+    ), "Goal")
+    normalized = normalize(q)
+    assert is_normalized(normalized)
+    assert _equivalent_on_random(
+        q, normalized, {"S": 2, "U": 1, "W": 1}
+    )
+
+
+def test_normalize_circular_support_is_false():
+    """I(x) <- I(x) must NOT become derivable (no circular support)."""
+    q = DatalogQuery(parse_program(
+        """
+        I(x) <- I(x), R(x,y).
+        Goal() <- I(x).
+        """
+    ), "Goal")
+    normalized = normalize(q)
+    assert is_normalized(normalized)
+    for seed in range(8):
+        inst = random_instance(seed, {"R": 2})
+        assert normalized.evaluate(inst) == set()
+        assert q.evaluate(inst) == set()
+
+
+def test_normalize_self_loop_with_base_case():
+    q = DatalogQuery(parse_program(
+        """
+        I(x) <- I(x), R(x,y).
+        I(x) <- U(x).
+        Goal(x) <- I(x).
+        """
+    ), "Goal")
+    normalized = normalize(q)
+    assert is_normalized(normalized)
+    assert _equivalent_on_random(q, normalized, {"R": 2, "U": 1})
+
+
+def test_normalized_mdl_stays_monadic(reach_query):
+    assert normalize(reach_query).program.is_monadic()
+
+
+def test_normalize_recursive_on_head_var():
+    """A(x) requiring B(x) where B recursively walks from x."""
+    q = DatalogQuery(parse_program(
+        """
+        A(x) <- B(x), M(x).
+        B(x) <- R(x,y), B(y).
+        B(x) <- U(x).
+        Goal() <- A(x).
+        """
+    ), "Goal")
+    normalized = normalize(q)
+    assert is_normalized(normalized)
+    assert _equivalent_on_random(
+        q, normalized, {"R": 2, "U": 1, "M": 1}
+    )

@@ -1,0 +1,134 @@
+"""Datalog program optimization."""
+
+import pytest
+
+from repro.core.datalog import DatalogQuery
+from repro.core.optimize import (
+    drop_subsumed_rules,
+    minimize_rule_bodies,
+    optimize_query,
+    reachable_rules,
+    rule_subsumes,
+)
+from repro.core.parser import parse_program, parse_rule
+
+from tests.conftest import random_instance
+
+
+def _equivalent_on_random(q1, q2, preds, seeds=range(10)) -> bool:
+    return all(
+        q1.evaluate(random_instance(s, preds))
+        == q2.evaluate(random_instance(s, preds))
+        for s in seeds
+    )
+
+
+def test_rule_subsumption_basics():
+    general = parse_rule("P(x) <- R(x,y).")
+    specific = parse_rule("P(x) <- R(x,y), R(y,z).")
+    assert rule_subsumes(general, specific)
+    assert not rule_subsumes(specific, general)
+    other_head = parse_rule("Q2(x) <- R(x,y).")
+    assert not rule_subsumes(general, other_head)
+
+
+def test_rule_subsumption_respects_head_binding():
+    general = parse_rule("P(x) <- R(x,y).")
+    flipped = parse_rule("P(y) <- R(x,y).")
+    assert not rule_subsumes(general, flipped)
+    assert not rule_subsumes(flipped, general)
+
+
+def test_minimize_rule_bodies():
+    program = parse_program("P(x) <- R(x,y), R(x,z).")
+    minimized = minimize_rule_bodies(program)
+    (rule,) = minimized.rules
+    assert len(rule.body) == 1
+    q1 = DatalogQuery(program, "P")
+    q2 = DatalogQuery(minimized, "P")
+    assert _equivalent_on_random(q1, q2, {"R": 2})
+
+
+def test_minimize_keeps_needed_atoms():
+    program = parse_program("P(x) <- R(x,y), U(y).")
+    minimized = minimize_rule_bodies(program)
+    (rule,) = minimized.rules
+    assert len(rule.body) == 2
+
+
+def test_drop_subsumed_rules():
+    program = parse_program(
+        """
+        P(x) <- R(x,y).
+        P(x) <- R(x,y), R(y,z).
+        P(x) <- R(x,y), U(y).
+        """
+    )
+    slim = drop_subsumed_rules(program)
+    assert len(slim) == 1
+    assert _equivalent_on_random(
+        DatalogQuery(program, "P"), DatalogQuery(slim, "P"),
+        {"R": 2, "U": 1},
+    )
+
+
+def test_drop_subsumed_keeps_one_of_equivalent_pair():
+    program = parse_program(
+        """
+        P(x) <- R(x,y).
+        P(x) <- R(x,z).
+        """
+    )
+    assert len(drop_subsumed_rules(program)) == 1
+
+
+def test_reachable_rules():
+    q = DatalogQuery(parse_program(
+        """
+        Goal(x) <- P(x).
+        P(x) <- R(x,y).
+        Dead(x) <- U(x).
+        Dead(x) <- Dead(x), R(x,y).
+        """
+    ), "Goal")
+    pruned = reachable_rules(q)
+    assert pruned.program.idb_predicates() == {"Goal", "P"}
+
+
+def test_optimize_query_end_to_end():
+    q = DatalogQuery(parse_program(
+        """
+        Goal(x) <- P(x).
+        P(x) <- R(x,y), R(x,z).
+        P(x) <- R(x,y), R(y,w), R(x,u).
+        Junk(x) <- W(x).
+        """
+    ), "Goal")
+    optimized = optimize_query(q)
+    assert len(optimized.program) < len(q.program)
+    assert _equivalent_on_random(q, optimized, {"R": 2, "W": 1})
+
+
+def test_optimize_inverse_rules_output():
+    """The optimizer shrinks a real generated program and preserves it."""
+    from repro.core.parser import parse_cq
+    from repro.views.inverse_rules import inverse_rules_rewriting
+    from repro.views.view import View, ViewSet
+
+    q = DatalogQuery(parse_program(
+        """
+        P(x) <- U(x).
+        P(x) <- R(x,y), P(y).
+        Goal(x) <- P(x).
+        """
+    ), "Goal")
+    views = ViewSet([
+        View("VR", parse_cq("V(x,y) <- R(x,y)")),
+        View("VU", parse_cq("V(x) <- U(x)")),
+    ])
+    rewriting = inverse_rules_rewriting(q, views)
+    optimized = optimize_query(rewriting)
+    assert len(optimized.program) <= len(rewriting.program)
+    assert _equivalent_on_random(
+        rewriting, optimized, {"VR": 2, "VU": 1}
+    )

@@ -1,0 +1,93 @@
+"""The text syntax."""
+
+import pytest
+
+from repro.core.atoms import Atom
+from repro.core.parser import (
+    ParseError,
+    parse_atom,
+    parse_cq,
+    parse_instance,
+    parse_program,
+    parse_rule,
+    parse_ucq,
+)
+from repro.core.terms import Variable
+
+
+def test_parse_atom_terms():
+    atom = parse_atom("R(x, 'a', 3, $Const)")
+    assert atom == Atom("R", (Variable("x"), "a", 3, "Const"))
+
+
+def test_parse_atom_nullary():
+    assert parse_atom("Goal()") == Atom("Goal", ())
+
+
+def test_uppercase_bare_names_are_constants_in_args():
+    atom = parse_atom("Edge(A, b)")
+    assert atom.args == ("A", Variable("b"))
+
+
+def test_lowercase_predicate_rejected():
+    with pytest.raises(ParseError):
+        parse_atom("r(x)")
+
+
+def test_parse_rule_both_arrows():
+    for arrow in ("<-", ":-"):
+        rule = parse_rule(f"P(x) {arrow} R(x,y), S(y).")
+        assert rule.head.pred == "P"
+        assert len(rule.body) == 2
+
+
+def test_parse_rule_fact():
+    rule = parse_rule("P('a').")
+    assert rule.head.is_ground() and rule.body == ()
+
+
+def test_parse_program_multiple_rules():
+    program = parse_program(
+        """
+        % a comment
+        P(x) <- R(x,y).   # trailing comment
+        Q2(x) <- P(x).
+        """
+    )
+    assert len(program) == 2
+
+
+def test_parse_cq_and_head_vars():
+    cq = parse_cq("Q(x, z) <- R(x,y), R(y,z)")
+    assert [v.name for v in cq.head_vars] == ["x", "z"]
+    with pytest.raises(ParseError):
+        parse_cq("Q('a') <- R(x,y)")
+
+
+def test_parse_ucq():
+    ucq = parse_ucq(
+        """
+        Q(x) <- R(x,y).
+        Q(x) <- S(x).
+        """
+    )
+    assert len(ucq) == 2
+
+
+def test_parse_instance_and_errors():
+    inst = parse_instance("R('a','b'). R('b','c'). Nullary().")
+    assert len(inst) == 3
+    with pytest.raises((ParseError, ValueError)):
+        parse_instance("R(x).")  # unsafe fact (rule safety fires first)
+    with pytest.raises(ParseError):
+        parse_instance("R('a') <- S('b').")
+
+
+def test_negative_numbers():
+    inst = parse_instance("R(-1, 2).")
+    assert inst.has_tuple("R", (-1, 2))
+
+
+def test_unexpected_character():
+    with pytest.raises(ParseError):
+        parse_program("P(x) <- R(x,y) & S(y).")

@@ -1,0 +1,74 @@
+"""Proof terms (appendix)."""
+
+import pytest
+
+from repro.core.atoms import Atom
+from repro.core.datalog import DatalogQuery
+from repro.core.parser import parse_instance, parse_program
+from repro.core.prooftree import ProofNode, prove, verify_proof
+
+
+def test_proof_for_reachability(reach_query, path_instance):
+    proof = prove(reach_query, path_instance, ("a",))
+    assert proof is not None
+    assert proof.fact == Atom("Goal", ("a",))
+    assert verify_proof(proof, reach_query.program, path_instance)
+    # Goal, P(a..d), and the U leaf: six levels
+    assert proof.depth() == 6
+
+
+def test_proof_leaves_are_instance_facts(reach_query, path_instance):
+    proof = prove(reach_query, path_instance, ("a",))
+    for fact in proof.leaf_facts():
+        assert fact in path_instance
+
+
+def test_no_proof_when_query_fails(reach_query):
+    inst = parse_instance("R('a','b').")  # no U
+    assert prove(reach_query, inst, ("a",)) is None
+
+
+def test_proof_well_founded_through_mutual_recursion():
+    q = DatalogQuery(parse_program(
+        """
+        Even(x) <- Z(x).
+        Even(x) <- S(y,x), Odd(y).
+        Odd(x) <- S(y,x), Even(y).
+        Goal(x) <- Even(x).
+        """
+    ), "Goal")
+    inst = parse_instance("Z(0). S(0,1). S(1,2). S(2,3). S(3,4).")
+    proof = prove(q, inst, (4,))
+    assert proof is not None
+    assert verify_proof(proof, q.program, inst)
+    # alternating Even/Odd facts down to the base
+    preds = [n.fact.pred for n in proof.nodes() if not n.is_leaf()]
+    assert preds.count("Even") == 3 and preds.count("Odd") == 2
+
+
+def test_verify_rejects_forged_proofs(reach_query, path_instance):
+    proof = prove(reach_query, path_instance, ("a",))
+    forged = ProofNode(
+        Atom("Goal", ("zzz",)), proof.rule, proof.children
+    )
+    assert not verify_proof(forged, reach_query.program, path_instance)
+    # a leaf claiming a non-fact
+    fake_leaf = ProofNode(Atom("R", ("no", "pe")), None, ())
+    assert not verify_proof(
+        fake_leaf, reach_query.program, path_instance
+    )
+
+
+def test_pretty_renders(reach_query, path_instance):
+    proof = prove(reach_query, path_instance, ("b",))
+    text = proof.pretty()
+    assert "Goal" in text and "[by" in text
+
+
+def test_unconditional_facts():
+    q = DatalogQuery(parse_program("Const(). Goal() <- Const()."), "Goal")
+    from repro.core.instance import Instance
+
+    proof = prove(q, Instance())
+    assert proof is not None
+    assert verify_proof(proof, q.program, Instance())

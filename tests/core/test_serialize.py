@@ -1,0 +1,100 @@
+"""Serialization round trips."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.atoms import Atom
+from repro.core.instance import Instance
+from repro.core.parser import (
+    parse_cq,
+    parse_instance,
+    parse_program,
+    parse_ucq,
+)
+from repro.core.serialize import (
+    UnserializableError,
+    cq_to_text,
+    instance_to_text,
+    program_to_text,
+    query_to_text,
+    ucq_to_text,
+)
+from repro.core.terms import Variable
+
+
+def test_program_round_trip():
+    program = parse_program(
+        """
+        P(x) <- U(x).
+        P(x) <- R(x,y), P(y).
+        Goal(x) <- P(x).
+        Const().
+        """
+    )
+    again = parse_program(program_to_text(program))
+    assert again == program
+
+
+def test_cq_round_trip():
+    cq = parse_cq("Q(x, z) <- R(x,y), R(y,z), U('mark')")
+    again = parse_cq(cq_to_text(cq))
+    assert again.is_equivalent_to(cq)
+    assert again.head_vars == cq.head_vars
+
+
+def test_ucq_round_trip():
+    ucq = parse_ucq(
+        """
+        Q(x) <- R(x,y).
+        Q(x) <- S(x).
+        """
+    )
+    again = parse_ucq(ucq_to_text(ucq))
+    assert again.is_equivalent_to(ucq)
+
+
+def test_instance_round_trip():
+    inst = parse_instance("R('a','b'). R(1, 2). U('c'). Flag().")
+    assert parse_instance(instance_to_text(inst)) == inst
+
+
+def test_query_to_text_has_goal_directive():
+    from repro.core.datalog import DatalogQuery
+
+    q = DatalogQuery(parse_program("P(x) <- R(x,y)."), "P")
+    text = query_to_text(q)
+    assert text.startswith("# goal: P")
+    from repro.cli import _parse_query_text
+
+    again = _parse_query_text(text)
+    assert again.goal == "P"
+
+
+def test_decorated_predicates_rejected():
+    inst = Instance([Atom("P⟨p⟩", (1,))])
+    with pytest.raises(UnserializableError):
+        instance_to_text(inst)
+
+
+def test_non_text_elements_rejected():
+    inst = Instance([Atom("R", ((1, 2),))])  # tuple element
+    with pytest.raises(UnserializableError):
+        instance_to_text(inst)
+
+
+def test_quoted_strings_rejected():
+    inst = Instance([Atom("R", ("it's",))])
+    with pytest.raises(UnserializableError):
+        instance_to_text(inst)
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 5), st.integers(0, 5)),
+        max_size=10,
+    )
+)
+@settings(max_examples=30, deadline=None)
+def test_instance_round_trip_property(rows):
+    inst = Instance(Atom("R", row) for row in rows)
+    assert parse_instance(instance_to_text(inst)) == inst

@@ -1,0 +1,87 @@
+"""Terms, atoms and facts."""
+
+import pytest
+
+from repro.core.atoms import Atom, atoms_constants, atoms_variables, make_fact
+from repro.core.terms import (
+    Variable,
+    is_constant,
+    is_variable,
+    term_constants,
+    term_variables,
+    variables,
+)
+
+
+def test_variables_helper_splits_names():
+    x, y, z = variables("x, y z")
+    assert x == Variable("x")
+    assert (y.name, z.name) == ("y", "z")
+
+
+def test_variable_identity_is_by_name():
+    assert Variable("x") == Variable("x")
+    assert Variable("x") != Variable("y")
+    assert len({Variable("x"), Variable("x")}) == 1
+
+
+def test_is_variable_and_constant():
+    assert is_variable(Variable("x"))
+    assert not is_variable("x")
+    assert is_constant(3)
+    assert not is_constant(Variable("v"))
+
+
+def test_term_partitions():
+    x = Variable("x")
+    terms = [x, "a", 3, Variable("y")]
+    assert term_variables(terms) == {x, Variable("y")}
+    assert term_constants(terms) == {"a", 3}
+
+
+def test_atom_stores_tuple_args():
+    atom = Atom("R", [Variable("x"), "a"])
+    assert atom.args == (Variable("x"), "a")
+    assert atom.arity == 2
+
+
+def test_atom_variables_and_constants():
+    atom = Atom("R", (Variable("x"), "a", Variable("x")))
+    assert atom.variables() == {Variable("x")}
+    assert atom.constants() == {"a"}
+
+
+def test_atom_groundness():
+    assert Atom("R", (1, 2)).is_ground()
+    assert not Atom("R", (Variable("x"), 2)).is_ground()
+    assert Atom("Nullary", ()).is_ground()
+
+
+def test_atom_substitute_partial():
+    x, y = variables("x y")
+    atom = Atom("R", (x, y, "c"))
+    out = atom.substitute({x: 1})
+    assert out == Atom("R", (1, y, "c"))
+
+
+def test_atom_substitute_variable_to_variable():
+    x, y, z = variables("x y z")
+    assert Atom("R", (x, y)).substitute({x: z}) == Atom("R", (z, y))
+
+
+def test_make_fact_rejects_variables():
+    with pytest.raises(ValueError):
+        make_fact("R", Variable("x"))
+    assert make_fact("R", 1, 2) == Atom("R", (1, 2))
+
+
+def test_atoms_variables_union():
+    x, y = variables("x y")
+    atoms = [Atom("R", (x, "a")), Atom("S", (y,))]
+    assert atoms_variables(atoms) == {x, y}
+    assert atoms_constants(atoms) == {"a"}
+
+
+def test_atoms_hashable_in_sets():
+    x = Variable("x")
+    assert len({Atom("R", (x,)), Atom("R", (x,))}) == 1

@@ -1,0 +1,110 @@
+"""Unions of conjunctive queries."""
+
+import pytest
+
+from repro.core.parser import parse_cq, parse_instance, parse_ucq
+from repro.core.ucq import UCQ, as_ucq
+
+
+def test_empty_union_rejected():
+    with pytest.raises(ValueError):
+        UCQ(())
+
+
+def test_mixed_arities_rejected():
+    with pytest.raises(ValueError):
+        UCQ((parse_cq("Q(x) <- R(x,y)"), parse_cq("Q() <- R(x,y)")))
+
+
+def test_evaluate_is_union():
+    ucq = parse_ucq(
+        """
+        Q(x) <- R(x,y).
+        Q(x) <- S(x).
+        """
+    )
+    inst = parse_instance("R('a','b'). S('c').")
+    assert ucq.evaluate(inst) == {("a",), ("c",)}
+
+
+def test_boolean():
+    ucq = parse_ucq(
+        """
+        Q() <- R(x,x).
+        Q() <- S(x).
+        """
+    )
+    assert ucq.boolean(parse_instance("S('c')."))
+    assert not ucq.boolean(parse_instance("R('a','b')."))
+
+
+def test_sagiv_yannakakis_containment():
+    # {R path2, S} ⊑ {R path1, S}
+    sub = parse_ucq(
+        """
+        Q() <- R(x,y), R(y,z).
+        Q() <- S(x).
+        """
+    )
+    sup = parse_ucq(
+        """
+        Q() <- R(x,y).
+        Q() <- S(x).
+        """
+    )
+    assert sub.is_contained_in(sup)
+    assert not sup.is_contained_in(sub)
+
+
+def test_containment_needs_per_disjunct_witness():
+    # Q1 = R∧S is contained in Q2 = R ∨ S, but not vice versa
+    sub = parse_ucq("Q() <- R(x,y), S(z).")
+    sup = parse_ucq(
+        """
+        Q() <- R(x,y).
+        Q() <- S(z).
+        """
+    )
+    assert sub.is_contained_in(sup)
+    assert not sup.is_contained_in(sub)
+
+
+def test_simplify_drops_subsumed():
+    ucq = parse_ucq(
+        """
+        Q() <- R(x,y).
+        Q() <- R(x,y), R(y,z).
+        """
+    )
+    simplified = ucq.simplify()
+    assert len(simplified) == 1
+    assert simplified.is_equivalent_to(ucq)
+
+
+def test_simplify_keeps_equivalent_representative():
+    ucq = parse_ucq(
+        """
+        Q() <- R(x,y).
+        Q() <- R(u,v).
+        """
+    )
+    assert len(ucq.simplify()) == 1
+
+
+def test_as_ucq_coercions():
+    cq = parse_cq("Q(x) <- R(x,y)")
+    assert len(as_ucq(cq)) == 1
+    ucq = as_ucq(cq)
+    assert as_ucq(ucq) is ucq
+    with pytest.raises(TypeError):
+        as_ucq("not a query")
+
+
+def test_predicates():
+    ucq = parse_ucq(
+        """
+        Q() <- R(x,y).
+        Q() <- S(z).
+        """
+    )
+    assert ucq.predicates() == {"R", "S"}

@@ -1,0 +1,117 @@
+"""Exact determinacy decisions for CQ/UCQ queries (Prop. 8 / Thm 5)."""
+
+import pytest
+
+from repro.core.containment import Verdict
+from repro.core.datalog import DatalogQuery
+from repro.core.parser import parse_cq, parse_program, parse_ucq
+from repro.determinacy.cq_query import (
+    decide_cq_ucq,
+    forward_backward_candidate,
+    unfold_candidate,
+)
+from repro.views.view import View, ViewSet
+
+
+def _views(*pairs):
+    return ViewSet([View(name, parse_cq(text)) for name, text in pairs])
+
+
+def test_lossless_join_determined():
+    q = parse_cq("Q(x) <- R(x,y), S(y)")
+    views = _views(("VR", "V(x,y) <- R(x,y)"), ("VS", "V(y) <- S(y)"))
+    result, rewriting = decide_cq_ucq(q, views)
+    assert result.verdict is Verdict.YES
+    assert rewriting is not None and len(rewriting) == 1
+
+
+def test_lossy_projection_not_determined():
+    q = parse_cq("Q(x) <- R(x,y), S(y)")
+    views = _views(("VR", "V(x) <- R(x,y)"), ("VS", "V(y) <- S(y)"))
+    result, rewriting = decide_cq_ucq(q, views)
+    assert result.verdict is Verdict.NO
+    assert rewriting is None
+
+
+def test_answer_invisible_refuted_fast():
+    # the views never expose x at all
+    q = parse_cq("Q(x) <- R(x,y)")
+    views = _views(("VY", "V(y) <- R(x,y)"))
+    result, _ = decide_cq_ucq(q, views)
+    assert result.verdict is Verdict.NO
+    assert "invisible" in result.detail
+
+
+def test_join_view_determines_its_own_join():
+    q = parse_cq("Q() <- R(x,y), S(y,z)")
+    views = _views(("VJ", "V(x,z) <- R(x,y), S(y,z)"))
+    result, rewriting = decide_cq_ucq(q, views)
+    assert result.verdict is Verdict.YES
+
+
+def test_split_views_lose_the_join():
+    q = parse_cq("Q() <- R(x,y), S(y,z)")
+    views = _views(("VR", "V(x,y) <- R(x,y)"), ("VS", "V(y,z) <- S(y,z)"))
+    # both relations fully visible: the join is recoverable
+    result, _ = decide_cq_ucq(q, views)
+    assert result.verdict is Verdict.YES
+    # ... but with join variables projected away it is not
+    views2 = _views(("VR", "V(x) <- R(x,y)"), ("VS", "V(z) <- S(y,z)"))
+    result2, _ = decide_cq_ucq(q, views2)
+    assert result2.verdict is Verdict.NO
+
+
+def test_ucq_query_determined():
+    q = parse_ucq(
+        """
+        Q() <- U(x).
+        Q() <- W(x).
+        """
+    )
+    views = _views(("VU", "V(x) <- U(x)"), ("VW", "V(x) <- W(x)"))
+    result, rewriting = decide_cq_ucq(q, views)
+    assert result.verdict is Verdict.YES
+    assert len(rewriting) == 2
+
+
+def test_recursive_view_case():
+    """CQ query over a recursive Datalog view (the Thm 5 regime)."""
+    tc = DatalogQuery(parse_program(
+        """
+        P(x,y) <- R(x,y).
+        P(x,y) <- R(x,z), P(z,y).
+        """
+    ), "P", "VTC")
+    views = ViewSet([
+        View("VTC", tc),
+        View("VU", parse_cq("V(x) <- U(x)")),
+    ])
+    # "an R-edge from a U-point": determined (the first step of any
+    # TC-path from a U-point is an R-edge)
+    q_yes = parse_cq("Q() <- R(x,y), U(x)")
+    result, _ = decide_cq_ucq(q_yes, views)
+    assert result.verdict is Verdict.YES
+    # "an R-edge between two U-points": NOT determined (TC only says
+    # there is a path; its intermediate hops may not connect U-points)
+    q_no = parse_cq("Q() <- R(x,y), U(x), U(y)")
+    result2, _ = decide_cq_ucq(q_no, views)
+    assert result2.verdict is Verdict.NO
+
+
+def test_counterexample_is_packaged():
+    q = parse_cq("Q() <- R(x,y), S(y)")
+    views = _views(("VR", "V(x) <- R(x,y)"), ("VS", "V(y) <- S(y)"))
+    result, _ = decide_cq_ucq(q, views)
+    assert result.counterexample is not None
+
+
+def test_candidate_construction():
+    q = parse_cq("Q(x) <- R(x,y), S(y)")
+    views = _views(("VR", "V(x,y) <- R(x,y)"), ("VS", "V(y) <- S(y)"))
+    candidate, problem = forward_backward_candidate(q, views)
+    assert problem == ""
+    (disjunct,) = candidate.disjuncts
+    assert disjunct.arity == 1
+    assert disjunct.predicates() == {"VR", "VS"}
+    unfolded = unfold_candidate(candidate, views)
+    assert unfolded.arity == 1

@@ -1,0 +1,76 @@
+"""Homomorphic determinacy utilities (Lemma 4)."""
+
+from repro.core.datalog import DatalogQuery
+from repro.core.instance import Instance
+from repro.core.parser import parse_cq, parse_instance, parse_program
+from repro.determinacy.homomorphic import (
+    homomorphic_violation,
+    monotonic_violation,
+)
+from repro.views.view import View, ViewSet
+
+
+def _lossy_setting():
+    q = parse_cq("Q() <- R(x,y), S(y)")
+    views = ViewSet([
+        View("VR", parse_cq("V(x) <- R(x,y)")),
+        View("VS", parse_cq("V(y) <- S(y)")),
+    ])
+    # Q true here:
+    left = parse_instance("R('a','b'). S('b').")
+    # view image includes the left image, Q false (no R-S join):
+    right = parse_instance("R('a','c'). S('b').")
+    return q, views, left, right
+
+
+def test_monotonic_violation_found():
+    q, views, left, right = _lossy_setting()
+    assert views.image(left) <= views.image(right)
+    assert monotonic_violation(q, views, left, right) == ()
+
+
+def test_monotonic_violation_requires_image_inclusion():
+    q, views, left, _ = _lossy_setting()
+    unrelated = parse_instance("W('q').")
+    assert monotonic_violation(q, views, left, unrelated) is None
+
+
+def test_homomorphic_violation_found():
+    q, views, left, right = _lossy_setting()
+    violation = homomorphic_violation(q, views, left, right)
+    assert violation is not None
+
+
+def test_no_violation_for_determined_views():
+    q = parse_cq("Q() <- R(x,y), S(y)")
+    views = ViewSet([
+        View("VR", parse_cq("V(x,y) <- R(x,y)")),
+        View("VS", parse_cq("V(y) <- S(y)")),
+    ])
+    left = parse_instance("R('a','b'). S('b').")
+    right = parse_instance("R('u','v'). S('v'). R('v','u').")
+    assert homomorphic_violation(q, views, left, right) is None
+
+
+def test_lemma4_on_datalog_example():
+    """A Datalog query determined over its views admits no
+    homomorphic violation on sampled instance pairs (Lemma 4)."""
+    q = DatalogQuery(parse_program(
+        """
+        P(x) <- U(x).
+        P(x) <- R(x,y), P(y).
+        Goal() <- S(x), P(x).
+        """
+    ), "Goal")
+    views = ViewSet([
+        View("VR", parse_cq("V(x,y) <- R(x,y)")),
+        View("VU", parse_cq("V(x) <- U(x)")),
+        View("VS", parse_cq("V(x) <- S(x)")),
+    ])
+    from tests.conftest import random_instance
+
+    for seed in range(6):
+        left = random_instance(seed, {"R": 2, "U": 1, "S": 1})
+        right = random_instance(seed + 100, {"R": 2, "U": 1, "S": 1})
+        merged = left | right  # guarantees a hom V(left) -> V(merged)
+        assert homomorphic_violation(q, views, left, merged) is None

@@ -1,0 +1,93 @@
+"""Counterexample minimization."""
+
+import pytest
+
+from repro.core.containment import Verdict
+from repro.core.datalog import DatalogQuery
+from repro.core.instance import Instance
+from repro.core.parser import parse_cq, parse_instance, parse_program
+from repro.determinacy.checker import check_tests
+from repro.determinacy.minimize import (
+    minimize_failing_test,
+    minimize_violation_pair,
+    violation_pair_from_test,
+)
+from repro.determinacy.tests import test_succeeds as succeeds
+from repro.views.view import View, ViewSet
+
+
+@pytest.fixture
+def failing_setting():
+    query = DatalogQuery(parse_program(
+        """
+        GoalQ() <- U1(x), W1(x).
+        W1(x) <- T(x,y,z), B(z,w), B(y,w), W1(w).
+        W1(x) <- U2(x).
+        """
+    ), "GoalQ")
+    lossy = ViewSet([
+        View("V0", parse_cq("V(x,w) <- T(x,y,z), B(z,w), B(y,w)")),
+        View("V1", parse_cq("V(x) <- U1(x)")),
+    ])
+    result = check_tests(query, lossy, approx_depth=4)
+    assert result.verdict is Verdict.NO
+    return query, lossy, result.counterexample
+
+
+def test_minimize_failing_test(failing_setting):
+    query, views, test = failing_setting
+    minimized = minimize_failing_test(test, query, views)
+    assert len(minimized.test_instance) <= len(test.test_instance)
+    # still failing and still a test
+    assert not succeeds(minimized, query)
+    assert test.view_image <= views.image(minimized.test_instance)
+    # inclusion-minimal: removing any fact breaks testhood
+    for fact in minimized.test_instance.facts():
+        smaller = minimized.test_instance.copy()
+        smaller.discard(fact)
+        assert not (test.view_image <= views.image(smaller))
+
+
+def test_minimize_rejects_succeeding_tests(failing_setting):
+    query, views, test = failing_setting
+    from repro.determinacy.result import CanonicalTest
+
+    healthy = CanonicalTest(
+        test.approximation,
+        test.view_image,
+        test.approximation.canonical_database(),
+    )
+    with pytest.raises(ValueError):
+        minimize_failing_test(healthy, query, views)
+
+
+def test_violation_pair_from_test(failing_setting):
+    query, views, test = failing_setting
+    left, right = violation_pair_from_test(test)
+    assert views.image(left) <= views.image(right)
+    assert query.boolean(left) and not query.boolean(right)
+
+
+def test_minimize_violation_pair():
+    q = parse_cq("Q() <- R(x,y), S(y)")
+    views = ViewSet([
+        View("VR", parse_cq("V(x) <- R(x,y)")),
+        View("VS", parse_cq("V(y) <- S(y)")),
+    ])
+    left = parse_instance(
+        "R('a','b'). S('b'). R('junk1','junk2'). W('noise')."
+    )
+    right = parse_instance("R('a','c'). S('b'). R('junk1','junk2').")
+    small_left, small_right = minimize_violation_pair(q, views, left, right)
+    # the left side shrinks to the bare witness of Q
+    assert len(small_left) == 2
+    assert views.image(small_left) <= views.image(small_right)
+    assert q.boolean(small_left) and not q.boolean(small_right)
+
+
+def test_minimize_violation_pair_rejects_non_violation():
+    q = parse_cq("Q() <- R(x,y)")
+    views = ViewSet([View("VR", parse_cq("V(x,y) <- R(x,y)"))])
+    inst = parse_instance("R('a','b').")
+    with pytest.raises(ValueError):
+        minimize_violation_pair(q, views, inst, inst)

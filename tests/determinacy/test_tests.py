@@ -1,0 +1,108 @@
+"""Canonical tests (Lemma 5)."""
+
+import pytest
+
+from repro.core.datalog import DatalogQuery
+from repro.core.parser import parse_cq, parse_program, parse_ucq
+from repro.determinacy.tests import canonical_tests
+from repro.determinacy.tests import test_succeeds as succeeds
+from repro.determinacy.tests import tests_for_approximation as make_tests
+from repro.determinacy.tests import view_definition_expansions
+from repro.views.view import View, ViewSet
+
+
+@pytest.fixture
+def ex1_query():
+    return DatalogQuery(parse_program(
+        """
+        GoalQ() <- U1(x), W1(x).
+        W1(x) <- T(x,y,z), B(z,w), B(y,w), W1(w).
+        W1(x) <- U2(x).
+        """
+    ), "GoalQ")
+
+
+@pytest.fixture
+def ex1_views():
+    return ViewSet([
+        View("V0", parse_cq("V(x,w) <- T(x,y,z), B(z,w), B(y,w)")),
+        View("V1", parse_cq("V(x) <- U1(x)")),
+        View("V2", parse_cq("V(x) <- U2(x)")),
+    ])
+
+
+def test_view_definition_expansions_cq():
+    view = View("V", parse_cq("V(x) <- R(x,y)"))
+    assert len(view_definition_expansions(view, 3)) == 1
+
+
+def test_view_definition_expansions_ucq():
+    view = View("V", parse_ucq("V(x) <- R(x,y). V(x) <- U(x)."))
+    assert len(view_definition_expansions(view, 3)) == 2
+
+
+def test_view_definition_expansions_datalog():
+    definition = DatalogQuery(parse_program(
+        "P(x) <- U(x). P(x) <- R(x,y), P(y)."
+    ), "P", "VP")
+    view = View("VP", definition)
+    # depths 1..3: U(x); R,U; R,R,U
+    assert len(view_definition_expansions(view, 3)) == 3
+
+
+def test_all_tests_succeed_for_determined_case(ex1_query, ex1_views):
+    for test in canonical_tests(ex1_query, ex1_views, approx_depth=4):
+        assert succeeds(test, ex1_query)
+
+
+def test_failing_test_when_view_dropped(ex1_query):
+    lossy = ViewSet([
+        View("V0", parse_cq("V(x,w) <- T(x,y,z), B(z,w), B(y,w)")),
+        View("V1", parse_cq("V(x) <- U1(x)")),
+        # V2 (exposing U2) is missing
+    ])
+    outcomes = [
+        succeeds(t, ex1_query)
+        for t in canonical_tests(ex1_query, lossy, approx_depth=3)
+    ]
+    assert False in outcomes
+
+
+def test_test_instance_view_image_contains_original(ex1_query, ex1_views):
+    """D' is a sound-view preimage: V(D') ⊇ V(Q_i)."""
+    for test in canonical_tests(ex1_query, ex1_views, approx_depth=3):
+        reimaged = ex1_views.image(test.test_instance)
+        assert test.view_image <= reimaged
+
+
+def test_choice_combinatorics():
+    """UCQ views multiply test choices per fact."""
+    q = parse_cq("Q() <- R(x,y), R(y,z)")
+    views = ViewSet([
+        View("VR", parse_ucq("V(x,y) <- R(x,y). V(x,y) <- S(x,y).")),
+    ])
+    tests = list(make_tests(q, views, view_depth=2))
+    # image has 2 VR-facts, 2 choices each -> 4 tests
+    assert len(tests) == 4
+
+
+def test_max_tests_cap():
+    q = parse_cq("Q() <- R(x,y), R(y,z)")
+    views = ViewSet([
+        View("VR", parse_ucq("V(x,y) <- R(x,y). V(x,y) <- S(x,y).")),
+    ])
+    assert len(list(make_tests(q, views, 2, max_tests=2))) == 2
+
+
+def test_nulls_are_fresh_per_test():
+    q = parse_cq("Q() <- R(x,y)")
+    views = ViewSet([View("VR", parse_cq("V(x) <- R(x,y)"))])
+    (test,) = list(make_tests(q, views))
+    (row,) = test.test_instance.tuples("R")
+    assert isinstance(row[1], str) and row[1].startswith("∃")
+
+
+def test_describe_renders(ex1_query, ex1_views):
+    test = next(iter(canonical_tests(ex1_query, ex1_views, 3)))
+    text = test.describe()
+    assert "view image" in text and "D'" in text

@@ -1,0 +1,102 @@
+"""Existential k-pebble games (Facts 1, 2, 5)."""
+
+import pytest
+
+from repro.core.homomorphism import instance_maps_into
+from repro.core.instance import Instance
+from repro.core.parser import parse_instance
+from repro.games.pebble import (
+    duplicator_wins,
+    kconsistency_closure,
+    separates_in_datalog,
+)
+
+
+def _clique(n: int) -> Instance:
+    inst = Instance()
+    for i in range(n):
+        for j in range(n):
+            if i != j:
+                inst.add_tuple("E", (i, j))
+    return inst
+
+
+def _cycle(n: int) -> Instance:
+    inst = Instance()
+    for i in range(n):
+        inst.add_tuple("E", (i, (i + 1) % n))
+        inst.add_tuple("E", ((i + 1) % n, i))
+    return inst
+
+
+def test_clique_cases():
+    assert duplicator_wins(_clique(3), _clique(2), 2)
+    assert not duplicator_wins(_clique(3), _clique(2), 3)
+    assert not duplicator_wins(_clique(4), _clique(3), 4)
+
+
+def test_homomorphism_implies_duplicator_win():
+    """I → I' implies I →k I' for every k."""
+    source = _cycle(6)  # bipartite, maps into an edge
+    target = _clique(2)
+    assert instance_maps_into(source, target)
+    for k in (2, 3):
+        assert duplicator_wins(source, target, k)
+
+
+def test_odd_cycle_vs_edge():
+    """C5 has no hom to K2 but Duplicator survives at k=2."""
+    assert not instance_maps_into(_cycle(5), _clique(2))
+    assert duplicator_wins(_cycle(5), _clique(2), 2)
+
+
+def test_monotone_in_k():
+    """Winning at k implies winning at every smaller k."""
+    pairs = [(_clique(3), _clique(2)), (_cycle(5), _clique(2))]
+    for source, target in pairs:
+        for k in (3, 2):
+            if duplicator_wins(source, target, k):
+                assert duplicator_wins(source, target, k - 1)
+
+
+def test_empty_target_loses():
+    source = parse_instance("U('a').")
+    assert not duplicator_wins(source, Instance(), 2)
+
+
+def test_empty_source_wins():
+    assert duplicator_wins(Instance(), _clique(2), 2)
+
+
+def test_fact1_direction():
+    """If I'' → I and I →k I' with tw(I'') <= k-1, then I'' → I'.
+
+    (Fact 1, used through Claim 1 of Thm 8.)  Here: a path (treewidth 1,
+    k=2) mapping into C5; since C5 →2 K2, the path maps into K2.
+    """
+    path = parse_instance("E(1,2). E(2,1). E(2,3). E(3,2).")
+    assert instance_maps_into(path, _cycle(5))
+    assert duplicator_wins(_cycle(5), _clique(2), 2)
+    assert instance_maps_into(path, _clique(2))
+
+
+def test_closure_structure():
+    family = kconsistency_closure(_cycle(5), _clique(2), 2)
+    assert frozenset() in family[frozenset()]
+    # every surviving pair-map extends every singleton (Fact 5 condition)
+    for key, maps in family.items():
+        for f in maps:
+            for pair in f:
+                assert (f - {pair}) in family[key - {pair[0]}]
+
+
+def test_separates_in_datalog_helper():
+    verdict = separates_in_datalog(_clique(3), _clique(2), 2)
+    assert verdict is False  # K3 →2 K2: no bodies-of-size-2 separation
+    verdict2 = separates_in_datalog(_clique(3), _clique(2), 3)
+    assert verdict2 is None
+
+
+def test_invalid_k():
+    with pytest.raises(ValueError):
+        duplicator_wins(_clique(2), _clique(2), 0)

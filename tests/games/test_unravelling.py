@@ -1,0 +1,79 @@
+"""Unravellings (§7, Fact 4)."""
+
+import pytest
+
+from repro.core.homomorphism import instance_maps_into
+from repro.core.instance import Instance
+from repro.core.parser import parse_instance
+from repro.games.unravelling import (
+    bags_are_partial_isomorphisms,
+    projection_is_homomorphism,
+    unravel,
+)
+
+
+def _triangle() -> Instance:
+    inst = Instance()
+    for i in range(3):
+        inst.add_tuple("E", (i, (i + 1) % 3))
+    return inst
+
+
+def test_projection_is_homomorphism():
+    u = unravel(_triangle(), 2, 3)
+    assert projection_is_homomorphism(u, _triangle())
+    assert instance_maps_into(u.instance, _triangle())
+
+
+def test_bags_are_partial_isomorphisms():
+    u = unravel(_triangle(), 2, 3)
+    assert bags_are_partial_isomorphisms(u, _triangle())
+
+
+def test_unravelling_is_acyclic_at_k2():
+    """A depth-truncated 2-unravelling of a triangle has no triangle."""
+    u = unravel(_triangle(), 2, 4)
+    assert not instance_maps_into(_triangle(), u.instance)
+
+
+def test_frontier_one_bags_share_at_most_one():
+    inst = parse_instance("R(1,2). R(2,3).")
+    u = unravel(inst, 2, 3, frontier_one=True)
+    seen = set()
+    for bag in u.bags:
+        for other in seen:
+            assert len(set(bag) & set(other)) <= 1
+        seen.add(tuple(bag))
+
+
+def test_fact_supported_scenes_cover_facts():
+    inst = parse_instance("S('a','b','c'). R('c','d').")
+    u = unravel(inst, 3, 2, scenes="fact-supported")
+    # every original fact appears among copies
+    preds = {f.pred for f in u.instance.facts()}
+    assert preds == {"S", "R"}
+
+
+def test_fact_supported_skips_cross_fact_scenes():
+    """Scenes mixing elements of different facts are not generated."""
+    inst = parse_instance("U('a'). U('b').")
+    u = unravel(inst, 2, 2, scenes="fact-supported")
+    for bag in u.bags:
+        assert len(bag) == 1  # only the singleton scenes exist
+
+
+def test_max_nodes_guard():
+    inst = parse_instance("R(1,2). R(2,3). R(3,4). R(4,5).")
+    with pytest.raises(RuntimeError):
+        unravel(inst, 2, 6, max_nodes=50)
+
+
+def test_unknown_scene_mode():
+    with pytest.raises(ValueError):
+        unravel(_triangle(), 2, 2, scenes="bogus")
+
+
+def test_copy_count_grows_with_depth():
+    shallow = unravel(_triangle(), 2, 1)
+    deep = unravel(_triangle(), 2, 2)
+    assert deep.copy_count() > shallow.copy_count()

@@ -1,0 +1,95 @@
+"""Datalog rewritings (Thm 1 route via [14] and Prop. 7)."""
+
+import pytest
+
+from repro.automata.forward import approximations_automaton
+from repro.core.datalog import DatalogQuery
+from repro.core.parser import parse_cq, parse_program
+from repro.core.schema import Schema
+from repro.rewriting.datalog_rewriting import (
+    backward_rewriting_from_automaton,
+    datalog_rewriting,
+    verify_rewriting_on_instances,
+)
+from repro.rewriting.verification import check_rewriting, random_instances
+from repro.views.view import View, ViewSet
+
+
+@pytest.fixture
+def ex1():
+    query = DatalogQuery(parse_program(
+        """
+        GoalQ() <- U1(x), W1(x).
+        W1(x) <- T(x,y,z), B(z,w), B(y,w), W1(w).
+        W1(x) <- U2(x).
+        """
+    ), "GoalQ")
+    views = ViewSet([
+        View("V0", parse_cq("V(x,w) <- T(x,y,z), B(z,w), B(y,w)")),
+        View("V1", parse_cq("V(x) <- U1(x)")),
+        View("V2", parse_cq("V(x) <- U2(x)")),
+    ])
+    return query, views
+
+
+def test_example1_inverse_rules_rewriting(ex1):
+    query, views = ex1
+    rewriting = datalog_rewriting(query, views)
+    assert check_rewriting(query, views, rewriting, trials=40) is None
+
+
+def test_example1_matches_paper_rewriting(ex1):
+    """Our inverse-rules rewriting agrees with the paper's hand-written
+    one on view images."""
+    query, views = ex1
+    ours = datalog_rewriting(query, views)
+    paper = DatalogQuery(parse_program(
+        """
+        GoalR() <- V1(x), W1(x).
+        W1(x) <- V0(x,w), W1(w).
+        W1(x) <- V2(x).
+        """
+    ), "GoalR")
+    schema = Schema({"T": 3, "B": 2, "U1": 1, "U2": 1})
+    for inst in random_instances(schema, 30, seed=7):
+        image = views.image(inst)
+        assert ours.boolean(image) == paper.boolean(image)
+
+
+def test_frontier_guarded_variant(ex1):
+    query, views = ex1
+    guarded = datalog_rewriting(query, views, frontier_guard=True)
+    assert guarded.program.is_frontier_guarded()
+    assert check_rewriting(query, views, guarded, trials=25) is None
+
+
+def test_backward_rewriting_identity_views():
+    """With identity views, the forward automaton itself satisfies
+    Prop. 7 and its backward map is a rewriting."""
+    query = DatalogQuery(parse_program(
+        """
+        P(x) <- U(x).
+        P(x) <- R(x,y), P(y).
+        Goal() <- S(x), P(x).
+        """
+    ), "Goal")
+    views = ViewSet([
+        View("R", parse_cq("V(x,y) <- R(x,y)")),
+        View("U", parse_cq("V(x) <- U(x)")),
+        View("S", parse_cq("V(x) <- S(x)")),
+    ])
+    nta = approximations_automaton(query)
+    rewriting = backward_rewriting_from_automaton(
+        nta, Schema({"R": 2, "U": 1, "S": 1})
+    )
+    assert check_rewriting(query, views, rewriting, trials=30) is None
+
+
+def test_verify_rewriting_on_instances_reports_failure(ex1):
+    query, views = ex1
+    wrong = DatalogQuery(parse_program("G() <- V1(x)."), "G")
+    schema = Schema({"T": 3, "B": 2, "U1": 1, "U2": 1})
+    bad = verify_rewriting_on_instances(
+        query, views, wrong, random_instances(schema, 30, seed=1)
+    )
+    assert bad is not None

@@ -1,0 +1,81 @@
+"""Forward–backward rewritings (Prop. 8)."""
+
+import pytest
+
+from repro.core.parser import parse_cq, parse_ucq
+from repro.rewriting.forward_backward import (
+    NotRewritableError,
+    evaluate_rewriting_over_base,
+    rewrite_cq,
+    rewrite_forward_backward,
+)
+from repro.rewriting.verification import check_rewriting
+from repro.views.view import View, ViewSet
+
+
+def _views(*pairs):
+    return ViewSet([View(name, parse_cq(text)) for name, text in pairs])
+
+
+def test_cq_rewriting_verified_on_random_instances():
+    q = parse_cq("Q(x) <- R(x,y), S(y)")
+    views = _views(("VR", "V(x,y) <- R(x,y)"), ("VS", "V(y) <- S(y)"))
+    rewriting = rewrite_cq(q, views)
+    assert rewriting.predicates() <= {"VR", "VS"}
+    assert check_rewriting(q, views, rewriting, trials=40) is None
+
+
+def test_rewriting_size_polynomial():
+    """Prop. 8: the rewriting has one atom per view fact of V(Q_i)."""
+    q = parse_cq("Q() <- R(x,y), R(y,z), S(z)")
+    views = _views(("VR", "V(x,y) <- R(x,y)"), ("VS", "V(y) <- S(y)"))
+    rewriting = rewrite_cq(q, views)
+    assert rewriting.size() <= 4
+
+
+def test_not_rewritable_raises_with_reason():
+    q = parse_cq("Q(x) <- R(x,y), S(y)")
+    lossy = _views(("VR", "V(x) <- R(x,y)"), ("VS", "V(y) <- S(y)"))
+    with pytest.raises(NotRewritableError):
+        rewrite_cq(q, lossy)
+
+
+def test_uncertified_candidate_is_sound_underapproximation():
+    q = parse_cq("Q() <- R(x,y), S(y)")
+    lossy = _views(("VR", "V(x) <- R(x,y)"), ("VS", "V(y) <- S(y)"))
+    candidate = rewrite_forward_backward(q, lossy, certify=False)
+    # candidate(V(I)) may overshoot on non-images but must hold whenever
+    # Q holds (the ⇒ direction of Prop. 8 needs no determinacy):
+    from tests.conftest import random_instance
+
+    for seed in range(10):
+        inst = random_instance(seed, {"R": 2, "S": 1})
+        if q.boolean(inst):
+            assert candidate.boolean(lossy.image(inst))
+
+
+def test_ucq_rewriting():
+    q = parse_ucq(
+        """
+        Q() <- U(x).
+        Q() <- R(x,y), S(y).
+        """
+    )
+    views = _views(
+        ("VU", "V(x) <- U(x)"),
+        ("VR", "V(x,y) <- R(x,y)"),
+        ("VS", "V(y) <- S(y)"),
+    )
+    rewriting = rewrite_forward_backward(q, views)
+    assert len(rewriting) == 2
+    assert check_rewriting(q, views, rewriting, trials=40) is None
+
+
+def test_evaluate_rewriting_over_base():
+    q = parse_cq("Q(x) <- R(x,y), S(y)")
+    views = _views(("VR", "V(x,y) <- R(x,y)"), ("VS", "V(y) <- S(y)"))
+    rewriting = rewrite_cq(q, views)
+    from repro.core.parser import parse_instance
+
+    inst = parse_instance("R('a','b'). S('b'). R('c','d').")
+    assert evaluate_rewriting_over_base(rewriting, views, inst) == {("a",)}

@@ -1,0 +1,65 @@
+"""Structured instance generators."""
+
+from repro.core.parser import parse_cq
+from repro.core.schema import Schema
+from repro.rewriting.generators import (
+    binary_tree,
+    chain,
+    check_rewriting_structured,
+    cycle,
+    grid,
+    structured_instances,
+)
+from repro.rewriting.forward_backward import rewrite_cq
+from repro.views.view import View, ViewSet
+
+
+def test_chain_and_cycle_shapes():
+    assert len(chain("R", 5)) == 5
+    c = cycle("R", 4)
+    assert len(c) == 4
+    # cycles close
+    assert c.has_tuple("R", (3, 0))
+
+
+def test_tree_and_grid_shapes():
+    tree = binary_tree("R", 3)
+    assert len(tree) == 2 * (2 ** 3 - 1)
+    g = grid("R", 3, 2)
+    assert len(g) == 2 * 2 + 3 * 1
+
+
+def test_structured_instances_cover_all_relations():
+    schema = Schema({"R": 2, "S": 2, "U": 1})
+    seen_preds = set()
+    count = 0
+    for inst in structured_instances(schema, seed=1, sizes=(3,)):
+        seen_preds |= inst.predicates()
+        count += 1
+    assert count == 8  # 2 binary relations x 4 families
+    assert {"R", "S"} <= seen_preds
+
+
+def test_structured_instances_empty_without_binary():
+    schema = Schema({"U": 1})
+    assert list(structured_instances(schema)) == []
+
+
+def test_check_rewriting_structured_passes_correct_rewriting():
+    q = parse_cq("Q(x) <- R(x,y), U(y)")
+    views = ViewSet([
+        View("VR", parse_cq("V(x,y) <- R(x,y)")),
+        View("VU", parse_cq("V(y) <- U(y)")),
+    ])
+    rewriting = rewrite_cq(q, views)
+    assert check_rewriting_structured(q, views, rewriting) is None
+
+
+def test_check_rewriting_structured_catches_wrong_rewriting():
+    q = parse_cq("Q(x) <- R(x,y), U(y)")
+    views = ViewSet([
+        View("VR", parse_cq("V(x,y) <- R(x,y)")),
+        View("VU", parse_cq("V(y) <- U(y)")),
+    ])
+    wrong = parse_cq("Q(x) <- VR(x,y)")
+    assert check_rewriting_structured(q, views, wrong) is not None

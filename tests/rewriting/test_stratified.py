@@ -1,0 +1,60 @@
+"""The stratified separator for Q_TP (appendix)."""
+
+import pytest
+
+from repro.constructions.reduction_thm6 import (
+    axes_instance,
+    grid_test_instance,
+    thm6_query,
+    thm6_views,
+)
+from repro.constructions.tiling import unsolvable_example
+from repro.core.instance import Instance
+from repro.rewriting.stratified import StratifiedSeparator, product_test
+from repro.rewriting.verification import check_separator
+
+
+@pytest.fixture
+def setting():
+    tp = unsolvable_example()
+    return tp, thm6_query(tp), thm6_views(tp), StratifiedSeparator(tp)
+
+
+def test_product_test():
+    good = Instance()
+    for x in ("a", "b"):
+        for y in ("u", "v"):
+            good.add_tuple("S", (x, y))
+    assert product_test(good)
+    good.discard(next(iter(good.facts())))
+    assert not product_test(good)
+    assert product_test(Instance())  # vacuously a product
+
+
+def test_on_marked_axes(setting):
+    tp, query, views, separator = setting
+    source = axes_instance(3)
+    assert query.boolean(source)
+    assert separator.boolean(views.image(source))
+
+
+def test_on_grid_test(setting):
+    tp, query, views, separator = setting
+    # all-'a' tiling violates the final-tile condition -> Qverify fires
+    test_inst = grid_test_instance(tp, 2, 2)
+    assert query.boolean(test_inst)
+    assert separator.boolean(views.image(test_inst))
+
+
+def test_on_random_instances(setting):
+    tp, query, views, separator = setting
+    as_set = lambda j: {()} if separator.boolean(j) else set()  # noqa: E731
+    assert check_separator(query, views, as_set, trials=25) is None
+
+
+def test_helper_shortcut(setting):
+    """A VhelperC fact alone makes the separator fire."""
+    _tp, _query, _views, separator = setting
+    j = Instance()
+    j.add_tuple("VhelperC", ("u", "x", "y", "z"))
+    assert separator.boolean(j)

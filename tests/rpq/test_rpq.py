@@ -1,0 +1,124 @@
+"""Regular path queries and losslessness."""
+
+import itertools
+
+import pytest
+
+from repro.core.containment import Verdict
+from repro.determinacy.checker import check_tests
+from repro.rpq import nfa_of, parse_regex, rpq_query, rpq_views
+from repro.rpq.query import edge_predicate, graph_instance
+from repro.rpq.regex import RegexParseError, labels_of, nullable
+
+
+REGEX_CASES = [
+    ("a", "a"),
+    ("a b", "ab"),
+    ("a *", "a*"),
+    ("a ( b | c ) * d", "a(b|c)*d"),
+    ("( a b ) *", "(ab)*"),
+    ("a ? b +", "a?b+"),
+    ("( a | b ) ( a | b )", "(a|b)(a|b)"),
+    ("a | b c", "a|bc"),
+]
+
+
+@pytest.mark.parametrize("spaced,py", REGEX_CASES)
+def test_nfa_matches_python_re(spaced, py):
+    import re
+
+    nfa = nfa_of(parse_regex(spaced))
+    for n in range(0, 5):
+        for word in itertools.product("abc", repeat=n):
+            expected = re.fullmatch(py, "".join(word)) is not None
+            assert nfa.accepts(word) == expected, (spaced, word)
+
+
+def test_regex_helpers():
+    regex = parse_regex("a ( b | c ) *")
+    assert labels_of(regex) == {"a", "b", "c"}
+    assert not nullable(regex)
+    assert nullable(parse_regex("a *"))
+    with pytest.raises(RegexParseError):
+        parse_regex("( a")
+    with pytest.raises(RegexParseError):
+        parse_regex("a ) b")
+
+
+def test_rpq_evaluation_on_graph():
+    q = rpq_query("a ( b | c ) * d", "Q")
+    graph = graph_instance([
+        (1, "a", 2), (2, "b", 3), (3, "c", 4), (4, "d", 5),
+        (2, "d", 6), (6, "a", 1),
+    ])
+    assert q.evaluate(graph) == {(1, 5), (1, 6)}
+
+
+def test_rpq_datalog_is_linear_binary():
+    q = rpq_query("( a b ) *", "Q").to_datalog()
+    for rule in q.program.rules:
+        assert rule.head.arity == 2
+        idb_atoms = [
+            a for a in rule.body
+            if a.pred in q.program.idb_predicates()
+        ]
+        assert len(idb_atoms) <= 1  # linear
+
+
+def test_rpq_epsilon_language():
+    q = rpq_query("a *", "Q")
+    graph = graph_instance([(1, "a", 2)])
+    answers = q.evaluate(graph)
+    # ε gives the reflexive pairs on the active domain
+    assert (1, 1) in answers and (2, 2) in answers
+    assert (1, 2) in answers and (2, 1) not in answers
+
+
+def test_rpq_against_word_paths():
+    """Evaluation agrees with explicit path enumeration."""
+    q = rpq_query("a ( b | c ) +", "Q")
+    edges = [
+        (0, "a", 1), (1, "b", 2), (2, "c", 3), (1, "a", 4), (3, "b", 0),
+    ]
+    graph = graph_instance(edges)
+    # enumerate all paths up to length 5
+    expected = set()
+    adjacency = {}
+    for s, lab, t in edges:
+        adjacency.setdefault(s, []).append((lab, t))
+    stack = [(s, (), s) for s in {e[0] for e in edges} | {e[2] for e in edges}]
+    while stack:
+        start, word, here = stack.pop()
+        if len(word) > 5:
+            continue
+        if word and q.accepts_word(word):
+            expected.add((start, here))
+        for lab, nxt in adjacency.get(here, ()):
+            stack.append((start, word + (lab,), nxt))
+    assert q.evaluate(graph) == expected
+
+
+def test_rpq_losslessness_positive():
+    """Q = a b over views {a, b}: lossless (mon. determined)."""
+    q = rpq_query("a b", "Q").to_datalog()
+    views = rpq_views({"Va": "a", "Vb": "b"})
+    result = check_tests(q, views, approx_depth=3, view_depth=3)
+    assert result.verdict is not Verdict.NO
+
+
+def test_rpq_losslessness_negative():
+    """Q = a over the view a|b: lossy — the view cannot tell a from b."""
+    q = rpq_query("a", "Q").to_datalog()
+    views = rpq_views({"Vab": "a | b"})
+    result = check_tests(q, views, approx_depth=3, view_depth=3)
+    assert result.verdict is Verdict.NO
+
+
+def test_rpq_recursive_losslessness():
+    """Q = (a b)* over views {a, b}: every test passes (bounded)."""
+    q = rpq_query("( a b ) +", "Q").to_datalog()
+    views = rpq_views({"Va": "a", "Vb": "b"})
+    result = check_tests(
+        q, views, approx_depth=4, view_depth=3, max_tests=200
+    )
+    assert result.verdict is not Verdict.NO

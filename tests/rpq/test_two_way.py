@@ -1,0 +1,55 @@
+"""Two-way RPQs."""
+
+from repro.core.containment import Verdict
+from repro.determinacy.checker import check_tests
+from repro.rpq.query import graph_instance
+from repro.rpq.two_way import two_way_rpq
+from repro.views.view import View, ViewSet
+
+
+def test_inverse_label_traversal():
+    q = two_way_rpq("a b-", "Q")
+    # x -a-> m <-b- y : pair (x, y)
+    graph = graph_instance([(1, "a", 2), (3, "b", 2)])
+    assert q.evaluate(graph) == {(1, 3)}
+
+
+def test_mixed_directions():
+    q = two_way_rpq("a ( b- ) * c", "Q")
+    graph = graph_instance([
+        (1, "a", 2), (3, "b", 2), (4, "b", 3), (4, "c", 5),
+    ])
+    assert (1, 5) in q.evaluate(graph)
+
+
+def test_forward_only_agrees_with_rpq():
+    from repro.rpq import rpq_query
+
+    one_way = rpq_query("a ( b | c ) * d", "Q1").to_datalog()
+    two_way = two_way_rpq("a ( b | c ) * d", "Q2")
+    graph = graph_instance([
+        (1, "a", 2), (2, "b", 3), (3, "c", 4), (4, "d", 5),
+    ])
+    assert one_way.evaluate(graph) == two_way.evaluate(graph)
+
+
+def test_inverse_round_trip_is_reflexive_ish():
+    """a a- relates x to every node sharing an a-target with x."""
+    q = two_way_rpq("a a-", "Q")
+    graph = graph_instance([(1, "a", 2), (3, "a", 2), (4, "a", 5)])
+    assert q.evaluate(graph) == {
+        (1, 1), (1, 3), (3, 1), (3, 3), (4, 4),
+    }
+
+
+def test_two_way_losslessness():
+    """2RPQ views: Q = a over {a} is lossless; over {a | a-} it is not
+    (the view confuses edge directions)."""
+    q = two_way_rpq("a", "Q")
+    lossless = ViewSet([View("Va", two_way_rpq("a", "Va"))])
+    result = check_tests(q, lossless, approx_depth=3, view_depth=2)
+    assert result.verdict is not Verdict.NO
+
+    lossy = ViewSet([View("Vaa", two_way_rpq("a | a-", "Vaa"))])
+    result2 = check_tests(q, lossy, approx_depth=3, view_depth=2)
+    assert result2.verdict is Verdict.NO

@@ -1,0 +1,86 @@
+"""Tree decompositions."""
+
+import pytest
+
+from repro.core.parser import parse_instance
+from repro.td.decomposition import (
+    DecompositionNode,
+    TreeDecomposition,
+    decomposition_from_bags,
+    single_bag_decomposition,
+)
+
+
+@pytest.fixture
+def path_td():
+    """A path decomposition of R(a,b), R(b,c), R(c,d)."""
+    return decomposition_from_bags(
+        {0: [1], 1: [2]},
+        0,
+        {0: ("a", "b"), 1: ("b", "c"), 2: ("c", "d")},
+    )
+
+
+def test_width_and_treespan(path_td):
+    assert path_td.width() == 2
+    assert path_td.treespan() == 2  # b and c each in two bags
+
+
+def test_validity(path_td):
+    inst = parse_instance("R('a','b'). R('b','c'). R('c','d').")
+    assert path_td.is_valid_for(inst)
+    # missing coverage: an atom spanning a and d
+    bad = parse_instance("R('a','d').")
+    assert not path_td.is_valid_for(bad)
+
+
+def test_rooted_validity(path_td):
+    inst = parse_instance("R('a','b').")
+    assert path_td.is_valid_for(inst, rooted_tuple=("a",))
+    assert path_td.is_valid_for(inst, rooted_tuple=("a", "b"))
+    assert not path_td.is_valid_for(inst, rooted_tuple=("b",))
+
+
+def test_connectedness_violation():
+    # element 'a' appears in two non-adjacent bags
+    td = decomposition_from_bags(
+        {0: [1], 1: [2]},
+        0,
+        {0: ("a",), 1: ("b",), 2: ("a",)},
+    )
+    assert not td.is_valid_for(parse_instance("U('a'). U('b')."))
+
+
+def test_duplicate_bag_elements_rejected():
+    with pytest.raises(ValueError):
+        DecompositionNode(("a", "a"))
+
+
+def test_binarize():
+    wide = decomposition_from_bags(
+        {0: [1, 2, 3, 4]},
+        0,
+        {0: ("a",), 1: ("a",), 2: ("a",), 3: ("a",), 4: ("a",)},
+    )
+    binary = wide.binarized()
+    assert all(len(n.children) <= 2 for n in binary.nodes())
+    assert binary.width() == wide.width()
+    inst = parse_instance("U('a').")
+    assert binary.is_valid_for(inst)
+
+
+def test_frontier_one():
+    td = decomposition_from_bags(
+        {0: [1]}, 0, {0: ("a", "b"), 1: ("b", "c")}
+    )
+    assert td.is_frontier_one()
+    td2 = decomposition_from_bags(
+        {0: [1]}, 0, {0: ("a", "b"), 1: ("a", "b")}
+    )
+    assert not td2.is_frontier_one()
+
+
+def test_single_bag():
+    td = single_bag_decomposition(("a", "b"))
+    assert td.width() == 2 and td.size() == 1
+    assert td.is_valid_for(parse_instance("R('a','b')."))

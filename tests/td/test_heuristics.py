@@ -1,0 +1,97 @@
+"""Decomposition construction + the paper's treewidth lemmas."""
+
+import math
+
+import pytest
+
+from repro.core.approximation import approximation_trees, tree_to_cq
+from repro.core.datalog import DatalogQuery
+from repro.core.normalization import normalize
+from repro.core.parser import parse_cq, parse_instance, parse_program
+from repro.td.heuristics import (
+    decompose,
+    decomposition_of_expansion,
+    treewidth_exact,
+)
+from repro.views.view import View, ViewSet
+from repro.determinacy.automata_checker import lemma3_bound
+
+
+def test_decompose_valid_on_examples():
+    for text in (
+        "R('a','b'). R('b','c').",
+        "E(1,2). E(2,3). E(3,1).",
+        "S('a','b','c'). R('c','d'). U('d').",
+    ):
+        inst = parse_instance(text)
+        td = decompose(inst)
+        assert td.is_valid_for(inst)
+
+
+def test_treewidth_exact_known_values():
+    path = parse_instance("R(1,2). R(2,3). R(3,4).")
+    assert treewidth_exact(path) == 2
+    triangle = parse_instance("E(1,2). E(2,3). E(3,1).")
+    assert treewidth_exact(triangle) == 3
+    assert treewidth_exact(parse_instance("U(1).")) == 1
+
+
+def test_treewidth_exact_gives_up_on_large():
+    inst = parse_instance(
+        ". ".join(f"R({i},{i+1})" for i in range(12)) + "."
+    )
+    assert treewidth_exact(inst, limit=8) is None
+
+
+def test_heuristic_width_at_least_exact():
+    inst = parse_instance("E(1,2). E(2,3). E(3,1). E(3,4).")
+    td = decompose(inst)
+    assert td.is_valid_for(inst)
+    assert td.width() >= treewidth_exact(inst)
+
+
+def test_expansion_decomposition_properties(reach_query):
+    """Lemma 1: normalized MDL expansions have width O(|Q|), l(TD) <= 2."""
+    normalized = normalize(reach_query)
+    max_rule_vars = normalized.program.max_rule_variables()
+    for tree in approximation_trees(normalized, 5):
+        td = decomposition_of_expansion(tree)
+        cq = tree_to_cq(tree)
+        assert td.is_valid_for(cq.canonical_database())
+        assert td.width() <= max_rule_vars
+        assert td.treespan() <= 2
+
+
+def test_lemma2_fgdl_preserves_treewidth():
+    """FPEval of an FGDL program does not increase treewidth (Lemma 2)."""
+    from repro.core.evaluation import fixpoint
+
+    program = parse_program(
+        """
+        T(x,y) <- R(x,y).
+        T(x,y) <- R(x,y), T(y,z).
+        """
+    )
+    inst = parse_instance("R(1,2). R(2,3). R(3,4).")
+    before = treewidth_exact(inst)
+    after = treewidth_exact(fixpoint(program, inst))
+    assert after <= before
+
+
+def test_lemma3_bound_formula():
+    assert lemma3_bound(2, 1) == 2 * (2 ** 2 - 1) / 1
+    assert math.isinf(lemma3_bound(3, math.inf))
+
+
+def test_lemma3_view_image_treewidth():
+    """Connected CQ views keep view-image treewidth under the bound."""
+    views = ViewSet([
+        View("V", parse_cq("V(x,z) <- R(x,y), R(y,z)")),
+    ])
+    r = views.max_definition_radius()
+    inst = parse_instance("R(1,2). R(2,3). R(3,4). R(4,5).")
+    k = treewidth_exact(inst)
+    image = views.image(inst)
+    image_width = treewidth_exact(image)
+    assert image_width is not None
+    assert image_width <= lemma3_bound(k, r)

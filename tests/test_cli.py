@@ -1,0 +1,121 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import load_query, load_views, main
+
+
+@pytest.fixture
+def workspace(tmp_path):
+    (tmp_path / "q_cq.txt").write_text("Q(x) <- R(x,y), S(y).\n")
+    (tmp_path / "q_dl.txt").write_text(
+        "# goal: Goal\n"
+        "P(x) <- U(x).\n"
+        "P(x) <- R(x,y), P(y).\n"
+        "Goal(x) <- P(x).\n"
+    )
+    (tmp_path / "views.txt").write_text(
+        "# view: VR\nV(x,y) <- R(x,y).\n"
+        "# view: VS\nV(y) <- S(y).\n"
+    )
+    (tmp_path / "views_lossy.txt").write_text(
+        "# view: VR\nV(x) <- R(x,y).\n"
+        "# view: VS\nV(y) <- S(y).\n"
+    )
+    (tmp_path / "views_dl.txt").write_text(
+        "# view: VR\nV(x,y) <- R(x,y).\n"
+        "# view: VU\nV(x) <- U(x).\n"
+    )
+    (tmp_path / "db.txt").write_text("R('a','b'). S('b').\n")
+    (tmp_path / "view_db.txt").write_text("VR('a','b'). VU('b').\n")
+    return tmp_path
+
+
+def test_load_query_cq_and_datalog(workspace):
+    cq = load_query(str(workspace / "q_cq.txt"))
+    assert cq.arity == 1
+    dl = load_query(str(workspace / "q_dl.txt"))
+    assert dl.goal == "Goal"
+
+
+def test_load_views(workspace):
+    views = load_views(str(workspace / "views.txt"))
+    assert views.names() == ["VR", "VS"]
+
+
+def test_decide_yes(workspace, capsys):
+    code = main([
+        "decide", str(workspace / "q_cq.txt"), str(workspace / "views.txt"),
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "verdict : yes" in out
+
+
+def test_decide_no_prints_counterexample(workspace, capsys):
+    code = main([
+        "decide",
+        str(workspace / "q_cq.txt"),
+        str(workspace / "views_lossy.txt"),
+    ])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "verdict : no" in out
+
+
+def test_rewrite_cq(workspace, capsys):
+    code = main([
+        "rewrite", str(workspace / "q_cq.txt"), str(workspace / "views.txt"),
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "VR" in out and "VS" in out
+
+
+def test_rewrite_datalog(workspace, capsys):
+    code = main([
+        "rewrite",
+        str(workspace / "q_dl.txt"),
+        str(workspace / "views_dl.txt"),
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert out.startswith("# goal:")
+
+
+def test_rewrite_refuses_lossy(workspace, capsys):
+    code = main([
+        "rewrite",
+        str(workspace / "q_cq.txt"),
+        str(workspace / "views_lossy.txt"),
+    ])
+    assert code == 1
+    assert "not rewritable" in capsys.readouterr().err
+
+
+def test_certain_answers(workspace, capsys):
+    code = main([
+        "certain",
+        str(workspace / "q_dl.txt"),
+        str(workspace / "views_dl.txt"),
+        str(workspace / "view_db.txt"),
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "('a',)" in out and "('b',)" in out
+
+
+def test_eval(workspace, capsys):
+    code = main([
+        "eval", str(workspace / "q_cq.txt"), str(workspace / "db.txt"),
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "('a',)" in out
+
+
+def test_views_file_without_blocks(workspace, tmp_path):
+    empty = tmp_path / "bad.txt"
+    empty.write_text("V(x) <- R(x,y).\n")
+    with pytest.raises(SystemExit):
+        load_views(str(empty))

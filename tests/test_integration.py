@@ -1,0 +1,136 @@
+"""End-to-end integration: the README story through the public API."""
+
+import pytest
+
+import repro
+from repro import (
+    DatalogQuery,
+    NotRewritableError,
+    Verdict,
+    View,
+    ViewSet,
+    certain_answers,
+    check_rewriting,
+    datalog_rewriting,
+    decide_monotonic_determinacy,
+    parse_cq,
+    parse_instance,
+    parse_program,
+    rewrite_forward_backward,
+)
+
+
+def test_version_and_all_exports():
+    assert repro.__version__
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_quickstart_story():
+    query = parse_cq("Q(e) <- Emp(e, d), Mgr(d, b)")
+    views = ViewSet([
+        View("VEmp", parse_cq("V(e,d) <- Emp(e,d)")),
+        View("VMgr", parse_cq("V(d,b) <- Mgr(d,b)")),
+    ])
+    result = decide_monotonic_determinacy(query, views)
+    assert result.verdict is Verdict.YES
+    rewriting = rewrite_forward_backward(query, views)
+    db = parse_instance(
+        "Emp('ada','eng'). Emp('bob','ops'). Mgr('eng','carol')."
+    )
+    assert rewriting.evaluate(views.image(db)) == {("ada",)}
+
+    lossy = ViewSet([
+        View("VEmp", parse_cq("V(e) <- Emp(e,d)")),
+        View("VMgr", parse_cq("V(b) <- Mgr(d,b)")),
+    ])
+    assert decide_monotonic_determinacy(query, lossy).verdict is Verdict.NO
+    with pytest.raises(NotRewritableError):
+        rewrite_forward_backward(query, lossy)
+
+
+def test_recursive_story():
+    query = DatalogQuery(parse_program(
+        """
+        Reach(x) <- Hub(x).
+        Reach(y) <- Reach(x), Flight(x,y).
+        GoalReach(x) <- Reach(x).
+        """
+    ), "GoalReach")
+    views = ViewSet([
+        View("VHub", parse_cq("V(x) <- Hub(x)")),
+        View("VLeg", parse_cq("V(x,y) <- Flight(x,y)")),
+    ])
+    result = decide_monotonic_determinacy(query, views, approx_depth=4)
+    assert result.verdict is not Verdict.NO
+    rewriting = datalog_rewriting(query, views)
+    assert check_rewriting(query, views, rewriting, trials=25) is None
+
+    db = parse_instance(
+        "Hub('FRA'). Flight('FRA','VIE'). Flight('VIE','WAW')."
+    )
+    image = views.image(db)
+    answers = certain_answers(query, views, image)
+    assert answers == {("FRA",), ("VIE",), ("WAW",)}
+
+
+def test_counterexample_story():
+    """NO answers come with minimizable counterexamples."""
+    from repro.determinacy import minimize_failing_test
+    from repro.determinacy.tests import test_succeeds as succeeds
+
+    query = DatalogQuery(parse_program(
+        """
+        P(x) <- U(x).
+        P(x) <- R(x,y), P(y).
+        Goal() <- S(x), P(x).
+        """
+    ), "Goal")
+    lossy = ViewSet([
+        View("VR", parse_cq("V(x,y) <- R(x,y)")),
+        View("VS", parse_cq("V(x) <- S(x)")),
+        # VU missing: U is invisible
+    ])
+    result = decide_monotonic_determinacy(query, lossy, approx_depth=3)
+    assert result.verdict is Verdict.NO
+    minimized = minimize_failing_test(result.counterexample, query, lossy)
+    assert not succeeds(minimized, query)
+    assert len(minimized.test_instance) <= len(
+        result.counterexample.test_instance
+    )
+
+
+def test_automata_story():
+    """Forward/backward mappings compose with the rewriting harness."""
+    from repro import approximations_automaton, backward_query
+    from repro.core.schema import Schema
+
+    query = DatalogQuery(parse_program(
+        """
+        P(x) <- U(x).
+        P(x) <- R(x,y), P(y).
+        Goal() <- P(x), S(x).
+        """
+    ), "Goal")
+    nta = approximations_automaton(query)
+    assert nta.witness() is not None
+    identity = ViewSet([
+        View("R", parse_cq("V(x,y) <- R(x,y)")),
+        View("U", parse_cq("V(x) <- U(x)")),
+        View("S", parse_cq("V(x) <- S(x)")),
+    ])
+    rewriting = backward_query(nta, Schema({"R": 2, "U": 1, "S": 1}))
+    assert check_rewriting(query, identity, rewriting, trials=20) is None
+
+
+def test_rpq_story():
+    from repro.rpq import rpq_query, rpq_views
+    from repro.rpq.query import graph_instance
+    from repro.determinacy import check_tests
+
+    query = rpq_query("a b", "Q")
+    graph = graph_instance([(1, "a", 2), (2, "b", 3)])
+    assert query.evaluate(graph) == {(1, 3)}
+    views = rpq_views({"Va": "a", "Vb": "b"})
+    result = check_tests(query.to_datalog(), views, approx_depth=3)
+    assert result.verdict is not Verdict.NO

@@ -1,0 +1,148 @@
+"""The inverse-rules algorithm [14]."""
+
+import pytest
+
+from repro.core.datalog import DatalogQuery
+from repro.core.instance import Instance
+from repro.core.parser import parse_cq, parse_instance, parse_program
+from repro.views.inverse_rules import (
+    SkolemTerm,
+    certain_answers,
+    chase_with_inverse_rules,
+    inverse_rules,
+    inverse_rules_rewriting,
+)
+from repro.views.view import View, ViewSet
+
+from tests.conftest import random_instance
+
+
+@pytest.fixture
+def split_views():
+    """The running example from the appendix: one view with a skolem."""
+    return ViewSet([
+        View("V", parse_cq("V(x,y,z) <- S(x,y,u), S(u,y,z)")),
+    ])
+
+
+def test_inverse_rules_shape(split_views):
+    rules = inverse_rules(split_views)
+    assert len(rules) == 2
+    specs = {r.head_spec for r in rules}
+    # u is skolemized in both atoms, with the same function
+    skolems = {
+        payload
+        for spec in specs
+        for kind, payload in spec
+        if kind == "skolem"
+    }
+    assert len(skolems) == 1
+
+
+def test_chase_produces_skolems(split_views):
+    image = Instance()
+    image.add_tuple("V", ("a", "b", "c"))
+    chased = chase_with_inverse_rules(split_views, image)
+    assert len(chased.tuples("S")) == 2
+    nulls = {
+        v for row in chased.tuples("S") for v in row
+        if isinstance(v, SkolemTerm)
+    }
+    assert len(nulls) == 1  # same witness in both atoms
+
+
+def test_non_cq_views_rejected():
+    dl = DatalogQuery(parse_program(
+        "T(x,y) <- R(x,y). T(x,y) <- R(x,z), T(z,y)."
+    ), "T", "VT")
+    views = ViewSet([View("VT", dl)])
+    with pytest.raises(ValueError):
+        inverse_rules(views)
+
+
+def test_certain_answers_are_certain(split_views):
+    """Certain answers hold in every preimage: check vs the definition
+    on instances whose image we compute."""
+    q = DatalogQuery(parse_program("G(x,z) <- S(x,y,u), S(u,y,z)."), "G")
+    inst = parse_instance("S('a','b','m'). S('m','b','c').")
+    image = split_views.image(inst)
+    answers = certain_answers(q, split_views, image)
+    assert ("a", "c") in answers
+    # and certain answers are sound: they hold in the actual instance
+    assert answers <= q.evaluate(inst)
+
+
+def test_certain_answers_filter_skolems():
+    views = ViewSet([View("VP", parse_cq("V(x) <- R(x,y)"))])
+    q = DatalogQuery(parse_program("G(x,y) <- R(x,y)."), "G")
+    image = Instance()
+    image.add_tuple("VP", ("a",))
+    assert certain_answers(q, views, image) == set()  # y is a null
+
+
+@pytest.fixture
+def ex1():
+    query = DatalogQuery(parse_program(
+        """
+        GoalQ() <- U1(x), W1(x).
+        W1(x) <- T(x,y,z), B(z,w), B(y,w), W1(w).
+        W1(x) <- U2(x).
+        """
+    ), "GoalQ")
+    views = ViewSet([
+        View("V0", parse_cq("V(x,w) <- T(x,y,z), B(z,w), B(y,w)")),
+        View("V1", parse_cq("V(x) <- U1(x)")),
+        View("V2", parse_cq("V(x) <- U2(x)")),
+    ])
+    return query, views
+
+
+def test_rewriting_matches_chase_semantics(ex1):
+    """The de-functionalized program == the skolem chase, on random
+    view instances (not just view images)."""
+    query, views = ex1
+    rewriting = inverse_rules_rewriting(query, views)
+    for seed in range(10):
+        j = random_instance(seed, {"V0": 2, "V1": 1, "V2": 1})
+        expected = certain_answers(query, views, j)
+        got = rewriting.evaluate(j)
+        assert got == expected
+
+
+def test_rewriting_is_exact_on_images(ex1):
+    query, views = ex1
+    rewriting = inverse_rules_rewriting(query, views)
+    for seed in range(10):
+        inst = random_instance(seed, {"T": 3, "B": 2, "U1": 1, "U2": 1})
+        assert rewriting.evaluate(views.image(inst)) == query.evaluate(inst)
+
+
+def test_frontier_guarded_output():
+    """Guard completion makes the program FGDL for an FGDL query."""
+    query = DatalogQuery(parse_program(
+        """
+        T2(x,y) <- R(x,y).
+        T2(x,y) <- R(x,y), T2(y,z).
+        Goal() <- T2(x,y), U(x).
+        """
+    ), "Goal")
+    views = ViewSet([
+        View("VR", parse_cq("V(x,y) <- R(x,y)")),
+        View("VU", parse_cq("V(x) <- U(x)")),
+    ])
+    plain = inverse_rules_rewriting(query, views, frontier_guard=False)
+    guarded = inverse_rules_rewriting(query, views, frontier_guard=True)
+    assert guarded.program.is_frontier_guarded()
+    for seed in range(8):
+        j = random_instance(seed, {"VR": 2, "VU": 1})
+        assert plain.evaluate(j) == guarded.evaluate(j)
+
+
+def test_empty_rewriting_when_answer_invisible():
+    """A query whose answers can never be skolem-free."""
+    query = DatalogQuery(parse_program("G(y) <- R(x,y)."), "G")
+    views = ViewSet([View("VP", parse_cq("V(x) <- R(x,y)"))])
+    rewriting = inverse_rules_rewriting(query, views)
+    j = Instance()
+    j.add_tuple("VP", ("a",))
+    assert rewriting.evaluate(j) == set()

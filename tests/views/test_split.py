@@ -1,0 +1,97 @@
+"""Disconnected-view splitting (proof of Thm 2)."""
+
+import pytest
+
+from repro.core.parser import parse_cq, parse_instance
+from repro.views.split import reconstruct_image, split_disconnected_views
+from repro.views.view import View, ViewSet
+
+from tests.conftest import random_instance
+
+
+@pytest.fixture
+def disconnected():
+    return ViewSet([
+        View("V", parse_cq("V(x,y) <- Q1(x,u), Q2(y,w)")),
+        View("VC", parse_cq("V(x) <- Q1(x,u)")),  # already connected
+    ])
+
+
+def test_split_produces_free_variable_connected_views(disconnected):
+    """Each part is 'free-variable-connected' (the paper's term): its
+    head variables live in a single connected component of the body,
+    the rest being ∃-closed guards."""
+    import networkx as nx
+
+    from repro.core.gaifman import gaifman_graph
+    from repro.core.cq import CanonConst
+
+    new_views, plan = split_disconnected_views(disconnected)
+    assert len(new_views) == 3  # V·0, V·1, VC
+    for view in new_views:
+        cq = view.definition
+        if not cq.head_vars:
+            continue
+        graph = gaifman_graph(cq.canonical_database())
+        components = list(nx.connected_components(graph))
+        frozen_heads = {CanonConst(v.name) for v in cq.head_vars}
+        assert any(frozen_heads <= comp for comp in components)
+    assert [name for name, _ in plan["V"]] == ["V·0", "V·1"]
+    assert plan["VC"] == [("VC", (0,))]
+
+
+def test_parts_are_projections_of_original(disconnected):
+    """Each part's rows are a projection of the original view's rows."""
+    new_views, plan = split_disconnected_views(disconnected)
+    for seed in range(8):
+        inst = random_instance(seed, {"Q1": 2, "Q2": 2})
+        original_rows = disconnected.image(inst).tuples("V")
+        split_image = new_views.image(inst)
+        for part_name, positions in plan["V"]:
+            expected = {
+                tuple(row[p] for p in positions)
+                for row in original_rows
+            }
+            assert split_image.tuples(part_name) == frozenset(expected)
+
+
+def test_reconstruct_image_round_trip(disconnected):
+    new_views, plan = split_disconnected_views(disconnected)
+    for seed in range(10):
+        inst = random_instance(seed, {"Q1": 2, "Q2": 2})
+        original_image = disconnected.image(inst)
+        rebuilt = reconstruct_image(
+            new_views.image(inst), plan, disconnected
+        )
+        assert rebuilt == original_image
+
+
+def test_boolean_component_becomes_guard():
+    views = ViewSet([
+        View("V", parse_cq("V(x) <- Q1(x,u), Flag(f)")),
+    ])
+    new_views, plan = split_disconnected_views(views)
+    # two components, but only one carries the head variable; the
+    # other (Flag) has no head vars and appears as a guard part
+    part_names = [name for name, _ in plan["V"]]
+    assert len(part_names) == 2
+    inst = parse_instance("Q1('a','b'). Flag('z').")
+    rebuilt = reconstruct_image(new_views.image(inst), plan, views)
+    assert rebuilt == views.image(inst)
+    # without the flag, the view (and all parts) are empty
+    inst2 = parse_instance("Q1('a','b').")
+    assert len(new_views.image(inst2)) == 0
+    assert len(views.image(inst2)) == 0
+
+
+def test_non_cq_views_pass_through():
+    from repro.core.datalog import DatalogQuery
+    from repro.core.parser import parse_program
+
+    recursive = DatalogQuery(parse_program(
+        "T(x,y) <- R(x,y). T(x,y) <- R(x,z), T(z,y)."
+    ), "T", "VT")
+    views = ViewSet([View("VT", recursive)])
+    new_views, plan = split_disconnected_views(views)
+    assert new_views.names() == ["VT"]
+    assert plan["VT"] == [("VT", (0, 1))]

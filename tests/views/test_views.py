@@ -1,0 +1,111 @@
+"""Views and view images."""
+
+import pytest
+
+from repro.core.datalog import DatalogQuery
+from repro.core.parser import parse_cq, parse_instance, parse_program, parse_ucq
+from repro.views.view import View, ViewSet, atomic_views
+
+
+@pytest.fixture
+def mixed_views():
+    recursive = DatalogQuery(parse_program(
+        """
+        T(x,y) <- R(x,y).
+        T(x,y) <- R(x,y), T(y,z).
+        """
+    ), "T", "VT")
+    return ViewSet([
+        View("VR", parse_cq("V(x,y) <- R(x,y)")),
+        View("VU", parse_ucq("V(x) <- U(x). V(x) <- W(x).")),
+        View("VT", recursive),
+    ])
+
+
+def test_view_arity_and_fragment(mixed_views):
+    assert mixed_views["VR"].arity == 2
+    assert mixed_views["VR"].fragment() == "CQ"
+    assert mixed_views["VU"].fragment() == "UCQ"
+    assert mixed_views["VT"].fragment() == "FGDL"
+
+
+def test_duplicate_names_rejected():
+    v = View("V", parse_cq("V(x) <- U(x)"))
+    with pytest.raises(ValueError):
+        ViewSet([v, v])
+
+
+def test_view_schema_and_base(mixed_views):
+    schema = mixed_views.view_schema()
+    assert schema.arity("VR") == 2 and schema.arity("VU") == 1
+    assert mixed_views.base_predicates() == {"R", "U", "W"}
+
+
+def test_image(mixed_views):
+    inst = parse_instance("R('a','b'). R('b','c'). U('a'). W('z').")
+    image = mixed_views.image(inst)
+    assert image.tuples("VR") == frozenset({("a", "b"), ("b", "c")})
+    assert image.tuples("VU") == frozenset({("a",), ("z",)})
+    assert ("a", "b") in image.tuples("VT")
+
+
+def test_image_of_empty_is_empty(mixed_views):
+    from repro.core.instance import Instance
+
+    assert len(mixed_views.image(Instance())) == 0
+
+
+def test_fragment_ranking(mixed_views):
+    assert mixed_views.fragment() == "FGDL"
+    cq_only = ViewSet([View("V", parse_cq("V(x) <- U(x)"))])
+    assert cq_only.fragment() == "CQ"
+
+
+def test_combined_program_cq_and_ucq(mixed_views):
+    program, _ = mixed_views.combined_program()
+    # view predicates appear as heads
+    assert {"VR", "VU", "VT"} <= program.idb_predicates()
+    # evaluating the combined program reproduces the image
+    inst = parse_instance("R('a','b'). U('a').")
+    from repro.core.evaluation import fixpoint
+
+    full = fixpoint(program, inst)
+    image = mixed_views.image(inst)
+    for name in mixed_views.names():
+        assert full.tuples(name) == image.tuples(name)
+
+
+def test_combined_program_recursive_goal():
+    """A view whose goal predicate feeds its own recursion."""
+    recursive = DatalogQuery(parse_program(
+        """
+        G(x,y) <- R(x,y).
+        G(x,y) <- R(x,z), G(z,y).
+        """
+    ), "G", "VG")
+    views = ViewSet([View("VG", recursive)])
+    program, _ = views.combined_program()
+    inst = parse_instance("R(1,2). R(2,3).")
+    from repro.core.evaluation import fixpoint
+
+    assert fixpoint(program, inst).tuples("VG") == views.image(
+        inst
+    ).tuples("VG")
+
+
+def test_atomic_views():
+    views = atomic_views({"R": 2, "U": 1})
+    names = {v.name for v in views}
+    assert names == {"VR", "VU"}
+    inst = parse_instance("R('a','b'). U('c').")
+    image = ViewSet(views).image(inst)
+    assert image.tuples("VR") == frozenset({("a", "b")})
+    assert image.tuples("VU") == frozenset({("c",)})
+
+
+def test_max_definition_radius():
+    views = ViewSet([
+        View("V1", parse_cq("V(x) <- R(x,y), R(y,z)")),
+        View("V2", parse_cq("V(x) <- U(x)")),
+    ])
+    assert views.max_definition_radius() == 1
