@@ -38,27 +38,27 @@ def _grid(n: int) -> Instance:
 
 
 @pytest.mark.parametrize("n", [10, 20, 30])
-def test_seminaive_chain(benchmark, n):
+def test_seminaive_chain(benchmark, engine_stats, n):
     inst = _chain(n)
     result = benchmark(seminaive_fixpoint, TC_PROGRAM, inst)
     assert len(result.tuples("T")) == n * (n + 1) // 2
 
 
 @pytest.mark.parametrize("n", [10, 20, 30])
-def test_naive_chain(benchmark, n):
+def test_naive_chain(benchmark, engine_stats, n):
     inst = _chain(n)
     result = benchmark(naive_fixpoint, TC_PROGRAM, inst)
     assert len(result.tuples("T")) == n * (n + 1) // 2
 
 
 @pytest.mark.parametrize("n", [3, 4])
-def test_seminaive_grid(benchmark, n):
+def test_seminaive_grid(benchmark, engine_stats, n):
     inst = _grid(n)
     result = benchmark(seminaive_fixpoint, TC_PROGRAM, inst)
     assert result == naive_fixpoint(TC_PROGRAM, inst)
 
 
 @pytest.mark.parametrize("n", [3, 4])
-def test_naive_grid(benchmark, n):
+def test_naive_grid(benchmark, engine_stats, n):
     inst = _grid(n)
     benchmark(naive_fixpoint, TC_PROGRAM, inst)

@@ -37,7 +37,7 @@ def _count(ordering: str, target: Instance) -> int:
 
 
 @pytest.mark.parametrize("ordering", ["dynamic", "static", "connected"])
-def test_ordering(benchmark, ordering, target):
+def test_ordering(benchmark, engine_stats, ordering, target):
     count = benchmark(_count, ordering, target)
     # all orderings agree on the answer
     assert count == _count("dynamic", target)

@@ -20,7 +20,7 @@ from repro.views.view import View, ViewSet
 from benchmarks.conftest import report
 
 
-def test_t1_cq_rewriting(benchmark):
+def test_t1_cq_rewriting(benchmark, engine_stats):
     """Cell (CQ, any views): CQ rewriting, polynomial size (Prop. 8a)."""
     q = parse_cq("Q(x) <- R(x,y), S(y,z), U(z)")
     tc = DatalogQuery(parse_program(
@@ -45,7 +45,7 @@ def test_t1_cq_rewriting(benchmark):
     )
 
 
-def test_t1_ucq_rewriting(benchmark):
+def test_t1_ucq_rewriting(benchmark, engine_stats):
     """Cell (UCQ, any views): UCQ rewriting (Prop. 8b)."""
     q = parse_ucq(
         """
@@ -68,7 +68,7 @@ def test_t1_ucq_rewriting(benchmark):
     )
 
 
-def test_t1_mdl_cq_fgdl_rewriting(benchmark):
+def test_t1_mdl_cq_fgdl_rewriting(benchmark, engine_stats):
     """Cell (MDL, CQ views): FGDL rewriting exists ([14]/Thm 2)..."""
     from repro.constructions.diamonds import diamond_query, diamond_views
 
@@ -87,7 +87,7 @@ def test_t1_mdl_cq_fgdl_rewriting(benchmark):
     )
 
 
-def test_t1_mdl_cq_not_mdl(benchmark):
+def test_t1_mdl_cq_not_mdl(benchmark, engine_stats):
     """... but not necessarily an MDL rewriting (Thm 7)."""
     from repro.constructions.diamonds import (
         diamond_query,
@@ -116,7 +116,7 @@ def test_t1_mdl_cq_not_mdl(benchmark):
     )
 
 
-def test_t1_datalog_fgdl(benchmark):
+def test_t1_datalog_fgdl(benchmark, engine_stats):
     """Cell (Datalog, FGDL views): Datalog rewriting (Thm 1).
 
     Exercised on Example 1 (CQ views, the [14] route) plus the
@@ -154,7 +154,7 @@ def test_t1_datalog_fgdl(benchmark):
     )
 
 
-def test_t1_thm8_no_datalog_rewriting(benchmark):
+def test_t1_thm8_no_datalog_rewriting(benchmark, engine_stats):
     """Cell (MDL, UCQ views): NOT necessarily Datalog rewritable (Thm 8)."""
     from repro.constructions.thm8 import build_witness
 
@@ -177,7 +177,7 @@ def test_t1_thm8_no_datalog_rewriting(benchmark):
     )
 
 
-def test_t1_mdl_rewriting_via_automata(benchmark):
+def test_t1_mdl_rewriting_via_automata(benchmark, engine_stats):
     """Thm 1, last part: MDL queries get MDL rewritings — the full
     exact pipeline (forward → project onto atomic views → MDL
     backward)."""

@@ -33,7 +33,7 @@ def _random_path_cq(rng: random.Random, length: int):
     return parse_cq("Q(x0) <- " + ", ".join(atoms))
 
 
-def test_t2_cq_cq(benchmark):
+def test_t2_cq_cq(benchmark, engine_stats):
     """Cell (CQ, CQ): NP-complete [21] — the exact checker over a
     generated family; decisions match a brute-force oracle by design
     (the Prop. 8 criterion *is* the definition here)."""
@@ -68,7 +68,7 @@ def test_t2_cq_cq(benchmark):
     )
 
 
-def test_t2_cq_datalog(benchmark):
+def test_t2_cq_datalog(benchmark, engine_stats):
     """Cell (CQ, Datalog): decidable in 2ExpTime (Thm 5)."""
     tc = DatalogQuery(parse_program(
         "P(x,y) <- R(x,y). P(x,y) <- R(x,z), P(z,y)."
@@ -97,7 +97,7 @@ def test_t2_cq_datalog(benchmark):
     )
 
 
-def test_t2_fgdl(benchmark):
+def test_t2_fgdl(benchmark, engine_stats):
     """Cell (FGDL, FGDL): decidable in 2ExpTime (Thm 3) — the ETEST
     pipeline with treewidth instrumentation (bounded rendering)."""
     q = DatalogQuery(parse_program(
@@ -128,7 +128,7 @@ def test_t2_fgdl(benchmark):
     )
 
 
-def test_t2_undecidable_reduction(benchmark):
+def test_t2_undecidable_reduction(benchmark, engine_stats):
     """Cell (MDL, UCQ): undecidable (Thm 6) — the reduction is faithful
     on decidable tiling instances."""
     from repro.constructions.reduction_thm6 import thm6_query, thm6_views
@@ -162,7 +162,7 @@ def test_t2_undecidable_reduction(benchmark):
     )
 
 
-def test_t2_lower_bounds(benchmark):
+def test_t2_lower_bounds(benchmark, engine_stats):
     """Prop. 9: the reductions from equivalence/containment."""
 
     def run_cases():
@@ -203,7 +203,7 @@ def test_t2_lower_bounds(benchmark):
     )
 
 
-def test_t2_mdl_cq_thm4(benchmark):
+def test_t2_mdl_cq_thm4(benchmark, engine_stats):
     """Cell (MDL, FGDL+CQ): decidable in 3ExpTime (Thm 4) — the MDL
     pipeline with normalization (Prop. 2) and the Lemma 1/Lemma 3
     treewidth quantities instrumented."""
@@ -243,7 +243,7 @@ def test_t2_mdl_cq_thm4(benchmark):
     )
 
 
-def test_t2_cross_validation(benchmark):
+def test_t2_cross_validation(benchmark, engine_stats):
     """The exact Thm 5 path and the finite-test-space path agree."""
     rng = random.Random(13)
     cases = []

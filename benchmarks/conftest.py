@@ -4,9 +4,21 @@ Every benchmark prints the paper's claim next to what we measure, so
 ``pytest benchmarks/ --benchmark-only -s`` regenerates the rows of
 Table 1, Table 2 and the figure constructions (see DESIGN.md §3 and
 EXPERIMENTS.md for the recorded outcomes).
+
+Benchmarks that request the :func:`engine_stats` fixture additionally
+record the engine's low-level counters (homomorphism calls, rows
+scanned, index rebuilds, fixpoint rounds, join-plan cache traffic,
+phase wall times) into the benchmark's ``extra_info``, so a run with
+``--benchmark-json=BENCH_tables.json`` emits them under
+``benchmarks[*].extra_info.engine``.
 """
 
 from __future__ import annotations
+
+import pytest
+
+from repro.core import stats as _stats
+from repro.core.stats import EngineStats
 
 
 def report(experiment: str, claim: str, measured: str) -> None:
@@ -14,3 +26,21 @@ def report(experiment: str, claim: str, measured: str) -> None:
     print(f"\n[{experiment}]")
     print(f"  paper   : {claim}")
     print(f"  measured: {measured}")
+
+
+@pytest.fixture
+def engine_stats(benchmark):
+    """Collect engine counters for the whole test into the bench JSON.
+
+    Counters are cumulative over every benchmark round the test runs
+    (pytest-benchmark calibrates with many rounds), so they measure
+    *shape* (what the engine did), not per-call cost — the timing
+    columns measure cost.
+    """
+    stats = EngineStats()
+    _stats._ACTIVE.append(stats)
+    try:
+        yield stats
+    finally:
+        _stats._ACTIVE.remove(stats)
+        benchmark.extra_info["engine"] = stats.as_dict()

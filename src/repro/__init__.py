@@ -23,8 +23,11 @@ paper-vs-measured record.
 """
 
 from repro.core import (
+    ANY,
     Atom,
     CanonConst,
+    EngineStats,
+    collecting,
     ConjunctiveQuery,
     ContainmentResult,
     DatalogProgram,
@@ -95,6 +98,7 @@ from repro.games import duplicator_wins, unravel
 __version__ = "1.0.0"
 
 __all__ = [
+    "ANY", "EngineStats", "collecting",
     "Atom", "CanonConst", "ConjunctiveQuery", "ContainmentResult",
     "DatalogProgram", "DatalogQuery", "Fact", "Instance", "Rule",
     "Schema", "UCQ", "Variable", "Verdict", "approximations",

@@ -138,6 +138,12 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="monotonic determinacy & rewritability toolkit",
     )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print engine counters (homomorphism calls, rows scanned, "
+        "index rebuilds, phase times) to stderr after the command",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     decide = sub.add_parser("decide", help="decide monotonic determinacy")
@@ -166,6 +172,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    if args.stats:
+        from repro.core.stats import EngineStats, collecting
+
+        stats = EngineStats()
+        with stats.phase("total"), collecting(stats):
+            code = args.func(args)
+        print(stats.render(), file=sys.stderr)
+        return code
     return args.func(args)
 
 

@@ -2,8 +2,9 @@
 
 from repro.core.terms import Variable, variables, Term
 from repro.core.atoms import Atom, Fact, make_fact
-from repro.core.instance import Instance
+from repro.core.instance import ANY, Instance
 from repro.core.schema import Schema
+from repro.core.stats import EngineStats, collecting
 from repro.core.cq import ConjunctiveQuery, CanonConst, cq_from_instance
 from repro.core.ucq import UCQ, as_ucq
 from repro.core.datalog import Rule, DatalogProgram, DatalogQuery
@@ -60,6 +61,7 @@ from repro.core.parser import (
 )
 
 __all__ = [
+    "ANY", "EngineStats", "collecting",
     "Variable", "variables", "Term", "Atom", "Fact", "make_fact",
     "Instance", "Schema", "ConjunctiveQuery", "CanonConst",
     "cq_from_instance", "UCQ", "as_ucq", "Rule", "DatalogProgram",

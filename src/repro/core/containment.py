@@ -18,14 +18,22 @@ is a sound refuter parameterized by expansion depth.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 from enum import Enum
 from typing import Optional, Union
 
+from repro.core import stats as _stats
 from repro.core.cq import ConjunctiveQuery
 from repro.core.datalog import DatalogQuery
 from repro.core.ucq import UCQ, as_ucq
 from repro.core.approximation import approximations
+
+
+def _phase(name: str):
+    """Wall-time phase context when an engine-stats collector is active."""
+    collector = _stats.active()
+    return collector.phase(name) if collector is not None else nullcontext()
 
 
 class Verdict(Enum):
@@ -56,12 +64,14 @@ QueryLike = Union[ConjunctiveQuery, UCQ, DatalogQuery]
 
 def cq_contained(sub: ConjunctiveQuery, sup: ConjunctiveQuery) -> bool:
     """``sub ⊑ sup`` for CQs (NP-complete, Chandra–Merlin)."""
-    return sub.is_contained_in(sup)
+    with _phase("containment.cq"):
+        return sub.is_contained_in(sup)
 
 
 def ucq_contained(sub: QueryLike, sup: QueryLike) -> bool:
     """``sub ⊑ sup`` for (coercible-to-)UCQs (Π₂ᵖ-complete)."""
-    return as_ucq(sub).is_contained_in(as_ucq(sup))
+    with _phase("containment.ucq"):
+        return as_ucq(sub).is_contained_in(as_ucq(sup))
 
 
 def cq_contained_in_datalog(
@@ -72,11 +82,12 @@ def cq_contained_in_datalog(
     The canonical database of each disjunct is evaluated under ``sup``;
     by genericity and monotonicity this decides containment.
     """
-    for disjunct in as_ucq(sub).disjuncts:
-        canon = disjunct.canonical_database()
-        if not sup.holds(canon, disjunct.frozen_head()):
-            return False
-    return True
+    with _phase("containment.cq_in_datalog"):
+        for disjunct in as_ucq(sub).disjuncts:
+            canon = disjunct.canonical_database()
+            if not sup.holds(canon, disjunct.frozen_head()):
+                return False
+        return True
 
 
 def datalog_contained_in_ucq(
@@ -94,15 +105,19 @@ def datalog_contained_in_ucq(
     if max_depth is None:
         from repro.automata.containment import datalog_in_ucq_exact
 
-        return datalog_in_ucq_exact(sub, sup_ucq)
-    for approx in approximations(sub, max_depth):
-        if not any(approx.is_contained_in(d) for d in sup_ucq.disjuncts):
-            return ContainmentResult(
-                Verdict.NO, approx, f"expansion of depth ≤ {max_depth} escapes"
-            )
-    return ContainmentResult(
-        Verdict.UNKNOWN, None, f"all expansions up to depth {max_depth} pass"
-    )
+        with _phase("containment.automata"):
+            return datalog_in_ucq_exact(sub, sup_ucq)
+    with _phase("containment.bounded"):
+        for approx in approximations(sub, max_depth):
+            if not any(approx.is_contained_in(d) for d in sup_ucq.disjuncts):
+                return ContainmentResult(
+                    Verdict.NO, approx,
+                    f"expansion of depth ≤ {max_depth} escapes",
+                )
+        return ContainmentResult(
+            Verdict.UNKNOWN, None,
+            f"all expansions up to depth {max_depth} pass",
+        )
 
 
 def datalog_contained_bounded(
@@ -114,14 +129,15 @@ def datalog_contained_bounded(
     (each individual check is exact).  ``NO`` results carry a witness
     expansion; otherwise the verdict is ``UNKNOWN``.
     """
-    for approx in approximations(sub, max_depth):
-        if not cq_contained_in_datalog(approx, sup):
-            return ContainmentResult(
-                Verdict.NO, approx, "witness expansion found"
-            )
-    return ContainmentResult(
-        Verdict.UNKNOWN, None, f"verified up to depth {max_depth}"
-    )
+    with _phase("containment.bounded"):
+        for approx in approximations(sub, max_depth):
+            if not cq_contained_in_datalog(approx, sup):
+                return ContainmentResult(
+                    Verdict.NO, approx, "witness expansion found"
+                )
+        return ContainmentResult(
+            Verdict.UNKNOWN, None, f"verified up to depth {max_depth}"
+        )
 
 
 def datalog_equivalent_bounded(

@@ -8,18 +8,33 @@ Two strategies:
   considers rule instantiations using at least one *newly derived* IDB
   fact, via delta-rule rewriting of each rule body.
 
-Both return the minimal IDB-extension of the input instance satisfying
-the program, i.e. ``FPEval(Π, I)`` including the original EDB facts.
+Semi-naive evaluation resolves each delta rule's join plan **once** per
+fixpoint call and replays it on every subsequent round (the plan is
+keyed by rule and delta position; any join order is correct, so reusing
+one planned against an earlier state is sound).  Pass
+``stats=EngineStats()`` to count rounds, derived facts and plan-cache
+traffic.
+
+Both strategies return the minimal IDB-extension of the input instance
+satisfying the program, i.e. ``FPEval(Π, I)`` including the original
+EDB facts.
 """
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Iterator, Optional
 
+from repro.core import stats as _stats
 from repro.core.atoms import Atom
 from repro.core.datalog import DatalogProgram, Rule
-from repro.core.homomorphism import _bindings_for_row, _pattern, homomorphisms
+from repro.core.homomorphism import (
+    _bindings_for_row,
+    _pattern,
+    homomorphisms,
+    resolve_plan,
+)
 from repro.core.instance import Instance
+from repro.core.stats import EngineStats
 
 
 def _rule_derivations(rule: Rule, instance: Instance) -> Iterator[Atom]:
@@ -31,21 +46,66 @@ def _rule_derivations(rule: Rule, instance: Instance) -> Iterator[Atom]:
         yield rule.head.substitute(hom)
 
 
-def naive_fixpoint(program: DatalogProgram, instance: Instance) -> Instance:
-    """Round-based naive evaluation."""
-    state = instance.copy()
-    changed = True
-    while changed:
-        derived = [
-            fact
-            for rule in program.rules
-            for fact in _rule_derivations(rule, state)
-        ]
-        changed = False
-        for fact in derived:
-            if state.add(fact):
-                changed = True
-    return state
+def naive_fixpoint(
+    program: DatalogProgram,
+    instance: Instance,
+    stats: Optional[EngineStats] = None,
+) -> Instance:
+    """Round-based naive evaluation (the correctness oracle)."""
+    with _stats.maybe_collecting(stats):
+        collector = _stats.active()
+        state = instance.copy()
+        changed = True
+        while changed:
+            if collector is not None:
+                collector.fixpoint_rounds += 1
+            derived = [
+                fact
+                for rule in program.rules
+                for fact in _rule_derivations(rule, state)
+            ]
+            changed = False
+            for fact in derived:
+                if state.add(fact):
+                    changed = True
+                    if collector is not None:
+                        collector.facts_derived += 1
+        return state
+
+
+class _PlanCache:
+    """Resolved join orders, keyed per (rule, delta position, strategy).
+
+    Semi-naive rounds evaluate the *same* delta rules against a growing
+    state; the ordering decision (and, for large bodies, the connected
+    join order itself) is identical work each round, so it is resolved
+    once and replayed.  A cached order planned against an earlier state
+    remains correct — join order never affects the answer set, only the
+    search cost — and the planning inputs (relation cardinalities) only
+    grow monotonically during a fixpoint, which keeps the relative
+    selectivities representative.
+    """
+
+    __slots__ = ("_plans", "_stats")
+
+    def __init__(self, collector: Optional[EngineStats]) -> None:
+        self._plans: dict[tuple, tuple[list[Atom], str]] = {}
+        self._stats = collector
+
+    def ordering_for(
+        self, key: tuple, atoms: list[Atom], target: Instance
+    ) -> tuple[list[Atom], str]:
+        """The (ordered atoms, replay ordering) for a cached join."""
+        plan = self._plans.get(key)
+        if plan is None:
+            ordered, dynamic = resolve_plan(atoms, target, "auto")
+            plan = (ordered, "dynamic" if dynamic else "static")
+            self._plans[key] = plan
+            if self._stats is not None:
+                self._stats.plan_cache_misses += 1
+        elif self._stats is not None:
+            self._stats.plan_cache_hits += 1
+        return plan
 
 
 def _delta_derivations(
@@ -53,6 +113,9 @@ def _delta_derivations(
     state: Instance,
     delta: Instance,
     idb: set[str],
+    rule_key: int,
+    plans: _PlanCache,
+    delta_patterns: list,
 ) -> Iterator[Atom]:
     """Derivations of ``rule`` using >=1 delta fact for some IDB body atom.
 
@@ -67,48 +130,81 @@ def _delta_derivations(
         if atom.pred not in idb:
             continue
         rest = body[:i] + body[i + 1:]
-        for row in delta.matching(atom.pred, _pattern(atom, {})):
+        pattern = delta_patterns[i]
+        ordered, ordering = plans.ordering_for((rule_key, i), rest, state)
+        for row in delta.matching(atom.pred, pattern):
             seed = _bindings_for_row(atom, row, {})
             if seed is None:
                 continue
-            for hom in homomorphisms(rest, state, fixed=seed):
+            for hom in homomorphisms(
+                ordered, state, fixed=seed, ordering=ordering
+            ):
                 yield rule.head.substitute(hom)
 
 
-def seminaive_fixpoint(program: DatalogProgram, instance: Instance) -> Instance:
-    """Semi-naive evaluation with per-round deltas."""
-    idb = program.idb_predicates()
-    state = instance.copy()
+def seminaive_fixpoint(
+    program: DatalogProgram,
+    instance: Instance,
+    stats: Optional[EngineStats] = None,
+) -> Instance:
+    """Semi-naive evaluation with per-round deltas and cached plans."""
+    with _stats.maybe_collecting(stats):
+        collector = _stats.active()
+        idb = program.idb_predicates()
+        state = instance.copy()
+        plans = _PlanCache(collector)
+        # Per rule: the empty-assignment match pattern of each body atom
+        # (constants + ANY wildcards), computed once instead of per round.
+        delta_patterns = [
+            [_pattern(atom, {}) for atom in rule.body]
+            for rule in program.rules
+        ]
+        recursive = [
+            (key, rule)
+            for key, rule in enumerate(program.rules)
+            if any(a.pred in idb for a in rule.body)
+        ]
 
-    # Round 0: rules fire on the EDB alone (plus unconditional facts).
-    delta = Instance()
-    for rule in program.rules:
-        for fact in _rule_derivations(rule, state):
-            if fact not in state:
-                delta.add(fact)
-    state.update(delta.facts())
-
-    while len(delta):
-        fresh = Instance()
+        # Round 0: rules fire on the EDB alone (plus unconditional facts).
+        delta = Instance()
+        if collector is not None:
+            collector.fixpoint_rounds += 1
         for rule in program.rules:
-            if not any(a.pred in idb for a in rule.body):
-                continue  # cannot use new IDB facts
-            for fact in _delta_derivations(rule, state, delta, idb):
-                if fact not in state and fact not in fresh:
-                    fresh.add(fact)
-        state.update(fresh.facts())
-        delta = fresh
-    return state
+            for fact in _rule_derivations(rule, state):
+                if fact not in state:
+                    delta.add(fact)
+        state.update(delta.facts())
+        if collector is not None:
+            collector.facts_derived += len(delta)
+
+        while len(delta):
+            if collector is not None:
+                collector.fixpoint_rounds += 1
+            fresh = Instance()
+            for key, rule in recursive:
+                for fact in _delta_derivations(
+                    rule, state, delta, idb, key, plans, delta_patterns[key]
+                ):
+                    if fact not in state and fact not in fresh:
+                        fresh.add(fact)
+            state.update(fresh.facts())
+            if collector is not None:
+                collector.facts_derived += len(fresh)
+            delta = fresh
+        return state
 
 
 def fixpoint(
-    program: DatalogProgram, instance: Instance, strategy: str = "seminaive"
+    program: DatalogProgram,
+    instance: Instance,
+    strategy: str = "seminaive",
+    stats: Optional[EngineStats] = None,
 ) -> Instance:
     """``FPEval(Π, I)`` with a selectable strategy."""
     if strategy == "seminaive":
-        return seminaive_fixpoint(program, instance)
+        return seminaive_fixpoint(program, instance, stats)
     if strategy == "naive":
-        return naive_fixpoint(program, instance)
+        return naive_fixpoint(program, instance, stats)
     raise ValueError(f"unknown strategy {strategy!r}")
 
 

@@ -6,28 +6,43 @@ pebble-game machinery all reduce to it.  We implement backtracking join
 over the atoms of the source pattern with
 
 * per-atom candidate enumeration through the instance's positional index,
-* dynamic "fewest candidates first" atom ordering (with a static mode kept
-  for the ablation benchmark ABL-HOM), and
+* dynamic "fewest candidates first" atom ordering driven by the
+  instance's O(1) selectivity counts (with a static mode kept for the
+  ablation benchmark ABL-HOM), and
 * early consistency checks for repeated variables.
 
-Constants map to themselves (standard CQ semantics, §2).
+Unbound pattern slots use :data:`repro.core.instance.ANY`; ``None`` is a
+legitimate data element and never acts as a wildcard.  Constants map to
+themselves (standard CQ semantics, §2).
+
+Pass ``stats=EngineStats()`` (or activate one ambiently via
+:func:`repro.core.stats.collecting`) to count homomorphism calls, search
+steps and candidate rows scanned.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Iterator, Mapping, Optional, Sequence
 
+from repro.core import stats as _stats
 from repro.core.atoms import Atom
-from repro.core.instance import Instance
+from repro.core.instance import ANY, Instance
 from repro.core.terms import Variable, is_variable
+
+_MISSING = object()  # "no binding" marker distinct from any data value
 
 
 def _pattern(atom: Atom, assignment: Mapping) -> list:
-    """The match pattern of ``atom`` under the current partial assignment."""
+    """The match pattern of ``atom`` under the current partial assignment.
+
+    Unbound variables become the ``ANY`` wildcard — *not* ``None``,
+    which would incorrectly wildcard-match instances containing ``None``
+    as a data element.
+    """
     pattern = []
     for term in atom.args:
         if is_variable(term):
-            pattern.append(assignment.get(term))
+            pattern.append(assignment.get(term, ANY))
         else:
             pattern.append(term)
     return pattern
@@ -39,13 +54,16 @@ def _bindings_for_row(
     """New variable bindings making ``atom`` match ``row``, or None.
 
     Checks consistency for repeated variables within the atom and against
-    the existing assignment.
+    the existing assignment.  A variable bound to ``None`` counts as
+    bound (hence the ``_MISSING`` sentinel rather than ``.get(term)``).
     """
     new: dict = {}
     for term, value in zip(atom.args, row):
         if is_variable(term):
-            bound = assignment.get(term, new.get(term))
-            if bound is None:
+            bound = assignment.get(term, _MISSING)
+            if bound is _MISSING:
+                bound = new.get(term, _MISSING)
+            if bound is _MISSING:
                 new[term] = value
             elif bound != value:
                 return None
@@ -63,6 +81,7 @@ def _search(
     target: Instance,
     assignment: dict,
     dynamic: bool,
+    stats=None,
 ) -> Iterator[dict]:
     """Yield total assignments extending ``assignment`` over all atoms.
 
@@ -96,45 +115,55 @@ def _search(
             remaining,
         )
     ]
-    while stack:
-        atom, rows, made, pool = stack[-1]
-        if made is not None:
-            for key in made:
-                del assignment[key]
-            stack[-1] = (atom, rows, None, pool)
-        advanced = False
-        for row in rows:
-            new = _bindings_for_row(atom, row, assignment)
-            if new is None:
-                continue
-            assignment.update(new)
-            if not pool:
-                yield dict(assignment)
-                for key in new:
+    rows_scanned = 0
+    steps = 1
+    try:
+        while stack:
+            atom, rows, made, pool = stack[-1]
+            if made is not None:
+                for key in made:
                     del assignment[key]
-                continue
-            stack[-1] = (atom, rows, new, pool)
-            rest = list(pool)
-            nxt = pick(rest)
-            stack.append(
-                (
-                    nxt,
-                    target.matching(nxt.pred, _pattern(nxt, assignment)),
-                    None,
-                    rest,
+                stack[-1] = (atom, rows, None, pool)
+            advanced = False
+            for row in rows:
+                rows_scanned += 1
+                new = _bindings_for_row(atom, row, assignment)
+                if new is None:
+                    continue
+                assignment.update(new)
+                if not pool:
+                    yield dict(assignment)
+                    for key in new:
+                        del assignment[key]
+                    continue
+                stack[-1] = (atom, rows, new, pool)
+                rest = list(pool)
+                nxt = pick(rest)
+                stack.append(
+                    (
+                        nxt,
+                        target.matching(nxt.pred, _pattern(nxt, assignment)),
+                        None,
+                        rest,
+                    )
                 )
-            )
-            advanced = True
-            break
-        if not advanced:
-            stack.pop()
+                steps += 1
+                advanced = True
+                break
+            if not advanced:
+                stack.pop()
+    finally:
+        if stats is not None:
+            stats.rows_scanned += rows_scanned
+            stats.search_steps += steps
 
 
 def _connected_order(atoms: list[Atom], target: Instance) -> list[Atom]:
     """A one-shot join order: cheapest seed, then variable-connected.
 
     Used for large patterns where per-step candidate counting (dynamic
-    ordering) costs more than it saves.
+    ordering) costs more than it saves.  Relation sizes come from the
+    instance's O(1) per-predicate counters.
     """
     remaining = list(atoms)
     ordered: list[Atom] = []
@@ -145,7 +174,7 @@ def _connected_order(atoms: list[Atom], target: Instance) -> list[Atom]:
         ] or remaining
         best = min(
             connected,
-            key=lambda a: len(target.tuples(a.pred)),
+            key=lambda a: target.size(a.pred),
         )
         remaining.remove(best)
         ordered.append(best)
@@ -156,11 +185,36 @@ def _connected_order(atoms: list[Atom], target: Instance) -> list[Atom]:
 _DYNAMIC_ATOM_LIMIT = 30
 
 
+def resolve_plan(
+    atoms: list[Atom], target: Instance, ordering: str = "auto"
+) -> tuple[list[Atom], bool]:
+    """Resolve an ordering request into ``(atom_order, dynamic_flag)``.
+
+    Exposed so callers evaluating the same rule repeatedly (semi-naive
+    rounds) can cache the resolved plan and replay it with
+    ``ordering="static"`` / ``"dynamic"`` instead of re-planning —
+    see :mod:`repro.core.evaluation`.
+    """
+    if ordering == "auto":
+        ordering = (
+            "dynamic" if len(atoms) <= _DYNAMIC_ATOM_LIMIT
+            else "connected"
+        )
+    if ordering == "connected":
+        return _connected_order(atoms, target), False
+    if ordering == "static":
+        return atoms, False
+    if ordering == "dynamic":
+        return atoms, True
+    raise ValueError(f"unknown ordering {ordering!r}")
+
+
 def homomorphisms(
     atoms: Iterable[Atom],
     target: Instance,
     fixed: Optional[Mapping[Variable, object]] = None,
     ordering: str = "auto",
+    stats=None,
 ) -> Iterator[dict]:
     """All homomorphisms from the atom set into ``target``.
 
@@ -173,18 +227,17 @@ def homomorphisms(
     * ``"connected"`` — one-shot connected join order;
     * ``"auto"`` (default) — dynamic below ``_DYNAMIC_ATOM_LIMIT``
       atoms, connected above.
+
+    ``stats`` is an optional :class:`repro.core.stats.EngineStats`; when
+    omitted the ambient collector (if any) is used.
     """
-    atom_list = list(atoms)
-    if ordering == "auto":
-        ordering = (
-            "dynamic" if len(atom_list) <= _DYNAMIC_ATOM_LIMIT
-            else "connected"
-        )
-    if ordering == "connected":
-        atom_list = _connected_order(atom_list, target)
-        ordering = "static"
+    atom_list, dynamic = resolve_plan(list(atoms), target, ordering)
+    if stats is None:
+        stats = _stats.active()
+    if stats is not None:
+        stats.hom_calls += 1
     assignment: dict = dict(fixed) if fixed else {}
-    yield from _search(atom_list, target, assignment, ordering == "dynamic")
+    yield from _search(atom_list, target, assignment, dynamic, stats)
 
 
 def find_homomorphism(

@@ -3,8 +3,16 @@
 An :class:`Instance` is a set of facts over a schema (§2).  Internally
 facts are stored as a map ``pred -> set of argument tuples`` which makes
 joins, view application, and fixpoint evaluation efficient.  A secondary
-index ``(pred, position, value) -> tuples`` is built lazily for pattern
-matching and invalidated on mutation.
+index ``(pred, position, value) -> tuples`` plus exact cardinality
+counts per index key are built lazily for pattern matching and then
+maintained *incrementally*: adding a fact appends to the live index,
+discarding one tombstones its rows, so fixpoint rounds that interleave
+``add`` with ``matching`` never trigger full rebuilds.
+
+Pattern slots use the :data:`ANY` sentinel for "match any value".
+``None`` is an ordinary (indexable) data element, **not** a wildcard —
+see the regression tests in ``tests/core/test_instance_index.py`` for
+the bug this prevents.
 """
 
 from __future__ import annotations
@@ -12,8 +20,22 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Any, Callable, Iterable, Iterator, Optional, Sequence
 
+from repro.core import stats as _stats
 from repro.core.atoms import Atom, Fact
 from repro.core.schema import Schema
+
+
+class _AnySentinel:
+    """The wildcard marker for pattern slots (singleton :data:`ANY`)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "ANY"
+
+
+ANY = _AnySentinel()
+"""Wildcard pattern slot: matches every value, including ``None``."""
 
 
 class Instance:
@@ -22,14 +44,25 @@ class Instance:
     Supports the operations the paper uses pervasively: active domain
     computation, restriction to a sub-signature, unions, element renaming
     (homomorphic images), and sub-instance checks.
+
+    ``__eq__`` is structural and ``__hash__`` is consistent with it
+    (computed from :meth:`frozen_key`); as with any mutable container,
+    do not mutate an instance while it sits in a set or dict key.
     """
 
-    __slots__ = ("_tuples", "_index", "_index_dirty")
+    __slots__ = ("_tuples", "_index", "_counts", "_index_live", "_dead")
 
     def __init__(self, facts: Iterable[Fact] = ()) -> None:
         self._tuples: dict[str, set[tuple]] = defaultdict(set)
+        # (pred, pos, value) -> list of rows; built lazily, then kept
+        # live across adds.  _counts holds the exact number of *live*
+        # rows per key (tombstoned rows are excluded).  _dead counts
+        # rows discarded since the last rebuild: when 0 the index lists
+        # contain no stale entries and matching can skip its filter.
         self._index: dict[tuple, list[tuple]] = {}
-        self._index_dirty = True
+        self._counts: dict[tuple, int] = {}
+        self._index_live = False
+        self._dead = 0
         for fact in facts:
             self.add(fact)
 
@@ -61,8 +94,29 @@ class Instance:
         rows = self._tuples[pred]
         if args in rows:
             return False
+        if any(a is ANY for a in args):
+            raise ValueError(
+                f"the ANY pattern sentinel is not a data value: {pred}{args!r}"
+            )
         rows.add(args)
-        self._index_dirty = True
+        if self._index_live:
+            # Maintain the index in place instead of invalidating it.
+            index = self._index
+            counts = self._counts
+            for pos, val in enumerate(args):
+                key = (pred, pos, val)
+                bucket = index.get(key)
+                count = counts.get(key, 0)
+                if bucket is None:
+                    index[key] = [args]
+                elif count >= len(bucket) or args not in bucket:
+                    # count < len(bucket) means tombstones exist under
+                    # this key; re-adding a tombstoned row must not
+                    # duplicate its index entry.
+                    bucket.append(args)
+                counts[key] = count + 1
+            if _stats._ACTIVE:
+                _stats._ACTIVE[-1].index_incremental += 1
         return True
 
     def update(self, facts: Iterable[Fact]) -> None:
@@ -73,7 +127,18 @@ class Instance:
         rows = self._tuples.get(fact.pred)
         if rows is not None and fact.args in rows:
             rows.remove(fact.args)
-            self._index_dirty = True
+            if self._index_live:
+                # Tombstone: decrement counts, leave the stale rows in
+                # the index lists (matching filters them while _dead>0).
+                counts = self._counts
+                for pos, val in enumerate(fact.args):
+                    key = (fact.pred, pos, val)
+                    remaining = counts.get(key, 0) - 1
+                    if remaining > 0:
+                        counts[key] = remaining
+                    else:
+                        counts.pop(key, None)
+                self._dead += 1
 
     def copy(self) -> "Instance":
         clone = Instance()
@@ -94,6 +159,11 @@ class Instance:
     def tuples(self, pred: str) -> frozenset:
         """All argument tuples of relation ``pred`` (empty if absent)."""
         return frozenset(self._tuples.get(pred, ()))
+
+    def size(self, pred: str) -> int:
+        """Number of facts of relation ``pred`` — O(1)."""
+        rows = self._tuples.get(pred)
+        return len(rows) if rows is not None else 0
 
     def predicates(self) -> set[str]:
         """Relation names with at least one fact."""
@@ -131,8 +201,25 @@ class Instance:
         preds = self.predicates() | other.predicates()
         return all(self.tuples(p) == other.tuples(p) for p in preds)
 
-    def __hash__(self) -> int:  # instances are mutable; identity hash
-        return id(self)
+    def frozen_key(self) -> frozenset:
+        """Immutable structural snapshot: ``frozenset`` of (pred, row).
+
+        Two instances are ``==`` iff their frozen keys are equal, so
+        this is the safe thing to deduplicate on (sets of visited
+        states in ``automata/``, ``games/``, ``determinacy/``) — it
+        stays valid even if the instance mutates afterwards.
+        """
+        return frozenset(
+            (pred, row)
+            for pred, rows in self._tuples.items()
+            for row in rows
+        )
+
+    def __hash__(self) -> int:
+        # Consistent with structural __eq__ (equal instances hash
+        # equal).  O(n): prefer frozen_key() for long-lived set/dict
+        # membership of instances that may still mutate.
+        return hash(self.frozen_key())
 
     def __le__(self, other: "Instance") -> bool:
         """Sub-instance check (fact-set inclusion)."""
@@ -162,45 +249,82 @@ class Instance:
     # pattern matching (used by the homomorphism engine and FPEval)
     # ------------------------------------------------------------------
     def _build_index(self) -> None:
-        self._index = defaultdict(list)
+        index: dict[tuple, list[tuple]] = defaultdict(list)
+        counts: dict[tuple, int] = defaultdict(int)
         for pred, rows in self._tuples.items():
             for row in rows:
                 for pos, val in enumerate(row):
-                    self._index[(pred, pos, val)].append(row)
-        self._index_dirty = False
+                    key = (pred, pos, val)
+                    index[key].append(row)
+                    counts[key] += 1
+        self._index = dict(index)
+        self._counts = dict(counts)
+        self._index_live = True
+        self._dead = 0
+        if _stats._ACTIVE:
+            _stats._ACTIVE[-1].index_rebuilds += 1
 
     def matching(
-        self, pred: str, pattern: Sequence[Optional[Any]]
+        self, pred: str, pattern: Sequence[Any]
     ) -> Iterator[tuple]:
         """Yield tuples of ``pred`` agreeing with ``pattern``.
 
-        ``pattern`` is a sequence where ``None`` means "any value".  Uses
-        the positional index when some position is bound, otherwise scans.
-        Repeated values in the pattern are enforced.
+        ``pattern`` is a sequence where the :data:`ANY` sentinel means
+        "any value"; every other entry (including ``None``) must match
+        exactly.  Uses the positional index when some position is
+        bound, otherwise scans.  Repeated values in the pattern are
+        enforced.
         """
         rows = self._tuples.get(pred)
         if not rows:
             return
-        bound = [(i, v) for i, v in enumerate(pattern) if v is not None]
+        bound = [(i, v) for i, v in enumerate(pattern) if v is not ANY]
         if bound:
-            if self._index_dirty:
+            if not self._index_live:
                 self._build_index()
-            # Pick the most selective bound position.
-            best: Optional[list[tuple]] = None
+            # Pick the most selective bound position by live count.
+            counts = self._counts
+            best_key = None
+            best_count = -1
             for pos, val in bound:
-                cands = self._index.get((pred, pos, val), [])
-                if best is None or len(cands) < len(best):
-                    best = cands
-            candidates: Iterable[tuple] = best if best is not None else rows
+                count = counts.get((pred, pos, val), 0)
+                if count == 0:
+                    return  # exact: no live row matches this position
+                if best_count < 0 or count < best_count:
+                    best_count = count
+                    best_key = (pred, pos, val)
+            candidates: Iterable[tuple] = self._index.get(best_key, ())
         else:
             candidates = rows
-        for row in candidates:
-            if row not in rows:  # stale index entry after discard
-                continue
-            if all(row[i] == v for i, v in bound):
-                yield row
+        if self._dead:
+            # Stale entries linger in index lists until the next full
+            # rebuild; filter them out against the authoritative rows.
+            for row in candidates:
+                if row in rows and all(row[i] == v for i, v in bound):
+                    yield row
+        else:
+            for row in candidates:
+                if all(row[i] == v for i, v in bound):
+                    yield row
 
-    def count_matching(self, pred: str, pattern: Sequence[Optional[Any]]) -> int:
+    def count_matching(self, pred: str, pattern: Sequence[Any]) -> int:
+        """Exact number of tuples matching ``pattern``.
+
+        O(1) for patterns binding at most one position (the common case
+        in fewest-candidates-first join ordering); exact enumeration
+        otherwise.
+        """
+        rows = self._tuples.get(pred)
+        if not rows:
+            return 0
+        bound = [(i, v) for i, v in enumerate(pattern) if v is not ANY]
+        if not bound:
+            return len(rows)
+        if not self._index_live:
+            self._build_index()
+        if len(bound) == 1:
+            pos, val = bound[0]
+            return self._counts.get((pred, pos, val), 0)
         return sum(1 for _ in self.matching(pred, pattern))
 
     # ------------------------------------------------------------------

@@ -1,0 +1,140 @@
+"""Engine instrumentation: counters for the homomorphism/fixpoint core.
+
+An :class:`EngineStats` object aggregates the low-level work the engine
+performs — homomorphism searches started, candidate rows scanned,
+positional-index rebuilds, fixpoint rounds, join-plan cache traffic and
+per-phase wall time.  Collection is strictly opt-in: when no collector
+is active the hot paths pay (at most) one ``is None`` check.
+
+Two ways to collect:
+
+* pass ``stats=EngineStats()`` explicitly to :func:`repro.core.evaluation.fixpoint`
+  or :func:`repro.core.homomorphism.homomorphisms`; or
+* activate a collector ambiently with :func:`collecting` — everything the
+  engine does inside the ``with`` block is attributed to it.  The CLI's
+  ``--stats`` flag and the benchmark harness use this route.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager, nullcontext
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+
+@dataclass
+class EngineStats:
+    """Counters for one measured region of engine work.
+
+    All counters are cumulative totals for the region during which the
+    object was active (a benchmark run may accumulate several rounds).
+    """
+
+    hom_calls: int = 0            # homomorphism searches started
+    search_steps: int = 0         # backtracking frames pushed
+    rows_scanned: int = 0         # candidate rows examined by _search
+    index_rebuilds: int = 0       # full positional-index (re)builds
+    index_incremental: int = 0    # rows added to a live index in place
+    fixpoint_rounds: int = 0      # naive/semi-naive iterations
+    facts_derived: int = 0        # new facts added by fixpoint rounds
+    plan_cache_hits: int = 0      # join plans reused across rounds
+    plan_cache_misses: int = 0    # join plans resolved fresh
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Accumulate wall time under ``phase_seconds[name]``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.phase_seconds[name] = (
+                self.phase_seconds.get(name, 0.0) + elapsed
+            )
+
+    def merge(self, other: "EngineStats") -> None:
+        """Add ``other``'s counters into this object."""
+        self.hom_calls += other.hom_calls
+        self.search_steps += other.search_steps
+        self.rows_scanned += other.rows_scanned
+        self.index_rebuilds += other.index_rebuilds
+        self.index_incremental += other.index_incremental
+        self.fixpoint_rounds += other.fixpoint_rounds
+        self.facts_derived += other.facts_derived
+        self.plan_cache_hits += other.plan_cache_hits
+        self.plan_cache_misses += other.plan_cache_misses
+        for name, secs in other.phase_seconds.items():
+            self.phase_seconds[name] = (
+                self.phase_seconds.get(name, 0.0) + secs
+            )
+
+    def as_dict(self) -> dict:
+        """JSON-ready snapshot (used for benchmark ``extra_info``)."""
+        return {
+            "hom_calls": self.hom_calls,
+            "search_steps": self.search_steps,
+            "rows_scanned": self.rows_scanned,
+            "index_rebuilds": self.index_rebuilds,
+            "index_incremental": self.index_incremental,
+            "fixpoint_rounds": self.fixpoint_rounds,
+            "facts_derived": self.facts_derived,
+            "plan_cache_hits": self.plan_cache_hits,
+            "plan_cache_misses": self.plan_cache_misses,
+            "phase_seconds": dict(self.phase_seconds),
+        }
+
+    def render(self) -> str:
+        """Human-readable table (the CLI's ``--stats`` output)."""
+        rows = [
+            ("homomorphism calls", self.hom_calls),
+            ("search steps", self.search_steps),
+            ("rows scanned", self.rows_scanned),
+            ("index rebuilds", self.index_rebuilds),
+            ("index rows added in place", self.index_incremental),
+            ("fixpoint rounds", self.fixpoint_rounds),
+            ("facts derived", self.facts_derived),
+            ("join-plan cache hits", self.plan_cache_hits),
+            ("join-plan cache misses", self.plan_cache_misses),
+        ]
+        lines = ["engine stats:"]
+        for label, value in rows:
+            lines.append(f"  {label:<26} {value}")
+        for name, secs in sorted(self.phase_seconds.items()):
+            lines.append(f"  phase {name:<20} {secs * 1000:.2f} ms")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# ambient collector (a stack, so collections nest cleanly)
+# ---------------------------------------------------------------------------
+_ACTIVE: list[EngineStats] = []
+
+
+def active() -> Optional[EngineStats]:
+    """The innermost active collector, or None."""
+    return _ACTIVE[-1] if _ACTIVE else None
+
+
+@contextmanager
+def collecting(stats: Optional[EngineStats] = None) -> Iterator[EngineStats]:
+    """Activate ``stats`` (a fresh object if None) for the block."""
+    if stats is None:
+        stats = EngineStats()
+    _ACTIVE.append(stats)
+    try:
+        yield stats
+    finally:
+        _ACTIVE.pop()
+
+
+def maybe_collecting(stats: Optional[EngineStats]):
+    """``collecting(stats)`` when given a collector, else a no-op context.
+
+    Lets engine entry points accept an optional ``stats`` argument
+    without duplicating both code paths.
+    """
+    if stats is None:
+        return nullcontext()
+    return collecting(stats)

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.core.atoms import Atom
-from repro.core.instance import Instance
+from repro.core.instance import ANY, Instance
 from repro.core.parser import parse_instance
 
 
@@ -41,9 +41,9 @@ def test_discard_updates_matching():
     inst = Instance()
     inst.add_tuple("R", (1, 2))
     inst.add_tuple("R", (1, 3))
-    assert set(inst.matching("R", (1, None))) == {(1, 2), (1, 3)}
+    assert set(inst.matching("R", (1, ANY))) == {(1, 2), (1, 3)}
     inst.discard(Atom("R", (1, 2)))
-    assert set(inst.matching("R", (1, None))) == {(1, 3)}
+    assert set(inst.matching("R", (1, ANY))) == {(1, 3)}
 
 
 def test_matching_with_repeated_pattern_values():
@@ -57,11 +57,11 @@ def test_matching_unbound_pattern_scans_all():
     inst = Instance()
     inst.add_tuple("R", (1, 2))
     inst.add_tuple("R", (3, 4))
-    assert set(inst.matching("R", (None, None))) == {(1, 2), (3, 4)}
+    assert set(inst.matching("R", (ANY, ANY))) == {(1, 2), (3, 4)}
 
 
 def test_matching_missing_predicate_is_empty():
-    assert list(Instance().matching("R", (None,))) == []
+    assert list(Instance().matching("R", (ANY,))) == []
 
 
 def test_restrict_and_drop():

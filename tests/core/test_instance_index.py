@@ -1,0 +1,145 @@
+"""Regression tests for the positional index and pattern-slot semantics.
+
+Covers three latent bugs of the original engine:
+
+* ``None`` acting as a wildcard both in patterns and (via unbound
+  variables in ``_pattern``) in homomorphism search, so instances
+  containing ``None`` as a *data element* matched incorrectly;
+* stale rows lingering in the index after ``discard`` being filtered on
+  every ``matching`` call even when no discard ever happened;
+* ``count_matching`` scanning all candidates instead of using the
+  maintained cardinality counts.
+"""
+
+import random
+
+import pytest
+
+from repro.core.atoms import Atom, Fact
+from repro.core.homomorphism import homomorphisms
+from repro.core.instance import ANY, Instance
+from repro.core.parser import parse_cq
+from repro.core.terms import Variable
+
+
+# ---------------------------------------------------------------------------
+# None is a data element, ANY is the wildcard
+# ---------------------------------------------------------------------------
+def test_none_data_element_is_not_a_wildcard():
+    inst = Instance.of(Fact("R", (None, 1)), Fact("R", (2, 3)))
+    # pattern slot None must match only the value None
+    assert set(inst.matching("R", (None, ANY))) == {(None, 1)}
+    # the wildcard still matches everything, including None
+    assert set(inst.matching("R", (ANY, ANY))) == {(None, 1), (2, 3)}
+    assert inst.count_matching("R", (None, ANY)) == 1
+    assert inst.count_matching("R", (ANY, ANY)) == 2
+
+
+def test_variable_bound_to_none_stays_bound_in_homomorphism():
+    # Seed bug: after binding x=None the join pattern for S(x,y) became
+    # (None, None) == "scan everything" and x was silently *rebound*,
+    # yielding the bogus answer {x: 2, y: 3}.
+    inst = Instance.of(
+        Fact("R", (None,)), Fact("S", (None, 1)), Fact("S", (2, 3))
+    )
+    q = parse_cq("Q(x,y) <- R(x), S(x,y)")
+    homs = list(homomorphisms(q.atoms, inst))
+    assert homs == [{Variable("x"): None, Variable("y"): 1}]
+
+
+def test_constant_none_in_atom_matches_exactly():
+    inst = Instance.of(Fact("R", (None, "a")), Fact("R", ("b", "a")))
+    atom = Atom("R", (None, Variable("y")))
+    homs = list(homomorphisms([atom], inst))
+    assert homs == [{Variable("y"): "a"}]
+
+
+def test_any_sentinel_rejected_as_data():
+    inst = Instance()
+    with pytest.raises(ValueError):
+        inst.add_tuple("R", (ANY, 1))
+
+
+# ---------------------------------------------------------------------------
+# incremental index maintenance
+# ---------------------------------------------------------------------------
+def test_add_after_index_build_is_visible():
+    inst = Instance.of(Fact("R", (1, 2)))
+    assert set(inst.matching("R", (1, ANY))) == {(1, 2)}  # builds index
+    inst.add_tuple("R", (1, 3))  # must update the live index in place
+    assert set(inst.matching("R", (1, ANY))) == {(1, 2), (1, 3)}
+    assert inst.count_matching("R", (1, ANY)) == 2
+
+
+def test_discard_then_reAdd_does_not_duplicate_matches():
+    inst = Instance.of(Fact("R", (1, 2)), Fact("R", (1, 3)))
+    list(inst.matching("R", (1, ANY)))  # build index
+    inst.discard(Atom("R", (1, 2)))
+    assert set(inst.matching("R", (1, ANY))) == {(1, 3)}
+    assert inst.count_matching("R", (1, ANY)) == 1
+    inst.add_tuple("R", (1, 2))  # re-add a tombstoned row
+    assert sorted(inst.matching("R", (1, ANY))) == [(1, 2), (1, 3)]
+    assert inst.count_matching("R", (1, ANY)) == 2
+
+
+def test_counts_stay_exact_under_churn():
+    rng = random.Random(5)
+    inst = Instance()
+    shadow: set[tuple] = set()
+    for step in range(400):
+        row = (rng.randrange(6), rng.randrange(6))
+        if rng.random() < 0.65:
+            inst.add_tuple("R", row)
+            shadow.add(row)
+        else:
+            inst.discard(Atom("R", row))
+            shadow.discard(row)
+        if step % 7 == 0:  # exercise the index path mid-churn
+            val = rng.randrange(6)
+            expected = {r for r in shadow if r[0] == val}
+            assert set(inst.matching("R", (val, ANY))) == expected
+            assert inst.count_matching("R", (val, ANY)) == len(expected)
+            # multi-bound pattern takes the exact slow path
+            val2 = rng.randrange(6)
+            expected2 = {r for r in shadow if r[0] == val and r[1] == val2}
+            assert inst.count_matching("R", (val, val2)) == len(expected2)
+    assert set(inst.tuples("R")) == shadow
+
+
+def test_count_matching_unbound_is_relation_size():
+    inst = Instance.of(Fact("R", (1, 2)), Fact("R", (3, 4)))
+    assert inst.count_matching("R", (ANY, ANY)) == 2
+    assert inst.count_matching("S", (ANY,)) == 0
+    assert inst.size("R") == 2
+    assert inst.size("S") == 0
+
+
+# ---------------------------------------------------------------------------
+# structural hashing
+# ---------------------------------------------------------------------------
+def test_equal_instances_hash_equal():
+    # Seed bug: identity __hash__ with structural __eq__ meant equal
+    # instances landed in different hash buckets, silently duplicating
+    # states in any set/dict of instances.
+    a = Instance.of(Fact("R", (1, 2)), Fact("S", ("x",)))
+    b = Instance()
+    b.add_tuple("S", ("x",))
+    b.add_tuple("R", (1, 2))
+    assert a == b
+    assert hash(a) == hash(b)
+    assert len({a, b}) == 1
+
+
+def test_frozen_key_is_structural_snapshot():
+    a = Instance.of(Fact("R", (1, 2)))
+    key = a.frozen_key()
+    assert key == frozenset({("R", (1, 2))})
+    a.add_tuple("R", (3, 4))
+    assert a.frozen_key() != key  # snapshot, not a live view
+
+
+def test_empty_relations_do_not_affect_hash():
+    a = Instance.of(Fact("R", (1,)))
+    b = Instance.of(Fact("R", (1,)), Fact("S", (2,)))
+    b.discard(Atom("S", (2,)))
+    assert a == b and hash(a) == hash(b)

@@ -114,6 +114,18 @@ def test_eval(workspace, capsys):
     assert "('a',)" in out
 
 
+def test_eval_with_stats(workspace, capsys):
+    code = main([
+        "--stats",
+        "eval", str(workspace / "q_dl.txt"), str(workspace / "db.txt"),
+    ])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "engine stats:" in captured.err
+    assert "homomorphism calls" in captured.err
+    assert "fixpoint rounds" in captured.err
+
+
 def test_views_file_without_blocks(workspace, tmp_path):
     empty = tmp_path / "bad.txt"
     empty.write_text("V(x) <- R(x,y).\n")
