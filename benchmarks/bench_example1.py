@@ -4,8 +4,6 @@ Verifies the paper's claimed rewritings against direct evaluation, and
 records the erratum our checker found in the V3/V4 claim.
 """
 
-import pytest
-
 from repro.constructions.example1 import (
     chain_instance,
     example1_query,

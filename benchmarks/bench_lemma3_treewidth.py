@@ -9,7 +9,7 @@ report the margin.
 
 import pytest
 
-from repro.core.parser import parse_cq, parse_instance
+from repro.core.parser import parse_cq
 from repro.determinacy.automata_checker import lemma3_bound
 from repro.rewriting.generators import binary_tree, chain, cycle
 from repro.td.heuristics import decompose, treewidth_exact

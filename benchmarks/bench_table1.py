@@ -7,11 +7,9 @@ construction cost measured by pytest-benchmark.
 
 import pytest
 
-from repro.core.containment import Verdict
 from repro.core.datalog import DatalogQuery
 from repro.core.homomorphism import instance_maps_into
 from repro.core.parser import parse_cq, parse_program, parse_ucq
-from repro.determinacy.cq_query import decide_cq_ucq
 from repro.rewriting.datalog_rewriting import datalog_rewriting
 from repro.rewriting.forward_backward import rewrite_forward_backward
 from repro.rewriting.verification import check_rewriting

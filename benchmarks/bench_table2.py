@@ -8,8 +8,6 @@ undecidability reduction (Thm 6 cell).
 
 import random
 
-import pytest
-
 from repro.core.containment import Verdict
 from repro.core.datalog import DatalogQuery
 from repro.core.parser import parse_cq, parse_program

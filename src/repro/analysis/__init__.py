@@ -1,0 +1,48 @@
+"""Static analysis of Datalog programs (diagnostics, dependency
+structure, fragment classification, dead-rule pruning).
+
+Validates and explains a program *before* a 2ExpTime-grade construction
+runs on it: arity/schema consistency, rule safety, goal reachability,
+duplicate and subsumed rules, cartesian-product bodies, and fragment
+membership (MDL / frontier-guarded / linear / connected) with per-rule
+witnesses.  The dependency analysis also feeds the SCC-stratified
+fixpoint engine (:func:`repro.core.evaluation.stratified_fixpoint`) and
+the ``python -m repro lint`` CLI.
+"""
+
+from repro.analysis.analyzer import (
+    AnalysisContext,
+    AnalysisReport,
+    ProgramAnalysisError,
+    ProgramAnalyzer,
+    analyze_query,
+)
+from repro.analysis.dependency import (
+    SCC,
+    DependencyGraph,
+    FragmentReport,
+    FragmentViolation,
+    evaluation_strata,
+    fragment_report,
+    prune_unreachable,
+)
+from repro.analysis.diagnostics import CODES, Diagnostic, Severity, make
+
+__all__ = [
+    "AnalysisContext",
+    "AnalysisReport",
+    "ProgramAnalysisError",
+    "ProgramAnalyzer",
+    "analyze_query",
+    "SCC",
+    "DependencyGraph",
+    "FragmentReport",
+    "FragmentViolation",
+    "evaluation_strata",
+    "fragment_report",
+    "prune_unreachable",
+    "CODES",
+    "Diagnostic",
+    "Severity",
+    "make",
+]

@@ -1,0 +1,206 @@
+"""The program analyzer: run registered passes, collect diagnostics.
+
+Entry points:
+
+* :func:`analyze_query` — analyze a :class:`~repro.core.datalog.DatalogQuery`
+  (or bare program), optionally against a :class:`~repro.views.view.ViewSet`
+  and the :class:`~repro.core.parser.ProgramSource` it was parsed from
+  (for source spans);
+* :class:`ProgramAnalyzer` — the reusable engine behind it, with a
+  ``register`` hook for custom passes.
+
+The result is an :class:`AnalysisReport`: ordered diagnostics plus the
+dependency and fragment structure, with renderers for the ``repro lint``
+text and JSON outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional, Union
+
+from repro.analysis.dependency import (
+    DependencyGraph,
+    FragmentReport,
+    fragment_report,
+)
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.passes import DEFAULT_PASSES
+from repro.core.datalog import DatalogProgram, DatalogQuery
+from repro.core.parser import ProgramSource, Span, SourceRule
+from repro.views.view import ViewSet
+
+AnalysisPass = Callable[["AnalysisContext"], Iterable[Diagnostic]]
+Analyzable = Union[DatalogQuery, DatalogProgram]
+
+
+@dataclass
+class AnalysisContext:
+    """Everything a pass may look at (shared, computed once)."""
+
+    program: DatalogProgram
+    goal: Optional[str]
+    views: Optional[ViewSet]
+    source: Optional[ProgramSource]
+    dependency: DependencyGraph
+    fragment: FragmentReport
+    _entries: tuple[Optional[SourceRule], ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.source is not None and not self._entries:
+            aligned = tuple(
+                entry for entry in self.source.entries
+                if entry.rule is not None
+            )
+            if len(aligned) == len(self.program.rules):
+                self._entries = aligned
+        if not self._entries:
+            self._entries = (None,) * len(self.program.rules)
+
+    def rule_span(self, index: int) -> Optional[Span]:
+        entry = self._entries[index]
+        return entry.span if entry is not None else None
+
+    def head_span(self, index: int) -> Optional[Span]:
+        entry = self._entries[index]
+        return entry.head_span if entry is not None else None
+
+    def atom_span(self, rule_index: int, atom_index: int) -> Optional[Span]:
+        entry = self._entries[rule_index]
+        return entry.atom_span(atom_index) if entry is not None else None
+
+
+@dataclass(frozen=True)
+class AnalysisReport:
+    """The analyzer's findings for one program (+ optional views)."""
+
+    diagnostics: tuple[Diagnostic, ...]
+    fragment: FragmentReport
+    dependency: DependencyGraph
+
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    def infos(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.INFO]
+
+    def has_errors(self) -> bool:
+        return bool(self.errors())
+
+    def codes(self) -> set[str]:
+        return {d.code for d in self.diagnostics}
+
+    def max_severity(self) -> Optional[Severity]:
+        if not self.diagnostics:
+            return None
+        return max(d.severity for d in self.diagnostics)
+
+    def render_text(self, path: Optional[str] = None) -> str:
+        lines = [d.render(path) for d in self.diagnostics]
+        errors, warnings = len(self.errors()), len(self.warnings())
+        lines.append(
+            f"{errors} error(s), {warnings} warning(s), "
+            f"fragment {self.fragment.label}"
+        )
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict:
+        return {
+            "diagnostics": [d.as_dict() for d in self.diagnostics],
+            "summary": {
+                "errors": len(self.errors()),
+                "warnings": len(self.warnings()),
+                "infos": len(self.infos()),
+            },
+            "fragment": self.fragment.as_dict(),
+            "sccs": [
+                {
+                    "predicates": sorted(scc.predicates),
+                    "recursive": scc.recursive,
+                    "linear": scc.linear,
+                    "rules": list(scc.rule_indices),
+                }
+                for scc in self.dependency.sccs
+            ],
+        }
+
+
+class ProgramAnalyzer:
+    """Runs a pipeline of analysis passes over a program."""
+
+    def __init__(self, passes: Optional[Iterable[AnalysisPass]] = None) -> None:
+        self._passes: list[AnalysisPass] = list(
+            DEFAULT_PASSES if passes is None else passes
+        )
+
+    def register(self, analysis_pass: AnalysisPass) -> None:
+        """Append a custom pass to the pipeline."""
+        self._passes.append(analysis_pass)
+
+    def analyze(
+        self,
+        target: Analyzable,
+        views: Optional[ViewSet] = None,
+        source: Optional[ProgramSource] = None,
+        goal: Optional[str] = None,
+    ) -> AnalysisReport:
+        if isinstance(target, DatalogQuery):
+            program, goal = target.program, target.goal
+        else:
+            program = target
+        dependency = DependencyGraph(program)
+        fragment = fragment_report(program, dependency)
+        ctx = AnalysisContext(
+            program=program,
+            goal=goal,
+            views=views,
+            source=source,
+            dependency=dependency,
+            fragment=fragment,
+        )
+        found: list[Diagnostic] = []
+        for analysis_pass in self._passes:
+            found.extend(analysis_pass(ctx))
+        # a duplicate rule is trivially subsumed by its twin: keep the
+        # specific W101 and drop the redundant W102 for the same rule
+        duplicated = {
+            d.rule_index
+            for d in found
+            if d.code == "W101" and d.rule_index is not None
+        }
+        found = [
+            d
+            for d in found
+            if not (d.code == "W102" and d.rule_index in duplicated)
+        ]
+        found.sort(key=Diagnostic.sort_key)
+        return AnalysisReport(tuple(found), fragment, dependency)
+
+
+def analyze_query(
+    target: Analyzable,
+    views: Optional[ViewSet] = None,
+    source: Optional[ProgramSource] = None,
+    goal: Optional[str] = None,
+) -> AnalysisReport:
+    """Analyze with the default pass pipeline.
+
+    ``goal`` names the goal predicate when ``target`` is a bare program
+    (a :class:`DatalogQuery` carries its own); it need not be an IDB —
+    an unknown goal is reported as E003 rather than raised.
+    """
+    return ProgramAnalyzer().analyze(
+        target, views=views, source=source, goal=goal
+    )
+
+
+class ProgramAnalysisError(ValueError):
+    """A procedure refused its input because analysis found errors."""
+
+    def __init__(self, report: AnalysisReport, context: str) -> None:
+        self.report = report
+        details = "; ".join(d.render() for d in report.errors())
+        super().__init__(f"{context}: {details}")

@@ -1,0 +1,100 @@
+"""The diagnostic vocabulary of the static analyzer.
+
+A :class:`Diagnostic` is one finding about a program: a stable *code*
+(``E...`` error, ``W...`` warning, ``I...`` info), a severity, a
+human-readable message, and — when the program came from source text —
+a :class:`~repro.core.parser.Span` locating the offending rule or atom.
+
+The code registry (:data:`CODES`) is the contract between the analyzer,
+the ``repro lint`` CLI, and the test-suite waivers: codes are append-only
+and never change meaning.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.parser import Span
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity; higher values are more severe."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+
+#: Registry of all diagnostic codes: ``code -> (severity, title)``.
+CODES: dict[str, tuple[Severity, str]] = {
+    "E001": (Severity.ERROR, "inconsistent predicate arity"),
+    "E002": (Severity.ERROR, "unsafe rule"),
+    "E003": (Severity.ERROR, "undefined goal predicate"),
+    "E004": (Severity.ERROR, "syntax error"),
+    "E005": (Severity.ERROR, "empty program"),
+    "W101": (Severity.WARNING, "duplicate rule"),
+    "W102": (Severity.WARNING, "subsumed rule"),
+    "W103": (Severity.WARNING, "constant in rule head"),
+    "W104": (Severity.WARNING, "cartesian product in rule body"),
+    "W105": (Severity.WARNING, "rule unreachable from the goal"),
+    "W106": (Severity.WARNING, "predicate defined but never used"),
+    "W108": (Severity.WARNING, "view name shadows a program predicate"),
+    "I201": (Severity.INFO, "fragment classification"),
+    "I202": (Severity.INFO, "fragment explanation"),
+    "I203": (Severity.INFO, "recursion structure"),
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One analyzer finding."""
+
+    code: str
+    severity: Severity
+    message: str
+    span: Optional[Span] = None
+    rule_index: Optional[int] = None
+
+    def sort_key(self) -> tuple:
+        """Source order first, then severity (errors before warnings)."""
+        if self.span is not None:
+            position = (0, self.span.line, self.span.col)
+        else:
+            position = (1, 0, 0)
+        return (*position, -int(self.severity), self.code)
+
+    def render(self, path: Optional[str] = None) -> str:
+        """``file:line:col: CODE message`` (path and span optional)."""
+        where = path or "<input>"
+        if self.span is not None:
+            where = f"{where}:{self.span.label()}"
+        return f"{where}: {self.code} [{self.severity.label}] {self.message}"
+
+    def as_dict(self) -> dict:
+        out: dict = {
+            "code": self.code,
+            "severity": self.severity.label,
+            "message": self.message,
+        }
+        if self.span is not None:
+            out["span"] = self.span.as_dict()
+        if self.rule_index is not None:
+            out["rule"] = self.rule_index
+        return out
+
+
+def make(
+    code: str,
+    message: str,
+    span: Optional[Span] = None,
+    rule_index: Optional[int] = None,
+) -> Diagnostic:
+    """Build a diagnostic, taking the severity from the registry."""
+    severity, _title = CODES[code]
+    return Diagnostic(code, severity, message, span, rule_index)

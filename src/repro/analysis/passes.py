@@ -1,0 +1,312 @@
+"""The built-in analysis passes.
+
+Each pass is a plain function ``(AnalysisContext) -> Iterable[Diagnostic]``;
+:class:`~repro.analysis.analyzer.ProgramAnalyzer` runs every registered
+pass and merges the findings.  Passes never mutate the program.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Iterator, Optional
+
+from repro.analysis.dependency import rule_body_components
+from repro.analysis.diagnostics import Diagnostic, make
+from repro.core.atoms import Atom
+from repro.core.cq import ConjunctiveQuery
+from repro.core.optimize import rule_subsumes
+from repro.core.parser import Span
+from repro.core.terms import Variable
+from repro.core.ucq import UCQ
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.analyzer import AnalysisContext
+
+
+def _view_atoms(definition) -> Iterator[Atom]:
+    """Every atom of a view definition (CQ, UCQ or Datalog)."""
+    if isinstance(definition, ConjunctiveQuery):
+        yield from definition.atoms
+    elif isinstance(definition, UCQ):
+        for disjunct in definition.disjuncts:
+            yield from disjunct.atoms
+    else:
+        for rule in definition.program.rules:
+            yield rule.head
+            yield from rule.body
+
+
+def check_safety(ctx: "AnalysisContext") -> Iterable[Diagnostic]:
+    """E002 — rules whose head variables do not all occur in the body.
+
+    Safe rules are enforced by :class:`~repro.core.datalog.Rule` itself,
+    so violations can only come from lenient source parsing
+    (:func:`~repro.core.parser.parse_program_source`).
+    """
+    if ctx.source is None:
+        return
+    for entry in ctx.source.entries:
+        if entry.rule is None:
+            yield make("E002", entry.error or "unsafe rule", entry.head_span)
+
+
+def check_empty(ctx: "AnalysisContext") -> Iterable[Diagnostic]:
+    """E005 — a program with no (safe) rules cannot derive anything."""
+    if not ctx.program.rules:
+        yield make("E005", "program contains no rules")
+
+
+def check_goal(ctx: "AnalysisContext") -> Iterable[Diagnostic]:
+    """E003 — the goal must be an IDB (the head of some rule)."""
+    if ctx.goal is None:
+        return
+    if ctx.goal not in ctx.dependency.idb:
+        known = ", ".join(sorted(ctx.dependency.idb)) or "none"
+        yield make(
+            "E003",
+            f"goal predicate {ctx.goal} is not the head of any rule "
+            f"(IDBs: {known})",
+        )
+
+
+def check_arity_consistency(ctx: "AnalysisContext") -> Iterable[Diagnostic]:
+    """E001 — every predicate must be used with one arity everywhere.
+
+    Covers rule heads, rule bodies, and (when views are supplied) the
+    base-schema atoms of every view definition, so a query/view pair
+    that disagrees on a shared base relation is flagged before any
+    decision procedure runs.
+    """
+    seen: dict[str, tuple[int, Optional[Span], str]] = {}
+
+    def visit(
+        atom: Atom, span: Optional[Span], where: str
+    ) -> Iterator[Diagnostic]:
+        first = seen.get(atom.pred)
+        if first is None:
+            seen[atom.pred] = (atom.arity, span, where)
+        elif first[0] != atom.arity:
+            origin = f"first used with arity {first[0]} ({first[2]}"
+            if first[1] is not None:
+                origin += f" at {first[1].label()}"
+            origin += ")"
+            yield make(
+                "E001",
+                f"{atom.pred} used with arity {atom.arity} in {where}, "
+                f"{origin}",
+                span,
+            )
+
+    for index, rule in enumerate(ctx.program.rules):
+        yield from visit(
+            rule.head, ctx.head_span(index), f"head of rule #{index}"
+        )
+        for position, atom in enumerate(rule.body):
+            yield from visit(
+                atom,
+                ctx.atom_span(index, position),
+                f"body of rule #{index}",
+            )
+    if ctx.views is not None:
+        for view in ctx.views:
+            for atom in _view_atoms(view.definition):
+                yield from visit(atom, None, f"definition of view {view.name}")
+
+
+def check_duplicate_rules(ctx: "AnalysisContext") -> Iterable[Diagnostic]:
+    """W101 — rules identical up to a renaming of variables."""
+
+    def canonical(rule) -> tuple:
+        renaming: dict[Variable, str] = {}
+
+        def key(atom: Atom) -> tuple:
+            parts = []
+            for term in atom.args:
+                if isinstance(term, Variable):
+                    name = renaming.setdefault(term, f"_{len(renaming)}")
+                    parts.append(("var", name))
+                else:
+                    parts.append(("const", term))
+            return (atom.pred, tuple(parts))
+
+        return (key(rule.head), tuple(key(a) for a in rule.body))
+
+    first_of: dict[tuple, int] = {}
+    for index, rule in enumerate(ctx.program.rules):
+        shape = canonical(rule)
+        original = first_of.setdefault(shape, index)
+        if original != index:
+            yield make(
+                "W101",
+                f"rule #{index} duplicates rule #{original} "
+                f"({ctx.program.rules[original]!r})",
+                ctx.rule_span(index),
+                rule_index=index,
+            )
+
+
+def check_subsumed_rules(ctx: "AnalysisContext") -> Iterable[Diagnostic]:
+    """W102 — rules made redundant by a more general rule.
+
+    Uses the sound syntactic subsumption of
+    :func:`repro.core.optimize.rule_subsumes` (IDB body atoms treated as
+    opaque), so a flagged rule can be dropped without changing the
+    query on any instance.
+    """
+    rules = ctx.program.rules
+    for index, rule in enumerate(rules):
+        for other_index, other in enumerate(rules):
+            if other_index == index:
+                continue
+            if not rule_subsumes(other, rule):
+                continue
+            # mutual subsumption: keep the earlier rule, flag the later
+            if other_index > index and rule_subsumes(rule, other):
+                continue
+            yield make(
+                "W102",
+                f"rule #{index} is subsumed by rule #{other_index} "
+                f"({other!r})",
+                ctx.rule_span(index),
+                rule_index=index,
+            )
+            break
+
+
+def check_constant_in_head(ctx: "AnalysisContext") -> Iterable[Diagnostic]:
+    """W103 — non-fact rules whose head contains a constant.
+
+    Ground facts (empty body) are normal data; a *derivation* rule with
+    a constant head position usually indicates a typo (an upper-case
+    variable name becomes a constant in the text syntax).
+    """
+    for index, rule in enumerate(ctx.program.rules):
+        if not rule.body:
+            continue
+        constants = sorted(map(repr, rule.head.constants()))
+        if constants:
+            yield make(
+                "W103",
+                f"head of rule #{index} contains constant(s) "
+                f"{', '.join(constants)}",
+                ctx.head_span(index),
+                rule_index=index,
+            )
+
+
+def check_cartesian_body(ctx: "AnalysisContext") -> Iterable[Diagnostic]:
+    """W104 — rule bodies that join variable-disjoint parts.
+
+    Such a body is a cartesian product: the engine enumerates the full
+    cross product of the parts' matches each time the rule fires.  Only
+    flagged when at least two parts bind variables (nullary markers are
+    harmless).
+    """
+    for index, rule in enumerate(ctx.program.rules):
+        components = rule_body_components(rule)
+        meaningful = [
+            comp
+            for comp in components
+            if any(rule.body[i].variables() for i in comp)
+        ]
+        if len(meaningful) > 1:
+            shaped = " / ".join(
+                "{" + ", ".join(repr(rule.body[i]) for i in comp) + "}"
+                for comp in meaningful
+            )
+            yield make(
+                "W104",
+                f"body of rule #{index} is a cartesian product of "
+                f"{shaped}",
+                ctx.rule_span(index),
+                rule_index=index,
+            )
+
+
+def check_unreachable_rules(ctx: "AnalysisContext") -> Iterable[Diagnostic]:
+    """W105 — rules the goal does not depend on (dead under the goal)."""
+    if ctx.goal is None or ctx.goal not in ctx.dependency.idb:
+        return
+    for index in ctx.dependency.unreachable_rule_indices(ctx.goal):
+        rule = ctx.program.rules[index]
+        yield make(
+            "W105",
+            f"rule #{index} for {rule.head.pred} is unreachable from "
+            f"goal {ctx.goal} and never contributes to the answer",
+            ctx.rule_span(index),
+            rule_index=index,
+        )
+
+
+def check_unused_predicates(ctx: "AnalysisContext") -> Iterable[Diagnostic]:
+    """W106 — IDBs that are defined but never read (and are not the goal)."""
+    unused = ctx.dependency.unused_predicates(ctx.goal)
+    for pred in sorted(unused):
+        index = next(
+            i
+            for i, rule in enumerate(ctx.program.rules)
+            if rule.head.pred == pred
+        )
+        yield make(
+            "W106",
+            f"predicate {pred} is defined (rule #{index}) but never "
+            "used in any rule body",
+            ctx.head_span(index),
+            rule_index=index,
+        )
+
+
+def check_view_shadowing(ctx: "AnalysisContext") -> Iterable[Diagnostic]:
+    """W108 — a view whose name collides with a query IDB."""
+    if ctx.views is None:
+        return
+    for view in ctx.views:
+        if view.name in ctx.dependency.idb:
+            yield make(
+                "W108",
+                f"view {view.name} shadows an IDB predicate of the "
+                "query program",
+            )
+
+
+def check_fragment(ctx: "AnalysisContext") -> Iterable[Diagnostic]:
+    """I201/I202/I203 — fragment label, witnesses, recursion structure."""
+    report = ctx.fragment
+    shape = []
+    if report.recursive:
+        shape.append("linear" if report.linear else "nonlinear")
+    if not report.connected:
+        shape.append("disconnected bodies")
+    suffix = f" ({', '.join(shape)})" if shape else ""
+    yield make("I201", f"program fragment: {report.label}{suffix}")
+    for reason in report.explanations():
+        yield make("I202", reason)
+    recursive_sccs = [s for s in ctx.dependency.sccs if s.recursive]
+    if recursive_sccs:
+        described = "; ".join(
+            "{%s}%s" % (
+                ", ".join(sorted(s.predicates)),
+                "" if s.linear else " (nonlinear)",
+            )
+            for s in recursive_sccs
+        )
+        yield make(
+            "I203",
+            f"{len(recursive_sccs)} recursive SCC(s): {described}",
+        )
+
+
+#: The analyzer's default pipeline, in reporting order.
+DEFAULT_PASSES = (
+    check_safety,
+    check_empty,
+    check_goal,
+    check_arity_consistency,
+    check_duplicate_rules,
+    check_subsumed_rules,
+    check_constant_in_head,
+    check_cartesian_body,
+    check_unreachable_rules,
+    check_unused_predicates,
+    check_view_shadowing,
+    check_fragment,
+)

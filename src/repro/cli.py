@@ -7,6 +7,8 @@ Commands:
   rules for recursive queries over CQ views)
 * ``certain`` — certain answers of a query over a view instance
 * ``eval``    — evaluate a query over an instance
+* ``lint``    — static analysis: diagnostics with source positions,
+  dependency/fragment structure, text or JSON output
 
 Inputs are files in the library's text syntax (see
 :mod:`repro.core.parser`).  A *query file* contains Datalog rules plus a
@@ -133,6 +135,60 @@ def cmd_eval(args: argparse.Namespace) -> int:
     return 0
 
 
+#: ``repro lint`` exit codes.
+LINT_OK, LINT_ERRORS, LINT_WARNINGS = 0, 1, 2
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Lint a query file: diagnostics with positions, text or JSON.
+
+    Exit status: 0 — clean (infos only), 2 — warnings, 1 — errors (or
+    any warning under ``--strict``).  ``# goal:`` directives are plain
+    comments to the tokenizer, so reported positions match the file
+    as written.
+    """
+    import json
+
+    from repro.analysis import Severity, analyze_query, make
+    from repro.core.parser import ParseError, parse_program_source
+
+    text = Path(args.query).read_text()
+    goal = None
+    for line in text.splitlines():
+        stripped = line.strip()
+        if stripped.startswith("# goal:"):
+            goal = stripped.split(":", 1)[1].strip()
+
+    try:
+        source = parse_program_source(text)
+        views = load_views(args.views) if args.views else None
+    except ParseError as exc:
+        diagnostic = make("E004", exc.message, exc.span)
+        if args.format == "json":
+            print(json.dumps({
+                "diagnostics": [diagnostic.as_dict()],
+                "summary": {"errors": 1, "warnings": 0, "infos": 0},
+            }, indent=2, sort_keys=True))
+        else:
+            print(diagnostic.render(args.query))
+            print("1 error(s), 0 warning(s)")
+        return LINT_ERRORS
+
+    report = analyze_query(
+        source.program(), views=views, source=source, goal=goal
+    )
+    if args.format == "json":
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render_text(args.query))
+    worst = report.max_severity()
+    if worst is Severity.ERROR:
+        return LINT_ERRORS
+    if worst is Severity.WARNING:
+        return LINT_ERRORS if args.strict else LINT_WARNINGS
+    return LINT_OK
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -167,6 +223,21 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("query")
     evaluate.add_argument("instance")
     evaluate.set_defaults(func=cmd_eval)
+
+    lint = sub.add_parser(
+        "lint", help="analyze a query file and report diagnostics"
+    )
+    lint.add_argument("query")
+    lint.add_argument("--views", help="views file to check against")
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text"
+    )
+    lint.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat warnings as errors (exit 1 instead of 2)",
+    )
+    lint.set_defaults(func=cmd_lint)
     return parser
 
 

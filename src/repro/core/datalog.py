@@ -13,7 +13,7 @@ Evaluation lives in :mod:`repro.core.evaluation`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterable, Mapping, Optional, Sequence
+from typing import Iterable, Mapping, Optional, Sequence
 
 import networkx as nx
 
@@ -21,9 +21,6 @@ from repro.core.atoms import Atom, atoms_variables
 from repro.core.instance import Instance
 from repro.core.terms import Variable
 from repro.util.fresh import FreshNames
-
-if TYPE_CHECKING:  # pragma: no cover
-    pass
 
 
 @dataclass(frozen=True)
@@ -232,10 +229,16 @@ class DatalogQuery:
         return self.program.fragment()
 
     def evaluate(self, instance: Instance) -> set[tuple]:
-        """``Output(Q, I)``: the goal tuples of the least fixpoint."""
-        from repro.core.evaluation import fixpoint
+        """``Output(Q, I)``: the goal tuples of the least fixpoint.
 
-        return set(fixpoint(self.program, instance).tuples(self.goal))
+        Evaluation is goal-directed: rules the goal does not depend on
+        are pruned first (they cannot contribute goal tuples), then the
+        SCC-stratified engine runs the rest dependencies-first.
+        """
+        from repro.core.evaluation import fixpoint, goal_directed_program
+
+        program = goal_directed_program(self.program, self.goal)
+        return set(fixpoint(program, instance).tuples(self.goal))
 
     def holds(self, instance: Instance, answer: Sequence = ()) -> bool:
         return tuple(answer) in self.evaluate(instance)

@@ -1,12 +1,19 @@
 """Fixpoint evaluation of Datalog programs (``FPEval``, §2).
 
-Two strategies:
+Three strategies:
 
 * :func:`naive_fixpoint` — re-derives everything each round (kept for the
   ABL-EVAL ablation benchmark and as a correctness oracle in tests).
-* :func:`seminaive_fixpoint` — the production strategy: each round only
-  considers rule instantiations using at least one *newly derived* IDB
-  fact, via delta-rule rewriting of each rule body.
+* :func:`seminaive_fixpoint` — each round only considers rule
+  instantiations using at least one *newly derived* IDB fact, via
+  delta-rule rewriting of each rule body.
+* :func:`stratified_fixpoint` — the production strategy: the SCC
+  condensation of the predicate dependency graph (from
+  :mod:`repro.analysis.dependency`) is evaluated one component at a
+  time, dependencies first.  Within a component the semi-naive engine
+  runs with *only that component's* predicates delta-tracked: rules
+  reading already-finished components join against their complete
+  relations exactly once instead of re-firing on every global round.
 
 Semi-naive evaluation resolves each delta rule's join plan **once** per
 fixpoint call and replays it on every subsequent round (the plan is
@@ -15,14 +22,15 @@ one planned against an earlier state is sound).  Pass
 ``stats=EngineStats()`` to count rounds, derived facts and plan-cache
 traffic.
 
-Both strategies return the minimal IDB-extension of the input instance
+All strategies return the minimal IDB-extension of the input instance
 satisfying the program, i.e. ``FPEval(Π, I)`` including the original
 EDB facts.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+from functools import lru_cache
+from typing import Iterator, Optional, Sequence
 
 from repro.core import stats as _stats
 from repro.core.atoms import Atom
@@ -41,6 +49,21 @@ def _rule_derivations(rule: Rule, instance: Instance) -> Iterator[Atom]:
     """All head facts derivable from ``rule`` against ``instance``."""
     if not rule.body:
         yield rule.head
+        return
+    # An empty body relation means no match: skip the join outright
+    # (frequent in round 0, where recursive rules read their own
+    # still-empty predicate).
+    if any(instance.size(atom.pred) == 0 for atom in rule.body):
+        return
+    if len(rule.body) == 1:
+        # Projection fast path: a single-atom body needs no join plan or
+        # search stack, just one scan of the relation (the same direct
+        # read the semi-naive delta seeding performs).
+        atom = rule.body[0]
+        for row in instance.matching(atom.pred, _pattern(atom, {})):
+            bound = _bindings_for_row(atom, row, {})
+            if bound is not None:
+                yield rule.head.substitute(bound)
         return
     for hom in homomorphisms(rule.body, instance):
         yield rule.head.substitute(hom)
@@ -112,7 +135,7 @@ def _delta_derivations(
     rule: Rule,
     state: Instance,
     delta: Instance,
-    idb: set[str],
+    idb: frozenset[str] | set[str],
     rule_key: int,
     plans: _PlanCache,
     delta_patterns: list,
@@ -142,6 +165,79 @@ def _delta_derivations(
                 yield rule.head.substitute(hom)
 
 
+def _seminaive_in_place(
+    rules: Sequence[Rule],
+    keys: Sequence[int],
+    state: Instance,
+    tracked: frozenset[str] | set[str],
+    plans: _PlanCache,
+    delta_patterns: list,
+    collector: Optional[EngineStats],
+    prelude: Sequence[Rule] = (),
+) -> None:
+    """Run the given rules to fixpoint, mutating ``state`` in place.
+
+    ``tracked`` is the set of predicates whose facts participate in
+    delta propagation — the whole IDB signature for plain semi-naive
+    evaluation, or one SCC's predicates for a stratum.  Rules whose
+    bodies never read a tracked predicate fire exactly once (round 0 on
+    the complete current state) and the delta loop is skipped entirely
+    when no rule is recursive under ``tracked``.
+
+    ``prelude`` rules (a dependency-ordered block of non-recursive
+    rules feeding this stratum) fire exactly once at the start of round
+    0, eagerly, so they do not cost a round of their own.
+    """
+    # Round 0: every rule fires on the current state.
+    delta = Instance()
+    if collector is not None:
+        collector.fixpoint_rounds += 1
+    for rule in prelude:
+        derived = list(_rule_derivations(rule, state))
+        added = 0
+        for fact in derived:
+            if state.add(fact):
+                added += 1
+        if collector is not None:
+            collector.facts_derived += added
+    for rule in rules:
+        for fact in _rule_derivations(rule, state):
+            if fact not in state:
+                delta.add(fact)
+    state.update(delta.facts())
+    if collector is not None:
+        collector.facts_derived += len(delta)
+
+    recursive = [
+        (key, rule)
+        for key, rule in zip(keys, rules)
+        if any(a.pred in tracked for a in rule.body)
+    ]
+    while len(delta) and recursive:
+        if collector is not None:
+            collector.fixpoint_rounds += 1
+        fresh = Instance()
+        for key, rule in recursive:
+            for fact in _delta_derivations(
+                rule, state, delta, tracked, key, plans, delta_patterns[key]
+            ):
+                if fact not in state and fact not in fresh:
+                    fresh.add(fact)
+        state.update(fresh.facts())
+        if collector is not None:
+            collector.facts_derived += len(fresh)
+        delta = fresh
+
+
+def _program_delta_patterns(program: DatalogProgram) -> list:
+    """Per rule: the empty-assignment match pattern of each body atom
+    (constants + ANY wildcards), computed once instead of per round."""
+    return [
+        [_pattern(atom, {}) for atom in rule.body]
+        for rule in program.rules
+    ]
+
+
 def seminaive_fixpoint(
     program: DatalogProgram,
     instance: Instance,
@@ -150,57 +246,166 @@ def seminaive_fixpoint(
     """Semi-naive evaluation with per-round deltas and cached plans."""
     with _stats.maybe_collecting(stats):
         collector = _stats.active()
-        idb = program.idb_predicates()
+        state = instance.copy()
+        _seminaive_in_place(
+            program.rules,
+            range(len(program.rules)),
+            state,
+            program.idb_predicates(),
+            _PlanCache(collector),
+            _program_delta_patterns(program),
+            collector,
+        )
+        return state
+
+
+@lru_cache(maxsize=512)
+def _execution_plan(program: DatalogProgram) -> tuple:
+    """The stratified engine's schedule, computed once per program.
+
+    Greedy readiness scheduling over the SCC condensation: each step
+    pairs a dependency-ordered *batch* of ready non-recursive components
+    (fired eagerly, one pass) with the *group* of recursive components
+    whose dependencies are then all complete.  Ready recursive
+    components are pairwise independent by construction (a dependency
+    between them would make the dependent one un-ready), so the group
+    iterates as one semi-naive loop whose round count is the maximum —
+    not the sum — of the members' depths.
+
+    Returns ``((prelude_rules, group_rules, group_keys, tracked), ...)``
+    with ``group_rules`` empty for pure-batch steps.
+    """
+    from repro.analysis.dependency import DependencyGraph
+
+    graph = DependencyGraph(program)
+    idb = graph.idb
+
+    def dependencies(scc) -> set[str]:
+        return {
+            atom.pred
+            for rule in scc.rules
+            for atom in rule.body
+            if atom.pred in idb and atom.pred not in scc.predicates
+        }
+
+    remaining = list(graph.sccs)
+    done: set[str] = set()
+    plan = []
+    while remaining:
+        batch: list = []
+        batch_preds: set[str] = set()
+        group: list = []
+        later = []
+        for scc in remaining:  # topological order: deps scanned first
+            if dependencies(scc) <= done | batch_preds:
+                if scc.recursive:
+                    group.append(scc)
+                else:
+                    batch.append(scc)
+                    batch_preds |= scc.predicates
+            else:
+                later.append(scc)
+        prelude = tuple(rule for scc in batch for rule in scc.rules)
+        group_rules = tuple(rule for scc in group for rule in scc.rules)
+        group_keys = tuple(key for scc in group for key in scc.rule_indices)
+        tracked = frozenset().union(*(scc.predicates for scc in group)) \
+            if group else frozenset()
+        plan.append((prelude, group_rules, group_keys, tracked))
+        done |= batch_preds | tracked
+        remaining = later
+    return tuple(plan)
+
+
+def _single_pass(
+    rules: Sequence[Rule],
+    state: Instance,
+    collector: Optional[EngineStats],
+) -> None:
+    """Fire each rule exactly once, in order, applying facts eagerly.
+
+    Correct for a dependency-ordered run of *non-recursive* components:
+    every body predicate of a rule is either extensional or fully
+    computed by the time the rule fires, so one pass reaches the
+    fixpoint of this rule block — one round, no delta machinery.
+    """
+    if collector is not None:
+        collector.fixpoint_rounds += 1
+    for rule in rules:
+        derived = list(_rule_derivations(rule, state))
+        added = 0
+        for fact in derived:
+            if state.add(fact):
+                added += 1
+        if collector is not None:
+            collector.facts_derived += added
+
+
+def stratified_fixpoint(
+    program: DatalogProgram,
+    instance: Instance,
+    stats: Optional[EngineStats] = None,
+) -> Instance:
+    """SCC-stratified semi-naive evaluation (the default strategy).
+
+    Components of the predicate dependency graph are evaluated
+    dependencies-first; each component's rules run to fixpoint with only
+    that component's predicates delta-tracked.  Rules of later
+    components never fire during earlier ones, and finished components
+    are joined as if they were EDB relations.  Equivalent to
+    :func:`seminaive_fixpoint` (see the engine-equivalence property
+    tests) with strictly less re-derivation work on multi-component
+    programs.
+    """
+    with _stats.maybe_collecting(stats):
+        collector = _stats.active()
         state = instance.copy()
         plans = _PlanCache(collector)
-        # Per rule: the empty-assignment match pattern of each body atom
-        # (constants + ANY wildcards), computed once instead of per round.
-        delta_patterns = [
-            [_pattern(atom, {}) for atom in rule.body]
-            for rule in program.rules
-        ]
-        recursive = [
-            (key, rule)
-            for key, rule in enumerate(program.rules)
-            if any(a.pred in idb for a in rule.body)
-        ]
-
-        # Round 0: rules fire on the EDB alone (plus unconditional facts).
-        delta = Instance()
-        if collector is not None:
-            collector.fixpoint_rounds += 1
-        for rule in program.rules:
-            for fact in _rule_derivations(rule, state):
-                if fact not in state:
-                    delta.add(fact)
-        state.update(delta.facts())
-        if collector is not None:
-            collector.facts_derived += len(delta)
-
-        while len(delta):
-            if collector is not None:
-                collector.fixpoint_rounds += 1
-            fresh = Instance()
-            for key, rule in recursive:
-                for fact in _delta_derivations(
-                    rule, state, delta, idb, key, plans, delta_patterns[key]
-                ):
-                    if fact not in state and fact not in fresh:
-                        fresh.add(fact)
-            state.update(fresh.facts())
-            if collector is not None:
-                collector.facts_derived += len(fresh)
-            delta = fresh
+        delta_patterns = _program_delta_patterns(program)
+        for prelude, rules, keys, tracked in _execution_plan(program):
+            if rules:
+                _seminaive_in_place(
+                    rules,
+                    keys,
+                    state,
+                    tracked,
+                    plans,
+                    delta_patterns,
+                    collector,
+                    prelude=prelude,
+                )
+            elif prelude:
+                _single_pass(prelude, state, collector)
         return state
+
+
+@lru_cache(maxsize=512)
+def goal_directed_program(program: DatalogProgram, goal: str) -> DatalogProgram:
+    """The subprogram of rules the goal transitively depends on.
+
+    Evaluating it yields the same goal relation as the full program
+    (dropped rules only populate predicates the goal never reads), so
+    :meth:`DatalogQuery.evaluate` uses this as its entry point.  Cached:
+    programs are immutable and re-evaluated many times per decision
+    procedure.
+    """
+    from repro.analysis.dependency import DependencyGraph
+
+    needed = DependencyGraph(program).reachable_from(goal)
+    kept = tuple(r for r in program.rules if r.head.pred in needed)
+    if len(kept) == len(program.rules):
+        return program
+    return DatalogProgram(kept)
 
 
 def fixpoint(
     program: DatalogProgram,
     instance: Instance,
-    strategy: str = "seminaive",
+    strategy: str = "stratified",
     stats: Optional[EngineStats] = None,
 ) -> Instance:
     """``FPEval(Π, I)`` with a selectable strategy."""
+    if strategy == "stratified":
+        return stratified_fixpoint(program, instance, stats)
     if strategy == "seminaive":
         return seminaive_fixpoint(program, instance, stats)
     if strategy == "naive":

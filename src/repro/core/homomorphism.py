@@ -231,11 +231,17 @@ def homomorphisms(
     ``stats`` is an optional :class:`repro.core.stats.EngineStats`; when
     omitted the ambient collector (if any) is used.
     """
-    atom_list, dynamic = resolve_plan(list(atoms), target, ordering)
+    atom_list = list(atoms)
     if stats is None:
         stats = _stats.active()
     if stats is not None:
         stats.hom_calls += 1
+    # Every atom needs at least one row: an empty relation anywhere means
+    # no homomorphism, and a static/connected order might otherwise scan
+    # rows of earlier atoms before reaching the empty one.
+    if any(target.size(atom.pred) == 0 for atom in atom_list):
+        return
+    atom_list, dynamic = resolve_plan(atom_list, target, ordering)
     assignment: dict = dict(fixed) if fixed else {}
     yield from _search(atom_list, target, assignment, dynamic, stats)
 

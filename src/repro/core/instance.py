@@ -18,7 +18,7 @@ the bug this prevents.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Any, Callable, Iterable, Iterator, Optional, Sequence
+from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.core import stats as _stats
 from repro.core.atoms import Atom, Fact

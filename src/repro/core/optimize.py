@@ -102,22 +102,14 @@ def drop_subsumed_rules(program: DatalogProgram) -> DatalogProgram:
 
 
 def reachable_rules(query: DatalogQuery) -> DatalogQuery:
-    """Keep only rules whose head is reachable from the goal."""
-    needed = {query.goal}
-    changed = True
-    idb = query.program.idb_predicates()
-    while changed:
-        changed = False
-        for rule in query.program.rules:
-            if rule.head.pred in needed:
-                for atom in rule.body:
-                    if atom.pred in idb and atom.pred not in needed:
-                        needed.add(atom.pred)
-                        changed = True
-    rules = tuple(
-        r for r in query.program.rules if r.head.pred in needed
-    )
-    return DatalogQuery(DatalogProgram(rules), query.goal, query.name)
+    """Keep only rules whose head is reachable from the goal.
+
+    Delegates to the dependency-graph analysis (lazy import: the
+    analysis package builds on this module's subsumption helpers).
+    """
+    from repro.analysis.dependency import prune_unreachable
+
+    return prune_unreachable(query)
 
 
 def optimize_query(query: DatalogQuery) -> DatalogQuery:

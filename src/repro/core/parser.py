@@ -12,6 +12,11 @@ lower-case identifiers are variables; numbers, single-quoted strings and
 identifiers starting with ``$`` are constants.  Comments run from ``%`` or
 ``#`` to end of line.
 
+Every token carries its (1-based) line and column, so :class:`ParseError`
+points at the offending source position with a caret excerpt, and the
+span-aware entry point :func:`parse_program_source` hands real source
+locations to the static analyzer (:mod:`repro.analysis`).
+
 Example::
 
     parse_program('''
@@ -24,7 +29,8 @@ Example::
 from __future__ import annotations
 
 import re
-from typing import Iterator
+from dataclasses import dataclass
+from typing import Iterator, NamedTuple, Optional
 
 from repro.core.atoms import Atom
 from repro.core.cq import ConjunctiveQuery
@@ -49,44 +55,184 @@ _TOKEN = re.compile(
 )
 
 
+@dataclass(frozen=True)
+class Span:
+    """A half-open region of source text, 1-based lines and columns."""
+
+    line: int
+    col: int
+    end_line: int = 0
+    end_col: int = 0
+
+    def __post_init__(self) -> None:
+        if self.end_line == 0:
+            object.__setattr__(self, "end_line", self.line)
+        if self.end_col == 0:
+            object.__setattr__(self, "end_col", self.col)
+
+    def to(self, other: "Span") -> "Span":
+        """The smallest span covering both ``self`` and ``other``."""
+        return Span(self.line, self.col, other.end_line, other.end_col)
+
+    def label(self) -> str:
+        return f"{self.line}:{self.col}"
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "line": self.line,
+            "col": self.col,
+            "end_line": self.end_line,
+            "end_col": self.end_col,
+        }
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.label()
+
+
+class Token(NamedTuple):
+    kind: str
+    value: str
+    line: int
+    col: int
+
+    def span(self) -> Span:
+        width = max(len(self.value), 1)
+        return Span(self.line, self.col, self.line, self.col + width - 1)
+
+
 class ParseError(ValueError):
-    """Raised on malformed input, with position information."""
+    """Raised on malformed input, with position information.
+
+    ``span`` locates the offending token (None when unavailable) and
+    ``excerpt`` is a two-line source snippet with a caret under the
+    error position.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        span: Optional[Span] = None,
+        excerpt: Optional[str] = None,
+    ) -> None:
+        self.message = message
+        self.span = span
+        self.excerpt = excerpt
+        rendered = message
+        if span is not None:
+            rendered = f"{message} at {span.label()}"
+        if excerpt:
+            rendered = f"{rendered}\n{excerpt}"
+        super().__init__(rendered)
 
 
-def _tokens(text: str) -> Iterator[tuple[str, str]]:
+def _excerpt(lines: list[str], span: Optional[Span]) -> Optional[str]:
+    """The source line of ``span`` with a caret under its column."""
+    if span is None or not (1 <= span.line <= len(lines)):
+        return None
+    source = lines[span.line - 1]
+    caret = " " * (span.col - 1) + "^"
+    return f"    {source}\n    {caret}"
+
+
+def _tokens(text: str) -> Iterator[Token]:
     pos = 0
+    line = 1
+    col = 1
     while pos < len(text):
         match = _TOKEN.match(text, pos)
         if match is None:
-            raise ParseError(f"unexpected character {text[pos]!r} at {pos}")
-        pos = match.end()
+            raise ParseError(
+                f"unexpected character {text[pos]!r}",
+                Span(line, col),
+                _excerpt(text.splitlines(), Span(line, col)),
+            )
+        value = match.group()
         kind = match.lastgroup
         if kind != "ws":
-            yield kind, match.group()
-    yield "eof", ""
+            yield Token(kind, value, line, col)
+        newlines = value.count("\n")
+        if newlines:
+            line += newlines
+            col = len(value) - value.rfind("\n")
+        else:
+            col += len(value)
+        pos = match.end()
+    yield Token("eof", "", line, col)
+
+
+@dataclass(frozen=True)
+class SourceRule:
+    """One rule of a program together with its source locations.
+
+    ``rule`` is ``None`` when the rule parsed syntactically but failed
+    the safety condition; ``error`` then carries the explanation (the
+    analyzer turns it into an ``E002`` diagnostic instead of the parse
+    aborting).
+    """
+
+    rule: Optional[Rule]
+    span: Span
+    head_span: Span
+    body_spans: tuple[Span, ...]
+    error: Optional[str] = None
+
+    def atom_span(self, index: int) -> Span:
+        """Span of body atom ``index`` (falling back to the rule span)."""
+        if 0 <= index < len(self.body_spans):
+            return self.body_spans[index]
+        return self.span
+
+
+@dataclass(frozen=True)
+class ProgramSource:
+    """A parsed program that remembers where every rule came from."""
+
+    entries: tuple[SourceRule, ...]
+    text: str
+
+    def program(self) -> DatalogProgram:
+        """The program built from the rules that passed the safety check."""
+        return DatalogProgram(
+            tuple(e.rule for e in self.entries if e.rule is not None)
+        )
+
+    def span_of(self, rule: Rule) -> Optional[Span]:
+        """The source span of ``rule`` (first matching entry)."""
+        for entry in self.entries:
+            if entry.rule == rule:
+                return entry.span
+        return None
 
 
 class _Parser:
     def __init__(self, text: str) -> None:
+        self._lines = text.splitlines()
         self._stream = list(_tokens(text))
         self._i = 0
 
-    def peek(self) -> tuple[str, str]:
+    def peek(self) -> Token:
         return self._stream[self._i]
 
-    def next(self) -> tuple[str, str]:
+    def next(self) -> Token:
         tok = self._stream[self._i]
         self._i += 1
         return tok
 
-    def expect(self, kind: str) -> str:
-        got_kind, value = self.next()
-        if got_kind != kind:
-            raise ParseError(f"expected {kind}, got {got_kind} {value!r}")
-        return value
+    def error(self, message: str, token: Optional[Token] = None) -> ParseError:
+        span = token.span() if token is not None else None
+        return ParseError(message, span, _excerpt(self._lines, span))
+
+    def expect(self, kind: str) -> Token:
+        tok = self.next()
+        if tok.kind != kind:
+            raise self.error(
+                f"expected {kind}, got {tok.kind} {tok.value!r}", tok
+            )
+        return tok
 
     def parse_term(self):
-        kind, value = self.next()
+        tok = self.next()
+        kind, value = tok.kind, tok.value
         if kind == "string":
             return value[1:-1]
         if kind == "number":
@@ -97,42 +243,95 @@ class _Parser:
             if value[0].islower() or value[0] == "_":
                 return Variable(value)
             return value  # upper-case bare name used as a constant
-        raise ParseError(f"expected term, got {kind} {value!r}")
+        raise self.error(f"expected term, got {kind} {value!r}", tok)
 
-    def parse_atom(self) -> Atom:
-        name = self.expect("name")
+    def parse_atom_spanned(self) -> tuple[Atom, Span]:
+        start = self.expect("name")
+        name = start.value
         if not name[0].isupper():
-            raise ParseError(f"predicate must start upper-case: {name!r}")
+            raise self.error(
+                f"predicate must start upper-case: {name!r}", start
+            )
         self.expect("lpar")
         args = []
-        if self.peek()[0] != "rpar":
+        if self.peek().kind != "rpar":
             args.append(self.parse_term())
-            while self.peek()[0] == "comma":
+            while self.peek().kind == "comma":
                 self.next()
                 args.append(self.parse_term())
-        self.expect("rpar")
-        return Atom(name, tuple(args))
+        close = self.expect("rpar")
+        return Atom(name, tuple(args)), start.span().to(close.span())
+
+    def parse_atom(self) -> Atom:
+        return self.parse_atom_spanned()[0]
+
+    def parse_atomlist_spanned(self) -> tuple[list[Atom], list[Span]]:
+        atom, span = self.parse_atom_spanned()
+        atoms, spans = [atom], [span]
+        while self.peek().kind == "comma":
+            self.next()
+            atom, span = self.parse_atom_spanned()
+            atoms.append(atom)
+            spans.append(span)
+        return atoms, spans
 
     def parse_atomlist(self) -> list[Atom]:
-        atoms = [self.parse_atom()]
-        while self.peek()[0] == "comma":
+        return self.parse_atomlist_spanned()[0]
+
+    def parse_rule_source(self) -> SourceRule:
+        """Parse one rule, reporting safety violations instead of raising."""
+        head, head_span = self.parse_atom_spanned()
+        body: list[Atom] = []
+        body_spans: list[Span] = []
+        last_span = head_span
+        if self.peek().kind == "arrow":
             self.next()
-            atoms.append(self.parse_atom())
-        return atoms
+            body, body_spans = self.parse_atomlist_spanned()
+            last_span = body_spans[-1]
+        if self.peek().kind == "dot":
+            last_span = self.next().span()
+        span = head_span.to(last_span)
+        body_vars = set()
+        for atom in body:
+            body_vars |= atom.variables()
+        unsafe = sorted(
+            v.name for v in head.variables() if v not in body_vars
+        )
+        if unsafe:
+            names = ", ".join(unsafe)
+            return SourceRule(
+                None,
+                span,
+                head_span,
+                tuple(body_spans),
+                error=(
+                    f"unsafe rule: head variable(s) {names} do not occur "
+                    f"in the body of {head!r}"
+                ),
+            )
+        return SourceRule(
+            Rule(head, tuple(body)), span, head_span, tuple(body_spans)
+        )
 
     def parse_rule(self) -> Rule:
-        head = self.parse_atom()
-        body: list[Atom] = []
-        if self.peek()[0] == "arrow":
-            self.next()
-            body = self.parse_atomlist()
-        if self.peek()[0] == "dot":
-            self.next()
-        return Rule(head, tuple(body))
+        source = self.parse_rule_source()
+        if source.rule is None:
+            raise ParseError(
+                source.error or "unsafe rule",
+                source.head_span,
+                _excerpt(self._lines, source.head_span),
+            )
+        return source.rule
+
+    def parse_program_source(self) -> list[SourceRule]:
+        entries = []
+        while self.peek().kind != "eof":
+            entries.append(self.parse_rule_source())
+        return entries
 
     def parse_program(self) -> list[Rule]:
         rules = []
-        while self.peek()[0] != "eof":
+        while self.peek().kind != "eof":
             rules.append(self.parse_rule())
         return rules
 
@@ -150,6 +349,19 @@ def parse_rule(text: str) -> Rule:
 def parse_program(text: str) -> DatalogProgram:
     """Parse a whole program."""
     return DatalogProgram(tuple(_Parser(text).parse_program()))
+
+
+def parse_program_source(text: str) -> ProgramSource:
+    """Parse a program keeping source spans and tolerating unsafe rules.
+
+    Hard syntax errors still raise :class:`ParseError`; rules that parse
+    but violate the safety condition come back as entries with
+    ``rule=None`` and an ``error`` message, so the static analyzer can
+    report them as diagnostics with accurate positions.
+    """
+    return ProgramSource(
+        tuple(_Parser(text).parse_program_source()), text
+    )
 
 
 def parse_query(text: str, goal: str, name: str = "Q") -> DatalogQuery:
@@ -194,12 +406,27 @@ def parse_instance(text: str) -> Instance:
     Bare upper-case names in argument positions are constants, so
     ``"Edge(A, B)."`` also works.
     """
-    rules = _Parser(text).parse_program()
+    parser = _Parser(text)
+    entries = parser.parse_program_source()
     inst = Instance()
-    for rule in rules:
-        if rule.body:
-            raise ParseError("instances may not contain rules")
-        if not rule.head.is_ground():
-            raise ParseError(f"non-ground fact {rule.head!r}")
-        inst.add(rule.head)
+    for entry in entries:
+        if entry.rule is None:
+            raise ParseError(
+                entry.error or "unsafe rule",
+                entry.head_span,
+                _excerpt(text.splitlines(), entry.head_span),
+            )
+        if entry.rule.body:
+            raise ParseError(
+                "instances may not contain rules",
+                entry.span,
+                _excerpt(text.splitlines(), entry.span),
+            )
+        if not entry.rule.head.is_ground():
+            raise ParseError(
+                f"non-ground fact {entry.rule.head!r}",
+                entry.head_span,
+                _excerpt(text.splitlines(), entry.head_span),
+            )
+        inst.add(entry.rule.head)
     return inst

@@ -104,7 +104,20 @@ def decide_monotonic_determinacy(
 
     Exact for CQ/UCQ queries over constant-free views; otherwise the
     bounded Lemma-5 procedure.
+
+    Datalog queries are statically analyzed first: a program with
+    error-grade diagnostics (inconsistent arities, undefined goal, ...)
+    raises :class:`~repro.analysis.ProgramAnalysisError` instead of
+    feeding garbage to a 2ExpTime-grade procedure.
     """
+    if isinstance(query, DatalogQuery):
+        from repro.analysis import ProgramAnalysisError, analyze_query
+
+        report = analyze_query(query, views=views)
+        if report.has_errors():
+            raise ProgramAnalysisError(
+                report, "decide_monotonic_determinacy"
+            )
     if isinstance(query, (ConjunctiveQuery, UCQ)):
         try:
             result, _rewriting = decide_cq_ucq(query, views)

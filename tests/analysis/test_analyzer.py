@@ -1,0 +1,142 @@
+"""The analyzer pipeline: passes, reports, source spans, waivers."""
+
+import pytest
+
+from repro.analysis import (
+    ProgramAnalysisError,
+    ProgramAnalyzer,
+    Severity,
+    analyze_query,
+    make,
+)
+from repro.core.datalog import DatalogQuery
+from repro.core.parser import parse_program, parse_program_source
+from repro.views.view import View, ViewSet
+
+
+def _codes(report):
+    return sorted(report.codes())
+
+
+def test_clean_program_reports_only_infos():
+    program = parse_program(
+        "P(x) <- U(x). P(x) <- R(x, y), P(y). Goal(x) <- P(x)."
+    )
+    report = analyze_query(DatalogQuery(program, "Goal"))
+    assert not report.has_errors()
+    assert report.warnings() == []
+    assert report.max_severity() is Severity.INFO
+    assert "I201" in report.codes()
+
+
+def test_arity_conflict_flagged_with_spans():
+    source = parse_program_source(
+        "P(x) <- R(x, y).\nQ(x) <- R(x).\n"
+    )
+    report = analyze_query(source.program(), source=source)
+    (error,) = report.errors()
+    assert error.code == "E001"
+    assert "R" in error.message
+    assert error.span.line == 2
+
+
+def test_undefined_goal_is_e003_not_an_exception():
+    program = parse_program("P(x) <- U(x).")
+    report = analyze_query(program, goal="Missing")
+    assert "E003" in report.codes()
+
+
+def test_empty_program_is_e005():
+    report = analyze_query(parse_program(""))
+    assert "E005" in report.codes()
+
+
+def test_unsafe_source_rule_is_e002_with_position():
+    source = parse_program_source("P(x) <- U(x).\nQ(x, w) <- U(x).\n")
+    report = analyze_query(source.program(), source=source)
+    (error,) = report.errors()
+    assert error.code == "E002"
+    assert error.span.line == 2
+
+
+def test_duplicate_rule_w101_suppresses_w102():
+    program = parse_program("P(x) <- U(x). P(y) <- U(y).")
+    report = analyze_query(program, goal="P")
+    assert "W101" in report.codes()
+    assert "W102" not in report.codes()
+
+
+def test_subsumed_rule_w102():
+    program = parse_program(
+        "P(x) <- U(x). P(x) <- U(x), R(x, y). Goal(x) <- P(x)."
+    )
+    report = analyze_query(DatalogQuery(program, "Goal"))
+    flagged = [d for d in report.diagnostics if d.code == "W102"]
+    assert [d.rule_index for d in flagged] == [1]
+
+
+def test_constant_in_head_w103_skips_facts():
+    program = parse_program("P('a'). Q('b') <- U(x).")
+    report = analyze_query(program)
+    flagged = [d for d in report.diagnostics if d.code == "W103"]
+    assert [d.rule_index for d in flagged] == [1]
+
+
+def test_cartesian_body_w104():
+    program = parse_program("P(x) <- R(x, y), S(z, w).")
+    report = analyze_query(program, goal="P")
+    assert "W104" in report.codes()
+
+
+def test_unreachable_and_unused_w105_w106():
+    program = parse_program(
+        "Goal(x) <- R(x, y). Dead(x) <- U(x)."
+    )
+    report = analyze_query(DatalogQuery(program, "Goal"))
+    assert {"W105", "W106"} <= report.codes()
+
+
+def test_view_arity_conflict_and_shadowing():
+    from repro.core.parser import parse_cq
+
+    program = parse_program("Goal(x) <- R(x, y).")
+    views = ViewSet(
+        [
+            View("V", parse_cq("V(x) <- R(x).")),
+            View("Goal", parse_cq("W(x) <- R(x, y).")),
+        ]
+    )
+    report = analyze_query(
+        DatalogQuery(program, "Goal"), views=views
+    )
+    assert "E001" in report.codes()  # R used with arity 1 and 2
+    assert "W108" in report.codes()  # view named Goal shadows the IDB
+
+
+def test_report_render_text_and_dict():
+    program = parse_program("Goal(x) <- R(x, y). Dead(x) <- U(x).")
+    report = analyze_query(DatalogQuery(program, "Goal"))
+    text = report.render_text("q.txt")
+    assert text.splitlines()[-1].startswith("0 error(s),")
+    payload = report.as_dict()
+    assert set(payload) == {"diagnostics", "summary", "fragment", "sccs"}
+    assert payload["summary"]["warnings"] == len(report.warnings())
+
+
+def test_custom_pass_registration():
+    analyzer = ProgramAnalyzer()
+    analyzer.register(lambda ctx: [make("I201", "custom pass ran")])
+    report = analyzer.analyze(parse_program("P(x) <- U(x)."))
+    assert any(d.message == "custom pass ran" for d in report.diagnostics)
+
+
+def test_checker_rejects_inconsistent_program():
+    from repro.core.parser import parse_cq
+    from repro.determinacy.checker import decide_monotonic_determinacy
+
+    program = parse_program("Goal(x) <- R(x, y), R(x).")
+    views = ViewSet([View("V", parse_cq("V(x, y) <- R(x, y)."))])
+    with pytest.raises(ProgramAnalysisError) as exc:
+        decide_monotonic_determinacy(DatalogQuery(program, "Goal"), views)
+    assert "E001" in str(exc.value)
+    assert exc.value.report.has_errors()

@@ -1,0 +1,125 @@
+"""Dependency graph, SCC condensation, pruning, fragment reports."""
+
+import pytest
+
+from repro.analysis.dependency import (
+    DependencyGraph,
+    evaluation_strata,
+    fragment_report,
+    prune_unreachable,
+    rule_body_components,
+)
+from repro.core.datalog import DatalogQuery
+from repro.core.parser import parse_program, parse_rule
+
+TC = parse_program(
+    """
+    T(x, y) <- R(x, y).
+    T(x, y) <- R(x, z), T(z, y).
+    Goal(x) <- T(x, x).
+    Dead(x) <- U(x).
+    """
+)
+
+
+def test_idb_edb_split():
+    graph = DependencyGraph(TC)
+    assert graph.idb == {"T", "Goal", "Dead"}
+    assert graph.edb == {"R", "U"}
+
+
+def test_sccs_in_dependency_order():
+    strata = evaluation_strata(TC)
+    order = [sorted(s.predicates) for s in strata]
+    # T must come before Goal; singletons for everything else
+    assert order.index(["T"]) < order.index(["Goal"])
+    by_pred = {next(iter(s.predicates)): s for s in strata}
+    assert by_pred["T"].recursive and by_pred["T"].linear
+    assert not by_pred["Goal"].recursive
+    assert not by_pred["Dead"].recursive
+
+
+def test_nonlinear_scc_detected():
+    program = parse_program(
+        "T(x, y) <- R(x, y). T(x, y) <- T(x, z), T(z, y)."
+    )
+    (scc,) = [s for s in evaluation_strata(program) if s.recursive]
+    assert not scc.linear
+
+
+def test_mutual_recursion_is_one_scc():
+    program = parse_program(
+        """
+        Even(x) <- Zero(x).
+        Even(x) <- S(y, x), Odd(y).
+        Odd(x) <- S(y, x), Even(y).
+        """
+    )
+    graph = DependencyGraph(program)
+    scc = graph.scc_of("Even")
+    assert scc.predicates == {"Even", "Odd"}
+    assert scc.recursive
+    assert graph.recursive_predicates() == {"Even", "Odd"}
+
+
+def test_reachable_and_unreachable():
+    graph = DependencyGraph(TC)
+    assert graph.reachable_from("Goal") == {"Goal", "T"}
+    assert graph.unreachable_rule_indices("Goal") == [3]
+    assert graph.unused_predicates("Goal") == {"Dead"}
+
+
+def test_prune_unreachable_drops_dead_rules():
+    query = DatalogQuery(TC, "Goal")
+    pruned = prune_unreachable(query)
+    assert len(pruned.program.rules) == 3
+    assert "Dead" not in pruned.program.idb_predicates()
+    # already-minimal queries come back unchanged (same object)
+    assert prune_unreachable(pruned) is pruned
+
+
+def test_prune_keeps_goal_rules_for_unreachable_goalless_idb():
+    query = DatalogQuery(TC, "Dead")
+    pruned = prune_unreachable(query)
+    assert {r.head.pred for r in pruned.program.rules} == {"Dead"}
+
+
+def test_rule_body_components():
+    connected = parse_rule("P(x) <- R(x, y), S(y, z).")
+    assert len(rule_body_components(connected)) == 1
+    cartesian = parse_rule("P(x) <- R(x, y), S(z, w).")
+    assert len(rule_body_components(cartesian)) == 2
+
+
+def test_fragment_report_mdl():
+    program = parse_program(
+        "P(x) <- U(x). P(x) <- R(x, y), P(y). Goal(x) <- P(x)."
+    )
+    report = fragment_report(program)
+    assert report.label == "MDL"
+    assert report.monadic and report.frontier_guarded and report.recursive
+    assert report.explanations() == []
+
+
+def test_fragment_report_explains_violations():
+    report = fragment_report(TC)
+    assert report.label == "Datalog"
+    assert not report.monadic
+    reasons = report.explanations()
+    assert any("MDL IDBs must be unary" in r for r in reasons)
+    assert any("frontier-guarded" in r for r in reasons)
+    payload = report.as_dict()
+    assert payload["label"] == "Datalog"
+    assert payload["explanations"] == reasons
+
+
+def test_fragment_report_nonrecursive():
+    program = parse_program("Goal(x) <- R(x, y), U(y).")
+    report = fragment_report(program)
+    assert report.label == "nonrecursive"
+    assert not report.recursive
+
+
+def test_scc_of_unknown_predicate():
+    with pytest.raises(KeyError):
+        DependencyGraph(TC).scc_of("Nope")

@@ -1,0 +1,57 @@
+"""The diagnostic vocabulary: codes, severities, rendering."""
+
+from repro.analysis.diagnostics import CODES, Diagnostic, Severity, make
+from repro.core.parser import Span
+
+
+def test_registry_codes_are_wellformed():
+    for code, (severity, _title) in CODES.items():
+        assert code[0] in "EWI"
+        assert code[1:].isdigit()
+        assert isinstance(severity, Severity)
+        if code.startswith("E"):
+            assert severity is Severity.ERROR
+        elif code.startswith("W"):
+            assert severity is Severity.WARNING
+        else:
+            assert severity is Severity.INFO
+
+
+def test_severity_ordering():
+    assert Severity.ERROR > Severity.WARNING > Severity.INFO
+
+
+def test_make_uses_registry_severity():
+    diagnostic = make("E001", "boom", Span(3, 7))
+    assert diagnostic.severity is Severity.ERROR
+    assert diagnostic.span == Span(3, 7)
+
+
+def test_render_with_and_without_span():
+    with_span = make("W104", "cross product", Span(2, 5))
+    assert with_span.render("query.txt") == (
+        "query.txt:2:5: W104 [warning] cross product"
+    )
+    without = make("E005", "no rules")
+    assert without.render() == "<input>: E005 [error] no rules"
+
+
+def test_as_dict_roundtrips_span():
+    diagnostic = make("E001", "boom", Span(1, 2, 1, 9), rule_index=4)
+    payload = diagnostic.as_dict()
+    assert payload["code"] == "E001"
+    assert payload["severity"] == "error"
+    assert payload["span"] == {
+        "line": 1, "col": 2, "end_line": 1, "end_col": 9,
+    }
+    assert payload["rule"] == 4
+
+
+def test_sort_key_orders_by_position_then_severity():
+    early = make("W104", "later severity first?", Span(1, 1))
+    late = make("E001", "error further down", Span(5, 1))
+    spanless = make("I201", "fragment info")
+    ordered = sorted([spanless, late, early], key=Diagnostic.sort_key)
+    assert ordered[0] is early
+    assert ordered[1] is late
+    assert ordered[2] is spanless

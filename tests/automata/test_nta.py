@@ -1,7 +1,5 @@
 """Tree automata core operations."""
 
-import pytest
-
 from repro.automata.nta import NTA, Transition
 from repro.td.codes import CodeNode, TreeCode
 

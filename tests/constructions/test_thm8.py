@@ -4,7 +4,6 @@ import pytest
 
 from repro.constructions.thm8 import build_witness, grid_untilable_up_to
 from repro.constructions.tp_star import tp_star
-from repro.core.homomorphism import instance_maps_into
 
 
 @pytest.fixture(scope="module")

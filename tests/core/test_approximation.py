@@ -31,9 +31,7 @@ def test_approximations_deduplicate():
         Goal(x) <- P(x).
         """
     )
-    q = DatalogQuery(parse_program(
-        "P(x) <- R(x,y). P(x) <- R(x,z). Goal(x) <- P(x)."
-    ), "Goal")
+    q = DatalogQuery(program, "Goal")
     assert len(list(approximations(q, 3))) == 1
     assert len(list(approximations(q, 3, dedup=False))) == 2
 

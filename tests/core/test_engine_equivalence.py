@@ -12,10 +12,17 @@ regardless of any planner or indexing change:
 import random
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
+from repro.analysis.dependency import prune_unreachable
 from repro.core.atoms import Atom
-from repro.core.datalog import DatalogProgram, Rule
-from repro.core.evaluation import naive_fixpoint, seminaive_fixpoint
+from repro.core.datalog import DatalogProgram, DatalogQuery, Rule
+from repro.core.evaluation import (
+    naive_fixpoint,
+    seminaive_fixpoint,
+    stratified_fixpoint,
+)
 from repro.core.homomorphism import homomorphisms
 from repro.core.instance import Instance
 from repro.core.stats import EngineStats
@@ -61,10 +68,12 @@ def test_naive_equals_seminaive_on_random_programs(seed):
     )
     naive = naive_fixpoint(program, instance)
     seminaive = seminaive_fixpoint(program, instance)
-    assert naive == seminaive, (
+    stratified = stratified_fixpoint(program, instance)
+    assert naive == seminaive == stratified, (
         f"strategies disagree on seed {seed}:\n"
         f"program:\n{program!r}\nnaive:\n{naive.pretty()}\n"
-        f"seminaive:\n{seminaive.pretty()}"
+        f"seminaive:\n{seminaive.pretty()}\n"
+        f"stratified:\n{stratified.pretty()}"
     )
 
 
@@ -121,3 +130,81 @@ def test_seminaive_with_stats_matches_and_counts():
     # one resolved plan per (rule, delta position), replayed every round
     assert stats.plan_cache_misses == 1
     assert stats.plan_cache_hits >= stats.fixpoint_rounds - 2
+
+
+# ---------------------------------------------------------------------------
+# hypothesis: stratified/pruned evaluation ≡ plain semi-naive
+# ---------------------------------------------------------------------------
+_H_VARS = [Variable(n) for n in "xyzw"]
+_H_EDB = [("R", 2), ("U", 1)]
+_H_IDB = [("P", 2), ("Q", 1), ("G", 1)]
+
+
+@st.composite
+def small_programs(draw) -> DatalogProgram:
+    """Random safe programs over EDBs R/2, U/1 and IDBs P/2, Q/1, G/1."""
+    rules = []
+    for _ in range(draw(st.integers(min_value=2, max_value=6))):
+        body = []
+        for _ in range(draw(st.integers(min_value=1, max_value=3))):
+            pred, arity = draw(st.sampled_from(_H_EDB + _H_IDB))
+            body.append(
+                Atom(
+                    pred,
+                    tuple(
+                        draw(st.sampled_from(_H_VARS)) for _ in range(arity)
+                    ),
+                )
+            )
+        body_vars = sorted(
+            {v for a in body for v in a.variables()}, key=lambda v: v.name
+        )
+        pred, arity = draw(st.sampled_from(_H_IDB))
+        head = Atom(
+            pred,
+            tuple(draw(st.sampled_from(body_vars)) for _ in range(arity)),
+        )
+        rules.append(Rule(head, body))
+    return DatalogProgram(rules)
+
+
+@st.composite
+def small_edb_instances(draw) -> Instance:
+    n = draw(st.integers(min_value=1, max_value=4))
+    inst = Instance()
+    for pred, arity in _H_EDB:
+        for _ in range(draw(st.integers(min_value=0, max_value=6))):
+            inst.add_tuple(
+                pred,
+                tuple(
+                    draw(st.integers(min_value=0, max_value=n - 1))
+                    for _ in range(arity)
+                ),
+            )
+    return inst
+
+
+@given(program=small_programs(), instance=small_edb_instances())
+@settings(max_examples=60, deadline=None)
+def test_stratified_strategy_is_equivalent(program, instance):
+    """The SCC-stratified engine computes the exact semi-naive fixpoint."""
+    expected = seminaive_fixpoint(program, instance)
+    assert stratified_fixpoint(program, instance) == expected
+    assert naive_fixpoint(program, instance) == expected
+
+
+@given(program=small_programs(), instance=small_edb_instances())
+@settings(max_examples=60, deadline=None)
+def test_pruned_goal_directed_evaluation_is_equivalent(program, instance):
+    """prune_unreachable + stratified evaluation preserves every goal
+    relation of the plain semi-naive fixpoint, for every possible goal."""
+    full = seminaive_fixpoint(program, instance)
+    for goal in sorted(program.idb_predicates()):
+        query = DatalogQuery(program, goal)
+        pruned = prune_unreachable(query)
+        expected = set(full.tuples(goal))
+        assert (
+            set(stratified_fixpoint(pruned.program, instance).tuples(goal))
+            == expected
+        )
+        assert query.evaluate(instance) == expected

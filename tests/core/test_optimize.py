@@ -1,7 +1,5 @@
 """Datalog program optimization."""
 
-import pytest
-
 from repro.core.datalog import DatalogQuery
 from repro.core.optimize import (
     drop_subsumed_rules,

@@ -91,3 +91,91 @@ def test_negative_numbers():
 def test_unexpected_character():
     with pytest.raises(ParseError):
         parse_program("P(x) <- R(x,y) & S(y).")
+
+
+# ---------------------------------------------------------------------------
+# error paths: every ParseError carries a position and an excerpt
+# ---------------------------------------------------------------------------
+def test_atom_error_truncated_input():
+    with pytest.raises(ParseError) as exc:
+        parse_atom("R(x,")
+    assert exc.value.span is not None
+    assert "expected term" in exc.value.message
+
+
+def test_unexpected_character_reports_line_and_column():
+    with pytest.raises(ParseError) as exc:
+        parse_program("P(x) <- R(x).\nQ(y) <- R(y) & S(y).")
+    err = exc.value
+    assert err.span.line == 2
+    assert err.span.col == 14
+    assert "^" in (err.excerpt or "")
+    assert "2:14" in str(err)
+
+
+def test_missing_rparen_points_at_arrow():
+    with pytest.raises(ParseError) as exc:
+        parse_rule("P(x <- R(x).")
+    err = exc.value
+    assert "expected rpar" in err.message
+    assert (err.span.line, err.span.col) == (1, 5)
+
+
+def test_unsafe_rule_error_names_the_variables():
+    with pytest.raises(ParseError) as exc:
+        parse_rule("P(x, w) <- R(x, x).")
+    err = exc.value
+    assert "unsafe" in err.message and "w" in err.message
+    assert (err.span.line, err.span.col) == (1, 1)
+
+
+def test_program_error_excerpt_shows_offending_line():
+    with pytest.raises(ParseError) as exc:
+        parse_program("Good(x) <- R(x).\nbad(x) <- R(x).")
+    err = exc.value
+    assert err.span.line == 2
+    assert "bad" in (err.excerpt or "")
+
+
+def test_parse_program_source_tolerates_unsafe_rules():
+    from repro.core.parser import parse_program_source
+
+    source = parse_program_source("P(x) <- R(x).\nQ(x, w) <- R(x, x).\n")
+    assert len(source.entries) == 2
+    good, bad = source.entries
+    assert good.rule is not None
+    assert bad.rule is None
+    assert "w" in (bad.error or "")
+    assert bad.span.line == 2
+    assert len(source.program().rules) == 1
+
+
+def test_parse_program_source_spans_cover_rules():
+    from repro.core.parser import parse_program_source
+
+    text = "P(x) <- R(x, y).\nGoal(x) <- P(x).\n"
+    source = parse_program_source(text)
+    first, second = source.entries
+    assert (first.span.line, first.head_span.col) == (1, 1)
+    assert first.body_spans[0].col == 9
+    assert second.span.line == 2
+    assert source.span_of(second.rule).line == 2
+
+
+def test_instance_rejects_rules_with_position():
+    with pytest.raises(ParseError) as exc:
+        parse_instance("R('a','b').\nP(x) <- R(x, y).")
+    err = exc.value
+    assert "instances may not contain rules" in err.message
+    assert err.span.line == 2
+
+
+def test_instance_rejects_non_ground_facts():
+    # a variable in a fact violates safety (empty body), caught with
+    # the fact's position
+    with pytest.raises(ParseError) as exc:
+        parse_instance("R('a','b').\nR('a', x).")
+    err = exc.value
+    assert "x" in err.message
+    assert err.span.line == 2
+    assert "^" in (err.excerpt or "")

@@ -1,7 +1,5 @@
 """Proof terms (appendix)."""
 
-import pytest
-
 from repro.core.atoms import Atom
 from repro.core.datalog import DatalogQuery
 from repro.core.parser import parse_instance, parse_program

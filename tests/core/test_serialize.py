@@ -19,7 +19,6 @@ from repro.core.serialize import (
     query_to_text,
     ucq_to_text,
 )
-from repro.core.terms import Variable
 
 
 def test_program_round_trip():

@@ -1,7 +1,5 @@
 """Exact determinacy decisions for CQ/UCQ queries (Prop. 8 / Thm 5)."""
 
-import pytest
-
 from repro.core.containment import Verdict
 from repro.core.datalog import DatalogQuery
 from repro.core.parser import parse_cq, parse_program, parse_ucq

@@ -1,7 +1,6 @@
 """Homomorphic determinacy utilities (Lemma 4)."""
 
 from repro.core.datalog import DatalogQuery
-from repro.core.instance import Instance
 from repro.core.parser import parse_cq, parse_instance, parse_program
 from repro.determinacy.homomorphic import (
     homomorphic_violation,

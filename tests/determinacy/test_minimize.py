@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.containment import Verdict
 from repro.core.datalog import DatalogQuery
-from repro.core.instance import Instance
 from repro.core.parser import parse_cq, parse_instance, parse_program
 from repro.determinacy.checker import check_tests
 from repro.determinacy.minimize import (

@@ -7,7 +7,7 @@ import pytest
 from repro.core.containment import Verdict
 from repro.determinacy.checker import check_tests
 from repro.rpq import nfa_of, parse_regex, rpq_query, rpq_views
-from repro.rpq.query import edge_predicate, graph_instance
+from repro.rpq.query import graph_instance
 from repro.rpq.regex import RegexParseError, labels_of, nullable
 
 

@@ -2,19 +2,16 @@
 
 import math
 
-import pytest
-
 from repro.core.approximation import approximation_trees, tree_to_cq
-from repro.core.datalog import DatalogQuery
 from repro.core.normalization import normalize
 from repro.core.parser import parse_cq, parse_instance, parse_program
+from repro.determinacy.automata_checker import lemma3_bound
 from repro.td.heuristics import (
     decompose,
     decomposition_of_expansion,
     treewidth_exact,
 )
 from repro.views.view import View, ViewSet
-from repro.determinacy.automata_checker import lemma3_bound
 
 
 def test_decompose_valid_on_examples():

@@ -131,3 +131,86 @@ def test_views_file_without_blocks(workspace, tmp_path):
     empty.write_text("V(x) <- R(x,y).\n")
     with pytest.raises(SystemExit):
         load_views(str(empty))
+
+
+# ---------------------------------------------------------------------------
+# repro lint
+# ---------------------------------------------------------------------------
+def test_lint_clean_program_exits_zero(workspace, capsys):
+    code = main(["lint", str(workspace / "q_dl.txt")])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "0 error(s), 0 warning(s)" in out
+    assert "fragment MDL" in out
+
+
+def test_lint_broken_example_exits_one(capsys):
+    code = main(["lint", "examples/inputs/broken_lint.txt"])
+    out = capsys.readouterr().out
+    assert code == 1
+    # at least two distinct error codes, each with a line:col position
+    assert "E001" in out and "E002" in out
+    assert ":7:" in out and ":8:" in out
+
+
+def test_lint_clean_example_file(capsys):
+    code = main(["lint", "examples/inputs/reach_query.txt"])
+    capsys.readouterr()
+    assert code == 0
+
+
+def test_lint_warning_exit_code_and_strict(tmp_path, capsys):
+    query = tmp_path / "warn.txt"
+    query.write_text("# goal: Q\nQ(x) <- E(x, y).\nDead(x) <- E(x, x).\n")
+    assert main(["lint", str(query)]) == 2
+    capsys.readouterr()
+    assert main(["lint", str(query), "--strict"]) == 1
+    out = capsys.readouterr().out
+    assert "W105" in out or "W106" in out
+
+
+def test_lint_json_is_machine_parseable(capsys):
+    import json
+
+    code = main([
+        "lint", "examples/inputs/broken_lint.txt", "--format", "json",
+    ])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 1
+    assert payload["summary"]["errors"] >= 2
+    codes = {d["code"] for d in payload["diagnostics"]}
+    assert {"E001", "E002"} <= codes
+    spanned = [d for d in payload["diagnostics"] if "span" in d]
+    assert all(d["span"]["line"] >= 1 for d in spanned)
+
+
+def test_lint_syntax_error_reports_position(tmp_path, capsys):
+    bad = tmp_path / "bad.txt"
+    bad.write_text("Q(x <- E(x).\n")
+    code = main(["lint", str(bad)])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "E004" in out and ":1:5:" in out
+
+
+def test_lint_with_views_checks_schema(workspace, tmp_path, capsys):
+    views = tmp_path / "views.txt"
+    views.write_text("# view: VR\nV(x) <- R(x).\n")  # R/1 vs query's R/2
+    code = main([
+        "lint", str(workspace / "q_dl.txt"), "--views", str(views),
+    ])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "E001" in out
+
+
+def test_lint_smoke_over_example_inputs(capsys):
+    """Every query-shaped example file lints without crashing."""
+    from pathlib import Path
+
+    for path in sorted(Path("examples/inputs").glob("*.txt")):
+        if "instance" in path.name:
+            continue
+        code = main(["lint", str(path)])
+        capsys.readouterr()
+        assert code in (0, 1, 2)
