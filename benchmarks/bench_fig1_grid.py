@@ -1,75 +1,19 @@
 """Figure 1 — grid-like tests and the HA/VA adjacency gadgets.
 
-Regenerates the figure as data: for an (n, m) sweep we build the
-grid-like test instance, evaluate the adjacency CQs and check they
-return exactly the grid's horizontal/vertical neighbour pairs, and show
-the Qverify rules firing exactly on constraint violations.
+Thin timed wrappers over the ``fig1-*`` evidence jobs
+(``repro.harness.evidence_figures``); the (n, m) sweep narrows the
+registered job to one grid per benchmark row.
 """
 
 import pytest
 
-from repro.constructions.reduction_thm6 import (
-    grid_test_instance,
-    ha_cq,
-    thm6_query,
-    va_cq,
-)
-from repro.constructions.tiling import solvable_example
-
-from benchmarks.conftest import report
+from benchmarks.conftest import run_evidence_job
 
 
 @pytest.mark.parametrize("n,m", [(2, 2), (3, 3), (4, 3)])
 def test_fig1_adjacency_gadgets(benchmark, n, m):
-    tp = solvable_example()
-    inst = grid_test_instance(tp, n, m)
-
-    def adjacency_pairs():
-        ha = {
-            (row[0], row[1]) for row in ha_cq().evaluate(inst)
-        }
-        va = {
-            (row[0], row[1]) for row in va_cq().evaluate(inst)
-        }
-        return ha, va
-
-    ha, va = benchmark(adjacency_pairs)
-    expected_ha = {
-        (("z", i, j), ("z", i + 1, j))
-        for i in range(1, n)
-        for j in range(1, m + 1)
-    }
-    expected_va = {
-        (("z", i, j), ("z", i, j + 1))
-        for i in range(1, n + 1)
-        for j in range(1, m)
-    }
-    assert ha == expected_ha
-    assert va == expected_va
-    report(
-        f"FIG1 ({n}x{m})",
-        "HA/VA detect exactly horizontal/vertical grid adjacency",
-        f"HA: {len(ha)} pairs == expected {len(expected_ha)}; "
-        f"VA: {len(va)} pairs == expected {len(expected_va)}",
-    )
+    run_evidence_job(benchmark, "fig1-adjacency-gadgets", sizes=[[n, m]])
 
 
 def test_fig1_verify_rules_detect_violations(benchmark):
-    tp = solvable_example()
-    query = thm6_query(tp)
-    good = tp.tile_grid(3, 3)
-
-    def verdicts():
-        ok = query.boolean(grid_test_instance(tp, 3, 3, good))
-        broken = dict(good)
-        broken[(2, 2)] = "a" if good[(2, 2)] == "b" else "b"
-        bad = query.boolean(grid_test_instance(tp, 3, 3, broken))
-        return ok, bad
-
-    ok, bad = benchmark(verdicts)
-    assert ok is False and bad is True
-    report(
-        "FIG1 (Qverify)",
-        "Q_TP is False exactly on grid tests carrying a valid tiling",
-        "valid 3x3 tiling → Q false; single flipped tile → Q true",
-    )
+    run_evidence_job(benchmark, "fig1-verify-rules")

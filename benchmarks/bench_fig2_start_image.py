@@ -1,75 +1,20 @@
 """Figure 2 — a Qstart approximation and its view image.
 
-Regenerates the figure as data over an ℓ sweep: the marked axes
-instance ``I_ℓ``, its view image ``E_ℓ`` whose ``S`` relation is the
-C×D product, and the fact that grid tests are recovered by inverting
-the S-atoms with tile disjuncts.
+Thin timed wrappers over the ``fig2-*`` evidence jobs
+(``repro.harness.evidence_figures``); the ℓ sweep narrows the
+registered job to one axes instance per benchmark row.
 """
 
 import pytest
 
-from repro.constructions.reduction_thm6 import (
-    axes_instance,
-    thm6_query,
-    thm6_views,
-)
-from repro.constructions.tiling import solvable_example
-from repro.determinacy.tests import tests_for_approximation as make_tests
-from repro.core.approximation import approximations
-
-from benchmarks.conftest import report
+from benchmarks.conftest import run_evidence_job
 
 
 @pytest.mark.parametrize("ell", [2, 3, 4])
 def test_fig2_view_image_is_product(benchmark, ell):
-    tp = solvable_example()
-    views = thm6_views(tp)
-    source = axes_instance(ell)
-
-    image = benchmark(views.image, source)
-    assert len(image.tuples("S")) == ell * ell
-    assert len(image.tuples("VXSucc")) == ell  # o -> x1 -> ... -> x_ell
-    assert len(image.tuples("VYSucc")) == ell
-    assert not image.tuples("VHA") and not image.tuples("VI")
-    report(
-        f"FIG2 (ℓ={ell})",
-        "V(I_ℓ): S = C × D (ℓ² facts), axes exposed atomically, "
-        "special views empty",
-        f"S has {len(image.tuples('S'))} facts; "
-        f"{len(image.tuples('VXSucc'))}+{len(image.tuples('VYSucc'))} "
-        "successor facts; special views empty",
-    )
+    run_evidence_job(benchmark, "fig2-view-image", ells=[ell])
 
 
 def test_fig2_tests_recover_grids(benchmark):
     """Inverting every S-atom with a tile disjunct yields a grid test."""
-    tp = solvable_example()
-    query = thm6_query(tp)
-    views = thm6_views(tp)
-    # find the ℓ=2 Qstart approximation among the query's approximations
-    target = None
-    for cq in approximations(query, 4):
-        if sum(1 for a in cq.atoms if a.pred == "C") == 2:
-            target = cq
-            break
-    assert target is not None
-
-    def count_grid_tests():
-        grid_like = 0
-        total = 0
-        for test in make_tests(target, views, view_depth=1):
-            total += 1
-            d_prime = test.test_instance
-            if len(d_prime.tuples("XProj")) == 4 and not d_prime.tuples("C"):
-                grid_like += 1
-        return grid_like, total
-
-    grid_like, total = benchmark(count_grid_tests)
-    assert grid_like >= 1
-    report(
-        "FIG2 (tests)",
-        "grid-like tests arise from the view image by replacing each "
-        "S-atom with a tile disjunct",
-        f"{grid_like} fully-grid tests among {total} inversion choices "
-        "of the ℓ=2 approximation",
-    )
+    run_evidence_job(benchmark, "fig2-tests-recover-grids")

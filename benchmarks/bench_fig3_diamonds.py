@@ -1,73 +1,23 @@
 """Figures 3 and 4 — the diamond chain, its view image, unravellings
-and the long R-row, across a k sweep.
+and the long R-row, as thin timed wrappers over the ``fig3-*`` /
+``fig4-*`` evidence jobs (``repro.harness.evidence_figures``).
 """
 
 import pytest
 
-from repro.constructions.diamonds import (
-    diamond_chain,
-    diamond_query,
-    diamond_views,
-    long_row_cq,
-    unravelled_counterexample,
-)
-from repro.core.homomorphism import instance_maps_into
-
-from benchmarks.conftest import report
+from benchmarks.conftest import run_evidence_job
 
 
 @pytest.mark.parametrize("k", [1, 2, 3, 4])
 def test_fig3_chain_and_image(benchmark, k):
-    q = diamond_query()
-    views = diamond_views()
-    chain = diamond_chain(k + 1)
-
-    def eval_and_image():
-        return q.boolean(chain), views.image(chain)
-
-    holds, image = benchmark(eval_and_image)
-    assert holds
-    assert len(image.tuples("S")) == 1
-    assert len(image.tuples("R")) == k
-    assert len(image.tuples("T")) == 1
-    report(
-        f"FIG3 (k={k})",
-        "I_k: chain of k+1 diamonds satisfies Q; its image is "
-        "S · R^k · T (Figure 3(b))",
-        f"Q(I_k)=True; image = 1 S + {k} R + 1 T facts",
-    )
+    run_evidence_job(benchmark, "fig3-chain-and-image", ks=[k])
 
 
 def test_fig3_unravelled_counterexample(benchmark):
-    image, chased, unravelling = benchmark.pedantic(
-        unravelled_counterexample, args=(2,), kwargs={"depth": 2},
-        rounds=1, iterations=1,
-    )
-    q = diamond_query()
-    assert not q.boolean(chased)
-    assert unravelling.instance <= diamond_views().image(chased)
-    report(
-        "FIG3 (I'_k)",
-        "the inverse chase of the (1,k)-unravelling fails Q while its "
-        "view image covers the unravelling",
-        f"Q(I'_k)=False on {len(chased)} facts; J'_k ⊆ V(I'_k) with "
-        f"{unravelling.copy_count()} copies",
-    )
+    run_evidence_job(benchmark, "fig3-unravelled-counterexample")
 
 
 @pytest.mark.parametrize("length", [1, 2, 3])
 def test_fig4_long_row(benchmark, length):
     """Figure 4: rows of length >= 2 cannot embed into the unravelling."""
-    _image, _chased, unravelling = unravelled_counterexample(2, depth=2)
-    row = long_row_cq(length)
-
-    maps = benchmark(
-        instance_maps_into, row.canonical_database(), unravelling.instance
-    )
-    assert maps == (length <= 1)
-    report(
-        f"FIG4 (row length {length})",
-        "a row of ≥2 R-rectangles needs two shared elements between "
-        "bags — impossible in a (1,k)-unravelling",
-        f"row({length}) embeds: {maps} (expected {length <= 1})",
-    )
+    run_evidence_job(benchmark, "fig4-long-row", lengths=[length])

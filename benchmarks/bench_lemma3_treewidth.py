@@ -1,54 +1,22 @@
 """Figure 5 / Lemma 3 — view-image treewidth stays under the bound.
 
-The case analysis of Figure 5 supports Lemma 3: applying connected CQ
-views of radius ``r`` to an instance of treewidth ``k`` (with treespan
-≤ 2) yields an image of treewidth ≤ ``k(k^{r+1}-1)/(k-1)``.  We measure
-the actual image treewidth across instance families and view radii and
-report the margin.
+Thin timed wrappers over the ``fig5-lemma3-treewidth`` evidence job
+(``repro.harness.evidence_figures``); each benchmark row narrows the
+registered sweep to one (family, radius) point.
 """
 
 import pytest
 
-from repro.core.parser import parse_cq
-from repro.determinacy.automata_checker import lemma3_bound
-from repro.rewriting.generators import binary_tree, chain, cycle
-from repro.td.heuristics import decompose, treewidth_exact
-from repro.views.view import View, ViewSet
+from benchmarks.conftest import run_evidence_job
 
-from benchmarks.conftest import report
-
-RADIUS_VIEWS = {
-    1: ViewSet([View("V1", parse_cq("V(x,z) <- R(x,y), R(y,z)"))]),
-    2: ViewSet([
-        View("V2", parse_cq("V(x,w) <- R(x,y), R(y,z), R(z,w)")),
-    ]),
-}
-
-FAMILIES = {
-    "chain": lambda: chain("R", 8),
-    "cycle": lambda: cycle("R", 6),
-    "tree": lambda: binary_tree("R", 3),
-}
+RADII = (1, 2)
+FAMILIES = ("chain", "cycle", "tree")
 
 
-@pytest.mark.parametrize("radius", sorted(RADIUS_VIEWS))
+@pytest.mark.parametrize("radius", RADII)
 @pytest.mark.parametrize("family", sorted(FAMILIES))
 def test_lemma3_margin(benchmark, radius, family):
-    views = RADIUS_VIEWS[radius]
-    instance = FAMILIES[family]()
-    k = treewidth_exact(instance, limit=8) or decompose(instance).width()
-
-    def measure():
-        image = views.image(instance)
-        exact = treewidth_exact(image, limit=8)
-        return exact if exact is not None else decompose(image).width()
-
-    image_width = benchmark(measure)
-    bound = lemma3_bound(k, radius)
-    assert image_width <= bound
-    report(
-        f"FIG5/Lemma3 ({family}, r={radius})",
-        f"image treewidth ≤ k(k^(r+1)-1)/(k-1) = {bound:.0f} for k={k}",
-        f"measured image treewidth {image_width} (margin "
-        f"{bound - image_width:.0f})",
+    run_evidence_job(
+        benchmark, "fig5-lemma3-treewidth",
+        radii=[radius], families=[family],
     )

@@ -1,219 +1,46 @@
 """Table 1 — rewritability of monotonically determined queries.
 
-One benchmark per cell of the paper's Table 1, regenerating the cell's
-claim as executable evidence (constructions + verification), with the
-construction cost measured by pytest-benchmark.
+One benchmark per cell of the paper's Table 1.  Each is a thin timed
+wrapper over the registered evidence job (see
+``repro.harness.evidence_table1``); the job's measured verdict must
+match the registry's expected verdict, so these benchmarks and
+``python -m repro evidence run --filter table1`` regenerate the same
+claims from the same code.
 """
 
-import pytest
-
-from repro.core.datalog import DatalogQuery
-from repro.core.homomorphism import instance_maps_into
-from repro.core.parser import parse_cq, parse_program, parse_ucq
-from repro.rewriting.datalog_rewriting import datalog_rewriting
-from repro.rewriting.forward_backward import rewrite_forward_backward
-from repro.rewriting.verification import check_rewriting
-from repro.views.view import View, ViewSet
-
-from benchmarks.conftest import report
+from benchmarks.conftest import run_evidence_job
 
 
 def test_t1_cq_rewriting(benchmark, engine_stats):
     """Cell (CQ, any views): CQ rewriting, polynomial size (Prop. 8a)."""
-    q = parse_cq("Q(x) <- R(x,y), S(y,z), U(z)")
-    tc = DatalogQuery(parse_program(
-        "P(x,y) <- R(x,y). P(x,y) <- R(x,z), P(z,y)."
-    ), "P", "VTC")
-    views = ViewSet([
-        View("VTC", tc),
-        View("VR", parse_cq("V(x,y) <- R(x,y)")),
-        View("VS", parse_cq("V(y,z) <- S(y,z)")),
-        View("VU", parse_cq("V(z) <- U(z)")),
-    ])
-    rewriting = benchmark(rewrite_forward_backward, q, views)
-    assert len(rewriting) == 1
-    assert rewriting.disjuncts[0].size() <= len(q.atoms) + len(views)
-    assert check_rewriting(q, views, rewriting, trials=25) is None
-    report(
-        "T1-CQ",
-        "CQ query mon. determined over Datalog views → CQ rewriting "
-        "of polynomial size",
-        f"rewriting with {rewriting.disjuncts[0].size()} atoms, verified "
-        "on 25 random instances",
-    )
+    run_evidence_job(benchmark, "t1-cq-rewriting")
 
 
 def test_t1_ucq_rewriting(benchmark, engine_stats):
     """Cell (UCQ, any views): UCQ rewriting (Prop. 8b)."""
-    q = parse_ucq(
-        """
-        Q() <- R(x,y), U(y).
-        Q() <- W(x,y), W(y,x).
-        """
-    )
-    views = ViewSet([
-        View("VR", parse_cq("V(x,y) <- R(x,y)")),
-        View("VU", parse_cq("V(y) <- U(y)")),
-        View("VW", parse_cq("V(x,y) <- W(x,y)")),
-    ])
-    rewriting = benchmark(rewrite_forward_backward, q, views)
-    assert len(rewriting) == 2
-    assert check_rewriting(q, views, rewriting, trials=25) is None
-    report(
-        "T1-UCQ",
-        "UCQ query mon. determined → UCQ rewriting",
-        f"{len(rewriting)}-disjunct rewriting verified on 25 instances",
-    )
+    run_evidence_job(benchmark, "t1-ucq-rewriting")
 
 
 def test_t1_mdl_cq_fgdl_rewriting(benchmark, engine_stats):
     """Cell (MDL, CQ views): FGDL rewriting exists ([14]/Thm 2)..."""
-    from repro.constructions.diamonds import diamond_query, diamond_views
-
-    q = diamond_query()
-    views = diamond_views()
-    rewriting = benchmark(
-        datalog_rewriting, q, views, frontier_guard=True
-    )
-    assert rewriting.program.is_frontier_guarded()
-    assert check_rewriting(q, views, rewriting, trials=20) is None
-    report(
-        "T1-MDL-CQ (positive half)",
-        "MDL query mon. determined over CQ views → FGDL rewriting",
-        f"frontier-guarded program with {len(rewriting.program)} rules, "
-        "verified on 20 random instances",
-    )
+    run_evidence_job(benchmark, "t1-mdl-cq-fgdl-rewriting")
 
 
 def test_t1_mdl_cq_not_mdl(benchmark, engine_stats):
     """... but not necessarily an MDL rewriting (Thm 7)."""
-    from repro.constructions.diamonds import (
-        diamond_query,
-        long_row_cq,
-        unravelled_counterexample,
-    )
-
-    def build():
-        return unravelled_counterexample(2, depth=2)
-
-    image, chased, unravelling = benchmark.pedantic(
-        build, rounds=1, iterations=1
-    )
-    q = diamond_query()
-    assert q.boolean(chased) is False
-    row = long_row_cq(2)
-    assert not instance_maps_into(
-        row.canonical_database(), unravelling.instance
-    )
-    report(
-        "T1-MDL-CQ (negative half, Thm 7)",
-        "the diamond Q separates: Q(I_k)=True, Q(I'_k)=False, and the "
-        "Figure-4 row pattern cannot embed into the (1,k)-unravelling",
-        f"Q(I'_k)=False on {len(chased)} chased facts; row(2) does not "
-        f"map into the {unravelling.copy_count()}-copy unravelling",
-    )
+    run_evidence_job(benchmark, "t1-mdl-cq-not-mdl")
 
 
 def test_t1_datalog_fgdl(benchmark, engine_stats):
-    """Cell (Datalog, FGDL views): Datalog rewriting (Thm 1).
-
-    Exercised on Example 1 (CQ views, the [14] route) plus the
-    backward-mapping pipeline on identity views (the Prop. 7 route).
-    """
-    from repro.automata.backward import backward_query
-    from repro.automata.forward import approximations_automaton
-    from repro.core.schema import Schema
-
-    q = DatalogQuery(parse_program(
-        """
-        P(x) <- U(x).
-        P(x) <- R(x,y), P(y).
-        Goal() <- S(x), P(x).
-        """
-    ), "Goal")
-    identity_views = ViewSet([
-        View("R", parse_cq("V(x,y) <- R(x,y)")),
-        View("U", parse_cq("V(x) <- U(x)")),
-        View("S", parse_cq("V(x) <- S(x)")),
-    ])
-
-    def pipeline():
-        nta = approximations_automaton(q)
-        return backward_query(nta, Schema({"R": 2, "U": 1, "S": 1}))
-
-    rewriting = benchmark(pipeline)
-    assert check_rewriting(q, identity_views, rewriting, trials=25) is None
-    report(
-        "T1-DAT-FGDL",
-        "Datalog query mon. determined over FGDL views → Datalog "
-        "rewriting (forward → project → backward)",
-        f"backward-mapped program with {len(rewriting.program)} rules "
-        "verified on 25 random instances",
-    )
+    """Cell (Datalog, FGDL views): Datalog rewriting (Thm 1)."""
+    run_evidence_job(benchmark, "t1-datalog-fgdl")
 
 
 def test_t1_thm8_no_datalog_rewriting(benchmark, engine_stats):
     """Cell (MDL, UCQ views): NOT necessarily Datalog rewritable (Thm 8)."""
-    from repro.constructions.thm8 import build_witness
-
-    witness = benchmark.pedantic(
-        build_witness, args=(4,), kwargs={"depth": 2},
-        rounds=1, iterations=1,
-    )
-    assert witness.query.boolean(witness.source) is True
-    assert witness.query.boolean(witness.counterexample) is False
-    image = witness.views.image(witness.counterexample)
-    assert witness.unravelling.instance <= image
-    report(
-        "T1-MDL-UCQ (Thm 8)",
-        "Q_TP* mon. determined over V_TP* but with no Datalog "
-        "rewriting: pairs (I_ℓ, I'_ℓ) with equalish →k view images "
-        "separate Q from every bounded-body Datalog query",
-        f"ℓ=4: Q(I_ℓ)=True, Q(I'_ℓ)=False, U_ℓ ⊆ V(I'_ℓ) "
-        f"({witness.unravelling.copy_count()} unravelling copies, "
-        f"{len(witness.w_instance)} W_ℓ facts, tiling found)",
-    )
+    run_evidence_job(benchmark, "t1-thm8-no-datalog-rewriting")
 
 
 def test_t1_mdl_rewriting_via_automata(benchmark, engine_stats):
-    """Thm 1, last part: MDL queries get MDL rewritings — the full
-    exact pipeline (forward → project onto atomic views → MDL
-    backward)."""
-    from repro.automata.backward import backward_query_mdl
-    from repro.automata.forward import (
-        approximations_automaton,
-        view_image_automaton_atomic,
-    )
-    from repro.core.schema import Schema
-
-    q = DatalogQuery(parse_program(
-        """
-        P(x) <- U(x).
-        P(x) <- R(x,y), P(y).
-        Goal() <- S(x), P(x).
-        """
-    ), "Goal")
-    views = ViewSet([
-        View("VR", parse_cq("V(x,y) <- R(x,y)")),
-        View("VU", parse_cq("V(x) <- U(x)")),
-        View("VS", parse_cq("V(x) <- S(x)")),
-    ])
-
-    def pipeline():
-        nta = view_image_automaton_atomic(
-            approximations_automaton(q), views
-        )
-        return backward_query_mdl(
-            nta, Schema({"VR": 2, "VU": 1, "VS": 1})
-        )
-
-    rewriting = benchmark(pipeline)
-    assert rewriting.program.is_monadic()
-    assert check_rewriting(q, views, rewriting, trials=25) is None
-    report(
-        "T1-MDL (Thm 1, MDL refinement)",
-        "for MDL queries the Thm 1 rewriting can be taken in MDL "
-        "(frontier-one codes + unary backward predicates)",
-        f"monadic program with {len(rewriting.program)} rules verified "
-        "on 25 random instances",
-    )
+    """Thm 1, last part: MDL queries get MDL rewritings."""
+    run_evidence_job(benchmark, "t1-mdl-rewriting-via-automata")

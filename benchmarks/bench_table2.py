@@ -1,274 +1,44 @@
 """Table 2 — decidability and complexity of monotonic determinacy.
 
-One benchmark per cell family: we run the implemented decision
-procedures over parameterized instance families and report agreement
-with the cell's claim (decidable cells) or the faithfulness of the
-undecidability reduction (Thm 6 cell).
+One benchmark per cell family, as thin timed wrappers over the
+registered evidence jobs (``repro.harness.evidence_table2``) —
+``python -m repro evidence run --filter table2`` regenerates the same
+claims from the same code.
 """
 
-import random
-
-from repro.core.containment import Verdict
-from repro.core.datalog import DatalogQuery
-from repro.core.parser import parse_cq, parse_program
-from repro.determinacy.automata_checker import decide_fgdl
-from repro.determinacy.checker import check_tests, decide_monotonic_determinacy
-from repro.determinacy.cq_query import decide_cq_ucq
-from repro.determinacy.reductions import (
-    containment_to_determinacy,
-    equivalence_to_determinacy,
-)
-from repro.views.view import View, ViewSet
-
-from benchmarks.conftest import report
-
-
-def _random_path_cq(rng: random.Random, length: int):
-    """A path CQ R(x0,x1),...,optionally marked."""
-    atoms = [f"R(x{i},x{i+1})" for i in range(length)]
-    if rng.random() < 0.5:
-        atoms.append(f"U(x{rng.randrange(length + 1)})")
-    return parse_cq("Q(x0) <- " + ", ".join(atoms))
+from benchmarks.conftest import run_evidence_job
 
 
 def test_t2_cq_cq(benchmark, engine_stats):
-    """Cell (CQ, CQ): NP-complete [21] — the exact checker over a
-    generated family; decisions match a brute-force oracle by design
-    (the Prop. 8 criterion *is* the definition here)."""
-    rng = random.Random(7)
-    cases = []
-    for _ in range(12):
-        q = _random_path_cq(rng, rng.randint(1, 3))
-        keep_full = rng.random() < 0.5
-        views = ViewSet([
-            View("VR", parse_cq(
-                "V(x,y) <- R(x,y)" if keep_full else "V(x) <- R(x,y)"
-            )),
-            View("VU", parse_cq("V(x) <- U(x)")),
-        ])
-        cases.append((q, views, keep_full))
-
-    def run_all():
-        return [decide_cq_ucq(q, views)[0].verdict for q, views, _ in cases]
-
-    verdicts = benchmark(run_all)
-    yes = sum(1 for v in verdicts if v is Verdict.YES)
-    # full binary views always determine path CQs; lossy ones never
-    # (for length >= 1 with an existential join)
-    for verdict, (_q, _v, keep_full) in zip(verdicts, cases):
-        if keep_full:
-            assert verdict is Verdict.YES
-    report(
-        "T2-CQ-CQ",
-        "monotonic determinacy for CQ/CQ is decidable (NP-complete)",
-        f"12 generated cases decided exactly: {yes} yes / "
-        f"{len(verdicts) - yes} no",
-    )
+    """Cell (CQ, CQ): NP-complete [21] — exact checker over a family."""
+    run_evidence_job(benchmark, "t2-cq-cq")
 
 
 def test_t2_cq_datalog(benchmark, engine_stats):
     """Cell (CQ, Datalog): decidable in 2ExpTime (Thm 5)."""
-    tc = DatalogQuery(parse_program(
-        "P(x,y) <- R(x,y). P(x,y) <- R(x,z), P(z,y)."
-    ), "P", "VTC")
-    views = ViewSet([
-        View("VTC", tc),
-        View("VU", parse_cq("V(x) <- U(x)")),
-    ])
-    q_yes = parse_cq("Q() <- R(x,y), U(x)")
-    q_no = parse_cq("Q() <- R(x,y), U(x), U(y)")
-
-    def decide_both():
-        return (
-            decide_cq_ucq(q_yes, views)[0].verdict,
-            decide_cq_ucq(q_no, views)[0].verdict,
-        )
-
-    yes, no = benchmark(decide_both)
-    assert yes is Verdict.YES and no is Verdict.NO
-    report(
-        "T2-CQ-DAT (Thm 5)",
-        "CQ query / recursive Datalog views: decidable in 2ExpTime via "
-        "automata containment of the unfolded candidate",
-        "both test queries decided exactly (one YES, one NO) through "
-        "the forward-automaton × ¬CQ-match product",
-    )
+    run_evidence_job(benchmark, "t2-cq-datalog")
 
 
 def test_t2_fgdl(benchmark, engine_stats):
-    """Cell (FGDL, FGDL): decidable in 2ExpTime (Thm 3) — the ETEST
-    pipeline with treewidth instrumentation (bounded rendering)."""
-    q = DatalogQuery(parse_program(
-        """
-        GoalQ() <- U1(x), W1(x).
-        W1(x) <- T(x,y,z), B(z,w), B(y,w), W1(w).
-        W1(x) <- U2(x).
-        """
-    ), "GoalQ")
-    views = ViewSet([
-        View("V0", parse_cq("V(x,w) <- T(x,y,z), B(z,w), B(y,w)")),
-        View("V1", parse_cq("V(x) <- U1(x)")),
-        View("V2", parse_cq("V(x) <- U2(x)")),
-    ])
-    result = benchmark(decide_fgdl, q, views, 4)
-    assert result.verdict is Verdict.UNKNOWN  # all tests pass
-    lossy = ViewSet([v for v in views if v.name != "V2"])
-    refuted = decide_fgdl(q, lossy, approx_depth=4)
-    assert refuted.verdict is Verdict.NO
-    report(
-        "T2-FGDL (Thm 3)",
-        "FGDL/FGDL decidable in 2ExpTime; view-image treewidth stays "
-        "bounded (Lemmas 2-3)",
-        f"determined case: {result.stats['tests_executed']} tests pass, "
-        f"k={result.stats['k']}, image tw={result.stats['image_treewidth']}"
-        f" ≤ Lemma-3 bound {result.stats['lemma3_bound']:.0f}; "
-        "lossy case refuted with a concrete failing test",
-    )
+    """Cell (FGDL, FGDL): decidable in 2ExpTime (Thm 3)."""
+    run_evidence_job(benchmark, "t2-fgdl")
 
 
 def test_t2_undecidable_reduction(benchmark, engine_stats):
-    """Cell (MDL, UCQ): undecidable (Thm 6) — the reduction is faithful
-    on decidable tiling instances."""
-    from repro.constructions.reduction_thm6 import thm6_query, thm6_views
-    from repro.constructions.tiling import (
-        solvable_example,
-        unsolvable_example,
-    )
-
-    def run_both():
-        outcomes = {}
-        for label, tp in (
-            ("solvable", solvable_example()),
-            ("unsolvable", unsolvable_example()),
-        ):
-            result = check_tests(
-                thm6_query(tp), thm6_views(tp),
-                approx_depth=4, view_depth=1, max_tests=400,
-            )
-            outcomes[label] = result.verdict
-        return outcomes
-
-    outcomes = benchmark.pedantic(run_both, rounds=1, iterations=1)
-    assert outcomes["solvable"] is Verdict.NO
-    assert outcomes["unsolvable"] is Verdict.UNKNOWN
-    report(
-        "T2-MDL-UCQ (Thm 6)",
-        "tiling problem solvable ⟺ Q_TP NOT mon. determined over V_TP "
-        "(hence undecidability)",
-        "solvable TP → failing grid test found; unsolvable TP → all "
-        "tests pass within budget",
-    )
+    """Cell (MDL, UCQ): undecidable (Thm 6) — faithful reduction."""
+    run_evidence_job(benchmark, "t2-undecidable-reduction")
 
 
 def test_t2_lower_bounds(benchmark, engine_stats):
     """Prop. 9: the reductions from equivalence/containment."""
-
-    def run_cases():
-        results = []
-        # Lemma 7 on CQs
-        for qv_text, equivalent in (
-            ("V(x) <- R(x,y), R(x,z)", True),
-            ("V(x) <- R(x,y), R(y,z)", False),
-        ):
-            query, views = equivalence_to_determinacy(
-                parse_cq("Q(x) <- R(x,y)"), parse_cq(qv_text)
-            )
-            verdict = decide_monotonic_determinacy(query, views).verdict
-            results.append((verdict is Verdict.YES) == equivalent)
-        # Lemma 8 on CQs
-        for sub, sup, contained in (
-            ("Q() <- R(x,y), R(y,z)", "Q() <- R(u,v)", True),
-            ("Q() <- R(u,v)", "Q() <- R(x,x)", False),
-        ):
-            query, views = containment_to_determinacy(
-                parse_cq(sub), parse_cq(sup)
-            )
-            verdict = decide_monotonic_determinacy(
-                query, views, approx_depth=3
-            ).verdict
-            results.append(
-                (verdict is not Verdict.NO) == contained
-            )
-        return results
-
-    results = benchmark(run_cases)
-    assert all(results)
-    report(
-        "T2-LOWER (Prop. 9)",
-        "equivalence/containment reduce to monotonic determinacy "
-        "(NP-, Π₂ᵖ-, 2ExpTime-hardness, undecidability for Datalog)",
-        f"{len(results)}/{len(results)} reduction instances faithful",
-    )
+    run_evidence_job(benchmark, "t2-lower-bounds")
 
 
 def test_t2_mdl_cq_thm4(benchmark, engine_stats):
-    """Cell (MDL, FGDL+CQ): decidable in 3ExpTime (Thm 4) — the MDL
-    pipeline with normalization (Prop. 2) and the Lemma 1/Lemma 3
-    treewidth quantities instrumented."""
-    from repro.core.normalization import is_normalized, normalize
-
-    q = DatalogQuery(parse_program(
-        """
-        A(x) <- B(x), M(x).
-        B(x) <- R(x,y), B(y).
-        B(x) <- U(x).
-        GoalM() <- A(x).
-        """
-    ), "GoalM")
-    views = ViewSet([
-        View("VR", parse_cq("V(x,y) <- R(x,y)")),
-        View("VU", parse_cq("V(x) <- U(x)")),
-        View("VM", parse_cq("V(x) <- M(x)")),
-    ])
-    assert not is_normalized(q)
-    normalized = normalize(q)
-    assert is_normalized(normalized)
-
-    result = benchmark(decide_fgdl, q, views, 4)
-    assert result.verdict is Verdict.UNKNOWN  # determined: no failing test
-    lossy = ViewSet([v for v in views if v.name != "VM"])
-    refuted = decide_fgdl(q, lossy, approx_depth=4)
-    assert refuted.verdict is Verdict.NO
-    report(
-        "T2-MDL-CQ (Thm 4)",
-        "MDL query over CQ views: decidable in 3ExpTime via "
-        "normalization (Prop. 2) + the connected-views treewidth bound "
-        "(Lemma 3)",
-        f"normalization applied; determined case passes "
-        f"{result.stats['tests_executed']} tests with image tw "
-        f"{result.stats['image_treewidth']} ≤ bound "
-        f"{result.stats['lemma3_bound']:.0f}; lossy case refuted",
-    )
+    """Cell (MDL, FGDL+CQ): decidable in 3ExpTime (Thm 4)."""
+    run_evidence_job(benchmark, "t2-mdl-cq-thm4")
 
 
 def test_t2_cross_validation(benchmark, engine_stats):
     """The exact Thm 5 path and the finite-test-space path agree."""
-    rng = random.Random(13)
-    cases = []
-    for _ in range(8):
-        q = _random_path_cq(rng, rng.randint(1, 2))
-        full = rng.random() < 0.5
-        views = ViewSet([
-            View("VR", parse_cq(
-                "V(x,y) <- R(x,y)" if full else "V(x) <- R(x,y)"
-            )),
-            View("VU", parse_cq("V(x) <- U(x)")),
-        ])
-        cases.append((q, views))
-
-    def agree_all():
-        agreements = 0
-        for q, views in cases:
-            exact = decide_cq_ucq(q, views)[0].verdict
-            tests = check_tests(q, views).verdict
-            assert exact == tests, (q, views, exact, tests)
-            agreements += 1
-        return agreements
-
-    agreements = benchmark.pedantic(agree_all, rounds=1, iterations=1)
-    report(
-        "T2-CROSS",
-        "(methodology) two independent exact procedures must agree",
-        f"Thm 5 automata path == Lemma 5 finite-test path on "
-        f"{agreements} generated cases",
-    )
+    run_evidence_job(benchmark, "t2-cross-validation")

@@ -19,6 +19,10 @@ import pytest
 
 from repro.core import stats as _stats
 from repro.core.stats import EngineStats
+from repro.harness.registry import default_registry
+
+#: the evidence-job registry the benchmarks wrap (`repro.harness`)
+REGISTRY = default_registry()
 
 
 def report(experiment: str, claim: str, measured: str) -> None:
@@ -26,6 +30,40 @@ def report(experiment: str, claim: str, measured: str) -> None:
     print(f"\n[{experiment}]")
     print(f"  paper   : {claim}")
     print(f"  measured: {measured}")
+
+
+def run_evidence_job(benchmark, name: str, **overrides) -> dict:
+    """Benchmark a registered evidence job and gate on its verdict.
+
+    The benchmarks are thin timed wrappers over the same functions
+    ``python -m repro evidence run`` executes: the job is looked up in
+    the registry, its inputs (plus per-test ``overrides``) are applied,
+    and the measured verdict must equal the registry's expectation.
+    Jobs flagged ``heavy`` run a single pedantic round.
+    """
+    job = REGISTRY.get(name)
+    fn = job.resolve()
+    inputs = {**job.inputs, **overrides}
+
+    def invoke():
+        return fn(**inputs)
+
+    if job.heavy:
+        result = benchmark.pedantic(invoke, rounds=1, iterations=1)
+    else:
+        result = benchmark(invoke)
+    assert result["verdict"] == job.expected, (
+        f"{name}: expected verdict {job.expected!r}, measured "
+        f"{result['verdict']!r} — {result['measured']}"
+    )
+    label = name if not overrides else f"{name} {overrides}"
+    report(label, job.claim, result["measured"])
+    benchmark.extra_info["evidence"] = {
+        "job": name,
+        "verdict": result["verdict"],
+        "metrics": result["metrics"],
+    }
+    return result
 
 
 @pytest.fixture

@@ -9,6 +9,8 @@ Commands:
 * ``eval``    — evaluate a query over an instance
 * ``lint``    — static analysis: diagnostics with source positions,
   dependency/fragment structure, text or JSON output
+* ``evidence``— regenerate the paper's tables and figures as a
+  parallel, cached, verdict-checked job DAG (``repro.harness``)
 
 Inputs are files in the library's text syntax (see
 :mod:`repro.core.parser`).  A *query file* contains Datalog rules plus a
@@ -16,6 +18,11 @@ directive line ``# goal: <Pred>`` (absent: the file is parsed as a
 single CQ).  A *views file* contains blocks separated by ``# view:
 <Name>`` directives, each holding one CQ (single rule) or Datalog
 program with ``# goal:``.
+
+All parsing goes through the span-aware
+:func:`repro.core.parser.parse_program_source` path, so malformed
+input to any command reports ``file:line:col`` plus a caret excerpt
+(exit status 2), exactly like ``lint`` renders its ``E004``.
 """
 
 from __future__ import annotations
@@ -23,50 +30,147 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
+from typing import Optional
 
 from repro.core.cq import ConjunctiveQuery
 from repro.core.datalog import DatalogQuery
-from repro.core.parser import parse_cq, parse_instance, parse_program
+from repro.core.parser import (
+    ParseError,
+    Span,
+    parse_instance,
+    parse_program_source,
+    source_excerpt,
+)
+from repro.core.terms import Variable
 from repro.views.view import View, ViewSet
 
+#: exit status for malformed input files (decide/rewrite/certain/eval)
+INPUT_ERROR = 2
 
-def _parse_query_text(text: str):
+
+def _shift(span: Optional[Span], offset: int) -> Optional[Span]:
+    """Move a block-local span down by ``offset`` file lines."""
+    if span is None or offset == 0:
+        return span
+    return Span(
+        span.line + offset, span.col, span.end_line + offset, span.end_col
+    )
+
+
+def _input_error(
+    message: str,
+    span: Optional[Span],
+    *,
+    path: Optional[str],
+    offset: int = 0,
+    full_text: str = "",
+) -> ParseError:
+    """A ParseError re-anchored to the whole file, carrying its path."""
+    span = _shift(span, offset)
+    error = ParseError(message, span, source_excerpt(full_text, span))
+    error.path = path  # type: ignore[attr-defined]
+    return error
+
+
+def _parse_query_text(
+    text: str,
+    *,
+    path: Optional[str] = None,
+    offset: int = 0,
+    full_text: Optional[str] = None,
+):
+    """Parse a query block through the span-aware parser path.
+
+    ``# goal:`` directives are comments to the tokenizer, so they stay
+    in the parsed text and every reported position matches the file as
+    written.  ``offset``/``full_text`` re-anchor positions when ``text``
+    is a block cut out of a larger file (views files).
+    """
+    full = full_text if full_text is not None else text
     goal = None
-    lines = []
     for line in text.splitlines():
         stripped = line.strip()
         if stripped.startswith("# goal:"):
             goal = stripped.split(":", 1)[1].strip()
-        else:
-            lines.append(line)
-    body = "\n".join(lines)
-    if goal is None:
-        return parse_cq(body)
-    return DatalogQuery(parse_program(body), goal)
+    try:
+        source = parse_program_source(text)
+    except ParseError as exc:
+        raise _input_error(
+            exc.message, exc.span,
+            path=path, offset=offset, full_text=full,
+        ) from None
+    for entry in source.entries:
+        if entry.rule is None:
+            raise _input_error(
+                entry.error or "unsafe rule", entry.head_span,
+                path=path, offset=offset, full_text=full,
+            )
+    if not source.entries:
+        raise _input_error(
+            "empty program", None,
+            path=path, offset=offset, full_text=full,
+        )
+    program = source.program()
+    if goal is not None:
+        if goal not in {rule.head.pred for rule in program.rules}:
+            raise _input_error(
+                f"goal predicate {goal!r} is not defined by any rule",
+                None, path=path, offset=offset, full_text=full,
+            )
+        return DatalogQuery(program, goal)
+    if len(source.entries) != 1:
+        raise _input_error(
+            "a query file without '# goal:' must contain exactly one "
+            "CQ rule", source.entries[1].span,
+            path=path, offset=offset, full_text=full,
+        )
+    rule = source.entries[0].rule
+    assert rule is not None  # unsafe entries rejected above
+    head_vars = []
+    for term in rule.head.args:
+        if not isinstance(term, Variable):
+            raise _input_error(
+                "CQ head arguments must be variables",
+                source.entries[0].head_span,
+                path=path, offset=offset, full_text=full,
+            )
+        head_vars.append(term)
+    return ConjunctiveQuery(tuple(head_vars), rule.body, "Q")
 
 
 def load_query(path: str):
-    return _parse_query_text(Path(path).read_text())
+    return _parse_query_text(Path(path).read_text(), path=path)
 
 
 def load_views(path: str) -> ViewSet:
     text = Path(path).read_text()
-    blocks: list[tuple[str, list[str]]] = []
-    current: tuple[str, list[str]] | None = None
-    for line in text.splitlines():
+    # (name, 0-based line of the first block line, block lines)
+    blocks: list[tuple[str, int, list[str]]] = []
+    current: list[str] | None = None
+    for lineno, line in enumerate(text.splitlines()):
         stripped = line.strip()
         if stripped.startswith("# view:"):
             name = stripped.split(":", 1)[1].strip()
-            current = (name, [])
-            blocks.append(current)
+            current = []
+            blocks.append((name, lineno + 1, current))
         elif current is not None:
-            current[1].append(line)
+            current.append(line)
     if not blocks:
         raise SystemExit("views file needs at least one '# view:' block")
     views = []
-    for name, lines in blocks:
-        views.append(View(name, _parse_query_text("\n".join(lines))))
+    for name, start, lines in blocks:
+        views.append(View(name, _parse_query_text(
+            "\n".join(lines), path=path, offset=start, full_text=text,
+        )))
     return ViewSet(views)
+
+
+def load_instance(path: str):
+    try:
+        return parse_instance(Path(path).read_text())
+    except ParseError as exc:
+        exc.path = path  # type: ignore[attr-defined]
+        raise
 
 
 def cmd_decide(args: argparse.Namespace) -> int:
@@ -119,7 +223,7 @@ def cmd_certain(args: argparse.Namespace) -> int:
     if isinstance(query, ConjunctiveQuery):
         raise SystemExit("certain answers need a Datalog query file")
     views = load_views(args.views)
-    view_instance = parse_instance(Path(args.instance).read_text())
+    view_instance = load_instance(args.instance)
     for row in sorted(
         certain_answers(query, views, view_instance), key=repr
     ):
@@ -129,7 +233,7 @@ def cmd_certain(args: argparse.Namespace) -> int:
 
 def cmd_eval(args: argparse.Namespace) -> int:
     query = load_query(args.query)
-    instance = parse_instance(Path(args.instance).read_text())
+    instance = load_instance(args.instance)
     for row in sorted(query.evaluate(instance), key=repr):
         print(row)
     return 0
@@ -170,7 +274,7 @@ def cmd_lint(args: argparse.Namespace) -> int:
                 "summary": {"errors": 1, "warnings": 0, "infos": 0},
             }, indent=2, sort_keys=True))
         else:
-            print(diagnostic.render(args.query))
+            print(diagnostic.render(getattr(exc, "path", None) or args.query))
             print("1 error(s), 0 warning(s)")
         return LINT_ERRORS
 
@@ -238,20 +342,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="treat warnings as errors (exit 1 instead of 2)",
     )
     lint.set_defaults(func=cmd_lint)
+
+    from repro.harness.cli import add_evidence_parser
+
+    add_evidence_parser(sub)
     return parser
+
+
+def _render_input_error(exc: ParseError) -> None:
+    """``file:line:col: E004 [error] message`` + caret excerpt, à la lint."""
+    from repro.analysis import make
+
+    path = getattr(exc, "path", None)
+    print(make("E004", exc.message, exc.span).render(path), file=sys.stderr)
+    if exc.excerpt:
+        print(exc.excerpt, file=sys.stderr)
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    if args.stats:
-        from repro.core.stats import EngineStats, collecting
+    try:
+        if args.stats:
+            from repro.core.stats import EngineStats, collecting
 
-        stats = EngineStats()
-        with stats.phase("total"), collecting(stats):
-            code = args.func(args)
-        print(stats.render(), file=sys.stderr)
-        return code
-    return args.func(args)
+            stats = EngineStats()
+            with stats.phase("total"), collecting(stats):
+                code = args.func(args)
+            print(stats.render(), file=sys.stderr)
+            return code
+        return args.func(args)
+    except ParseError as exc:
+        _render_input_error(exc)
+        return INPUT_ERROR
+    except OSError as exc:
+        name = exc.filename if exc.filename is not None else ""
+        print(f"error: cannot read {name}: {exc.strerror}", file=sys.stderr)
+        return INPUT_ERROR
 
 
 if __name__ == "__main__":  # pragma: no cover

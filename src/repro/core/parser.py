@@ -134,6 +134,16 @@ def _excerpt(lines: list[str], span: Optional[Span]) -> Optional[str]:
     return f"    {source}\n    {caret}"
 
 
+def source_excerpt(text: str, span: Optional[Span]) -> Optional[str]:
+    """The caret excerpt :class:`ParseError` uses, for external callers.
+
+    Lets error reporters re-anchor a span against a *different* text
+    than the one parsed — e.g. the CLI parses each ``# view:`` block
+    separately but reports positions in the whole views file.
+    """
+    return _excerpt(text.splitlines(), span)
+
+
 def _tokens(text: str) -> Iterator[Token]:
     pos = 0
     line = 1

@@ -19,8 +19,26 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager, nullcontext
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Iterator, Optional
+
+#: Integer counter fields that :meth:`EngineStats.merge` sums.  Every
+#: dataclass field must either appear here or be special-cased in
+#: ``merge()``/``to_dict()``/``from_dict()`` — ``merge`` raises
+#: ``TypeError`` otherwise, so adding a new counter without wiring its
+#: merge strategy fails loudly instead of silently dropping data when
+#: worker-process stats are folded back into the parent.
+_SUMMED_FIELDS = frozenset({
+    "hom_calls",
+    "search_steps",
+    "rows_scanned",
+    "index_rebuilds",
+    "index_incremental",
+    "fixpoint_rounds",
+    "facts_derived",
+    "plan_cache_hits",
+    "plan_cache_misses",
+})
 
 
 @dataclass
@@ -55,35 +73,62 @@ class EngineStats:
             )
 
     def merge(self, other: "EngineStats") -> None:
-        """Add ``other``'s counters into this object."""
-        self.hom_calls += other.hom_calls
-        self.search_steps += other.search_steps
-        self.rows_scanned += other.rows_scanned
-        self.index_rebuilds += other.index_rebuilds
-        self.index_incremental += other.index_incremental
-        self.fixpoint_rounds += other.fixpoint_rounds
-        self.facts_derived += other.facts_derived
-        self.plan_cache_hits += other.plan_cache_hits
-        self.plan_cache_misses += other.plan_cache_misses
-        for name, secs in other.phase_seconds.items():
-            self.phase_seconds[name] = (
-                self.phase_seconds.get(name, 0.0) + secs
-            )
+        """Add ``other``'s counters into this object.
 
-    def as_dict(self) -> dict:
-        """JSON-ready snapshot (used for benchmark ``extra_info``)."""
-        return {
-            "hom_calls": self.hom_calls,
-            "search_steps": self.search_steps,
-            "rows_scanned": self.rows_scanned,
-            "index_rebuilds": self.index_rebuilds,
-            "index_incremental": self.index_incremental,
-            "fixpoint_rounds": self.fixpoint_rounds,
-            "facts_derived": self.facts_derived,
-            "plan_cache_hits": self.plan_cache_hits,
-            "plan_cache_misses": self.plan_cache_misses,
-            "phase_seconds": dict(self.phase_seconds),
+        Field-driven so it can never silently skip a counter: a field
+        that is neither in ``_SUMMED_FIELDS`` nor handled explicitly
+        raises ``TypeError``.  This is what lets worker processes ship
+        their stats home as dicts and have the parent fold them in
+        without losing anything.
+        """
+        for f in fields(self):
+            if f.name in _SUMMED_FIELDS:
+                setattr(
+                    self,
+                    f.name,
+                    getattr(self, f.name) + getattr(other, f.name, 0),
+                )
+            elif f.name == "phase_seconds":
+                for name, secs in other.phase_seconds.items():
+                    self.phase_seconds[name] = (
+                        self.phase_seconds.get(name, 0.0) + secs
+                    )
+            else:
+                raise TypeError(
+                    f"EngineStats.merge: no merge strategy for field "
+                    f"{f.name!r}; add it to _SUMMED_FIELDS or handle it "
+                    f"explicitly in merge()/to_dict()/from_dict()"
+                )
+
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot; the inverse of :meth:`from_dict`.
+
+        Field-driven, so a newly added counter shows up here (and
+        round-trips through worker processes) automatically.
+        """
+        out: dict = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            out[f.name] = dict(value) if isinstance(value, dict) else value
+        return out
+
+    # historical name, kept for benchmark extra_info consumers
+    as_dict = to_dict
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EngineStats":
+        """Rebuild a collector from :meth:`to_dict` output.
+
+        Unknown keys are ignored (a manifest written by a newer version
+        still loads); missing keys keep their defaults.
+        """
+        known = {f.name for f in fields(cls)}
+        kwargs = {
+            name: (dict(value) if isinstance(value, dict) else value)
+            for name, value in data.items()
+            if name in known
         }
+        return cls(**kwargs)
 
     def render(self) -> str:
         """Human-readable table (the CLI's ``--stats`` output)."""

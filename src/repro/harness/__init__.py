@@ -1,0 +1,42 @@
+"""``repro.harness`` — the evidence runner.
+
+The paper's "experiments" are its theorems; this package regenerates
+every Table 1 cell, Table 2 cell and Figure 1–5 construction as a
+checked, cached job DAG:
+
+* :mod:`repro.harness.job`       — ``Job`` / ``JobResult`` / ``JobStatus``
+* :mod:`repro.harness.registry`  — the registry; ``default_registry()``
+  declares one job per paper claim with its expected verdict
+* :mod:`repro.harness.runner`    — parallel DAG execution on a process
+  pool with per-job timeouts, bounded retries and failure poisoning
+* :mod:`repro.harness.cache`     — content-addressed result cache
+  (inputs + code fingerprint), so re-runs skip unchanged jobs
+* :mod:`repro.harness.manifest`  — run manifest: measured vs expected
+  verdicts, merged engine stats, JSONL event log
+* :mod:`repro.harness.cli`       — ``python -m repro evidence
+  {list,run,report}``
+
+The evidence functions themselves live in ``evidence_table1`` /
+``evidence_table2`` / ``evidence_figures``; the pytest benchmarks are
+thin wrappers over the same functions (see ``benchmarks/conftest.py``).
+"""
+
+from repro.harness.cache import ResultCache, code_fingerprint
+from repro.harness.job import Job, JobResult, JobStatus
+from repro.harness.manifest import build_manifest, render_manifest
+from repro.harness.registry import JobRegistry, default_registry
+from repro.harness.runner import RunnerConfig, run_jobs
+
+__all__ = [
+    "Job",
+    "JobResult",
+    "JobStatus",
+    "JobRegistry",
+    "ResultCache",
+    "RunnerConfig",
+    "build_manifest",
+    "code_fingerprint",
+    "default_registry",
+    "render_manifest",
+    "run_jobs",
+]

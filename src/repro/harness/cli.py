@@ -1,0 +1,164 @@
+"""``python -m repro evidence {list,run,report}``.
+
+* ``list``   — the registered jobs (name, tags, expected verdict, deps)
+* ``run``    — execute the job DAG in parallel; writes
+  ``manifest.json`` + ``events.jsonl`` under ``--out-dir`` and exits
+  non-zero on any verdict mismatch, failure, timeout or skip
+* ``report`` — re-render (and re-gate on) a previously written manifest
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.harness.cache import ResultCache, code_fingerprint
+from repro.harness.events import EventLog
+from repro.harness.manifest import (
+    build_manifest,
+    load_manifest,
+    manifest_exit_code,
+    render_manifest,
+    write_manifest,
+)
+from repro.harness.registry import default_registry
+from repro.harness.runner import RunnerConfig, run_jobs
+
+DEFAULT_CACHE_DIR = Path(".repro-cache") / "evidence"
+DEFAULT_OUT_DIR = Path("evidence-out")
+
+
+def cmd_evidence_list(args: argparse.Namespace) -> int:
+    registry = default_registry()
+    jobs = registry.select(args.filter)
+    if args.format == "json":
+        print(json.dumps(
+            {"jobs": [job.as_dict() for job in jobs]},
+            indent=2, sort_keys=True,
+        ))
+        return 0
+    for job in jobs:
+        deps = f"  <- {', '.join(job.deps)}" if job.deps else ""
+        print(f"{job.name:<34} [{', '.join(job.tags)}]{deps}")
+        print(f"    claim   : {job.claim}")
+        print(f"    expected: {job.expected}")
+    print(f"{len(jobs)} job(s)")
+    return 0
+
+
+def cmd_evidence_run(args: argparse.Namespace) -> int:
+    registry = default_registry()
+    jobs = registry.select(args.filter)
+    if not jobs:
+        print(f"no jobs match filter {args.filter!r}", file=sys.stderr)
+        return 2
+    fingerprint = code_fingerprint()
+    cache = (
+        None if args.no_cache
+        else ResultCache(Path(args.cache_dir), fingerprint)
+    )
+    out_dir = Path(args.out_dir)
+    config = RunnerConfig(
+        workers=max(1, args.jobs),
+        default_timeout=args.timeout,
+    )
+    started = time.perf_counter()
+    with EventLog(out_dir / "events.jsonl") as events:
+        results = run_jobs(jobs, config=config, cache=cache, events=events)
+    manifest = build_manifest(
+        jobs,
+        results,
+        wall_seconds=time.perf_counter() - started,
+        workers=config.workers,
+        default_timeout=config.default_timeout,
+        code_fingerprint=fingerprint,
+        cache_used=cache is not None,
+    )
+    write_manifest(manifest, out_dir / "manifest.json")
+    if args.format == "json":
+        print(json.dumps(manifest, indent=2, sort_keys=True))
+    else:
+        print(render_manifest(manifest, verbose=args.verbose))
+        print(f"manifest: {out_dir / 'manifest.json'}")
+    return manifest_exit_code(manifest)
+
+
+def cmd_evidence_report(args: argparse.Namespace) -> int:
+    path = Path(args.manifest)
+    if path.is_dir():
+        path = path / "manifest.json"
+    try:
+        manifest = load_manifest(path)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"cannot read manifest {path}: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps(manifest, indent=2, sort_keys=True))
+    else:
+        print(render_manifest(manifest, verbose=True))
+    return manifest_exit_code(manifest)
+
+
+def add_evidence_parser(sub: argparse._SubParsersAction) -> None:
+    """Wire the ``evidence`` command family into the main CLI."""
+    evidence = sub.add_parser(
+        "evidence",
+        help="regenerate the paper's tables/figures as a checked job DAG",
+    )
+    esub = evidence.add_subparsers(dest="evidence_command", required=True)
+
+    elist = esub.add_parser("list", help="list registered evidence jobs")
+    elist.add_argument(
+        "--filter", default=None,
+        help="substring over job names/tags (comma = any-of); "
+        "dependencies of matches are included",
+    )
+    elist.add_argument("--format", choices=("text", "json"), default="text")
+    elist.set_defaults(func=cmd_evidence_list)
+
+    erun = esub.add_parser("run", help="run the evidence job DAG")
+    erun.add_argument(
+        "--jobs", type=int, default=4, metavar="N",
+        help="worker processes (default 4)",
+    )
+    erun.add_argument(
+        "--timeout", type=float, default=120.0, metavar="SECONDS",
+        help="per-job wall-clock budget; a job over budget is killed "
+        "and marked TIMEOUT (default 120)",
+    )
+    erun.add_argument("--filter", default=None,
+                      help="substring over job names/tags (comma = any-of)")
+    erun.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore (and do not write) the content-addressed cache",
+    )
+    erun.add_argument(
+        "--cache-dir", default=str(DEFAULT_CACHE_DIR),
+        help=f"result cache directory (default {DEFAULT_CACHE_DIR})",
+    )
+    erun.add_argument(
+        "--out-dir", default=str(DEFAULT_OUT_DIR),
+        help="where manifest.json and events.jsonl are written "
+        f"(default {DEFAULT_OUT_DIR})",
+    )
+    erun.add_argument("--format", choices=("text", "json"), default="text")
+    erun.add_argument(
+        "--verbose", action="store_true",
+        help="include each job's measured summary in text output",
+    )
+    erun.set_defaults(func=cmd_evidence_run)
+
+    ereport = esub.add_parser(
+        "report", help="render an existing run manifest"
+    )
+    ereport.add_argument(
+        "manifest", nargs="?", default=str(DEFAULT_OUT_DIR),
+        help="manifest.json (or its directory)",
+    )
+    ereport.add_argument(
+        "--format", choices=("text", "json"), default="text"
+    )
+    ereport.set_defaults(func=cmd_evidence_report)

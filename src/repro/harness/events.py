@@ -1,0 +1,60 @@
+"""JSONL event log for evidence runs.
+
+One JSON object per line, written append-only and flushed per event so
+a killed run leaves a readable trajectory.  Every event carries a
+wall-clock ``ts`` and the fields the runner supplies (``event``,
+``job``, ``status``, ...).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import IO, Optional
+
+
+class EventLog:
+    """Append-only JSONL sink usable as the runner's ``events`` hook."""
+
+    def __init__(self, path: Path):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh: Optional[IO[str]] = self.path.open("a")
+
+    def __call__(self, event: dict) -> None:
+        if self._fh is None:
+            return
+        record = {"ts": round(time.time(), 4), **event}
+        self._fh.write(json.dumps(record, sort_keys=True, default=str))
+        self._fh.write("\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_events(path: Path) -> list[dict]:
+    """Parse an event log back into a list of dicts (bad lines skipped)."""
+    events = []
+    try:
+        lines = Path(path).read_text().splitlines()
+    except OSError:
+        return []
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError:
+            continue
+    return events

@@ -1,0 +1,36 @@
+"""Shared shape of evidence-job return values.
+
+Every evidence function performs its construction, evaluates a list of
+named boolean checks, and returns::
+
+    {"verdict": <ok-verdict | "violated(check,...)" >,
+     "measured": <human summary>,
+     "metrics": {...}}
+
+A failed check therefore surfaces as a *verdict mismatch* in the run
+manifest (the claim check ran and disagreed), which is distinct from a
+crash (``FAILED``) or a kill at the deadline (``TIMEOUT``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+
+def finish(
+    ok_verdict: str,
+    checks: Sequence[tuple[str, bool]],
+    measured: str,
+    metrics: Optional[dict] = None,
+) -> dict:
+    """Fold named checks into the evidence-result dict."""
+    failed = [label for label, ok in checks if not ok]
+    if failed:
+        verdict = "violated(" + ",".join(failed) + ")"
+    else:
+        verdict = ok_verdict
+    return {
+        "verdict": verdict,
+        "measured": measured,
+        "metrics": dict(metrics or {}),
+    }

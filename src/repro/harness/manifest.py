@@ -1,0 +1,151 @@
+"""Run manifest: the machine-readable outcome of an evidence run.
+
+The manifest diffs measured verdicts against the registry's expected
+verdicts, merges per-job :class:`~repro.core.stats.EngineStats` from
+the worker processes into run totals, and summarizes statuses.  The
+CLI exits non-zero whenever ``summary.ok != summary.total`` — any
+mismatch, failure, timeout or skip makes the run red.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.core.stats import EngineStats
+from repro.harness.job import Job, JobResult, JobStatus
+
+MANIFEST_SCHEMA = 1
+
+#: status -> summary key, in render order
+_STATUS_KEYS = {
+    JobStatus.OK: "ok",
+    JobStatus.MISMATCH: "mismatch",
+    JobStatus.FAILED: "failed",
+    JobStatus.TIMEOUT: "timeout",
+    JobStatus.SKIPPED: "skipped",
+}
+
+
+def build_manifest(
+    jobs: Sequence[Job],
+    results: Mapping[str, JobResult],
+    *,
+    wall_seconds: float,
+    workers: int,
+    default_timeout: float,
+    code_fingerprint: str,
+    cache_used: bool,
+) -> dict:
+    """Assemble the manifest dict for one finished run."""
+    engine_totals = EngineStats()
+    job_entries = {}
+    counts = {key: 0 for key in _STATUS_KEYS.values()}
+    cached = 0
+    mismatches = []
+    for job in jobs:
+        result = results.get(job.name)
+        if result is None:  # defensive: runner always reports every job
+            result = JobResult(
+                name=job.name,
+                status=JobStatus.SKIPPED,
+                expected=job.expected,
+                measured="no result reported",
+            )
+        counts[_STATUS_KEYS[result.status]] += 1
+        if result.cached:
+            cached += 1
+        if result.status is JobStatus.MISMATCH:
+            mismatches.append({
+                "job": job.name,
+                "expected": result.expected,
+                "measured_verdict": result.verdict,
+            })
+        if result.engine:
+            engine_totals.merge(EngineStats.from_dict(result.engine))
+        entry = result.as_dict()
+        entry["claim"] = job.claim
+        entry["tags"] = list(job.tags)
+        entry["deps"] = list(job.deps)
+        job_entries[job.name] = entry
+    return {
+        "schema": MANIFEST_SCHEMA,
+        "created": datetime.datetime.now(
+            datetime.timezone.utc
+        ).isoformat(timespec="seconds"),
+        "code_fingerprint": code_fingerprint,
+        "workers": workers,
+        "default_timeout_s": default_timeout,
+        "cache_used": cache_used,
+        "jobs": job_entries,
+        "mismatches": mismatches,
+        "engine_totals": engine_totals.to_dict(),
+        "summary": {
+            "total": len(jobs),
+            **counts,
+            "cached": cached,
+            "wall_seconds": round(wall_seconds, 3),
+        },
+    }
+
+
+def manifest_exit_code(manifest: dict) -> int:
+    """0 iff every job ended OK (matched verdict, no failures/skips)."""
+    summary = manifest["summary"]
+    return 0 if summary["ok"] == summary["total"] else 1
+
+
+def write_manifest(manifest: dict, path: Path) -> None:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(manifest, indent=2, sort_keys=True))
+
+
+def load_manifest(path: Path) -> dict:
+    return json.loads(Path(path).read_text())
+
+
+def render_manifest(manifest: dict, *, verbose: bool = False) -> str:
+    """Human-readable run report."""
+    lines = []
+    summary = manifest["summary"]
+    for name, entry in manifest["jobs"].items():
+        status = entry["status"]
+        flags = []
+        if entry.get("cached"):
+            flags.append("cached")
+        if entry.get("attempts", 1) > 1:
+            flags.append(f"attempt {entry['attempts']}")
+        flag_text = f" ({', '.join(flags)})" if flags else ""
+        lines.append(
+            f"  {status.upper():<9} {name:<34} "
+            f"{entry.get('duration_s', 0):7.2f}s{flag_text}"
+        )
+        if status == "mismatch":
+            lines.append(
+                f"            expected {entry['expected']!r}, measured "
+                f"{entry['verdict']!r}"
+            )
+        if verbose and entry.get("measured"):
+            lines.append(f"            {entry['measured']}")
+        if status in ("failed", "timeout") and entry.get("error"):
+            last = entry["error"].strip().splitlines()[-1]
+            lines.append(f"            {last}")
+    lines.append(
+        f"summary: {summary['ok']}/{summary['total']} ok, "
+        f"{summary['mismatch']} mismatch, {summary['failed']} failed, "
+        f"{summary['timeout']} timeout, {summary['skipped']} skipped "
+        f"({summary['cached']} cached, "
+        f"{summary['wall_seconds']:.2f}s wall)"
+    )
+    engine = manifest.get("engine_totals") or {}
+    if engine.get("hom_calls") or engine.get("fixpoint_rounds"):
+        lines.append(
+            f"engine : {engine['hom_calls']} hom calls, "
+            f"{engine['rows_scanned']} rows scanned, "
+            f"{engine['fixpoint_rounds']} fixpoint rounds, "
+            f"{engine['facts_derived']} facts derived"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,82 @@
+"""EngineStats: dict round-trips and loud-failure merge coverage.
+
+The evidence runner ships stats from worker processes back to the
+parent as plain dicts, so ``to_dict``/``from_dict``/``merge`` must stay
+lossless — and ``merge`` must *refuse* to run when a field it does not
+know how to combine appears.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+import pytest
+
+from repro.core.stats import _SUMMED_FIELDS, EngineStats
+
+
+def _populated() -> EngineStats:
+    stats = EngineStats(
+        hom_calls=1,
+        search_steps=2,
+        rows_scanned=3,
+        index_rebuilds=4,
+        index_incremental=5,
+        fixpoint_rounds=6,
+        facts_derived=7,
+        plan_cache_hits=8,
+        plan_cache_misses=9,
+    )
+    stats.phase_seconds["total"] = 1.5
+    return stats
+
+
+def test_to_dict_covers_every_field():
+    data = _populated().to_dict()
+    assert set(data) == {f.name for f in fields(EngineStats)}
+
+
+def test_round_trip_is_lossless():
+    original = _populated()
+    rebuilt = EngineStats.from_dict(original.to_dict())
+    assert rebuilt == original
+    # the rebuilt dict is a copy, not shared state
+    rebuilt.phase_seconds["total"] = 99.0
+    assert original.phase_seconds["total"] == 1.5
+
+
+def test_from_dict_ignores_unknown_and_defaults_missing():
+    stats = EngineStats.from_dict({"hom_calls": 5, "mystery": 123})
+    assert stats.hom_calls == 5
+    assert stats.rows_scanned == 0
+
+
+def test_merge_covers_every_counter_field():
+    a, b = _populated(), _populated()
+    a.merge(b)
+    for name in _SUMMED_FIELDS:
+        assert getattr(a, name) == 2 * getattr(b, name), name
+    assert a.phase_seconds == {"total": 3.0}
+
+
+def test_merge_matches_declared_fields():
+    """Every dataclass field is summed or explicitly special-cased."""
+    declared = {f.name for f in fields(EngineStats)}
+    assert declared == _SUMMED_FIELDS | {"phase_seconds"}
+
+
+def test_merge_fails_loudly_on_unknown_field():
+    """Adding a counter without wiring its merge strategy must raise,
+    not silently drop cross-process data."""
+
+    @dataclass
+    class Extended(EngineStats):
+        new_counter: int = 0
+
+    with pytest.raises(TypeError, match="new_counter"):
+        Extended().merge(Extended())
+
+
+def test_as_dict_alias_kept_for_benchmark_consumers():
+    stats = _populated()
+    assert stats.as_dict() == stats.to_dict()

@@ -1,0 +1,51 @@
+"""Deliberately misbehaving job functions for runner tests.
+
+These run inside worker *processes*, so they must be importable by
+dotted reference (``tests.harness.sample_jobs:<name>``) — cross-process
+state (the flaky sentinel) goes through the filesystem.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+
+def ok_job(verdict: str = "fine", measured: str = "all good") -> dict:
+    return {"verdict": verdict, "measured": measured}
+
+
+def hang_job(seconds: float = 60.0) -> dict:
+    time.sleep(seconds)
+    return {"verdict": "woke-up"}
+
+
+def crash_job(message: str = "boom") -> dict:
+    raise RuntimeError(message)
+
+
+def flaky_job(sentinel: str) -> dict:
+    """Crashes on the first attempt, succeeds once ``sentinel`` exists."""
+    if not os.path.exists(sentinel):
+        with open(sentinel, "w") as fh:
+            fh.write("first attempt\n")
+        raise RuntimeError("flaky: failing the first attempt")
+    return {"verdict": "recovered", "measured": "succeeded on retry"}
+
+
+def engine_job() -> dict:
+    """Does real engine work so EngineStats flow back across the pipe."""
+    from repro.core.parser import parse_cq, parse_instance
+
+    q = parse_cq("Q(x) <- R(x,y)")
+    inst = parse_instance("R('a','b'). R('b','c').")
+    rows = q.evaluate(inst)
+    return {
+        "verdict": "evaluated",
+        "measured": f"{len(rows)} rows",
+        "metrics": {"rows": len(rows)},
+    }
+
+
+def bad_return_job():
+    return ["not", "a", "dict"]

@@ -1,0 +1,102 @@
+"""``python -m repro evidence {list,run,report}`` end to end.
+
+The ``run`` tests execute one real (fast) evidence job through the
+whole stack — registry → worker process → cache → manifest — twice, so
+the cached path is covered at the CLI level too.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+
+
+def test_evidence_list_text(capsys):
+    code = main(["evidence", "list"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "t1-cq-rewriting" in out
+    assert "t2-undecidable-reduction" in out
+    assert "fig5-lemma3-treewidth" in out
+    assert "job(s)" in out
+
+
+def test_evidence_list_json_filtered(capsys):
+    code = main(["evidence", "list", "--filter", "fig4", "--format", "json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 0
+    names = {job["name"] for job in payload["jobs"]}
+    # fig4 plus its dependency, pulled in for DAG consistency
+    assert names == {"fig4-long-row", "fig3-unravelled-counterexample"}
+    by_name = {job["name"]: job for job in payload["jobs"]}
+    assert by_name["fig4-long-row"]["expected"] == "no-embedding"
+
+
+def test_evidence_run_and_report_round_trip(tmp_path, capsys):
+    out_dir = tmp_path / "out"
+    cache_dir = tmp_path / "cache"
+    args = [
+        "evidence", "run",
+        "--filter", "t1-cq-rewriting",
+        "--jobs", "1",
+        "--timeout", "120",
+        "--cache-dir", str(cache_dir),
+        "--out-dir", str(out_dir),
+    ]
+    code = main(args)
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "OK" in out and "t1-cq-rewriting" in out
+
+    manifest = json.loads((out_dir / "manifest.json").read_text())
+    assert manifest["summary"]["ok"] == manifest["summary"]["total"] == 1
+    assert manifest["jobs"]["t1-cq-rewriting"]["verdict"] == "cq-rewriting"
+    assert manifest["jobs"]["t1-cq-rewriting"]["matched"] is True
+    assert manifest["mismatches"] == []
+    assert (out_dir / "events.jsonl").exists()
+
+    # second run: the cache answers, nothing re-executes
+    code = main(args)
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "cached" in out
+    manifest = json.loads((out_dir / "manifest.json").read_text())
+    assert manifest["summary"]["cached"] == 1
+
+    # report re-renders and re-gates the stored manifest
+    code = main(["evidence", "report", str(out_dir)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "t1-cq-rewriting" in out and "summary:" in out
+
+
+def test_evidence_run_json_format(tmp_path, capsys):
+    code = main([
+        "evidence", "run",
+        "--filter", "fig3-chain-and-image",
+        "--jobs", "2",
+        "--no-cache",
+        "--out-dir", str(tmp_path / "out"),
+        "--format", "json",
+    ])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert payload["jobs"]["fig3-chain-and-image"]["status"] == "ok"
+    assert payload["cache_used"] is False
+
+
+def test_evidence_run_unknown_filter_is_usage_error(tmp_path, capsys):
+    code = main([
+        "evidence", "run",
+        "--filter", "no-such-job",
+        "--out-dir", str(tmp_path / "out"),
+    ])
+    assert code == 2
+    assert "no jobs match" in capsys.readouterr().err
+
+
+def test_evidence_report_missing_manifest(tmp_path, capsys):
+    code = main(["evidence", "report", str(tmp_path / "nowhere")])
+    assert code == 2
+    assert "cannot read" in capsys.readouterr().err

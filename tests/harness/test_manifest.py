@@ -1,0 +1,123 @@
+"""Manifest assembly: verdict diffing, stats merging, exit gating."""
+
+from __future__ import annotations
+
+from repro.harness.events import EventLog, read_events
+from repro.harness.job import Job, JobResult, JobStatus
+from repro.harness.manifest import (
+    build_manifest,
+    load_manifest,
+    manifest_exit_code,
+    render_manifest,
+    write_manifest,
+)
+
+
+def _job(name: str, **kwargs) -> Job:
+    kwargs.setdefault("fn", "m:f")
+    kwargs.setdefault("claim", f"claim {name}")
+    kwargs.setdefault("expected", "fine")
+    return Job(name=name, **kwargs)
+
+
+def _build(jobs, results):
+    return build_manifest(
+        jobs, results,
+        wall_seconds=1.25, workers=2, default_timeout=30.0,
+        code_fingerprint="fp", cache_used=True,
+    )
+
+
+def test_manifest_counts_and_mismatch_diff():
+    jobs = [_job("a"), _job("b"), _job("c"), _job("d")]
+    results = {
+        "a": JobResult("a", JobStatus.OK, "fine", verdict="fine"),
+        "b": JobResult("b", JobStatus.MISMATCH, "fine", verdict="off"),
+        "c": JobResult("c", JobStatus.TIMEOUT, "fine"),
+        "d": JobResult("d", JobStatus.SKIPPED, "fine"),
+    }
+    manifest = _build(jobs, results)
+    summary = manifest["summary"]
+    assert summary["total"] == 4
+    assert summary["ok"] == 1
+    assert summary["mismatch"] == 1
+    assert summary["timeout"] == 1
+    assert summary["skipped"] == 1
+    assert manifest["mismatches"] == [{
+        "job": "b", "expected": "fine", "measured_verdict": "off",
+    }]
+    assert manifest_exit_code(manifest) == 1
+
+
+def test_manifest_green_run_exits_zero():
+    jobs = [_job("a")]
+    results = {"a": JobResult("a", JobStatus.OK, "fine", verdict="fine")}
+    manifest = _build(jobs, results)
+    assert manifest_exit_code(manifest) == 0
+
+
+def test_manifest_merges_engine_stats_across_jobs():
+    jobs = [_job("a"), _job("b")]
+    results = {
+        "a": JobResult(
+            "a", JobStatus.OK, "fine", verdict="fine",
+            engine={"hom_calls": 3, "phase_seconds": {"x": 0.5}},
+        ),
+        "b": JobResult(
+            "b", JobStatus.OK, "fine", verdict="fine",
+            engine={"hom_calls": 4, "phase_seconds": {"x": 0.25}},
+        ),
+    }
+    manifest = _build(jobs, results)
+    totals = manifest["engine_totals"]
+    assert totals["hom_calls"] == 7
+    assert totals["phase_seconds"] == {"x": 0.75}
+
+
+def test_manifest_carries_claim_tags_deps():
+    jobs = [_job("a", tags=("table1",), deps=())]
+    results = {"a": JobResult("a", JobStatus.OK, "fine", verdict="fine")}
+    manifest = _build(jobs, results)
+    entry = manifest["jobs"]["a"]
+    assert entry["claim"] == "claim a"
+    assert entry["tags"] == ["table1"]
+
+
+def test_missing_result_is_defensively_skipped():
+    manifest = _build([_job("a")], {})
+    assert manifest["jobs"]["a"]["status"] == "skipped"
+    assert manifest_exit_code(manifest) == 1
+
+
+def test_render_mentions_statuses_and_summary():
+    jobs = [_job("good"), _job("bad")]
+    results = {
+        "good": JobResult("good", JobStatus.OK, "fine", verdict="fine"),
+        "bad": JobResult("bad", JobStatus.MISMATCH, "fine", verdict="off"),
+    }
+    text = render_manifest(_build(jobs, results))
+    assert "OK" in text and "MISMATCH" in text
+    assert "expected 'fine', measured 'off'" in text
+    assert "1/2 ok" in text
+
+
+def test_manifest_json_round_trip(tmp_path):
+    jobs = [_job("a")]
+    results = {"a": JobResult("a", JobStatus.OK, "fine", verdict="fine")}
+    manifest = _build(jobs, results)
+    path = tmp_path / "out" / "manifest.json"
+    write_manifest(manifest, path)
+    assert load_manifest(path) == manifest
+
+
+def test_event_log_round_trip(tmp_path):
+    path = tmp_path / "events.jsonl"
+    with EventLog(path) as log:
+        log({"event": "run_start", "jobs": 2})
+        log({"event": "job_end", "job": "a", "status": "ok"})
+    events = read_events(path)
+    assert [e["event"] for e in events] == ["run_start", "job_end"]
+    assert all("ts" in e for e in events)
+    # bad lines are skipped, not fatal
+    path.write_text(path.read_text() + "not json\n")
+    assert len(read_events(path)) == 2

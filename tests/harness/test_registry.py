@@ -1,0 +1,93 @@
+"""The default evidence registry covers the paper and stays well-formed."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.job import Job
+from repro.harness.registry import JobRegistry, default_registry
+
+
+def test_every_table_and_figure_is_registered():
+    registry = default_registry()
+    names = {job.name for job in registry}
+    by_tag: dict[str, int] = {}
+    for job in registry:
+        for tag in job.tags:
+            by_tag[tag] = by_tag.get(tag, 0) + 1
+    assert by_tag.get("table1", 0) >= 7    # Table 1 cells
+    assert by_tag.get("table2", 0) >= 7    # Table 2 cell families
+    for fig in ("fig1", "fig2", "fig3", "fig4", "fig5"):
+        assert by_tag.get(fig, 0) >= 1, f"figure {fig} unrepresented"
+    assert len(names) == len(list(registry))
+
+
+def test_all_job_functions_resolve_and_run_signatures():
+    for job in default_registry():
+        fn = job.resolve()
+        assert callable(fn)
+        assert job.expected, job.name
+        assert job.claim, job.name
+
+
+def test_dependencies_are_registered_and_acyclic():
+    registry = default_registry()
+    names = {job.name for job in registry}
+    for job in registry:
+        for dep in job.deps:
+            assert dep in names
+    # registration order already forbids forward/cyclic deps; double-check
+    seen: set[str] = set()
+    for job in registry:
+        assert set(job.deps) <= seen
+        seen.add(job.name)
+
+
+def test_select_pulls_in_transitive_dependencies():
+    registry = default_registry()
+    selected = {job.name for job in registry.select("table1")}
+    assert "t1-mdl-cq-not-mdl" in selected
+    # its dependency is a figures job, pulled in for DAG consistency
+    assert "fig3-unravelled-counterexample" in selected
+
+
+def test_select_comma_is_any_of():
+    registry = default_registry()
+    both = {job.name for job in registry.select("fig1,fig5")}
+    assert "fig1-adjacency-gadgets" in both
+    assert "fig5-lemma3-treewidth" in both
+    assert "t2-cq-cq" not in both
+
+
+def test_select_without_pattern_returns_everything():
+    registry = default_registry()
+    assert len(registry.select(None)) == len(registry)
+    assert len(registry.select("")) == len(registry)
+
+
+def test_registry_rejects_duplicates_and_unknown_deps():
+    registry = JobRegistry()
+    registry.add(Job(name="a", fn="m:f", claim="c", expected="e"))
+    with pytest.raises(ValueError, match="duplicate"):
+        registry.add(Job(name="a", fn="m:f", claim="c", expected="e"))
+    with pytest.raises(ValueError, match="not .*registered"):
+        registry.add(Job(
+            name="b", fn="m:f", claim="c", expected="e", deps=("ghost",)
+        ))
+
+
+def test_job_matches_filters_on_name_and_tags():
+    job = Job(
+        name="t1-cq-rewriting", fn="m:f", claim="c", expected="e",
+        tags=("table1", "rewriting"),
+    )
+    assert job.matches("t1-cq")
+    assert job.matches("table1")
+    assert job.matches("nope,rewriting")
+    assert not job.matches("table2")
+    assert job.matches("")  # empty filter matches everything
+
+
+def test_job_resolve_rejects_malformed_ref():
+    with pytest.raises(ValueError, match="module:qualname"):
+        Job(name="x", fn="just_a_module", claim="c", expected="e").resolve()

@@ -134,6 +134,81 @@ def test_views_file_without_blocks(workspace, tmp_path):
 
 
 # ---------------------------------------------------------------------------
+# span-aware input errors (decide/rewrite/eval/certain, exit 2)
+# ---------------------------------------------------------------------------
+def test_decide_syntax_error_reports_position(workspace, tmp_path, capsys):
+    bad = tmp_path / "bad_query.txt"
+    bad.write_text("Q(x) <- R(x,y).\nS(y) <- T(y,?).\n")
+    code = main(["decide", str(bad), str(workspace / "views.txt")])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "E004" in err
+    assert f"{bad}:2:13:" in err  # file coordinates of the bad character
+    assert "^" in err             # caret excerpt
+
+
+def test_eval_broken_instance_reports_position(workspace, tmp_path, capsys):
+    bad = tmp_path / "bad_db.txt"
+    bad.write_text("R('a','b').\nR('b',.\n")
+    code = main(["eval", str(workspace / "q_cq.txt"), str(bad)])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "E004" in err and f"{bad}:2:" in err
+
+
+def test_views_error_reports_whole_file_position(workspace, tmp_path, capsys):
+    views = tmp_path / "views_bad.txt"
+    views.write_text(
+        "# view: VR\n"
+        "V(x,y) <- R(x,y).\n"
+        "# view: VS\n"
+        "V(y) <- S(y,\n"
+    )
+    code = main(["decide", str(workspace / "q_cq.txt"), str(views)])
+    err = capsys.readouterr().err
+    assert code == 2
+    # position is in file coordinates, not block-local: line 4
+    assert f"{views}:4:" in err
+    assert "^" in err
+
+
+def test_unsafe_rule_reports_position(workspace, tmp_path, capsys):
+    bad = tmp_path / "unsafe.txt"
+    bad.write_text("# goal: Q\nQ(x, w) <- R(x, y).\n")
+    code = main(["decide", str(bad), str(workspace / "views.txt")])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "unsafe" in err and f"{bad}:2:" in err
+
+
+def test_query_without_goal_must_be_single_cq(workspace, tmp_path, capsys):
+    bad = tmp_path / "two_rules.txt"
+    bad.write_text("Q(x) <- R(x,y).\nP(x) <- R(x,x).\n")
+    code = main(["eval", str(bad), str(workspace / "db.txt")])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "# goal:" in err and f"{bad}:2:" in err
+
+
+def test_missing_input_file_is_input_error(workspace, capsys):
+    code = main([
+        "decide", str(workspace / "q_cq.txt"), str(workspace / "ghost.txt"),
+    ])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "cannot read" in err and "ghost.txt" in err
+
+
+def test_undefined_goal_predicate_rejected(workspace, tmp_path, capsys):
+    bad = tmp_path / "bad_goal.txt"
+    bad.write_text("# goal: Nope\nQ(x) <- R(x,y).\n")
+    code = main(["eval", str(bad), str(workspace / "db.txt")])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "Nope" in err
+
+
+# ---------------------------------------------------------------------------
 # repro lint
 # ---------------------------------------------------------------------------
 def test_lint_clean_program_exits_zero(workspace, capsys):
