@@ -27,6 +27,25 @@ from repro.analysis.dependency import (
     prune_unreachable,
 )
 from repro.analysis.diagnostics import CODES, Diagnostic, Severity, make
+from repro.analysis.fixer import (
+    FIXABLE_CODES,
+    AppliedFix,
+    FixResult,
+    fix_source,
+)
+from repro.analysis.semantics import (
+    BoundednessReport,
+    Capability,
+    RuleWitness,
+    SemanticReport,
+    SortReport,
+    binding_patterns,
+    boundedness_report,
+    capability_facts,
+    nonrecursive_to_ucq,
+    semantic_report,
+    sort_report,
+)
 
 __all__ = [
     "AnalysisContext",
@@ -45,4 +64,19 @@ __all__ = [
     "Diagnostic",
     "Severity",
     "make",
+    "FIXABLE_CODES",
+    "AppliedFix",
+    "FixResult",
+    "fix_source",
+    "BoundednessReport",
+    "Capability",
+    "RuleWitness",
+    "SemanticReport",
+    "SortReport",
+    "binding_patterns",
+    "boundedness_report",
+    "capability_facts",
+    "nonrecursive_to_ucq",
+    "semantic_report",
+    "sort_report",
 ]

@@ -17,7 +17,7 @@ text and JSON outputs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Optional, Union
+from typing import Any, Callable, Iterable, Optional, Union
 
 from repro.analysis.dependency import (
     DependencyGraph,
@@ -25,7 +25,8 @@ from repro.analysis.dependency import (
     fragment_report,
 )
 from repro.analysis.diagnostics import Diagnostic, Severity
-from repro.analysis.passes import DEFAULT_PASSES
+from repro.analysis.passes import DEFAULT_PASSES, SEMANTIC_PASSES
+from repro.analysis.semantics import SemanticReport, semantic_report
 from repro.core.datalog import DatalogProgram, DatalogQuery
 from repro.core.parser import ProgramSource, Span, SourceRule
 from repro.views.view import ViewSet
@@ -44,6 +45,7 @@ class AnalysisContext:
     source: Optional[ProgramSource]
     dependency: DependencyGraph
     fragment: FragmentReport
+    semantics: Optional[SemanticReport] = None
     _entries: tuple[Optional[SourceRule], ...] = field(default=())
 
     def __post_init__(self) -> None:
@@ -77,6 +79,7 @@ class AnalysisReport:
     diagnostics: tuple[Diagnostic, ...]
     fragment: FragmentReport
     dependency: DependencyGraph
+    semantics: Optional[SemanticReport] = None
 
     def errors(self) -> list[Diagnostic]:
         return [d for d in self.diagnostics if d.severity is Severity.ERROR]
@@ -107,8 +110,8 @@ class AnalysisReport:
         )
         return "\n".join(lines)
 
-    def as_dict(self) -> dict:
-        return {
+    def as_dict(self) -> dict[str, Any]:
+        out = {
             "diagnostics": [d.as_dict() for d in self.diagnostics],
             "summary": {
                 "errors": len(self.errors()),
@@ -126,6 +129,9 @@ class AnalysisReport:
                 for scc in self.dependency.sccs
             ],
         }
+        if self.semantics is not None:
+            out["semantics"] = self.semantics.as_dict()
+        return out
 
 
 class ProgramAnalyzer:
@@ -146,6 +152,7 @@ class ProgramAnalyzer:
         views: Optional[ViewSet] = None,
         source: Optional[ProgramSource] = None,
         goal: Optional[str] = None,
+        semantic: bool = False,
     ) -> AnalysisReport:
         if isinstance(target, DatalogQuery):
             program, goal = target.program, target.goal
@@ -161,8 +168,19 @@ class ProgramAnalyzer:
             dependency=dependency,
             fragment=fragment,
         )
+        if semantic:
+            ctx.semantics = semantic_report(
+                program,
+                goal=goal,
+                dependency=dependency,
+                fragment=fragment,
+                span_of=ctx.rule_span,
+            )
         found: list[Diagnostic] = []
-        for analysis_pass in self._passes:
+        passes = self._passes + (
+            list(SEMANTIC_PASSES) if semantic else []
+        )
+        for analysis_pass in passes:
             found.extend(analysis_pass(ctx))
         # a duplicate rule is trivially subsumed by its twin: keep the
         # specific W101 and drop the redundant W102 for the same rule
@@ -177,7 +195,9 @@ class ProgramAnalyzer:
             if not (d.code == "W102" and d.rule_index in duplicated)
         ]
         found.sort(key=Diagnostic.sort_key)
-        return AnalysisReport(tuple(found), fragment, dependency)
+        return AnalysisReport(
+            tuple(found), fragment, dependency, ctx.semantics
+        )
 
 
 def analyze_query(
@@ -185,15 +205,19 @@ def analyze_query(
     views: Optional[ViewSet] = None,
     source: Optional[ProgramSource] = None,
     goal: Optional[str] = None,
+    semantic: bool = False,
 ) -> AnalysisReport:
     """Analyze with the default pass pipeline.
 
     ``goal`` names the goal predicate when ``target`` is a bare program
     (a :class:`DatalogQuery` carries its own); it need not be an IDB —
-    an unknown goal is reported as E003 rather than raised.
+    an unknown goal is reported as E003 rather than raised.  With
+    ``semantic=True`` the :mod:`repro.analysis.semantics` pipeline also
+    runs: the report carries a :class:`SemanticReport` and the
+    ``I204``–``I206``/``W109``–``W110`` diagnostics.
     """
     return ProgramAnalyzer().analyze(
-        target, views=views, source=source, goal=goal
+        target, views=views, source=source, goal=goal, semantic=semantic
     )
 
 

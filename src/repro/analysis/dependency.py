@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import cached_property
-from typing import Optional
+from typing import Any, Optional
 
 import networkx as nx
 
@@ -137,6 +137,27 @@ class DependencyGraph:
             if pred not in used and pred != goal
         }
 
+    def prune_unreachable(self, goal: str) -> DatalogProgram:
+        """The subprogram of rules the goal transitively depends on.
+
+        A goal that is not an IDB head of this program — typically one
+        defined only by views layered on top of it — depends on *every*
+        rule for all this graph can tell, so the program is returned
+        unchanged rather than emptied.  (``reachable_from`` returns the
+        empty set for such a goal; pruning against it would silently
+        drop the whole program and make downstream evaluation
+        vacuously empty.)
+        """
+        if goal not in self.graph:
+            return self.program
+        needed = self.reachable_from(goal)
+        kept = tuple(
+            rule for rule in self.program.rules if rule.head.pred in needed
+        )
+        if len(kept) == len(self.program.rules):
+            return self.program
+        return DatalogProgram(kept)
+
 
 def evaluation_strata(program: DatalogProgram) -> list[SCC]:
     """The SCCs of ``program`` in evaluation (dependencies-first) order."""
@@ -148,16 +169,14 @@ def prune_unreachable(query: DatalogQuery) -> DatalogQuery:
 
     Sound for fixpoint evaluation: removed rules can only derive facts
     for predicates the goal never reads (directly or transitively), so
-    the goal relation of the fixpoint is unchanged.
+    the goal relation of the fixpoint is unchanged.  Delegates to
+    :meth:`DependencyGraph.prune_unreachable`, which keeps the program
+    intact when the goal is not an IDB head.
     """
-    graph = DependencyGraph(query.program)
-    needed = graph.reachable_from(query.goal)
-    kept = tuple(
-        rule for rule in query.program.rules if rule.head.pred in needed
-    )
-    if len(kept) == len(query.program.rules):
+    pruned = DependencyGraph(query.program).prune_unreachable(query.goal)
+    if pruned is query.program:
         return query
-    return DatalogQuery(DatalogProgram(kept), query.goal, query.name)
+    return DatalogQuery(pruned, query.goal, query.name)
 
 
 # ---------------------------------------------------------------------------
@@ -198,7 +217,7 @@ class FragmentReport:
             out.append(f"not connected: {violation.reason}")
         return out
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, Any]:
         return {
             "label": self.label,
             "recursive": self.recursive,

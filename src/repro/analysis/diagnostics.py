@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Optional
 
 from repro.core.parser import Span
 
@@ -45,9 +45,14 @@ CODES: dict[str, tuple[Severity, str]] = {
     "W105": (Severity.WARNING, "rule unreachable from the goal"),
     "W106": (Severity.WARNING, "predicate defined but never used"),
     "W108": (Severity.WARNING, "view name shadows a program predicate"),
+    "W109": (Severity.WARNING, "sort conflict"),
+    "W110": (Severity.WARNING, "vacuously recursive rule"),
     "I201": (Severity.INFO, "fragment classification"),
     "I202": (Severity.INFO, "fragment explanation"),
     "I203": (Severity.INFO, "recursion structure"),
+    "I204": (Severity.INFO, "binding patterns"),
+    "I205": (Severity.INFO, "boundedness"),
+    "I206": (Severity.INFO, "schema sorts"),
 }
 
 
@@ -61,7 +66,7 @@ class Diagnostic:
     span: Optional[Span] = None
     rule_index: Optional[int] = None
 
-    def sort_key(self) -> tuple:
+    def sort_key(self) -> tuple[Any, ...]:
         """Source order first, then severity (errors before warnings)."""
         if self.span is not None:
             position = (0, self.span.line, self.span.col)
@@ -76,8 +81,8 @@ class Diagnostic:
             where = f"{where}:{self.span.label()}"
         return f"{where}: {self.code} [{self.severity.label}] {self.message}"
 
-    def as_dict(self) -> dict:
-        out: dict = {
+    def as_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
             "code": self.code,
             "severity": self.severity.label,
             "message": self.message,

@@ -1,0 +1,203 @@
+"""Auto-fixes for safely removable diagnostics (``repro lint --fix``).
+
+Only diagnostics whose fix is a pure *deletion* that provably preserves
+the query answer are fixable:
+
+* ``W101`` (duplicate rule) — the later copy of two rules identical up
+  to a variable renaming contributes nothing; drop it.
+* ``W106`` (predicate defined but never used) — a non-goal IDB that no
+  rule body reads can never influence the goal relation; drop all of
+  its defining rules.
+
+The fixer works on the *source text*, not the AST: each removed rule is
+deleted at its parsed :class:`~repro.core.parser.Span`, so comments,
+layout and the spans of every surviving rule are untouched.  Removal can
+cascade (dropping the rules of an unused predicate may orphan another
+predicate), so the analyze→delete loop runs until no fixable diagnostic
+remains — which is what makes ``--fix`` idempotent: a second run parses
+the fixed text, finds no ``W101``/``W106``, and returns it unchanged.
+
+Programs with errors (``E...``) are never modified: a fix computed from
+a partially-parsed or unsafe program could delete the wrong region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.parser import ProgramSource, Span, parse_program_source
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.core.datalog import Rule
+    from repro.views.view import ViewSet
+
+#: Diagnostic codes ``--fix`` knows how to repair, all by rule deletion.
+FIXABLE_CODES: frozenset[str] = frozenset({"W101", "W106"})
+
+# Guard against a pathological analyze→delete loop; each iteration
+# removes at least one rule, so a program of n rules converges in <= n
+# passes and this bound is never reached in practice.
+_MAX_PASSES = 1000
+
+
+@dataclass(frozen=True)
+class AppliedFix:
+    """One deletion performed by the fixer."""
+
+    code: str
+    rule_index: int
+    rule_text: str
+    reason: str
+    span: Optional[Span] = None
+
+    def render(self) -> str:
+        where = f" at {self.span.label()}" if self.span is not None else ""
+        return f"{self.code}{where}: removed {self.rule_text!r} ({self.reason})"
+
+    def as_dict(self) -> dict[str, object]:
+        out: dict[str, object] = {
+            "code": self.code,
+            "rule_index": self.rule_index,
+            "rule_text": self.rule_text,
+            "reason": self.reason,
+        }
+        if self.span is not None:
+            out["span"] = self.span.as_dict()
+        return out
+
+
+@dataclass(frozen=True)
+class FixResult:
+    """The outcome of :func:`fix_source`."""
+
+    text: str
+    fixes: tuple[AppliedFix, ...]
+    passes: int
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.fixes)
+
+
+def _line_offsets(text: str) -> list[int]:
+    """Absolute offset of the start of each (1-based) line."""
+    offsets = [0]
+    for line in text.splitlines(keepends=True):
+        offsets.append(offsets[-1] + len(line))
+    return offsets
+
+
+def _span_range(text: str, offsets: list[int], span: Span) -> tuple[int, int]:
+    """The half-open character range ``[start, end)`` covered by ``span``."""
+    start = offsets[span.line - 1] + (span.col - 1)
+    end = offsets[span.end_line - 1] + span.end_col  # end_col is inclusive
+    return start, min(end, len(text))
+
+
+def _delete_spans(text: str, spans: list[Span]) -> str:
+    """Delete each span from ``text``, dropping lines left blank by it."""
+    offsets = _line_offsets(text)
+    ranges = sorted(
+        (_span_range(text, offsets, span) for span in spans), reverse=True
+    )
+    for start, end in ranges:
+        # widen to whole lines when only whitespace surrounds the span,
+        # so deleting a rule removes its now-blank line too
+        line_start = text.rfind("\n", 0, start) + 1
+        line_end = text.find("\n", end)
+        line_end = len(text) if line_end == -1 else line_end + 1
+        if (
+            text[line_start:start].strip() == ""
+            and text[end:line_end].strip() in ("", "\n")
+        ):
+            start, end = line_start, line_end
+        text = text[:start] + text[end:]
+    return text
+
+
+def _fixable_rule_indices(
+    report: "AnalysisReport", program_rules: "tuple[Rule, ...]"
+) -> dict[int, AppliedFix]:
+    """Map rule index -> the fix that removes it, for this round."""
+    removals: dict[int, AppliedFix] = {}
+    for diagnostic in report.diagnostics:
+        if diagnostic.code not in FIXABLE_CODES:
+            continue
+        if diagnostic.rule_index is None:
+            continue
+        if diagnostic.code == "W101":
+            index = diagnostic.rule_index
+            removals.setdefault(
+                index,
+                AppliedFix(
+                    "W101",
+                    index,
+                    repr(program_rules[index]),
+                    "exact duplicate of an earlier rule",
+                ),
+            )
+        else:  # W106: drop every rule defining the unused predicate
+            pred = program_rules[diagnostic.rule_index].head.pred
+            for index, rule in enumerate(program_rules):
+                if rule.head.pred == pred:
+                    removals.setdefault(
+                        index,
+                        AppliedFix(
+                            "W106",
+                            index,
+                            repr(rule),
+                            f"predicate {pred} is never used",
+                        ),
+                    )
+    return removals
+
+
+def fix_source(
+    text: str,
+    goal: Optional[str] = None,
+    views: Optional["ViewSet"] = None,
+) -> FixResult:
+    """Apply all safe deletions to ``text`` until none remain.
+
+    Returns the (possibly unchanged) text together with every fix
+    applied, in the order they were performed.  ``goal`` and ``views``
+    mirror the ``lint`` arguments so the fixer sees exactly the
+    diagnostics ``lint`` reports — in particular a goal keeps its
+    (transitive) support out of ``W106``'s reach.
+    """
+    from repro.analysis.analyzer import analyze_query
+
+    applied: list[AppliedFix] = []
+    passes = 0
+    while passes < _MAX_PASSES:
+        source: ProgramSource = parse_program_source(text)
+        program = source.program()
+        report = analyze_query(program, views=views, source=source, goal=goal)
+        if report.has_errors():
+            break  # never rewrite a program the analyzer rejects
+        removals = _fixable_rule_indices(report, program.rules)
+        if not removals:
+            break
+        passes += 1
+        entries = tuple(
+            entry for entry in source.entries if entry.rule is not None
+        )
+        if len(entries) != len(program.rules):  # pragma: no cover - defensive
+            break
+        spans: list[Span] = []
+        for index in sorted(removals):
+            fix = removals[index]
+            span = entries[index].span
+            spans.append(span)
+            applied.append(
+                AppliedFix(
+                    fix.code, fix.rule_index, fix.rule_text, fix.reason, span
+                )
+            )
+        text = _delete_spans(text, spans)
+    return FixResult(text, tuple(applied), passes)
+
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.analyzer import AnalysisReport

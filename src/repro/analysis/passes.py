@@ -7,12 +7,13 @@ pass and merges the findings.  Passes never mutate the program.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable, Iterator, Optional
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, Optional
 
 from repro.analysis.dependency import rule_body_components
 from repro.analysis.diagnostics import Diagnostic, make
 from repro.core.atoms import Atom
 from repro.core.cq import ConjunctiveQuery
+from repro.core.datalog import Rule
 from repro.core.optimize import rule_subsumes
 from repro.core.parser import Span
 from repro.core.terms import Variable
@@ -22,7 +23,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.analysis.analyzer import AnalysisContext
 
 
-def _view_atoms(definition) -> Iterator[Atom]:
+def _view_atoms(definition: Any) -> Iterator[Atom]:
     """Every atom of a view definition (CQ, UCQ or Datalog)."""
     if isinstance(definition, ConjunctiveQuery):
         yield from definition.atoms
@@ -115,10 +116,10 @@ def check_arity_consistency(ctx: "AnalysisContext") -> Iterable[Diagnostic]:
 def check_duplicate_rules(ctx: "AnalysisContext") -> Iterable[Diagnostic]:
     """W101 — rules identical up to a renaming of variables."""
 
-    def canonical(rule) -> tuple:
+    def canonical(rule: Rule) -> tuple[Any, ...]:
         renaming: dict[Variable, str] = {}
 
-        def key(atom: Atom) -> tuple:
+        def key(atom: Atom) -> tuple[Any, ...]:
             parts = []
             for term in atom.args:
                 if isinstance(term, Variable):
@@ -293,6 +294,73 @@ def check_fragment(ctx: "AnalysisContext") -> Iterable[Diagnostic]:
             "I203",
             f"{len(recursive_sccs)} recursive SCC(s): {described}",
         )
+
+
+def check_binding_patterns(ctx: "AnalysisContext") -> Iterable[Diagnostic]:
+    """I204 — the adornments each IDB is called with from the goal."""
+    if ctx.semantics is None:
+        return
+    for pred, patterns in ctx.semantics.adornments.items():
+        yield make(
+            "I204",
+            f"{pred} is called with binding pattern(s) "
+            f"{', '.join(patterns)}",
+        )
+
+
+def check_boundedness(ctx: "AnalysisContext") -> Iterable[Diagnostic]:
+    """I205/W110 — boundedness verdict and vacuous recursive rules."""
+    if ctx.semantics is None:
+        return
+    report = ctx.semantics.boundedness
+    for dropped, subsuming in report.vacuous_rules:
+        yield make(
+            "W110",
+            f"recursive rule #{dropped} is subsumed by rule "
+            f"#{subsuming} ({ctx.program.rules[subsuming]!r}) and can "
+            "be dropped without changing the query",
+            ctx.rule_span(dropped),
+            rule_index=dropped,
+        )
+    if report.bounded and ctx.fragment.recursive:
+        suffix = (
+            f"; equivalent to a UCQ with {len(report.ucq.disjuncts)} "
+            "disjunct(s)"
+            if report.ucq is not None
+            else ""
+        )
+        yield make("I205", f"program is bounded: {report.reason}{suffix}")
+
+
+def check_sorts(ctx: "AnalysisContext") -> Iterable[Diagnostic]:
+    """I206/W109 — inferred column sorts and kind conflicts."""
+    if ctx.semantics is None:
+        return
+    report = ctx.semantics.sorts
+    for sort in report.conflicts():
+        yield make(
+            "W109",
+            f"columns of one sort carry mixed constant kinds: "
+            f"{sort.describe()}",
+        )
+    if report.classes:
+        yield make(
+            "I206",
+            f"{len(report.classes)} column sort(s) inferred"
+            + (
+                f", {len(report.conflicts())} conflicting"
+                if report.conflicts()
+                else ""
+            ),
+        )
+
+
+#: Extra passes run only under ``analyze(..., semantic=True)``.
+SEMANTIC_PASSES = (
+    check_binding_patterns,
+    check_boundedness,
+    check_sorts,
+)
 
 
 #: The analyzer's default pipeline, in reporting order.

@@ -122,7 +122,7 @@ def find_jointly_annotated_term(
                         raise RuntimeError(
                             "annotated-term search blew up"
                         )
-    for (state, values), node in inhabited.items():
+    for (state, _values), node in inhabited.items():
         if state in nta.final:
             code = TreeCode(node, k)
             return code, {

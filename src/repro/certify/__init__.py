@@ -1,0 +1,57 @@
+"""Machine-checkable certificates for determinacy & rewriting verdicts.
+
+The subsystem splits along a trust boundary:
+
+* :mod:`repro.certify.emit` — builders that *construct* certificates,
+  free to use the engine's fast evaluation;
+* :mod:`repro.certify.checker` + :mod:`repro.certify.replay` — the
+  *independent* validator: naive fixpoint evaluation and direct
+  homomorphism replay only, no engine fast paths;
+* :mod:`repro.certify.serialize` — the JSON-safe tagged term codec
+  shared by both sides.
+"""
+
+from repro.certify.checker import (
+    CERT_SCHEMA,
+    CLAIM_CHECKERS,
+    CheckResult,
+    check_certificate,
+)
+from repro.certify.emit import (
+    certificate,
+    claim_bounded_unfolding,
+    claim_hom_witness,
+    claim_instance_subset,
+    claim_membership,
+    claim_monotone_rewriting,
+    claim_no_hom,
+    claim_not_determined,
+    claim_query_output,
+    claim_rewriting_sample,
+    claim_tree_decomposition,
+    claim_ucq_containment,
+    claim_view_image,
+)
+from repro.certify.serialize import CertificateFormatError, OpaqueTerm
+
+__all__ = [
+    "CERT_SCHEMA",
+    "CLAIM_CHECKERS",
+    "CertificateFormatError",
+    "CheckResult",
+    "OpaqueTerm",
+    "certificate",
+    "check_certificate",
+    "claim_bounded_unfolding",
+    "claim_hom_witness",
+    "claim_instance_subset",
+    "claim_membership",
+    "claim_monotone_rewriting",
+    "claim_no_hom",
+    "claim_not_determined",
+    "claim_query_output",
+    "claim_rewriting_sample",
+    "claim_tree_decomposition",
+    "claim_ucq_containment",
+    "claim_view_image",
+]

@@ -1,0 +1,621 @@
+"""The independent certificate checker.
+
+A certificate is a JSON-able dict::
+
+    {"schema": 1, "claims": [{"type": ..., ...payload}], "meta": {...}}
+
+:func:`check_certificate` decodes every claim and validates it using
+only the :mod:`repro.certify.replay` primitives — naive evaluation and
+direct homomorphism replay, never the engine's fixpoint fast paths.
+The result lists every failure with its claim index, so a corrupted
+certificate reports *what* broke, not just that something did.
+
+Claim vocabulary (see :mod:`repro.certify.emit` for the builders):
+
+==============================  =============================================
+type                            verified statement
+==============================  =============================================
+``membership``                  ``answer ∈ Q(I)`` (or ``∉``), naive recompute;
+                                a shipped CQ hom witness is replayed instead
+``query_output``                ``Q(I)`` equals the shipped output exactly
+``hom_witness``                 a shipped mapping is a homomorphism
+``no_hom``                      exhaustive search finds no homomorphism
+``instance_subset``             every fact of the left is in the right
+``view_image``                  ``V(I)`` equals the shipped image exactly
+``ucq_containment``             ``left ⊑ right`` via canonical databases
+``tree_decomposition``          bags/edges form a valid decomposition of
+                                the facts within the claimed width
+``not_monotonically_determined``  ``Q(I₁) ∋ t``, ``Q(I₂) ∌ t``,
+                                ``V(I₁) ⊆ V(I₂)``
+``monotone_rewriting``          the rewriting is sound (unfolding ⊑ Q via
+                                canonical databases) and complete on every
+                                disjunct's canonical database
+``rewriting_sample``            ``R(V(I)) = Q(I)`` on a seeded instance
+                                stream (sampled evidence, flagged as such)
+``bounded_unfolding``           vacuous-recursion removals replay, the
+                                remainder is nonrecursive, and the shipped
+                                UCQ is sound for it (plus sampled converse)
+==============================  =============================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import count
+from typing import Any, Callable, Optional
+
+from repro.certify import replay
+from repro.certify.serialize import (
+    CertificateFormatError,
+    Relations,
+    decode_atom,
+    decode_mapping,
+    decode_program,
+    decode_query,
+    decode_relations,
+    decode_term,
+    decode_tuple,
+    decode_views,
+)
+from repro.core.atoms import Atom
+from repro.core.cq import ConjunctiveQuery
+from repro.core.datalog import DatalogQuery, Rule
+from repro.core.terms import Variable
+from repro.core.ucq import UCQ, as_ucq
+from repro.views.view import ViewSet
+
+#: bump when the certificate format changes incompatibly
+CERT_SCHEMA = 1
+
+#: cap on checker-side unfoldings, mirroring the emitters' caps
+UNFOLD_LIMIT = 512
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of validating one certificate."""
+
+    valid: bool
+    claims: int
+    failures: tuple[str, ...] = ()
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "valid": self.valid,
+            "claims": self.claims,
+            "failures": list(self.failures),
+        }
+
+
+class ClaimFailure(Exception):
+    """One claim does not hold (carries the reason)."""
+
+
+# ---------------------------------------------------------------------------
+# primitive claims
+# ---------------------------------------------------------------------------
+def _check_membership(payload: dict[str, Any]) -> None:
+    query = decode_query(payload["query"])
+    relations = decode_relations(payload["instance"])
+    answer = decode_tuple(payload["answer"])
+    member = bool(payload.get("member", True))
+    witness = payload.get("witness")
+    if member and witness is not None and isinstance(
+        query, ConjunctiveQuery
+    ):
+        mapping = decode_mapping(witness)
+        mapped = tuple(mapping.get(var) for var in query.head_vars)
+        if mapped != answer:
+            raise ClaimFailure(
+                f"witness maps the head to {mapped!r}, not {answer!r}"
+            )
+        problem = replay.check_mapping(query.atoms, mapping, relations)
+        if problem is not None:
+            raise ClaimFailure(f"witness does not replay: {problem}")
+        return
+    if replay.holds(query, relations, answer) != member:
+        raise ClaimFailure(
+            f"naive evaluation says {answer!r} is "
+            f"{'not ' if member else ''}an answer"
+        )
+
+
+def _check_query_output(payload: dict[str, Any]) -> None:
+    query = decode_query(payload["query"])
+    relations = decode_relations(payload["instance"])
+    expected = {decode_tuple(row) for row in payload["output"]}
+    actual = replay.eval_query(query, relations)
+    if actual != expected:
+        extra = sorted(actual - expected, key=repr)[:3]
+        missing = sorted(expected - actual, key=repr)[:3]
+        raise ClaimFailure(
+            f"output mismatch: unexpected {extra!r}, missing {missing!r}"
+        )
+
+
+def _check_hom_witness(payload: dict[str, Any]) -> None:
+    atoms = [decode_atom(atom) for atom in payload["atoms"]]
+    relations = decode_relations(payload["target"])
+    mapping = decode_mapping(payload["mapping"])
+    problem = replay.check_mapping(atoms, mapping, relations)
+    if problem is not None:
+        raise ClaimFailure(problem)
+
+
+def _check_no_hom(payload: dict[str, Any]) -> None:
+    atoms = [decode_atom(atom) for atom in payload["atoms"]]
+    relations = decode_relations(payload["target"])
+    fixed = (
+        decode_mapping(payload["fixed"])
+        if payload.get("fixed") is not None
+        else None
+    )
+    found = next(replay.match(atoms, relations, fixed), None)
+    if found is not None:
+        raise ClaimFailure(
+            f"a homomorphism exists after all: {found!r}"
+        )
+
+
+def _check_instance_subset(payload: dict[str, Any]) -> None:
+    left = decode_relations(payload["left"])
+    right = decode_relations(payload["right"])
+    problem = replay.relations_subset(left, right)
+    if problem is not None:
+        raise ClaimFailure(problem)
+
+
+def _check_view_image(payload: dict[str, Any]) -> None:
+    views = decode_views(payload["views"])
+    base = decode_relations(payload["base"])
+    claimed = decode_relations(payload["image"])
+    actual = replay.view_image(views, base)
+    actual = {pred: rows for pred, rows in actual.items() if rows}
+    claimed = {pred: rows for pred, rows in claimed.items() if rows}
+    if actual != claimed:
+        preds = sorted(
+            set(actual) | set(claimed),
+            key=lambda p: (actual.get(p) == claimed.get(p), p),
+        )
+        raise ClaimFailure(
+            f"view image differs on {preds[0]!r}: "
+            f"recomputed {sorted(actual.get(preds[0], ()), key=repr)[:3]!r}, "
+            f"claimed {sorted(claimed.get(preds[0], ()), key=repr)[:3]!r}"
+        )
+
+
+def _cq_contained_in(
+    disjunct: ConjunctiveQuery,
+    right: UCQ,
+    witness: Optional[tuple[int, dict[str, Any]]],
+) -> None:
+    canon = replay.canonical_relations(disjunct)
+    answer = replay.frozen_head(disjunct)
+    if witness is not None:
+        index, mapping = witness
+        if not 0 <= index < len(right.disjuncts):
+            raise ClaimFailure(f"witness disjunct index {index} is out of range")
+        target = right.disjuncts[index]
+        mapped = tuple(mapping.get(var) for var in target.head_vars)
+        if mapped != answer:
+            raise ClaimFailure(
+                f"containment witness maps head to {mapped!r}, "
+                f"expected {answer!r}"
+            )
+        problem = replay.check_mapping(target.atoms, mapping, canon)
+        if problem is not None:
+            raise ClaimFailure(
+                f"containment witness does not replay: {problem}"
+            )
+        return
+    if not replay.holds(right, canon, answer):
+        raise ClaimFailure(
+            f"disjunct {disjunct!r} is not contained in the right side"
+        )
+
+
+def _check_ucq_containment(payload: dict[str, Any]) -> None:
+    left = as_ucq(decode_query(payload["left"]))
+    right = as_ucq(decode_query(payload["right"]))
+    witnesses = payload.get("witnesses")
+    for position, disjunct in enumerate(left.disjuncts):
+        witness = None
+        if witnesses is not None:
+            entry = witnesses[position] if position < len(witnesses) else None
+            if entry is not None:
+                witness = (entry[0], decode_mapping(entry[1]))
+        _cq_contained_in(disjunct, right, witness)
+
+
+def _check_tree_decomposition(payload: dict[str, Any]) -> None:
+    relations = decode_relations(payload["facts"])
+    bags = [
+        frozenset(decode_term(term) for term in bag)
+        for bag in payload["bags"]
+    ]
+    edges = [tuple(edge) for edge in payload["edges"]]
+    width = int(payload["width"])
+    if not bags:
+        raise ClaimFailure("a decomposition needs at least one bag")
+    for index, bag in enumerate(bags):
+        if len(bag) > width + 1:
+            raise ClaimFailure(
+                f"bag #{index} has {len(bag)} elements; width "
+                f"{width} allows {width + 1}"
+            )
+    # every fact fits in one bag
+    for pred in sorted(relations):
+        for row in relations[pred]:
+            elements = set(row)
+            if not any(elements <= bag for bag in bags):
+                raise ClaimFailure(
+                    f"fact {pred}{row!r} fits in no bag"
+                )
+    # the edges form a tree over the bags
+    parent = list(range(len(bags)))
+
+    def find(node: int) -> int:
+        while parent[node] != node:
+            parent[node] = parent[parent[node]]
+            node = parent[node]
+        return node
+
+    for left_bag, right_bag in edges:
+        if not (0 <= left_bag < len(bags) and 0 <= right_bag < len(bags)):
+            raise ClaimFailure(f"edge ({left_bag}, {right_bag}) out of range")
+        left_root, right_root = find(left_bag), find(right_bag)
+        if left_root == right_root:
+            raise ClaimFailure("the bag graph contains a cycle")
+        parent[left_root] = right_root
+    if len({find(node) for node in range(len(bags))}) != 1:
+        raise ClaimFailure("the bag graph is not connected")
+    # running intersection: bags holding an element form a subtree
+    adjacency: dict[int, set[int]] = {i: set() for i in range(len(bags))}
+    for left_bag, right_bag in edges:
+        adjacency[left_bag].add(right_bag)
+        adjacency[right_bag].add(left_bag)
+    elements = set().union(*bags) if bags else set()
+    for element in elements:
+        holding = {i for i, bag in enumerate(bags) if element in bag}
+        start = next(iter(holding))
+        seen = {start}
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            for neighbor in adjacency[node]:
+                if neighbor in holding and neighbor not in seen:
+                    seen.add(neighbor)
+                    stack.append(neighbor)
+        if seen != holding:
+            raise ClaimFailure(
+                f"bags holding {element!r} are not connected"
+            )
+
+
+# ---------------------------------------------------------------------------
+# composite claims
+# ---------------------------------------------------------------------------
+def _check_not_determined(payload: dict[str, Any]) -> None:
+    query = decode_query(payload["query"])
+    views = decode_views(payload["views"])
+    instance1 = decode_relations(payload["instance1"])
+    instance2 = decode_relations(payload["instance2"])
+    answer = decode_tuple(payload["answer"])
+    if not replay.holds(query, instance1, answer):
+        raise ClaimFailure(
+            f"{answer!r} is not an answer of Q on the first instance"
+        )
+    if replay.holds(query, instance2, answer):
+        raise ClaimFailure(
+            f"{answer!r} is an answer of Q on the second instance too"
+        )
+    image1 = replay.view_image(views, instance1)
+    image2 = replay.view_image(views, instance2)
+    problem = replay.relations_subset(image1, image2)
+    if problem is not None:
+        raise ClaimFailure(
+            f"view images are not ⊆-related: {problem}"
+        )
+
+
+def _unfold_over_views(rewriting: UCQ, views: ViewSet) -> UCQ:
+    """The checker's own syntactic unfolding of ``R`` over CQ/UCQ views."""
+    fresh = count()
+    view_names = set(views.names())
+    disjuncts: list[ConjunctiveQuery] = []
+    for outer in rewriting.disjuncts:
+        bodies: list[tuple[Atom, ...]] = [()]
+        for atom in outer.atoms:
+            if atom.pred not in view_names:
+                bodies = [body + (atom,) for body in bodies]
+                continue
+            definition = views[atom.pred].definition
+            if isinstance(definition, DatalogQuery):
+                raise ClaimFailure(
+                    f"view {atom.pred} has a recursive definition; "
+                    "exact unfolding is impossible"
+                )
+            grown: list[tuple[Atom, ...]] = []
+            for inner in as_ucq(definition).disjuncts:
+                renaming = {
+                    var: Variable(f"_c{next(fresh)}")
+                    for var in inner.variables()
+                }
+                head = tuple(renaming[var] for var in inner.head_vars)
+                atoms = tuple(a.substitute(renaming) for a in inner.atoms)
+                mapping: dict[Variable, object] = {}
+                ok = True
+                for head_var, arg in zip(head, atom.args):
+                    if mapping.setdefault(head_var, arg) != arg:
+                        ok = False
+                        break
+                if not ok:
+                    raise ClaimFailure(
+                        f"cannot unfold {atom!r}: repeated head variable "
+                        f"in the definition of {atom.pred}"
+                    )
+                expanded = tuple(a.substitute(mapping) for a in atoms)
+                for body in bodies:
+                    grown.append(body + expanded)
+                    if len(grown) > UNFOLD_LIMIT:
+                        raise ClaimFailure(
+                            f"unfolding exceeds {UNFOLD_LIMIT} disjuncts"
+                        )
+            bodies = grown
+        for body in bodies:
+            if not body:
+                raise ClaimFailure("unfolding produced an atom-free disjunct")
+            disjuncts.append(ConjunctiveQuery(
+                outer.head_vars, body, f"{outer.name}↓"
+            ))
+            if len(disjuncts) > UNFOLD_LIMIT:
+                raise ClaimFailure(
+                    f"unfolding exceeds {UNFOLD_LIMIT} disjuncts"
+                )
+    return UCQ(tuple(disjuncts), f"{rewriting.name}↓")
+
+
+def _check_monotone_rewriting(payload: dict[str, Any]) -> None:
+    query = decode_query(payload["query"])
+    views = decode_views(payload["views"])
+    rewriting = as_ucq(decode_query(payload["rewriting"]))
+    unfolded = _unfold_over_views(rewriting, views)
+    # soundness: every unfolding of R∘V is contained in Q, checked on
+    # canonical databases with naive evaluation (exact for CQ/UCQ/Datalog)
+    for disjunct in unfolded.disjuncts:
+        canon = replay.canonical_relations(disjunct)
+        answer = replay.frozen_head(disjunct)
+        if not replay.holds(query, canon, answer):
+            raise ClaimFailure(
+                f"unsound: unfolded disjunct {disjunct!r} escapes Q"
+            )
+    # completeness: on each disjunct's canonical database the rewriting
+    # recovers the frozen answer from the view image (with monotonicity
+    # this lifts to all instances)
+    if isinstance(query, DatalogQuery):
+        raise ClaimFailure(
+            "exact completeness needs a CQ/UCQ query; use a "
+            "rewriting_sample claim for Datalog queries"
+        )
+    for disjunct in as_ucq(query).disjuncts:
+        canon = replay.canonical_relations(disjunct)
+        answer = replay.frozen_head(disjunct)
+        image = replay.view_image(views, canon)
+        if not replay.holds(rewriting, image, answer):
+            raise ClaimFailure(
+                f"incomplete: the canonical database of {disjunct!r} "
+                "loses its answer through the views"
+            )
+
+
+def _check_rewriting_sample(payload: dict[str, Any]) -> None:
+    from repro.core.schema import Schema
+    from repro.rewriting.verification import random_instances
+    from repro.certify.serialize import relations_from_instance
+
+    query = decode_query(payload["query"])
+    views = decode_views(payload["views"])
+    rewriting = decode_query(payload["rewriting"])
+    schema = Schema({
+        pred: int(arity)
+        for pred, arity in payload["schema"].items()
+    })
+    trials = int(payload.get("trials", 25))
+    seed = int(payload.get("seed", 0))
+    for index, instance in enumerate(
+        random_instances(schema, trials, seed)
+    ):
+        relations = relations_from_instance(instance)
+        expected = replay.eval_query(query, relations)
+        got = replay.eval_query(
+            rewriting, replay.view_image(views, relations)
+        )
+        if expected != got:
+            raise ClaimFailure(
+                f"sample #{index} (seed {seed}) disagrees: "
+                f"Q gives {sorted(expected, key=repr)[:3]!r}, "
+                f"R∘V gives {sorted(got, key=repr)[:3]!r}"
+            )
+
+
+def _frozen_term(term: object) -> object:
+    from repro.core.cq import CanonConst
+
+    return CanonConst(term.name) if isinstance(term, Variable) else term
+
+
+def _replay_subsumption(general: Rule, specific: Rule) -> Optional[str]:
+    """Replay ``rule_subsumes(general, specific)`` independently."""
+    if general.head.pred != specific.head.pred:
+        return "head predicates differ"
+    if general.head.arity != specific.head.arity:
+        return "head arities differ"
+    frozen_body: Relations = {}
+    for atom in specific.body:
+        frozen_body.setdefault(atom.pred, set()).add(
+            tuple(_frozen_term(term) for term in atom.args)
+        )
+    binding: dict[Variable, object] = {}
+    for g_term, s_term in zip(general.head.args, specific.head.args):
+        target = _frozen_term(s_term)
+        if isinstance(g_term, Variable):
+            if binding.setdefault(g_term, target) != target:
+                return "head variables cannot be unified"
+        elif g_term != s_term:
+            return f"head constants differ: {g_term!r} vs {s_term!r}"
+    if not replay.has_match(general.body, frozen_body, binding):
+        return "no homomorphism of the subsuming body into the dropped rule"
+    return None
+
+
+def _is_recursive(rules: tuple[Rule, ...]) -> bool:
+    """Own cycle check on the head→body predicate graph (plain DFS)."""
+    idb = {rule.head.pred for rule in rules}
+    edges: dict[str, set[str]] = {pred: set() for pred in idb}
+    for rule in rules:
+        for atom in rule.body:
+            if atom.pred in idb:
+                edges[rule.head.pred].add(atom.pred)
+    state: dict[str, int] = {}
+
+    def visit(node: str) -> bool:
+        state[node] = 1
+        for child in edges[node]:
+            mark = state.get(child, 0)
+            if mark == 1 or (mark == 0 and visit(child)):
+                return True
+        state[node] = 2
+        return False
+
+    return any(state.get(pred, 0) == 0 and visit(pred) for pred in idb)
+
+
+def _check_bounded_unfolding(payload: dict[str, Any]) -> None:
+    from repro.core.schema import Schema
+    from repro.rewriting.verification import random_instances
+    from repro.certify.serialize import relations_from_instance
+
+    program = decode_program(payload["program"])
+    goal = payload["goal"]
+    pairs = [tuple(pair) for pair in payload["pairs"]]
+    ucq = as_ucq(decode_query(payload["ucq"]))
+    rules = program.rules
+    dropped: set[int] = set()
+    for dropped_index, subsuming_index in pairs:
+        if not (
+            0 <= dropped_index < len(rules)
+            and 0 <= subsuming_index < len(rules)
+        ):
+            raise ClaimFailure(
+                f"rule pair ({dropped_index}, {subsuming_index}) "
+                "is out of range"
+            )
+        if subsuming_index in dropped:
+            raise ClaimFailure(
+                f"rule #{subsuming_index} subsumes #{dropped_index} "
+                "but was itself dropped earlier"
+            )
+        problem = _replay_subsumption(
+            rules[subsuming_index], rules[dropped_index]
+        )
+        if problem is not None:
+            raise ClaimFailure(
+                f"rule #{dropped_index} is not subsumed by "
+                f"#{subsuming_index}: {problem}"
+            )
+        dropped.add(dropped_index)
+    remainder = tuple(
+        rule for index, rule in enumerate(rules) if index not in dropped
+    )
+    if _is_recursive(remainder):
+        raise ClaimFailure(
+            "the program stays recursive after the claimed removals"
+        )
+    if goal not in {rule.head.pred for rule in remainder}:
+        raise ClaimFailure(f"goal {goal!r} lost its rules")
+    # the UCQ is sound for the peeled program (exact, canonical dbs)
+    for disjunct in ucq.disjuncts:
+        canon = replay.canonical_relations(disjunct)
+        state = replay.naive_fixpoint(remainder, canon)
+        if replay.frozen_head(disjunct) not in state.get(goal, set()):
+            raise ClaimFailure(
+                f"UCQ disjunct {disjunct!r} is not derivable from the "
+                "peeled program"
+            )
+    # the converse on a seeded sample
+    schema = Schema({
+        pred: int(arity)
+        for pred, arity in payload["schema"].items()
+    })
+    trials = int(payload.get("trials", 20))
+    seed = int(payload.get("seed", 0))
+    for index, instance in enumerate(
+        random_instances(schema, trials, seed)
+    ):
+        relations = relations_from_instance(instance)
+        state = replay.naive_fixpoint(remainder, relations)
+        datalog_rows = state.get(goal, set())
+        ucq_rows = replay.eval_query(ucq, relations)
+        if not datalog_rows <= ucq_rows:
+            missing = sorted(datalog_rows - ucq_rows, key=repr)[:3]
+            raise ClaimFailure(
+                f"sample #{index} (seed {seed}): the program derives "
+                f"{missing!r} which the UCQ misses"
+            )
+
+
+#: claim type -> checker
+CLAIM_CHECKERS: dict[str, Callable[[dict], None]] = {
+    "membership": _check_membership,
+    "query_output": _check_query_output,
+    "hom_witness": _check_hom_witness,
+    "no_hom": _check_no_hom,
+    "instance_subset": _check_instance_subset,
+    "view_image": _check_view_image,
+    "ucq_containment": _check_ucq_containment,
+    "tree_decomposition": _check_tree_decomposition,
+    "not_monotonically_determined": _check_not_determined,
+    "monotone_rewriting": _check_monotone_rewriting,
+    "rewriting_sample": _check_rewriting_sample,
+    "bounded_unfolding": _check_bounded_unfolding,
+}
+
+
+def check_certificate(certificate: Any) -> CheckResult:
+    """Validate one certificate; never raises on malformed input."""
+    if not isinstance(certificate, dict):
+        return CheckResult(False, 0, ("certificate is not an object",))
+    if certificate.get("schema") != CERT_SCHEMA:
+        return CheckResult(
+            False,
+            0,
+            (
+                f"unsupported certificate schema "
+                f"{certificate.get('schema')!r} (expected {CERT_SCHEMA})",
+            ),
+        )
+    claims = certificate.get("claims")
+    if not isinstance(claims, list) or not claims:
+        return CheckResult(
+            False, 0, ("certificate carries no claims",)
+        )
+    failures: list[str] = []
+    for index, claim in enumerate(claims):
+        if not isinstance(claim, dict) or "type" not in claim:
+            failures.append(f"claim #{index}: not a typed object")
+            continue
+        kind = claim["type"]
+        checker = CLAIM_CHECKERS.get(kind)
+        if checker is None:
+            failures.append(f"claim #{index}: unknown type {kind!r}")
+            continue
+        try:
+            checker(claim)
+        except ClaimFailure as exc:
+            failures.append(f"claim #{index} ({kind}): {exc}")
+        except (CertificateFormatError, KeyError, TypeError,
+                ValueError, IndexError) as exc:
+            failures.append(
+                f"claim #{index} ({kind}): malformed payload ({exc})"
+            )
+    return CheckResult(not failures, len(claims), tuple(failures))

@@ -1,0 +1,302 @@
+"""The certificate term codec: JSON-safe, tagged, lossless-enough.
+
+Instances and queries in this codebase use arbitrary hashable Python
+values as constants — strings, ints, tuples like ``("z", i, j)`` from
+the figure constructions, :class:`~repro.core.cq.CanonConst` frozen
+variables, ``"∃null"`` inversion nulls.  Certificates must survive a
+JSON round trip, so every term is encoded as a small tagged array:
+
+========  =======================================
+tag       value
+========  =======================================
+``null``  (no payload)
+``bool``  ``true``/``false``
+``int``   the integer
+``float`` the float
+``str``   the string
+``tuple`` list of encoded terms
+``var``   a :class:`~repro.core.terms.Variable` name
+``canon`` a :class:`~repro.core.cq.CanonConst` name
+``opq``   ``repr()`` of anything else (opaque)
+========  =======================================
+
+Opaque terms decode to :class:`OpaqueTerm`, which compares by its text;
+a claim is checked entirely inside the decoded world, so equality is
+preserved as long as ``repr`` is stable — which the frozen dataclasses
+used as instance elements guarantee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Union
+
+from repro.core.atoms import Atom
+from repro.core.cq import CanonConst, ConjunctiveQuery
+from repro.core.datalog import DatalogProgram, DatalogQuery, Rule
+from repro.core.instance import Instance
+from repro.core.terms import Variable
+from repro.core.ucq import UCQ
+from repro.views.view import View, ViewSet
+
+QueryLike = Union[ConjunctiveQuery, UCQ, DatalogQuery]
+
+#: plain relation data: the replay checker's instance representation
+Relations = dict[str, set[tuple]]
+
+
+@dataclass(frozen=True, slots=True)
+class OpaqueTerm:
+    """A constant that only survives serialization as its ``repr``."""
+
+    text: str
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.text
+
+
+class CertificateFormatError(ValueError):
+    """A certificate payload does not decode."""
+
+
+# ---------------------------------------------------------------------------
+# terms
+# ---------------------------------------------------------------------------
+def encode_term(term: Any) -> list[Any]:
+    if term is None:
+        return ["null"]
+    if isinstance(term, bool):
+        return ["bool", term]
+    if isinstance(term, int):
+        return ["int", term]
+    if isinstance(term, float):
+        return ["float", term]
+    if isinstance(term, str):
+        return ["str", term]
+    if isinstance(term, tuple):
+        return ["tuple", [encode_term(part) for part in term]]
+    if isinstance(term, Variable):
+        return ["var", term.name]
+    if isinstance(term, CanonConst):
+        return ["canon", term.name]
+    if isinstance(term, OpaqueTerm):
+        return ["opq", term.text]
+    return ["opq", repr(term)]
+
+
+def decode_term(payload: Any) -> Any:
+    if not isinstance(payload, list) or not payload:
+        raise CertificateFormatError(f"bad term encoding: {payload!r}")
+    tag = payload[0]
+    if tag == "null":
+        return None
+    if tag in ("bool", "int", "float", "str"):
+        return payload[1]
+    if tag == "tuple":
+        return tuple(decode_term(part) for part in payload[1])
+    if tag == "var":
+        return Variable(payload[1])
+    if tag == "canon":
+        return CanonConst(payload[1])
+    if tag == "opq":
+        return OpaqueTerm(payload[1])
+    raise CertificateFormatError(f"unknown term tag {tag!r}")
+
+
+# ---------------------------------------------------------------------------
+# atoms, rules, programs
+# ---------------------------------------------------------------------------
+def encode_atom(atom: Atom) -> list[Any]:
+    return [atom.pred, [encode_term(term) for term in atom.args]]
+
+
+def decode_atom(payload: Any) -> Atom:
+    if not isinstance(payload, list) or len(payload) != 2:
+        raise CertificateFormatError(f"bad atom encoding: {payload!r}")
+    pred, args = payload
+    return Atom(pred, tuple(decode_term(term) for term in args))
+
+
+def encode_rule(rule: Rule) -> dict[str, Any]:
+    return {
+        "head": encode_atom(rule.head),
+        "body": [encode_atom(atom) for atom in rule.body],
+    }
+
+
+def decode_rule(payload: Any) -> Rule:
+    try:
+        return Rule(
+            decode_atom(payload["head"]),
+            tuple(decode_atom(atom) for atom in payload["body"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CertificateFormatError(f"bad rule encoding: {exc}") from None
+
+
+def encode_program(program: DatalogProgram) -> dict[str, Any]:
+    return {"rules": [encode_rule(rule) for rule in program.rules]}
+
+
+def decode_program(payload: Any) -> DatalogProgram:
+    try:
+        rules = payload["rules"]
+    except (KeyError, TypeError):
+        raise CertificateFormatError(
+            f"bad program encoding: {payload!r}"
+        ) from None
+    return DatalogProgram(tuple(decode_rule(rule) for rule in rules))
+
+
+# ---------------------------------------------------------------------------
+# queries
+# ---------------------------------------------------------------------------
+def encode_query(query: QueryLike) -> dict[str, Any]:
+    if isinstance(query, ConjunctiveQuery):
+        return {
+            "kind": "cq",
+            "name": query.name,
+            "head": [encode_term(var) for var in query.head_vars],
+            "atoms": [encode_atom(atom) for atom in query.atoms],
+        }
+    if isinstance(query, UCQ):
+        return {
+            "kind": "ucq",
+            "name": query.name,
+            "disjuncts": [encode_query(d) for d in query.disjuncts],
+        }
+    if isinstance(query, DatalogQuery):
+        return {
+            "kind": "datalog",
+            "name": query.name,
+            "goal": query.goal,
+            "program": encode_program(query.program),
+        }
+    raise CertificateFormatError(f"unencodable query {query!r}")
+
+
+def decode_query(payload: Any) -> QueryLike:
+    try:
+        kind = payload["kind"]
+    except (KeyError, TypeError):
+        raise CertificateFormatError(
+            f"bad query encoding: {payload!r}"
+        ) from None
+    if kind == "cq":
+        head = tuple(decode_term(var) for var in payload["head"])
+        if not all(isinstance(var, Variable) for var in head):
+            raise CertificateFormatError("CQ head must be variables")
+        return ConjunctiveQuery(
+            head,
+            tuple(decode_atom(atom) for atom in payload["atoms"]),
+            payload.get("name", "Q"),
+        )
+    if kind == "ucq":
+        return UCQ(
+            tuple(decode_query(d) for d in payload["disjuncts"]),
+            payload.get("name", "Q"),
+        )
+    if kind == "datalog":
+        return DatalogQuery(
+            decode_program(payload["program"]),
+            payload["goal"],
+            payload.get("name", "Q"),
+        )
+    raise CertificateFormatError(f"unknown query kind {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# views
+# ---------------------------------------------------------------------------
+def encode_views(views: ViewSet) -> list[Any]:
+    return [
+        {"name": view.name, "definition": encode_query(view.definition)}
+        for view in views
+    ]
+
+
+def decode_views(payload: Any) -> ViewSet:
+    try:
+        return ViewSet([
+            View(entry["name"], decode_query(entry["definition"]))
+            for entry in payload
+        ])
+    except (KeyError, TypeError) as exc:
+        raise CertificateFormatError(f"bad views encoding: {exc}") from None
+
+
+# ---------------------------------------------------------------------------
+# instances and relation data
+# ---------------------------------------------------------------------------
+def encode_instance(instance: Instance) -> list[Any]:
+    facts = [
+        [pred, [encode_term(term) for term in row]]
+        for pred in sorted(instance.predicates())
+        for row in sorted(instance.tuples(pred), key=repr)
+    ]
+    return facts
+
+
+def decode_relations(payload: Any) -> Relations:
+    out: Relations = {}
+    if not isinstance(payload, list):
+        raise CertificateFormatError(
+            f"bad instance encoding: {payload!r}"
+        )
+    for entry in payload:
+        if not isinstance(entry, list) or len(entry) != 2:
+            raise CertificateFormatError(f"bad fact encoding: {entry!r}")
+        pred, row = entry
+        out.setdefault(pred, set()).add(
+            tuple(decode_term(term) for term in row)
+        )
+    return out
+
+
+def encode_relations(relations: Relations) -> list[Any]:
+    """Encode plain relation data in the same shape as an instance."""
+    return [
+        [pred, [encode_term(term) for term in row]]
+        for pred in sorted(relations)
+        for row in sorted(relations[pred], key=repr)
+    ]
+
+
+def relations_from_instance(instance: Instance) -> Relations:
+    return {
+        pred: set(instance.tuples(pred))
+        for pred in instance.predicates()
+    }
+
+
+def encode_tuple(row: tuple[Any, ...]) -> list[Any]:
+    return [encode_term(term) for term in row]
+
+
+def decode_tuple(payload: Any) -> tuple[Any, ...]:
+    if not isinstance(payload, list):
+        raise CertificateFormatError(f"bad tuple encoding: {payload!r}")
+    return tuple(decode_term(term) for term in payload)
+
+
+def encode_mapping(mapping: dict[str, Any]) -> list[Any]:
+    return sorted(
+        (
+            [encode_term(var), encode_term(value)]
+            for var, value in mapping.items()
+        ),
+        key=repr,
+    )
+
+
+def decode_mapping(payload: Any) -> dict[str, Any]:
+    if not isinstance(payload, list):
+        raise CertificateFormatError(f"bad mapping encoding: {payload!r}")
+    out = {}
+    for entry in payload:
+        if not isinstance(entry, list) or len(entry) != 2:
+            raise CertificateFormatError(
+                f"bad mapping entry: {entry!r}"
+            )
+        out[decode_term(entry[0])] = decode_term(entry[1])
+    return out

@@ -263,9 +263,18 @@ def cmd_lint(args: argparse.Namespace) -> int:
         if stripped.startswith("# goal:"):
             goal = stripped.split(":", 1)[1].strip()
 
+    fixes = []
     try:
-        source = parse_program_source(text)
         views = load_views(args.views) if args.views else None
+        if getattr(args, "fix", False):
+            from repro.analysis.fixer import fix_source
+
+            result = fix_source(text, goal=goal, views=views)
+            if result.changed:
+                Path(args.query).write_text(result.text)
+                text = result.text
+            fixes = list(result.fixes)
+        source = parse_program_source(text)
     except ParseError as exc:
         diagnostic = make("E004", exc.message, exc.span)
         if args.format == "json":
@@ -279,11 +288,17 @@ def cmd_lint(args: argparse.Namespace) -> int:
         return LINT_ERRORS
 
     report = analyze_query(
-        source.program(), views=views, source=source, goal=goal
+        source.program(), views=views, source=source, goal=goal,
+        semantic=args.semantic,
     )
     if args.format == "json":
-        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+        payload = report.as_dict()
+        if getattr(args, "fix", False):
+            payload["fixes"] = [f.as_dict() for f in fixes]
+        print(json.dumps(payload, indent=2, sort_keys=True))
     else:
+        for fix in fixes:
+            print(f"{args.query}: fixed {fix.render()}")
         print(report.render_text(args.query))
     worst = report.max_severity()
     if worst is Severity.ERROR:
@@ -340,6 +355,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--strict",
         action="store_true",
         help="treat warnings as errors (exit 1 instead of 2)",
+    )
+    lint.add_argument(
+        "--fix",
+        action="store_true",
+        help="rewrite the file in place, deleting safely removable "
+        "rules (W101 duplicate rules, W106 unused predicates); "
+        "idempotent — a second run is a no-op",
+    )
+    lint.add_argument(
+        "--semantic",
+        action="store_true",
+        help="also run the semantic passes: capability facts, binding "
+        "patterns, boundedness, sort inference (I204-I206, W109-W110)",
     )
     lint.set_defaults(func=cmd_lint)
 

@@ -143,7 +143,14 @@ def expansion_trees(
             continue
 
         def expand_from(
-            index: int, acc: list[ExpansionNode]
+            index: int,
+            acc: list[ExpansionNode],
+            # bind the current iteration's values: the closure outlives
+            # the loop body only as a generator consumed right below,
+            # but default-binding makes that independence explicit
+            rule: Rule = rule,
+            mapping: dict = mapping,
+            positions: tuple[int, ...] = positions,
         ) -> Iterator[tuple[ExpansionNode, ...]]:
             if index == len(positions):
                 yield tuple(acc)

@@ -386,15 +386,13 @@ def goal_directed_program(program: DatalogProgram, goal: str) -> DatalogProgram:
     (dropped rules only populate predicates the goal never reads), so
     :meth:`DatalogQuery.evaluate` uses this as its entry point.  Cached:
     programs are immutable and re-evaluated many times per decision
-    procedure.
+    procedure.  A goal that is not an IDB head of ``program`` (e.g.
+    defined only via views) keeps the program unchanged instead of
+    pruning it down to nothing.
     """
     from repro.analysis.dependency import DependencyGraph
 
-    needed = DependencyGraph(program).reachable_from(goal)
-    kept = tuple(r for r in program.rules if r.head.pred in needed)
-    if len(kept) == len(program.rules):
-        return program
-    return DatalogProgram(kept)
+    return DependencyGraph(program).prune_unreachable(goal)
 
 
 def fixpoint(

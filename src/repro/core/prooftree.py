@@ -94,7 +94,10 @@ class _Derivations:
                     self.support.setdefault(head, (rule, body))
         self.state = state
 
-    def build(self, fact: Atom, seen: frozenset = frozenset()) -> ProofNode:
+    def build(
+        self, fact: Atom, seen: Optional[frozenset] = None
+    ) -> ProofNode:
+        seen = frozenset() if seen is None else seen
         if fact in self.instance or fact.pred not in self.idb:
             return ProofNode(fact, None, ())
         if fact in seen:  # cannot happen for first derivations, guard anyway

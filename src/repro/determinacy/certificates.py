@@ -1,0 +1,170 @@
+"""Certificate emission for determinacy verdicts.
+
+Bridges the decision procedures to :mod:`repro.certify`:
+
+* a YES verdict ships the rewriting with an equivalence claim — exact
+  (``monotone_rewriting``, re-checked on canonical databases) when the
+  query and every view definition are CQ/UCQ, sampled
+  (``rewriting_sample``) otherwise;
+* a NO verdict ships a counterexample pair ``(I₁, I₂, t)`` with
+  ``t ∈ Q(I₁)``, ``t ∉ Q(I₂)`` and ``V(I₁) ⊆ V(I₂)`` — extracted from a
+  failing canonical test (Lemma 5: ``I₁`` is the approximation's
+  canonical database, ``I₂`` the inverse-applied test instance);
+* a YES obtained by exhausting a *finite* test space ships one
+  membership claim per canonical test.
+
+Everything emitted here is validated downstream by the independent
+:func:`repro.certify.check_certificate`, which never touches the
+engine's fast paths.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional, Sequence, Union
+
+from repro.certify.emit import (
+    certificate,
+    claim_membership,
+    claim_monotone_rewriting,
+    claim_not_determined,
+    claim_rewriting_sample,
+)
+from repro.core.cq import ConjunctiveQuery
+from repro.core.datalog import DatalogQuery
+from repro.core.ucq import UCQ
+from repro.views.view import ViewSet
+from repro.determinacy.result import CanonicalTest
+
+QueryLike = Union[ConjunctiveQuery, UCQ, DatalogQuery]
+
+#: budget for the failing-test search backing negative certificates
+NEGATIVE_SEARCH_LIMIT = 2048
+
+
+def _exactly_checkable(query: QueryLike, views: ViewSet) -> bool:
+    """Whether ``monotone_rewriting``'s exact replay applies."""
+    if not isinstance(query, (ConjunctiveQuery, UCQ)):
+        return False
+    return views.fragments() <= {"CQ", "UCQ"}
+
+
+def rewriting_claims(
+    query: QueryLike,
+    views: ViewSet,
+    rewriting: QueryLike,
+    trials: int = 25,
+    seed: int = 0,
+) -> list[dict]:
+    """Claims certifying ``rewriting ∘ V ≡ Q`` — exact when possible,
+    sampled otherwise."""
+    if _exactly_checkable(query, views):
+        return [claim_monotone_rewriting(query, views, rewriting)]
+    return [
+        claim_rewriting_sample(
+            query, views, rewriting, trials=trials, seed=seed
+        )
+    ]
+
+
+def positive_certificate(
+    query: QueryLike,
+    views: ViewSet,
+    rewriting: QueryLike,
+    extra_claims: Sequence[dict] = (),
+    meta: Optional[dict] = None,
+) -> dict:
+    """Certificate for a YES verdict carrying its rewriting."""
+    tag: dict[str, Any] = {"verdict": "yes"}
+    if not _exactly_checkable(query, views):
+        tag["note"] = (
+            "equivalence is sampled; exact replay needs a CQ/UCQ query "
+            "and CQ/UCQ views"
+        )
+    if meta:
+        tag.update(meta)
+    return certificate(
+        list(extra_claims) + rewriting_claims(query, views, rewriting),
+        meta=tag,
+    )
+
+
+def negative_certificate(
+    query: QueryLike,
+    views: ViewSet,
+    test: CanonicalTest,
+    extra_claims: Sequence[dict] = (),
+    meta: Optional[dict] = None,
+) -> dict:
+    """Certificate for a NO verdict from a failing canonical test.
+
+    Lemma 5 reading: with ``I₁`` the approximation's canonical database
+    and ``I₂`` the test instance, the failing test *is* the instance
+    pair witnessing non-determinacy.
+    """
+    claim = claim_not_determined(
+        query,
+        views,
+        test.approximation.canonical_database(),
+        test.test_instance,
+        test.approximation.frozen_head(),
+    )
+    tag: dict[str, Any] = {"verdict": "no"}
+    if meta:
+        tag.update(meta)
+    return certificate(list(extra_claims) + [claim], meta=tag)
+
+
+def find_failing_test(
+    query: QueryLike,
+    views: ViewSet,
+    approx_depth: int = 4,
+    view_depth: int = 3,
+    limit: int = NEGATIVE_SEARCH_LIMIT,
+) -> Optional[CanonicalTest]:
+    """A failing canonical test, searched within a budget.
+
+    Used to materialize the counterexample pair when a NO verdict came
+    out of the automata pipeline (which refutes containment without
+    constructing an instance pair).  For CQ/UCQ queries and views the
+    test space is finite and complete, so a NO always has one.
+    """
+    from repro.determinacy.tests import canonical_tests, test_succeeds
+
+    for executed, test in enumerate(
+        canonical_tests(query, views, approx_depth, view_depth)
+    ):
+        if not test_succeeds(test, query):
+            return test
+        if executed + 1 >= limit:
+            return None
+    return None
+
+
+def exhaustive_tests_certificate(
+    query: QueryLike,
+    views: ViewSet,
+    tests: Iterable[CanonicalTest],
+    extra_claims: Sequence[dict] = (),
+    meta: Optional[dict] = None,
+) -> dict:
+    """Certificate for a YES by finite test-space exhaustion (Lemma 5):
+    one membership claim per canonical test."""
+    claims = list(extra_claims)
+    for test in tests:
+        claims.append(
+            claim_membership(
+                query,
+                test.test_instance,
+                test.approximation.frozen_head(),
+            )
+        )
+    tag: dict[str, Any] = {
+        "verdict": "yes",
+        "note": (
+            "every canonical test succeeds and the test space is "
+            "finite (Lemma 5)"
+        ),
+    }
+    if meta:
+        tag.update(meta)
+    return certificate(claims, meta=tag)

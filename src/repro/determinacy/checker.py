@@ -1,12 +1,22 @@
 """The monotonic-determinacy checker.
 
-:func:`decide_monotonic_determinacy` dispatches by query fragment:
+:func:`decide_monotonic_determinacy` dispatches by what the *semantic
+analyzer* establishes about the query, not by its surface class alone:
 
 * CQ / UCQ query — *exact* decision via the forward–backward candidate
   and automata containment (Prop. 8 / Thm 5);
-* recursive query — the canonical-test procedure of Lemma 5, bounded by
-  an expansion-depth budget.  ``NO`` answers are always exact (a failing
-  test is a genuine counterexample); ``UNKNOWN`` reports the budget.
+* Datalog query that :func:`repro.analysis.semantics.boundedness_report`
+  proves bounded — reduced to its equivalent UCQ and decided exactly on
+  the same route (the reduction itself is certified by a
+  ``bounded_unfolding`` claim);
+* genuinely recursive query — the canonical-test procedure of Lemma 5,
+  bounded by an expansion-depth budget.  ``NO`` answers are always exact
+  (a failing test is a genuine counterexample); ``UNKNOWN`` reports the
+  budget.
+
+Verdicts carry :mod:`repro.certify` certificates (see
+:mod:`repro.determinacy.certificates`), validated downstream by the
+independent checker.
 
 The bounded branch is the honest rendering of the paper's landscape:
 full decidability only holds for the restricted fragments of Thms 3–5,
@@ -15,7 +25,8 @@ and is *impossible* in general (Thm 6, Prop. 9).
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from dataclasses import replace
+from typing import Optional, Sequence, Union
 
 from repro.core.containment import Verdict
 from repro.core.cq import ConjunctiveQuery
@@ -35,7 +46,9 @@ def _test_space_is_finite(query: QueryLike, views: ViewSet) -> bool:
     True when the query is a CQ/UCQ (finitely many approximations) and
     every view definition is a CQ/UCQ (finitely many inversion choices
     per fact).  In that case exhausting the tests *decides* monotonic
-    determinacy (Lemma 5), so the checker can answer YES.
+    determinacy (Lemma 5), so the checker can answer YES.  Bounded
+    Datalog queries reach here already reduced to their UCQ, so they
+    profit from the finite case too.
     """
     if not isinstance(query, (ConjunctiveQuery, UCQ)):
         return False
@@ -48,13 +61,24 @@ def check_tests(
     approx_depth: int = 4,
     view_depth: int = 3,
     max_tests: Optional[int] = None,
+    certify: bool = True,
+    extra_claims: Sequence[dict] = (),
 ) -> DeterminacyResult:
     """Run the canonical-test procedure up to the given budgets.
 
     When the test space is finite (CQ/UCQ query and views) and no budget
-    truncated the enumeration, a clean pass is an exact YES.
+    truncated the enumeration, a clean pass is an exact YES.  With
+    ``certify`` a NO ships the failing test as a counterexample-pair
+    certificate, and a finite-space YES ships one membership claim per
+    test (``extra_claims`` are prepended, e.g. a bounded→UCQ reduction).
     """
+    from repro.determinacy.certificates import (
+        exhaustive_tests_certificate,
+        negative_certificate,
+    )
+
     executed = 0
+    passed = []
     for test in canonical_tests(query, views, approx_depth, view_depth):
         executed += 1
         if not test_succeeds(test, query):
@@ -64,7 +88,11 @@ def check_tests(
                 test,
                 f"failing test found after {executed} tests",
                 {"tests_executed": executed},
+                negative_certificate(query, views, test, extra_claims)
+                if certify
+                else None,
             )
+        passed.append(test)
         if max_tests is not None and executed >= max_tests:
             return DeterminacyResult(
                 Verdict.UNKNOWN,
@@ -80,6 +108,11 @@ def check_tests(
             None,
             f"all {executed} tests succeed and the test space is finite",
             {"tests_executed": executed},
+            exhaustive_tests_certificate(
+                query, views, passed, extra_claims
+            )
+            if certify
+            else None,
         )
     return DeterminacyResult(
         Verdict.UNKNOWN,
@@ -93,35 +126,115 @@ def check_tests(
     )
 
 
+def _decide_exact(
+    query: Union[ConjunctiveQuery, UCQ],
+    views: ViewSet,
+    certify: bool,
+    extra_claims: Sequence[dict],
+    approx_depth: int,
+    view_depth: int,
+) -> Optional[DeterminacyResult]:
+    """The exact CQ/UCQ route, with certificates; None on unsupported
+    shapes (constants, ...)."""
+    from repro.determinacy.certificates import (
+        find_failing_test,
+        negative_certificate,
+        positive_certificate,
+    )
+
+    try:
+        result, rewriting = decide_cq_ucq(query, views)
+    except ValueError:
+        return None
+    if not certify:
+        return result
+    if result.verdict is Verdict.YES and rewriting is not None:
+        return replace(
+            result,
+            certificate=positive_certificate(
+                query, views, rewriting, extra_claims
+            ),
+        )
+    if result.verdict is Verdict.NO:
+        # the automata route refutes containment without an instance
+        # pair; materialize one from a failing canonical test (Lemma 5
+        # guarantees it exists — the search is budgeted regardless)
+        test = find_failing_test(query, views, approx_depth, view_depth)
+        if test is not None:
+            return replace(
+                result,
+                counterexample=test,
+                certificate=negative_certificate(
+                    query, views, test, extra_claims
+                ),
+            )
+    return result
+
+
 def decide_monotonic_determinacy(
     query: QueryLike,
     views: ViewSet,
     approx_depth: int = 4,
     view_depth: int = 3,
     max_tests: Optional[int] = None,
+    certify: bool = True,
 ) -> DeterminacyResult:
     """Decide (or boundedly check) monotonic determinacy of ``query``.
 
-    Exact for CQ/UCQ queries over constant-free views; otherwise the
-    bounded Lemma-5 procedure.
+    Exact for CQ/UCQ queries over constant-free views — and, via the
+    semantic boundedness analysis, for Datalog queries whose recursion
+    is vacuous; otherwise the bounded Lemma-5 procedure.  With
+    ``certify`` (default) the result carries a machine-checkable
+    certificate of its verdict.
 
     Datalog queries are statically analyzed first: a program with
     error-grade diagnostics (inconsistent arities, undefined goal, ...)
     raises :class:`~repro.analysis.ProgramAnalysisError` instead of
     feeding garbage to a 2ExpTime-grade procedure.
     """
+    extra_claims: list[dict] = []
+    reduced = ""
     if isinstance(query, DatalogQuery):
         from repro.analysis import ProgramAnalysisError, analyze_query
 
-        report = analyze_query(query, views=views)
+        report = analyze_query(query, views=views, semantic=True)
         if report.has_errors():
             raise ProgramAnalysisError(
                 report, "decide_monotonic_determinacy"
             )
+        assert report.semantics is not None
+        boundedness = report.semantics.boundedness
+        if boundedness.bounded and boundedness.ucq is not None:
+            # semantic fast path: the recursion is vacuous (or absent),
+            # so the query equals a UCQ and the exact route applies
+            if certify:
+                from repro.certify.emit import claim_bounded_unfolding
+
+                extra_claims.append(claim_bounded_unfolding(
+                    query.program,
+                    query.goal,
+                    boundedness.vacuous_rules,
+                    boundedness.ucq,
+                ))
+            reduced = " after bounded→UCQ reduction"
+            query = boundedness.ucq
     if isinstance(query, (ConjunctiveQuery, UCQ)):
-        try:
-            result, _rewriting = decide_cq_ucq(query, views)
+        result = _decide_exact(
+            query, views, certify, extra_claims, approx_depth, view_depth
+        )
+        if result is not None:
+            if reduced:
+                result = replace(result, method=result.method + reduced)
             return result
-        except ValueError:
-            pass  # unsupported shape (constants, ...): fall back
-    return check_tests(query, views, approx_depth, view_depth, max_tests)
+    result = check_tests(
+        query,
+        views,
+        approx_depth,
+        view_depth,
+        max_tests,
+        certify=certify,
+        extra_claims=extra_claims,
+    )
+    if reduced:
+        result = replace(result, method=result.method + reduced)
+    return result

@@ -39,6 +39,13 @@ class DeterminacyResult:
     * ``NO`` — a failing canonical test was found (always exact, by
       Lemma 5 failing tests are genuine counterexamples);
     * ``UNKNOWN`` — the bounded procedure exhausted its budget.
+
+    ``certificate`` (when present) is a machine-checkable account of the
+    verdict in the :mod:`repro.certify` claim vocabulary: a rewriting
+    equivalence for YES, a counterexample instance pair for NO.  It is
+    validated by the *independent* :func:`repro.certify.check_certificate`
+    — no engine fast paths — so a verdict can be trusted without
+    trusting the decision procedure that produced it.
     """
 
     verdict: Verdict
@@ -46,6 +53,7 @@ class DeterminacyResult:
     counterexample: Optional[CanonicalTest] = None
     detail: str = ""
     stats: dict = field(default_factory=dict)
+    certificate: Optional[dict] = None
 
     def __bool__(self) -> bool:
         return self.verdict is Verdict.YES

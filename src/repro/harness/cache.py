@@ -26,7 +26,7 @@ from typing import Optional
 from repro.harness.job import Job, JobResult
 
 #: bump to invalidate every existing cache entry on format changes
-CACHE_SCHEMA = 1
+CACHE_SCHEMA = 2  # 2: results carry certificates
 
 
 def _hash_bytes(data: bytes) -> str:
@@ -70,7 +70,9 @@ def _module_source_hash(module_name: str) -> str:
 class ResultCache:
     """Directory of ``<key>.json`` entries, one per completed job."""
 
-    def __init__(self, root: Path, fingerprint: Optional[str] = None):
+    def __init__(
+        self, root: Path, fingerprint: Optional[str] = None
+    ) -> None:
         self.root = Path(root)
         self.fingerprint = fingerprint or code_fingerprint()
         self._module_hashes: dict[str, str] = {}

@@ -19,6 +19,7 @@ from repro.harness.cache import ResultCache, code_fingerprint
 from repro.harness.events import EventLog
 from repro.harness.manifest import (
     build_manifest,
+    check_result_certificates,
     load_manifest,
     manifest_exit_code,
     render_manifest,
@@ -68,6 +69,11 @@ def cmd_evidence_run(args: argparse.Namespace) -> int:
     started = time.perf_counter()
     with EventLog(out_dir / "events.jsonl") as events:
         results = run_jobs(jobs, config=config, cache=cache, events=events)
+    certificate_checks = (
+        check_result_certificates(results)
+        if args.check_certificates
+        else None
+    )
     manifest = build_manifest(
         jobs,
         results,
@@ -76,6 +82,7 @@ def cmd_evidence_run(args: argparse.Namespace) -> int:
         default_timeout=config.default_timeout,
         code_fingerprint=fingerprint,
         cache_used=cache is not None,
+        certificate_checks=certificate_checks,
     )
     write_manifest(manifest, out_dir / "manifest.json")
     if args.format == "json":
@@ -148,6 +155,12 @@ def add_evidence_parser(sub: argparse._SubParsersAction) -> None:
     erun.add_argument(
         "--verbose", action="store_true",
         help="include each job's measured summary in text output",
+    )
+    erun.add_argument(
+        "--check-certificates", action="store_true",
+        help="re-validate every job's certificate with the independent "
+        "checker (naive evaluation only) and gate the exit code on "
+        "all of them being valid",
     )
     erun.set_defaults(func=cmd_evidence_run)
 

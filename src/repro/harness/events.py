@@ -11,18 +11,18 @@ from __future__ import annotations
 import json
 import time
 from pathlib import Path
-from typing import IO, Optional
+from typing import Any, IO, Optional
 
 
 class EventLog:
     """Append-only JSONL sink usable as the runner's ``events`` hook."""
 
-    def __init__(self, path: Path):
+    def __init__(self, path: Path) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._fh: Optional[IO[str]] = self.path.open("a")
 
-    def __call__(self, event: dict) -> None:
+    def __call__(self, event: dict[str, Any]) -> None:
         if self._fh is None:
             return
         record = {"ts": round(time.time(), 4), **event}
@@ -38,11 +38,11 @@ class EventLog:
     def __enter__(self) -> "EventLog":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
 
-def read_events(path: Path) -> list[dict]:
+def read_events(path: Path) -> list[dict[str, Any]]:
     """Parse an event log back into a list of dicts (bad lines skipped)."""
     events = []
     try:

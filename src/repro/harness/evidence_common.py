@@ -5,24 +5,34 @@ named boolean checks, and returns::
 
     {"verdict": <ok-verdict | "violated(check,...)" >,
      "measured": <human summary>,
-     "metrics": {...}}
+     "metrics": {...},
+     "certificate": {...} | None}
 
 A failed check therefore surfaces as a *verdict mismatch* in the run
 manifest (the claim check ran and disagreed), which is distinct from a
 crash (``FAILED``) or a kill at the deadline (``TIMEOUT``).
+
+``certificate`` is a :mod:`repro.certify` certificate restating the
+core of the job's claim in the independently checkable vocabulary, so
+``evidence run --check-certificates`` can validate every verdict with
+naive evaluation only — no trust in the engine fast paths.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Any, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.td.decomposition import TreeDecomposition
 
 
 def finish(
     ok_verdict: str,
     checks: Sequence[tuple[str, bool]],
     measured: str,
-    metrics: Optional[dict] = None,
-) -> dict:
+    metrics: Optional[dict[str, Any]] = None,
+    certificate: Optional[dict[str, Any]] = None,
+) -> dict[str, Any]:
     """Fold named checks into the evidence-result dict."""
     failed = [label for label, ok in checks if not ok]
     if failed:
@@ -33,4 +43,40 @@ def finish(
         "verdict": verdict,
         "measured": measured,
         "metrics": dict(metrics or {}),
+        "certificate": certificate,
     }
+
+
+def decomposition_claim(
+    facts: Any, decomposition: "TreeDecomposition"
+) -> dict[str, Any]:
+    """Flatten a :class:`~repro.td.decomposition.TreeDecomposition`
+    into a ``tree_decomposition`` claim's bag/edge lists."""
+    from repro.certify.emit import claim_tree_decomposition
+
+    nodes = decomposition.nodes()
+    index = {id(node): i for i, node in enumerate(nodes)}
+    edges = [
+        (index[id(node)], index[id(child)])
+        for node in nodes
+        for child in node.children
+    ]
+    return claim_tree_decomposition(
+        facts,
+        [node.bag for node in nodes],
+        edges,
+        decomposition.width(),
+    )
+
+
+def merge_claims(*certificates: Optional[dict[str, Any]]) -> list[dict[str, Any]]:
+    """Concatenate the claims of several certificates (None-tolerant).
+
+    Jobs that exercise many small cases produce one certificate per
+    case; the job-level certificate carries the union of their claims.
+    """
+    claims: list[dict[str, Any]] = []
+    for cert in certificates:
+        if cert:
+            claims.extend(cert.get("claims", []))
+    return claims

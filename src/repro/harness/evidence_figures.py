@@ -8,14 +8,14 @@ timing.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro.harness.evidence_common import finish
 
 
 def fig1_adjacency_gadgets(
     sizes: Sequence[Sequence[int]] = ((2, 2), (3, 3), (4, 3)),
-) -> dict:
+) -> dict[str, Any]:
     """Figure 1: HA/VA detect exactly grid adjacency."""
     from repro.constructions.reduction_thm6 import (
         grid_test_instance,
@@ -24,11 +24,16 @@ def fig1_adjacency_gadgets(
     )
     from repro.constructions.tiling import solvable_example
 
+    from repro.certify.emit import certificate, claim_query_output
+
     tp = solvable_example()
     checks = []
+    claims = []
     pairs = 0
     for n, m in (tuple(size) for size in sizes):
         inst = grid_test_instance(tp, n, m)
+        claims.append(claim_query_output(ha_cq(), inst))
+        claims.append(claim_query_output(va_cq(), inst))
         ha = {(row[0], row[1]) for row in ha_cq().evaluate(inst)}
         va = {(row[0], row[1]) for row in va_cq().evaluate(inst)}
         expected_ha = {
@@ -49,10 +54,14 @@ def fig1_adjacency_gadgets(
         f"HA/VA return exactly the grid neighbour pairs on "
         f"{len(sizes)} grids ({pairs} pairs total)",
         {"grids": len(sizes), "pairs": pairs},
+        certificate=certificate(
+            claims,
+            meta={"method": "HA/VA gadget evaluation (Fig. 1)"},
+        ),
     )
 
 
-def fig1_verify_rules(n: int = 3, m: int = 3) -> dict:
+def fig1_verify_rules(n: int = 3, m: int = 3) -> dict[str, Any]:
     """Figure 1: Qverify fires exactly on constraint violations."""
     from repro.constructions.reduction_thm6 import (
         grid_test_instance,
@@ -60,13 +69,17 @@ def fig1_verify_rules(n: int = 3, m: int = 3) -> dict:
     )
     from repro.constructions.tiling import solvable_example
 
+    from repro.certify.emit import certificate, claim_membership
+
     tp = solvable_example()
     query = thm6_query(tp)
     good = tp.tile_grid(n, m)
-    ok = query.boolean(grid_test_instance(tp, n, m, good))
+    good_instance = grid_test_instance(tp, n, m, good)
+    ok = query.boolean(good_instance)
     broken = dict(good)
     broken[(2, 2)] = "a" if good[(2, 2)] == "b" else "b"
-    bad = query.boolean(grid_test_instance(tp, n, m, broken))
+    bad_instance = grid_test_instance(tp, n, m, broken)
+    bad = query.boolean(bad_instance)
     checks = [
         ("valid-tiling-accepted", ok is False),
         ("flipped-tile-detected", bad is True),
@@ -74,10 +87,17 @@ def fig1_verify_rules(n: int = 3, m: int = 3) -> dict:
     return finish(
         "detects-violations", checks,
         f"valid {n}x{m} tiling → Q false; single flipped tile → Q true",
+        certificate=certificate(
+            [
+                claim_membership(query, good_instance, (), member=False),
+                claim_membership(query, bad_instance, ()),
+            ],
+            meta={"method": "Qverify on tilings (Fig. 1)"},
+        ),
     )
 
 
-def fig2_view_image_is_product(ells: Sequence[int] = (2, 3, 4)) -> dict:
+def fig2_view_image_is_product(ells: Sequence[int] = (2, 3, 4)) -> dict[str, Any]:
     """Figure 2: V(I_ℓ) has S = C × D, axes atomic, special views empty."""
     from repro.constructions.reduction_thm6 import (
         axes_instance,
@@ -85,11 +105,16 @@ def fig2_view_image_is_product(ells: Sequence[int] = (2, 3, 4)) -> dict:
     )
     from repro.constructions.tiling import solvable_example
 
+    from repro.certify.emit import certificate, claim_view_image
+
     tp = solvable_example()
     views = thm6_views(tp)
     checks = []
+    claims = []
     for ell in ells:
-        image = views.image(axes_instance(ell))
+        base = axes_instance(ell)
+        image = views.image(base)
+        claims.append(claim_view_image(views, base, image))
         checks.append((
             f"s-product-{ell}", len(image.tuples("S")) == ell * ell
         ))
@@ -107,11 +132,20 @@ def fig2_view_image_is_product(ells: Sequence[int] = (2, 3, 4)) -> dict:
         f"S = C × D with ℓ² facts for ℓ ∈ {tuple(ells)}; axes exposed "
         "atomically; special views empty",
         {"ells": list(ells)},
+        certificate=certificate(
+            claims,
+            meta={"method": "view images of I_ℓ (Fig. 2)"},
+        ),
     )
 
 
-def fig2_tests_recover_grids(approx_depth: int = 4) -> dict:
+def fig2_tests_recover_grids(approx_depth: int = 4) -> dict[str, Any]:
     """Figure 2: inverting S-atoms with tile disjuncts yields grid tests."""
+    from repro.certify.emit import (
+        certificate,
+        claim_instance_subset,
+        claim_view_image,
+    )
     from repro.constructions.reduction_thm6 import thm6_query, thm6_views
     from repro.constructions.tiling import solvable_example
     from repro.core.approximation import approximations
@@ -127,25 +161,48 @@ def fig2_tests_recover_grids(approx_depth: int = 4) -> dict:
             break
     grid_like = 0
     total = 0
+    grid_test = None
     if target is not None:
         for test in tests_for_approximation(target, views, view_depth=1):
             total += 1
             d_prime = test.test_instance
             if len(d_prime.tuples("XProj")) == 4 and not d_prime.tuples("C"):
                 grid_like += 1
+                if grid_test is None:
+                    grid_test = test
     checks = [
         ("approximation-found", target is not None),
         ("grid-test-recovered", grid_like >= 1),
     ]
+    cert = None
+    if grid_test is not None:
+        # the Lemma-5 invariant behind the recovered grid: the
+        # approximation's view image survives into the test instance
+        test_image = views.image(grid_test.test_instance)
+        cert = certificate(
+            [
+                claim_view_image(
+                    views,
+                    target.canonical_database(),
+                    grid_test.view_image,
+                ),
+                claim_view_image(
+                    views, grid_test.test_instance, test_image
+                ),
+                claim_instance_subset(grid_test.view_image, test_image),
+            ],
+            meta={"method": "inverse-applied grid test (Fig. 2)"},
+        )
     return finish(
         "grids-recovered", checks,
         f"{grid_like} fully-grid tests among {total} inversion choices "
         "of the ℓ=2 approximation",
         {"grid_like": grid_like, "total": total},
+        certificate=cert,
     )
 
 
-def fig3_chain_and_image(ks: Sequence[int] = (1, 2, 3, 4)) -> dict:
+def fig3_chain_and_image(ks: Sequence[int] = (1, 2, 3, 4)) -> dict[str, Any]:
     """Figure 3: I_k satisfies Q and its image is S · R^k · T."""
     from repro.constructions.diamonds import (
         diamond_chain,
@@ -153,13 +210,22 @@ def fig3_chain_and_image(ks: Sequence[int] = (1, 2, 3, 4)) -> dict:
         diamond_views,
     )
 
+    from repro.certify.emit import (
+        certificate,
+        claim_membership,
+        claim_view_image,
+    )
+
     q = diamond_query()
     views = diamond_views()
     checks = []
+    claims = []
     for k in ks:
         chain = diamond_chain(k + 1)
         holds = q.boolean(chain)
         image = views.image(chain)
+        claims.append(claim_membership(q, chain, ()))
+        claims.append(claim_view_image(views, chain, image))
         checks.append((f"q-holds-{k}", bool(holds)))
         checks.append((
             f"image-shape-{k}",
@@ -171,10 +237,14 @@ def fig3_chain_and_image(ks: Sequence[int] = (1, 2, 3, 4)) -> dict:
         "image-matches", checks,
         f"Q(I_k)=True and image = S·R^k·T for k ∈ {tuple(ks)}",
         {"ks": list(ks)},
+        certificate=certificate(
+            claims,
+            meta={"method": "diamond chains and images (Fig. 3)"},
+        ),
     )
 
 
-def fig3_unravelled_counterexample(k: int = 2, depth: int = 2) -> dict:
+def fig3_unravelled_counterexample(k: int = 2, depth: int = 2) -> dict[str, Any]:
     """Figure 3: the inverse chase of the (1,k)-unravelling fails Q."""
     from repro.constructions.diamonds import (
         diamond_query,
@@ -182,12 +252,18 @@ def fig3_unravelled_counterexample(k: int = 2, depth: int = 2) -> dict:
         unravelled_counterexample,
     )
 
+    from repro.certify.emit import (
+        certificate,
+        claim_instance_subset,
+        claim_membership,
+    )
+
     _image, chased, unravelling = unravelled_counterexample(k, depth=depth)
     q = diamond_query()
+    image = diamond_views().image(chased)
     checks = [
         ("chase-fails-q", not q.boolean(chased)),
-        ("image-covers-unravelling",
-         unravelling.instance <= diamond_views().image(chased)),
+        ("image-covers-unravelling", unravelling.instance <= image),
     ]
     return finish(
         "counterexample", checks,
@@ -197,41 +273,71 @@ def fig3_unravelled_counterexample(k: int = 2, depth: int = 2) -> dict:
             "chased_facts": len(chased),
             "copies": unravelling.copy_count(),
         },
+        certificate=certificate(
+            [
+                claim_membership(q, chased, (), member=False),
+                claim_instance_subset(unravelling.instance, image),
+            ],
+            meta={"method": "inverse chase of the unravelling (Fig. 3)"},
+        ),
     )
 
 
 def fig4_long_row(
     lengths: Sequence[int] = (1, 2, 3), k: int = 2, depth: int = 2
-) -> dict:
+) -> dict[str, Any]:
     """Figure 4: rows of length ≥ 2 cannot embed into the unravelling."""
+    from repro.certify.emit import (
+        certificate,
+        claim_hom_witness,
+        claim_no_hom,
+    )
     from repro.constructions.diamonds import (
         long_row_cq,
         unravelled_counterexample,
     )
-    from repro.core.homomorphism import instance_maps_into
+    from repro.core.homomorphism import (
+        find_homomorphism,
+        instance_maps_into,
+    )
 
     _image, _chased, unravelling = unravelled_counterexample(k, depth=depth)
     checks = []
+    claims = []
     for length in lengths:
         row = long_row_cq(length)
         maps = instance_maps_into(
             row.canonical_database(), unravelling.instance
         )
         checks.append((f"row-{length}", maps == (length <= 1)))
+        if maps:
+            mapping = find_homomorphism(row.atoms, unravelling.instance)
+            if mapping is not None:
+                claims.append(claim_hom_witness(
+                    row.atoms, unravelling.instance, mapping
+                ))
+        else:
+            claims.append(claim_no_hom(row.atoms, unravelling.instance))
     return finish(
         "no-embedding", checks,
         f"row(ℓ) embeds iff ℓ ≤ 1, checked for ℓ ∈ {tuple(lengths)}",
         {"lengths": list(lengths)},
+        certificate=certificate(
+            claims,
+            meta={"method": "row embeddings into J'_k (Fig. 4)"},
+        ),
     )
 
 
 def fig5_lemma3_treewidth(
     radii: Sequence[int] = (1, 2),
     families: Sequence[str] = ("chain", "cycle", "tree"),
-) -> dict:
+) -> dict[str, Any]:
     """Figure 5 / Lemma 3: view-image treewidth stays under the bound."""
+    from repro.certify.emit import certificate, claim_view_image
     from repro.core.parser import parse_cq
     from repro.determinacy.automata_checker import lemma3_bound
+    from repro.harness.evidence_common import decomposition_claim
     from repro.rewriting.generators import binary_tree, chain, cycle
     from repro.td.heuristics import decompose, treewidth_exact
     from repro.views.view import View, ViewSet
@@ -248,6 +354,7 @@ def fig5_lemma3_treewidth(
         "tree": lambda: binary_tree("R", 3),
     }
     checks = []
+    claims = []
     min_margin = None
     for radius in radii:
         views = radius_views[radius]
@@ -262,6 +369,10 @@ def fig5_lemma3_treewidth(
             width = exact if exact is not None else decompose(image).width()
             bound = lemma3_bound(k, radius)
             checks.append((f"{family}-r{radius}", width <= bound))
+            claims.append(claim_view_image(views, instance, image))
+            claims.append(
+                decomposition_claim(image, decompose(image))
+            )
             margin = bound - width
             if min_margin is None or margin < min_margin:
                 min_margin = margin
@@ -271,4 +382,14 @@ def fig5_lemma3_treewidth(
         f"{len(checks)} (family, radius) points; tightest margin "
         f"{min_margin:.0f}",
         {"points": len(checks), "min_margin": min_margin},
+        certificate=certificate(
+            claims,
+            meta={
+                "method": "view images + heuristic decompositions "
+                "(Lemma 3)",
+                "note": "the Lemma-3 bound comparison itself uses the "
+                "job's exact-treewidth search; claims certify a "
+                "concrete decomposition per image",
+            },
+        ),
     )

@@ -10,6 +10,7 @@ functions.
 
 from __future__ import annotations
 
+from typing import Any
 from repro.core.datalog import DatalogQuery
 from repro.core.homomorphism import instance_maps_into
 from repro.core.parser import parse_cq, parse_program, parse_ucq
@@ -17,8 +18,10 @@ from repro.harness.evidence_common import finish
 from repro.views.view import View, ViewSet
 
 
-def t1_cq_rewriting(trials: int = 25) -> dict:
+def t1_cq_rewriting(trials: int = 25) -> dict[str, Any]:
     """Cell (CQ, any views): CQ rewriting, polynomial size (Prop. 8a)."""
+    from repro.certify.emit import certificate
+    from repro.determinacy.certificates import rewriting_claims
     from repro.rewriting.forward_backward import rewrite_forward_backward
     from repro.rewriting.verification import check_rewriting
 
@@ -45,11 +48,17 @@ def t1_cq_rewriting(trials: int = 25) -> dict:
         f"rewriting with {size} atoms, verified on {trials} random "
         "instances",
         {"atoms": size, "trials": trials},
+        certificate=certificate(
+            rewriting_claims(q, views, rewriting, trials=trials),
+            meta={"method": "forward-backward (Prop. 8a)"},
+        ),
     )
 
 
-def t1_ucq_rewriting(trials: int = 25) -> dict:
+def t1_ucq_rewriting(trials: int = 25) -> dict[str, Any]:
     """Cell (UCQ, any views): UCQ rewriting (Prop. 8b)."""
+    from repro.certify.emit import certificate
+    from repro.determinacy.certificates import rewriting_claims
     from repro.rewriting.forward_backward import rewrite_forward_backward
     from repro.rewriting.verification import check_rewriting
 
@@ -75,13 +84,20 @@ def t1_ucq_rewriting(trials: int = 25) -> dict:
         f"{len(rewriting)}-disjunct rewriting verified on {trials} "
         "instances",
         {"disjuncts": len(rewriting), "trials": trials},
+        certificate=certificate(
+            rewriting_claims(q, views, rewriting, trials=trials),
+            meta={"method": "forward-backward (Prop. 8b)"},
+        ),
     )
 
 
-def t1_mdl_cq_fgdl_rewriting(trials: int = 20) -> dict:
+def t1_mdl_cq_fgdl_rewriting(trials: int = 20) -> dict[str, Any]:
     """Cell (MDL, CQ views): an FGDL rewriting exists ([14]/Thm 2)."""
     from repro.constructions.diamonds import diamond_query, diamond_views
-    from repro.rewriting.datalog_rewriting import datalog_rewriting
+    from repro.rewriting.datalog_rewriting import (
+        datalog_rewriting,
+        datalog_rewriting_certificate,
+    )
     from repro.rewriting.verification import check_rewriting
 
     q = diamond_query()
@@ -97,11 +113,19 @@ def t1_mdl_cq_fgdl_rewriting(trials: int = 20) -> dict:
         f"frontier-guarded program with {len(rewriting.program)} rules, "
         f"verified on {trials} random instances",
         {"rules": len(rewriting.program), "trials": trials},
+        certificate=datalog_rewriting_certificate(
+            q, views, rewriting, trials=trials
+        ),
     )
 
 
-def t1_mdl_cq_not_mdl(k: int = 2, depth: int = 2) -> dict:
+def t1_mdl_cq_not_mdl(k: int = 2, depth: int = 2) -> dict[str, Any]:
     """Cell (MDL, CQ views), negative half: not necessarily MDL (Thm 7)."""
+    from repro.certify.emit import (
+        certificate,
+        claim_membership,
+        claim_no_hom,
+    )
     from repro.constructions.diamonds import (
         diamond_query,
         long_row_cq,
@@ -125,13 +149,21 @@ def t1_mdl_cq_not_mdl(k: int = 2, depth: int = 2) -> dict:
             "chased_facts": len(chased),
             "unravelling_copies": unravelling.copy_count(),
         },
+        certificate=certificate(
+            [
+                claim_membership(q, chased, (), member=False),
+                claim_no_hom(row.atoms, unravelling.instance),
+            ],
+            meta={"method": "unravelled counterexample (Thm 7)"},
+        ),
     )
 
 
-def t1_datalog_fgdl(trials: int = 25) -> dict:
+def t1_datalog_fgdl(trials: int = 25) -> dict[str, Any]:
     """Cell (Datalog, FGDL views): Datalog rewriting (Thm 1)."""
     from repro.automata.backward import backward_query
     from repro.automata.forward import approximations_automaton
+    from repro.certify.emit import certificate, claim_rewriting_sample
     from repro.core.schema import Schema
     from repro.rewriting.verification import check_rewriting
 
@@ -159,15 +191,31 @@ def t1_datalog_fgdl(trials: int = 25) -> dict:
         f"backward-mapped program with {len(rewriting.program)} rules "
         f"verified on {trials} random instances",
         {"rules": len(rewriting.program), "trials": trials},
+        certificate=certificate(
+            [claim_rewriting_sample(
+                q, identity_views, rewriting, trials=trials
+            )],
+            meta={"method": "automata backward mapping (Thm 1)"},
+        ),
     )
 
 
-def t1_thm8_no_datalog_rewriting(ell: int = 4, depth: int = 2) -> dict:
+def t1_thm8_no_datalog_rewriting(ell: int = 4, depth: int = 2) -> dict[str, Any]:
     """Cell (MDL, UCQ views): NOT necessarily Datalog rewritable (Thm 8)."""
+    from repro.certify.emit import (
+        certificate,
+        claim_instance_subset,
+        claim_membership,
+    )
     from repro.constructions.thm8 import build_witness
 
     witness = build_witness(ell, depth=depth)
     image = witness.views.image(witness.counterexample)
+    # the certificate replays a small member of the same family: naive
+    # evaluation of the full ℓ=4 counterexample (~2k facts) takes about
+    # a minute, which would dominate --check-certificates
+    small = build_witness(min(ell, 3), depth=1)
+    small_image = small.views.image(small.counterexample)
     checks = [
         ("source-satisfies-q", witness.query.boolean(witness.source)
          is True),
@@ -186,16 +234,37 @@ def t1_thm8_no_datalog_rewriting(ell: int = 4, depth: int = 2) -> dict:
             "unravelling_copies": witness.unravelling.copy_count(),
             "w_facts": len(witness.w_instance),
         },
+        certificate=certificate(
+            [
+                claim_membership(small.query, small.source, ()),
+                claim_membership(
+                    small.query, small.counterexample, (),
+                    member=False,
+                ),
+                claim_instance_subset(
+                    small.unravelling.instance, small_image
+                ),
+            ],
+            meta={
+                "method": "Thm 8 witness family",
+                "note": (
+                    f"claims replay the ℓ={min(ell, 3)}, depth-1 member "
+                    f"of the family; the job checks ℓ={ell} with the "
+                    "engine"
+                ),
+            },
+        ),
     )
 
 
-def t1_mdl_rewriting_via_automata(trials: int = 25) -> dict:
+def t1_mdl_rewriting_via_automata(trials: int = 25) -> dict[str, Any]:
     """Thm 1, last part: MDL queries get MDL rewritings (exact pipeline)."""
     from repro.automata.backward import backward_query_mdl
     from repro.automata.forward import (
         approximations_automaton,
         view_image_automaton_atomic,
     )
+    from repro.certify.emit import certificate, claim_rewriting_sample
     from repro.core.schema import Schema
     from repro.rewriting.verification import check_rewriting
 
@@ -223,4 +292,8 @@ def t1_mdl_rewriting_via_automata(trials: int = 25) -> dict:
         f"monadic program with {len(rewriting.program)} rules verified "
         f"on {trials} random instances",
         {"rules": len(rewriting.program), "trials": trials},
+        certificate=certificate(
+            [claim_rewriting_sample(q, views, rewriting, trials=trials)],
+            meta={"method": "automata pipeline (Thm 1, MDL)"},
+        ),
     )

@@ -9,16 +9,42 @@ these functions for timing.
 
 from __future__ import annotations
 
+from typing import Any
 import random
 
 from repro.core.containment import Verdict
+from repro.core.cq import ConjunctiveQuery
 from repro.core.datalog import DatalogQuery
 from repro.core.parser import parse_cq, parse_program
-from repro.harness.evidence_common import finish
+from repro.harness.evidence_common import (
+    decomposition_claim,
+    finish,
+    merge_claims,
+)
 from repro.views.view import View, ViewSet
 
 
-def _random_path_cq(rng: random.Random, length: int):
+def _first_image_decomposition_claim(
+    query: Any, views: ViewSet, approx_depth: int
+) -> dict[str, Any]:
+    """A certified decomposition of the first nonempty view image.
+
+    The Thm 3/4 pipeline turns on view images having bounded treewidth
+    (Lemma 3); this claim lets the independent checker confirm the
+    bound is met on a concrete image.
+    """
+    from repro.core.approximation import approximation_trees, tree_to_cq
+    from repro.td.heuristics import decompose
+
+    for tree in approximation_trees(query, approx_depth):
+        approximation = tree_to_cq(tree)
+        image = views.image(approximation.canonical_database())
+        if len(image):
+            return decomposition_claim(image, decompose(image))
+    raise AssertionError("no approximation with a nonempty view image")
+
+
+def _random_path_cq(rng: random.Random, length: int) -> ConjunctiveQuery:
     """A path CQ R(x0,x1),...,optionally marked."""
     atoms = [f"R(x{i},x{i+1})" for i in range(length)]
     if rng.random() < 0.5:
@@ -26,9 +52,10 @@ def _random_path_cq(rng: random.Random, length: int):
     return parse_cq("Q(x0) <- " + ", ".join(atoms))
 
 
-def t2_cq_cq(cases: int = 12, seed: int = 7) -> dict:
+def t2_cq_cq(cases: int = 12, seed: int = 7) -> dict[str, Any]:
     """Cell (CQ, CQ): NP-complete [21] — exact checker over a family."""
-    from repro.determinacy.cq_query import decide_cq_ucq
+    from repro.certify.emit import certificate
+    from repro.determinacy.checker import decide_monotonic_determinacy
 
     rng = random.Random(seed)
     family = []
@@ -42,7 +69,10 @@ def t2_cq_cq(cases: int = 12, seed: int = 7) -> dict:
             View("VU", parse_cq("V(x) <- U(x)")),
         ])
         family.append((q, views, keep_full))
-    verdicts = [decide_cq_ucq(q, views)[0].verdict for q, views, _ in family]
+    results = [
+        decide_monotonic_determinacy(q, views) for q, views, _ in family
+    ]
+    verdicts = [result.verdict for result in results]
     yes = sum(1 for v in verdicts if v is Verdict.YES)
     # full binary views always determine path CQs
     full_ok = all(
@@ -56,12 +86,20 @@ def t2_cq_cq(cases: int = 12, seed: int = 7) -> dict:
         f"{cases} generated cases decided exactly: {yes} yes / "
         f"{len(verdicts) - yes} no",
         {"cases": cases, "yes": yes, "no": len(verdicts) - yes},
+        certificate=certificate(
+            merge_claims(*(result.certificate for result in results)),
+            meta={
+                "method": "Thm 5 per case",
+                "note": f"claims pooled over {cases} generated cases",
+            },
+        ),
     )
 
 
-def t2_cq_datalog() -> dict:
+def t2_cq_datalog() -> dict[str, Any]:
     """Cell (CQ, Datalog): decidable in 2ExpTime (Thm 5)."""
-    from repro.determinacy.cq_query import decide_cq_ucq
+    from repro.certify.emit import certificate
+    from repro.determinacy.checker import decide_monotonic_determinacy
 
     tc = DatalogQuery(parse_program(
         "P(x,y) <- R(x,y). P(x,y) <- R(x,z), P(z,y)."
@@ -72,22 +110,28 @@ def t2_cq_datalog() -> dict:
     ])
     q_yes = parse_cq("Q() <- R(x,y), U(x)")
     q_no = parse_cq("Q() <- R(x,y), U(x), U(y)")
-    yes = decide_cq_ucq(q_yes, views)[0].verdict
-    no = decide_cq_ucq(q_no, views)[0].verdict
+    positive = decide_monotonic_determinacy(q_yes, views)
+    negative = decide_monotonic_determinacy(q_no, views)
     checks = [
-        ("positive-case-yes", yes is Verdict.YES),
-        ("negative-case-no", no is Verdict.NO),
+        ("positive-case-yes", positive.verdict is Verdict.YES),
+        ("negative-case-no", negative.verdict is Verdict.NO),
     ]
     return finish(
         "decided-exactly", checks,
         "both test queries decided exactly (one YES, one NO) through "
         "the forward-automaton × ¬CQ-match product",
+        certificate=certificate(
+            merge_claims(positive.certificate, negative.certificate),
+            meta={"method": "Thm 5 over Datalog views"},
+        ),
     )
 
 
-def t2_fgdl(approx_depth: int = 4) -> dict:
+def t2_fgdl(approx_depth: int = 4) -> dict[str, Any]:
     """Cell (FGDL, FGDL): decidable in 2ExpTime (Thm 3) — ETEST pipeline."""
+    from repro.certify.emit import certificate
     from repro.determinacy.automata_checker import decide_fgdl
+    from repro.determinacy.certificates import negative_certificate
 
     q = DatalogQuery(parse_program(
         """
@@ -110,6 +154,15 @@ def t2_fgdl(approx_depth: int = 4) -> dict:
         ("treewidth-bounded", result.stats["image_treewidth"]
          <= result.stats["lemma3_bound"]),
     ]
+    cert = None
+    if refuted.counterexample is not None:
+        cert = negative_certificate(
+            q, lossy, refuted.counterexample,
+            extra_claims=[
+                _first_image_decomposition_claim(q, views, approx_depth)
+            ],
+            meta={"method": "ETEST pipeline (Thm 3)"},
+        )
     return finish(
         "determined-and-refuted", checks,
         f"determined case: {result.stats['tests_executed']} tests pass, "
@@ -121,12 +174,13 @@ def t2_fgdl(approx_depth: int = 4) -> dict:
             "image_treewidth": result.stats["image_treewidth"],
             "lemma3_bound": result.stats["lemma3_bound"],
         },
+        certificate=cert,
     )
 
 
 def t2_undecidable_reduction(
     approx_depth: int = 4, view_depth: int = 1, max_tests: int = 400
-) -> dict:
+) -> dict[str, Any]:
     """Cell (MDL, UCQ): undecidable (Thm 6) — the reduction is faithful."""
     from repro.constructions.reduction_thm6 import thm6_query, thm6_views
     from repro.constructions.tiling import (
@@ -136,6 +190,7 @@ def t2_undecidable_reduction(
     from repro.determinacy.checker import check_tests
 
     outcomes = {}
+    certificates = {}
     for label, tp in (
         ("solvable", solvable_example()),
         ("unsolvable", unsolvable_example()),
@@ -146,6 +201,7 @@ def t2_undecidable_reduction(
             max_tests=max_tests,
         )
         outcomes[label] = result.verdict
+        certificates[label] = result.certificate
     checks = [
         ("solvable-refuted", outcomes["solvable"] is Verdict.NO),
         ("unsolvable-passes", outcomes["unsolvable"] is Verdict.UNKNOWN),
@@ -155,11 +211,16 @@ def t2_undecidable_reduction(
         "solvable TP → failing grid test found; unsolvable TP → all "
         "tests pass within budget",
         {"max_tests": max_tests},
+        # the solvable side is the checkable half: its failing test is
+        # a genuine counterexample pair (the unsolvable side is a
+        # budgeted non-refutation, which certifies nothing)
+        certificate=certificates["solvable"],
     )
 
 
-def t2_lower_bounds() -> dict:
+def t2_lower_bounds() -> dict[str, Any]:
     """Prop. 9: the reductions from equivalence/containment."""
+    from repro.certify.emit import certificate
     from repro.determinacy.checker import decide_monotonic_determinacy
     from repro.determinacy.reductions import (
         containment_to_determinacy,
@@ -167,6 +228,7 @@ def t2_lower_bounds() -> dict:
     )
 
     outcomes = []
+    results = []
     # Lemma 7 on CQs
     for qv_text, equivalent in (
         ("V(x) <- R(x,y), R(x,z)", True),
@@ -175,8 +237,9 @@ def t2_lower_bounds() -> dict:
         query, views = equivalence_to_determinacy(
             parse_cq("Q(x) <- R(x,y)"), parse_cq(qv_text)
         )
-        verdict = decide_monotonic_determinacy(query, views).verdict
-        outcomes.append((verdict is Verdict.YES) == equivalent)
+        result = decide_monotonic_determinacy(query, views)
+        results.append(result)
+        outcomes.append((result.verdict is Verdict.YES) == equivalent)
     # Lemma 8 on CQs
     for sub, sup, contained in (
         ("Q() <- R(x,y), R(y,z)", "Q() <- R(u,v)", True),
@@ -185,22 +248,33 @@ def t2_lower_bounds() -> dict:
         query, views = containment_to_determinacy(
             parse_cq(sub), parse_cq(sup)
         )
-        verdict = decide_monotonic_determinacy(
+        result = decide_monotonic_determinacy(
             query, views, approx_depth=3
-        ).verdict
-        outcomes.append((verdict is not Verdict.NO) == contained)
+        )
+        results.append(result)
+        outcomes.append((result.verdict is not Verdict.NO) == contained)
     checks = [("all-reductions-faithful", all(outcomes))]
     return finish(
         "reductions-faithful", checks,
         f"{sum(outcomes)}/{len(outcomes)} reduction instances faithful",
         {"instances": len(outcomes), "faithful": sum(outcomes)},
+        certificate=certificate(
+            merge_claims(*(result.certificate for result in results)),
+            meta={
+                "method": "Prop. 9 reductions",
+                "note": "claims pooled over the decided instances "
+                "(budget-limited UNKNOWNs certify nothing)",
+            },
+        ),
     )
 
 
-def t2_mdl_cq_thm4(approx_depth: int = 4) -> dict:
+def t2_mdl_cq_thm4(approx_depth: int = 4) -> dict[str, Any]:
     """Cell (MDL, FGDL+CQ): decidable in 3ExpTime (Thm 4)."""
+    from repro.certify.emit import certificate
     from repro.core.normalization import is_normalized, normalize
     from repro.determinacy.automata_checker import decide_fgdl
+    from repro.determinacy.certificates import negative_certificate
 
     q = DatalogQuery(parse_program(
         """
@@ -225,6 +299,15 @@ def t2_mdl_cq_thm4(approx_depth: int = 4) -> dict:
         ("determined-passes", result.verdict is Verdict.UNKNOWN),
         ("lossy-refuted", refuted.verdict is Verdict.NO),
     ]
+    cert = None
+    if refuted.counterexample is not None:
+        cert = negative_certificate(
+            q, lossy, refuted.counterexample,
+            extra_claims=[_first_image_decomposition_claim(
+                normalized, views, approx_depth
+            )],
+            meta={"method": "ETEST pipeline (Thm 4, normalized MDL)"},
+        )
     return finish(
         "determined-and-refuted", checks,
         f"normalization applied; determined case passes "
@@ -235,11 +318,13 @@ def t2_mdl_cq_thm4(approx_depth: int = 4) -> dict:
             "tests_executed": result.stats["tests_executed"],
             "image_treewidth": result.stats["image_treewidth"],
         },
+        certificate=cert,
     )
 
 
-def t2_cross_validation(cases: int = 8, seed: int = 13) -> dict:
+def t2_cross_validation(cases: int = 8, seed: int = 13) -> dict[str, Any]:
     """Methodology: the Thm 5 path and the finite-test path agree."""
+    from repro.certify.emit import certificate
     from repro.determinacy.checker import check_tests
     from repro.determinacy.cq_query import decide_cq_ucq
 
@@ -257,17 +342,27 @@ def t2_cross_validation(cases: int = 8, seed: int = 13) -> dict:
         family.append((q, views))
     agreements = 0
     disagreements = []
+    test_certificates = []
     for q, views in family:
         exact = decide_cq_ucq(q, views)[0].verdict
-        tests = check_tests(q, views).verdict
-        if exact == tests:
+        tests = check_tests(q, views)
+        test_certificates.append(tests.certificate)
+        if exact == tests.verdict:
             agreements += 1
         else:
-            disagreements.append(repr((q, exact, tests)))
+            disagreements.append(repr((q, exact, tests.verdict)))
     checks = [("procedures-agree", not disagreements)]
     return finish(
         "procedures-agree", checks,
         f"Thm 5 automata path == Lemma 5 finite-test path on "
         f"{agreements}/{cases} generated cases",
         {"cases": cases, "agreements": agreements},
+        certificate=certificate(
+            merge_claims(*test_certificates),
+            meta={
+                "method": "Lemma 5 finite-test path",
+                "note": "membership claims certify every canonical "
+                "test outcome the cross-validation relied on",
+            },
+        ),
     )

@@ -53,7 +53,7 @@ class Job:
     retries: int = 1                  # extra attempts after a crash
     heavy: bool = False               # benchmarks: single-round pedantic
 
-    def resolve(self) -> Callable[..., dict]:
+    def resolve(self) -> Callable[..., dict[str, Any]]:
         """Import and return the job function."""
         module_name, _, qualname = self.fn.partition(":")
         if not qualname:
@@ -80,7 +80,7 @@ class Job:
             for haystack in haystacks
         )
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, Any]:
         return {
             "name": self.name,
             "fn": self.fn,
@@ -104,18 +104,19 @@ class JobResult:
     expected: str
     verdict: Optional[str] = None     # None when never produced
     measured: str = ""                # human summary from the job fn
-    metrics: dict = field(default_factory=dict)
-    engine: dict = field(default_factory=dict)  # EngineStats.to_dict()
+    metrics: dict[str, Any] = field(default_factory=dict)
+    engine: dict[str, Any] = field(default_factory=dict)  # EngineStats.to_dict()
     duration: float = 0.0             # seconds of the final attempt
     attempts: int = 0
     cached: bool = False
     error: Optional[str] = None       # traceback text on FAILED
+    certificate: Optional[dict[str, Any]] = None  # repro.certify certificate
 
     @property
     def matched(self) -> bool:
         return self.verdict == self.expected
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, Any]:
         return {
             "name": self.name,
             "status": self.status.value,
@@ -129,10 +130,11 @@ class JobResult:
             "attempts": self.attempts,
             "cached": self.cached,
             "error": self.error,
+            "certificate": self.certificate,
         }
 
     @classmethod
-    def from_dict(cls, data: dict) -> "JobResult":
+    def from_dict(cls, data: dict[str, Any]) -> "JobResult":
         return cls(
             name=data["name"],
             status=JobStatus(data["status"]),
@@ -145,4 +147,5 @@ class JobResult:
             attempts=data.get("attempts", 0),
             cached=data.get("cached", False),
             error=data.get("error"),
+            certificate=data.get("certificate"),
         )

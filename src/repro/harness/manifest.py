@@ -12,12 +12,47 @@ from __future__ import annotations
 import datetime
 import json
 from pathlib import Path
-from typing import Mapping, Sequence
+from typing import Any, Mapping, Optional, Sequence
 
 from repro.core.stats import EngineStats
 from repro.harness.job import Job, JobResult, JobStatus
 
-MANIFEST_SCHEMA = 1
+MANIFEST_SCHEMA = 2  # 2: per-job certificate status
+
+
+def check_result_certificates(
+    results: Mapping[str, JobResult],
+) -> dict[str, dict[str, Any]]:
+    """Validate every result's certificate with the independent checker.
+
+    Returns name -> ``{"status": "valid"|"invalid"|"absent", "claims":
+    n, "failures": [...]}``.  Jobs that never produced a result payload
+    (failed / timed out / skipped) are reported ``absent`` with a
+    reason.  Validation uses :func:`repro.certify.check_certificate`
+    only — naive evaluation and direct homomorphism replay, none of the
+    engine fast paths the jobs themselves ran on.
+    """
+    from repro.certify import check_certificate
+
+    checks: dict[str, dict[str, Any]] = {}
+    for name, result in results.items():
+        if result.certificate is None:
+            reason = (
+                "job emitted no certificate"
+                if result.verdict is not None
+                else f"no result payload ({result.status.value})"
+            )
+            checks[name] = {
+                "status": "absent", "claims": 0, "failures": [reason]
+            }
+            continue
+        outcome = check_certificate(result.certificate)
+        checks[name] = {
+            "status": "valid" if outcome.valid else "invalid",
+            "claims": outcome.claims,
+            "failures": list(outcome.failures),
+        }
+    return checks
 
 #: status -> summary key, in render order
 _STATUS_KEYS = {
@@ -38,12 +73,21 @@ def build_manifest(
     default_timeout: float,
     code_fingerprint: str,
     cache_used: bool,
-) -> dict:
-    """Assemble the manifest dict for one finished run."""
+    certificate_checks: Optional[Mapping[str, dict]] = None,
+) -> dict[str, Any]:
+    """Assemble the manifest dict for one finished run.
+
+    With ``certificate_checks`` (from
+    :func:`check_result_certificates`) each job entry records its
+    certificate status, the summary counts ``certified`` jobs, and
+    :func:`manifest_exit_code` additionally requires every job's
+    certificate to validate.
+    """
     engine_totals = EngineStats()
     job_entries = {}
     counts = {key: 0 for key in _STATUS_KEYS.values()}
     cached = 0
+    certified = 0
     mismatches = []
     for job in jobs:
         result = results.get(job.name)
@@ -69,7 +113,24 @@ def build_manifest(
         entry["claim"] = job.claim
         entry["tags"] = list(job.tags)
         entry["deps"] = list(job.deps)
+        if certificate_checks is not None:
+            check = certificate_checks.get(
+                job.name,
+                {"status": "absent", "claims": 0,
+                 "failures": ["no result reported"]},
+            )
+            entry["certificate_check"] = check
+            if check["status"] == "valid":
+                certified += 1
         job_entries[job.name] = entry
+    summary = {
+        "total": len(jobs),
+        **counts,
+        "cached": cached,
+        "wall_seconds": round(wall_seconds, 3),
+    }
+    if certificate_checks is not None:
+        summary["certified"] = certified
     return {
         "schema": MANIFEST_SCHEMA,
         "created": datetime.datetime.now(
@@ -82,32 +143,32 @@ def build_manifest(
         "jobs": job_entries,
         "mismatches": mismatches,
         "engine_totals": engine_totals.to_dict(),
-        "summary": {
-            "total": len(jobs),
-            **counts,
-            "cached": cached,
-            "wall_seconds": round(wall_seconds, 3),
-        },
+        "summary": summary,
     }
 
 
-def manifest_exit_code(manifest: dict) -> int:
-    """0 iff every job ended OK (matched verdict, no failures/skips)."""
+def manifest_exit_code(manifest: dict[str, Any]) -> int:
+    """0 iff every job ended OK (matched verdict, no failures/skips)
+    and — when certificate checking ran — every certificate validated."""
     summary = manifest["summary"]
-    return 0 if summary["ok"] == summary["total"] else 1
+    if summary["ok"] != summary["total"]:
+        return 1
+    if "certified" in summary and summary["certified"] != summary["total"]:
+        return 1
+    return 0
 
 
-def write_manifest(manifest: dict, path: Path) -> None:
+def write_manifest(manifest: dict[str, Any], path: Path) -> None:
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(manifest, indent=2, sort_keys=True))
 
 
-def load_manifest(path: Path) -> dict:
+def load_manifest(path: Path) -> dict[str, Any]:
     return json.loads(Path(path).read_text())
 
 
-def render_manifest(manifest: dict, *, verbose: bool = False) -> str:
+def render_manifest(manifest: dict[str, Any], *, verbose: bool = False) -> str:
     """Human-readable run report."""
     lines = []
     summary = manifest["summary"]
@@ -118,11 +179,17 @@ def render_manifest(manifest: dict, *, verbose: bool = False) -> str:
             flags.append("cached")
         if entry.get("attempts", 1) > 1:
             flags.append(f"attempt {entry['attempts']}")
+        check = entry.get("certificate_check")
+        if check is not None:
+            flags.append(f"cert {check['status']}")
         flag_text = f" ({', '.join(flags)})" if flags else ""
         lines.append(
             f"  {status.upper():<9} {name:<34} "
             f"{entry.get('duration_s', 0):7.2f}s{flag_text}"
         )
+        if check is not None and check["status"] != "valid":
+            for failure in check["failures"]:
+                lines.append(f"            certificate: {failure}")
         if status == "mismatch":
             lines.append(
                 f"            expected {entry['expected']!r}, measured "
@@ -140,6 +207,11 @@ def render_manifest(manifest: dict, *, verbose: bool = False) -> str:
         f"({summary['cached']} cached, "
         f"{summary['wall_seconds']:.2f}s wall)"
     )
+    if "certified" in summary:
+        lines.append(
+            f"certificates: {summary['certified']}/{summary['total']} "
+            "validated by the independent checker"
+        )
     engine = manifest.get("engine_totals") or {}
     if engine.get("hom_calls") or engine.get("fixpoint_rounds"):
         lines.append(

@@ -23,7 +23,7 @@ _FIG = "repro.harness.evidence_figures"
 class JobRegistry:
     """An ordered, name-unique collection of jobs."""
 
-    def __init__(self, jobs: Iterable[Job] = ()):
+    def __init__(self, jobs: Iterable[Job] = ()) -> None:
         self._jobs: dict[str, Job] = {}
         for job in jobs:
             self.add(job)

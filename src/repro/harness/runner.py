@@ -15,11 +15,13 @@ Decision procedures here are non-elementary in the worst case
 
 from __future__ import annotations
 
+import contextlib
 import multiprocessing
+from multiprocessing.connection import Connection
 import time
 import traceback
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Optional, Sequence
+from typing import Any, Callable, Iterable, Optional, Sequence
 
 from repro.core.stats import EngineStats, collecting
 from repro.harness.cache import ResultCache
@@ -42,7 +44,9 @@ class RunnerConfig:
     start_method: Optional[str] = None  # None -> fork if available
 
 
-def _worker(fn_ref: str, inputs: dict, conn) -> None:
+def _worker(
+    fn_ref: str, inputs: dict[str, Any], conn: Connection
+) -> None:
     """Child-process entry: resolve the job fn, run it, ship the result.
 
     Everything crossing the pipe is plain dicts of JSON-ready values;
@@ -66,12 +70,11 @@ def _worker(fn_ref: str, inputs: dict, conn) -> None:
             "measured": str(payload.get("measured", "")),
             "metrics": payload.get("metrics", {}),
             "engine": stats.to_dict(),
+            "certificate": payload.get("certificate"),
         })
     except BaseException:
-        try:
+        with contextlib.suppress(Exception):
             conn.send({"error": traceback.format_exc()})
-        except Exception:
-            pass
     finally:
         conn.close()
 
@@ -91,11 +94,11 @@ class _Pending:
     job: Job
     attempt: int = 1
     not_before: float = 0.0
-    waiting_on: set = field(default_factory=set)
+    waiting_on: set[Any] = field(default_factory=set)
 
 
 class _NullSink:
-    def __call__(self, event: dict) -> None:
+    def __call__(self, event: dict[str, Any]) -> None:
         pass
 
 
@@ -374,6 +377,7 @@ def run_jobs(
                     engine=payload.get("engine", {}),
                     duration=duration,
                     attempts=entry.attempt,
+                    certificate=payload.get("certificate"),
                 )
                 if cache is not None:
                     cache.store(job, result)

@@ -46,6 +46,35 @@ def datalog_rewriting(
     )
 
 
+def datalog_rewriting_certificate(
+    query: DatalogQuery,
+    views: ViewSet,
+    rewriting: DatalogQuery,
+    trials: int = 25,
+    seed: int = 0,
+) -> dict:
+    """A certificate for an inverse-rules rewriting.
+
+    Exact equivalence of two recursive programs is undecidable, so the
+    claim is a seeded ``rewriting_sample``: the independent checker
+    replays ``R(V(I)) = Q(I)`` with naive evaluation on the same
+    deterministic instance stream.  The certificate is honest about its
+    strength (``meta.note``).
+    """
+    from repro.certify.emit import certificate, claim_rewriting_sample
+
+    return certificate(
+        [claim_rewriting_sample(
+            query, views, rewriting, trials=trials, seed=seed
+        )],
+        meta={
+            "method": "inverse rules [14]",
+            "note": "sampled equivalence (exact Datalog equivalence "
+            "is undecidable)",
+        },
+    )
+
+
 def backward_rewriting_from_automaton(
     nta: NTA,
     view_schema: Schema,

@@ -50,6 +50,24 @@ def rewrite_forward_backward(
     return candidate
 
 
+def rewrite_with_certificate(
+    query: Union[ConjunctiveQuery, UCQ], views: ViewSet
+) -> tuple[UCQ, dict]:
+    """The certified rewriting plus its :mod:`repro.certify` certificate.
+
+    The certificate re-states the equivalence ``R ∘ V ≡ Q`` in the
+    claim vocabulary, so the independent checker can validate it
+    without trusting the Thm 5 automata pipeline that produced it.
+    """
+    from repro.determinacy.certificates import positive_certificate
+
+    rewriting = rewrite_forward_backward(query, views, certify=True)
+    return rewriting, positive_certificate(
+        query, views, rewriting,
+        meta={"method": "forward-backward (Prop. 8)"},
+    )
+
+
 def rewrite_cq(
     query: ConjunctiveQuery, views: ViewSet, certify: bool = True
 ) -> ConjunctiveQuery:

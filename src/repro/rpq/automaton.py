@@ -108,7 +108,7 @@ def _glushkov(regex: Regex, counter: list) -> tuple:
         prefix_nullable = prefix_nullable and nullable(part)
     last: set = set()
     suffix_nullable = True
-    for (f, l, _fo, _lab), part in zip(
+    for (_f, l, _fo, _lab), part in zip(
         reversed(annotated), tuple(reversed(regex.parts))
     ):
         if suffix_nullable:
@@ -116,7 +116,7 @@ def _glushkov(regex: Regex, counter: list) -> tuple:
         suffix_nullable = suffix_nullable and nullable(part)
     follow: set = set()
     labels: dict = {}
-    for f, l, fo, lab in annotated:
+    for _f, _l, fo, lab in annotated:
         follow |= fo
         labels.update(lab)
     prev_last: set = set()

@@ -123,3 +123,37 @@ def test_fragment_report_nonrecursive():
 def test_scc_of_unknown_predicate():
     with pytest.raises(KeyError):
         DependencyGraph(TC).scc_of("Nope")
+
+
+def test_prune_never_drops_view_only_goal():
+    # Regression: a goal defined only via views is not an IDB head of
+    # the analyzed program.  Pruning used to treat it as depending on
+    # nothing and silently dropped every rule; it must keep the whole
+    # program instead.
+    graph = DependencyGraph(TC)
+    pruned = graph.prune_unreachable("ViewOnlyGoal")
+    assert pruned is TC
+    assert len(pruned.rules) == len(TC.rules)
+
+
+def test_goal_directed_program_keeps_view_only_goal():
+    from repro.core.evaluation import fixpoint, goal_directed_program
+    from repro.core.instance import Instance
+
+    kept = goal_directed_program(TC, "ViewOnlyGoal")
+    assert kept is TC
+
+    # End to end: evaluating under the un-prunable goal still computes
+    # the program's fixpoint rather than returning the input unchanged.
+    instance = Instance()
+    instance.add_tuple("R", (1, 2))
+    instance.add_tuple("R", (2, 3))
+    state = fixpoint(kept, instance)
+    assert (1, 3) in state.tuples("T")
+
+
+def test_prune_unreachable_still_prunes_dead_rules():
+    query = DatalogQuery(TC, "Goal")
+    pruned = prune_unreachable(query)
+    heads = {rule.head.pred for rule in pruned.program.rules}
+    assert heads == {"T", "Goal"}

@@ -1,0 +1,107 @@
+"""``repro lint --fix``: safe deletions, cascades, idempotence."""
+
+from repro.analysis import FIXABLE_CODES, analyze_query, fix_source
+from repro.cli import main
+from repro.core.parser import parse_program, parse_program_source
+
+DUPLICATES = """\
+# goal: Goal
+W(x) <- A(x,y), W(y).
+W(x) <- U(x).
+W(z) <- U(z).
+Goal() <- W(x).
+"""
+
+UNUSED = """\
+# goal: Goal
+W(x) <- A(x,y), W(y).
+Dead(x) <- A(x,y).
+Orphan(x) <- Dead(x).
+Goal() <- W(x).
+"""
+
+
+def test_duplicate_rule_removed_keeps_first():
+    result = fix_source(DUPLICATES, goal="Goal")
+    assert result.changed
+    assert [f.code for f in result.fixes] == ["W101"]
+    program = parse_program(result.text)
+    assert len(program.rules) == 3
+    # the surviving copy is the first occurrence, i.e. spelled with x
+    assert "W(x) <- U(x)." in result.text
+    assert "W(z)" not in result.text
+
+
+def test_unused_predicate_cascade():
+    result = fix_source(UNUSED, goal="Goal")
+    codes = [f.code for f in result.fixes]
+    assert codes.count("W106") == 2
+    assert result.passes == 2  # Orphan first, then newly-orphaned Dead
+    program = parse_program(result.text)
+    assert program.idb_predicates() == {"W", "Goal"}
+
+
+def test_fix_is_idempotent():
+    once = fix_source(UNUSED, goal="Goal")
+    twice = fix_source(once.text, goal="Goal")
+    assert not twice.changed
+    assert twice.text == once.text
+    assert twice.passes == 0
+
+
+def test_fixed_program_is_clean_of_fixable_codes():
+    result = fix_source(DUPLICATES + UNUSED.replace("# goal: Goal\n", ""),
+                        goal="Goal")
+    source = parse_program_source(result.text)
+    report = analyze_query(source.program(), source=source, goal="Goal")
+    assert not (report.codes() & FIXABLE_CODES)
+
+
+def test_erroneous_program_never_modified():
+    bad = "W(x) <- A(x).\nW(x,y) <- A(x), B(y).\n"  # E001 arity clash
+    result = fix_source(bad)
+    assert result.text == bad
+    assert not result.changed
+
+
+def test_comments_and_layout_survive():
+    text = "# goal: Goal\n% keep me\nW(x) <- U(x).\nW(y) <- U(y).\nGoal() <- W(x).\n"
+    result = fix_source(text, goal="Goal")
+    assert "% keep me" in result.text
+    assert result.text.count("W(") == 2  # one head + one use in Goal
+
+
+def test_spans_valid_after_fix():
+    """Diagnostics on the fixed text point at real positions in it."""
+    result = fix_source(UNUSED, goal="Goal")
+    source = parse_program_source(result.text)
+    lines = result.text.splitlines()
+    for entry in source.entries:
+        span = entry.span
+        assert 1 <= span.line <= len(lines)
+        assert lines[span.line - 1][span.col - 1] not in (" ", "")
+
+
+def test_cli_fix_rewrites_file_and_is_idempotent(tmp_path, capsys):
+    path = tmp_path / "query.txt"
+    path.write_text(UNUSED)
+    assert main(["lint", "--fix", str(path)]) == 0
+    out_first = capsys.readouterr().out
+    assert "fixed W106" in out_first
+    fixed = path.read_text()
+
+    assert main(["lint", "--fix", str(path)]) == 0
+    out_second = capsys.readouterr().out
+    assert "fixed" not in out_second
+    assert path.read_text() == fixed
+
+
+def test_cli_fix_json_reports_fixes(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "query.txt"
+    path.write_text(DUPLICATES)
+    assert main(["lint", "--fix", "--format", "json", str(path)]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert [f["code"] for f in payload["fixes"]] == ["W101"]
+    assert payload["summary"]["warnings"] == 0

@@ -1,0 +1,184 @@
+"""Semantic pipeline: capabilities, adornments, boundedness, sorts."""
+
+from repro.analysis import analyze_query
+from repro.analysis.semantics import (
+    binding_patterns,
+    boundedness_report,
+    capability_facts,
+    nonrecursive_to_ucq,
+    sort_report,
+)
+from repro.core.instance import Instance
+from repro.core.parser import parse_program
+
+TC = parse_program(
+    """
+    T(x, y) <- R(x, y).
+    T(x, y) <- R(x, z), T(z, y).
+    Goal(x) <- T(x, x).
+    """
+)
+
+MDL = parse_program(
+    """
+    P(x) <- U(x).
+    P(x) <- R(x, y), P(y).
+    Goal(x) <- P(x).
+    """
+)
+
+
+def test_capability_facts_witnesses_and_violations():
+    caps = {c.name: c for c in capability_facts(MDL)}
+    assert caps["monadic"].holds
+    assert len(caps["monadic"].witnesses) == 3
+    assert caps["frontier-guarded"].holds
+    guard = next(
+        w for w in caps["frontier-guarded"].witnesses if w.rule_index == 1
+    )
+    assert "R(?x, ?y)" in guard.detail
+    assert caps["linear"].holds
+    assert caps["connected"].holds
+
+    tc_caps = {c.name: c for c in capability_facts(TC)}
+    assert not tc_caps["monadic"].holds
+    assert tc_caps["monadic"].violations
+    assert not tc_caps["frontier-guarded"].holds
+    assert any(
+        v.rule_index == 1 for v in tc_caps["frontier-guarded"].violations
+    )
+
+
+def test_capability_nonlinear_violation():
+    doubled = parse_program(
+        """
+        T(x, y) <- R(x, y).
+        T(x, y) <- T(x, z), T(z, y).
+        """
+    )
+    caps = {c.name: c for c in capability_facts(doubled)}
+    assert not caps["linear"].holds
+    (violation,) = caps["linear"].violations
+    assert violation.rule_index == 1
+    assert "2 same-SCC calls" in violation.detail
+
+
+def test_binding_patterns_from_goal():
+    adornments = binding_patterns(TC, "Goal")
+    assert adornments["Goal"] == ("f",)
+    # Goal(x) <- T(x, x): both positions carry the same free variable.
+    assert "ff" in adornments["T"]
+    # T(x,y) <- R(x,z), T(z,y): z bound after R, y free.
+    assert "bf" in adornments["T"]
+
+
+def test_binding_patterns_no_goal():
+    assert binding_patterns(TC, None) == {}
+    assert binding_patterns(TC, "NotDefined") == {}
+
+
+def test_boundedness_genuine_recursion():
+    report = boundedness_report(TC, "Goal")
+    assert not report.bounded
+    assert "genuine recursion" in report.reason
+    assert report.ucq is None
+
+
+def test_boundedness_vacuous_recursion_unfolds_to_ucq():
+    program = parse_program(
+        """
+        P(x) <- U(x).
+        P(x) <- U(x), P(x).
+        Goal(x) <- P(x), R(x, y).
+        """
+    )
+    report = boundedness_report(program, "Goal")
+    assert report.bounded
+    assert report.vacuous_rules == ((1, 0),)
+    assert report.ucq is not None
+    assert len(report.ucq.disjuncts) == 1
+
+    # The unfolded UCQ and the original query agree on data.
+    instance = Instance()
+    instance.add_tuple("U", (1,))
+    instance.add_tuple("U", (2,))
+    instance.add_tuple("R", (1, 5))
+    from repro.core.datalog import DatalogQuery
+
+    datalog = DatalogQuery(program, "Goal")
+    assert datalog.evaluate(instance) == report.ucq.evaluate(instance)
+
+
+def test_nonrecursive_to_ucq_matches_fixpoint():
+    program = parse_program(
+        """
+        A(x, y) <- R(x, y).
+        A(x, y) <- S(x, y).
+        Goal(x) <- A(x, y), A(y, z).
+        """
+    )
+    ucq = nonrecursive_to_ucq(program, "Goal")
+    assert ucq is not None
+    assert len(ucq.disjuncts) == 4
+    from repro.core.datalog import DatalogQuery
+
+    instance = Instance()
+    instance.add_tuple("R", (1, 2))
+    instance.add_tuple("S", (2, 3))
+    instance.add_tuple("R", (3, 1))
+    assert DatalogQuery(program, "Goal").evaluate(instance) \
+        == ucq.evaluate(instance)
+
+
+def test_nonrecursive_to_ucq_refuses_recursion_and_unknown_goal():
+    assert nonrecursive_to_ucq(TC, "Goal") is None
+    flat = parse_program("Goal(x) <- R(x, y).")
+    assert nonrecursive_to_ucq(flat, "Nope") is None
+
+
+def test_sort_report_conflict():
+    program = parse_program(
+        """
+        Goal(x) <- R(x, $a).
+        Goal(x) <- R(x, 3).
+        """
+    )
+    report = sort_report(program)
+    (conflict,) = report.conflicts()
+    assert set(conflict.kinds) == {"int", "str"}
+    assert ("R", 1) in conflict.columns
+
+
+def test_sort_report_links_columns_via_variables():
+    report = sort_report(TC)
+    # transitive closure: every column collapses into one sort
+    assert len(report.classes) == 1
+    assert not report.conflicts()
+
+
+def test_semantic_report_in_analyzer():
+    report = analyze_query(MDL, goal="Goal", semantic=True)
+    assert report.semantics is not None
+    assert report.semantics.capability("monadic").holds
+    codes = report.codes()
+    assert "I204" in codes and "I206" in codes
+    payload = report.as_dict()
+    assert "semantics" in payload
+    assert payload["semantics"]["boundedness"]["bounded"] is False
+
+    plain = analyze_query(MDL, goal="Goal")
+    assert plain.semantics is None
+    assert "I204" not in plain.codes()
+
+
+def test_semantic_diagnostics_w110_i205():
+    program = parse_program(
+        """
+        P(x) <- U(x).
+        P(x) <- U(x), P(x).
+        Goal(x) <- P(x).
+        """
+    )
+    report = analyze_query(program, goal="Goal", semantic=True)
+    codes = report.codes()
+    assert "W110" in codes and "I205" in codes

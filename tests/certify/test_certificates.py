@@ -1,0 +1,197 @@
+"""Emit → JSON round trip → independent check, for every claim type."""
+
+import json
+
+from repro.analysis.semantics import boundedness_report
+from repro.certify import (
+    certificate,
+    check_certificate,
+    claim_bounded_unfolding,
+    claim_hom_witness,
+    claim_instance_subset,
+    claim_membership,
+    claim_monotone_rewriting,
+    claim_no_hom,
+    claim_not_determined,
+    claim_query_output,
+    claim_rewriting_sample,
+    claim_tree_decomposition,
+    claim_ucq_containment,
+    claim_view_image,
+)
+from repro.core.atoms import Atom
+from repro.core.cq import ConjunctiveQuery
+from repro.core.datalog import DatalogQuery
+from repro.core.instance import Instance
+from repro.core.parser import parse_program
+from repro.core.terms import Variable
+from repro.core.ucq import UCQ
+from repro.views.view import View, ViewSet
+
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+
+
+def roundtrip(cert: dict) -> dict:
+    """Certificates must survive JSON serialization unchanged."""
+    return json.loads(json.dumps(cert))
+
+
+def check(cert: dict):
+    result = check_certificate(roundtrip(cert))
+    assert result.valid, result.failures
+    return result
+
+
+def _cycle_query() -> ConjunctiveQuery:
+    return ConjunctiveQuery((X,), (Atom("R", (X, Y)), Atom("R", (Y, X))))
+
+
+def _cycle_instance() -> Instance:
+    instance = Instance()
+    instance.add_tuple("R", (1, 2))
+    instance.add_tuple("R", (2, 1))
+    return instance
+
+
+def test_membership_positive_negative_and_witness():
+    query, instance = _cycle_query(), _cycle_instance()
+    check(certificate([
+        claim_membership(query, instance, (1,)),
+        claim_membership(query, instance, (7,), member=False),
+        claim_membership(
+            query, instance, (1,), witness={X: 1, Y: 2}
+        ),
+    ]))
+
+
+def test_query_output_engine_computed():
+    query, instance = _cycle_query(), _cycle_instance()
+    cert = certificate([claim_query_output(query, instance)])
+    result = check(cert)
+    assert result.claims == 1
+
+
+def test_hom_witness_and_no_hom():
+    instance = _cycle_instance()
+    atoms = (Atom("R", (X, Y)), Atom("R", (Y, X)))
+    check(certificate([
+        claim_hom_witness(atoms, instance, {X: 1, Y: 2}),
+        claim_no_hom((Atom("R", (X, X)),), instance),
+        claim_no_hom(atoms, instance, fixed={X: 9}),
+    ]))
+
+
+def test_instance_subset_and_view_image():
+    small, big = Instance(), _cycle_instance()
+    small.add_tuple("R", (1, 2))
+    views = ViewSet([
+        View("V1", ConjunctiveQuery((X, Y), (Atom("R", (X, Y)),)))
+    ])
+    check(certificate([
+        claim_instance_subset(small, big),
+        claim_view_image(views, big),
+    ]))
+
+
+def test_ucq_containment_searched_and_witnessed():
+    tight = ConjunctiveQuery((X,), (Atom("R", (X, X)),))
+    loose = ConjunctiveQuery((X,), (Atom("R", (X, Y)),))
+    check(certificate([claim_ucq_containment(tight, UCQ((loose,)))]))
+    from repro.core.cq import CanonConst
+
+    witness = (0, {X: CanonConst("x"), Y: CanonConst("x")})
+    check(certificate([
+        claim_ucq_containment(tight, UCQ((loose,)), witnesses=[witness])
+    ]))
+
+
+def test_tree_decomposition():
+    facts = Instance()
+    facts.add_tuple("R", (1, 2))
+    facts.add_tuple("R", (2, 3))
+    check(certificate([
+        claim_tree_decomposition(
+            facts, bags=[[1, 2], [2, 3]], edges=[(0, 1)], width=1
+        )
+    ]))
+
+
+def test_not_determined_counterexample():
+    # Q(x) :- R(x,y): the projection view V(x) :- R(x,y) determines it,
+    # but the *other* projection W(y) :- R(x,y) does not.
+    query = ConjunctiveQuery((X,), (Atom("R", (X, Y)),))
+    views = ViewSet([
+        View("W", ConjunctiveQuery((Y,), (Atom("R", (X, Y)),)))
+    ])
+    instance1, instance2 = Instance(), Instance()
+    instance1.add_tuple("R", (1, 2))
+    instance2.add_tuple("R", (3, 2))
+    check(certificate([
+        claim_not_determined(query, views, instance1, instance2, (1,))
+    ]))
+
+
+def test_monotone_rewriting_and_sample():
+    query = _cycle_query()
+    views = ViewSet([
+        View("V1", ConjunctiveQuery((X, Y), (Atom("R", (X, Y)),)))
+    ])
+    rewriting = UCQ((
+        ConjunctiveQuery((X,), (Atom("V1", (X, Y)), Atom("V1", (Y, X)))),
+    ))
+    check(certificate([
+        claim_monotone_rewriting(query, views, rewriting),
+        claim_rewriting_sample(query, views, rewriting, trials=10),
+    ]))
+
+
+def test_rewriting_sample_datalog_query():
+    program = parse_program(
+        """
+        T(x, y) <- E(x, y).
+        T(x, y) <- E(x, z), T(z, y).
+        """
+    )
+    query = DatalogQuery(program, "T")
+    views = ViewSet([
+        View("VE", ConjunctiveQuery((X, Y), (Atom("E", (X, Y)),)))
+    ])
+    rewriting = DatalogQuery(
+        parse_program(
+            """
+            T(x, y) <- VE(x, y).
+            T(x, y) <- VE(x, z), T(z, y).
+            """
+        ),
+        "T",
+    )
+    check(certificate([
+        claim_rewriting_sample(query, views, rewriting, trials=8)
+    ]))
+
+
+def test_bounded_unfolding_from_semantics():
+    program = parse_program(
+        """
+        P(x) <- U(x).
+        P(x) <- U(x), P(x).
+        Goal(x) <- P(x), R(x, y).
+        """
+    )
+    report = boundedness_report(program, "Goal")
+    assert report.bounded and report.ucq is not None
+    check(certificate([
+        claim_bounded_unfolding(
+            program, "Goal", report.vacuous_rules, report.ucq
+        )
+    ]))
+
+
+def test_certificate_meta_preserved():
+    query, instance = _cycle_query(), _cycle_instance()
+    cert = certificate(
+        [claim_membership(query, instance, (1,))],
+        meta={"job": "demo", "note": "smoke"},
+    )
+    assert roundtrip(cert)["meta"]["job"] == "demo"
+    check(cert)

@@ -1,0 +1,150 @@
+"""Deliberately corrupted certificates must be rejected.
+
+Every mutation here starts from a certificate that *does* check, breaks
+one thing, and asserts the checker pinpoints it — the acceptance
+criterion for the subsystem's independence.
+"""
+
+import json
+
+from repro.certify import (
+    certificate,
+    check_certificate,
+    claim_membership,
+    claim_monotone_rewriting,
+    claim_not_determined,
+    claim_query_output,
+)
+from repro.core.atoms import Atom
+from repro.core.cq import ConjunctiveQuery
+from repro.core.instance import Instance
+from repro.core.terms import Variable
+from repro.core.ucq import UCQ
+from repro.views.view import View, ViewSet
+
+X, Y = Variable("x"), Variable("y")
+
+
+def _query() -> ConjunctiveQuery:
+    return ConjunctiveQuery((X,), (Atom("R", (X, Y)), Atom("R", (Y, X))))
+
+
+def _instance() -> Instance:
+    instance = Instance()
+    instance.add_tuple("R", (1, 2))
+    instance.add_tuple("R", (2, 1))
+    return instance
+
+
+def _good() -> dict:
+    return json.loads(json.dumps(
+        certificate([claim_membership(_query(), _instance(), (1,))])
+    ))
+
+
+def test_baseline_is_valid():
+    assert check_certificate(_good()).valid
+
+
+def test_wrong_schema_version_rejected():
+    cert = _good()
+    cert["schema"] = 999
+    result = check_certificate(cert)
+    assert not result.valid
+    assert "schema" in result.failures[0]
+
+
+def test_empty_claims_rejected():
+    assert not check_certificate({"schema": 1, "claims": []}).valid
+    assert not check_certificate({"schema": 1}).valid
+    assert not check_certificate("not even a dict").valid
+
+
+def test_unknown_claim_type_rejected():
+    cert = _good()
+    cert["claims"][0]["type"] = "trust_me"
+    result = check_certificate(cert)
+    assert not result.valid
+    assert "unknown type" in result.failures[0]
+
+
+def test_tampered_answer_rejected():
+    cert = json.loads(json.dumps(
+        certificate([claim_query_output(_query(), _instance())])
+    ))
+    cert["claims"][0]["output"].append([["int", 42]])
+    result = check_certificate(cert)
+    assert not result.valid
+    assert "mismatch" in result.failures[0]
+
+
+def test_tampered_instance_rejected():
+    cert = _good()
+    # drop a fact the membership witness depends on
+    cert["claims"][0]["instance"] = cert["claims"][0]["instance"][:1]
+    assert not check_certificate(cert).valid
+
+
+def test_forged_witness_rejected():
+    cert = json.loads(json.dumps(certificate([
+        claim_membership(
+            _query(), _instance(), (1,), witness={X: 1, Y: 9}
+        )
+    ])))
+    result = check_certificate(cert)
+    assert not result.valid
+    assert "witness" in result.failures[0]
+
+
+def test_malformed_payload_reported_not_raised():
+    cert = _good()
+    del cert["claims"][0]["instance"]
+    result = check_certificate(cert)
+    assert not result.valid
+    assert "malformed payload" in result.failures[0]
+
+
+def test_unsound_rewriting_rejected():
+    # Rewriting drops a join atom: strictly more answers than Q.
+    query = _query()
+    views = ViewSet([
+        View("V1", ConjunctiveQuery((X, Y), (Atom("R", (X, Y)),)))
+    ])
+    unsound = UCQ((
+        ConjunctiveQuery((X,), (Atom("V1", (X, Y)),)),
+    ))
+    cert = json.loads(json.dumps(certificate([
+        claim_monotone_rewriting(query, views, unsound)
+    ])))
+    result = check_certificate(cert)
+    assert not result.valid
+    assert "unsound" in result.failures[0]
+
+
+def test_fake_counterexample_rejected():
+    # The identity view clearly determines Q; a forged negative
+    # certificate must fail the V(I1) ⊆ V(I2) leg or the membership legs.
+    query = ConjunctiveQuery((X,), (Atom("R", (X, Y)),))
+    views = ViewSet([
+        View("V1", ConjunctiveQuery((X, Y), (Atom("R", (X, Y)),)))
+    ])
+    instance1, instance2 = Instance(), Instance()
+    instance1.add_tuple("R", (1, 2))
+    instance2.add_tuple("R", (3, 2))
+    cert = json.loads(json.dumps(certificate([
+        claim_not_determined(query, views, instance1, instance2, (1,))
+    ])))
+    result = check_certificate(cert)
+    assert not result.valid
+    assert "⊆" in result.failures[0] or "missing" in result.failures[0]
+
+
+def test_failure_reports_carry_claim_index():
+    good = claim_membership(_query(), _instance(), (1,))
+    bad = claim_membership(_query(), _instance(), (5,))
+    cert = json.loads(json.dumps(certificate([good, bad])))
+    result = check_certificate(cert)
+    assert not result.valid
+    assert result.claims == 2
+    (failure,) = result.failures
+    assert failure.startswith("claim #1")

@@ -1,0 +1,103 @@
+"""The naive replay primitives agree with the engine."""
+
+from repro.certify import replay
+from repro.certify.serialize import relations_from_instance
+from repro.core.atoms import Atom
+from repro.core.cq import CanonConst, ConjunctiveQuery
+from repro.core.datalog import DatalogQuery
+from repro.core.instance import Instance
+from repro.core.parser import parse_program
+from repro.core.terms import Variable
+from repro.core.ucq import UCQ
+
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+
+
+def _chain(n: int) -> Instance:
+    instance = Instance()
+    for i in range(n):
+        instance.add_tuple("R", (i, i + 1))
+    return instance
+
+
+def test_match_finds_all_homomorphisms():
+    relations = relations_from_instance(_chain(3))
+    atoms = [Atom("R", (X, Y)), Atom("R", (Y, Z))]
+    found = {
+        (b[X], b[Y], b[Z]) for b in replay.match(atoms, relations)
+    }
+    assert found == {(0, 1, 2), (1, 2, 3)}
+
+
+def test_match_respects_fixed_binding_and_constants():
+    relations = relations_from_instance(_chain(3))
+    atoms = [Atom("R", (X, Y))]
+    assert not replay.has_match(atoms, relations, {X: 7})
+    assert replay.has_match([Atom("R", (0, Y))], relations)
+    assert not replay.has_match([Atom("R", (3, Y))], relations)
+
+
+def test_check_mapping_reports_problems():
+    relations = relations_from_instance(_chain(2))
+    atoms = [Atom("R", (X, Y))]
+    assert replay.check_mapping(atoms, {X: 0, Y: 1}, relations) is None
+    assert "unmapped" in replay.check_mapping(atoms, {X: 0}, relations)
+    assert "not a fact" in replay.check_mapping(
+        atoms, {X: 0, Y: 2}, relations
+    )
+
+
+def test_naive_fixpoint_matches_engine():
+    program = parse_program(
+        """
+        T(x, y) <- R(x, y).
+        T(x, y) <- R(x, z), T(z, y).
+        """
+    )
+    instance = _chain(4)
+    query = DatalogQuery(program, "T")
+    state = replay.naive_fixpoint(
+        program.rules, relations_from_instance(instance)
+    )
+    assert state["T"] == query.evaluate(instance)
+
+
+def test_eval_query_all_shapes():
+    instance = _chain(3)
+    relations = relations_from_instance(instance)
+    cq = ConjunctiveQuery((X, Z), (Atom("R", (X, Y)), Atom("R", (Y, Z))))
+    assert replay.eval_cq(cq, relations) == cq.evaluate(instance)
+    ucq = UCQ((cq, ConjunctiveQuery((X, Y), (Atom("R", (X, Y)),))))
+    assert replay.eval_query(ucq, relations) == ucq.evaluate(instance)
+
+
+def test_holds_repeated_head_variable():
+    cq = ConjunctiveQuery((X, X), (Atom("R", (X, Y)),))
+    relations = relations_from_instance(_chain(2))
+    assert replay.holds(cq, relations, (0, 0))
+    assert not replay.holds(cq, relations, (0, 1))
+    assert not replay.holds(cq, relations, (0,))
+
+
+def test_canonical_relations_freeze_variables():
+    cq = ConjunctiveQuery((X,), (Atom("R", (X, Y)), Atom("S", (Y, 3))))
+    canon = replay.canonical_relations(cq)
+    assert canon["R"] == {(CanonConst("x"), CanonConst("y"))}
+    assert canon["S"] == {(CanonConst("y"), 3)}
+    assert replay.frozen_head(cq) == (CanonConst("x"),)
+
+
+def test_relations_subset_reports_missing_fact():
+    left = {"R": {(1, 2), (3, 4)}}
+    right = {"R": {(1, 2)}}
+    assert replay.relations_subset(left, {"R": {(1, 2), (3, 4)}}) is None
+    problem = replay.relations_subset(left, right)
+    assert problem is not None and "R" in problem
+
+
+def test_closure_violation():
+    program = parse_program("T(x, y) <- R(x, y).")
+    closed = {"R": {(1, 2)}, "T": {(1, 2)}}
+    open_ = {"R": {(1, 2)}, "T": set()}
+    assert replay.closure_violation(program.rules, closed) is None
+    assert "missing" in replay.closure_violation(program.rules, open_)

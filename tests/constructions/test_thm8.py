@@ -41,7 +41,7 @@ def test_w_instance_is_tilable(witness):
     assert witness.tiling is not None
     tp_structure = witness.tp.as_instance()
     # the tiling is a genuine homomorphism
-    for point, tile in witness.tiling.items():
+    for _point, tile in witness.tiling.items():
         assert tile in set(witness.tp.tiles)
     for left, right in witness.w_instance.tuples("H"):
         if left in witness.tiling and right in witness.tiling:

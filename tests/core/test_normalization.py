@@ -9,7 +9,8 @@ from repro.core.parser import parse_program
 from tests.conftest import random_instance
 
 
-def _equivalent_on_random(q1, q2, preds, seeds=range(12)) -> bool:
+def _equivalent_on_random(q1, q2, preds, seeds=None) -> bool:
+    seeds = range(12) if seeds is None else seeds
     return all(
         q1.evaluate(random_instance(s, preds)) ==
         q2.evaluate(random_instance(s, preds))

@@ -13,7 +13,8 @@ from repro.core.parser import parse_program, parse_rule
 from tests.conftest import random_instance
 
 
-def _equivalent_on_random(q1, q2, preds, seeds=range(10)) -> bool:
+def _equivalent_on_random(q1, q2, preds, seeds=None) -> bool:
+    seeds = range(10) if seeds is None else seeds
     return all(
         q1.evaluate(random_instance(s, preds))
         == q2.evaluate(random_instance(s, preds))

@@ -1,0 +1,145 @@
+"""Verdict certificates: every decide path emits claims the independent
+checker validates, and the semantic bounded→UCQ dispatch fires."""
+
+import json
+
+from repro.certify import check_certificate
+from repro.core.atoms import Atom
+from repro.core.containment import Verdict
+from repro.core.cq import ConjunctiveQuery
+from repro.core.datalog import DatalogQuery
+from repro.core.parser import parse_program
+from repro.core.terms import Variable
+from repro.views.view import View, ViewSet
+from repro.determinacy.checker import decide_monotonic_determinacy
+from repro.rewriting.datalog_rewriting import (
+    datalog_rewriting,
+    datalog_rewriting_certificate,
+)
+from repro.rewriting.forward_backward import rewrite_with_certificate
+
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+
+PATH2 = ConjunctiveQuery((X, Z), (Atom("R", (X, Y)), Atom("R", (Y, Z))))
+FIRST = ConjunctiveQuery((X,), (Atom("R", (X, Y)),))
+EDGE_VIEW = ViewSet([
+    View("V1", ConjunctiveQuery((X, Y), (Atom("R", (X, Y)),)))
+])
+SECOND_VIEW = ViewSet([
+    View("W", ConjunctiveQuery((Y,), (Atom("R", (X, Y)),)))
+])
+
+
+def validate(cert):
+    assert cert is not None
+    result = check_certificate(json.loads(json.dumps(cert)))
+    assert result.valid, result.failures
+    return result
+
+
+def test_cq_yes_carries_rewriting_certificate():
+    result = decide_monotonic_determinacy(PATH2, EDGE_VIEW)
+    assert result.verdict is Verdict.YES
+    checked = validate(result.certificate)
+    types = [c["type"] for c in result.certificate["claims"]]
+    assert "monotone_rewriting" in types
+    assert checked.claims == len(types)
+    assert result.certificate["meta"]["verdict"] == "yes"
+
+
+def test_cq_no_carries_counterexample_pair():
+    result = decide_monotonic_determinacy(FIRST, SECOND_VIEW)
+    assert result.verdict is Verdict.NO
+    validate(result.certificate)
+    types = [c["type"] for c in result.certificate["claims"]]
+    assert types == ["not_monotonically_determined"]
+
+
+def test_bounded_datalog_reduces_to_ucq_route():
+    program = parse_program(
+        """
+        P(x, y) <- R(x, y).
+        P(x, y) <- R(x, y), P(x, y).
+        Goal(x) <- P(x, y).
+        """
+    )
+    query = DatalogQuery(program, "Goal")
+    result = decide_monotonic_determinacy(query, EDGE_VIEW)
+    assert result.verdict is Verdict.YES
+    assert "bounded→UCQ reduction" in result.method
+    validate(result.certificate)
+    types = [c["type"] for c in result.certificate["claims"]]
+    assert types[0] == "bounded_unfolding"
+    assert "monotone_rewriting" in types
+
+    negative = decide_monotonic_determinacy(query, SECOND_VIEW)
+    assert negative.verdict is Verdict.NO
+    assert "bounded→UCQ reduction" in negative.method
+    validate(negative.certificate)
+
+
+def test_recursive_no_from_canonical_tests():
+    program = parse_program(
+        """
+        T(x, y) <- R(x, y).
+        T(x, y) <- R(x, z), T(z, y).
+        """
+    )
+    query = DatalogQuery(program, "T")
+    result = decide_monotonic_determinacy(
+        query, SECOND_VIEW, approx_depth=2
+    )
+    assert result.verdict is Verdict.NO
+    assert result.counterexample is not None
+    validate(result.certificate)
+
+
+def test_recursive_unknown_has_no_certificate():
+    program = parse_program(
+        """
+        T(x, y) <- R(x, y).
+        T(x, y) <- R(x, z), T(z, y).
+        """
+    )
+    query = DatalogQuery(program, "T")
+    result = decide_monotonic_determinacy(
+        query, EDGE_VIEW, approx_depth=2
+    )
+    assert result.verdict is Verdict.UNKNOWN
+    assert result.certificate is None
+
+
+def test_certify_false_skips_emission():
+    result = decide_monotonic_determinacy(
+        PATH2, EDGE_VIEW, certify=False
+    )
+    assert result.verdict is Verdict.YES
+    assert result.certificate is None
+
+
+def test_rewrite_with_certificate():
+    rewriting, cert = rewrite_with_certificate(PATH2, EDGE_VIEW)
+    assert len(rewriting.disjuncts) == 1
+    validate(cert)
+    assert cert["meta"]["method"] == "forward-backward (Prop. 8)"
+
+
+def test_datalog_rewriting_certificate_sampled():
+    program = parse_program(
+        """
+        T(x, y) <- E(x, y).
+        T(x, y) <- E(x, z), T(z, y).
+        """
+    )
+    query = DatalogQuery(program, "T")
+    views = ViewSet([
+        View("VE", ConjunctiveQuery((X, Y), (Atom("E", (X, Y)),)))
+    ])
+    rewriting = datalog_rewriting(query, views)
+    cert = datalog_rewriting_certificate(
+        query, views, rewriting, trials=8
+    )
+    validate(cert)
+    (claim,) = cert["claims"]
+    assert claim["type"] == "rewriting_sample"
+    assert "sampled" in cert["meta"]["note"]

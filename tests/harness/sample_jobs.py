@@ -49,3 +49,33 @@ def engine_job() -> dict:
 
 def bad_return_job():
     return ["not", "a", "dict"]
+
+
+def certified_job() -> dict:
+    """Emits a small, genuinely valid certificate."""
+    from repro.certify.emit import certificate, claim_query_output
+    from repro.core.parser import parse_cq, parse_instance
+    from repro.harness.evidence_common import finish
+
+    q = parse_cq("Q(x) <- R(x,y)")
+    inst = parse_instance("R('a','b'). R('b','c').")
+    return finish(
+        "evaluated", [("ran", True)], "with certificate",
+        certificate=certificate([claim_query_output(q, inst)]),
+    )
+
+
+def forged_certificate_job() -> dict:
+    """Emits a certificate whose recorded output is a lie."""
+    from repro.certify.emit import certificate, claim_query_output
+    from repro.core.parser import parse_cq, parse_instance
+    from repro.harness.evidence_common import finish
+
+    q = parse_cq("Q(x) <- R(x,y)")
+    inst = parse_instance("R('a','b').")
+    return finish(
+        "evaluated", [("ran", True)], "with forged certificate",
+        certificate=certificate(
+            [claim_query_output(q, inst, output={("a",), ("zzz",)})]
+        ),
+    )

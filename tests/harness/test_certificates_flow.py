@@ -1,0 +1,143 @@
+"""Certificates through the harness: worker pipe, cache, manifest,
+exit gating, and the ``--check-certificates`` CLI flag."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+from repro.harness.cache import ResultCache
+from repro.harness.job import Job, JobResult, JobStatus
+from repro.harness.manifest import (
+    build_manifest,
+    check_result_certificates,
+    manifest_exit_code,
+    render_manifest,
+)
+from repro.harness.runner import RunnerConfig, run_jobs
+
+
+def _job(name: str, fn: str, **kwargs) -> Job:
+    kwargs.setdefault("claim", f"claim {name}")
+    kwargs.setdefault("expected", "evaluated")
+    return Job(name=name, fn=fn, **kwargs)
+
+
+def _run(jobs, **kwargs):
+    return run_jobs(
+        jobs, config=RunnerConfig(workers=2, default_timeout=60.0), **kwargs
+    )
+
+
+def test_certificate_crosses_the_worker_pipe():
+    results = _run([
+        _job("cert", "tests.harness.sample_jobs:certified_job"),
+    ])
+    result = results["cert"]
+    assert result.status is JobStatus.OK
+    assert result.certificate is not None
+    assert result.certificate["claims"][0]["type"] == "query_output"
+
+
+def test_certificate_survives_the_cache(tmp_path):
+    job = _job("cert", "tests.harness.sample_jobs:certified_job")
+    cache = ResultCache(tmp_path / "cache", fingerprint="fp")
+    _run([job], cache=cache)
+    hit = cache.load(job)
+    assert hit is not None and hit.cached
+    assert hit.certificate is not None
+    assert hit.certificate["claims"][0]["type"] == "query_output"
+
+
+def test_job_result_certificate_round_trips():
+    result = JobResult(
+        "a", JobStatus.OK, "fine", verdict="fine",
+        certificate={"schema": 1, "claims": [{"type": "x"}]},
+    )
+    again = JobResult.from_dict(
+        json.loads(json.dumps(result.as_dict()))
+    )
+    assert again.certificate == result.certificate
+
+
+def test_check_result_certificates_statuses():
+    results = _run([
+        _job("good", "tests.harness.sample_jobs:certified_job"),
+        _job("forged", "tests.harness.sample_jobs:forged_certificate_job"),
+        _job("bare", "tests.harness.sample_jobs:ok_job",
+             expected="fine"),
+        _job("crash", "tests.harness.sample_jobs:crash_job",
+             retries=0),
+    ])
+    checks = check_result_certificates(results)
+    assert checks["good"]["status"] == "valid"
+    assert checks["good"]["claims"] == 1
+    assert checks["forged"]["status"] == "invalid"
+    assert checks["forged"]["failures"]
+    assert checks["bare"]["status"] == "absent"
+    assert "no certificate" in checks["bare"]["failures"][0]
+    assert checks["crash"]["status"] == "absent"
+    assert "no result payload" in checks["crash"]["failures"][0]
+
+
+def test_manifest_gates_on_invalid_certificate():
+    jobs = [_job("a", "m:f", expected="fine")]
+    ok_result = JobResult("a", JobStatus.OK, "fine", verdict="fine")
+
+    green = build_manifest(
+        jobs, {"a": ok_result},
+        wall_seconds=0.1, workers=1, default_timeout=30.0,
+        code_fingerprint="fp", cache_used=False,
+        certificate_checks={
+            "a": {"status": "valid", "claims": 2, "failures": []},
+        },
+    )
+    assert green["summary"]["certified"] == 1
+    assert green["jobs"]["a"]["certificate_check"]["status"] == "valid"
+    assert manifest_exit_code(green) == 0
+    assert "certificates: 1/1" in render_manifest(green)
+
+    red = build_manifest(
+        jobs, {"a": ok_result},
+        wall_seconds=0.1, workers=1, default_timeout=30.0,
+        code_fingerprint="fp", cache_used=False,
+        certificate_checks={
+            "a": {"status": "invalid", "claims": 2,
+                  "failures": ["claim #1 (query_output): outputs differ"]},
+        },
+    )
+    # every verdict matched, but the certificate check is red
+    assert red["summary"]["ok"] == red["summary"]["total"]
+    assert manifest_exit_code(red) == 1
+    assert "outputs differ" in render_manifest(red)
+
+
+def test_manifest_without_checks_has_no_certified_count():
+    jobs = [_job("a", "m:f", expected="fine")]
+    manifest = build_manifest(
+        jobs, {"a": JobResult("a", JobStatus.OK, "fine", verdict="fine")},
+        wall_seconds=0.1, workers=1, default_timeout=30.0,
+        code_fingerprint="fp", cache_used=False,
+    )
+    assert "certified" not in manifest["summary"]
+    assert "certificate_check" not in manifest["jobs"]["a"]
+
+
+def test_cli_check_certificates_on_a_real_job(tmp_path, capsys):
+    out_dir = tmp_path / "out"
+    code = main([
+        "evidence", "run",
+        "--filter", "fig3-chain-and-image",
+        "--jobs", "1",
+        "--no-cache",
+        "--out-dir", str(out_dir),
+        "--check-certificates",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "cert valid" in out
+    manifest = json.loads((out_dir / "manifest.json").read_text())
+    assert manifest["summary"]["certified"] == manifest["summary"]["total"]
+    check = manifest["jobs"]["fig3-chain-and-image"]["certificate_check"]
+    assert check["status"] == "valid"
+    assert check["claims"] >= 2

@@ -1,0 +1,87 @@
+"""Annotation gate for the strictly-typed packages.
+
+CI runs ``mypy --strict`` over ``repro.analysis``, ``repro.harness``
+and ``repro.certify`` (see pyproject / ci.yml); this test enforces the
+load-bearing slice of that contract — every function fully annotated,
+no bare built-in generics in signatures — with no mypy dependency, so
+a regression is caught locally before it reddens CI.
+"""
+
+import ast
+import pathlib
+
+import pytest
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+STRICT_PACKAGES = ("analysis", "harness", "certify")
+BARE_GENERICS = {"dict", "list", "set", "frozenset", "tuple"}
+
+
+def _strict_files():
+    for package in STRICT_PACKAGES:
+        yield from sorted((SRC / package).glob("*.py"))
+
+
+def _unannotated(fn: ast.FunctionDef) -> list[str]:
+    args = fn.args
+    names = args.posonlyargs + args.args + args.kwonlyargs
+    gaps = [
+        a.arg
+        for a in names
+        if a.annotation is None and a.arg not in ("self", "cls")
+    ]
+    for star in (args.vararg, args.kwarg):
+        if star is not None and star.annotation is None:
+            gaps.append(star.arg)
+    return gaps
+
+
+@pytest.mark.parametrize(
+    "path", _strict_files(), ids=lambda p: f"{p.parent.name}/{p.name}"
+)
+def test_every_function_is_fully_annotated(path):
+    tree = ast.parse(path.read_text())
+    problems = []
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if node.returns is None:
+            problems.append(f"{node.name}:{node.lineno} missing return type")
+        gaps = _unannotated(node)
+        if gaps:
+            problems.append(
+                f"{node.name}:{node.lineno} unannotated args {gaps}"
+            )
+    assert not problems, f"{path}: {problems}"
+
+
+@pytest.mark.parametrize(
+    "path", _strict_files(), ids=lambda p: f"{p.parent.name}/{p.name}"
+)
+def test_no_bare_generics_in_signatures(path):
+    """``dict`` in a signature must say ``dict[K, V]`` (strict mypy's
+    disallow_any_generics); bodies and docstrings are not checked."""
+    tree = ast.parse(path.read_text())
+    problems = []
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        annotations = [a.annotation for a in node.args.args]
+        annotations.append(node.returns)
+        for annotation in annotations:
+            if annotation is None:
+                continue
+            for sub in ast.walk(annotation):
+                if isinstance(sub, ast.Name) and sub.id in BARE_GENERICS:
+                    # a Name directly inside a Subscript value is
+                    # parameterized (dict[...]); standalone is bare
+                    parent_subscripted = any(
+                        isinstance(p, ast.Subscript)
+                        and p.value is sub
+                        for p in ast.walk(annotation)
+                    )
+                    if not parent_subscripted:
+                        problems.append(
+                            f"{node.name}:{node.lineno} bare {sub.id!r}"
+                        )
+    assert not problems, f"{path}: {problems}"
