@@ -33,6 +33,22 @@ from repro.analysis.fixer import (
     FixResult,
     fix_source,
 )
+from repro.analysis.optimize import (
+    DEFAULT_PIPELINE,
+    PASSES,
+    OptimizationResult,
+    OptimizationStage,
+    RuleProvenance,
+    TransformRecord,
+    dead_body_atoms,
+    inline_candidates,
+    magic_opportunities,
+    optimize_program,
+    optimized_query_program,
+    reorder_joins,
+    syntactic_fixpoint_program,
+)
+from repro.analysis.sarif import sarif_report
 from repro.analysis.semantics import (
     BoundednessReport,
     Capability,
@@ -68,6 +84,20 @@ __all__ = [
     "AppliedFix",
     "FixResult",
     "fix_source",
+    "DEFAULT_PIPELINE",
+    "PASSES",
+    "OptimizationResult",
+    "OptimizationStage",
+    "RuleProvenance",
+    "TransformRecord",
+    "dead_body_atoms",
+    "inline_candidates",
+    "magic_opportunities",
+    "optimize_program",
+    "optimized_query_program",
+    "reorder_joins",
+    "sarif_report",
+    "syntactic_fixpoint_program",
     "BoundednessReport",
     "Capability",
     "RuleWitness",

@@ -16,8 +16,8 @@ text and JSON outputs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Optional, Union
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional, Sequence, Union
 
 from repro.analysis.dependency import (
     DependencyGraph,
@@ -30,6 +30,9 @@ from repro.analysis.semantics import SemanticReport, semantic_report
 from repro.core.datalog import DatalogProgram, DatalogQuery
 from repro.core.parser import ProgramSource, Span, SourceRule
 from repro.views.view import ViewSet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.optimize import RuleProvenance
 
 AnalysisPass = Callable[["AnalysisContext"], Iterable[Diagnostic]]
 Analyzable = Union[DatalogQuery, DatalogProgram]
@@ -153,6 +156,7 @@ class ProgramAnalyzer:
         source: Optional[ProgramSource] = None,
         goal: Optional[str] = None,
         semantic: bool = False,
+        provenance: Optional[Sequence["RuleProvenance"]] = None,
     ) -> AnalysisReport:
         if isinstance(target, DatalogQuery):
             program, goal = target.program, target.goal
@@ -194,6 +198,27 @@ class ProgramAnalyzer:
             for d in found
             if not (d.code == "W102" and d.rule_index in duplicated)
         ]
+        # optimizer provenance: diagnostics about synthesized rules
+        # (no source span) inherit the originating rule's position as
+        # ``derived_from`` instead of rendering with no location at all
+        if provenance is not None:
+            relocated = []
+            for diagnostic in found:
+                index = diagnostic.rule_index
+                if (
+                    diagnostic.span is None
+                    and index is not None
+                    and 0 <= index < len(provenance)
+                ):
+                    origin = provenance[index]
+                    if origin.span is not None:
+                        diagnostic = replace(diagnostic, span=origin.span)
+                    elif origin.derived_from is not None:
+                        diagnostic = replace(
+                            diagnostic, derived_from=origin.derived_from
+                        )
+                relocated.append(diagnostic)
+            found = relocated
         found.sort(key=Diagnostic.sort_key)
         return AnalysisReport(
             tuple(found), fragment, dependency, ctx.semantics
@@ -206,6 +231,7 @@ def analyze_query(
     source: Optional[ProgramSource] = None,
     goal: Optional[str] = None,
     semantic: bool = False,
+    provenance: Optional[Sequence["RuleProvenance"]] = None,
 ) -> AnalysisReport:
     """Analyze with the default pass pipeline.
 
@@ -214,10 +240,19 @@ def analyze_query(
     an unknown goal is reported as E003 rather than raised.  With
     ``semantic=True`` the :mod:`repro.analysis.semantics` pipeline also
     runs: the report carries a :class:`SemanticReport` and the
-    ``I204``–``I206``/``W109``–``W110`` diagnostics.
+    ``I204``–``I208``/``W109``–``W111`` diagnostics.  ``provenance``
+    (per-rule :class:`~repro.analysis.optimize.RuleProvenance`, e.g.
+    from :func:`~repro.analysis.optimize.optimize_program`) relocates
+    findings about synthesized rules onto their originating source rule
+    via the diagnostics' ``derived_from`` field.
     """
     return ProgramAnalyzer().analyze(
-        target, views=views, source=source, goal=goal, semantic=semantic
+        target,
+        views=views,
+        source=source,
+        goal=goal,
+        semantic=semantic,
+        provenance=provenance,
     )
 
 

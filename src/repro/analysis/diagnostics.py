@@ -47,24 +47,35 @@ CODES: dict[str, tuple[Severity, str]] = {
     "W108": (Severity.WARNING, "view name shadows a program predicate"),
     "W109": (Severity.WARNING, "sort conflict"),
     "W110": (Severity.WARNING, "vacuously recursive rule"),
+    "W111": (Severity.WARNING, "dead body atom"),
     "I201": (Severity.INFO, "fragment classification"),
     "I202": (Severity.INFO, "fragment explanation"),
     "I203": (Severity.INFO, "recursion structure"),
     "I204": (Severity.INFO, "binding patterns"),
     "I205": (Severity.INFO, "boundedness"),
     "I206": (Severity.INFO, "schema sorts"),
+    "I207": (Severity.INFO, "magic sets applicable"),
+    "I208": (Severity.INFO, "inlinable single-use predicate"),
 }
 
 
 @dataclass(frozen=True)
 class Diagnostic:
-    """One analyzer finding."""
+    """One analyzer finding.
+
+    ``span`` locates the finding in the source text.  For diagnostics
+    about *synthesized* rules (optimizer output: magic rules, inlined
+    rules, ...) there is no source position; ``derived_from`` instead
+    points at the source rule the synthesized rule descends from, so a
+    finding never carries a dangling ``(0, 0)`` position.
+    """
 
     code: str
     severity: Severity
     message: str
     span: Optional[Span] = None
     rule_index: Optional[int] = None
+    derived_from: Optional[Span] = None
 
     def sort_key(self) -> tuple[Any, ...]:
         """Source order first, then severity (errors before warnings)."""
@@ -79,7 +90,10 @@ class Diagnostic:
         where = path or "<input>"
         if self.span is not None:
             where = f"{where}:{self.span.label()}"
-        return f"{where}: {self.code} [{self.severity.label}] {self.message}"
+        line = f"{where}: {self.code} [{self.severity.label}] {self.message}"
+        if self.span is None and self.derived_from is not None:
+            line += f" (derived from rule at {self.derived_from.label()})"
+        return line
 
     def as_dict(self) -> dict[str, Any]:
         out: dict[str, Any] = {
@@ -91,6 +105,8 @@ class Diagnostic:
             out["span"] = self.span.as_dict()
         if self.rule_index is not None:
             out["rule"] = self.rule_index
+        if self.derived_from is not None:
+            out["derived_from"] = self.derived_from.as_dict()
         return out
 
 
@@ -99,7 +115,8 @@ def make(
     message: str,
     span: Optional[Span] = None,
     rule_index: Optional[int] = None,
+    derived_from: Optional[Span] = None,
 ) -> Diagnostic:
     """Build a diagnostic, taking the severity from the registry."""
     severity, _title = CODES[code]
-    return Diagnostic(code, severity, message, span, rule_index)
+    return Diagnostic(code, severity, message, span, rule_index, derived_from)

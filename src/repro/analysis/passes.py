@@ -355,11 +355,78 @@ def check_sorts(ctx: "AnalysisContext") -> Iterable[Diagnostic]:
         )
 
 
+def check_magic_applicable(ctx: "AnalysisContext") -> Iterable[Diagnostic]:
+    """I207 — recursive IDBs the magic-sets transformation would restrict.
+
+    Fires when the goal reaches a recursive predicate with at least one
+    bound argument under left-to-right sideways information passing —
+    exactly the opportunity ``repro optimize`` (pass ``magic_sets``)
+    exploits.
+    """
+    if ctx.semantics is None or ctx.goal is None:
+        return
+    if ctx.goal not in ctx.dependency.idb:
+        return
+    from repro.analysis.optimize import magic_opportunities
+
+    opportunities = magic_opportunities(
+        ctx.program, ctx.goal, ctx.dependency, ctx.semantics.adornments
+    )
+    for pred in sorted(opportunities):
+        patterns = ", ".join(opportunities[pred])
+        yield make(
+            "I207",
+            f"recursive predicate {pred} is called with bound "
+            f"pattern(s) {patterns}; magic-sets transformation "
+            "applicable (repro optimize)",
+        )
+
+
+def check_inlinable(ctx: "AnalysisContext") -> Iterable[Diagnostic]:
+    """I208 — non-recursive single-use predicates worth inlining."""
+    if ctx.semantics is None:
+        return
+    from repro.analysis.optimize import inline_candidates
+
+    for pred in inline_candidates(ctx.program, ctx.goal, ctx.dependency):
+        index = next(
+            i
+            for i, rule in enumerate(ctx.program.rules)
+            if rule.head.pred == pred
+        )
+        yield make(
+            "I208",
+            f"predicate {pred} is non-recursive and used by exactly "
+            "one body atom; inlining applicable (repro optimize)",
+            ctx.head_span(index),
+            rule_index=index,
+        )
+
+
+def check_dead_body_atoms(ctx: "AnalysisContext") -> Iterable[Diagnostic]:
+    """W111 — body atoms removable without changing the rule's output."""
+    if ctx.semantics is None:
+        return
+    from repro.analysis.optimize import dead_body_atoms
+
+    for rule_index, atom_index, atom in dead_body_atoms(ctx.program):
+        yield make(
+            "W111",
+            f"body atom {atom!r} of rule #{rule_index} is redundant: "
+            "dropping it derives exactly the same facts",
+            ctx.atom_span(rule_index, atom_index),
+            rule_index=rule_index,
+        )
+
+
 #: Extra passes run only under ``analyze(..., semantic=True)``.
 SEMANTIC_PASSES = (
     check_binding_patterns,
     check_boundedness,
     check_sorts,
+    check_magic_applicable,
+    check_inlinable,
+    check_dead_body_atoms,
 )
 
 

@@ -1,0 +1,126 @@
+"""SARIF 2.1.0 rendering of analyzer diagnostics.
+
+`SARIF <https://docs.oasis-open.org/sarif/sarif/v2.1.0/sarif-v2.1.0.html>`_
+(Static Analysis Results Interchange Format) is the exchange format
+code-scanning UIs ingest (GitHub code scanning, VS Code SARIF viewer,
+...).  :func:`sarif_report` maps the ``repro lint`` vocabulary onto it:
+
+* every code of the :data:`repro.analysis.diagnostics.CODES` registry
+  becomes a ``tool.driver.rules`` entry (the registry is append-only, so
+  ``ruleIndex`` values are stable within one report);
+* each :class:`~repro.analysis.diagnostics.Diagnostic` becomes a
+  ``result`` with ``level`` mapped from its severity (``error`` /
+  ``warning`` / ``note``) and its span as a 1-based ``region``;
+* a diagnostic about a *synthesized* rule (optimizer output) has no
+  source span — its ``derived_from`` provenance is rendered as a
+  ``relatedLocation`` pointing at the originating source rule.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from repro.analysis.diagnostics import CODES, Diagnostic, Severity
+from repro.core.parser import Span
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+#: SARIF ``level`` per severity (SARIF has no "info", it has "note").
+_LEVELS: dict[Severity, str] = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+
+def _region(span: Span) -> dict[str, int]:
+    return {
+        "startLine": span.line,
+        "startColumn": span.col,
+        "endLine": span.end_line,
+        "endColumn": span.end_col,
+    }
+
+
+def _location(uri: str, span: Optional[Span]) -> dict[str, Any]:
+    physical: dict[str, Any] = {"artifactLocation": {"uri": uri}}
+    if span is not None:
+        physical["region"] = _region(span)
+    return {"physicalLocation": physical}
+
+
+def _rules() -> list[dict[str, Any]]:
+    """The full CODES registry as SARIF rule metadata, in code order."""
+    rules = []
+    for code in sorted(CODES):
+        severity, title = CODES[code]
+        rules.append({
+            "id": code,
+            "name": title.title().replace(" ", ""),
+            "shortDescription": {"text": title},
+            "defaultConfiguration": {"level": _LEVELS[severity]},
+        })
+    return rules
+
+
+def _result(
+    diagnostic: Diagnostic, uri: str, rule_index: dict[str, int]
+) -> dict[str, Any]:
+    result: dict[str, Any] = {
+        "ruleId": diagnostic.code,
+        "level": _LEVELS[diagnostic.severity],
+        "message": {"text": diagnostic.message},
+        "locations": [_location(uri, diagnostic.span)],
+    }
+    if diagnostic.code in rule_index:
+        result["ruleIndex"] = rule_index[diagnostic.code]
+    if diagnostic.rule_index is not None:
+        result["properties"] = {"ruleIndexInProgram": diagnostic.rule_index}
+    if diagnostic.derived_from is not None:
+        result["relatedLocations"] = [{
+            **_location(uri, diagnostic.derived_from),
+            "message": {"text": "synthesized from the rule here"},
+        }]
+    return result
+
+
+def sarif_report(
+    diagnostics: Sequence[Diagnostic],
+    path: Optional[str] = None,
+    tool_name: str = "repro-lint",
+) -> dict[str, Any]:
+    """A single-run SARIF 2.1.0 log for ``diagnostics``.
+
+    ``path`` is the analyzed artifact's URI (the lint target file);
+    diagnostics without a span still produce a result located at the
+    artifact, per the SARIF convention for file-level findings.
+    """
+    try:
+        from repro import __version__ as version
+    except ImportError:  # pragma: no cover - only during partial installs
+        version = "unknown"
+    uri = path or "<input>"
+    rule_index = {code: i for i, code in enumerate(sorted(CODES))}
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": tool_name,
+                    "version": version,
+                    "informationUri": (
+                        "https://github.com/paper-repro/"
+                        "monotonic-determinacy"
+                    ),
+                    "rules": _rules(),
+                }
+            },
+            "artifacts": [{"location": {"uri": uri}}],
+            "results": [
+                _result(diagnostic, uri, rule_index)
+                for diagnostic in diagnostics
+            ],
+        }],
+    }

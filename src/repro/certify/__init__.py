@@ -14,6 +14,7 @@ The subsystem splits along a trust boundary:
 from repro.certify.checker import (
     CERT_SCHEMA,
     CLAIM_CHECKERS,
+    SUPPORTED_SCHEMAS,
     CheckResult,
     check_certificate,
 )
@@ -26,6 +27,7 @@ from repro.certify.emit import (
     claim_monotone_rewriting,
     claim_no_hom,
     claim_not_determined,
+    claim_program_equivalence,
     claim_query_output,
     claim_rewriting_sample,
     claim_tree_decomposition,
@@ -37,6 +39,7 @@ from repro.certify.serialize import CertificateFormatError, OpaqueTerm
 __all__ = [
     "CERT_SCHEMA",
     "CLAIM_CHECKERS",
+    "SUPPORTED_SCHEMAS",
     "CertificateFormatError",
     "CheckResult",
     "OpaqueTerm",
@@ -49,6 +52,7 @@ __all__ = [
     "claim_monotone_rewriting",
     "claim_no_hom",
     "claim_not_determined",
+    "claim_program_equivalence",
     "claim_query_output",
     "claim_rewriting_sample",
     "claim_tree_decomposition",

@@ -35,6 +35,10 @@ type                            verified statement
 ``bounded_unfolding``           vacuous-recursion removals replay, the
                                 remainder is nonrecursive, and the shipped
                                 UCQ is sound for it (plus sampled converse)
+``program_equivalence``         original and optimized programs agree on
+                                the goal relation, replayed on shipped
+                                witnesses + a seeded instance stream over
+                                the (extensional-only) claimed schema
 ==============================  =============================================
 """
 
@@ -65,7 +69,12 @@ from repro.core.ucq import UCQ, as_ucq
 from repro.views.view import ViewSet
 
 #: bump when the certificate format changes incompatibly
-CERT_SCHEMA = 1
+CERT_SCHEMA = 2
+
+#: every schema this checker can validate.  Schema 2 only *adds* the
+#: ``program_equivalence`` claim type, so schema-1 certificates remain
+#: fully checkable.
+SUPPORTED_SCHEMAS = frozenset({1, CERT_SCHEMA})
 
 #: cap on checker-side unfoldings, mirroring the emitters' caps
 UNFOLD_LIMIT = 512
@@ -564,6 +573,81 @@ def _check_bounded_unfolding(payload: dict[str, Any]) -> None:
             )
 
 
+def _check_program_equivalence(payload: dict[str, Any]) -> None:
+    from repro.certify.serialize import relations_from_instance
+    from repro.core.schema import Schema
+    from repro.rewriting.verification import random_instances
+
+    original = decode_program(payload["original"])
+    optimized = decode_program(payload["optimized"])
+    goal = payload["goal"]
+    original_idb = {rule.head.pred for rule in original.rules}
+    if goal not in original_idb:
+        raise ClaimFailure(
+            f"goal {goal!r} has no rules in the original program"
+        )
+    idb = original_idb | {rule.head.pred for rule in optimized.rules}
+    schema_map = {
+        pred: int(arity) for pred, arity in payload["schema"].items()
+    }
+    clash = sorted(set(schema_map) & idb)
+    if clash:
+        raise ClaimFailure(
+            f"schema names intensional predicate(s) {', '.join(clash)}; "
+            "equivalence is only claimed over extensional instances"
+        )
+    # the schema must cover every extensional predicate either program
+    # reads — a narrower schema would make the sampled check vacuous
+    for label, program in (("original", original), ("optimized", optimized)):
+        for rule in program.rules:
+            for atom in rule.body:
+                if atom.pred in idb:
+                    continue
+                if schema_map.get(atom.pred) != atom.arity:
+                    raise ClaimFailure(
+                        f"schema omits or mis-declares extensional "
+                        f"{atom.pred}/{atom.arity} read by the "
+                        f"{label} program"
+                    )
+    witnesses = [
+        decode_relations(witness)
+        for witness in payload.get("witnesses", [])
+    ]
+    for index, witness in enumerate(witnesses):
+        stray = sorted(set(witness) - set(schema_map))
+        if stray:
+            raise ClaimFailure(
+                f"witness #{index} uses non-schema predicate(s) "
+                f"{', '.join(stray)}"
+            )
+
+    def compare(relations: Relations, label: str) -> None:
+        left = replay.naive_fixpoint(
+            original.rules, relations
+        ).get(goal, set())
+        right = replay.naive_fixpoint(
+            optimized.rules, relations
+        ).get(goal, set())
+        if left != right:
+            extra = sorted(right - left, key=repr)[:3]
+            missing = sorted(left - right, key=repr)[:3]
+            raise ClaimFailure(
+                f"{label}: goal relations differ (optimized adds "
+                f"{extra!r}, loses {missing!r})"
+            )
+
+    for index, witness in enumerate(witnesses):
+        compare(witness, f"witness #{index}")
+    schema = Schema(schema_map)
+    trials = int(payload.get("trials", 12))
+    seed = int(payload.get("seed", 0))
+    for index, instance in enumerate(random_instances(schema, trials, seed)):
+        compare(
+            relations_from_instance(instance),
+            f"sample #{index} (seed {seed})",
+        )
+
+
 #: claim type -> checker
 CLAIM_CHECKERS: dict[str, Callable[[dict], None]] = {
     "membership": _check_membership,
@@ -578,6 +662,7 @@ CLAIM_CHECKERS: dict[str, Callable[[dict], None]] = {
     "monotone_rewriting": _check_monotone_rewriting,
     "rewriting_sample": _check_rewriting_sample,
     "bounded_unfolding": _check_bounded_unfolding,
+    "program_equivalence": _check_program_equivalence,
 }
 
 
@@ -585,13 +670,14 @@ def check_certificate(certificate: Any) -> CheckResult:
     """Validate one certificate; never raises on malformed input."""
     if not isinstance(certificate, dict):
         return CheckResult(False, 0, ("certificate is not an object",))
-    if certificate.get("schema") != CERT_SCHEMA:
+    if certificate.get("schema") not in SUPPORTED_SCHEMAS:
+        supported = ", ".join(str(s) for s in sorted(SUPPORTED_SCHEMAS))
         return CheckResult(
             False,
             0,
             (
                 f"unsupported certificate schema "
-                f"{certificate.get('schema')!r} (expected {CERT_SCHEMA})",
+                f"{certificate.get('schema')!r} (supported: {supported})",
             ),
         )
     claims = certificate.get("claims")

@@ -33,7 +33,9 @@ from repro.core.ucq import UCQ
 from repro.views.view import ViewSet
 
 #: bump together with :data:`repro.certify.checker.CERT_SCHEMA`
-CERT_SCHEMA = 1
+#: (history: 1 = initial 12-claim vocabulary; 2 = adds
+#: ``program_equivalence`` for the certified optimizer)
+CERT_SCHEMA = 2
 
 InstanceLike = Union[Instance, Relations]
 
@@ -289,3 +291,50 @@ def claim_bounded_unfolding(
         "trials": int(trials),
         "seed": int(seed),
     }
+
+
+def claim_program_equivalence(
+    original: DatalogProgram,
+    optimized: DatalogProgram,
+    goal: str,
+    schema: Optional[Schema] = None,
+    witnesses: Sequence[Relations] = (),
+    trials: int = 12,
+    seed: int = 0,
+    pass_name: Optional[str] = None,
+) -> dict[str, Any]:
+    """``optimized`` and ``original`` agree on the goal relation, over
+    instances of the extensional ``schema`` (schema-2 claim).
+
+    The contract is deliberately scoped to extensional instances: the
+    optimizer's renaming passes (magic sets, inlining, specialization)
+    are not answer-preserving on instances that supply facts for
+    intensional predicates, and no decision procedure evaluates on such
+    instances.  The checker replays both programs with naive fixpoint
+    evaluation on the shipped ``witnesses`` (targeted, canonical-db
+    style) and on a seeded random-instance stream over ``schema``.
+    """
+    if schema is None:
+        idb = original.idb_predicates() | optimized.idb_predicates()
+        relations: dict[str, int] = {}
+        for program in (original, optimized):
+            for rule in program.rules:
+                for atom in rule.body:
+                    if atom.pred not in idb:
+                        relations[atom.pred] = atom.arity
+        schema = Schema(relations)
+    payload = {
+        "type": "program_equivalence",
+        "original": encode_program(original),
+        "optimized": encode_program(optimized),
+        "goal": goal,
+        "schema": {
+            pred: schema.arity(pred) for pred in sorted(schema.names())
+        },
+        "witnesses": [encode_relations(witness) for witness in witnesses],
+        "trials": int(trials),
+        "seed": int(seed),
+    }
+    if pass_name is not None:
+        payload["pass"] = pass_name
+    return payload

@@ -8,7 +8,11 @@ Commands:
 * ``certain`` — certain answers of a query over a view instance
 * ``eval``    — evaluate a query over an instance
 * ``lint``    — static analysis: diagnostics with source positions,
-  dependency/fragment structure, text or JSON output
+  dependency/fragment structure, text, JSON or SARIF 2.1.0 output
+* ``optimize``— certified program transformations (dead code,
+  specialization, inlining, magic sets, join reordering) with a
+  transformation log, rule diff and optional ``program_equivalence``
+  certificate
 * ``evidence``— regenerate the paper's tables and figures as a
   parallel, cached, verdict-checked job DAG (``repro.harness``)
 
@@ -179,7 +183,8 @@ def cmd_decide(args: argparse.Namespace) -> int:
     query = load_query(args.query)
     views = load_views(args.views)
     result = decide_monotonic_determinacy(
-        query, views, approx_depth=args.depth
+        query, views, approx_depth=args.depth,
+        optimize=getattr(args, "optimize", False),
     )
     print(f"verdict : {result.verdict.value}")
     print(f"method  : {result.method}")
@@ -282,6 +287,13 @@ def cmd_lint(args: argparse.Namespace) -> int:
                 "diagnostics": [diagnostic.as_dict()],
                 "summary": {"errors": 1, "warnings": 0, "infos": 0},
             }, indent=2, sort_keys=True))
+        elif args.format == "sarif":
+            from repro.analysis import sarif_report
+
+            print(json.dumps(
+                sarif_report([diagnostic], args.query),
+                indent=2, sort_keys=True,
+            ))
         else:
             print(diagnostic.render(getattr(exc, "path", None) or args.query))
             print("1 error(s), 0 warning(s)")
@@ -296,6 +308,13 @@ def cmd_lint(args: argparse.Namespace) -> int:
         if getattr(args, "fix", False):
             payload["fixes"] = [f.as_dict() for f in fixes]
         print(json.dumps(payload, indent=2, sort_keys=True))
+    elif args.format == "sarif":
+        from repro.analysis import sarif_report
+
+        print(json.dumps(
+            sarif_report(report.diagnostics, args.query),
+            indent=2, sort_keys=True,
+        ))
     else:
         for fix in fixes:
             print(f"{args.query}: fixed {fix.render()}")
@@ -306,6 +325,104 @@ def cmd_lint(args: argparse.Namespace) -> int:
     if worst is Severity.WARNING:
         return LINT_ERRORS if args.strict else LINT_WARNINGS
     return LINT_OK
+
+
+def cmd_optimize(args: argparse.Namespace) -> int:
+    """Run the certified optimizer over a query file.
+
+    Parses through the span-aware path so every transformation record
+    points back at a source position (or, for synthesized rules, at the
+    rule it was derived from).  ``--emit-certificate`` additionally
+    ships ``program_equivalence`` claims for every applied pass and
+    *validates them with the independent checker* before writing — an
+    invalid certificate is a bug and exits 1.
+    """
+    import json
+
+    from repro.analysis import analyze_query
+    from repro.analysis.optimize import PASSES, optimize_program
+
+    text = Path(args.query).read_text()
+    goal = None
+    for line in text.splitlines():
+        stripped = line.strip()
+        if stripped.startswith("# goal:"):
+            goal = stripped.split(":", 1)[1].strip()
+    query = _parse_query_text(text, path=args.query)
+    if not isinstance(query, DatalogQuery):
+        print(
+            "error: optimize needs a Datalog query file with '# goal:'",
+            file=sys.stderr,
+        )
+        return INPUT_ERROR
+    source = parse_program_source(text)
+    spans = [
+        entry.span for entry in source.entries if entry.rule is not None
+    ]
+
+    passes = None
+    if args.passes:
+        passes = tuple(name.strip() for name in args.passes.split(","))
+        unknown = [name for name in passes if name not in PASSES]
+        if unknown:
+            known = ", ".join(PASSES)
+            print(
+                f"error: unknown pass(es) {', '.join(unknown)} "
+                f"(known: {known})",
+                file=sys.stderr,
+            )
+            return INPUT_ERROR
+    instance = load_instance(args.instance) if args.instance else None
+    certify = args.emit_certificate is not None
+    result = optimize_program(
+        query.program, goal or query.goal, passes,
+        instance=instance, spans=spans, certify=certify,
+    )
+
+    if args.format == "json":
+        payload = result.as_dict()
+        report = analyze_query(
+            result.optimized, goal=result.goal, semantic=True,
+            provenance=result.provenance,
+        )
+        payload["diagnostics"] = [d.as_dict() for d in report.diagnostics]
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for stage in result.stages:
+            for record in stage.records:
+                print(f"{args.query}: {record.render()}")
+        removed, added = result.diff()
+        if not result.changed:
+            print(f"{args.query}: nothing to optimize")
+        else:
+            for rule in removed:
+                print(f"- {rule!r}")
+            for rule in added:
+                print(f"+ {rule!r}")
+        print(f"# goal: {result.goal}")
+        for rule in result.optimized.rules:
+            print(repr(rule))
+
+    if certify:
+        from repro.certify import check_certificate
+
+        certificate = result.certificate
+        assert certificate is not None
+        outcome = check_certificate(certificate)
+        Path(args.emit_certificate).write_text(
+            json.dumps(certificate, indent=2, sort_keys=True)
+        )
+        claims = len(certificate["claims"])
+        if not outcome.valid:
+            for failure in outcome.failures:
+                print(f"certificate INVALID: {failure}", file=sys.stderr)
+            return 1
+        print(
+            f"certificate: {claims} claim(s) checked, valid "
+            f"-> {args.emit_certificate}",
+            file=sys.stderr,
+        )
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -325,6 +442,14 @@ def build_parser() -> argparse.ArgumentParser:
     decide.add_argument("query")
     decide.add_argument("views")
     decide.add_argument("--depth", type=int, default=4)
+    decide.add_argument(
+        "--optimize",
+        action="store_true",
+        help="run a recursive Datalog query through the certified "
+        "optimizer before the canonical-test procedure; applied "
+        "transformations ship program_equivalence claims in the "
+        "verdict certificate",
+    )
     decide.set_defaults(func=cmd_decide)
 
     rewrite = sub.add_parser("rewrite", help="compute a rewriting")
@@ -349,7 +474,8 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("query")
     lint.add_argument("--views", help="views file to check against")
     lint.add_argument(
-        "--format", choices=("text", "json"), default="text"
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="sarif emits a SARIF 2.1.0 log for code-scanning UIs",
     )
     lint.add_argument(
         "--strict",
@@ -370,6 +496,32 @@ def build_parser() -> argparse.ArgumentParser:
         "patterns, boundedness, sort inference (I204-I206, W109-W110)",
     )
     lint.set_defaults(func=cmd_lint)
+
+    optimize = sub.add_parser(
+        "optimize",
+        help="apply certified analysis-driven program transformations",
+    )
+    optimize.add_argument("query", help="Datalog query file with '# goal:'")
+    optimize.add_argument(
+        "--instance",
+        help="instance file whose cardinalities drive join reordering",
+    )
+    optimize.add_argument(
+        "--passes",
+        help="comma-separated pass names to run, in order "
+        "(default: dead_code,specialize,inline,magic_sets,join_order)",
+    )
+    optimize.add_argument(
+        "--format", choices=("text", "json"), default="text"
+    )
+    optimize.add_argument(
+        "--emit-certificate",
+        metavar="PATH",
+        help="write a schema-2 certificate with one program_equivalence "
+        "claim per applied pass, validated by the independent checker "
+        "before writing (invalid -> exit 1)",
+    )
+    optimize.set_defaults(func=cmd_optimize)
 
     from repro.harness.cli import add_evidence_parser
 

@@ -228,17 +228,62 @@ class DatalogQuery:
     def fragment(self) -> str:
         return self.program.fragment()
 
-    def evaluate(self, instance: Instance) -> set[tuple]:
+    def evaluate(
+        self, instance: Instance, optimize: Optional[bool] = None
+    ) -> set[tuple]:
         """``Output(Q, I)``: the goal tuples of the least fixpoint.
 
         Evaluation is goal-directed: rules the goal does not depend on
         are pruned first (they cannot contribute goal tuples), then the
         SCC-stratified engine runs the rest dependencies-first.
-        """
-        from repro.core.evaluation import fixpoint, goal_directed_program
 
+        With ``optimize=True`` (or the ambient
+        :func:`repro.core.evaluation.set_default_optimize` default) the
+        full :mod:`repro.analysis.optimize` pipeline runs first — dead
+        code, specialization, inlining and magic sets — which is only
+        goal-preserving on *extensional* instances; when ``instance``
+        supplies facts for an intensional predicate we fall back to the
+        plain goal-directed path.
+        """
+        from repro.core.evaluation import (
+            default_optimize,
+            fixpoint,
+            goal_directed_program,
+        )
+
+        if optimize is None:
+            optimize = default_optimize()
+        if (
+            optimize
+            and not (
+                instance.predicates() & self.program.idb_predicates()
+            )
+        ):
+            from repro.analysis.optimize import (
+                OPTIMIZE_RULE_LIMIT,
+                optimized_query_program,
+            )
+
+            if len(self.program.rules) > OPTIMIZE_RULE_LIMIT:
+                program = goal_directed_program(self.program, self.goal)
+                return set(
+                    fixpoint(program, instance, optimize=False).tuples(
+                        self.goal
+                    )
+                )
+            from repro.core.stats import suspended
+
+            # analysis-side subsumption searches stay out of the
+            # caller's evaluation counters
+            with suspended():
+                program = optimized_query_program(self.program, self.goal)
+            return set(
+                fixpoint(program, instance, optimize=True).tuples(self.goal)
+            )
         program = goal_directed_program(self.program, self.goal)
-        return set(fixpoint(program, instance).tuples(self.goal))
+        return set(
+            fixpoint(program, instance, optimize=False).tuples(self.goal)
+        )
 
     def holds(self, instance: Instance, answer: Sequence = ()) -> bool:
         return tuple(answer) in self.evaluate(instance)

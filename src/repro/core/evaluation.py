@@ -44,8 +44,29 @@ from repro.core.homomorphism import (
 from repro.core.instance import Instance
 from repro.core.stats import EngineStats
 
+#: ambient default for ``fixpoint(..., optimize=None)``; flipped by
+#: :func:`set_default_optimize` (e.g. in harness worker processes) so
+#: existing call sites opt in without changing their signatures.
+_DEFAULT_OPTIMIZE = False
 
-def _rule_derivations(rule: Rule, instance: Instance) -> Iterator[Atom]:
+
+def set_default_optimize(value: bool) -> bool:
+    """Set the ambient default for ``optimize=None``; returns the
+    previous value so callers can restore it."""
+    global _DEFAULT_OPTIMIZE
+    previous = _DEFAULT_OPTIMIZE
+    _DEFAULT_OPTIMIZE = bool(value)
+    return previous
+
+
+def default_optimize() -> bool:
+    """The current ambient optimization default."""
+    return _DEFAULT_OPTIMIZE
+
+
+def _rule_derivations(
+    rule: Rule, instance: Instance, ordering: str = "auto"
+) -> Iterator[Atom]:
     """All head facts derivable from ``rule`` against ``instance``."""
     if not rule.body:
         yield rule.head
@@ -65,7 +86,7 @@ def _rule_derivations(rule: Rule, instance: Instance) -> Iterator[Atom]:
             if bound is not None:
                 yield rule.head.substitute(bound)
         return
-    for hom in homomorphisms(rule.body, instance):
+    for hom in homomorphisms(rule.body, instance, ordering=ordering):
         yield rule.head.substitute(hom)
 
 
@@ -73,6 +94,7 @@ def naive_fixpoint(
     program: DatalogProgram,
     instance: Instance,
     stats: Optional[EngineStats] = None,
+    ordering: str = "auto",
 ) -> Instance:
     """Round-based naive evaluation (the correctness oracle)."""
     with _stats.maybe_collecting(stats):
@@ -85,7 +107,7 @@ def naive_fixpoint(
             derived = [
                 fact
                 for rule in program.rules
-                for fact in _rule_derivations(rule, state)
+                for fact in _rule_derivations(rule, state, ordering)
             ]
             changed = False
             for fact in derived:
@@ -109,11 +131,14 @@ class _PlanCache:
     selectivities representative.
     """
 
-    __slots__ = ("_plans", "_stats")
+    __slots__ = ("_plans", "_stats", "_default")
 
-    def __init__(self, collector: Optional[EngineStats]) -> None:
+    def __init__(
+        self, collector: Optional[EngineStats], default: str = "auto"
+    ) -> None:
         self._plans: dict[tuple, tuple[list[Atom], str]] = {}
         self._stats = collector
+        self._default = default
 
     def ordering_for(
         self, key: tuple, atoms: list[Atom], target: Instance
@@ -121,8 +146,13 @@ class _PlanCache:
         """The (ordered atoms, replay ordering) for a cached join."""
         plan = self._plans.get(key)
         if plan is None:
-            ordered, dynamic = resolve_plan(atoms, target, "auto")
-            plan = (ordered, "dynamic" if dynamic else "static")
+            if self._default == "static":
+                # the statically planned body order is the plan: replay
+                # it as-is instead of re-planning at runtime
+                plan = (list(atoms), "static")
+            else:
+                ordered, dynamic = resolve_plan(atoms, target, self._default)
+                plan = (ordered, "dynamic" if dynamic else "static")
             self._plans[key] = plan
             if self._stats is not None:
                 self._stats.plan_cache_misses += 1
@@ -174,6 +204,7 @@ def _seminaive_in_place(
     delta_patterns: list,
     collector: Optional[EngineStats],
     prelude: Sequence[Rule] = (),
+    ordering: str = "auto",
 ) -> None:
     """Run the given rules to fixpoint, mutating ``state`` in place.
 
@@ -193,7 +224,7 @@ def _seminaive_in_place(
     if collector is not None:
         collector.fixpoint_rounds += 1
     for rule in prelude:
-        derived = list(_rule_derivations(rule, state))
+        derived = list(_rule_derivations(rule, state, ordering))
         added = 0
         for fact in derived:
             if state.add(fact):
@@ -201,7 +232,7 @@ def _seminaive_in_place(
         if collector is not None:
             collector.facts_derived += added
     for rule in rules:
-        for fact in _rule_derivations(rule, state):
+        for fact in _rule_derivations(rule, state, ordering):
             if fact not in state:
                 delta.add(fact)
     state.update(delta.facts())
@@ -242,6 +273,7 @@ def seminaive_fixpoint(
     program: DatalogProgram,
     instance: Instance,
     stats: Optional[EngineStats] = None,
+    ordering: str = "auto",
 ) -> Instance:
     """Semi-naive evaluation with per-round deltas and cached plans."""
     with _stats.maybe_collecting(stats):
@@ -252,9 +284,10 @@ def seminaive_fixpoint(
             range(len(program.rules)),
             state,
             program.idb_predicates(),
-            _PlanCache(collector),
+            _PlanCache(collector, ordering),
             _program_delta_patterns(program),
             collector,
+            ordering=ordering,
         )
         return state
 
@@ -320,6 +353,7 @@ def _single_pass(
     rules: Sequence[Rule],
     state: Instance,
     collector: Optional[EngineStats],
+    ordering: str = "auto",
 ) -> None:
     """Fire each rule exactly once, in order, applying facts eagerly.
 
@@ -331,7 +365,7 @@ def _single_pass(
     if collector is not None:
         collector.fixpoint_rounds += 1
     for rule in rules:
-        derived = list(_rule_derivations(rule, state))
+        derived = list(_rule_derivations(rule, state, ordering))
         added = 0
         for fact in derived:
             if state.add(fact):
@@ -344,6 +378,7 @@ def stratified_fixpoint(
     program: DatalogProgram,
     instance: Instance,
     stats: Optional[EngineStats] = None,
+    ordering: str = "auto",
 ) -> Instance:
     """SCC-stratified semi-naive evaluation (the default strategy).
 
@@ -359,7 +394,7 @@ def stratified_fixpoint(
     with _stats.maybe_collecting(stats):
         collector = _stats.active()
         state = instance.copy()
-        plans = _PlanCache(collector)
+        plans = _PlanCache(collector, ordering)
         delta_patterns = _program_delta_patterns(program)
         for prelude, rules, keys, tracked in _execution_plan(program):
             if rules:
@@ -372,9 +407,10 @@ def stratified_fixpoint(
                     delta_patterns,
                     collector,
                     prelude=prelude,
+                    ordering=ordering,
                 )
             elif prelude:
-                _single_pass(prelude, state, collector)
+                _single_pass(prelude, state, collector, ordering)
         return state
 
 
@@ -400,14 +436,47 @@ def fixpoint(
     instance: Instance,
     strategy: str = "stratified",
     stats: Optional[EngineStats] = None,
+    optimize: Optional[bool] = None,
 ) -> Instance:
-    """``FPEval(Π, I)`` with a selectable strategy."""
+    """``FPEval(Π, I)`` with a selectable strategy.
+
+    ``optimize=True`` (or an ambient :func:`set_default_optimize`
+    default with ``optimize=None``) first applies the *universally
+    sound* optimizer passes — body minimization, subsumed-rule removal
+    and static join reordering against this instance's cardinalities
+    (:mod:`repro.analysis.optimize`) — and then evaluates with
+    ``ordering="static"``, replaying the planned body orders instead of
+    replanning joins at runtime.  These passes preserve every IDB
+    relation on every instance; the goal-directed passes (magic sets,
+    inlining) need a goal predicate and live in
+    :meth:`repro.core.datalog.DatalogQuery.evaluate`.
+    """
+    if optimize is None:
+        optimize = _DEFAULT_OPTIMIZE
+    ordering = "auto"
+    if optimize:
+        from repro.analysis.optimize import (
+            OPTIMIZE_RULE_LIMIT,
+            reorder_joins,
+            syntactic_fixpoint_program,
+        )
+
+        if len(program.rules) <= OPTIMIZE_RULE_LIMIT:
+            from repro.core.stats import suspended
+
+            # the optimizer's subsumption checks are analysis, not
+            # evaluation: keep them out of the caller's counters
+            with suspended():
+                program = reorder_joins(
+                    syntactic_fixpoint_program(program), instance
+                )
+            ordering = "static"
     if strategy == "stratified":
-        return stratified_fixpoint(program, instance, stats)
+        return stratified_fixpoint(program, instance, stats, ordering)
     if strategy == "seminaive":
-        return seminaive_fixpoint(program, instance, stats)
+        return seminaive_fixpoint(program, instance, stats, ordering)
     if strategy == "naive":
-        return naive_fixpoint(program, instance, stats)
+        return naive_fixpoint(program, instance, stats, ordering)
     raise ValueError(f"unknown strategy {strategy!r}")
 
 

@@ -174,6 +174,21 @@ def collecting(stats: Optional[EngineStats] = None) -> Iterator[EngineStats]:
         _ACTIVE.pop()
 
 
+@contextmanager
+def suspended() -> Iterator[EngineStats]:
+    """Shadow the active collector with a throwaway one for the block.
+
+    Analysis-side homomorphism work — rule subsumption inside the
+    optimizer, most prominently — must not pollute the *evaluation*
+    counters a caller is collecting, or before/after engine comparisons
+    measure the analysis instead of the plan it produced.  The scratch
+    collector still nests cleanly and is yielded for callers that want
+    to inspect the suppressed counts.
+    """
+    with collecting(EngineStats()) as scratch:
+        yield scratch
+
+
 def maybe_collecting(stats: Optional[EngineStats]):
     """``collecting(stats)`` when given a collector, else a no-op context.
 

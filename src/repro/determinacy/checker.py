@@ -178,6 +178,7 @@ def decide_monotonic_determinacy(
     view_depth: int = 3,
     max_tests: Optional[int] = None,
     certify: bool = True,
+    optimize: bool = False,
 ) -> DeterminacyResult:
     """Decide (or boundedly check) monotonic determinacy of ``query``.
 
@@ -190,7 +191,12 @@ def decide_monotonic_determinacy(
     Datalog queries are statically analyzed first: a program with
     error-grade diagnostics (inconsistent arities, undefined goal, ...)
     raises :class:`~repro.analysis.ProgramAnalysisError` instead of
-    feeding garbage to a 2ExpTime-grade procedure.
+    feeding garbage to a 2ExpTime-grade procedure.  With ``optimize``
+    a genuinely recursive Datalog query additionally runs through the
+    certified optimizer (:mod:`repro.analysis.optimize`) before the
+    canonical-test procedure; when ``certify`` is also set the applied
+    transformations ship ``program_equivalence`` claims alongside the
+    verdict's own certificate.
     """
     extra_claims: list[dict] = []
     reduced = ""
@@ -218,6 +224,17 @@ def decide_monotonic_determinacy(
                 ))
             reduced = " after bounded→UCQ reduction"
             query = boundedness.ucq
+    if optimize and isinstance(query, DatalogQuery):
+        from repro.analysis.optimize import optimize_program
+
+        opt = optimize_program(
+            query.program, query.goal, certify=certify
+        )
+        if opt.changed:
+            if certify and opt.certificate is not None:
+                extra_claims.extend(opt.certificate["claims"])
+            query = DatalogQuery(opt.optimized, query.goal, query.name)
+            reduced += " after certified optimization"
     if isinstance(query, (ConjunctiveQuery, UCQ)):
         result = _decide_exact(
             query, views, certify, extra_claims, approx_depth, view_depth

@@ -56,15 +56,34 @@ def cmd_evidence_run(args: argparse.Namespace) -> int:
     if not jobs:
         print(f"no jobs match filter {args.filter!r}", file=sys.stderr)
         return 2
+    optimize = getattr(args, "optimize", False)
     fingerprint = code_fingerprint()
+    if optimize:
+        # optimized and unoptimized runs derive different intermediate
+        # programs: salt the fingerprint so their caches never collide
+        fingerprint += "+optimize"
     cache = (
         None if args.no_cache
         else ResultCache(Path(args.cache_dir), fingerprint)
     )
+    baseline = None
+    if getattr(args, "baseline", None):
+        path = Path(args.baseline)
+        if path.is_dir():
+            path = path / "manifest.json"
+        try:
+            baseline = load_manifest(path)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(
+                f"cannot read baseline manifest {path}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
     out_dir = Path(args.out_dir)
     config = RunnerConfig(
         workers=max(1, args.jobs),
         default_timeout=args.timeout,
+        optimize=optimize,
     )
     started = time.perf_counter()
     with EventLog(out_dir / "events.jsonl") as events:
@@ -83,6 +102,8 @@ def cmd_evidence_run(args: argparse.Namespace) -> int:
         code_fingerprint=fingerprint,
         cache_used=cache is not None,
         certificate_checks=certificate_checks,
+        optimize=optimize,
+        baseline=baseline,
     )
     write_manifest(manifest, out_dir / "manifest.json")
     if args.format == "json":
@@ -161,6 +182,18 @@ def add_evidence_parser(sub: argparse._SubParsersAction) -> None:
         help="re-validate every job's certificate with the independent "
         "checker (naive evaluation only) and gate the exit code on "
         "all of them being valid",
+    )
+    erun.add_argument(
+        "--optimize", action="store_true",
+        help="evaluate every job through the certified optimizer "
+        "(repro.analysis.optimize); the result cache is salted so "
+        "optimized and plain runs never share entries",
+    )
+    erun.add_argument(
+        "--baseline", metavar="MANIFEST",
+        help="previously written manifest.json (or its directory) to "
+        "diff engine totals against; the new manifest records the "
+        "per-counter delta",
     )
     erun.set_defaults(func=cmd_evidence_run)
 

@@ -17,7 +17,17 @@ from typing import Any, Mapping, Optional, Sequence
 from repro.core.stats import EngineStats
 from repro.harness.job import Job, JobResult, JobStatus
 
-MANIFEST_SCHEMA = 2  # 2: per-job certificate status
+MANIFEST_SCHEMA = 3  # 2: per-job certificate status; 3: optimize flag
+                     # + optional baseline engine delta
+
+#: EngineStats counters diffed against a baseline manifest
+_DELTA_FIELDS = (
+    "hom_calls",
+    "search_steps",
+    "rows_scanned",
+    "fixpoint_rounds",
+    "facts_derived",
+)
 
 
 def check_result_certificates(
@@ -74,6 +84,8 @@ def build_manifest(
     code_fingerprint: str,
     cache_used: bool,
     certificate_checks: Optional[Mapping[str, dict]] = None,
+    optimize: bool = False,
+    baseline: Optional[Mapping[str, Any]] = None,
 ) -> dict[str, Any]:
     """Assemble the manifest dict for one finished run.
 
@@ -82,6 +94,12 @@ def build_manifest(
     certificate status, the summary counts ``certified`` jobs, and
     :func:`manifest_exit_code` additionally requires every job's
     certificate to validate.
+
+    ``optimize`` records whether the run evaluated through the
+    certified optimizer.  ``baseline`` is a previously written manifest
+    to diff against: the new manifest gains a ``baseline`` block with
+    per-counter engine deltas (current − baseline), the before/after
+    evidence for the optimizer's effect on the same job set.
     """
     engine_totals = EngineStats()
     job_entries = {}
@@ -131,7 +149,7 @@ def build_manifest(
     }
     if certificate_checks is not None:
         summary["certified"] = certified
-    return {
+    manifest: dict[str, Any] = {
         "schema": MANIFEST_SCHEMA,
         "created": datetime.datetime.now(
             datetime.timezone.utc
@@ -140,11 +158,24 @@ def build_manifest(
         "workers": workers,
         "default_timeout_s": default_timeout,
         "cache_used": cache_used,
+        "optimize": optimize,
         "jobs": job_entries,
         "mismatches": mismatches,
         "engine_totals": engine_totals.to_dict(),
         "summary": summary,
     }
+    if baseline is not None:
+        base_engine = baseline.get("engine_totals") or {}
+        current = engine_totals.to_dict()
+        manifest["baseline"] = {
+            "code_fingerprint": baseline.get("code_fingerprint", ""),
+            "optimize": bool(baseline.get("optimize", False)),
+            "engine_delta": {
+                name: current.get(name, 0) - base_engine.get(name, 0)
+                for name in _DELTA_FIELDS
+            },
+        }
+    return manifest
 
 
 def manifest_exit_code(manifest: dict[str, Any]) -> int:
@@ -214,10 +245,22 @@ def render_manifest(manifest: dict[str, Any], *, verbose: bool = False) -> str:
         )
     engine = manifest.get("engine_totals") or {}
     if engine.get("hom_calls") or engine.get("fixpoint_rounds"):
+        optimized = " (optimized)" if manifest.get("optimize") else ""
         lines.append(
-            f"engine : {engine['hom_calls']} hom calls, "
+            f"engine{optimized}: {engine['hom_calls']} hom calls, "
             f"{engine['rows_scanned']} rows scanned, "
             f"{engine['fixpoint_rounds']} fixpoint rounds, "
             f"{engine['facts_derived']} facts derived"
+        )
+    baseline = manifest.get("baseline")
+    if baseline is not None:
+        delta = baseline.get("engine_delta", {})
+        parts = []
+        for name in _DELTA_FIELDS:
+            value = delta.get(name, 0)
+            if value:
+                parts.append(f"{name} {value:+d}")
+        lines.append(
+            "vs baseline: " + (", ".join(parts) if parts else "no change")
         )
     return "\n".join(lines)

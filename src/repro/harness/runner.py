@@ -42,18 +42,31 @@ class RunnerConfig:
     retry_backoff: float = 0.25       # seconds * attempt number
     retry_timeouts: bool = False      # a hang usually hangs again
     start_method: Optional[str] = None  # None -> fork if available
+    optimize: bool = False            # run jobs with the optimizer on
 
 
 def _worker(
-    fn_ref: str, inputs: dict[str, Any], conn: Connection
+    fn_ref: str,
+    inputs: dict[str, Any],
+    conn: Connection,
+    optimize: bool = False,
 ) -> None:
     """Child-process entry: resolve the job fn, run it, ship the result.
 
     Everything crossing the pipe is plain dicts of JSON-ready values;
     :class:`EngineStats` travels as ``to_dict()`` and is merged back in
     the parent (the whole point of the round-trip API).
+
+    ``optimize`` flips the process-wide evaluation default
+    (:func:`repro.core.evaluation.set_default_optimize`) so every
+    ``fixpoint``/``evaluate`` call inside the job runs through the
+    certified optimizer — job functions need no signature change.
     """
     try:
+        if optimize:
+            from repro.core.evaluation import set_default_optimize
+
+            set_default_optimize(True)
         job_fn = Job(
             name="<worker>", fn=fn_ref, claim="", expected=""
         ).resolve()
@@ -208,7 +221,7 @@ def run_jobs(
         recv, send = ctx.Pipe(duplex=False)
         process = ctx.Process(
             target=_worker,
-            args=(job.fn, dict(job.inputs), send),
+            args=(job.fn, dict(job.inputs), send, config.optimize),
             daemon=True,
             name=f"evidence-{job.name}",
         )

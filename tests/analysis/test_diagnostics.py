@@ -47,6 +47,29 @@ def test_as_dict_roundtrips_span():
     assert payload["rule"] == 4
 
 
+def test_render_derived_from_for_synthesized_rules():
+    diagnostic = make(
+        "W104", "cross product", derived_from=Span(9, 2)
+    )
+    rendered = diagnostic.render("q.txt")
+    assert "derived from rule at" in rendered
+    assert "9:2" in rendered
+    # a direct span wins: derived_from is supporting info only
+    direct = make(
+        "W104", "cross product", span=Span(1, 1), derived_from=Span(9, 2)
+    )
+    assert "derived from" not in direct.render("q.txt")
+
+
+def test_as_dict_includes_derived_from():
+    diagnostic = make("I207", "magic", derived_from=Span(4, 1, 4, 30))
+    payload = diagnostic.as_dict()
+    assert payload["derived_from"] == {
+        "line": 4, "col": 1, "end_line": 4, "end_col": 30,
+    }
+    assert "derived_from" not in make("I207", "magic").as_dict()
+
+
 def test_sort_key_orders_by_position_then_severity():
     early = make("W104", "later severity first?", Span(1, 1))
     late = make("E001", "error further down", Span(5, 1))

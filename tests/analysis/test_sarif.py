@@ -1,0 +1,95 @@
+"""SARIF 2.1.0 rendering: structure, levels, and provenance links."""
+
+import json
+
+from repro.analysis import analyze_query, sarif_report
+from repro.analysis.diagnostics import CODES, Severity, make
+from repro.analysis.sarif import SARIF_SCHEMA, SARIF_VERSION, _LEVELS
+from repro.core import parse_program
+from repro.core.parser import Span
+
+
+def _single_run(report):
+    assert report["$schema"] == SARIF_SCHEMA
+    assert report["version"] == SARIF_VERSION
+    (run,) = report["runs"]
+    return run
+
+
+def test_report_structure_and_rule_registry():
+    report = sarif_report([], path="query.txt")
+    run = _single_run(report)
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "repro-lint"
+    rules = driver["rules"]
+    assert [r["id"] for r in rules] == sorted(CODES)
+    for rule in rules:
+        severity, title = CODES[rule["id"]]
+        assert rule["shortDescription"]["text"] == title
+        assert rule["defaultConfiguration"]["level"] == _LEVELS[severity]
+    assert run["artifacts"] == [{"location": {"uri": "query.txt"}}]
+    assert run["results"] == []
+
+
+def test_levels_cover_every_severity():
+    assert set(_LEVELS) == set(Severity)
+    assert _LEVELS[Severity.INFO] == "note"  # SARIF has no "info" level
+
+
+def test_result_region_is_one_based_span():
+    diagnostic = make("W104", "cross product", Span(2, 5, 2, 17))
+    report = sarif_report([diagnostic], path="q.txt")
+    (result,) = _single_run(report)["results"]
+    assert result["ruleId"] == "W104"
+    assert result["level"] == "warning"
+    assert result["message"]["text"] == "cross product"
+    region = result["locations"][0]["physicalLocation"]["region"]
+    assert region == {
+        "startLine": 2, "startColumn": 5, "endLine": 2, "endColumn": 17,
+    }
+    assert result["ruleIndex"] == sorted(CODES).index("W104")
+
+
+def test_spanless_result_locates_at_artifact():
+    report = sarif_report([make("E005", "no rules")], path="q.txt")
+    (result,) = _single_run(report)["results"]
+    physical = result["locations"][0]["physicalLocation"]
+    assert physical["artifactLocation"]["uri"] == "q.txt"
+    assert "region" not in physical
+
+
+def test_derived_from_becomes_related_location():
+    diagnostic = make(
+        "W104", "cross product", derived_from=Span(7, 3, 7, 40)
+    )
+    report = sarif_report([diagnostic], path="q.txt")
+    (result,) = _single_run(report)["results"]
+    (related,) = result["relatedLocations"]
+    assert related["message"]["text"] == "synthesized from the rule here"
+    region = related["physicalLocation"]["region"]
+    assert region["startLine"] == 7
+
+
+def test_rule_index_in_program_goes_to_properties():
+    diagnostic = make("W101", "unused", Span(1, 1), rule_index=3)
+    report = sarif_report([diagnostic])
+    (result,) = _single_run(report)["results"]
+    assert result["properties"] == {"ruleIndexInProgram": 3}
+
+
+def test_report_from_real_analysis_is_json_serializable():
+    program = parse_program(
+        """
+        Reach(x,y) <- E(x,y).
+        Reach(x,y) <- E(x,z), Reach(z,y).
+        Orphan(x) <- T(x).
+        """
+    )
+    diagnostics = analyze_query(program, goal="Reach").diagnostics
+    report = sarif_report(diagnostics, path="reach.txt")
+    text = json.dumps(report, sort_keys=True)
+    parsed = json.loads(text)
+    run = _single_run(parsed)
+    assert {r["ruleId"] for r in run["results"]} >= {"W105", "W106"}
+    levels = {r["level"] for r in run["results"]}
+    assert levels <= {"error", "warning", "note"}

@@ -1,0 +1,112 @@
+"""Schema-2 ``program_equivalence`` claims: emission, replay, corruption."""
+
+from repro.certify import (
+    CERT_SCHEMA,
+    SUPPORTED_SCHEMAS,
+    certificate,
+    check_certificate,
+    claim_program_equivalence,
+)
+from repro.core import parse_instance, parse_program
+
+ORIGINAL = parse_program(
+    """
+    Reach(x,y) <- E(x,y).
+    Reach(x,y) <- E(x,z), Reach(z,y).
+    Goal(y) <- S(x), Reach(x,y).
+    """
+)
+
+
+def _claim(optimized=None, **kwargs):
+    return claim_program_equivalence(
+        ORIGINAL, optimized if optimized is not None else ORIGINAL,
+        "Goal", **kwargs
+    )
+
+
+def test_emitted_certificates_use_schema_two():
+    cert = certificate([_claim()])
+    assert cert["schema"] == CERT_SCHEMA == 2
+    result = check_certificate(cert)
+    assert result.valid, result.failures
+    assert result.claims == 1
+
+
+def test_schema_one_certificates_still_accepted():
+    assert SUPPORTED_SCHEMAS == frozenset({1, 2})
+    cert = certificate([_claim()])
+    cert["schema"] = 1
+    assert check_certificate(cert).valid
+
+
+def test_future_schema_rejected_with_supported_list():
+    cert = certificate([_claim()])
+    cert["schema"] = 3
+    result = check_certificate(cert)
+    assert not result.valid
+    assert "(supported: 1, 2)" in result.failures[0]
+
+
+def test_claim_schema_covers_read_edbs_only():
+    claim = _claim()
+    assert set(claim["schema"]) == {"E", "S"}
+    assert claim["schema"]["E"] == 2
+
+
+def test_witnesses_are_replayed():
+    instance = parse_instance("E(1,2). E(2,3). S(1).")
+    from repro.certify.serialize import relations_from_instance
+
+    claim = _claim(witnesses=[relations_from_instance(instance)])
+    assert check_certificate(certificate([claim])).valid
+
+
+def test_inequivalent_program_detected_by_sampling():
+    broken = parse_program(
+        """
+        Reach(x,y) <- E(x,y).
+        Goal(y) <- S(x), Reach(x,y).
+        """
+    )  # lost transitivity
+    result = check_certificate(certificate([_claim(broken)]))
+    assert not result.valid
+    assert "goal relations differ" in result.failures[0]
+
+
+def test_schema_naming_idb_rejected():
+    claim = _claim()
+    claim["schema"]["Reach"] = 2
+    result = check_certificate(certificate([claim]))
+    assert not result.valid
+    assert "intensional" in result.failures[0]
+
+
+def test_schema_omitting_read_edb_rejected():
+    claim = _claim()
+    del claim["schema"]["S"]
+    result = check_certificate(certificate([claim]))
+    assert not result.valid
+    assert "omits or mis-declares" in result.failures[0]
+
+
+def test_witness_with_stray_predicate_rejected():
+    claim = _claim()
+    claim["witnesses"] = [[["Mystery", [["int", 1]]]]]
+    result = check_certificate(certificate([claim]))
+    assert not result.valid
+    assert "non-schema predicate" in result.failures[0]
+
+
+def test_goal_without_rules_rejected():
+    claim = _claim()
+    claim["goal"] = "Nope"
+    result = check_certificate(certificate([claim]))
+    assert not result.valid
+    assert "no rules" in result.failures[0]
+
+
+def test_pass_name_is_optional_metadata():
+    claim = _claim(pass_name="magic_sets")
+    assert claim["pass"] == "magic_sets"
+    assert check_certificate(certificate([claim])).valid

@@ -1,0 +1,118 @@
+"""The optimizer hooks in the evaluation engine.
+
+``fixpoint(optimize=True)`` and ``DatalogQuery.evaluate(optimize=True)``
+must return exactly what the plain paths return — optimization is an
+engine detail, never a semantics change — and the ambient default
+switch must round-trip.
+"""
+
+import pytest
+
+from repro.analysis.optimize import OPTIMIZE_RULE_LIMIT
+from repro.core import parse_instance, parse_program
+from repro.core.atoms import Atom
+from repro.core.datalog import DatalogProgram, DatalogQuery, Rule
+from repro.core.evaluation import (
+    default_optimize,
+    fixpoint,
+    set_default_optimize,
+)
+from repro.core.stats import EngineStats, collecting, suspended
+from repro.core.terms import Variable
+
+REACH = parse_program(
+    """
+    Reach(x,y) <- E(x,y).
+    Reach(x,y) <- E(x,z), Reach(z,y).
+    Goal(y) <- S(x), Reach(x,y).
+    """
+)
+CHAIN = parse_instance(
+    " ".join(f"E({i},{i + 1})." for i in range(12)) + " S(4)."
+)
+
+
+@pytest.fixture(autouse=True)
+def _plain_default():
+    previous = set_default_optimize(False)
+    yield
+    set_default_optimize(previous)
+
+
+@pytest.mark.parametrize("strategy", ["naive", "seminaive", "stratified"])
+def test_fixpoint_optimize_parity(strategy):
+    plain = fixpoint(REACH, CHAIN, strategy=strategy, optimize=False)
+    tuned = fixpoint(REACH, CHAIN, strategy=strategy, optimize=True)
+    assert plain == tuned
+
+
+def test_evaluate_optimize_parity():
+    query = DatalogQuery(REACH, "Goal")
+    assert query.evaluate(CHAIN, optimize=True) == query.evaluate(
+        CHAIN, optimize=False
+    )
+
+
+def test_evaluate_falls_back_when_instance_has_idb_facts():
+    query = DatalogQuery(REACH, "Goal")
+    seeded = parse_instance("E(1,2). S(7). Reach(7,9).")
+    assert query.evaluate(seeded, optimize=True) == query.evaluate(
+        seeded, optimize=False
+    )
+    assert (9,) in query.evaluate(seeded, optimize=True)
+
+
+def test_rule_limit_skips_optimization_but_still_answers():
+    x, y = Variable("x"), Variable("y")
+    rules = [
+        Rule(Atom(f"P{i}", (x,)), (Atom("U", (x,)),))
+        for i in range(OPTIMIZE_RULE_LIMIT + 1)
+    ]
+    rules.append(Rule(Atom("Goal", (x, y)), (Atom("R", (x, y)),)))
+    big = DatalogProgram(rules)
+    instance = parse_instance("R(1,2). U(1).")
+    query = DatalogQuery(big, "Goal")
+    assert query.evaluate(instance, optimize=True) == {(1, 2)}
+    assert fixpoint(big, instance, optimize=True) == fixpoint(
+        big, instance, optimize=False
+    )
+
+
+def test_set_default_optimize_round_trips():
+    assert default_optimize() is False
+    assert set_default_optimize(True) is False
+    assert default_optimize() is True
+    assert set_default_optimize(False) is True
+    assert default_optimize() is False
+
+
+def test_ambient_default_drives_evaluate():
+    query = DatalogQuery(REACH, "Goal")
+    expected = query.evaluate(CHAIN, optimize=False)
+    set_default_optimize(True)
+    assert query.evaluate(CHAIN) == expected
+
+
+def test_suspended_shields_ambient_stats():
+    outer = EngineStats()
+    with collecting(outer):
+        with suspended() as scratch:
+            fixpoint(REACH, CHAIN)
+            assert scratch.hom_calls > 0
+        assert outer.hom_calls == 0
+        fixpoint(REACH, CHAIN)
+        assert outer.hom_calls > 0
+
+
+def test_optimized_evaluate_keeps_counters_honest():
+    """Analysis-side hom searches stay out of evaluation stats."""
+    query = DatalogQuery(REACH, "Goal")
+    stats = EngineStats()
+    with collecting(stats):
+        rows = query.evaluate(CHAIN, optimize=True)
+    assert rows == query.evaluate(CHAIN, optimize=False)
+    plain = EngineStats()
+    with collecting(plain):
+        query.evaluate(CHAIN, optimize=False)
+    # the goal is bound through S: magic sets must not cost more homs
+    assert stats.hom_calls <= plain.hom_calls

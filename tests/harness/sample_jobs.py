@@ -79,3 +79,13 @@ def forged_certificate_job() -> dict:
             [claim_query_output(q, inst, output={("a",), ("zzz",)})]
         ),
     )
+
+
+def optimize_probe_job() -> dict:
+    """Reports the worker's ambient engine-optimization default."""
+    from repro.core.evaluation import default_optimize
+
+    return {
+        "verdict": "optimized" if default_optimize() else "plain",
+        "measured": f"default_optimize={default_optimize()}",
+    }

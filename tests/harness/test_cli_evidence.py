@@ -100,3 +100,66 @@ def test_evidence_report_missing_manifest(tmp_path, capsys):
     code = main(["evidence", "report", str(tmp_path / "nowhere")])
     assert code == 2
     assert "cannot read" in capsys.readouterr().err
+
+
+def test_evidence_run_optimize_with_baseline(tmp_path, capsys):
+    base_dir = tmp_path / "base"
+    opt_dir = tmp_path / "opt"
+    common = [
+        "evidence", "run",
+        "--filter", "t1-cq-rewriting",
+        "--jobs", "1",
+        "--timeout", "120",
+        "--no-cache",
+    ]
+    assert main(common + ["--out-dir", str(base_dir)]) == 0
+    capsys.readouterr()
+    code = main(common + [
+        "--out-dir", str(opt_dir),
+        "--optimize",
+        "--baseline", str(base_dir),
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    manifest = json.loads((opt_dir / "manifest.json").read_text())
+    assert manifest["optimize"] is True
+    baseline = manifest["baseline"]
+    assert baseline["optimize"] is False
+    assert set(baseline["engine_delta"]) == {
+        "hom_calls", "search_steps", "rows_scanned",
+        "fixpoint_rounds", "facts_derived",
+    }
+    assert "vs baseline" in out
+
+
+def test_evidence_run_optimize_salts_the_cache(tmp_path, capsys):
+    cache_dir = tmp_path / "cache"
+    common = [
+        "evidence", "run",
+        "--filter", "t1-cq-rewriting",
+        "--jobs", "1",
+        "--timeout", "120",
+        "--cache-dir", str(cache_dir),
+    ]
+    assert main(common + ["--out-dir", str(tmp_path / "a")]) == 0
+    capsys.readouterr()
+    # an optimized run must not reuse the plain run's cache entries
+    assert main(common + ["--out-dir", str(tmp_path / "b"), "--optimize"]) == 0
+    manifest = json.loads((tmp_path / "b" / "manifest.json").read_text())
+    assert manifest["summary"]["cached"] == 0
+    capsys.readouterr()
+    # but a second optimized run does hit the (salted) cache
+    assert main(common + ["--out-dir", str(tmp_path / "c"), "--optimize"]) == 0
+    manifest = json.loads((tmp_path / "c" / "manifest.json").read_text())
+    assert manifest["summary"]["cached"] == 1
+
+
+def test_evidence_run_unreadable_baseline_is_usage_error(tmp_path, capsys):
+    code = main([
+        "evidence", "run",
+        "--filter", "t1-cq-rewriting",
+        "--out-dir", str(tmp_path / "out"),
+        "--baseline", str(tmp_path / "nowhere"),
+    ])
+    assert code == 2
+    assert "baseline" in capsys.readouterr().err

@@ -101,6 +101,55 @@ def test_render_mentions_statuses_and_summary():
     assert "1/2 ok" in text
 
 
+def test_manifest_records_optimize_flag():
+    jobs = [_job("a")]
+    results = {
+        "a": JobResult(
+            "a", JobStatus.OK, "fine", verdict="fine",
+            engine={"hom_calls": 2},
+        ),
+    }
+    assert _build(jobs, results)["optimize"] is False
+    manifest = build_manifest(
+        jobs, results,
+        wall_seconds=1.0, workers=1, default_timeout=30.0,
+        code_fingerprint="fp", cache_used=False, optimize=True,
+    )
+    assert manifest["optimize"] is True
+    assert "optimized" in render_manifest(manifest)
+
+
+def test_manifest_baseline_engine_delta():
+    jobs = [_job("a")]
+
+    def result(hom):
+        return {
+            "a": JobResult(
+                "a", JobStatus.OK, "fine", verdict="fine",
+                engine={"hom_calls": hom, "search_steps": 5},
+            ),
+        }
+
+    base = build_manifest(
+        jobs, result(100),
+        wall_seconds=1.0, workers=1, default_timeout=30.0,
+        code_fingerprint="fp", cache_used=False,
+    )
+    tuned = build_manifest(
+        jobs, result(40),
+        wall_seconds=1.0, workers=1, default_timeout=30.0,
+        code_fingerprint="fp", cache_used=False,
+        optimize=True, baseline=base,
+    )
+    block = tuned["baseline"]
+    assert block["engine_delta"]["hom_calls"] == -60
+    assert block["engine_delta"]["search_steps"] == 0
+    assert block["optimize"] is False
+    text = render_manifest(tuned)
+    assert "vs baseline" in text
+    assert "hom_calls -60" in text
+
+
 def test_manifest_json_round_trip(tmp_path):
     jobs = [_job("a")]
     results = {"a": JobResult("a", JobStatus.OK, "fine", verdict="fine")}

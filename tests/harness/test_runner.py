@@ -165,3 +165,12 @@ def test_duplicate_job_name_rejected():
         run_jobs(
             [_job("a", "ok_job"), _job("a", "ok_job")], config=_config()
         )
+
+
+def test_worker_honors_optimize_config():
+    job = _job("probe", "optimize_probe_job", expected="optimized")
+    plain = run_jobs([job], config=_config())
+    assert plain["probe"].verdict == "plain"
+    tuned = run_jobs([job], config=_config(optimize=True))
+    assert tuned["probe"].verdict == "optimized"
+    assert tuned["probe"].status is JobStatus.OK
