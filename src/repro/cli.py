@@ -36,6 +36,9 @@ import sys
 from pathlib import Path
 from typing import Optional
 
+import contextlib
+
+from repro.core.backend import backend_names, set_default_backend
 from repro.core.cq import ConjunctiveQuery
 from repro.core.datalog import DatalogQuery
 from repro.core.parser import (
@@ -177,15 +180,32 @@ def load_instance(path: str):
         raise
 
 
+@contextlib.contextmanager
+def _backend_from(args: argparse.Namespace):
+    """Ambiently select ``--backend`` for the command, then restore.
+
+    The decision procedures call ``fixpoint``/``evaluate`` from many
+    internal sites; flipping the process-wide default (and restoring it
+    on exit, so ``main()`` stays reusable in-process, e.g. from tests)
+    reaches them all without threading a parameter through every layer.
+    """
+    previous = set_default_backend(getattr(args, "backend", "interpreted"))
+    try:
+        yield
+    finally:
+        set_default_backend(previous)
+
+
 def cmd_decide(args: argparse.Namespace) -> int:
     from repro.determinacy.checker import decide_monotonic_determinacy
 
     query = load_query(args.query)
     views = load_views(args.views)
-    result = decide_monotonic_determinacy(
-        query, views, approx_depth=args.depth,
-        optimize=getattr(args, "optimize", False),
-    )
+    with _backend_from(args):
+        result = decide_monotonic_determinacy(
+            query, views, approx_depth=args.depth,
+            optimize=getattr(args, "optimize", False),
+        )
     print(f"verdict : {result.verdict.value}")
     print(f"method  : {result.method}")
     print(f"detail  : {result.detail}")
@@ -239,7 +259,9 @@ def cmd_certain(args: argparse.Namespace) -> int:
 def cmd_eval(args: argparse.Namespace) -> int:
     query = load_query(args.query)
     instance = load_instance(args.instance)
-    for row in sorted(query.evaluate(instance), key=repr):
+    with _backend_from(args):
+        rows = sorted(query.evaluate(instance), key=repr)
+    for row in rows:
         print(row)
     return 0
 
@@ -450,6 +472,11 @@ def build_parser() -> argparse.ArgumentParser:
         "transformations ship program_equivalence claims in the "
         "verdict certificate",
     )
+    decide.add_argument(
+        "--backend", choices=backend_names(), default="interpreted",
+        help="evaluation engine for every fixpoint the procedure runs "
+        "(default interpreted)",
+    )
     decide.set_defaults(func=cmd_decide)
 
     rewrite = sub.add_parser("rewrite", help="compute a rewriting")
@@ -466,6 +493,10 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate = sub.add_parser("eval", help="evaluate a query")
     evaluate.add_argument("query")
     evaluate.add_argument("instance")
+    evaluate.add_argument(
+        "--backend", choices=backend_names(), default="interpreted",
+        help="evaluation engine (default interpreted)",
+    )
     evaluate.set_defaults(func=cmd_eval)
 
     lint = sub.add_parser(

@@ -9,6 +9,15 @@ from repro.core.cq import ConjunctiveQuery, CanonConst, cq_from_instance
 from repro.core.ucq import UCQ, as_ucq
 from repro.core.datalog import Rule, DatalogProgram, DatalogQuery
 from repro.core.evaluation import fixpoint, naive_fixpoint, seminaive_fixpoint
+from repro.core.backend import (
+    Backend,
+    backend_names,
+    default_backend,
+    get_backend,
+    register_backend,
+    set_default_backend,
+)
+from repro.core.columnar import columnar_fixpoint
 from repro.core.approximation import (
     ExpansionNode,
     approximations,
@@ -66,6 +75,8 @@ __all__ = [
     "Instance", "Schema", "ConjunctiveQuery", "CanonConst",
     "cq_from_instance", "UCQ", "as_ucq", "Rule", "DatalogProgram",
     "DatalogQuery", "fixpoint", "naive_fixpoint", "seminaive_fixpoint",
+    "Backend", "backend_names", "columnar_fixpoint", "default_backend",
+    "get_backend", "register_backend", "set_default_backend",
     "ExpansionNode", "approximations", "approximation_trees",
     "expansion_trees", "tree_to_cq", "is_normalized", "normalize",
     "ContainmentResult", "Verdict", "cq_contained",

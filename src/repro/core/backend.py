@@ -1,0 +1,164 @@
+"""Evaluation backends: pluggable engines behind ``fixpoint``.
+
+A :class:`Backend` turns ``(program, instance, strategy)`` into the
+least fixpoint ``FPEval(Π, I)``.  Two implementations ship:
+
+* ``interpreted`` — the default engine: per-tuple backtracking
+  homomorphism search with positional indexes, semi-naive deltas and
+  SCC strata (:mod:`repro.core.evaluation`).
+* ``columnar`` — compiles each rule body into an explicit hash-join
+  plan over column arrays and pushes semi-naive deltas through it as
+  column batches (:mod:`repro.core.columnar`).
+
+Both compute exactly the same fixpoint — the engine-equivalence
+property tests and, end to end, the PR-4 certificate checker
+(``certify.replay`` replays every verdict with naive evaluation only)
+enforce that — so backend choice is a performance decision, never a
+semantics one.
+
+Selection is by name: explicitly via ``fixpoint(backend=...)`` /
+``DatalogQuery.evaluate(backend=...)``, or ambiently via
+:func:`set_default_backend` (the harness worker processes and the
+CLI's ``--backend`` flag use this route so call sites need no
+signature change).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Protocol
+
+if TYPE_CHECKING:  # pragma: no cover - types only, avoids import cycles
+    from repro.core.datalog import DatalogProgram
+    from repro.core.instance import Instance
+    from repro.core.stats import EngineStats
+
+
+class Backend(Protocol):
+    """One evaluation engine behind :func:`repro.core.evaluation.fixpoint`.
+
+    ``strategy`` is one of ``"naive"`` / ``"seminaive"`` /
+    ``"stratified"`` and every backend must support all three (the
+    naive strategy stays the cross-backend correctness oracle).
+    ``ordering`` is the join-ordering hint of the interpreted engine;
+    backends that plan joins differently may ignore it.
+    """
+
+    name: str
+
+    def fixpoint(
+        self,
+        program: "DatalogProgram",
+        instance: "Instance",
+        *,
+        strategy: str = "stratified",
+        stats: Optional["EngineStats"] = None,
+        ordering: str = "auto",
+    ) -> "Instance":
+        """``FPEval(Π, I)`` including the original EDB facts."""
+        ...  # pragma: no cover - protocol
+
+
+class InterpretedBackend:
+    """The per-tuple backtracking engine (the historical default)."""
+
+    name = "interpreted"
+
+    def fixpoint(
+        self,
+        program: "DatalogProgram",
+        instance: "Instance",
+        *,
+        strategy: str = "stratified",
+        stats: Optional["EngineStats"] = None,
+        ordering: str = "auto",
+    ) -> "Instance":
+        from repro.core import evaluation
+
+        if strategy == "stratified":
+            return evaluation.stratified_fixpoint(
+                program, instance, stats, ordering
+            )
+        if strategy == "seminaive":
+            return evaluation.seminaive_fixpoint(
+                program, instance, stats, ordering
+            )
+        if strategy == "naive":
+            return evaluation.naive_fixpoint(
+                program, instance, stats, ordering
+            )
+        raise ValueError(f"unknown strategy {strategy!r}")
+
+
+class ColumnarBackend:
+    """Hash-join plans over column arrays; no backtracking search."""
+
+    name = "columnar"
+
+    def fixpoint(
+        self,
+        program: "DatalogProgram",
+        instance: "Instance",
+        *,
+        strategy: str = "stratified",
+        stats: Optional["EngineStats"] = None,
+        ordering: str = "auto",
+    ) -> "Instance":
+        from repro.core.columnar import columnar_fixpoint
+
+        return columnar_fixpoint(
+            program, instance, strategy=strategy, stats=stats
+        )
+
+
+_BACKENDS: dict[str, Backend] = {
+    "interpreted": InterpretedBackend(),
+    "columnar": ColumnarBackend(),
+}
+
+
+def backend_names() -> tuple[str, ...]:
+    """Registered backend names, default first (CLI ``choices``)."""
+    names = sorted(_BACKENDS)
+    names.remove("interpreted")
+    return ("interpreted", *names)
+
+
+def register_backend(backend: Backend) -> None:
+    """Add (or replace) a backend under ``backend.name``."""
+    _BACKENDS[backend.name] = backend
+
+
+def get_backend(name: str) -> Backend:
+    """The backend registered as ``name``; loud on unknown names."""
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        known = ", ".join(backend_names())
+        raise ValueError(
+            f"unknown backend {name!r} (known: {known})"
+        ) from None
+
+
+#: ambient default for ``fixpoint(..., backend=None)``; flipped by
+#: :func:`set_default_backend` (harness workers, CLI ``--backend``).
+_DEFAULT_BACKEND = "interpreted"
+
+
+def set_default_backend(name: str) -> str:
+    """Set the ambient default backend; returns the previous name so
+    callers can restore it.  Rejects unregistered names up front."""
+    global _DEFAULT_BACKEND
+    get_backend(name)  # validate before committing
+    previous = _DEFAULT_BACKEND
+    _DEFAULT_BACKEND = name
+    return previous
+
+
+def default_backend() -> str:
+    """The current ambient backend name."""
+    return _DEFAULT_BACKEND
+
+
+def resolve_backend(name: Optional[str] = None) -> Backend:
+    """``name`` if given, else the ambient default, as a :class:`Backend`."""
+    return get_backend(name if name is not None else _DEFAULT_BACKEND)

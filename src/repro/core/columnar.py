@@ -1,0 +1,670 @@
+"""Columnar hash-join evaluation engine (the ``columnar`` backend).
+
+Instead of per-tuple backtracking homomorphism search, each rule body
+is compiled **once per fixpoint call** into an explicit hash-join plan:
+
+* relations are stored as *column arrays* (one Python list per
+  argument position) with an exact-duplicate row set;
+* each join step builds a hash table over the target relation keyed by
+  the argument positions that are bound at that point (constants and
+  already-joined variables) and probes it with the current batch —
+  build tables are cached per ``(relation, key positions)`` and
+  maintained incrementally as the relation grows, so a fixpoint never
+  rebuilds a table it already has;
+* intermediate results are *batches*: a tuple of variable columns.  A
+  join step gathers matching (batch row, relation row) index pairs and
+  materializes only the columns still needed downstream (projection is
+  pushed into every step, with the head projection applied once at the
+  end of the batch);
+* semi-naive deltas flow through the same plans as column batches
+  seeded from the delta rows of one IDB body atom.
+
+The engine mirrors the interpreted strategies exactly — ``naive``,
+``seminaive`` and ``stratified`` (reusing the SCC execution plan of
+:mod:`repro.core.evaluation`) — and the engine-equivalence property
+tests assert identical fixpoints across backends.  Work is reported
+through the columnar counters of :class:`repro.core.stats.EngineStats`
+(``join_build_rows``, ``join_probe_rows``, ``join_output_rows``,
+``columnar_batches``); the backtracking counters (``hom_calls``,
+``search_steps``, ``rows_scanned``) stay at zero by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.core import stats as _stats
+from repro.core.atoms import Atom
+from repro.core.datalog import DatalogProgram, Rule
+from repro.core.instance import Instance
+from repro.core.stats import EngineStats
+from repro.core.terms import is_variable
+
+# ---------------------------------------------------------------------------
+# columnar storage
+# ---------------------------------------------------------------------------
+
+
+class _Relation:
+    """One relation as column arrays plus cached hash-join build tables.
+
+    Append-only during a fixpoint: build tables record how many rows
+    they have indexed and extend themselves incrementally, so the
+    per-round cost of re-probing a grown relation is only the new rows.
+    """
+
+    __slots__ = ("arity", "count", "columns", "row_set", "tables")
+
+    def __init__(self, arity: int) -> None:
+        self.arity = arity
+        self.count = 0
+        self.columns: list[list] = [[] for _ in range(arity)]
+        self.row_set: set[tuple] = set()
+        # key positions -> (hash table: key -> row indices, rows indexed)
+        self.tables: dict[tuple[int, ...], tuple[dict, int]] = {}
+
+    def append(self, row: tuple) -> bool:
+        """Add a row; returns True when it was new."""
+        if row in self.row_set:
+            return False
+        if len(row) != self.arity:
+            raise ValueError(
+                f"columnar relation of arity {self.arity} cannot hold "
+                f"row {row!r}"
+            )
+        self.row_set.add(row)
+        for column, value in zip(self.columns, row):
+            column.append(value)
+        self.count += 1
+        return True
+
+    def table_for(
+        self, positions: tuple[int, ...], collector: Optional[EngineStats]
+    ) -> dict:
+        """The build table keyed on ``positions``, extended to ``count``.
+
+        Single-position keys hash the bare value (the common case);
+        multi-position keys hash the value tuple.
+        """
+        table, built = self.tables.get(positions, ({}, 0))
+        if built < self.count:
+            if collector is not None:
+                collector.join_build_rows += self.count - built
+            if len(positions) == 1:
+                column = self.columns[positions[0]]
+                for row in range(built, self.count):
+                    table.setdefault(column[row], []).append(row)
+            else:
+                cols = [self.columns[p] for p in positions]
+                for row in range(built, self.count):
+                    key = tuple(col[row] for col in cols)
+                    table.setdefault(key, []).append(row)
+            self.tables[positions] = (table, self.count)
+        return table
+
+
+class _Store:
+    """All relations of one fixpoint run.
+
+    Keyed by ``(pred, arity)`` — instances may hold mixed-arity rows
+    under one predicate name, and the interpreted engine tolerates
+    that (an atom simply never matches rows of the wrong arity).
+    """
+
+    __slots__ = ("relations", "derived")
+
+    def __init__(self, instance: Instance) -> None:
+        self.relations: dict[tuple[str, int], _Relation] = {}
+        #: facts added beyond the input instance, in derivation order
+        self.derived: list[tuple[str, tuple]] = []
+        for pred in instance.predicates():
+            for row in instance.tuples(pred):
+                self._get(pred, len(row)).append(row)
+
+    def _get(self, pred: str, arity: int) -> _Relation:
+        key = (pred, arity)
+        relation = self.relations.get(key)
+        if relation is None:
+            relation = self.relations[key] = _Relation(arity)
+        return relation
+
+    def add(self, pred: str, row: tuple) -> bool:
+        """Add a derived fact; returns True when it was new."""
+        if self._get(pred, len(row)).append(row):
+            self.derived.append((pred, row))
+            return True
+        return False
+
+    def has(self, pred: str, row: tuple) -> bool:
+        relation = self.relations.get((pred, len(row)))
+        return relation is not None and row in relation.row_set
+
+    def materialize(self, instance: Instance) -> Instance:
+        """The input instance plus every derived fact."""
+        out = instance.copy()
+        for pred, row in self.derived:
+            out.add_tuple(pred, row)
+        return out
+
+
+# ---------------------------------------------------------------------------
+# plan compilation
+# ---------------------------------------------------------------------------
+
+
+class _JoinStep:
+    """One hash join of the current batch against a relation.
+
+    ``key_positions`` are the relation positions covered by the probe
+    key; ``key_sources`` aligns with them: ``("slot", i)`` reads batch
+    column ``i``, ``("const", v)`` contributes a fixed value.
+    ``new_positions`` are the relation positions whose values become
+    new batch columns (first occurrences of fresh variables);
+    ``eq_checks`` are ``(position, position)`` pairs a candidate row
+    must agree on (a fresh variable repeated within the atom).
+    ``keep_slots`` are the incoming batch columns still needed after
+    this step (projection pushdown).
+    """
+
+    __slots__ = (
+        "pred",
+        "arity",
+        "key_positions",
+        "key_sources",
+        "new_positions",
+        "eq_checks",
+        "keep_slots",
+    )
+
+    def __init__(
+        self,
+        pred: str,
+        arity: int,
+        key_positions: tuple[int, ...],
+        key_sources: tuple[tuple[str, object], ...],
+        new_positions: tuple[int, ...],
+        eq_checks: tuple[tuple[int, int], ...],
+        keep_slots: tuple[int, ...],
+    ) -> None:
+        self.pred = pred
+        self.arity = arity
+        self.key_positions = key_positions
+        self.key_sources = key_sources
+        self.new_positions = new_positions
+        self.eq_checks = eq_checks
+        self.keep_slots = keep_slots
+
+
+class _BodyPlan:
+    """A compiled rule body: seed spec + join steps + head projection.
+
+    ``seed`` is None for full-body plans (the batch starts as the
+    single empty row) or the delta atom for semi-naive plans (the batch
+    starts from the delta's rows).  ``head_sources`` mirrors the head
+    atom: ``("slot", i)`` projects batch column ``i``, ``("const", v)``
+    emits a constant column.
+    """
+
+    __slots__ = ("rule", "seed", "seed_spec", "steps", "head_sources")
+
+    def __init__(
+        self,
+        rule: Rule,
+        seed: Optional[Atom],
+        seed_spec: Optional[tuple],
+        steps: tuple[_JoinStep, ...],
+        head_sources: tuple[tuple[str, object], ...],
+    ) -> None:
+        self.rule = rule
+        self.seed = seed
+        self.seed_spec = seed_spec
+        self.steps = steps
+        self.head_sources = head_sources
+
+
+def _atom_binding_spec(atom: Atom) -> tuple:
+    """How to turn rows of ``atom``'s relation into a seed batch.
+
+    Returns ``(arity, var_positions, const_checks, eq_checks,
+    variables)``: the expected row arity, positions projected into the
+    batch (first occurrence per variable), ``(position, constant)``
+    filters, repeated-variable equality pairs, and the variables in
+    slot order.
+    """
+    var_positions: list[int] = []
+    variables: list = []
+    const_checks: list[tuple[int, object]] = []
+    eq_checks: list[tuple[int, int]] = []
+    first_at: dict = {}
+    for pos, term in enumerate(atom.args):
+        if is_variable(term):
+            if term in first_at:
+                eq_checks.append((first_at[term], pos))
+            else:
+                first_at[term] = pos
+                var_positions.append(pos)
+                variables.append(term)
+        else:
+            const_checks.append((pos, term))
+    return (
+        atom.arity,
+        tuple(var_positions),
+        tuple(const_checks),
+        tuple(eq_checks),
+        tuple(variables),
+    )
+
+
+def _order_atoms(
+    atoms: Sequence[Atom], store: _Store, bound: Iterable
+) -> list[Atom]:
+    """Connected, smallest-relation-first join order.
+
+    Prefers atoms sharing a variable with what is already bound (so
+    every step after the first probes on a non-empty key whenever the
+    body is connected), breaking ties by relation size at compile time.
+    """
+    remaining = list(atoms)
+    ordered: list[Atom] = []
+    bound_vars = set(bound)
+
+    def size(atom: Atom) -> int:
+        relation = store.relations.get((atom.pred, atom.arity))
+        return relation.count if relation is not None else 0
+
+    while remaining:
+        connected = [
+            a for a in remaining if a.variables() & bound_vars
+        ] or remaining
+        best = min(connected, key=size)
+        remaining.remove(best)
+        ordered.append(best)
+        bound_vars |= best.variables()
+    return ordered
+
+
+def _compile_body(
+    rule: Rule,
+    atoms: Sequence[Atom],
+    seed: Optional[Atom],
+    store: _Store,
+) -> _BodyPlan:
+    """Compile ``atoms`` (the body minus ``seed``) into join steps."""
+    seed_spec = None
+    slots: list = []  # variable in each batch column
+    if seed is not None:
+        seed_spec = _atom_binding_spec(seed)
+        slots = list(seed_spec[4])
+    ordered = _order_atoms(atoms, store, slots)
+
+    steps: list[_JoinStep] = []
+    for index, atom in enumerate(ordered):
+        key_positions: list[int] = []
+        key_sources: list[tuple[str, object]] = []
+        new_positions: list[int] = []
+        eq_checks: list[tuple[int, int]] = []
+        first_at: dict = {}
+        new_vars: list = []
+        for pos, term in enumerate(atom.args):
+            if not is_variable(term):
+                key_positions.append(pos)
+                key_sources.append(("const", term))
+            elif term in first_at:
+                eq_checks.append((first_at[term], pos))
+            elif term in slots:
+                key_positions.append(pos)
+                key_sources.append(("slot", slots.index(term)))
+                first_at[term] = pos
+            else:
+                first_at[term] = pos
+                new_positions.append(pos)
+                new_vars.append(term)
+        # projection pushdown: keep only the variables some later atom
+        # or the head still reads
+        needed = set(rule.head.variables())
+        for later in ordered[index + 1:]:
+            needed |= later.variables()
+        keep_slots = tuple(
+            i for i, var in enumerate(slots) if var in needed
+        )
+        steps.append(
+            _JoinStep(
+                atom.pred,
+                atom.arity,
+                tuple(key_positions),
+                tuple(key_sources),
+                tuple(new_positions),
+                tuple(eq_checks),
+                keep_slots,
+            )
+        )
+        slots = [slots[i] for i in keep_slots] + new_vars
+
+    head_sources = tuple(
+        ("slot", slots.index(term)) if is_variable(term) else ("const", term)
+        for term in rule.head.args
+    )
+    return _BodyPlan(rule, seed, seed_spec, tuple(steps), head_sources)
+
+
+class _ProgramPlans:
+    """Lazily compiled plans: full-body per rule, delta per (rule, pos).
+
+    Keyed by the (frozen, hashable) rule value itself — equal rules
+    share one plan, and the keys stay valid for the rule objects the
+    cached :func:`repro.core.evaluation._execution_plan` hands back.
+    """
+
+    __slots__ = ("store", "_full", "_delta")
+
+    def __init__(self, store: _Store) -> None:
+        self.store = store
+        self._full: dict[Rule, _BodyPlan] = {}
+        self._delta: dict[tuple[Rule, int], _BodyPlan] = {}
+
+    def full(self, rule: Rule) -> _BodyPlan:
+        plan = self._full.get(rule)
+        if plan is None:
+            plan = _compile_body(rule, rule.body, None, self.store)
+            self._full[rule] = plan
+        return plan
+
+    def delta(self, rule: Rule, position: int) -> _BodyPlan:
+        plan = self._delta.get((rule, position))
+        if plan is None:
+            rest = rule.body[:position] + rule.body[position + 1:]
+            plan = _compile_body(
+                rule, rest, rule.body[position], self.store
+            )
+            self._delta[(rule, position)] = plan
+        return plan
+
+
+# ---------------------------------------------------------------------------
+# plan execution
+# ---------------------------------------------------------------------------
+
+_EMPTY_BATCH: tuple[list, ...] = ()
+
+
+def _seed_batch(
+    spec: tuple, rows: Sequence[tuple]
+) -> tuple[tuple[list, ...], int]:
+    """A batch of the seed atom's variable columns from delta rows."""
+    arity, var_positions, const_checks, eq_checks, _ = spec
+    rows = [
+        row
+        for row in rows
+        if len(row) == arity
+        and all(row[p] == v for p, v in const_checks)
+        and all(row[a] == row[b] for a, b in eq_checks)
+    ]
+    columns = tuple([row[p] for row in rows] for p in var_positions)
+    return columns, len(rows)
+
+
+def _run_step(
+    step: _JoinStep,
+    store: _Store,
+    batch: tuple[list, ...],
+    length: int,
+    collector: Optional[EngineStats],
+) -> tuple[tuple[list, ...], int]:
+    """Join ``batch`` with ``step``'s relation; returns the new batch."""
+    relation = store.relations.get((step.pred, step.arity))
+    if relation is None or relation.count == 0:
+        return _EMPTY_BATCH, 0
+
+    # ---- probe: (batch row, relation row) index pairs -----------------
+    out_batch: list[int] = []
+    out_rows: list[int] = []
+    if step.key_positions:
+        table = relation.table_for(step.key_positions, collector)
+        if len(step.key_sources) == 1:
+            kind, value = step.key_sources[0]
+            keys = batch[value] if kind == "slot" else [value] * length
+        else:
+            key_columns = [
+                batch[value] if kind == "slot" else [value] * length
+                for kind, value in step.key_sources
+            ]
+            keys = list(zip(*key_columns))
+        if collector is not None:
+            collector.join_probe_rows += length
+        for i in range(length):
+            bucket = table.get(keys[i])
+            if bucket:
+                out_batch.extend([i] * len(bucket))
+                out_rows.extend(bucket)
+    else:
+        # no bound position: cross join against the whole relation
+        if collector is not None:
+            collector.join_probe_rows += length
+        rows = range(relation.count)
+        for i in range(length):
+            out_batch.extend([i] * relation.count)
+            out_rows.extend(rows)
+
+    if step.eq_checks:
+        columns = relation.columns
+        keep = [
+            j
+            for j, r in enumerate(out_rows)
+            if all(columns[a][r] == columns[b][r] for a, b in step.eq_checks)
+        ]
+        out_batch = [out_batch[j] for j in keep]
+        out_rows = [out_rows[j] for j in keep]
+    if collector is not None:
+        collector.join_output_rows += len(out_rows)
+    if not out_rows:
+        return _EMPTY_BATCH, 0
+
+    # ---- gather: project surviving columns ----------------------------
+    new_batch: list[list] = []
+    for slot in step.keep_slots:
+        column = batch[slot]
+        new_batch.append([column[i] for i in out_batch])
+    for pos in step.new_positions:
+        column = relation.columns[pos]
+        new_batch.append([column[r] for r in out_rows])
+    return tuple(new_batch), len(out_rows)
+
+
+def _head_rows(
+    plan: _BodyPlan, batch: tuple[list, ...], length: int
+) -> Iterable[tuple]:
+    """Project the head atom over a finished batch."""
+    if not plan.head_sources:  # boolean goal: one empty tuple
+        return [()] if length else []
+    columns = [
+        batch[value] if kind == "slot" else [value] * length
+        for kind, value in plan.head_sources
+    ]
+    return zip(*columns)
+
+
+def _run_plan(
+    plan: _BodyPlan,
+    store: _Store,
+    collector: Optional[EngineStats],
+    seed_rows: Optional[Sequence[tuple]] = None,
+) -> Iterable[tuple]:
+    """All head rows derivable through ``plan`` (duplicates possible)."""
+    if plan.seed is None:
+        batch, length = _EMPTY_BATCH, 1
+    else:
+        assert seed_rows is not None and plan.seed_spec is not None
+        batch, length = _seed_batch(plan.seed_spec, seed_rows)
+        if collector is not None:
+            collector.columnar_batches += 1
+    if not length:
+        return ()
+    for step in plan.steps:
+        batch, length = _run_step(step, store, batch, length, collector)
+        if not length:
+            return ()
+    return _head_rows(plan, batch, length)
+
+
+# ---------------------------------------------------------------------------
+# fixpoint strategies
+# ---------------------------------------------------------------------------
+
+
+def _fire_once(
+    rules: Sequence[Rule],
+    store: _Store,
+    plans: _ProgramPlans,
+    collector: Optional[EngineStats],
+) -> int:
+    """Fire each rule once on the current state, adding facts eagerly."""
+    added = 0
+    for rule in rules:
+        if not rule.body:
+            if store.add(rule.head.pred, rule.head.args):
+                added += 1
+            continue
+        plan = plans.full(rule)
+        for row in _run_plan(plan, store, collector):
+            if store.add(rule.head.pred, row):
+                added += 1
+    if collector is not None:
+        collector.facts_derived += added
+    return added
+
+
+def _columnar_naive(
+    program: DatalogProgram,
+    store: _Store,
+    plans: _ProgramPlans,
+    collector: Optional[EngineStats],
+) -> None:
+    changed = True
+    while changed:
+        if collector is not None:
+            collector.fixpoint_rounds += 1
+        changed = _fire_once(program.rules, store, plans, collector) > 0
+
+
+def _columnar_seminaive(
+    rules: Sequence[Rule],
+    store: _Store,
+    tracked: frozenset[str] | set[str],
+    plans: _ProgramPlans,
+    collector: Optional[EngineStats],
+    prelude: Sequence[Rule] = (),
+) -> None:
+    """Semi-naive evaluation of one rule block, mirroring the
+    interpreted engine's ``_seminaive_in_place`` round structure."""
+    # Round 0: prelude fires eagerly, then every rule on the full state.
+    if collector is not None:
+        collector.fixpoint_rounds += 1
+    _fire_once(prelude, store, plans, collector)
+    delta: dict[str, list[tuple]] = {}
+    delta_sets: dict[str, set[tuple]] = {}
+    for rule in rules:
+        if not rule.body:
+            if not store.has(rule.head.pred, rule.head.args):
+                rows = delta_sets.setdefault(rule.head.pred, set())
+                if rule.head.args not in rows:
+                    rows.add(rule.head.args)
+                    delta.setdefault(rule.head.pred, []).append(
+                        rule.head.args
+                    )
+            continue
+        plan = plans.full(rule)
+        pred = rule.head.pred
+        for row in _run_plan(plan, store, collector):
+            if not store.has(pred, row):
+                rows = delta_sets.setdefault(pred, set())
+                if row not in rows:
+                    rows.add(row)
+                    delta.setdefault(pred, []).append(row)
+    added = sum(len(rows) for rows in delta.values())
+    for pred, rows in delta.items():
+        for row in rows:
+            store.add(pred, row)
+    if collector is not None:
+        collector.facts_derived += added
+
+    recursive = [
+        rule
+        for rule in rules
+        if any(a.pred in tracked for a in rule.body)
+    ]
+    while delta and recursive:
+        if collector is not None:
+            collector.fixpoint_rounds += 1
+        fresh: dict[str, list[tuple]] = {}
+        fresh_sets: dict[str, set[tuple]] = {}
+        for rule in recursive:
+            pred = rule.head.pred
+            for position, atom in enumerate(rule.body):
+                if atom.pred not in tracked:
+                    continue
+                seed_rows = delta.get(atom.pred)
+                if not seed_rows:
+                    continue
+                plan = plans.delta(rule, position)
+                for row in _run_plan(plan, store, collector, seed_rows):
+                    if not store.has(pred, row):
+                        rows = fresh_sets.setdefault(pred, set())
+                        if row not in rows:
+                            rows.add(row)
+                            fresh.setdefault(pred, []).append(row)
+        added = sum(len(rows) for rows in fresh.values())
+        for pred, rows in fresh.items():
+            for row in rows:
+                store.add(pred, row)
+        if collector is not None:
+            collector.facts_derived += added
+        delta = fresh
+
+
+def columnar_fixpoint(
+    program: DatalogProgram,
+    instance: Instance,
+    strategy: str = "stratified",
+    stats: Optional[EngineStats] = None,
+) -> Instance:
+    """``FPEval(Π, I)`` via batched hash joins over column arrays.
+
+    Strategies mirror :mod:`repro.core.evaluation` exactly — ``naive``
+    re-fires every rule per round, ``seminaive`` delta-tracks the whole
+    IDB, ``stratified`` (the default) runs the SCC execution plan with
+    per-component delta tracking — and compute the identical fixpoint.
+    """
+    if strategy not in ("naive", "seminaive", "stratified"):
+        raise ValueError(f"unknown strategy {strategy!r}")
+    with _stats.maybe_collecting(stats):
+        collector = _stats.active()
+        store = _Store(instance)
+        plans = _ProgramPlans(store)
+        if strategy == "naive":
+            _columnar_naive(program, store, plans, collector)
+        elif strategy == "seminaive":
+            _columnar_seminaive(
+                program.rules,
+                store,
+                program.idb_predicates(),
+                plans,
+                collector,
+            )
+        else:
+            from repro.core.evaluation import _execution_plan
+
+            for prelude, rules, _keys, tracked in _execution_plan(program):
+                if rules:
+                    _columnar_seminaive(
+                        rules,
+                        store,
+                        tracked,
+                        plans,
+                        collector,
+                        prelude=prelude,
+                    )
+                elif prelude:
+                    if collector is not None:
+                        collector.fixpoint_rounds += 1
+                    _fire_once(prelude, store, plans, collector)
+        return store.materialize(instance)

@@ -229,13 +229,18 @@ class DatalogQuery:
         return self.program.fragment()
 
     def evaluate(
-        self, instance: Instance, optimize: Optional[bool] = None
+        self,
+        instance: Instance,
+        optimize: Optional[bool] = None,
+        backend: Optional[str] = None,
     ) -> set[tuple]:
         """``Output(Q, I)``: the goal tuples of the least fixpoint.
 
         Evaluation is goal-directed: rules the goal does not depend on
         are pruned first (they cannot contribute goal tuples), then the
         SCC-stratified engine runs the rest dependencies-first.
+        ``backend`` selects the evaluation engine (``None`` → the
+        ambient :func:`repro.core.backend.default_backend`).
 
         With ``optimize=True`` (or the ambient
         :func:`repro.core.evaluation.set_default_optimize` default) the
@@ -243,8 +248,12 @@ class DatalogQuery:
         code, specialization, inlining and magic sets — which is only
         goal-preserving on *extensional* instances; when ``instance``
         supplies facts for an intensional predicate we fall back to the
-        plain goal-directed path.
+        plain goal-directed path and record the retreat on the active
+        collector's ``optimize_fallbacks`` counter, so callers
+        comparing optimized/plain runs can tell the optimizer was
+        skipped rather than ineffective.
         """
+        from repro.core import stats as _stats
         from repro.core.evaluation import (
             default_optimize,
             fixpoint,
@@ -253,12 +262,16 @@ class DatalogQuery:
 
         if optimize is None:
             optimize = default_optimize()
-        if (
-            optimize
-            and not (
-                instance.predicates() & self.program.idb_predicates()
-            )
+        if optimize and (
+            instance.predicates() & self.program.idb_predicates()
         ):
+            # IDB facts in the input make magic sets/inlining unsound;
+            # retreat to the plain path, but *say so*.
+            optimize = False
+            collector = _stats.active()
+            if collector is not None:
+                collector.optimize_fallbacks += 1
+        if optimize:
             from repro.analysis.optimize import (
                 OPTIMIZE_RULE_LIMIT,
                 optimized_query_program,
@@ -267,9 +280,9 @@ class DatalogQuery:
             if len(self.program.rules) > OPTIMIZE_RULE_LIMIT:
                 program = goal_directed_program(self.program, self.goal)
                 return set(
-                    fixpoint(program, instance, optimize=False).tuples(
-                        self.goal
-                    )
+                    fixpoint(
+                        program, instance, optimize=False, backend=backend
+                    ).tuples(self.goal)
                 )
             from repro.core.stats import suspended
 
@@ -278,11 +291,15 @@ class DatalogQuery:
             with suspended():
                 program = optimized_query_program(self.program, self.goal)
             return set(
-                fixpoint(program, instance, optimize=True).tuples(self.goal)
+                fixpoint(
+                    program, instance, optimize=True, backend=backend
+                ).tuples(self.goal)
             )
         program = goal_directed_program(self.program, self.goal)
         return set(
-            fixpoint(program, instance, optimize=False).tuples(self.goal)
+            fixpoint(
+                program, instance, optimize=False, backend=backend
+            ).tuples(self.goal)
         )
 
     def holds(self, instance: Instance, answer: Sequence = ()) -> bool:

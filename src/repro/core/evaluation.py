@@ -437,8 +437,9 @@ def fixpoint(
     strategy: str = "stratified",
     stats: Optional[EngineStats] = None,
     optimize: Optional[bool] = None,
+    backend: Optional[str] = None,
 ) -> Instance:
-    """``FPEval(Π, I)`` with a selectable strategy.
+    """``FPEval(Π, I)`` with a selectable strategy and backend.
 
     ``optimize=True`` (or an ambient :func:`set_default_optimize`
     default with ``optimize=None``) first applies the *universally
@@ -450,7 +451,14 @@ def fixpoint(
     relation on every instance; the goal-directed passes (magic sets,
     inlining) need a goal predicate and live in
     :meth:`repro.core.datalog.DatalogQuery.evaluate`.
+
+    ``backend`` names the evaluation engine (``None`` → the ambient
+    :func:`repro.core.backend.default_backend`).  The optimizer passes
+    are backend-independent program transforms, so they compose with
+    every backend; only the ``ordering`` hint is interpreted-specific.
     """
+    from repro.core.backend import resolve_backend
+
     if optimize is None:
         optimize = _DEFAULT_OPTIMIZE
     ordering = "auto"
@@ -471,13 +479,9 @@ def fixpoint(
                     syntactic_fixpoint_program(program), instance
                 )
             ordering = "static"
-    if strategy == "stratified":
-        return stratified_fixpoint(program, instance, stats, ordering)
-    if strategy == "seminaive":
-        return seminaive_fixpoint(program, instance, stats, ordering)
-    if strategy == "naive":
-        return naive_fixpoint(program, instance, stats, ordering)
-    raise ValueError(f"unknown strategy {strategy!r}")
+    return resolve_backend(backend).fixpoint(
+        program, instance, strategy=strategy, stats=stats, ordering=ordering
+    )
 
 
 def idb_facts(program: DatalogProgram, instance: Instance) -> Instance:

@@ -38,6 +38,11 @@ _SUMMED_FIELDS = frozenset({
     "facts_derived",
     "plan_cache_hits",
     "plan_cache_misses",
+    "optimize_fallbacks",
+    "join_build_rows",
+    "join_probe_rows",
+    "join_output_rows",
+    "columnar_batches",
 })
 
 
@@ -58,6 +63,11 @@ class EngineStats:
     facts_derived: int = 0        # new facts added by fixpoint rounds
     plan_cache_hits: int = 0      # join plans reused across rounds
     plan_cache_misses: int = 0    # join plans resolved fresh
+    optimize_fallbacks: int = 0   # optimized evaluate() retreats taken
+    join_build_rows: int = 0      # rows hashed into build tables (columnar)
+    join_probe_rows: int = 0      # batch rows probed against tables (columnar)
+    join_output_rows: int = 0     # join matches materialized (columnar)
+    columnar_batches: int = 0     # delta batches pushed through plans
     phase_seconds: dict[str, float] = field(default_factory=dict)
 
     @contextmanager
@@ -72,7 +82,9 @@ class EngineStats:
                 self.phase_seconds.get(name, 0.0) + elapsed
             )
 
-    def merge(self, other: "EngineStats") -> None:
+    def merge(
+        self, other: "EngineStats", *, allow_unknown: bool = False
+    ) -> None:
         """Add ``other``'s counters into this object.
 
         Field-driven so it can never silently skip a counter: a field
@@ -80,6 +92,10 @@ class EngineStats:
         raises ``TypeError``.  This is what lets worker processes ship
         their stats home as dicts and have the parent fold them in
         without losing anything.
+
+        ``allow_unknown=True`` skips unhandled fields instead — for
+        report tooling folding in stats from a newer schema, where
+        "render what we understand" beats failing mid-report.
         """
         for f in fields(self):
             if f.name in _SUMMED_FIELDS:
@@ -93,7 +109,7 @@ class EngineStats:
                     self.phase_seconds[name] = (
                         self.phase_seconds.get(name, 0.0) + secs
                     )
-            else:
+            elif not allow_unknown:
                 raise TypeError(
                     f"EngineStats.merge: no merge strategy for field "
                     f"{f.name!r}; add it to _SUMMED_FIELDS or handle it "
@@ -116,13 +132,27 @@ class EngineStats:
     as_dict = to_dict
 
     @classmethod
-    def from_dict(cls, data: dict) -> "EngineStats":
+    def from_dict(
+        cls, data: dict, *, allow_unknown: bool = False
+    ) -> "EngineStats":
         """Rebuild a collector from :meth:`to_dict` output.
 
-        Unknown keys are ignored (a manifest written by a newer version
-        still loads); missing keys keep their defaults.
+        Strict by default: a key this version doesn't know raises
+        ``ValueError`` naming the offenders, so a worker or manifest
+        produced by a *newer* schema fails loudly instead of silently
+        dropping its counters mid-run.  Report tooling that prefers
+        "load what we understand" passes ``allow_unknown=True`` to
+        ignore the extras.  Missing keys keep their defaults either way.
         """
         known = {f.name for f in fields(cls)}
+        if not allow_unknown:
+            unknown = sorted(set(data) - known)
+            if unknown:
+                raise ValueError(
+                    f"EngineStats.from_dict: unknown counter(s) "
+                    f"{', '.join(map(repr, unknown))}; produced by a newer "
+                    f"schema? Pass allow_unknown=True to ignore them."
+                )
         kwargs = {
             name: (dict(value) if isinstance(value, dict) else value)
             for name, value in data.items()
@@ -142,6 +172,11 @@ class EngineStats:
             ("facts derived", self.facts_derived),
             ("join-plan cache hits", self.plan_cache_hits),
             ("join-plan cache misses", self.plan_cache_misses),
+            ("optimize fallbacks", self.optimize_fallbacks),
+            ("join build rows", self.join_build_rows),
+            ("join probe rows", self.join_probe_rows),
+            ("join output rows", self.join_output_rows),
+            ("columnar batches", self.columnar_batches),
         ]
         lines = ["engine stats:"]
         for label, value in rows:

@@ -3,15 +3,22 @@
 A job's cache key is a SHA-256 over
 
 * the job's identity: name, ``fn`` reference and inputs (canonical
-  JSON), and
+  JSON),
 * a *code fingerprint*: the hash of every ``.py`` file in the
   ``repro`` package **plus** the source of the module that defines the
-  job function (test jobs live outside the package).
+  job function (test jobs live outside the package), and
+* the *run mode*: a structured dict of evaluation settings that change
+  what the workers measure without changing any source — currently
+  ``optimize`` and ``backend``.  The mode is part of the hashed
+  payload, not a salt appended to the fingerprint, so new modes
+  compose without colliding and the fingerprint stays meaningful in
+  manifests.
 
 So a re-run after any library edit recomputes everything, while a
-killed run — or a second invocation on unchanged code — skips straight
-to the stored verdicts.  Entries are one JSON file per key, written
-atomically (tmp + rename) so a killed writer never leaves a torn entry.
+killed run — or a second invocation on unchanged code in the same
+mode — skips straight to the stored verdicts.  Entries are one JSON
+file per key, written atomically (tmp + rename) so a killed writer
+never leaves a torn entry.
 """
 
 from __future__ import annotations
@@ -26,7 +33,8 @@ from typing import Optional
 from repro.harness.job import Job, JobResult
 
 #: bump to invalidate every existing cache entry on format changes
-CACHE_SCHEMA = 2  # 2: results carry certificates
+CACHE_SCHEMA = 3  # 2: results carry certificates; 3: structured
+                  # run-mode dict in the key (optimize, backend)
 
 
 def _hash_bytes(data: bytes) -> str:
@@ -71,10 +79,16 @@ class ResultCache:
     """Directory of ``<key>.json`` entries, one per completed job."""
 
     def __init__(
-        self, root: Path, fingerprint: Optional[str] = None
+        self,
+        root: Path,
+        fingerprint: Optional[str] = None,
+        run_mode: Optional[dict[str, object]] = None,
     ) -> None:
         self.root = Path(root)
         self.fingerprint = fingerprint or code_fingerprint()
+        #: evaluation settings keyed into every entry; results computed
+        #: under one mode are never served to a run in another
+        self.run_mode = dict(run_mode) if run_mode else {}
         self._module_hashes: dict[str, str] = {}
 
     def key(self, job: Job) -> str:
@@ -91,6 +105,7 @@ class ResultCache:
                 "inputs": dict(job.inputs),
                 "code": self.fingerprint,
                 "fn_module": self._module_hashes[module_name],
+                "mode": self.run_mode,
             },
             sort_keys=True,
             default=str,

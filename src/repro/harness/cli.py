@@ -15,6 +15,7 @@ import sys
 import time
 from pathlib import Path
 
+from repro.core.backend import backend_names
 from repro.harness.cache import ResultCache, code_fingerprint
 from repro.harness.events import EventLog
 from repro.harness.manifest import (
@@ -57,14 +58,15 @@ def cmd_evidence_run(args: argparse.Namespace) -> int:
         print(f"no jobs match filter {args.filter!r}", file=sys.stderr)
         return 2
     optimize = getattr(args, "optimize", False)
+    backend = getattr(args, "backend", "interpreted")
     fingerprint = code_fingerprint()
-    if optimize:
-        # optimized and unoptimized runs derive different intermediate
-        # programs: salt the fingerprint so their caches never collide
-        fingerprint += "+optimize"
+    # results depend on the evaluation mode, not just the code: key the
+    # cache on a structured mode dict so runs in different modes never
+    # share entries (and the fingerprint stays pure in the manifest)
+    run_mode = {"optimize": optimize, "backend": backend}
     cache = (
         None if args.no_cache
-        else ResultCache(Path(args.cache_dir), fingerprint)
+        else ResultCache(Path(args.cache_dir), fingerprint, run_mode)
     )
     baseline = None
     if getattr(args, "baseline", None):
@@ -84,6 +86,7 @@ def cmd_evidence_run(args: argparse.Namespace) -> int:
         workers=max(1, args.jobs),
         default_timeout=args.timeout,
         optimize=optimize,
+        backend=backend,
     )
     started = time.perf_counter()
     with EventLog(out_dir / "events.jsonl") as events:
@@ -103,6 +106,7 @@ def cmd_evidence_run(args: argparse.Namespace) -> int:
         cache_used=cache is not None,
         certificate_checks=certificate_checks,
         optimize=optimize,
+        backend=backend,
         baseline=baseline,
     )
     write_manifest(manifest, out_dir / "manifest.json")
@@ -186,8 +190,13 @@ def add_evidence_parser(sub: argparse._SubParsersAction) -> None:
     erun.add_argument(
         "--optimize", action="store_true",
         help="evaluate every job through the certified optimizer "
-        "(repro.analysis.optimize); the result cache is salted so "
-        "optimized and plain runs never share entries",
+        "(repro.analysis.optimize); part of the cache's run-mode key, "
+        "so optimized and plain runs never share entries",
+    )
+    erun.add_argument(
+        "--backend", choices=backend_names(), default="interpreted",
+        help="evaluation engine for every job (default interpreted); "
+        "part of the cache's run-mode key",
     )
     erun.add_argument(
         "--baseline", metavar="MANIFEST",

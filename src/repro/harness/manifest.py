@@ -17,8 +17,9 @@ from typing import Any, Mapping, Optional, Sequence
 from repro.core.stats import EngineStats
 from repro.harness.job import Job, JobResult, JobStatus
 
-MANIFEST_SCHEMA = 3  # 2: per-job certificate status; 3: optimize flag
-                     # + optional baseline engine delta
+MANIFEST_SCHEMA = 4  # 2: per-job certificate status; 3: optimize flag
+                     # + optional baseline engine delta; 4: backend name
+                     # + columnar join counters in the delta
 
 #: EngineStats counters diffed against a baseline manifest
 _DELTA_FIELDS = (
@@ -27,6 +28,9 @@ _DELTA_FIELDS = (
     "rows_scanned",
     "fixpoint_rounds",
     "facts_derived",
+    "join_build_rows",
+    "join_probe_rows",
+    "join_output_rows",
 )
 
 
@@ -85,6 +89,7 @@ def build_manifest(
     cache_used: bool,
     certificate_checks: Optional[Mapping[str, dict]] = None,
     optimize: bool = False,
+    backend: str = "interpreted",
     baseline: Optional[Mapping[str, Any]] = None,
 ) -> dict[str, Any]:
     """Assemble the manifest dict for one finished run.
@@ -96,10 +101,11 @@ def build_manifest(
     certificate to validate.
 
     ``optimize`` records whether the run evaluated through the
-    certified optimizer.  ``baseline`` is a previously written manifest
-    to diff against: the new manifest gains a ``baseline`` block with
+    certified optimizer; ``backend`` records which evaluation engine
+    ran the jobs.  ``baseline`` is a previously written manifest to
+    diff against: the new manifest gains a ``baseline`` block with
     per-counter engine deltas (current − baseline), the before/after
-    evidence for the optimizer's effect on the same job set.
+    evidence for the optimizer's or backend's effect on the same jobs.
     """
     engine_totals = EngineStats()
     job_entries = {}
@@ -126,7 +132,11 @@ def build_manifest(
                 "measured_verdict": result.verdict,
             })
         if result.engine:
-            engine_totals.merge(EngineStats.from_dict(result.engine))
+            # report tooling: tolerate counters from a newer schema
+            # (e.g. cached results written by a later version)
+            engine_totals.merge(
+                EngineStats.from_dict(result.engine, allow_unknown=True)
+            )
         entry = result.as_dict()
         entry["claim"] = job.claim
         entry["tags"] = list(job.tags)
@@ -159,6 +169,7 @@ def build_manifest(
         "default_timeout_s": default_timeout,
         "cache_used": cache_used,
         "optimize": optimize,
+        "backend": backend,
         "jobs": job_entries,
         "mismatches": mismatches,
         "engine_totals": engine_totals.to_dict(),
@@ -170,6 +181,7 @@ def build_manifest(
         manifest["baseline"] = {
             "code_fingerprint": baseline.get("code_fingerprint", ""),
             "optimize": bool(baseline.get("optimize", False)),
+            "backend": baseline.get("backend", "interpreted"),
             "engine_delta": {
                 name: current.get(name, 0) - base_engine.get(name, 0)
                 for name in _DELTA_FIELDS
@@ -245,13 +257,22 @@ def render_manifest(manifest: dict[str, Any], *, verbose: bool = False) -> str:
         )
     engine = manifest.get("engine_totals") or {}
     if engine.get("hom_calls") or engine.get("fixpoint_rounds"):
-        optimized = " (optimized)" if manifest.get("optimize") else ""
-        lines.append(
-            f"engine{optimized}: {engine['hom_calls']} hom calls, "
-            f"{engine['rows_scanned']} rows scanned, "
-            f"{engine['fixpoint_rounds']} fixpoint rounds, "
-            f"{engine['facts_derived']} facts derived"
-        )
+        tags = []
+        backend = manifest.get("backend", "interpreted")
+        if backend != "interpreted":
+            tags.append(backend)
+        if manifest.get("optimize"):
+            tags.append("optimized")
+        tag_text = f" ({', '.join(tags)})" if tags else ""
+        parts = [
+            f"{engine['hom_calls']} hom calls",
+            f"{engine['rows_scanned']} rows scanned",
+            f"{engine['fixpoint_rounds']} fixpoint rounds",
+            f"{engine['facts_derived']} facts derived",
+        ]
+        if engine.get("join_probe_rows"):
+            parts.append(f"{engine['join_probe_rows']} join probe rows")
+        lines.append(f"engine{tag_text}: " + ", ".join(parts))
     baseline = manifest.get("baseline")
     if baseline is not None:
         delta = baseline.get("engine_delta", {})

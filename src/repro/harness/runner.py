@@ -43,6 +43,7 @@ class RunnerConfig:
     retry_timeouts: bool = False      # a hang usually hangs again
     start_method: Optional[str] = None  # None -> fork if available
     optimize: bool = False            # run jobs with the optimizer on
+    backend: str = "interpreted"      # evaluation engine for the jobs
 
 
 def _worker(
@@ -50,6 +51,7 @@ def _worker(
     inputs: dict[str, Any],
     conn: Connection,
     optimize: bool = False,
+    backend: str = "interpreted",
 ) -> None:
     """Child-process entry: resolve the job fn, run it, ship the result.
 
@@ -60,13 +62,19 @@ def _worker(
     ``optimize`` flips the process-wide evaluation default
     (:func:`repro.core.evaluation.set_default_optimize`) so every
     ``fixpoint``/``evaluate`` call inside the job runs through the
-    certified optimizer — job functions need no signature change.
+    certified optimizer; ``backend`` does the same for the evaluation
+    engine (:func:`repro.core.backend.set_default_backend`) — job
+    functions need no signature change either way.
     """
     try:
         if optimize:
             from repro.core.evaluation import set_default_optimize
 
             set_default_optimize(True)
+        if backend != "interpreted":
+            from repro.core.backend import set_default_backend
+
+            set_default_backend(backend)
         job_fn = Job(
             name="<worker>", fn=fn_ref, claim="", expected=""
         ).resolve()
@@ -221,7 +229,10 @@ def run_jobs(
         recv, send = ctx.Pipe(duplex=False)
         process = ctx.Process(
             target=_worker,
-            args=(job.fn, dict(job.inputs), send, config.optimize),
+            args=(
+                job.fn, dict(job.inputs), send,
+                config.optimize, config.backend,
+            ),
             daemon=True,
             name=f"evidence-{job.name}",
         )

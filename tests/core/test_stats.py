@@ -45,10 +45,35 @@ def test_round_trip_is_lossless():
     assert original.phase_seconds["total"] == 1.5
 
 
-def test_from_dict_ignores_unknown_and_defaults_missing():
-    stats = EngineStats.from_dict({"hom_calls": 5, "mystery": 123})
+def test_from_dict_is_strict_by_default():
+    """A counter from a newer schema must fail loudly, naming itself."""
+    with pytest.raises(ValueError, match="mystery"):
+        EngineStats.from_dict({"hom_calls": 5, "mystery": 123})
+
+
+def test_from_dict_allow_unknown_ignores_extras_and_defaults_missing():
+    stats = EngineStats.from_dict(
+        {"hom_calls": 5, "mystery": 123}, allow_unknown=True
+    )
     assert stats.hom_calls == 5
     assert stats.rows_scanned == 0
+    assert not hasattr(stats, "mystery")
+
+
+def test_from_dict_strict_accepts_the_backend_counters():
+    data = {
+        "join_build_rows": 1,
+        "join_probe_rows": 2,
+        "join_output_rows": 3,
+        "columnar_batches": 4,
+        "optimize_fallbacks": 5,
+    }
+    stats = EngineStats.from_dict(data)
+    assert stats.join_build_rows == 1
+    assert stats.join_probe_rows == 2
+    assert stats.join_output_rows == 3
+    assert stats.columnar_batches == 4
+    assert stats.optimize_fallbacks == 5
 
 
 def test_merge_covers_every_counter_field():
@@ -75,6 +100,19 @@ def test_merge_fails_loudly_on_unknown_field():
 
     with pytest.raises(TypeError, match="new_counter"):
         Extended().merge(Extended())
+
+
+def test_merge_allow_unknown_skips_unhandled_fields():
+    """Report tooling can fold in newer-schema stats best-effort."""
+
+    @dataclass
+    class Extended(EngineStats):
+        new_counter: int = 0
+
+    a = Extended(hom_calls=1, new_counter=7)
+    a.merge(Extended(hom_calls=2, new_counter=9), allow_unknown=True)
+    assert a.hom_calls == 3
+    assert a.new_counter == 7  # unhandled: left alone, not summed
 
 
 def test_as_dict_alias_kept_for_benchmark_consumers():

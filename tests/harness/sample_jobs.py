@@ -89,3 +89,13 @@ def optimize_probe_job() -> dict:
         "verdict": "optimized" if default_optimize() else "plain",
         "measured": f"default_optimize={default_optimize()}",
     }
+
+
+def backend_probe_job() -> dict:
+    """Reports the worker's ambient evaluation backend."""
+    from repro.core.backend import default_backend
+
+    return {
+        "verdict": default_backend(),
+        "measured": f"default_backend={default_backend()}",
+    }

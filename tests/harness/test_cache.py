@@ -93,3 +93,52 @@ def test_unresolvable_fn_module_still_keys(tmp_path):
     cache = ResultCache(tmp_path, fingerprint="fp")
     job = _job(fn="no.such.module:fn")
     assert isinstance(cache.key(job), str)
+
+
+def test_run_mode_partitions_the_key_space(tmp_path):
+    """Same job + code in different run modes must never share keys."""
+    job = _job()
+    modes = [
+        None,
+        {"optimize": False, "backend": "interpreted"},
+        {"optimize": True, "backend": "interpreted"},
+        {"optimize": False, "backend": "columnar"},
+        {"optimize": True, "backend": "columnar"},
+    ]
+    keys = [
+        ResultCache(tmp_path, fingerprint="fp", run_mode=mode).key(job)
+        for mode in modes
+    ]
+    assert len(set(keys)) == len(keys)
+
+
+def test_run_mode_key_is_order_insensitive_and_deterministic(tmp_path):
+    job = _job()
+    a = ResultCache(
+        tmp_path, fingerprint="fp",
+        run_mode={"optimize": True, "backend": "columnar"},
+    )
+    b = ResultCache(
+        tmp_path, fingerprint="fp",
+        run_mode={"backend": "columnar", "optimize": True},
+    )
+    assert a.key(job) == b.key(job)
+
+
+def test_result_stored_under_one_mode_misses_in_another(tmp_path):
+    """A cached verdict from an interpreted run must not answer a
+    columnar run (and vice versa)."""
+    job = _job()
+    interpreted = ResultCache(
+        tmp_path, fingerprint="fp",
+        run_mode={"optimize": False, "backend": "interpreted"},
+    )
+    columnar = ResultCache(
+        tmp_path, fingerprint="fp",
+        run_mode={"optimize": False, "backend": "columnar"},
+    )
+    interpreted.store(job, _result())
+    assert columnar.load(job) is None
+    assert interpreted.load(job) is not None
+    columnar.store(job, _result(measured="columnar run"))
+    assert interpreted.load(job).measured != "columnar run"

@@ -128,7 +128,10 @@ def test_evidence_run_optimize_with_baseline(tmp_path, capsys):
     assert set(baseline["engine_delta"]) == {
         "hom_calls", "search_steps", "rows_scanned",
         "fixpoint_rounds", "facts_derived",
+        "join_build_rows", "join_probe_rows", "join_output_rows",
     }
+    assert baseline["backend"] == "interpreted"
+    assert manifest["backend"] == "interpreted"
     assert "vs baseline" in out
 
 
@@ -152,6 +155,59 @@ def test_evidence_run_optimize_salts_the_cache(tmp_path, capsys):
     assert main(common + ["--out-dir", str(tmp_path / "c"), "--optimize"]) == 0
     manifest = json.loads((tmp_path / "c" / "manifest.json").read_text())
     assert manifest["summary"]["cached"] == 1
+
+
+def test_evidence_run_backend_keys_the_cache(tmp_path, capsys):
+    cache_dir = tmp_path / "cache"
+    common = [
+        "evidence", "run",
+        "--filter", "t1-cq-rewriting",
+        "--jobs", "1",
+        "--timeout", "120",
+        "--cache-dir", str(cache_dir),
+    ]
+    assert main(common + ["--out-dir", str(tmp_path / "a")]) == 0
+    capsys.readouterr()
+    # a columnar run must not reuse the interpreted run's entries
+    assert main(common + [
+        "--out-dir", str(tmp_path / "b"), "--backend", "columnar",
+    ]) == 0
+    manifest = json.loads((tmp_path / "b" / "manifest.json").read_text())
+    assert manifest["summary"]["cached"] == 0
+    assert manifest["backend"] == "columnar"
+    capsys.readouterr()
+    # but a second columnar run hits the columnar-mode entries
+    assert main(common + [
+        "--out-dir", str(tmp_path / "c"), "--backend", "columnar",
+    ]) == 0
+    manifest = json.loads((tmp_path / "c" / "manifest.json").read_text())
+    assert manifest["summary"]["cached"] == 1
+    capsys.readouterr()
+    # and the interpreted entries are still intact, not clobbered
+    assert main(common + ["--out-dir", str(tmp_path / "d")]) == 0
+    manifest = json.loads((tmp_path / "d" / "manifest.json").read_text())
+    assert manifest["summary"]["cached"] == 1
+    assert manifest["backend"] == "interpreted"
+
+
+def test_evidence_run_columnar_with_certificates(tmp_path, capsys):
+    """The columnar backend's verdicts survive the independent checker,
+    and its join counters reach the manifest's engine totals."""
+    code = main([
+        "evidence", "run",
+        "--filter", "t1-cq-rewriting",
+        "--jobs", "1",
+        "--timeout", "120",
+        "--no-cache",
+        "--out-dir", str(tmp_path / "out"),
+        "--backend", "columnar",
+        "--check-certificates",
+    ])
+    assert code == 0
+    capsys.readouterr()
+    manifest = json.loads((tmp_path / "out" / "manifest.json").read_text())
+    assert manifest["backend"] == "columnar"
+    assert manifest["summary"]["certified"] == manifest["summary"]["total"]
 
 
 def test_evidence_run_unreadable_baseline_is_usage_error(tmp_path, capsys):

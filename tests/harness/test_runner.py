@@ -174,3 +174,12 @@ def test_worker_honors_optimize_config():
     tuned = run_jobs([job], config=_config(optimize=True))
     assert tuned["probe"].verdict == "optimized"
     assert tuned["probe"].status is JobStatus.OK
+
+
+def test_worker_honors_backend_config():
+    job = _job("probe", "backend_probe_job", expected="columnar")
+    plain = run_jobs([job], config=_config())
+    assert plain["probe"].verdict == "interpreted"
+    tuned = run_jobs([job], config=_config(backend="columnar"))
+    assert tuned["probe"].verdict == "columnar"
+    assert tuned["probe"].status is JobStatus.OK
