@@ -26,6 +26,19 @@ from repro.analysis.dependency import (
     fragment_report,
     prune_unreachable,
 )
+from repro.analysis.cost import (
+    AtomCost,
+    CostGuard,
+    CostParameters,
+    CostReport,
+    PredicateBound,
+    RuleCost,
+    atom_match_bound,
+    cost_checking,
+    cost_report,
+    predicate_bounds,
+    predicted_join_volume,
+)
 from repro.analysis.diagnostics import CODES, Diagnostic, Severity, make
 from repro.analysis.fixer import (
     FIXABLE_CODES,
@@ -42,10 +55,12 @@ from repro.analysis.optimize import (
     TransformRecord,
     dead_body_atoms,
     inline_candidates,
+    join_cost_model,
     magic_opportunities,
     optimize_program,
     optimized_query_program,
     reorder_joins,
+    set_join_cost_model,
     syntactic_fixpoint_program,
 )
 from repro.analysis.sarif import sarif_report
@@ -76,6 +91,17 @@ __all__ = [
     "evaluation_strata",
     "fragment_report",
     "prune_unreachable",
+    "AtomCost",
+    "CostGuard",
+    "CostParameters",
+    "CostReport",
+    "PredicateBound",
+    "RuleCost",
+    "atom_match_bound",
+    "cost_checking",
+    "cost_report",
+    "predicate_bounds",
+    "predicted_join_volume",
     "CODES",
     "Diagnostic",
     "Severity",
@@ -92,6 +118,8 @@ __all__ = [
     "TransformRecord",
     "dead_body_atoms",
     "inline_candidates",
+    "join_cost_model",
+    "set_join_cost_model",
     "magic_opportunities",
     "optimize_program",
     "optimized_query_program",

@@ -32,6 +32,7 @@ from repro.core.parser import ProgramSource, Span, SourceRule
 from repro.views.view import ViewSet
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.cost import CostReport
     from repro.analysis.optimize import RuleProvenance
 
 AnalysisPass = Callable[["AnalysisContext"], Iterable[Diagnostic]]
@@ -49,6 +50,7 @@ class AnalysisContext:
     dependency: DependencyGraph
     fragment: FragmentReport
     semantics: Optional[SemanticReport] = None
+    cost: Optional["CostReport"] = None
     _entries: tuple[Optional[SourceRule], ...] = field(default=())
 
     def __post_init__(self) -> None:
@@ -83,6 +85,7 @@ class AnalysisReport:
     fragment: FragmentReport
     dependency: DependencyGraph
     semantics: Optional[SemanticReport] = None
+    cost: Optional["CostReport"] = None
 
     def errors(self) -> list[Diagnostic]:
         return [d for d in self.diagnostics if d.severity is Severity.ERROR]
@@ -134,6 +137,8 @@ class AnalysisReport:
         }
         if self.semantics is not None:
             out["semantics"] = self.semantics.as_dict()
+        if self.cost is not None:
+            out["cost"] = self.cost.as_dict()
         return out
 
 
@@ -180,6 +185,13 @@ class ProgramAnalyzer:
                 fragment=fragment,
                 span_of=ctx.rule_span,
             )
+            from repro.analysis.cost import cost_report
+            from repro.core import stats as _stats
+
+            with _stats.suspended():
+                ctx.cost = cost_report(
+                    program, goal=goal, dependency=dependency
+                )
         found: list[Diagnostic] = []
         passes = self._passes + (
             list(SEMANTIC_PASSES) if semantic else []
@@ -221,7 +233,7 @@ class ProgramAnalyzer:
             found = relocated
         found.sort(key=Diagnostic.sort_key)
         return AnalysisReport(
-            tuple(found), fragment, dependency, ctx.semantics
+            tuple(found), fragment, dependency, ctx.semantics, ctx.cost
         )
 
 

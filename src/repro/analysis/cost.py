@@ -1,0 +1,648 @@
+"""Certified static cost & cardinality analysis.
+
+An abstract interpretation over the SCC condensation
+(:class:`repro.analysis.dependency.DependencyGraph`) that computes, per
+predicate, a *sound* worst-case cardinality bound — polynomial in the
+EDB sizes and the active-domain width — and, per rule, a join cost
+bound with per-atom provenance.
+
+Soundness argument (the invariant ``evidence run --check-cost``
+re-checks empirically on every fixpoint):
+
+* every value in a derived fact comes from the instance's active
+  domain or from a constant written in the program, so ``adom**arity``
+  bounds any IDB relation outright;
+* an atom with ``k`` *distinct* variables matches at most
+  ``min(|R|, adom**k)`` rows — repeated variables and constants only
+  shrink the match set, never grow it;
+* a non-recursive predicate's size is at most the sum over its rules
+  of ``min(prod of atom bounds, adom**distinct_head_vars)`` plus any
+  IDB facts seeded directly in the instance;
+* a recursive predicate is bounded by the head shapes of its rules
+  (each rule can only derive facts matching its head pattern), capped
+  at ``adom**arity`` — sound regardless of how many rounds recursion
+  runs;
+* dropping the ``vacuous_rules`` that
+  :func:`repro.analysis.semantics.boundedness_report` proves subsumed
+  preserves the fixpoint, so bounds computed on the peeled program are
+  sound for the original.
+
+All arithmetic saturates at :data:`BOUND_CAP` (saturating *up* keeps
+every bound sound).  The per-rule join costs are sound bounds on the
+number of intermediate tuples a left-to-right join in the estimated
+order can produce; they drive the optimizer's join reordering, the
+``auto`` backend choice and the harness scheduler, but only the
+per-predicate cardinality bounds are certified by ``--check-cost``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator, Mapping, Optional
+
+from repro.core.atoms import Atom
+from repro.core.datalog import DatalogProgram, Rule
+from repro.core.terms import Variable
+
+from repro.analysis.dependency import DependencyGraph
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.instance import Instance
+
+#: saturation ceiling for all bound arithmetic; larger-than-real is
+#: always sound, so products/powers clamp here instead of overflowing
+BOUND_CAP = 10**15
+
+#: assumed per-relation EDB size when no instance is supplied
+DEFAULT_EDB_SIZE = 16
+
+#: cost analysis is skipped above this (mirrors OPTIMIZE_RULE_LIMIT:
+#: generated mega-programs pay more for the analysis than the run)
+COST_RULE_LIMIT = 200
+
+
+def _sat_mul(a: int, b: int) -> int:
+    out = a * b
+    return out if out < BOUND_CAP else BOUND_CAP
+
+
+def _sat_add(a: int, b: int) -> int:
+    out = a + b
+    return out if out < BOUND_CAP else BOUND_CAP
+
+
+def _sat_pow(base: int, exp: int) -> int:
+    out = 1
+    for _ in range(exp):
+        out = _sat_mul(out, base)
+    return out
+
+
+def _distinct_vars(atom: Atom) -> int:
+    return len({t for t in atom.args if isinstance(t, Variable)})
+
+
+def _program_constants(program: DatalogProgram) -> set[object]:
+    out: set[object] = set()
+    for rule in program.rules:
+        for atom in (rule.head, *rule.body):
+            out |= atom.constants()
+    return out
+
+
+@dataclass(frozen=True)
+class CostParameters:
+    """The inputs the abstract interpretation runs against.
+
+    ``measured`` parameters come from a concrete instance (exact EDB
+    sizes, exact active-domain width); ``assumed`` parameters model
+    every EDB relation at :data:`DEFAULT_EDB_SIZE` rows for purely
+    static analysis (lint, scheduling) where no instance exists.
+    """
+
+    edb_sizes: Mapping[str, int]
+    idb_seeds: Mapping[str, int]
+    adom: int
+    default_edb_size: int
+    assumed: bool
+
+    @staticmethod
+    def from_instance(
+        program: DatalogProgram, instance: "Instance"
+    ) -> "CostParameters":
+        """Exact parameters for one concrete instance."""
+        idb = program.idb_predicates()
+        edb_sizes: dict[str, int] = {}
+        idb_seeds: dict[str, int] = {}
+        for pred in instance.predicates():
+            if pred in idb:
+                idb_seeds[pred] = instance.size(pred)
+            else:
+                edb_sizes[pred] = instance.size(pred)
+        adom = len(
+            set(instance.active_domain()) | _program_constants(program)
+        )
+        return CostParameters(
+            edb_sizes=edb_sizes,
+            idb_seeds=idb_seeds,
+            adom=max(1, adom),
+            default_edb_size=0,
+            assumed=False,
+        )
+
+    @staticmethod
+    def assumed_for(
+        program: DatalogProgram, edb_size: int = DEFAULT_EDB_SIZE
+    ) -> "CostParameters":
+        """Instance-free parameters: every EDB at ``edb_size`` rows.
+
+        The derived active-domain width is itself a sound consequence
+        of the assumption: ``edb_size`` facts of arity ``k`` introduce
+        at most ``edb_size * k`` values, plus the program's constants.
+        """
+        adom = len(_program_constants(program))
+        sizes: dict[str, int] = {}
+        for pred in sorted(program.edb_predicates()):
+            arity = program.arity_of(pred)
+            sizes[pred] = edb_size
+            adom = _sat_add(adom, _sat_mul(edb_size, arity))
+        return CostParameters(
+            edb_sizes=sizes,
+            idb_seeds={},
+            adom=max(1, adom),
+            default_edb_size=edb_size,
+            assumed=True,
+        )
+
+
+@dataclass(frozen=True)
+class PredicateBound:
+    """A sound worst-case cardinality bound for one predicate."""
+
+    pred: str
+    arity: int
+    bound: int
+    recursive: bool
+    basis: str
+    rule_indices: tuple[int, ...] = ()
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "pred": self.pred,
+            "arity": self.arity,
+            "bound": self.bound,
+            "recursive": self.recursive,
+            "basis": self.basis,
+            "rule_indices": list(self.rule_indices),
+        }
+
+
+@dataclass(frozen=True)
+class AtomCost:
+    """One body atom's contribution in the estimated join order."""
+
+    atom: str
+    pred: str
+    bound: int
+    distinct_vars: int
+    bindable: bool
+    cartesian: bool
+    running: int
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "atom": self.atom,
+            "pred": self.pred,
+            "bound": self.bound,
+            "distinct_vars": self.distinct_vars,
+            "bindable": self.bindable,
+            "cartesian": self.cartesian,
+            "running": self.running,
+        }
+
+
+@dataclass(frozen=True)
+class RuleCost:
+    """Join cost bound for one rule, with per-atom provenance."""
+
+    rule_index: int
+    head: str
+    atoms: tuple[AtomCost, ...]
+    output_bound: int
+    join_cost: int
+    dominant: Optional[AtomCost]
+    cartesian: bool
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "rule_index": self.rule_index,
+            "head": self.head,
+            "atoms": [a.as_dict() for a in self.atoms],
+            "output_bound": self.output_bound,
+            "join_cost": self.join_cost,
+            "dominant": (
+                self.dominant.as_dict() if self.dominant else None
+            ),
+            "cartesian": self.cartesian,
+        }
+
+
+@dataclass(frozen=True)
+class CostReport:
+    """The full result of the abstract interpretation."""
+
+    parameters: CostParameters
+    bounds: Mapping[str, PredicateBound]
+    rules: tuple[RuleCost, ...]
+    total_bound: int
+    total_join_cost: int
+    peeled_rules: tuple[int, ...] = ()
+    unreachable: frozenset[str] = field(default_factory=frozenset)
+
+    def bound_of(self, pred: str) -> Optional[PredicateBound]:
+        return self.bounds.get(pred)
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "adom": self.parameters.adom,
+            "assumed": self.parameters.assumed,
+            "bounds": {
+                pred: pb.as_dict() for pred, pb in self.bounds.items()
+            },
+            "rules": [rc.as_dict() for rc in self.rules],
+            "total_bound": self.total_bound,
+            "total_join_cost": self.total_join_cost,
+            "peeled_rules": list(self.peeled_rules),
+            "unreachable": sorted(self.unreachable),
+        }
+
+    def render_text(self) -> str:
+        mode = "assumed" if self.parameters.assumed else "measured"
+        lines = [
+            f"cost analysis ({mode} parameters, adom {self.parameters.adom})",
+            f"  total predicted facts <= {self.total_bound}",
+            f"  total predicted join cost <= {self.total_join_cost}",
+        ]
+        if self.peeled_rules:
+            dropped = ", ".join(str(i) for i in self.peeled_rules)
+            lines.append(f"  boundedness peeling dropped rules: {dropped}")
+        lines.append("  predicate bounds:")
+        for pred in sorted(self.bounds):
+            pb = self.bounds[pred]
+            kind = "recursive" if pb.recursive else "nonrecursive"
+            lines.append(
+                f"    {pred}/{pb.arity} <= {pb.bound}  [{kind}; {pb.basis}]"
+            )
+        for rc in self.rules:
+            lines.append(
+                f"  rule {rc.rule_index} ({rc.head}): output <= "
+                f"{rc.output_bound}, join cost <= {rc.join_cost}"
+                + (" [cartesian]" if rc.cartesian else "")
+            )
+            for ac in rc.atoms:
+                marks = []
+                if not ac.bindable:
+                    marks.append("unbindable")
+                if ac.cartesian:
+                    marks.append("cartesian")
+                note = f"  [{', '.join(marks)}]" if marks else ""
+                lines.append(
+                    f"      {ac.atom}: <= {ac.bound} rows, running "
+                    f"{ac.running}{note}"
+                )
+        return "\n".join(lines)
+
+
+def atom_match_bound(
+    atom: Atom,
+    bound_vars: frozenset[Variable] | set[Variable],
+    sizes: Mapping[str, int],
+    adom: int,
+    default_size: int,
+) -> int:
+    """Max rows of ``atom`` matching any fixed binding of ``bound_vars``.
+
+    Constants, repeated variables and already-bound variables all
+    reduce the number of *distinct free* variables, which caps the
+    match set at ``adom**free`` independently of the relation size.
+    """
+    size = sizes.get(atom.pred, default_size)
+    free = len(
+        {t for t in atom.args if isinstance(t, Variable)} - set(bound_vars)
+    )
+    return min(max(size, 0), _sat_pow(adom, free))
+
+
+def _rule_output_bound(
+    rule: Rule, sizes: Mapping[str, int], params: CostParameters
+) -> int:
+    homs = 1
+    for atom in rule.body:
+        homs = _sat_mul(
+            homs,
+            atom_match_bound(
+                atom, frozenset(), sizes, params.adom,
+                params.default_edb_size,
+            ),
+        )
+    head_vars = _distinct_vars(rule.head)
+    return min(homs, _sat_pow(params.adom, head_vars))
+
+
+def _head_shape_bound(rule: Rule, params: CostParameters) -> int:
+    return _sat_pow(params.adom, _distinct_vars(rule.head))
+
+
+def _peel_vacuous(
+    program: DatalogProgram,
+    goal: Optional[str],
+    dependency: Optional[DependencyGraph],
+) -> tuple[DatalogProgram, tuple[int, ...], tuple[int, ...]]:
+    """Drop the subsumed recursive rules boundedness peeling proves
+    vacuous; returns (peeled program, kept original indices, dropped)."""
+    from repro.analysis.semantics import boundedness_report
+
+    report = boundedness_report(program, goal, dependency=dependency)
+    dropped = sorted({pair[0] for pair in report.vacuous_rules})
+    if not dropped:
+        return program, tuple(range(len(program.rules))), ()
+    kept = tuple(
+        i for i in range(len(program.rules)) if i not in set(dropped)
+    )
+    peeled = DatalogProgram(program.rules[i] for i in kept)
+    return peeled, kept, tuple(dropped)
+
+
+def _rule_cost(
+    original_index: int,
+    rule: Rule,
+    sizes: Mapping[str, int],
+    params: CostParameters,
+) -> RuleCost:
+    """Greedy connected-first join order with saturating running
+    products — mirrors the optimizer's reordering strategy."""
+    remaining = list(rule.body)
+    bound_vars: set[Variable] = set()
+    atom_costs: list[AtomCost] = []
+    running = 1
+    join_cost = 0
+    any_cartesian = False
+    var_count: dict[Variable, int] = {}
+    for atom in rule.body:
+        for v in atom.variables():
+            var_count[v] = var_count.get(v, 0) + 1
+    while remaining:
+        connected = [
+            a
+            for a in remaining
+            if not bound_vars or (a.variables() & bound_vars)
+        ]
+        pool = connected or remaining
+        cartesian_step = bool(bound_vars) and not connected
+        best = min(
+            pool,
+            key=lambda a: (
+                atom_match_bound(
+                    a, bound_vars, sizes, params.adom,
+                    params.default_edb_size,
+                ),
+                remaining.index(a),
+            ),
+        )
+        bound = atom_match_bound(
+            best, bound_vars, sizes, params.adom, params.default_edb_size
+        )
+        running = _sat_mul(running, bound)
+        join_cost = _sat_add(join_cost, running)
+        bindable = len(rule.body) == 1 or any(
+            var_count[v] > 1 for v in best.variables()
+        )
+        step_cartesian = cartesian_step and bound > 1 and running > bound
+        any_cartesian = any_cartesian or step_cartesian
+        atom_costs.append(
+            AtomCost(
+                atom=repr(best),
+                pred=best.pred,
+                bound=bound,
+                distinct_vars=_distinct_vars(best),
+                bindable=bindable,
+                cartesian=step_cartesian,
+                running=running,
+            )
+        )
+        remaining.remove(best)
+        bound_vars |= best.variables()
+    output = min(running, _head_shape_bound(rule, params))
+    dominant = (
+        max(atom_costs, key=lambda ac: ac.bound) if atom_costs else None
+    )
+    return RuleCost(
+        rule_index=original_index,
+        head=repr(rule.head),
+        atoms=tuple(atom_costs),
+        output_bound=output,
+        join_cost=join_cost,
+        dominant=dominant,
+        cartesian=any_cartesian,
+    )
+
+
+def cost_report(
+    program: DatalogProgram,
+    goal: Optional[str] = None,
+    instance: Optional["Instance"] = None,
+    parameters: Optional[CostParameters] = None,
+    dependency: Optional[DependencyGraph] = None,
+    peel: bool = True,
+) -> CostReport:
+    """Run the abstract interpretation and return every bound.
+
+    With a ``goal``, predicates the goal cannot reach are bound by
+    their instance seeds alone (goal-directed evaluation prunes their
+    rules).  With an ``instance`` (or explicit ``parameters``) the
+    bounds are exact-parameter; otherwise every EDB is assumed to hold
+    :data:`DEFAULT_EDB_SIZE` rows.
+    """
+    if parameters is not None:
+        params = parameters
+    elif instance is not None:
+        params = CostParameters.from_instance(program, instance)
+    else:
+        params = CostParameters.assumed_for(program)
+
+    peeled_rules: tuple[int, ...] = ()
+    kept = tuple(range(len(program.rules)))
+    work = program
+    if peel and program.rules and len(program.rules) <= COST_RULE_LIMIT:
+        work, kept, peeled_rules = _peel_vacuous(program, goal, dependency)
+    dep = (
+        dependency
+        if dependency is not None and not peeled_rules
+        else DependencyGraph(work)
+    )
+
+    unreachable: frozenset[str] = frozenset()
+    if goal is not None and goal in dep.graph:
+        unreachable = frozenset(
+            dep.idb - dep.reachable_from(goal)
+        )
+
+    sizes: dict[str, int] = dict(params.edb_sizes)
+    bounds: dict[str, PredicateBound] = {}
+
+    def _arity(pred: str) -> int:
+        try:
+            return work.arity_of(pred)
+        except KeyError:  # pragma: no cover - IDB preds always occur
+            return 0
+
+    for scc in dep.sccs:
+        for pred in sorted(scc.predicates):
+            arity = _arity(pred)
+            seed = params.idb_seeds.get(pred, 0)
+            cap = _sat_pow(params.adom, arity)
+            if pred in unreachable:
+                bounds[pred] = PredicateBound(
+                    pred, arity, min(seed, cap), scc.recursive,
+                    "unreachable from goal: instance seeds only",
+                    scc.rule_indices,
+                )
+                sizes[pred] = bounds[pred].bound
+                continue
+            pred_rules = [
+                (kept[j], work.rules[j])
+                for j in scc.rule_indices
+                if work.rules[j].head.pred == pred
+            ]
+            if not scc.recursive:
+                total = seed
+                for _, rule in pred_rules:
+                    total = _sat_add(
+                        total, _rule_output_bound(rule, sizes, params)
+                    )
+                bound = min(total, cap)
+                basis = (
+                    f"sum of {len(pred_rules)} rule bound(s)"
+                    + (f" + {seed} seed fact(s)" if seed else "")
+                )
+            else:
+                shape = seed
+                for _, rule in pred_rules:
+                    shape = _sat_add(shape, _head_shape_bound(rule, params))
+                bound = min(shape, cap)
+                basis = f"head shapes capped at adom^{arity} = {cap}"
+            bounds[pred] = PredicateBound(
+                pred, arity, bound, scc.recursive, basis,
+                tuple(index for index, _ in pred_rules),
+            )
+            sizes[pred] = bound
+
+    rules = tuple(
+        _rule_cost(kept[j], rule, sizes, params)
+        for j, rule in enumerate(work.rules)
+    )
+    total_bound = 0
+    for pb in bounds.values():
+        total_bound = _sat_add(total_bound, pb.bound)
+    total_join = 0
+    for rc in rules:
+        total_join = _sat_add(total_join, rc.join_cost)
+    return CostReport(
+        parameters=params,
+        bounds=bounds,
+        rules=rules,
+        total_bound=total_bound,
+        total_join_cost=total_join,
+        peeled_rules=peeled_rules,
+        unreachable=unreachable,
+    )
+
+
+def predicate_bounds(
+    program: DatalogProgram,
+    instance: Optional["Instance"] = None,
+    goal: Optional[str] = None,
+) -> dict[str, int]:
+    """Just the ``pred -> bound`` map (optimizer-facing shortcut)."""
+    report = cost_report(program, goal=goal, instance=instance)
+    return {pred: pb.bound for pred, pb in report.bounds.items()}
+
+
+def predicted_join_volume(
+    program: DatalogProgram, instance: Optional["Instance"] = None
+) -> int:
+    """Total predicted intermediate-tuple volume for one fixpoint.
+
+    The scalar the ``auto`` backend thresholds on: the sum of every
+    rule's join cost bound under measured (or assumed) parameters.
+    Not a certified bound — recursion reuses rule bodies across rounds
+    — but monotone in problem size, which is all a backend pick needs.
+    """
+    if not program.rules or len(program.rules) > COST_RULE_LIMIT:
+        return 0
+    report = cost_report(program, instance=instance, peel=False)
+    return report.total_join_cost
+
+
+# ----------------------------------------------------------------------
+# the --check-cost guard: empirical re-validation of every bound
+# ----------------------------------------------------------------------
+class CostGuard:
+    """Compares measured relation sizes against predicted bounds.
+
+    Installed via :func:`cost_checking`, called by
+    :func:`repro.core.evaluation.fixpoint` after every evaluation with
+    the *actually executed* program.  Any measured IDB relation larger
+    than its predicted bound is an unsound prediction and is recorded
+    loudly (and counted into ``EngineStats.cost_violations``).
+    """
+
+    def __init__(self, limit: int = COST_RULE_LIMIT) -> None:
+        self.limit = limit
+        self.checks = 0
+        self.predicates = 0
+        self.violations: list[dict[str, object]] = []
+
+    def __call__(
+        self,
+        program: DatalogProgram,
+        instance: "Instance",
+        result: "Instance",
+        stats: object = None,
+    ) -> None:
+        from repro.core import stats as _stats
+        from repro.core.stats import EngineStats
+
+        if not program.rules or len(program.rules) > self.limit:
+            return
+        with _stats.suspended():
+            report = cost_report(program, instance=instance)
+        self.checks += 1
+        idb = program.idb_predicates()
+        checked = 0
+        violated = 0
+        for pred, pb in report.bounds.items():
+            if pred not in idb:
+                continue
+            checked += 1
+            measured = result.size(pred)
+            if measured > pb.bound:
+                violated += 1
+                self.violations.append(
+                    {
+                        "pred": pred,
+                        "measured": measured,
+                        "bound": pb.bound,
+                        "basis": pb.basis,
+                        "recursive": pb.recursive,
+                    }
+                )
+        self.predicates += checked
+        collector = (
+            stats if isinstance(stats, EngineStats) else _stats.active()
+        )
+        if collector is not None:
+            collector.cost_checks += 1
+            collector.cost_bounds_checked += checked
+            collector.cost_violations += violated
+
+    def summary(self) -> dict[str, object]:
+        return {
+            "checks": self.checks,
+            "predicates": self.predicates,
+            "violations": list(self.violations),
+        }
+
+
+@contextmanager
+def cost_checking(limit: int = COST_RULE_LIMIT) -> Iterator[CostGuard]:
+    """Install a :class:`CostGuard` for the duration of the block."""
+    from repro.core import evaluation
+
+    guard = CostGuard(limit=limit)
+    previous = evaluation.set_cost_guard(guard)
+    try:
+        yield guard
+    finally:
+        evaluation.set_cost_guard(previous)

@@ -48,6 +48,12 @@ CODES: dict[str, tuple[Severity, str]] = {
     "W109": (Severity.WARNING, "sort conflict"),
     "W110": (Severity.WARNING, "vacuously recursive rule"),
     "W111": (Severity.WARNING, "dead body atom"),
+    "W112": (Severity.WARNING, "cartesian/exponential join blowup risk"),
+    "W113": (Severity.WARNING, "recursion with super-linear bound"),
+    "W114": (
+        Severity.WARNING,
+        "predicate bound dominated by an unbindable atom",
+    ),
     "I201": (Severity.INFO, "fragment classification"),
     "I202": (Severity.INFO, "fragment explanation"),
     "I203": (Severity.INFO, "recursion structure"),
@@ -56,6 +62,7 @@ CODES: dict[str, tuple[Severity, str]] = {
     "I206": (Severity.INFO, "schema sorts"),
     "I207": (Severity.INFO, "magic sets applicable"),
     "I208": (Severity.INFO, "inlinable single-use predicate"),
+    "I209": (Severity.INFO, "cost summary"),
 }
 
 

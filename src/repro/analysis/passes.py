@@ -419,6 +419,100 @@ def check_dead_body_atoms(ctx: "AnalysisContext") -> Iterable[Diagnostic]:
         )
 
 
+def _cost_anchor(
+    ctx: "AnalysisContext", rule_indices: tuple[int, ...]
+) -> Optional[Span]:
+    """The first anchorable source span among ``rule_indices``."""
+    for index in rule_indices:
+        span = ctx.rule_span(index)
+        if span is not None:
+            return span
+    return None
+
+
+def check_cost_summary(ctx: "AnalysisContext") -> Iterable[Diagnostic]:
+    """I209 — one-line summary of the static cost analysis."""
+    if ctx.cost is None:
+        return
+    report = ctx.cost
+    mode = "assumed" if report.parameters.assumed else "measured"
+    yield make(
+        "I209",
+        f"predicted <= {report.total_bound} fact(s) across "
+        f"{len(report.bounds)} IDB predicate(s), total join cost <= "
+        f"{report.total_join_cost} ({mode} parameters, adom "
+        f"{report.parameters.adom}); `repro analyze cost` prints the "
+        "full table",
+    )
+
+
+def check_cost_blowup(ctx: "AnalysisContext") -> Iterable[Diagnostic]:
+    """W112 — joins forced through a large cartesian step.
+
+    Sharper than W104 (which flags every variable-disjoint body): this
+    fires only when the cost model predicts the cross product actually
+    blows up past the active-domain width, and quantifies the risk.
+    """
+    if ctx.cost is None:
+        return
+    adom = ctx.cost.parameters.adom
+    for rc in ctx.cost.rules:
+        if rc.cartesian and rc.join_cost > adom:
+            yield make(
+                "W112",
+                f"rule #{rc.rule_index} joins variable-disjoint parts: "
+                f"up to {rc.join_cost} intermediate tuple(s) for an "
+                f"output bound of {rc.output_bound}",
+                ctx.rule_span(rc.rule_index),
+                rule_index=rc.rule_index,
+            )
+
+
+def check_cost_recursion(ctx: "AnalysisContext") -> Iterable[Diagnostic]:
+    """W113 — recursive predicates whose bound is super-linear in adom."""
+    if ctx.cost is None:
+        return
+    adom = ctx.cost.parameters.adom
+    for pred in sorted(ctx.cost.bounds):
+        pb = ctx.cost.bounds[pred]
+        if pb.recursive and pb.bound > adom:
+            yield make(
+                "W113",
+                f"recursive predicate {pred}/{pb.arity} can grow to "
+                f"{pb.bound} fact(s) ({pb.basis}); goal binding or "
+                "magic sets (repro optimize) restrict the demand",
+                _cost_anchor(ctx, pb.rule_indices),
+            )
+
+
+def check_cost_unbindable(ctx: "AnalysisContext") -> Iterable[Diagnostic]:
+    """W114 — rules whose cost is pinned by a join-order-immune atom.
+
+    The dominant atom shares no variable with the rest of the body, so
+    no join order can use earlier bindings to shrink its scan — the
+    predicted bound is structural, not a planning artifact.
+    """
+    if ctx.cost is None:
+        return
+    for rc in ctx.cost.rules:
+        dom = rc.dominant
+        if (
+            dom is not None
+            and not dom.bindable
+            and len(rc.atoms) > 1
+            and dom.bound > 1
+        ):
+            yield make(
+                "W114",
+                f"rule #{rc.rule_index} is dominated by {dom.atom} "
+                f"(<= {dom.bound} row(s)), which shares no variable "
+                "with the rest of the body and cannot be shrunk by "
+                "any join order",
+                ctx.rule_span(rc.rule_index),
+                rule_index=rc.rule_index,
+            )
+
+
 #: Extra passes run only under ``analyze(..., semantic=True)``.
 SEMANTIC_PASSES = (
     check_binding_patterns,
@@ -427,6 +521,10 @@ SEMANTIC_PASSES = (
     check_magic_applicable,
     check_inlinable,
     check_dead_body_atoms,
+    check_cost_summary,
+    check_cost_blowup,
+    check_cost_recursion,
+    check_cost_unbindable,
 )
 
 

@@ -349,6 +349,66 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return LINT_OK
 
 
+#: diagnostic codes produced by the cost analysis passes
+COST_CODES = ("I209", "W112", "W113", "W114")
+
+
+def cmd_analyze_cost(args: argparse.Namespace) -> int:
+    """Static cost & cardinality analysis of a query file.
+
+    Computes the certified per-predicate cardinality bounds and
+    per-rule join costs (:mod:`repro.analysis.cost`).  Without
+    ``--instance`` the bounds use *assumed* parameters (every EDB
+    relation at 16 facts); with one, the instance's measured relation
+    sizes and active domain.  ``--format sarif`` emits only the
+    cost-related diagnostics (I209, W112-W114) so the artifact stays
+    focused next to the full ``lint`` log.
+    """
+    import json
+
+    from repro.analysis import analyze_query
+    from repro.analysis.cost import CostParameters, cost_report
+    from repro.core.parser import parse_program_source
+
+    text = Path(args.query).read_text()
+    goal = None
+    for line in text.splitlines():
+        stripped = line.strip()
+        if stripped.startswith("# goal:"):
+            goal = stripped.split(":", 1)[1].strip()
+    try:
+        source = parse_program_source(text)
+    except ParseError as exc:
+        exc.path = args.query  # type: ignore[attr-defined]
+        raise
+    program = source.program()
+    instance = load_instance(args.instance) if args.instance else None
+    parameters = None
+    if instance is None:
+        parameters = CostParameters.assumed_for(program)
+    report = cost_report(
+        program, goal=goal, instance=instance, parameters=parameters
+    )
+
+    if args.format == "json":
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    elif args.format == "sarif":
+        from repro.analysis import sarif_report
+
+        analysis = analyze_query(
+            program, source=source, goal=goal, semantic=True
+        )
+        findings = [
+            d for d in analysis.diagnostics if d.code in COST_CODES
+        ]
+        print(json.dumps(
+            sarif_report(findings, args.query), indent=2, sort_keys=True,
+        ))
+    else:
+        print(report.render_text())
+    return 0
+
+
 def cmd_optimize(args: argparse.Namespace) -> int:
     """Run the certified optimizer over a query file.
 
@@ -553,6 +613,28 @@ def build_parser() -> argparse.ArgumentParser:
         "before writing (invalid -> exit 1)",
     )
     optimize.set_defaults(func=cmd_optimize)
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="standalone static analyses (currently: cost)",
+    )
+    analyze_sub = analyze.add_subparsers(dest="analysis", required=True)
+    cost = analyze_sub.add_parser(
+        "cost",
+        help="certified cardinality bounds and join cost estimates",
+    )
+    cost.add_argument("query", help="Datalog query file")
+    cost.add_argument(
+        "--instance",
+        help="instance file; its measured relation sizes and active "
+        "domain parameterize the bounds (default: assumed parameters, "
+        "every EDB at 16 facts)",
+    )
+    cost.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="sarif emits only the cost diagnostics (I209, W112-W114)",
+    )
+    cost.set_defaults(func=cmd_analyze_cost)
 
     from repro.harness.cli import add_evidence_parser
 

@@ -110,9 +110,89 @@ class ColumnarBackend:
         )
 
 
+#: how the ``auto`` backend decided each fixpoint since the last
+#: :func:`reset_auto_resolutions` — ``{"backend", "volume", "threshold"}``
+#: dicts, newest last, surfaced into run manifests so cached results
+#: stay explainable
+_AUTO_RESOLUTIONS: list[dict[str, object]] = []
+
+
+def auto_resolutions() -> list[dict[str, object]]:
+    """Snapshot of the ``auto`` backend's choices (newest last)."""
+    return list(_AUTO_RESOLUTIONS)
+
+
+def reset_auto_resolutions() -> None:
+    """Clear the recorded ``auto`` choices (start of a measured run)."""
+    _AUTO_RESOLUTIONS.clear()
+
+
+class AutoBackend:
+    """Cost-model-driven backend choice, one decision per fixpoint.
+
+    The static cost analysis (:mod:`repro.analysis.cost`) predicts the
+    total join volume — the sum of every rule's intermediate-tuple
+    bound under the instance's measured parameters.  Small volumes stay
+    on the interpreted engine (per-tuple search with no plan-build
+    overhead); volumes at or above ``threshold`` go columnar, where
+    batch probes amortize the hash-table builds.  Every decision is
+    recorded (see :func:`auto_resolutions`) and counted into
+    ``EngineStats.auto_backend_*``, so a manifest can say not just
+    *what* ran but *why*.
+    """
+
+    name = "auto"
+
+    #: predicted join volume at which the columnar engine starts to win;
+    #: calibrated on the BENCH_columnar goal-bound chain (volume ~15k,
+    #: clearly columnar) vs the evidence suite's paper-sized instances
+    #: (volumes in the tens to hundreds, clearly interpreted)
+    DEFAULT_THRESHOLD = 4096
+
+    def __init__(self, threshold: int = DEFAULT_THRESHOLD) -> None:
+        self.threshold = threshold
+
+    def fixpoint(
+        self,
+        program: "DatalogProgram",
+        instance: "Instance",
+        *,
+        strategy: str = "stratified",
+        stats: Optional["EngineStats"] = None,
+        ordering: str = "auto",
+    ) -> "Instance":
+        from repro.analysis.cost import predicted_join_volume
+        from repro.core import stats as _stats
+
+        with _stats.suspended():
+            volume = predicted_join_volume(program, instance)
+        chosen = "columnar" if volume >= self.threshold else "interpreted"
+        _AUTO_RESOLUTIONS.append(
+            {
+                "backend": chosen,
+                "volume": volume,
+                "threshold": self.threshold,
+            }
+        )
+        collector = stats if stats is not None else _stats.active()
+        if collector is not None:
+            if chosen == "columnar":
+                collector.auto_backend_columnar += 1
+            else:
+                collector.auto_backend_interpreted += 1
+        return get_backend(chosen).fixpoint(
+            program,
+            instance,
+            strategy=strategy,
+            stats=stats,
+            ordering=ordering,
+        )
+
+
 _BACKENDS: dict[str, Backend] = {
     "interpreted": InterpretedBackend(),
     "columnar": ColumnarBackend(),
+    "auto": AutoBackend(),
 }
 
 

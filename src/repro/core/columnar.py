@@ -31,14 +31,27 @@ through the columnar counters of :class:`repro.core.stats.EngineStats`
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Optional, Sequence, cast
 
 from repro.core import stats as _stats
 from repro.core.atoms import Atom
 from repro.core.datalog import DatalogProgram, Rule
 from repro.core.instance import Instance
 from repro.core.stats import EngineStats
-from repro.core.terms import is_variable
+from repro.core.terms import Term, is_variable
+
+#: one stored row (column values in position order)
+Row = tuple[object, ...]
+
+#: how a seed atom's relation rows become a batch — see
+#: :func:`_atom_binding_spec`
+SeedSpec = tuple[
+    int,                            # expected row arity
+    tuple[int, ...],                # positions projected into the batch
+    tuple[tuple[int, Term], ...],   # (position, constant) filters
+    tuple[tuple[int, int], ...],    # repeated-variable equality pairs
+    tuple[Term, ...],               # batch variables in slot order
+]
 
 # ---------------------------------------------------------------------------
 # columnar storage
@@ -58,12 +71,14 @@ class _Relation:
     def __init__(self, arity: int) -> None:
         self.arity = arity
         self.count = 0
-        self.columns: list[list] = [[] for _ in range(arity)]
-        self.row_set: set[tuple] = set()
+        self.columns: list[list[object]] = [[] for _ in range(arity)]
+        self.row_set: set[Row] = set()
         # key positions -> (hash table: key -> row indices, rows indexed)
-        self.tables: dict[tuple[int, ...], tuple[dict, int]] = {}
+        self.tables: dict[
+            tuple[int, ...], tuple[dict[object, list[int]], int]
+        ] = {}
 
-    def append(self, row: tuple) -> bool:
+    def append(self, row: Row) -> bool:
         """Add a row; returns True when it was new."""
         if row in self.row_set:
             return False
@@ -80,13 +95,14 @@ class _Relation:
 
     def table_for(
         self, positions: tuple[int, ...], collector: Optional[EngineStats]
-    ) -> dict:
+    ) -> dict[object, list[int]]:
         """The build table keyed on ``positions``, extended to ``count``.
 
         Single-position keys hash the bare value (the common case);
         multi-position keys hash the value tuple.
         """
-        table, built = self.tables.get(positions, ({}, 0))
+        empty: dict[object, list[int]] = {}
+        table, built = self.tables.get(positions, (empty, 0))
         if built < self.count:
             if collector is not None:
                 collector.join_build_rows += self.count - built
@@ -116,7 +132,7 @@ class _Store:
     def __init__(self, instance: Instance) -> None:
         self.relations: dict[tuple[str, int], _Relation] = {}
         #: facts added beyond the input instance, in derivation order
-        self.derived: list[tuple[str, tuple]] = []
+        self.derived: list[tuple[str, Row]] = []
         for pred in instance.predicates():
             for row in instance.tuples(pred):
                 self._get(pred, len(row)).append(row)
@@ -128,14 +144,14 @@ class _Store:
             relation = self.relations[key] = _Relation(arity)
         return relation
 
-    def add(self, pred: str, row: tuple) -> bool:
+    def add(self, pred: str, row: Row) -> bool:
         """Add a derived fact; returns True when it was new."""
         if self._get(pred, len(row)).append(row):
             self.derived.append((pred, row))
             return True
         return False
 
-    def has(self, pred: str, row: tuple) -> bool:
+    def has(self, pred: str, row: Row) -> bool:
         relation = self.relations.get((pred, len(row)))
         return relation is not None and row in relation.row_set
 
@@ -211,7 +227,7 @@ class _BodyPlan:
         self,
         rule: Rule,
         seed: Optional[Atom],
-        seed_spec: Optional[tuple],
+        seed_spec: Optional[SeedSpec],
         steps: tuple[_JoinStep, ...],
         head_sources: tuple[tuple[str, object], ...],
     ) -> None:
@@ -222,7 +238,7 @@ class _BodyPlan:
         self.head_sources = head_sources
 
 
-def _atom_binding_spec(atom: Atom) -> tuple:
+def _atom_binding_spec(atom: Atom) -> SeedSpec:
     """How to turn rows of ``atom``'s relation into a seed batch.
 
     Returns ``(arity, var_positions, const_checks, eq_checks,
@@ -232,10 +248,10 @@ def _atom_binding_spec(atom: Atom) -> tuple:
     slot order.
     """
     var_positions: list[int] = []
-    variables: list = []
-    const_checks: list[tuple[int, object]] = []
+    variables: list[Term] = []
+    const_checks: list[tuple[int, Term]] = []
     eq_checks: list[tuple[int, int]] = []
-    first_at: dict = {}
+    first_at: dict[Term, int] = {}
     for pos, term in enumerate(atom.args):
         if is_variable(term):
             if term in first_at:
@@ -256,7 +272,7 @@ def _atom_binding_spec(atom: Atom) -> tuple:
 
 
 def _order_atoms(
-    atoms: Sequence[Atom], store: _Store, bound: Iterable
+    atoms: Sequence[Atom], store: _Store, bound: Iterable[Term]
 ) -> list[Atom]:
     """Connected, smallest-relation-first join order.
 
@@ -266,7 +282,7 @@ def _order_atoms(
     """
     remaining = list(atoms)
     ordered: list[Atom] = []
-    bound_vars = set(bound)
+    bound_vars: set[Term] = set(bound)
 
     def size(atom: Atom) -> int:
         relation = store.relations.get((atom.pred, atom.arity))
@@ -291,7 +307,7 @@ def _compile_body(
 ) -> _BodyPlan:
     """Compile ``atoms`` (the body minus ``seed``) into join steps."""
     seed_spec = None
-    slots: list = []  # variable in each batch column
+    slots: list[Term] = []  # variable in each batch column
     if seed is not None:
         seed_spec = _atom_binding_spec(seed)
         slots = list(seed_spec[4])
@@ -303,8 +319,8 @@ def _compile_body(
         key_sources: list[tuple[str, object]] = []
         new_positions: list[int] = []
         eq_checks: list[tuple[int, int]] = []
-        first_at: dict = {}
-        new_vars: list = []
+        first_at: dict[Term, int] = {}
+        new_vars: list[Term] = []
         for pos, term in enumerate(atom.args):
             if not is_variable(term):
                 key_positions.append(pos)
@@ -384,12 +400,15 @@ class _ProgramPlans:
 # plan execution
 # ---------------------------------------------------------------------------
 
-_EMPTY_BATCH: tuple[list, ...] = ()
+#: a batch is one Python list per live variable (columns of equal length)
+Batch = tuple[list[object], ...]
+
+_EMPTY_BATCH: Batch = ()
 
 
 def _seed_batch(
-    spec: tuple, rows: Sequence[tuple]
-) -> tuple[tuple[list, ...], int]:
+    spec: SeedSpec, rows: Sequence[Row]
+) -> tuple[Batch, int]:
     """A batch of the seed atom's variable columns from delta rows."""
     arity, var_positions, const_checks, eq_checks, _ = spec
     rows = [
@@ -406,10 +425,10 @@ def _seed_batch(
 def _run_step(
     step: _JoinStep,
     store: _Store,
-    batch: tuple[list, ...],
+    batch: Batch,
     length: int,
     collector: Optional[EngineStats],
-) -> tuple[tuple[list, ...], int]:
+) -> tuple[Batch, int]:
     """Join ``batch`` with ``step``'s relation; returns the new batch."""
     relation = store.relations.get((step.pred, step.arity))
     if relation is None or relation.count == 0:
@@ -420,12 +439,17 @@ def _run_step(
     out_rows: list[int] = []
     if step.key_positions:
         table = relation.table_for(step.key_positions, collector)
+        keys: Sequence[object]
         if len(step.key_sources) == 1:
             kind, value = step.key_sources[0]
-            keys = batch[value] if kind == "slot" else [value] * length
+            keys = (
+                batch[cast(int, value)] if kind == "slot"
+                else [value] * length
+            )
         else:
             key_columns = [
-                batch[value] if kind == "slot" else [value] * length
+                batch[cast(int, value)] if kind == "slot"
+                else [value] * length
                 for kind, value in step.key_sources
             ]
             keys = list(zip(*key_columns))
@@ -460,7 +484,7 @@ def _run_step(
         return _EMPTY_BATCH, 0
 
     # ---- gather: project surviving columns ----------------------------
-    new_batch: list[list] = []
+    new_batch: list[list[object]] = []
     for slot in step.keep_slots:
         column = batch[slot]
         new_batch.append([column[i] for i in out_batch])
@@ -471,13 +495,13 @@ def _run_step(
 
 
 def _head_rows(
-    plan: _BodyPlan, batch: tuple[list, ...], length: int
-) -> Iterable[tuple]:
+    plan: _BodyPlan, batch: Batch, length: int
+) -> Iterable[Row]:
     """Project the head atom over a finished batch."""
     if not plan.head_sources:  # boolean goal: one empty tuple
         return [()] if length else []
     columns = [
-        batch[value] if kind == "slot" else [value] * length
+        batch[cast(int, value)] if kind == "slot" else [value] * length
         for kind, value in plan.head_sources
     ]
     return zip(*columns)
@@ -487,8 +511,8 @@ def _run_plan(
     plan: _BodyPlan,
     store: _Store,
     collector: Optional[EngineStats],
-    seed_rows: Optional[Sequence[tuple]] = None,
-) -> Iterable[tuple]:
+    seed_rows: Optional[Sequence[Row]] = None,
+) -> Iterable[Row]:
     """All head rows derivable through ``plan`` (duplicates possible)."""
     if plan.seed is None:
         batch, length = _EMPTY_BATCH, 1
@@ -560,8 +584,8 @@ def _columnar_seminaive(
     if collector is not None:
         collector.fixpoint_rounds += 1
     _fire_once(prelude, store, plans, collector)
-    delta: dict[str, list[tuple]] = {}
-    delta_sets: dict[str, set[tuple]] = {}
+    delta: dict[str, list[Row]] = {}
+    delta_sets: dict[str, set[Row]] = {}
     for rule in rules:
         if not rule.body:
             if not store.has(rule.head.pred, rule.head.args):
@@ -595,8 +619,8 @@ def _columnar_seminaive(
     while delta and recursive:
         if collector is not None:
             collector.fixpoint_rounds += 1
-        fresh: dict[str, list[tuple]] = {}
-        fresh_sets: dict[str, set[tuple]] = {}
+        fresh: dict[str, list[Row]] = {}
+        fresh_sets: dict[str, set[Row]] = {}
         for rule in recursive:
             pred = rule.head.pred
             for position, atom in enumerate(rule.body):

@@ -64,6 +64,23 @@ def default_optimize() -> bool:
     return _DEFAULT_OPTIMIZE
 
 
+#: optional audit hook called after every :func:`fixpoint` with the
+#: program *actually evaluated* (post-optimization), the input instance,
+#: the result and the caller's stats collector.  Installed by
+#: :func:`repro.analysis.cost.cost_checking` to re-validate predicted
+#: cardinality bounds against measured relation sizes (``--check-cost``).
+_COST_GUARD = None
+
+
+def set_cost_guard(guard):
+    """Install (or clear, with None) the post-fixpoint audit hook;
+    returns the previous hook so callers can restore it."""
+    global _COST_GUARD
+    previous = _COST_GUARD
+    _COST_GUARD = guard
+    return previous
+
+
 def _rule_derivations(
     rule: Rule, instance: Instance, ordering: str = "auto"
 ) -> Iterator[Atom]:
@@ -479,9 +496,12 @@ def fixpoint(
                     syntactic_fixpoint_program(program), instance
                 )
             ordering = "static"
-    return resolve_backend(backend).fixpoint(
+    result = resolve_backend(backend).fixpoint(
         program, instance, strategy=strategy, stats=stats, ordering=ordering
     )
+    if _COST_GUARD is not None:
+        _COST_GUARD(program, instance, result, stats=stats)
+    return result
 
 
 def idb_facts(program: DatalogProgram, instance: Instance) -> Instance:

@@ -43,6 +43,11 @@ _SUMMED_FIELDS = frozenset({
     "join_probe_rows",
     "join_output_rows",
     "columnar_batches",
+    "cost_checks",
+    "cost_bounds_checked",
+    "cost_violations",
+    "auto_backend_interpreted",
+    "auto_backend_columnar",
 })
 
 
@@ -68,6 +73,11 @@ class EngineStats:
     join_probe_rows: int = 0      # batch rows probed against tables (columnar)
     join_output_rows: int = 0     # join matches materialized (columnar)
     columnar_batches: int = 0     # delta batches pushed through plans
+    cost_checks: int = 0          # fixpoints audited by the cost guard
+    cost_bounds_checked: int = 0  # predicate bounds compared to measured
+    cost_violations: int = 0      # measured sizes exceeding a bound (!)
+    auto_backend_interpreted: int = 0  # auto backend picked interpreted
+    auto_backend_columnar: int = 0     # auto backend picked columnar
     phase_seconds: dict[str, float] = field(default_factory=dict)
 
     @contextmanager
@@ -177,6 +187,11 @@ class EngineStats:
             ("join probe rows", self.join_probe_rows),
             ("join output rows", self.join_output_rows),
             ("columnar batches", self.columnar_batches),
+            ("cost-guard checks", self.cost_checks),
+            ("cost bounds checked", self.cost_bounds_checked),
+            ("cost bound violations", self.cost_violations),
+            ("auto picks: interpreted", self.auto_backend_interpreted),
+            ("auto picks: columnar", self.auto_backend_columnar),
         ]
         lines = ["engine stats:"]
         for label, value in rows:

@@ -59,11 +59,17 @@ def cmd_evidence_run(args: argparse.Namespace) -> int:
         return 2
     optimize = getattr(args, "optimize", False)
     backend = getattr(args, "backend", "interpreted")
+    check_cost = getattr(args, "check_cost", False)
     fingerprint = code_fingerprint()
     # results depend on the evaluation mode, not just the code: key the
     # cache on a structured mode dict so runs in different modes never
     # share entries (and the fingerprint stays pure in the manifest)
-    run_mode = {"optimize": optimize, "backend": backend}
+    run_mode: dict[str, object] = {"optimize": optimize, "backend": backend}
+    if check_cost:
+        # cost-audited results carry an extra payload block; keep them
+        # apart so plain runs never surface a result without one (and
+        # plain cache keys stay byte-identical to earlier schemas)
+        run_mode["check_cost"] = True
     cache = (
         None if args.no_cache
         else ResultCache(Path(args.cache_dir), fingerprint, run_mode)
@@ -87,7 +93,19 @@ def cmd_evidence_run(args: argparse.Namespace) -> int:
         default_timeout=args.timeout,
         optimize=optimize,
         backend=backend,
+        check_cost=check_cost,
     )
+    if not getattr(args, "no_schedule", False):
+        from repro.harness.schedule import schedule_jobs
+
+        jobs, predicted = schedule_jobs(
+            jobs, default_timeout=config.default_timeout
+        )
+        if args.verbose:
+            from repro.harness.schedule import render_schedule
+
+            print("schedule (predicted cost, heaviest-ready first):")
+            print(render_schedule(jobs, predicted))
     started = time.perf_counter()
     with EventLog(out_dir / "events.jsonl") as events:
         results = run_jobs(jobs, config=config, cache=cache, events=events)
@@ -107,6 +125,7 @@ def cmd_evidence_run(args: argparse.Namespace) -> int:
         certificate_checks=certificate_checks,
         optimize=optimize,
         backend=backend,
+        check_cost=check_cost,
         baseline=baseline,
     )
     write_manifest(manifest, out_dir / "manifest.json")
@@ -186,6 +205,18 @@ def add_evidence_parser(sub: argparse._SubParsersAction) -> None:
         help="re-validate every job's certificate with the independent "
         "checker (naive evaluation only) and gate the exit code on "
         "all of them being valid",
+    )
+    erun.add_argument(
+        "--check-cost", action="store_true",
+        help="audit every fixpoint a job computes against the static "
+        "cardinality bounds (repro.analysis.cost); any measured "
+        "relation exceeding its predicted bound makes the run red. "
+        "Part of the cache's run-mode key",
+    )
+    erun.add_argument(
+        "--no-schedule", action="store_true",
+        help="keep registration order instead of the cost-model "
+        "schedule (predicted-heaviest ready job first)",
     )
     erun.add_argument(
         "--optimize", action="store_true",

@@ -111,6 +111,11 @@ class JobResult:
     cached: bool = False
     error: Optional[str] = None       # traceback text on FAILED
     certificate: Optional[dict[str, Any]] = None  # repro.certify certificate
+    cost: Optional[dict[str, Any]] = None  # CostGuard.summary() under
+                                           # --check-cost, else None
+    backend_resolution: Optional[list[dict[str, Any]]] = None
+    # per-fixpoint {"backend", "volume", "threshold"} choices made by
+    # the auto backend; None unless the run used --backend auto
 
     @property
     def matched(self) -> bool:
@@ -131,6 +136,8 @@ class JobResult:
             "cached": self.cached,
             "error": self.error,
             "certificate": self.certificate,
+            "cost": self.cost,
+            "backend_resolution": self.backend_resolution,
         }
 
     @classmethod
@@ -148,4 +155,6 @@ class JobResult:
             cached=data.get("cached", False),
             error=data.get("error"),
             certificate=data.get("certificate"),
+            cost=data.get("cost"),
+            backend_resolution=data.get("backend_resolution"),
         )

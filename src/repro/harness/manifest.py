@@ -17,9 +17,11 @@ from typing import Any, Mapping, Optional, Sequence
 from repro.core.stats import EngineStats
 from repro.harness.job import Job, JobResult, JobStatus
 
-MANIFEST_SCHEMA = 4  # 2: per-job certificate status; 3: optimize flag
+MANIFEST_SCHEMA = 5  # 2: per-job certificate status; 3: optimize flag
                      # + optional baseline engine delta; 4: backend name
-                     # + columnar join counters in the delta
+                     # + columnar join counters in the delta; 5: per-job
+                     # cost-guard blocks + auto-backend resolutions +
+                     # check_cost flag and summary
 
 #: EngineStats counters diffed against a baseline manifest
 _DELTA_FIELDS = (
@@ -31,6 +33,8 @@ _DELTA_FIELDS = (
     "join_build_rows",
     "join_probe_rows",
     "join_output_rows",
+    "cost_bounds_checked",
+    "cost_violations",
 )
 
 
@@ -90,6 +94,7 @@ def build_manifest(
     certificate_checks: Optional[Mapping[str, dict]] = None,
     optimize: bool = False,
     backend: str = "interpreted",
+    check_cost: bool = False,
     baseline: Optional[Mapping[str, Any]] = None,
 ) -> dict[str, Any]:
     """Assemble the manifest dict for one finished run.
@@ -102,7 +107,11 @@ def build_manifest(
 
     ``optimize`` records whether the run evaluated through the
     certified optimizer; ``backend`` records which evaluation engine
-    ran the jobs.  ``baseline`` is a previously written manifest to
+    ran the jobs.  ``check_cost`` records that the run audited every
+    fixpoint against the static cardinality bounds: the summary gains
+    ``cost_checked`` (jobs that shipped a cost block) and ``cost_ok``
+    (those with zero bound violations), and :func:`manifest_exit_code`
+    turns any unsound prediction into a red run.  ``baseline`` is a previously written manifest to
     diff against: the new manifest gains a ``baseline`` block with
     per-counter engine deltas (current − baseline), the before/after
     evidence for the optimizer's or backend's effect on the same jobs.
@@ -112,7 +121,10 @@ def build_manifest(
     counts = {key: 0 for key in _STATUS_KEYS.values()}
     cached = 0
     certified = 0
+    cost_checked = 0
+    cost_ok = 0
     mismatches = []
+    cost_violations = []
     for job in jobs:
         result = results.get(job.name)
         if result is None:  # defensive: runner always reports every job
@@ -131,6 +143,16 @@ def build_manifest(
                 "expected": result.expected,
                 "measured_verdict": result.verdict,
             })
+        if result.cost is not None:
+            cost_checked += 1
+            violations = result.cost.get("violations") or []
+            if violations:
+                cost_violations.append({
+                    "job": job.name,
+                    "violations": list(violations),
+                })
+            else:
+                cost_ok += 1
         if result.engine:
             # report tooling: tolerate counters from a newer schema
             # (e.g. cached results written by a later version)
@@ -159,6 +181,9 @@ def build_manifest(
     }
     if certificate_checks is not None:
         summary["certified"] = certified
+    if check_cost:
+        summary["cost_checked"] = cost_checked
+        summary["cost_ok"] = cost_ok
     manifest: dict[str, Any] = {
         "schema": MANIFEST_SCHEMA,
         "created": datetime.datetime.now(
@@ -170,8 +195,10 @@ def build_manifest(
         "cache_used": cache_used,
         "optimize": optimize,
         "backend": backend,
+        "check_cost": check_cost,
         "jobs": job_entries,
         "mismatches": mismatches,
+        "cost_violations": cost_violations,
         "engine_totals": engine_totals.to_dict(),
         "summary": summary,
     }
@@ -191,13 +218,19 @@ def build_manifest(
 
 
 def manifest_exit_code(manifest: dict[str, Any]) -> int:
-    """0 iff every job ended OK (matched verdict, no failures/skips)
-    and — when certificate checking ran — every certificate validated."""
+    """0 iff every job ended OK (matched verdict, no failures/skips),
+    when certificate checking ran every certificate validated, and
+    when cost checking ran no static bound was ever exceeded."""
     summary = manifest["summary"]
     if summary["ok"] != summary["total"]:
         return 1
     if "certified" in summary and summary["certified"] != summary["total"]:
         return 1
+    if "cost_checked" in summary:
+        if summary["cost_ok"] != summary["cost_checked"]:
+            return 1
+        if manifest.get("cost_violations"):
+            return 1
     return 0
 
 
@@ -225,6 +258,13 @@ def render_manifest(manifest: dict[str, Any], *, verbose: bool = False) -> str:
         check = entry.get("certificate_check")
         if check is not None:
             flags.append(f"cert {check['status']}")
+        cost = entry.get("cost")
+        if cost is not None:
+            violated = len(cost.get("violations") or [])
+            flags.append(
+                f"cost {'VIOLATED' if violated else 'ok'} "
+                f"({cost.get('predicates', 0)} bounds)"
+            )
         flag_text = f" ({', '.join(flags)})" if flags else ""
         lines.append(
             f"  {status.upper():<9} {name:<34} "
@@ -240,6 +280,21 @@ def render_manifest(manifest: dict[str, Any], *, verbose: bool = False) -> str:
             )
         if verbose and entry.get("measured"):
             lines.append(f"            {entry['measured']}")
+        if cost is not None:
+            for violation in cost.get("violations") or []:
+                lines.append(
+                    f"            cost bound VIOLATED: "
+                    f"{violation['pred']} measured "
+                    f"{violation['measured']} > bound "
+                    f"{violation['bound']} ({violation['basis']})"
+                )
+        resolution = entry.get("backend_resolution")
+        if verbose and resolution:
+            picks = ", ".join(
+                f"{r['backend']} (volume {r['volume']})"
+                for r in resolution
+            )
+            lines.append(f"            auto backend: {picks}")
         if status in ("failed", "timeout") and entry.get("error"):
             last = entry["error"].strip().splitlines()[-1]
             lines.append(f"            {last}")
@@ -254,6 +309,12 @@ def render_manifest(manifest: dict[str, Any], *, verbose: bool = False) -> str:
         lines.append(
             f"certificates: {summary['certified']}/{summary['total']} "
             "validated by the independent checker"
+        )
+    if "cost_checked" in summary:
+        lines.append(
+            f"cost bounds: {summary['cost_ok']}/"
+            f"{summary['cost_checked']} job(s) within the static "
+            "cardinality bounds"
         )
     engine = manifest.get("engine_totals") or {}
     if engine.get("hom_calls") or engine.get("fixpoint_rounds"):

@@ -44,6 +44,8 @@ class RunnerConfig:
     start_method: Optional[str] = None  # None -> fork if available
     optimize: bool = False            # run jobs with the optimizer on
     backend: str = "interpreted"      # evaluation engine for the jobs
+    check_cost: bool = False          # audit fixpoints against the
+                                      # static cardinality bounds
 
 
 def _worker(
@@ -52,6 +54,7 @@ def _worker(
     conn: Connection,
     optimize: bool = False,
     backend: str = "interpreted",
+    check_cost: bool = False,
 ) -> None:
     """Child-process entry: resolve the job fn, run it, ship the result.
 
@@ -64,8 +67,17 @@ def _worker(
     ``fixpoint``/``evaluate`` call inside the job runs through the
     certified optimizer; ``backend`` does the same for the evaluation
     engine (:func:`repro.core.backend.set_default_backend`) — job
-    functions need no signature change either way.
+    functions need no signature change either way.  ``check_cost``
+    installs a :class:`repro.analysis.cost.CostGuard` for the job's
+    lifetime: every fixpoint the job computes is audited against the
+    static cardinality bounds and the tally (checks, bounds, any
+    violations) ships back as the result's ``cost`` block.  When
+    ``backend`` is ``auto``, the per-fixpoint backend choices are
+    shipped as ``backend_resolution`` so the manifest can say why each
+    engine was picked.
     """
+    import contextlib as _contextlib
+
     try:
         if optimize:
             from repro.core.evaluation import set_default_optimize
@@ -75,24 +87,40 @@ def _worker(
             from repro.core.backend import set_default_backend
 
             set_default_backend(backend)
+        if backend == "auto":
+            from repro.core.backend import reset_auto_resolutions
+
+            reset_auto_resolutions()
         job_fn = Job(
             name="<worker>", fn=fn_ref, claim="", expected=""
         ).resolve()
+        guard_ctx: Any = _contextlib.nullcontext()
+        if check_cost:
+            from repro.analysis.cost import cost_checking
+
+            guard_ctx = cost_checking()
         stats = EngineStats()
-        with collecting(stats):
+        with guard_ctx as guard, collecting(stats):
             payload = job_fn(**inputs)
         if not isinstance(payload, dict) or "verdict" not in payload:
             raise TypeError(
                 f"job function {fn_ref!r} must return a dict with a "
                 f"'verdict' key, got {type(payload).__name__}"
             )
-        conn.send({
+        message = {
             "verdict": str(payload["verdict"]),
             "measured": str(payload.get("measured", "")),
             "metrics": payload.get("metrics", {}),
             "engine": stats.to_dict(),
             "certificate": payload.get("certificate"),
-        })
+        }
+        if guard is not None:
+            message["cost"] = guard.summary()
+        if backend == "auto":
+            from repro.core.backend import auto_resolutions
+
+            message["backend_resolution"] = auto_resolutions()
+        conn.send(message)
     except BaseException:
         with contextlib.suppress(Exception):
             conn.send({"error": traceback.format_exc()})
@@ -231,7 +259,7 @@ def run_jobs(
             target=_worker,
             args=(
                 job.fn, dict(job.inputs), send,
-                config.optimize, config.backend,
+                config.optimize, config.backend, config.check_cost,
             ),
             daemon=True,
             name=f"evidence-{job.name}",
@@ -402,6 +430,8 @@ def run_jobs(
                     duration=duration,
                     attempts=entry.attempt,
                     certificate=payload.get("certificate"),
+                    cost=payload.get("cost"),
+                    backend_resolution=payload.get("backend_resolution"),
                 )
                 if cache is not None:
                     cache.store(job, result)

@@ -1,0 +1,182 @@
+"""Cost-model-driven scheduling of the evidence job DAG.
+
+The runner (:func:`repro.harness.runner.run_jobs`) launches whichever
+ready jobs it encounters first, in registration order.  That leaves
+easy wall-clock time on the table: with 4 workers and 22 jobs, starting
+a heavy benchmark *last* serializes it behind the whole table.  This
+module predicts each job's cost *statically* — without running
+anything — and reorders the ready set so the predicted-heaviest work
+starts first (classic LPT list scheduling), while dependencies keep
+their order constraints.
+
+Prediction reuses the certified cost analysis
+(:mod:`repro.analysis.cost`): a job function's source is walked for
+Datalog program literals (string constants containing ``<-``), each
+parses through the normal parser, and the *assumed-parameter* cost
+report's total join cost is summed.  Jobs whose source carries no
+parsable program (pure orchestration, figure rendering) fall back to a
+small base cost; ``heavy``-flagged benchmarks are multiplied up since
+they iterate their programs over scaled instances.
+
+The predictions also produce *hints*: a job predicted past
+:data:`HEAVY_COST` is marked ``heavy`` and, when it declares no
+explicit timeout, granted double the runner default so a correctly
+predicted long job is not killed by a generic deadline.  Hints travel
+via :func:`dataclasses.replace` on the frozen :class:`Job` — the cache
+key covers name/fn/inputs only, so hinted and unhinted runs share
+entries.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from dataclasses import replace
+from typing import Iterable, Optional, Sequence
+
+from repro.harness.job import Job
+
+#: fallback cost for jobs with no extractable program literal
+BASE_COST = 100
+
+#: multiplier for ``heavy``-flagged jobs (benchmarks iterate their
+#: programs over instances much larger than the assumed parameters)
+HEAVY_FACTOR = 8
+
+#: predicted cost at which a job earns the ``heavy`` flag and a
+#: doubled default timeout
+HEAVY_COST = 10_000
+
+
+def _program_literals(fn_ref: str) -> list[str]:
+    """Datalog-looking string constants in the job function's source.
+
+    ``fn_ref`` is the job's ``"module:qualname"``.  Resolution failures
+    (module not importable, source not on disk, builtins) yield an
+    empty list — scheduling must never make a run fail.
+    """
+    try:
+        fn = Job(name="<cost>", fn=fn_ref, claim="", expected="").resolve()
+        source = textwrap.dedent(inspect.getsource(fn))
+        tree = ast.parse(source)
+    except Exception:
+        return []
+    literals = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            if "<-" in node.value:
+                literals.append(node.value)
+    return literals
+
+
+def predict_job_cost(job: Job) -> int:
+    """Predicted total join cost of one job, assumed parameters.
+
+    Sums the cost model's total join cost over every program literal in
+    the job function's source (literals that do not parse — fragments,
+    deliberately malformed inputs — are skipped).  Falls back to
+    :data:`BASE_COST` when nothing parses; ``heavy`` jobs are scaled by
+    :data:`HEAVY_FACTOR`.
+    """
+    from repro.analysis.cost import cost_report
+    from repro.core.parser import ParseError, parse_program
+
+    total = 0
+    for text in _program_literals(job.fn):
+        program = None
+        for candidate in (text, text + "."):
+            try:
+                program = parse_program(candidate)
+                break
+            except (ParseError, ValueError):
+                continue
+        if program is None or not program.rules:
+            continue
+        try:
+            report = cost_report(program, peel=False)
+        except Exception:
+            continue
+        total += report.total_join_cost
+    if total <= 0:
+        total = BASE_COST
+    if job.heavy:
+        total *= HEAVY_FACTOR
+    return total
+
+
+def _with_hints(
+    job: Job, cost: int, default_timeout: Optional[float]
+) -> Job:
+    """Apply heavy/timeout hints earned by a high predicted cost."""
+    if cost < HEAVY_COST:
+        return job
+    changes: dict[str, object] = {}
+    if not job.heavy:
+        changes["heavy"] = True
+    if job.timeout is None and default_timeout is not None:
+        changes["timeout"] = 2.0 * default_timeout
+    return replace(job, **changes) if changes else job
+
+
+def schedule_jobs(
+    jobs: Iterable[Job],
+    *,
+    default_timeout: Optional[float] = None,
+) -> tuple[list[Job], dict[str, int]]:
+    """Reorder ``jobs`` so the predicted-heaviest ready work runs first.
+
+    Returns ``(ordered jobs, name -> predicted cost)``.  The order is a
+    topological sort of the dependency DAG that, among the jobs whose
+    dependencies are already placed, always picks the one with the
+    highest predicted cost — the runner launches ready jobs in list
+    order, so list position *is* the schedule.  Jobs past
+    :data:`HEAVY_COST` come back with ``heavy``/``timeout`` hints
+    applied (see :func:`_with_hints`).
+
+    Unknown dependencies and cycles are left for the runner's own DAG
+    check: such inputs are returned unreordered so the caller still
+    reaches the runner's precise error message.
+    """
+    ordered_input = list(jobs)
+    costs = {job.name: predict_job_cost(job) for job in ordered_input}
+    by_name = {job.name: job for job in ordered_input}
+    if len(by_name) != len(ordered_input):
+        return ordered_input, costs
+    placed: set[str] = set()
+    remaining = dict(by_name)
+    schedule: list[Job] = []
+    while remaining:
+        ready = [
+            job for job in remaining.values()
+            if all(dep in placed for dep in job.deps if dep in by_name)
+        ]
+        if not ready:  # cycle: let the runner report it
+            schedule.extend(remaining.values())
+            break
+        best = max(ready, key=lambda job: (costs[job.name], job.name))
+        del remaining[best.name]
+        placed.add(best.name)
+        schedule.append(
+            _with_hints(best, costs[best.name], default_timeout)
+        )
+    return schedule, costs
+
+
+def render_schedule(
+    schedule: Sequence[Job], costs: dict[str, int]
+) -> str:
+    """One line per job: predicted cost and inherited hints."""
+    lines = []
+    for position, job in enumerate(schedule):
+        flags = []
+        if job.heavy:
+            flags.append("heavy")
+        if job.timeout is not None:
+            flags.append(f"timeout {job.timeout:g}s")
+        flag_text = f"  [{', '.join(flags)}]" if flags else ""
+        lines.append(
+            f"  {position + 1:>2}. {job.name:<34} "
+            f"cost <= {costs.get(job.name, 0)}{flag_text}"
+        )
+    return "\n".join(lines)

@@ -252,3 +252,84 @@ def test_cli_decide_accepts_backend_flag(tmp_path, capsys):
     assert code == 0
     assert "verdict" in out
     assert default_backend() == "interpreted"
+
+
+# ---------------------------------------------------------------------------
+# the auto backend (cost-model-driven choice)
+# ---------------------------------------------------------------------------
+
+def test_auto_backend_is_registered():
+    from repro.core.backend import AutoBackend
+
+    assert "auto" in backend_names()
+    assert isinstance(get_backend("auto"), AutoBackend)
+
+
+def test_auto_backend_small_volume_stays_interpreted():
+    from repro.core.backend import auto_resolutions, reset_auto_resolutions
+
+    reset_auto_resolutions()
+    small = _chain(5)
+    assert fixpoint(TC, small, backend="auto") == fixpoint(TC, small)
+    (resolution,) = auto_resolutions()
+    assert resolution["backend"] == "interpreted"
+    assert 0 < resolution["volume"] < resolution["threshold"]
+
+
+def test_auto_backend_large_volume_goes_columnar():
+    from repro.core.backend import auto_resolutions, reset_auto_resolutions
+
+    reset_auto_resolutions()
+    big = _chain(120)
+    assert fixpoint(TC, big, backend="auto") == fixpoint(TC, big)
+    (resolution,) = auto_resolutions()
+    assert resolution["backend"] == "columnar"
+    assert resolution["volume"] >= resolution["threshold"]
+
+
+def test_auto_backend_threshold_is_tunable():
+    from repro.core.backend import (
+        AutoBackend,
+        auto_resolutions,
+        reset_auto_resolutions,
+    )
+
+    reset_auto_resolutions()
+    eager = AutoBackend(threshold=1)
+    eager.fixpoint(TC, _chain(4))
+    (resolution,) = auto_resolutions()
+    assert resolution["backend"] == "columnar"
+    assert resolution["threshold"] == 1
+
+
+def test_auto_backend_counts_choices_into_engine_stats():
+    from repro.core.backend import reset_auto_resolutions
+
+    reset_auto_resolutions()
+    stats = EngineStats()
+    fixpoint(TC, _chain(5), backend="auto", stats=stats)
+    fixpoint(TC, _chain(120), backend="auto", stats=stats)
+    assert stats.auto_backend_interpreted == 1
+    assert stats.auto_backend_columnar == 1
+
+
+def test_auto_resolutions_reset_and_accumulate():
+    from repro.core.backend import auto_resolutions, reset_auto_resolutions
+
+    reset_auto_resolutions()
+    fixpoint(TC, _chain(3), backend="auto")
+    fixpoint(TC, _chain(3), backend="auto")
+    assert len(auto_resolutions()) == 2
+    reset_auto_resolutions()
+    assert auto_resolutions() == []
+
+
+def test_cli_eval_accepts_auto_backend(tmp_path, capsys):
+    from repro.cli import main
+
+    qf = tmp_path / "q.txt"
+    qf.write_text("# goal: T\nT(x,y) <- R(x,y). T(x,y) <- R(x,z), T(z,y).")
+    inf = tmp_path / "i.txt"
+    inf.write_text("R(1,2). R(2,3).")
+    assert main(["eval", str(qf), str(inf), "--backend", "auto"]) == 0
+    assert "(1, 3)" in capsys.readouterr().out

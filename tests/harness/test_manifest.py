@@ -170,3 +170,82 @@ def test_event_log_round_trip(tmp_path):
     # bad lines are skipped, not fatal
     path.write_text(path.read_text() + "not json\n")
     assert len(read_events(path)) == 2
+
+
+def test_manifest_schema_is_five():
+    from repro.harness.manifest import MANIFEST_SCHEMA
+
+    jobs = [_job("a")]
+    results = {"a": JobResult("a", JobStatus.OK, "fine", verdict="fine")}
+    assert MANIFEST_SCHEMA == 5
+    assert _build(jobs, results)["schema"] == 5
+
+
+def _cost_result(name, violations):
+    return JobResult(
+        name, JobStatus.OK, "fine", verdict="fine",
+        cost={"checks": 2, "predicates": 3, "violations": violations},
+    )
+
+
+def test_manifest_cost_summary_green():
+    jobs = [_job("a"), _job("b")]
+    results = {
+        "a": _cost_result("a", []),
+        "b": _cost_result("b", []),
+    }
+    manifest = build_manifest(
+        jobs, results,
+        wall_seconds=1.0, workers=2, default_timeout=30.0,
+        code_fingerprint="fp", cache_used=False, check_cost=True,
+    )
+    assert manifest["check_cost"] is True
+    assert manifest["summary"]["cost_checked"] == 2
+    assert manifest["summary"]["cost_ok"] == 2
+    assert manifest["cost_violations"] == []
+    assert manifest_exit_code(manifest) == 0
+    rendered = render_manifest(manifest)
+    assert "cost bounds: 2/2" in rendered
+
+
+def test_manifest_cost_violation_gates_the_exit_code():
+    violation = {
+        "pred": "T", "measured": 9, "bound": 4,
+        "basis": "recursive", "recursive": True,
+    }
+    jobs = [_job("a")]
+    results = {"a": _cost_result("a", [violation])}
+    manifest = build_manifest(
+        jobs, results,
+        wall_seconds=1.0, workers=2, default_timeout=30.0,
+        code_fingerprint="fp", cache_used=False, check_cost=True,
+    )
+    assert manifest["summary"]["cost_checked"] == 1
+    assert manifest["summary"]["cost_ok"] == 0
+    assert manifest["cost_violations"] == [
+        {"job": "a", "violations": [violation]}
+    ]
+    assert manifest_exit_code(manifest) == 1
+    rendered = render_manifest(manifest)
+    assert "VIOLATED" in rendered
+
+
+def test_manifest_without_check_cost_has_no_cost_summary():
+    jobs = [_job("a")]
+    results = {"a": JobResult("a", JobStatus.OK, "fine", verdict="fine")}
+    manifest = _build(jobs, results)
+    assert "cost_checked" not in manifest["summary"]
+    assert manifest_exit_code(manifest) == 0
+
+
+def test_job_result_cost_fields_round_trip():
+    result = JobResult(
+        "a", JobStatus.OK, "fine", verdict="fine",
+        cost={"checks": 1, "predicates": 2, "violations": []},
+        backend_resolution=[
+            {"backend": "columnar", "volume": 9000, "threshold": 4096}
+        ],
+    )
+    thawed = JobResult.from_dict(result.as_dict())
+    assert thawed.cost == result.cost
+    assert thawed.backend_resolution == result.backend_resolution

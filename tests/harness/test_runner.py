@@ -183,3 +183,48 @@ def test_worker_honors_backend_config():
     tuned = run_jobs([job], config=_config(backend="columnar"))
     assert tuned["probe"].verdict == "columnar"
     assert tuned["probe"].status is JobStatus.OK
+
+
+def test_check_cost_ships_the_guard_summary_back():
+    job = _job("fx", "datalog_fixpoint_job", expected="computed")
+    results = run_jobs([job], config=_config(check_cost=True))
+    result = results["fx"]
+    assert result.status is JobStatus.OK
+    assert result.cost is not None
+    assert result.cost["checks"] >= 1
+    assert result.cost["predicates"] >= 1
+    assert result.cost["violations"] == []
+
+
+def test_cost_payload_absent_without_check_cost():
+    job = _job("fx", "datalog_fixpoint_job", expected="computed")
+    results = run_jobs([job], config=_config())
+    assert results["fx"].cost is None
+
+
+def test_auto_backend_resolutions_travel_in_the_result():
+    job = _job("fx", "datalog_fixpoint_job", expected="computed")
+    results = run_jobs([job], config=_config(backend="auto"))
+    resolutions = results["fx"].backend_resolution
+    assert resolutions  # at least the one fixpoint the job runs
+    for entry in resolutions:
+        assert entry["backend"] in ("interpreted", "columnar")
+        assert entry["volume"] >= 0
+        assert entry["threshold"] > 0
+
+
+def test_backend_resolution_absent_off_auto():
+    job = _job("fx", "datalog_fixpoint_job", expected="computed")
+    results = run_jobs([job], config=_config(backend="columnar"))
+    assert results["fx"].backend_resolution is None
+
+
+def test_check_cost_composes_with_the_auto_backend():
+    job = _job("fx", "datalog_fixpoint_job", expected="computed")
+    results = run_jobs(
+        [job], config=_config(check_cost=True, backend="auto")
+    )
+    result = results["fx"]
+    assert result.status is JobStatus.OK
+    assert result.cost["violations"] == []
+    assert result.backend_resolution
