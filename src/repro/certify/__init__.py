@@ -22,6 +22,7 @@ from repro.certify.emit import (
     certificate,
     claim_bounded_unfolding,
     claim_hom_witness,
+    claim_ivm_state,
     claim_instance_subset,
     claim_membership,
     claim_monotone_rewriting,
@@ -47,6 +48,7 @@ __all__ = [
     "check_certificate",
     "claim_bounded_unfolding",
     "claim_hom_witness",
+    "claim_ivm_state",
     "claim_instance_subset",
     "claim_membership",
     "claim_monotone_rewriting",

@@ -39,6 +39,9 @@ type                            verified statement
                                 the goal relation, replayed on shipped
                                 witnesses + a seeded instance stream over
                                 the (extensional-only) claimed schema
+``ivm_state``                   an incrementally maintained materialization
+                                equals the naive from-scratch fixpoint of
+                                its base instance, every relation exact
 ==============================  =============================================
 """
 
@@ -69,12 +72,12 @@ from repro.core.ucq import UCQ, as_ucq
 from repro.views.view import ViewSet
 
 #: bump when the certificate format changes incompatibly
-CERT_SCHEMA = 2
+CERT_SCHEMA = 3
 
-#: every schema this checker can validate.  Schema 2 only *adds* the
-#: ``program_equivalence`` claim type, so schema-1 certificates remain
-#: fully checkable.
-SUPPORTED_SCHEMAS = frozenset({1, CERT_SCHEMA})
+#: every schema this checker can validate.  Schemas 2 and 3 only *add*
+#: claim types (``program_equivalence``, then ``ivm_state``), so older
+#: certificates remain fully checkable.
+SUPPORTED_SCHEMAS = frozenset({1, 2, CERT_SCHEMA})
 
 #: cap on checker-side unfoldings, mirroring the emitters' caps
 UNFOLD_LIMIT = 512
@@ -648,6 +651,28 @@ def _check_program_equivalence(payload: dict[str, Any]) -> None:
         )
 
 
+def _check_ivm_state(payload: dict[str, Any]) -> None:
+    program = decode_program(payload["program"])
+    base = decode_relations(payload["base"])
+    claimed = decode_relations(payload["state"])
+    actual = replay.naive_fixpoint(program.rules, base)
+    actual = {pred: rows for pred, rows in actual.items() if rows}
+    claimed = {pred: rows for pred, rows in claimed.items() if rows}
+    if actual != claimed:
+        preds = sorted(
+            set(actual) | set(claimed),
+            key=lambda p: (actual.get(p) == claimed.get(p), p),
+        )
+        worst = preds[0]
+        recomputed = actual.get(worst, set())
+        shipped = claimed.get(worst, set())
+        raise ClaimFailure(
+            f"maintained state differs from the fixpoint on {worst!r}: "
+            f"missing {sorted(recomputed - shipped, key=repr)[:3]!r}, "
+            f"stale {sorted(shipped - recomputed, key=repr)[:3]!r}"
+        )
+
+
 #: claim type -> checker
 CLAIM_CHECKERS: dict[str, Callable[[dict], None]] = {
     "membership": _check_membership,
@@ -663,6 +688,7 @@ CLAIM_CHECKERS: dict[str, Callable[[dict], None]] = {
     "rewriting_sample": _check_rewriting_sample,
     "bounded_unfolding": _check_bounded_unfolding,
     "program_equivalence": _check_program_equivalence,
+    "ivm_state": _check_ivm_state,
 }
 
 

@@ -34,8 +34,9 @@ from repro.views.view import ViewSet
 
 #: bump together with :data:`repro.certify.checker.CERT_SCHEMA`
 #: (history: 1 = initial 12-claim vocabulary; 2 = adds
-#: ``program_equivalence`` for the certified optimizer)
-CERT_SCHEMA = 2
+#: ``program_equivalence`` for the certified optimizer; 3 = adds
+#: ``ivm_state`` for incrementally maintained materializations)
+CERT_SCHEMA = 3
 
 InstanceLike = Union[Instance, Relations]
 
@@ -338,3 +339,25 @@ def claim_program_equivalence(
     if pass_name is not None:
         payload["pass"] = pass_name
     return payload
+
+
+def claim_ivm_state(
+    program: DatalogProgram,
+    base: InstanceLike,
+    state: InstanceLike,
+) -> dict[str, Any]:
+    """The maintained materialization equals ``FPEval(program, base)``
+    (schema-3 claim).
+
+    Emitted by :meth:`repro.ivm.MaterializedView.certificate` after a
+    maintenance round: whatever sequence of counting/DRed updates
+    produced ``state``, the checker re-derives the fixpoint of ``base``
+    with the naive replay evaluator (which shares no code with the
+    incremental engine) and demands exact equality.
+    """
+    return {
+        "type": "ivm_state",
+        "program": encode_program(program),
+        "base": _instance_payload(base),
+        "state": _instance_payload(state),
+    }

@@ -639,6 +639,10 @@ def build_parser() -> argparse.ArgumentParser:
     from repro.harness.cli import add_evidence_parser
 
     add_evidence_parser(sub)
+
+    from repro.serve.cli import add_serve_parser
+
+    add_serve_parser(sub)
     return parser
 
 

@@ -103,6 +103,7 @@ class Instance:
             # Maintain the index in place instead of invalidating it.
             index = self._index
             counts = self._counts
+            resurrected = False
             for pos, val in enumerate(args):
                 key = (pred, pos, val)
                 bucket = index.get(key)
@@ -114,7 +115,15 @@ class Instance:
                     # this key; re-adding a tombstoned row must not
                     # duplicate its index entry.
                     bucket.append(args)
+                else:
+                    # The row is already in the bucket but was not live:
+                    # this add resurrects a tombstoned row.  Its stale
+                    # index entries become live again, so the row no
+                    # longer counts against the staleness budget.
+                    resurrected = True
                 counts[key] = count + 1
+            if resurrected and self._dead:
+                self._dead -= 1
             if _stats._ACTIVE:
                 _stats._ACTIVE[-1].index_incremental += 1
         return True

@@ -48,6 +48,10 @@ _SUMMED_FIELDS = frozenset({
     "cost_violations",
     "auto_backend_interpreted",
     "auto_backend_columnar",
+    "ivm_inserted",
+    "ivm_deleted",
+    "ivm_rederived",
+    "ivm_rounds",
 })
 
 
@@ -78,6 +82,10 @@ class EngineStats:
     cost_violations: int = 0      # measured sizes exceeding a bound (!)
     auto_backend_interpreted: int = 0  # auto backend picked interpreted
     auto_backend_columnar: int = 0     # auto backend picked columnar
+    ivm_inserted: int = 0         # facts added by maintenance rounds
+    ivm_deleted: int = 0          # facts removed by maintenance rounds
+    ivm_rederived: int = 0        # DRed suspects saved by rederivation
+    ivm_rounds: int = 0           # incremental maintenance rounds run
     phase_seconds: dict[str, float] = field(default_factory=dict)
 
     @contextmanager
@@ -192,6 +200,10 @@ class EngineStats:
             ("cost bound violations", self.cost_violations),
             ("auto picks: interpreted", self.auto_backend_interpreted),
             ("auto picks: columnar", self.auto_backend_columnar),
+            ("ivm facts inserted", self.ivm_inserted),
+            ("ivm facts deleted", self.ivm_deleted),
+            ("ivm facts rederived", self.ivm_rederived),
+            ("ivm maintenance rounds", self.ivm_rounds),
         ]
         lines = ["engine stats:"]
         for label, value in rows:

@@ -32,8 +32,16 @@ def finish(
     measured: str,
     metrics: Optional[dict[str, Any]] = None,
     certificate: Optional[dict[str, Any]] = None,
+    ivm: Optional[dict[str, Any]] = None,
 ) -> dict[str, Any]:
-    """Fold named checks into the evidence-result dict."""
+    """Fold named checks into the evidence-result dict.
+
+    ``ivm`` is the optional incremental-maintenance block for jobs
+    that drive a :class:`repro.ivm.MaterializedView` (round and
+    inserted/deleted/rederived counts, maintenance-vs-recompute
+    timings); it ships as the result's ``ivm`` field and is summarized
+    by the manifest.
+    """
     failed = [label for label, ok in checks if not ok]
     if failed:
         verdict = "violated(" + ",".join(failed) + ")"
@@ -44,6 +52,7 @@ def finish(
         "measured": measured,
         "metrics": dict(metrics or {}),
         "certificate": certificate,
+        "ivm": ivm,
     }
 
 

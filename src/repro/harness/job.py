@@ -116,6 +116,9 @@ class JobResult:
     backend_resolution: Optional[list[dict[str, Any]]] = None
     # per-fixpoint {"backend", "volume", "threshold"} choices made by
     # the auto backend; None unless the run used --backend auto
+    ivm: Optional[dict[str, Any]] = None  # incremental-maintenance block
+    # ({"rounds", "inserted", "deleted", "rederived", ...}) from jobs
+    # that drive a repro.ivm.MaterializedView, else None
 
     @property
     def matched(self) -> bool:
@@ -138,6 +141,7 @@ class JobResult:
             "certificate": self.certificate,
             "cost": self.cost,
             "backend_resolution": self.backend_resolution,
+            "ivm": self.ivm,
         }
 
     @classmethod
@@ -157,4 +161,5 @@ class JobResult:
             certificate=data.get("certificate"),
             cost=data.get("cost"),
             backend_resolution=data.get("backend_resolution"),
+            ivm=data.get("ivm"),
         )

@@ -17,11 +17,13 @@ from typing import Any, Mapping, Optional, Sequence
 from repro.core.stats import EngineStats
 from repro.harness.job import Job, JobResult, JobStatus
 
-MANIFEST_SCHEMA = 5  # 2: per-job certificate status; 3: optimize flag
+MANIFEST_SCHEMA = 6  # 2: per-job certificate status; 3: optimize flag
                      # + optional baseline engine delta; 4: backend name
                      # + columnar join counters in the delta; 5: per-job
                      # cost-guard blocks + auto-backend resolutions +
-                     # check_cost flag and summary
+                     # check_cost flag and summary; 6: per-job ivm
+                     # maintenance blocks, ivm counters in the delta,
+                     # ivm round totals in the summary
 
 #: EngineStats counters diffed against a baseline manifest
 _DELTA_FIELDS = (
@@ -35,6 +37,10 @@ _DELTA_FIELDS = (
     "join_output_rows",
     "cost_bounds_checked",
     "cost_violations",
+    "ivm_rounds",
+    "ivm_inserted",
+    "ivm_deleted",
+    "ivm_rederived",
 )
 
 
@@ -111,7 +117,12 @@ def build_manifest(
     fixpoint against the static cardinality bounds: the summary gains
     ``cost_checked`` (jobs that shipped a cost block) and ``cost_ok``
     (those with zero bound violations), and :func:`manifest_exit_code`
-    turns any unsound prediction into a red run.  ``baseline`` is a previously written manifest to
+    turns any unsound prediction into a red run.  Jobs that drive a
+    :class:`repro.ivm.MaterializedView` ship an ``ivm`` block; when
+    any do, the summary gains ``ivm_jobs`` and ``ivm_rounds`` totals
+    (their ``ivm_state`` certificates are validated through the same
+    ``certificate_checks`` path as every other claim type).
+    ``baseline`` is a previously written manifest to
     diff against: the new manifest gains a ``baseline`` block with
     per-counter engine deltas (current − baseline), the before/after
     evidence for the optimizer's or backend's effect on the same jobs.
@@ -123,6 +134,8 @@ def build_manifest(
     certified = 0
     cost_checked = 0
     cost_ok = 0
+    ivm_jobs = 0
+    ivm_rounds = 0
     mismatches = []
     cost_violations = []
     for job in jobs:
@@ -153,6 +166,9 @@ def build_manifest(
                 })
             else:
                 cost_ok += 1
+        if result.ivm is not None:
+            ivm_jobs += 1
+            ivm_rounds += int(result.ivm.get("rounds", 0))
         if result.engine:
             # report tooling: tolerate counters from a newer schema
             # (e.g. cached results written by a later version)
@@ -184,6 +200,9 @@ def build_manifest(
     if check_cost:
         summary["cost_checked"] = cost_checked
         summary["cost_ok"] = cost_ok
+    if ivm_jobs:
+        summary["ivm_jobs"] = ivm_jobs
+        summary["ivm_rounds"] = ivm_rounds
     manifest: dict[str, Any] = {
         "schema": MANIFEST_SCHEMA,
         "created": datetime.datetime.now(
@@ -265,6 +284,9 @@ def render_manifest(manifest: dict[str, Any], *, verbose: bool = False) -> str:
                 f"cost {'VIOLATED' if violated else 'ok'} "
                 f"({cost.get('predicates', 0)} bounds)"
             )
+        ivm = entry.get("ivm")
+        if ivm is not None:
+            flags.append(f"ivm {ivm.get('rounds', 0)} rounds")
         flag_text = f" ({', '.join(flags)})" if flags else ""
         lines.append(
             f"  {status.upper():<9} {name:<34} "
@@ -315,6 +337,12 @@ def render_manifest(manifest: dict[str, Any], *, verbose: bool = False) -> str:
             f"cost bounds: {summary['cost_ok']}/"
             f"{summary['cost_checked']} job(s) within the static "
             "cardinality bounds"
+        )
+    if "ivm_jobs" in summary:
+        lines.append(
+            f"ivm: {summary['ivm_jobs']} job(s) maintained "
+            f"materializations across {summary['ivm_rounds']} "
+            "incremental rounds"
         )
     engine = manifest.get("engine_totals") or {}
     if engine.get("hom_calls") or engine.get("fixpoint_rounds"):

@@ -18,6 +18,7 @@ from repro.harness.job import Job
 _T1 = "repro.harness.evidence_table1"
 _T2 = "repro.harness.evidence_table2"
 _FIG = "repro.harness.evidence_figures"
+_IVM = "repro.harness.evidence_ivm"
 
 
 class JobRegistry:
@@ -277,5 +278,25 @@ def default_registry() -> JobRegistry:
         expected="within-bound",
         inputs={"radii": [1, 2], "families": ["chain", "cycle", "tree"]},
         tags=("figures", "fig5"),
+    ))
+
+    # ------------------------------------------- incremental maintenance
+    registry.add(Job(
+        name="ivm-chain-maintenance",
+        fn=f"{_IVM}:ivm_chain_maintenance",
+        claim="counting/DRed maintenance of chain transitive closure "
+              "equals the from-scratch fixpoint after every round",
+        expected="maintenance-equivalent",
+        inputs={"nodes": 48, "rounds": 12},
+        tags=("ivm", "maintenance"),
+    ))
+    registry.add(Job(
+        name="ivm-grid-maintenance",
+        fn=f"{_IVM}:ivm_grid_maintenance",
+        claim="DRed overdelete/rederive on grid reachability equals "
+              "the from-scratch fixpoint after every round",
+        expected="maintenance-equivalent",
+        inputs={"side": 5, "rounds": 10},
+        tags=("ivm", "maintenance"),
     ))
     return registry

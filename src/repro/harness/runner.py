@@ -113,6 +113,7 @@ def _worker(
             "metrics": payload.get("metrics", {}),
             "engine": stats.to_dict(),
             "certificate": payload.get("certificate"),
+            "ivm": payload.get("ivm"),
         }
         if guard is not None:
             message["cost"] = guard.summary()
@@ -432,6 +433,7 @@ def run_jobs(
                     certificate=payload.get("certificate"),
                     cost=payload.get("cost"),
                     backend_resolution=payload.get("backend_resolution"),
+                    ivm=payload.get("ivm"),
                 )
                 if cache is not None:
                     cache.store(job, result)

@@ -1,0 +1,13 @@
+"""Incremental view maintenance for Datalog materializations.
+
+A :class:`MaterializedView` keeps ``FPEval(Π, I)`` warm while the base
+instance ``I`` changes: :meth:`~MaterializedView.insert` and
+:meth:`~MaterializedView.retract` update the materialization with
+delta-driven maintenance (counting for non-recursive strata, DRed for
+recursive SCCs) instead of re-running the fixpoint.  The long-lived
+service in :mod:`repro.serve` builds one of these per session.
+"""
+
+from repro.ivm.materialized import MaintenanceRound, MaterializedView
+
+__all__ = ["MaintenanceRound", "MaterializedView"]

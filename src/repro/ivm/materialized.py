@@ -1,0 +1,706 @@
+"""Delta-driven incremental maintenance of a Datalog materialization.
+
+A :class:`MaterializedView` owns a program, a *base* instance (the facts
+the caller has asserted) and the full materialization
+``state = FPEval(Π, base)``.  One :meth:`MaterializedView.apply` call is
+one *maintenance round*: retractions and insertions are normalised into
+a net base delta and pushed through the program one SCC stratum at a
+time, dependencies first — exactly the schedule the stratified fixpoint
+engine uses, so every stratum sees finalised deltas for everything it
+reads.
+
+Per-stratum algorithms:
+
+* **Non-recursive strata** use *counting*: the view keeps the number of
+  derivations of every fact, and a maintenance round computes the exact
+  derivation-count change with the telescoping signed expansion
+  ``Δ(R₁ ⋈ … ⋈ Rₙ) = Σᵢ old(R₁..Rᵢ₋₁) ⋈ ΔRᵢ ⋈ new(Rᵢ₊₁..Rₙ)`` — each
+  changed rule instantiation is counted exactly once, with sign.  A fact
+  is present iff its count is positive or it is base-asserted.
+* **Recursive strata** use *DRed* (delete–rederive): overdelete the
+  downward closure of the deletions with a semi-naive frontier against
+  pre-round values, rederive each suspect that still has a derivation
+  from the surviving facts (or is base-asserted), then propagate
+  insertions — including rederivation cascades — with the engine's own
+  semi-naive delta machinery (:func:`repro.core.evaluation.
+  _delta_derivations`, shared join-plan cache included).
+
+The insert-propagation phase is backend-aware: under the ``columnar``
+backend (or when ``auto`` predicts a large join volume) frontier facts
+are pushed through the PR-6 columnar delta plans in batches instead of
+tuple-at-a-time search.  The counting and overdelete phases always run
+interpreted — they join against *old* views of changed relations, a
+mixed old/new shape the append-only columnar store cannot express.
+
+Old views are never snapshotted eagerly: for a changed predicate ``p``
+the pre-round relation is reconstructed lazily as
+``old(p) = (state ∖ plus[p]) ∪ minus[p]`` from the net per-predicate
+deltas, and unchanged predicates are read straight from ``state``.
+
+Correctness contract (certified): after any round, ``state`` equals a
+from-scratch ``FPEval(Π, base)``.  :meth:`MaterializedView.certificate`
+emits this as an ``ivm`` claim for the independent replay checker, and
+the Hypothesis suite in ``tests/ivm`` drives random update
+interleavings against the batch oracle across backends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Optional, Sequence, Union
+
+from repro.analysis.dependency import SCC, DependencyGraph
+from repro.core import stats as _stats
+from repro.core.atoms import Atom, Fact
+from repro.core.datalog import DatalogProgram, Rule
+from repro.core.evaluation import (
+    _delta_derivations,
+    _PlanCache,
+    _program_delta_patterns,
+    _rule_derivations,
+    default_optimize,
+    fixpoint,
+)
+from repro.core.homomorphism import _bindings_for_row, _pattern, homomorphisms
+from repro.core.instance import Instance
+from repro.core.stats import EngineStats
+
+Row = tuple[object, ...]
+#: net per-predicate delta of one maintenance round (plus/minus rows)
+Delta = dict[str, set[Row]]
+#: anything :meth:`MaterializedView.apply` accepts as a fact
+FactLike = Union[Atom, tuple[str, Iterable[object]]]
+
+_EMPTY: frozenset[Row] = frozenset()
+
+
+@dataclass(frozen=True)
+class MaintenanceRound:
+    """Summary of one :meth:`MaterializedView.apply` round."""
+
+    index: int                        # 1-based round number
+    backend: str                      # engine used for insert propagation
+    inserted: int                     # net facts added to the state
+    deleted: int                      # net facts removed from the state
+    rederived: int                    # DRed suspects saved by rederivation
+    plus: dict[str, frozenset[Row]]   # net additions, per predicate
+    minus: dict[str, frozenset[Row]]  # net removals, per predicate
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready counters (the serve protocol's round report)."""
+        return {
+            "round": self.index,
+            "backend": self.backend,
+            "inserted": self.inserted,
+            "deleted": self.deleted,
+            "rederived": self.rederived,
+        }
+
+
+def _as_fact(obj: FactLike) -> Fact:
+    """Normalise an ``Atom`` or ``(pred, args)`` pair into a ground fact."""
+    if isinstance(obj, Atom):
+        fact = obj
+    else:
+        pred, args = obj
+        fact = Fact(str(pred), tuple(args))
+    if not fact.is_ground():
+        raise ValueError(f"facts must be ground, got {fact!r}")
+    return fact
+
+
+def _mixed_homomorphisms(
+    atoms: Sequence[Atom],
+    targets: Sequence[Instance],
+    assignment: Mapping[object, object],
+) -> Iterator[dict[object, object]]:
+    """Backtracking join where each atom matches its *own* instance.
+
+    The counting and overdelete phases join some body positions against
+    the pre-round (*old*) view of a relation and others against the
+    current state; :func:`repro.core.homomorphism.homomorphisms` assumes
+    one target, so this is the same fewest-candidates-first search with
+    a per-atom target.  Bodies are small, so recursion is fine here.
+    """
+    if not atoms:
+        yield dict(assignment)
+        return
+    best = min(
+        range(len(atoms)),
+        key=lambda k: targets[k].count_matching(
+            atoms[k].pred, _pattern(atoms[k], assignment)
+        ),
+    )
+    atom, target = atoms[best], targets[best]
+    rest_atoms = list(atoms[:best]) + list(atoms[best + 1:])
+    rest_targets = list(targets[:best]) + list(targets[best + 1:])
+    for row in target.matching(atom.pred, _pattern(atom, assignment)):
+        new = _bindings_for_row(atom, row, assignment)
+        if new is None:
+            continue
+        merged = {**assignment, **new}
+        yield from _mixed_homomorphisms(rest_atoms, rest_targets, merged)
+
+
+class MaterializedView:
+    """A live ``FPEval(Π, I)`` maintained under base-fact updates.
+
+    ``optimize=True`` (default: the ambient
+    :func:`repro.core.evaluation.default_optimize`) runs the universally
+    sound syntactic optimizer passes **once at construction** — they
+    preserve every IDB relation on every instance, so the maintained
+    state stays the fixpoint of the *source* program too, which is what
+    :meth:`certificate` claims.  Instance-specific passes (join
+    reordering, magic sets) are deliberately not applied: the instance
+    keeps changing, and the whole materialization is maintained, not one
+    goal.
+
+    ``backend`` picks the engine for insert propagation (``None`` → the
+    ambient :func:`repro.core.backend.default_backend`; ``"auto"``
+    resolves per round from the predicted join volume).
+    """
+
+    def __init__(
+        self,
+        program: DatalogProgram,
+        base: Optional[Instance] = None,
+        *,
+        optimize: Optional[bool] = None,
+        backend: Optional[str] = None,
+    ) -> None:
+        self.source_program = program
+        if optimize is None:
+            optimize = default_optimize()
+        self.optimize = bool(optimize)
+        if self.optimize:
+            from repro.analysis.optimize import (
+                OPTIMIZE_RULE_LIMIT,
+                syntactic_fixpoint_program,
+            )
+
+            if len(program.rules) <= OPTIMIZE_RULE_LIMIT:
+                with _stats.suspended():
+                    program = syntactic_fixpoint_program(program)
+        self.program = program
+        self.backend = backend
+        self.base = base.copy() if base is not None else Instance()
+        self.rounds = 0
+
+        graph = DependencyGraph(program)
+        self._sccs = graph.sccs
+        self._idb: set[str] = set(graph.idb)
+        self._recursive: set[str] = graph.recursive_predicates()
+        self._counted: set[str] = self._idb - self._recursive
+        self._delta_patterns = _program_delta_patterns(program)
+        # join plans persist across rounds: the same delta rules replay
+        # every round, exactly the semi-naive reuse argument
+        self._plans = _PlanCache(None)
+        # derivation counts for facts of non-recursive IDB predicates
+        self._counts: dict[tuple[str, Row], int] = {}
+        self._initialize()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _initialize(self) -> None:
+        """From-scratch fixpoint + derivation counts for counted strata."""
+        self.state = fixpoint(
+            self.program, self.base, optimize=False, backend=self.backend
+        )
+        counts = self._counts
+        counts.clear()
+        for scc in self._sccs:
+            if scc.recursive:
+                continue
+            for rule in scc.rules:
+                for fact in _rule_derivations(rule, self.state):
+                    key = (fact.pred, fact.args)
+                    counts[key] = counts.get(key, 0) + 1
+
+    # ------------------------------------------------------------------
+    # public surface
+    # ------------------------------------------------------------------
+    def insert(self, facts: Iterable[FactLike]) -> MaintenanceRound:
+        """One maintenance round adding ``facts`` to the base."""
+        return self.apply(inserts=facts)
+
+    def retract(self, facts: Iterable[FactLike]) -> MaintenanceRound:
+        """One maintenance round removing ``facts`` from the base.
+
+        Retracting a fact that is only *derived* (never base-asserted)
+        is a no-op: updates address the base instance, the derived
+        closure follows from the program.
+        """
+        return self.apply(retracts=facts)
+
+    def query(self, pred: str) -> frozenset[Row]:
+        """The maintained relation for ``pred``."""
+        return self.state.tuples(pred)
+
+    def recompute(self) -> Instance:
+        """A from-scratch ``FPEval(Π, base)`` (the correctness oracle)."""
+        with _stats.suspended():
+            return fixpoint(
+                self.program, self.base, optimize=False,
+                backend="interpreted",
+            )
+
+    def certificate(
+        self, meta: Optional[dict[str, object]] = None
+    ) -> dict[str, object]:
+        """An ``ivm`` certificate: state ≡ from-scratch fixpoint.
+
+        The claim carries the *source* program (pre-optimizer), the
+        current base and the maintained state; the independent checker
+        replays a naive fixpoint of the base and compares.
+        """
+        from repro.certify.emit import certificate as _certificate
+        from repro.certify.emit import claim_ivm_state
+
+        claim = claim_ivm_state(self.source_program, self.base, self.state)
+        merged: dict[str, object] = {
+            "subsystem": "ivm", "rounds": self.rounds,
+        }
+        if meta:
+            merged.update(meta)
+        return _certificate([claim], meta=merged)
+
+    # ------------------------------------------------------------------
+    # one maintenance round
+    # ------------------------------------------------------------------
+    def apply(
+        self,
+        inserts: Iterable[FactLike] = (),
+        retracts: Iterable[FactLike] = (),
+        stats: Optional[EngineStats] = None,
+    ) -> MaintenanceRound:
+        """Apply one batch of updates; retractions act before insertions.
+
+        Returns the round summary with the net per-predicate deltas.
+        The same fact retracted and re-inserted in one round is a net
+        no-op all the way down (including the state's positional
+        indexes — the tombstone-resurrection seam this subsystem leans
+        on).
+        """
+        with _stats.maybe_collecting(stats):
+            collector = _stats.active()
+            retract_facts = [_as_fact(f) for f in retracts]
+            insert_facts = [_as_fact(f) for f in inserts]
+
+            removed: list[Fact] = []
+            for fact in retract_facts:
+                if fact in self.base:
+                    self.base.discard(fact)
+                    removed.append(fact)
+            added: list[Fact] = []
+            for fact in insert_facts:
+                if self.base.add(fact):
+                    added.append(fact)
+            added_set = set(added)
+            removed_set = set(removed)
+            net_removed = [f for f in removed if f not in added_set]
+            net_added = [f for f in added if f not in removed_set]
+
+            plus: Delta = {}
+            minus: Delta = {}
+            old_cache: dict[str, Instance] = {}
+            rec_del: dict[str, set[Row]] = {}
+            rec_add: dict[str, set[Row]] = {}
+
+            # ---- base phase: EDB and counted predicates settle now;
+            # base changes to recursive predicates are seeds for DRed.
+            for fact in net_removed:
+                pred, row = fact.pred, fact.args
+                if pred in self._recursive:
+                    rec_del.setdefault(pred, set()).add(row)
+                elif pred in self._counted:
+                    if self._counts.get((pred, row), 0) == 0:
+                        self._apply_del(pred, row, plus, minus)
+                else:
+                    self._apply_del(pred, row, plus, minus)
+            for fact in net_added:
+                pred, row = fact.pred, fact.args
+                if pred in self._recursive:
+                    rec_add.setdefault(pred, set()).add(row)
+                elif not self.state.has_tuple(pred, row):
+                    self._apply_add(pred, row, plus, minus)
+
+            backend = self._resolve_backend(collector)
+            rederived = 0
+            for scc in self._sccs:
+                if scc.recursive:
+                    rederived += self._maintain_recursive(
+                        scc, plus, minus, old_cache,
+                        rec_del, rec_add, backend, collector,
+                    )
+                else:
+                    self._maintain_counted(scc, plus, minus, old_cache)
+
+            self.rounds += 1
+            inserted = sum(len(rows) for rows in plus.values())
+            deleted = sum(len(rows) for rows in minus.values())
+            if collector is not None:
+                collector.ivm_rounds += 1
+                collector.ivm_inserted += inserted
+                collector.ivm_deleted += deleted
+                collector.ivm_rederived += rederived
+            return MaintenanceRound(
+                index=self.rounds,
+                backend=backend,
+                inserted=inserted,
+                deleted=deleted,
+                rederived=rederived,
+                plus={p: frozenset(r) for p, r in plus.items() if r},
+                minus={p: frozenset(r) for p, r in minus.items() if r},
+            )
+
+    # ------------------------------------------------------------------
+    # delta bookkeeping
+    # ------------------------------------------------------------------
+    def _apply_add(
+        self, pred: str, row: Row, plus: Delta, minus: Delta
+    ) -> bool:
+        if not self.state.add_tuple(pred, row):
+            return False
+        dropped = minus.get(pred)
+        if dropped is not None and row in dropped:
+            dropped.discard(row)  # same-round delete + re-add: net no-op
+        else:
+            plus.setdefault(pred, set()).add(row)
+        return True
+
+    def _apply_del(
+        self, pred: str, row: Row, plus: Delta, minus: Delta
+    ) -> bool:
+        fact = Fact(pred, row)
+        if fact not in self.state:
+            return False
+        self.state.discard(fact)
+        grown = plus.get(pred)
+        if grown is not None and row in grown:
+            grown.discard(row)  # same-round add + delete: net no-op
+        else:
+            minus.setdefault(pred, set()).add(row)
+        return True
+
+    def _old_view(
+        self, pred: str, plus: Delta, minus: Delta,
+        cache: dict[str, Instance],
+    ) -> Instance:
+        """The pre-round relation of a changed predicate, built lazily."""
+        view = cache.get(pred)
+        if view is None:
+            view = Instance()
+            dropped = plus.get(pred, _EMPTY)
+            for row in self.state.tuples(pred):
+                if row not in dropped:
+                    view.add_tuple(pred, row)
+            for row in minus.get(pred, _EMPTY):
+                view.add_tuple(pred, row)
+            cache[pred] = view
+        return view
+
+    def _resolve_backend(self, collector: Optional[EngineStats]) -> str:
+        """The engine for this round's insert propagation."""
+        from repro.core.backend import AutoBackend, default_backend
+
+        name = self.backend if self.backend is not None else default_backend()
+        if name != "auto":
+            return name
+        from repro.analysis.cost import predicted_join_volume
+        from repro.core.backend import _AUTO_RESOLUTIONS
+
+        with _stats.suspended():
+            volume = predicted_join_volume(self.program, self.state)
+        threshold = AutoBackend.DEFAULT_THRESHOLD
+        chosen = "columnar" if volume >= threshold else "interpreted"
+        _AUTO_RESOLUTIONS.append(
+            {"backend": chosen, "volume": volume, "threshold": threshold}
+        )
+        if collector is not None:
+            if chosen == "columnar":
+                collector.auto_backend_columnar += 1
+            else:
+                collector.auto_backend_interpreted += 1
+        return chosen
+
+    # ------------------------------------------------------------------
+    # counting maintenance (non-recursive strata)
+    # ------------------------------------------------------------------
+    def _maintain_counted(
+        self, scc: SCC, plus: Delta, minus: Delta,
+        old_cache: dict[str, Instance],
+    ) -> None:
+        changed = {p for p, rows in plus.items() if rows}
+        changed |= {p for p, rows in minus.items() if rows}
+        if not changed:
+            return
+        delta_counts: dict[Row, int] = {}
+        for rule in scc.rules:
+            body = rule.body
+            hit = [i for i, a in enumerate(body) if a.pred in changed]
+            if not hit:
+                continue
+            for i in hit:
+                atom = body[i]
+                rest_atoms: list[Atom] = []
+                rest_targets: list[Instance] = []
+                for j, other in enumerate(body):
+                    if j == i:
+                        continue
+                    # telescoping: positions before the delta read the
+                    # old view, positions after read the new state
+                    if j < i and other.pred in changed:
+                        rest_targets.append(
+                            self._old_view(other.pred, plus, minus, old_cache)
+                        )
+                    else:
+                        rest_targets.append(self.state)
+                    rest_atoms.append(other)
+                for sign, rows in (
+                    (1, plus.get(atom.pred, _EMPTY)),
+                    (-1, minus.get(atom.pred, _EMPTY)),
+                ):
+                    for row in rows:
+                        if len(row) != atom.arity:
+                            continue
+                        seed = _bindings_for_row(atom, row, {})
+                        if seed is None:
+                            continue
+                        for hom in _mixed_homomorphisms(
+                            rest_atoms, rest_targets, seed
+                        ):
+                            head = rule.head.substitute(hom)
+                            delta_counts[head.args] = (
+                                delta_counts.get(head.args, 0) + sign
+                            )
+        pred = next(iter(scc.predicates))
+        for row, change in delta_counts.items():
+            if not change:
+                continue
+            key = (pred, row)
+            count = self._counts.get(key, 0) + change
+            if count < 0:
+                raise RuntimeError(
+                    f"ivm: negative derivation count for {pred}{row!r}"
+                )
+            if count:
+                self._counts[key] = count
+            else:
+                self._counts.pop(key, None)
+            present = count > 0 or self.base.has_tuple(pred, row)
+            if present:
+                self._apply_add(pred, row, plus, minus)
+            else:
+                self._apply_del(pred, row, plus, minus)
+
+    # ------------------------------------------------------------------
+    # DRed maintenance (recursive strata)
+    # ------------------------------------------------------------------
+    def _maintain_recursive(
+        self,
+        scc: SCC,
+        plus: Delta,
+        minus: Delta,
+        old_cache: dict[str, Instance],
+        rec_del: dict[str, set[Row]],
+        rec_add: dict[str, set[Row]],
+        backend: str,
+        collector: Optional[EngineStats],
+    ) -> int:
+        preds = scc.predicates
+        reads = {a.pred for rule in scc.rules for a in rule.body}
+        ext_minus = {
+            p: rows for p, rows in minus.items()
+            if rows and p in reads and p not in preds
+        }
+        ext_plus = {
+            p: rows for p, rows in plus.items()
+            if rows and p in reads and p not in preds
+        }
+        del_seeds = {p: rec_del.get(p, set()) for p in preds}
+        add_seeds = {p: set(rec_add.get(p, set())) for p in preds}
+
+        suspects: dict[str, set[Row]] = {p: set() for p in preds}
+        rederived = 0
+        if ext_minus or any(del_seeds.values()):
+            changed = {p for p, rows in plus.items() if rows}
+            changed |= {p for p, rows in minus.items() if rows}
+
+            # ---- phase A: overdelete the downward closure -------------
+            frontier: dict[str, set[Row]] = {
+                p: set(rows) for p, rows in ext_minus.items()
+            }
+            for p, rows in del_seeds.items():
+                live = {r for r in rows if self.state.has_tuple(p, r)}
+                if live:
+                    suspects[p] |= live
+                    frontier.setdefault(p, set()).update(live)
+            while frontier:
+                fresh: dict[str, set[Row]] = {}
+                for rule in scc.rules:
+                    body = rule.body
+                    for i, atom in enumerate(body):
+                        rows = frontier.get(atom.pred)
+                        if not rows:
+                            continue
+                        rest_atoms: list[Atom] = []
+                        rest_targets: list[Instance] = []
+                        for j, other in enumerate(body):
+                            if j == i:
+                                continue
+                            # pre-round values: external changed preds
+                            # through their old view; this SCC's own
+                            # relations are still untouched in state
+                            if other.pred in changed and \
+                                    other.pred not in preds:
+                                rest_targets.append(self._old_view(
+                                    other.pred, plus, minus, old_cache
+                                ))
+                            else:
+                                rest_targets.append(self.state)
+                            rest_atoms.append(other)
+                        for row in rows:
+                            if len(row) != atom.arity:
+                                continue
+                            seed = _bindings_for_row(atom, row, {})
+                            if seed is None:
+                                continue
+                            for hom in _mixed_homomorphisms(
+                                rest_atoms, rest_targets, seed
+                            ):
+                                head = rule.head.substitute(hom)
+                                hrow = head.args
+                                if (
+                                    hrow not in suspects[head.pred]
+                                    and self.state.has_tuple(head.pred, hrow)
+                                ):
+                                    suspects[head.pred].add(hrow)
+                                    fresh.setdefault(
+                                        head.pred, set()
+                                    ).add(hrow)
+                frontier = fresh
+            for p, rows in suspects.items():
+                for row in rows:
+                    self._apply_del(p, row, plus, minus)
+
+            # ---- phase B: rederive suspects with surviving support ----
+            by_head: dict[str, list[Rule]] = {}
+            for rule in scc.rules:
+                by_head.setdefault(rule.head.pred, []).append(rule)
+            for p, rows in suspects.items():
+                for row in sorted(rows, key=repr):
+                    saved = self.base.has_tuple(p, row)
+                    if not saved:
+                        for rule in by_head.get(p, ()):
+                            seed = _bindings_for_row(rule.head, row, {})
+                            if seed is None:
+                                continue
+                            if next(homomorphisms(
+                                rule.body, self.state, fixed=seed
+                            ), None) is not None:
+                                saved = True
+                                break
+                    if saved:
+                        rederived += 1
+                        self._apply_add(p, row, plus, minus)
+                        add_seeds.setdefault(p, set()).add(row)
+
+        # ---- phase C: propagate insertions semi-naively ---------------
+        frontier = {p: set(rows) for p, rows in ext_plus.items()}
+        for p, rows in add_seeds.items():
+            for row in rows:
+                if self.state.has_tuple(p, row):
+                    # rederived above, or an already-derived base add:
+                    # in state, still a frontier fact for cascades
+                    frontier.setdefault(p, set()).add(row)
+                elif self._apply_add(p, row, plus, minus):
+                    frontier.setdefault(p, set()).add(row)
+        frontier = {p: rows for p, rows in frontier.items() if rows}
+        if not frontier:
+            return rederived
+        tracked = set(frontier) | set(preds)
+        rules = list(zip(scc.rule_indices, scc.rules))
+        if backend == "columnar":
+            rederived += self._propagate_columnar(
+                rules, frontier, tracked, suspects, plus, minus, collector
+            )
+        else:
+            rederived += self._propagate_interpreted(
+                rules, frontier, tracked, suspects, plus, minus
+            )
+        return rederived
+
+    def _propagate_interpreted(
+        self,
+        rules: list[tuple[int, Rule]],
+        frontier: dict[str, set[Row]],
+        tracked: set[str],
+        suspects: dict[str, set[Row]],
+        plus: Delta,
+        minus: Delta,
+    ) -> int:
+        """Semi-naive insert propagation through the shared plan cache."""
+        rederived = 0
+        while frontier:
+            delta = Instance()
+            for p, rows in frontier.items():
+                for row in rows:
+                    delta.add_tuple(p, row)
+            fresh: dict[str, set[Row]] = {}
+            for key, rule in rules:
+                for fact in _delta_derivations(
+                    rule, self.state, delta, tracked, key,
+                    self._plans, self._delta_patterns[key],
+                ):
+                    if self._apply_add(fact.pred, fact.args, plus, minus):
+                        if fact.args in suspects.get(fact.pred, _EMPTY):
+                            rederived += 1
+                        fresh.setdefault(fact.pred, set()).add(fact.args)
+            frontier = fresh
+        return rederived
+
+    def _propagate_columnar(
+        self,
+        rules: list[tuple[int, Rule]],
+        frontier: dict[str, set[Row]],
+        tracked: set[str],
+        suspects: dict[str, set[Row]],
+        plus: Delta,
+        minus: Delta,
+        collector: Optional[EngineStats],
+    ) -> int:
+        """Insert propagation through the columnar delta plans.
+
+        The store is rebuilt from the post-deletion state (it is
+        append-only, and phase C never removes facts), then frontier
+        rows are pushed through each rule's compiled delta plan as one
+        batch per (rule, position) instead of one search per tuple.
+        """
+        from repro.core.columnar import _ProgramPlans, _run_plan, _Store
+
+        store = _Store(self.state)
+        plans = _ProgramPlans(store)
+        rederived = 0
+        while frontier:
+            fresh: dict[str, set[Row]] = {}
+            for _key, rule in rules:
+                body = rule.body
+                for i, atom in enumerate(body):
+                    if atom.pred not in tracked:
+                        continue
+                    rows = frontier.get(atom.pred)
+                    if not rows:
+                        continue
+                    plan = plans.delta(rule, i)
+                    head_pred = rule.head.pred
+                    for hrow in _run_plan(
+                        plan, store, collector, seed_rows=list(rows)
+                    ):
+                        if self._apply_add(head_pred, hrow, plus, minus):
+                            store.add(head_pred, hrow)
+                            if hrow in suspects.get(head_pred, _EMPTY):
+                                rederived += 1
+                            fresh.setdefault(head_pred, set()).add(hrow)
+            frontier = fresh
+        return rederived

@@ -1,0 +1,14 @@
+"""A long-lived determinacy service over maintained materializations.
+
+``repro serve`` keeps :class:`repro.ivm.MaterializedView` objects warm
+across requests: each *session* owns one view, updates are coalesced
+into single maintenance rounds, and compiled-and-optimized programs are
+cached across sessions keyed on content-addressed fingerprints.  The
+protocol is JSON lines over a TCP socket (stdlib ``asyncio`` only);
+``repro serve --once`` replays a scripted session from a JSON file
+without opening a socket, which is how CI smokes the service.
+"""
+
+from repro.serve.service import ProgramCache, ReproServer, ServeService, Session
+
+__all__ = ["ProgramCache", "ReproServer", "ServeService", "Session"]

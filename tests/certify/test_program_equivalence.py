@@ -25,27 +25,28 @@ def _claim(optimized=None, **kwargs):
     )
 
 
-def test_emitted_certificates_use_schema_two():
+def test_emitted_certificates_use_current_schema():
     cert = certificate([_claim()])
-    assert cert["schema"] == CERT_SCHEMA == 2
+    assert cert["schema"] == CERT_SCHEMA == 3
     result = check_certificate(cert)
     assert result.valid, result.failures
     assert result.claims == 1
 
 
-def test_schema_one_certificates_still_accepted():
-    assert SUPPORTED_SCHEMAS == frozenset({1, 2})
-    cert = certificate([_claim()])
-    cert["schema"] = 1
-    assert check_certificate(cert).valid
+def test_older_schema_certificates_still_accepted():
+    assert SUPPORTED_SCHEMAS == frozenset({1, 2, 3})
+    for older in (1, 2):
+        cert = certificate([_claim()])
+        cert["schema"] = older
+        assert check_certificate(cert).valid
 
 
 def test_future_schema_rejected_with_supported_list():
     cert = certificate([_claim()])
-    cert["schema"] = 3
+    cert["schema"] = CERT_SCHEMA + 1
     result = check_certificate(cert)
     assert not result.valid
-    assert "(supported: 1, 2)" in result.failures[0]
+    assert "(supported: 1, 2, 3)" in result.failures[0]
 
 
 def test_claim_schema_covers_read_edbs_only():

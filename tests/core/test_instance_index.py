@@ -143,3 +143,68 @@ def test_empty_relations_do_not_affect_hash():
     b = Instance.of(Fact("R", (1,)), Fact("S", (2,)))
     b.discard(Atom("S", (2,)))
     assert a == b and hash(a) == hash(b)
+
+
+# ---------------------------------------------------------------------------
+# tombstone resurrection (the seam IVM retraction leans on)
+# ---------------------------------------------------------------------------
+def test_readd_after_discard_clears_the_tombstone():
+    # Removing a fact and re-adding it in the same round must leave the
+    # live index with zero stale entries: the resurrected row's index
+    # entries are live again, so matching may skip its staleness filter.
+    inst = Instance.of(Fact("R", (1, 2)), Fact("R", (1, 3)))
+    assert set(inst.matching("R", (1, ANY))) == {(1, 2), (1, 3)}  # build
+    inst.discard(Atom("R", (1, 2)))
+    assert inst._dead == 1
+    inst.add_tuple("R", (1, 2))
+    assert inst._dead == 0
+    assert set(inst.matching("R", (1, ANY))) == {(1, 2), (1, 3)}
+    assert inst.count_matching("R", (1, ANY)) == 2
+    # no duplicated index entry either: the bucket holds each row once
+    assert inst._index[("R", 0, 1)].count((1, 2)) == 1
+
+
+def test_resurrection_mixed_with_other_tombstones():
+    inst = Instance.of(Fact("R", (1, 2)), Fact("R", (1, 3)), Fact("R", (2, 3)))
+    list(inst.matching("R", (ANY, 3)))  # build the index
+    inst.discard(Atom("R", (1, 3)))
+    inst.discard(Atom("R", (2, 3)))
+    assert inst._dead == 2
+    inst.add_tuple("R", (1, 3))  # resurrect one of the two
+    assert inst._dead == 1  # the other tombstone still needs filtering
+    assert set(inst.matching("R", (ANY, 3))) == {(1, 3)}
+    assert inst.count_matching("R", (ANY, 3)) == 1
+    inst.add_tuple("R", (2, 3))
+    assert inst._dead == 0
+    assert set(inst.matching("R", (ANY, 3))) == {(1, 3), (2, 3)}
+
+
+def test_resurrection_churn_stays_consistent():
+    import random
+
+    rng = random.Random(11)
+    inst = Instance()
+    shadow: set[tuple] = set()
+    list(inst.matching("R", (0, ANY)))
+    for _ in range(300):
+        row = (rng.randrange(4), rng.randrange(4))
+        if rng.random() < 0.5:
+            inst.add_tuple("R", row)
+            shadow.add(row)
+        else:
+            inst.discard(Atom("R", row))
+            shadow.discard(row)
+        assert inst._dead >= 0
+        val = rng.randrange(4)
+        assert set(inst.matching("R", (val, ANY))) == {
+            r for r in shadow if r[0] == val
+        }
+    # every tombstone the counter reports corresponds to a stale row
+    stale = sum(
+        1
+        for key, bucket in inst._index.items()
+        if key[1] == 0
+        for r in bucket
+        if r not in inst._tuples.get("R", set())
+    )
+    assert inst._dead == stale

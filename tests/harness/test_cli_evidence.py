@@ -130,6 +130,7 @@ def test_evidence_run_optimize_with_baseline(tmp_path, capsys):
         "fixpoint_rounds", "facts_derived",
         "join_build_rows", "join_probe_rows", "join_output_rows",
         "cost_bounds_checked", "cost_violations",
+        "ivm_rounds", "ivm_inserted", "ivm_deleted", "ivm_rederived",
     }
     assert baseline["backend"] == "interpreted"
     assert manifest["backend"] == "interpreted"

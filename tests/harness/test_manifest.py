@@ -172,13 +172,13 @@ def test_event_log_round_trip(tmp_path):
     assert len(read_events(path)) == 2
 
 
-def test_manifest_schema_is_five():
+def test_manifest_schema_is_six():
     from repro.harness.manifest import MANIFEST_SCHEMA
 
     jobs = [_job("a")]
     results = {"a": JobResult("a", JobStatus.OK, "fine", verdict="fine")}
-    assert MANIFEST_SCHEMA == 5
-    assert _build(jobs, results)["schema"] == 5
+    assert MANIFEST_SCHEMA == 6
+    assert _build(jobs, results)["schema"] == 6
 
 
 def _cost_result(name, violations):
@@ -249,3 +249,70 @@ def test_job_result_cost_fields_round_trip():
     thawed = JobResult.from_dict(result.as_dict())
     assert thawed.cost == result.cost
     assert thawed.backend_resolution == result.backend_resolution
+
+
+def _ivm_result(name, rounds):
+    return JobResult(
+        name, JobStatus.OK, "fine", verdict="fine",
+        ivm={"rounds": rounds, "inserted": 5, "deleted": 2,
+             "rederived": 1, "speedup": 3.4},
+    )
+
+
+def test_job_result_ivm_block_round_trips():
+    result = _ivm_result("a", rounds=7)
+    thawed = JobResult.from_dict(result.as_dict())
+    assert thawed.ivm == result.ivm
+    # schema-5 payloads (no ivm key) thaw to None, not a crash
+    legacy = result.as_dict()
+    del legacy["ivm"]
+    assert JobResult.from_dict(legacy).ivm is None
+
+
+def test_manifest_ivm_summary_and_render():
+    jobs = [_job("a"), _job("b"), _job("c")]
+    results = {
+        "a": _ivm_result("a", rounds=7),
+        "b": _ivm_result("b", rounds=3),
+        "c": JobResult("c", JobStatus.OK, "fine", verdict="fine"),
+    }
+    manifest = _build(jobs, results)
+    assert manifest["summary"]["ivm_jobs"] == 2
+    assert manifest["summary"]["ivm_rounds"] == 10
+    rendered = render_manifest(manifest)
+    assert "ivm 7 rounds" in rendered
+    assert "2 job(s) maintained materializations across 10" in rendered
+
+
+def test_manifest_without_ivm_jobs_has_no_ivm_summary():
+    jobs = [_job("a")]
+    results = {"a": JobResult("a", JobStatus.OK, "fine", verdict="fine")}
+    manifest = _build(jobs, results)
+    assert "ivm_jobs" not in manifest["summary"]
+    assert "ivm" not in render_manifest(manifest)
+
+
+def test_manifest_baseline_delta_covers_ivm_counters():
+    jobs = [_job("a")]
+
+    def result(rounds):
+        return {
+            "a": JobResult(
+                "a", JobStatus.OK, "fine", verdict="fine",
+                engine={"ivm_rounds": rounds, "ivm_inserted": 4 * rounds},
+            ),
+        }
+
+    base = build_manifest(
+        jobs, result(2),
+        wall_seconds=1.0, workers=1, default_timeout=30.0,
+        code_fingerprint="fp", cache_used=False,
+    )
+    incremental = build_manifest(
+        jobs, result(10),
+        wall_seconds=1.0, workers=1, default_timeout=30.0,
+        code_fingerprint="fp", cache_used=False, baseline=base,
+    )
+    delta = incremental["baseline"]["engine_delta"]
+    assert delta["ivm_rounds"] == 8
+    assert delta["ivm_inserted"] == 32

@@ -1,0 +1,322 @@
+"""The determinacy service: ops, coalescing, cache, socket, --once."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve import ProgramCache, ReproServer, ServeService
+
+TC_TEXT = (
+    "Reach(x,y) <- E(x,y). "
+    "Reach(x,y) <- E(x,z), Reach(z,y). "
+    "Goal(y) <- S(x), Reach(x,y)."
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def _create(session="s", **extra):
+    return {
+        "op": "create", "session": session, "program": TC_TEXT,
+        "instance": "E('a','b'). S('a').", **extra,
+    }
+
+
+# ---------------------------------------------------------------------------
+# op dispatch (no socket)
+# ---------------------------------------------------------------------------
+def test_create_insert_query_retract_query_lifecycle():
+    async def drive():
+        service = ServeService()
+        created = await service.handle(_create())
+        assert created["ok"] and created["session"] == "s"
+        assert created["idb"] == ["Goal", "Reach"]
+
+        inserted = await service.handle({
+            "op": "insert", "session": "s",
+            "facts": [["E", ["b", "c"]]],
+        })
+        assert inserted["ok"] and inserted["round"]["round"] == 1
+
+        rows = await service.handle(
+            {"op": "query", "session": "s", "pred": "Goal"}
+        )
+        assert rows["rows"] == [["b"], ["c"]]
+
+        retracted = await service.handle({
+            "op": "retract", "session": "s",
+            "facts": [["E", ["a", "b"]]],
+        })
+        assert retracted["ok"] and retracted["round"]["deleted"] > 0
+
+        rows = await service.handle(
+            {"op": "query", "session": "s", "pred": "Goal"}
+        )
+        assert rows["rows"] == []
+
+        closed = await service.handle({"op": "close", "session": "s"})
+        assert closed["closed"] and closed["rounds"] == 2
+        assert "s" not in service.sessions
+
+    run(drive())
+
+
+def test_certify_sessions_ship_checked_certificates():
+    async def drive():
+        service = ServeService(certify=True)
+        await service.handle(_create())
+        response = await service.handle({
+            "op": "insert", "session": "s",
+            "facts": [["E", ["b", "c"]]],
+        })
+        verdict = response["certificate"]
+        assert verdict["valid"] is True
+        assert verdict["claims"] == 1
+        assert verdict["schema"] == 3
+
+    run(drive())
+
+
+def test_protocol_errors_are_in_band_not_fatal():
+    async def drive():
+        service = ServeService()
+        for request, needle in [
+            ({"op": "frobnicate"}, "unknown op"),
+            ({"op": "query", "session": "nope", "pred": "X"},
+             "no such session"),
+            ({"op": "create", "session": "s"}, "program"),
+            ({"op": "create", "session": "s", "program": "Goal(x <-"},
+             ""),  # parse error text varies; ok flag matters
+            ("not a dict", "JSON object"),
+        ]:
+            response = await service.handle(request)
+            assert response["ok"] is False
+            assert needle in response.get("error", "")
+        # the service still works after every error
+        assert (await service.handle(_create()))["ok"]
+
+    run(drive())
+
+
+def test_bad_facts_rejected_before_any_mutation():
+    async def drive():
+        service = ServeService()
+        await service.handle(_create())
+        before = len(service.sessions["s"].view.state)
+        response = await service.handle({
+            "op": "insert", "session": "s", "facts": [["E", [[1], 2]]],
+        })
+        assert response["ok"] is False
+        assert "scalar" in response["error"]
+        assert len(service.sessions["s"].view.state) == before
+
+    run(drive())
+
+
+def test_duplicate_session_rejected():
+    async def drive():
+        service = ServeService()
+        assert (await service.handle(_create()))["ok"]
+        dup = await service.handle(_create())
+        assert not dup["ok"] and "already exists" in dup["error"]
+
+    run(drive())
+
+
+def test_concurrent_updates_coalesce_into_one_round():
+    async def drive():
+        service = ServeService()
+        await service.handle(_create())
+        session = service.sessions["s"]
+        # enqueue while the session lock is held: both updates land in
+        # the queue, one leader drains them into a single round
+        async with session.lock:
+            tasks = [
+                asyncio.create_task(service.handle({
+                    "op": "insert", "session": "s",
+                    "facts": [["E", [i, i + 1]]],
+                }))
+                for i in (10, 20, 30)
+            ]
+            await asyncio.sleep(0)  # let all three enqueue
+        first, second, third = await asyncio.gather(*tasks)
+        assert first == second == third
+        assert first["coalesced"] == 3
+        assert session.view.rounds == 1
+        assert session.view.state == session.view.recompute()
+
+    run(drive())
+
+
+def test_program_cache_hits_across_sessions():
+    async def drive():
+        service = ServeService()
+        a = await service.handle(_create(session="a"))
+        b = await service.handle(_create(session="b"))
+        assert a["cached_program"] is False
+        assert b["cached_program"] is True
+        assert a["program_sha256"] == b["program_sha256"]
+        stats = await service.handle({"op": "stats", "session": "b"})
+        assert stats["cache"] == {"hits": 1, "misses": 1, "entries": 1}
+
+    run(drive())
+
+
+def test_stats_op_reports_engine_counters():
+    async def drive():
+        service = ServeService()
+        await service.handle(_create())
+        await service.handle({
+            "op": "update", "session": "s",
+            "inserts": [["E", ["b", "c"]]], "retracts": [["S", ["a"]]],
+        })
+        stats = await service.handle({"op": "stats", "session": "s"})
+        assert stats["rounds"] == 1
+        assert stats["engine"]["ivm_rounds"] == 1
+        assert stats["engine"]["ivm_inserted"] > 0
+
+    run(drive())
+
+
+def test_reap_idle_drops_only_stale_sessions():
+    async def drive():
+        service = ServeService()
+        await service.handle(_create(session="old"))
+        service.sessions["old"].last_used -= 100.0
+        await service.handle(_create(session="fresh"))
+        assert service.reap_idle(50.0) == ["old"]
+        assert set(service.sessions) == {"fresh"}
+
+    run(drive())
+
+
+def test_cache_eviction_is_lru():
+    cache = ProgramCache(capacity=2)
+    cache.fetch("T(x,y) <- E(x,y).", False)
+    cache.fetch("U(x,y) <- E(x,y).", False)
+    cache.fetch("T(x,y) <- E(x,y).", False)  # refresh T
+    cache.fetch("V(x,y) <- E(x,y).", False)  # evicts U
+    assert len(cache) == 2
+    _, _, cached = cache.fetch("T(x,y) <- E(x,y).", False)
+    assert cached is True
+    _, _, cached = cache.fetch("U(x,y) <- E(x,y).", False)
+    assert cached is False
+
+
+# ---------------------------------------------------------------------------
+# the socket layer
+# ---------------------------------------------------------------------------
+def test_socket_round_trip_and_graceful_shutdown():
+    async def wrapped():
+        service = ServeService(certify=True)
+        server = ReproServer(service, port=0, request_timeout=10.0)
+        runner = asyncio.create_task(server.run())
+        while server._server is None:  # started?
+            await asyncio.sleep(0.01)
+        host, port = server.address
+        reader, writer = await asyncio.open_connection(host, port)
+
+        async def rpc(obj):
+            writer.write(json.dumps(obj).encode() + b"\n")
+            await writer.drain()
+            return json.loads(await reader.readline())
+
+        pong = await rpc({"op": "ping"})
+        assert pong["ok"] and pong["protocol"] == 1
+        assert (await rpc(_create()))["ok"]
+        inserted = await rpc({
+            "op": "insert", "session": "s",
+            "facts": [["E", ["b", "c"]]],
+        })
+        assert inserted["certificate"]["valid"] is True
+
+        bad = await rpc({"op": "query", "session": "s"})
+        assert not bad["ok"]  # missing pred reported in-band
+
+        garbage = await rpc(["not", "an", "object"])
+        assert not garbage["ok"]
+
+        writer.write(b"this is not json\n")
+        await writer.drain()
+        broken = json.loads(await reader.readline())
+        assert "invalid JSON" in broken["error"]
+
+        down = await rpc({"op": "shutdown"})
+        assert down["shutting_down"] is True
+        writer.close()
+        await asyncio.wait_for(runner, timeout=5.0)
+
+    run(wrapped())
+
+
+def test_idle_connection_dropped_after_request_timeout():
+    async def drive():
+        service = ServeService()
+        server = ReproServer(service, port=0, request_timeout=0.2)
+        await server.start()
+        host, port = server.address
+        reader, writer = await asyncio.open_connection(host, port)
+        # no request: the server must hang up on us
+        line = await asyncio.wait_for(reader.readline(), timeout=5.0)
+        assert line == b""  # EOF
+        writer.close()
+        await server.stop()
+
+    run(drive())
+
+
+# ---------------------------------------------------------------------------
+# --once scripted mode
+# ---------------------------------------------------------------------------
+def test_once_runs_the_shipped_example_script(capsys):
+    from pathlib import Path
+
+    from repro.serve.cli import run_script
+
+    script = (
+        Path(__file__).resolve().parents[2]
+        / "examples" / "inputs" / "serve_session.json"
+    )
+    assert run_script(script) == 0
+    lines = [
+        json.loads(line)
+        for line in capsys.readouterr().out.strip().splitlines()
+    ]
+    assert all(line["ok"] for line in lines)
+    certified = [line for line in lines if "certificate" in line]
+    assert certified, "script must exercise certified rounds"
+    assert all(line["certificate"]["valid"] for line in certified)
+
+
+def test_once_fails_on_invalid_request(tmp_path, capsys):
+    from repro.serve.cli import run_script
+
+    script = tmp_path / "bad.json"
+    script.write_text(json.dumps([
+        {"op": "query", "session": "ghost", "pred": "X"},
+    ]))
+    assert run_script(script) == 1
+
+
+def test_once_cli_entry_point(capsys):
+    from pathlib import Path
+
+    from repro.cli import main
+
+    script = (
+        Path(__file__).resolve().parents[2]
+        / "examples" / "inputs" / "serve_session.json"
+    )
+    assert main(["serve", "--once", str(script)]) == 0
+    out = capsys.readouterr().out
+    assert '"ok": true' in out
+
+
+def test_rejects_unknown_backend():
+    with pytest.raises(ValueError):
+        ServeService(backend="warp-drive")

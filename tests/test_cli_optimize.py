@@ -92,7 +92,7 @@ def test_optimize_emit_certificate_validates(reach_workspace, capsys):
     assert code == 0
     assert "valid" in err
     certificate = json.loads(cert_path.read_text())
-    assert certificate["schema"] == 2
+    assert certificate["schema"] == 3
     assert all(
         claim["type"] == "program_equivalence"
         for claim in certificate["claims"]
