@@ -23,6 +23,7 @@ import time
 from repro.core.evaluation import fixpoint
 from repro.core.instance import Instance
 from repro.core.parser import parse_program
+from repro.core.stats import EngineStats
 from repro.ivm import MaterializedView
 
 from benchmarks.conftest import report
@@ -67,26 +68,29 @@ def _grid_workload(side: int, rounds: int):
 
 def _run(base_edges, updates):
     """Replay ``updates`` incrementally and via recompute; verify each
-    round; return (view, maintain_seconds, recompute_seconds)."""
+    round; return (view, maintain_seconds, recompute_seconds, stats)."""
     base = Instance.from_tuples({"E": base_edges})
     view = MaterializedView(REACH, base)
     maintain = 0.0
     recompute = 0.0
+    stats = EngineStats()
     for op, fact in updates:
         start = time.perf_counter()
         if op == "+":
-            view.insert([fact])
+            view.apply(inserts=[fact], stats=stats)
         else:
-            view.retract([fact])
+            view.apply(retracts=[fact], stats=stats)
         maintain += time.perf_counter() - start
         start = time.perf_counter()
         oracle = fixpoint(REACH, view.base, optimize=False)
         recompute += time.perf_counter() - start
         assert view.state == oracle, f"maintenance diverged at {op}{fact}"
-    return view, maintain, recompute
+    return view, maintain, recompute, stats
 
 
-def _record(benchmark, label, claim, view, maintain, recompute, rounds):
+def _record(
+    benchmark, label, claim, view, maintain, recompute, rounds, stats
+):
     speedup = recompute / maintain if maintain > 0 else float("inf")
     report(
         label, claim,
@@ -103,6 +107,10 @@ def _record(benchmark, label, claim, view, maintain, recompute, rounds):
         if maintain > 0 else None,
         "speedup": round(speedup, 2),
         "final_facts": len(view.state),
+        "strategies": view.maintenance_strategies(),
+        "maintain_counting_strata": stats.maintain_counting_strata,
+        "maintain_dred_strata": stats.maintain_dred_strata,
+        "maintain_skipped_rederive": stats.maintain_skipped_rederive,
     }
     return speedup
 
@@ -112,12 +120,12 @@ def test_chain_maintenance_vs_recompute(benchmark):
     nodes, rounds = 90, 12
     base_edges, updates = _chain_workload(nodes, rounds)
 
-    view, maintain, recompute = _run(base_edges, updates)
+    view, maintain, recompute, stats = _run(base_edges, updates)
     speedup = _record(
         benchmark, f"ivm-chain-{nodes}x{rounds}",
         "maintenance cost tracks the delta, not the materialization "
         "(single-edge updates against an O(n^2)-fact closure)",
-        view, maintain, recompute, rounds,
+        view, maintain, recompute, rounds, stats,
     )
     assert speedup >= 3.0, (
         f"chain maintenance only {speedup:.1f}x faster than recompute"
@@ -136,12 +144,12 @@ def test_grid_dred_retractions(benchmark):
     side, rounds = 6, 10
     base_edges, updates = _grid_workload(side, rounds)
 
-    view, maintain, recompute = _run(base_edges, updates)
+    view, maintain, recompute, stats = _run(base_edges, updates)
     speedup = _record(
         benchmark, f"ivm-grid-{side}x{side}x{rounds}",
         "DRed overdeletion stays localized: cutting a grid edge "
         "re-derives surviving paths instead of rebuilding the closure",
-        view, maintain, recompute, rounds,
+        view, maintain, recompute, rounds, stats,
     )
     assert speedup > 1.0, (
         f"grid maintenance slower than recompute ({speedup:.1f}x)"

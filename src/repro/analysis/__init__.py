@@ -40,6 +40,14 @@ from repro.analysis.cost import (
     predicted_join_volume,
 )
 from repro.analysis.diagnostics import CODES, Diagnostic, Severity, make
+from repro.analysis.maintain import (
+    DeltaBound,
+    MaintainReport,
+    MaintenanceGuard,
+    StratumPlan,
+    maintain_report,
+    maintenance_checking,
+)
 from repro.analysis.fixer import (
     FIXABLE_CODES,
     AppliedFix,
@@ -106,6 +114,12 @@ __all__ = [
     "Diagnostic",
     "Severity",
     "make",
+    "DeltaBound",
+    "MaintainReport",
+    "MaintenanceGuard",
+    "StratumPlan",
+    "maintain_report",
+    "maintenance_checking",
     "FIXABLE_CODES",
     "AppliedFix",
     "FixResult",

@@ -33,6 +33,7 @@ from repro.views.view import ViewSet
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.analysis.cost import CostReport
+    from repro.analysis.maintain import MaintainReport
     from repro.analysis.optimize import RuleProvenance
 
 AnalysisPass = Callable[["AnalysisContext"], Iterable[Diagnostic]]
@@ -51,6 +52,7 @@ class AnalysisContext:
     fragment: FragmentReport
     semantics: Optional[SemanticReport] = None
     cost: Optional["CostReport"] = None
+    maintain: Optional["MaintainReport"] = None
     _entries: tuple[Optional[SourceRule], ...] = field(default=())
 
     def __post_init__(self) -> None:
@@ -86,6 +88,7 @@ class AnalysisReport:
     dependency: DependencyGraph
     semantics: Optional[SemanticReport] = None
     cost: Optional["CostReport"] = None
+    maintain: Optional["MaintainReport"] = None
 
     def errors(self) -> list[Diagnostic]:
         return [d for d in self.diagnostics if d.severity is Severity.ERROR]
@@ -139,6 +142,8 @@ class AnalysisReport:
             out["semantics"] = self.semantics.as_dict()
         if self.cost is not None:
             out["cost"] = self.cost.as_dict()
+        if self.maintain is not None:
+            out["maintain"] = self.maintain.as_dict()
         return out
 
 
@@ -186,10 +191,14 @@ class ProgramAnalyzer:
                 span_of=ctx.rule_span,
             )
             from repro.analysis.cost import cost_report
+            from repro.analysis.maintain import maintain_report
             from repro.core import stats as _stats
 
             with _stats.suspended():
                 ctx.cost = cost_report(
+                    program, goal=goal, dependency=dependency
+                )
+                ctx.maintain = maintain_report(
                     program, goal=goal, dependency=dependency
                 )
         found: list[Diagnostic] = []
@@ -233,7 +242,8 @@ class ProgramAnalyzer:
             found = relocated
         found.sort(key=Diagnostic.sort_key)
         return AnalysisReport(
-            tuple(found), fragment, dependency, ctx.semantics, ctx.cost
+            tuple(found), fragment, dependency, ctx.semantics, ctx.cost,
+            ctx.maintain,
         )
 
 

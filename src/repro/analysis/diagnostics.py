@@ -54,6 +54,12 @@ CODES: dict[str, tuple[Severity, str]] = {
         Severity.WARNING,
         "predicate bound dominated by an unbindable atom",
     ),
+    "W115": (Severity.WARNING, "retraction amplification risk"),
+    "W116": (
+        Severity.WARNING,
+        "DRed on a stratum provably counting-safe",
+    ),
+    "W117": (Severity.WARNING, "unbounded delta growth"),
     "I201": (Severity.INFO, "fragment classification"),
     "I202": (Severity.INFO, "fragment explanation"),
     "I203": (Severity.INFO, "recursion structure"),
@@ -63,6 +69,9 @@ CODES: dict[str, tuple[Severity, str]] = {
     "I207": (Severity.INFO, "magic sets applicable"),
     "I208": (Severity.INFO, "inlinable single-use predicate"),
     "I209": (Severity.INFO, "cost summary"),
+    "I210": (Severity.INFO, "maintenance plan"),
+    "I211": (Severity.INFO, "self-maintainable stratum"),
+    "I212": (Severity.INFO, "delta bound summary"),
 }
 
 

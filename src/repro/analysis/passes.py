@@ -513,6 +513,145 @@ def check_cost_unbindable(ctx: "AnalysisContext") -> Iterable[Diagnostic]:
             )
 
 
+def check_maintain_summary(ctx: "AnalysisContext") -> Iterable[Diagnostic]:
+    """I210 — the maintenance plan in one line."""
+    if ctx.maintain is None:
+        return
+    report = ctx.maintain
+    yield make(
+        "I210",
+        f"maintenance plan: {report.counting_strata} counting / "
+        f"{report.dred_strata} DRed stratum(era) over "
+        f"{len(report.strata)} SCC(s); `repro analyze maintain` "
+        "prints the full classification",
+    )
+
+
+def check_maintain_self(ctx: "AnalysisContext") -> Iterable[Diagnostic]:
+    """I211 — strata maintainable without touching the base.
+
+    Reported only where it is news: insert-monotone strata (no
+    retraction can reach them) and recursive strata the analysis
+    proves counting-safe; plain non-recursive counting strata are
+    self-maintainable by construction and stay quiet.
+    """
+    if ctx.maintain is None:
+        return
+    for stratum in ctx.maintain.strata:
+        if not stratum.self_maintainable:
+            continue
+        if not (stratum.insert_monotone
+                or (stratum.recursive and stratum.counting_safe)):
+            continue
+        traits = []
+        if stratum.insert_monotone:
+            traits.append("insert-monotone: no retraction reaches it")
+        if stratum.recursive and stratum.counting_safe:
+            traits.append("recursive but counting-safe")
+        yield make(
+            "I211",
+            f"stratum [{', '.join(stratum.predicates)}] is "
+            f"self-maintainable ({'; '.join(traits)})",
+            _cost_anchor(ctx, stratum.rule_indices),
+        )
+
+
+def check_maintain_delta(ctx: "AnalysisContext") -> Iterable[Diagnostic]:
+    """I212 — the predicted update impact at unit update size."""
+    if ctx.maintain is None:
+        return
+    report = ctx.maintain
+    from repro.analysis.cost import BOUND_CAP
+
+    total = report.total_delta_bound
+    rendered = "saturated" if total >= BOUND_CAP else str(total)
+    yield make(
+        "I212",
+        f"predicted |delta| <= {rendered} fact(s) per "
+        f"{report.update_size}-fact update across "
+        f"{len(report.bounds)} predicate(s)",
+    )
+
+
+def check_maintain_amplification(
+    ctx: "AnalysisContext",
+) -> Iterable[Diagnostic]:
+    """W115 — retractions can cascade super-linearly.
+
+    Fires on DRed strata a retraction can actually reach whose
+    relation bound exceeds the active-domain width: one deleted base
+    fact may overdelete (and force rederiving) up to the whole
+    relation.
+    """
+    if ctx.maintain is None:
+        return
+    adom = ctx.maintain.parameters.adom
+    for stratum in ctx.maintain.strata:
+        if stratum.strategy != "dred" or stratum.insert_monotone:
+            continue
+        risky: dict[str, int] = {}
+        for pred in stratum.predicates:
+            bound = ctx.maintain.bound_of(pred)
+            if bound is not None and bound.relation_bound > adom:
+                risky[pred] = bound.bound
+        if risky:
+            yield make(
+                "W115",
+                f"retraction amplification risk in stratum "
+                f"[{', '.join(stratum.predicates)}]: deleting one base "
+                f"fact may churn up to {max(risky.values())} fact(s) "
+                f"of {', '.join(sorted(risky))} through "
+                "overdelete/rederive",
+                _cost_anchor(ctx, stratum.rule_indices),
+            )
+
+
+def check_maintain_dred_on_safe(
+    ctx: "AnalysisContext",
+) -> Iterable[Diagnostic]:
+    """W116 — recursion that only *looks* like it needs DRed.
+
+    A recursive stratum whose same-SCC rules are all provably vacuous
+    is counting-safe; running DRed on it pays the overdelete/rederive
+    protocol for recursion that cannot derive anything new.
+    """
+    if ctx.maintain is None:
+        return
+    for stratum in ctx.maintain.strata:
+        if stratum.recursive and stratum.counting_safe:
+            vacuous = (
+                len(stratum.rule_indices)
+                - len(stratum.effective_rule_indices)
+            )
+            yield make(
+                "W116",
+                f"stratum [{', '.join(stratum.predicates)}] is recursive "
+                f"only through {vacuous} vacuous rule(s); DRed would be "
+                "wasted — counting maintenance applies",
+                _cost_anchor(ctx, stratum.rule_indices),
+            )
+
+
+def check_maintain_unbounded(ctx: "AnalysisContext") -> Iterable[Diagnostic]:
+    """W117 — delta bounds that saturate: no useful growth guarantee."""
+    if ctx.maintain is None:
+        return
+    from repro.analysis.cost import BOUND_CAP
+
+    saturated = sorted(
+        pred
+        for pred, bound in ctx.maintain.bounds.items()
+        if bound.bound >= BOUND_CAP
+    )
+    if saturated:
+        yield make(
+            "W117",
+            f"delta bound saturated for {', '.join(saturated)}: a "
+            "single update's impact cannot be usefully bounded "
+            "(admission control degrades to accept-all)",
+        )
+
+
 #: Extra passes run only under ``analyze(..., semantic=True)``.
 SEMANTIC_PASSES = (
     check_binding_patterns,
@@ -525,6 +664,12 @@ SEMANTIC_PASSES = (
     check_cost_blowup,
     check_cost_recursion,
     check_cost_unbindable,
+    check_maintain_summary,
+    check_maintain_self,
+    check_maintain_delta,
+    check_maintain_amplification,
+    check_maintain_dred_on_safe,
+    check_maintain_unbounded,
 )
 
 

@@ -671,6 +671,21 @@ def _check_ivm_state(payload: dict[str, Any]) -> None:
             f"missing {sorted(recomputed - shipped, key=repr)[:3]!r}, "
             f"stale {sorted(shipped - recomputed, key=repr)[:3]!r}"
         )
+    maintain = payload.get("maintain")
+    if maintain is not None:
+        # the maintainability claims are instance-independent, so they
+        # can be re-derived from the decoded program alone (the
+        # analysis shares no state with the emitting view)
+        from repro.analysis.maintain import maintain_report
+
+        expected = maintain_report(program).classification()
+        for key, value in expected.items():
+            if maintain.get(key) != value:
+                raise ClaimFailure(
+                    f"maintainability claim {key!r} differs from the "
+                    f"re-derived classification: claimed "
+                    f"{maintain.get(key)!r}, derived {value!r}"
+                )
 
 
 #: claim type -> checker

@@ -345,6 +345,7 @@ def claim_ivm_state(
     program: DatalogProgram,
     base: InstanceLike,
     state: InstanceLike,
+    maintain: Optional[dict[str, Any]] = None,
 ) -> dict[str, Any]:
     """The maintained materialization equals ``FPEval(program, base)``
     (schema-3 claim).
@@ -354,10 +355,19 @@ def claim_ivm_state(
     produced ``state``, the checker re-derives the fixpoint of ``base``
     with the naive replay evaluator (which shares no code with the
     incremental engine) and demands exact equality.
+
+    ``maintain`` optionally folds in the maintainability
+    classification (:meth:`repro.analysis.maintain.MaintainReport.
+    classification`): per-predicate strategy, insert-monotone and
+    counting-safe claims, all instance-independent, which the checker
+    re-derives from the decoded program and compares exactly.
     """
-    return {
+    payload: dict[str, Any] = {
         "type": "ivm_state",
         "program": encode_program(program),
         "base": _instance_payload(base),
         "state": _instance_payload(state),
     }
+    if maintain is not None:
+        payload["maintain"] = dict(maintain)
+    return payload

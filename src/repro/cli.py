@@ -172,11 +172,32 @@ def load_views(path: str) -> ViewSet:
     return ViewSet(views)
 
 
+def _read_text(path: str) -> str:
+    """Read a UTF-8 input file through the span-aware error path.
+
+    A file that is not valid UTF-8 (``UnicodeDecodeError`` is a
+    ``ValueError``, so neither the ``ParseError`` nor the ``OSError``
+    handler in :func:`main` would catch it) surfaces as the same
+    ``file: E004 [error] ...`` + exit 2 the parser errors use, instead
+    of a raw traceback.
+    """
+    try:
+        return Path(path).read_text()
+    except UnicodeDecodeError as exc:
+        error = ParseError(
+            f"file is not valid UTF-8 text "
+            f"({exc.reason} at byte {exc.start})"
+        )
+        error.path = path  # type: ignore[attr-defined]
+        raise error from None
+
+
 def load_instance(path: str):
     try:
-        return parse_instance(Path(path).read_text())
+        return parse_instance(_read_text(path))
     except ParseError as exc:
-        exc.path = path  # type: ignore[attr-defined]
+        if getattr(exc, "path", None) is None:
+            exc.path = path  # type: ignore[attr-defined]
         raise
 
 
@@ -352,6 +373,25 @@ def cmd_lint(args: argparse.Namespace) -> int:
 #: diagnostic codes produced by the cost analysis passes
 COST_CODES = ("I209", "W112", "W113", "W114")
 
+#: diagnostic codes produced by the maintainability analysis passes
+MAINTAIN_CODES = ("I210", "I211", "I212", "W115", "W116", "W117")
+
+
+def _load_analyze_query(path: str):
+    """Parse an ``analyze`` query file span-aware: (program, source, goal)."""
+    text = _read_text(path)
+    goal = None
+    for line in text.splitlines():
+        stripped = line.strip()
+        if stripped.startswith("# goal:"):
+            goal = stripped.split(":", 1)[1].strip()
+    try:
+        source = parse_program_source(text)
+    except ParseError as exc:
+        exc.path = path  # type: ignore[attr-defined]
+        raise
+    return source.program(), source, goal
+
 
 def cmd_analyze_cost(args: argparse.Namespace) -> int:
     """Static cost & cardinality analysis of a query file.
@@ -370,18 +410,7 @@ def cmd_analyze_cost(args: argparse.Namespace) -> int:
     from repro.analysis.cost import CostParameters, cost_report
     from repro.core.parser import parse_program_source
 
-    text = Path(args.query).read_text()
-    goal = None
-    for line in text.splitlines():
-        stripped = line.strip()
-        if stripped.startswith("# goal:"):
-            goal = stripped.split(":", 1)[1].strip()
-    try:
-        source = parse_program_source(text)
-    except ParseError as exc:
-        exc.path = args.query  # type: ignore[attr-defined]
-        raise
-    program = source.program()
+    program, source, goal = _load_analyze_query(args.query)
     instance = load_instance(args.instance) if args.instance else None
     parameters = None
     if instance is None:
@@ -400,6 +429,52 @@ def cmd_analyze_cost(args: argparse.Namespace) -> int:
         )
         findings = [
             d for d in analysis.diagnostics if d.code in COST_CODES
+        ]
+        print(json.dumps(
+            sarif_report(findings, args.query), indent=2, sort_keys=True,
+        ))
+    else:
+        print(report.render_text())
+    return 0
+
+
+def cmd_analyze_maintain(args: argparse.Namespace) -> int:
+    """Static maintainability analysis of a query file.
+
+    Classifies every stratum for update behavior (counting vs DRed,
+    insert-monotone, self-maintainable) and bounds |Δ| per update
+    (:mod:`repro.analysis.maintain`).  ``--format sarif`` emits only
+    the maintenance diagnostics (I210-I212, W115-W117).
+    """
+    import json
+
+    from repro.analysis import analyze_query
+    from repro.analysis.cost import CostParameters
+    from repro.analysis.maintain import maintain_report
+
+    program, source, goal = _load_analyze_query(args.query)
+    instance = load_instance(args.instance) if args.instance else None
+    parameters = None
+    if instance is None:
+        parameters = CostParameters.assumed_for(program)
+    append_only = frozenset(
+        p.strip() for p in (args.append_only or "").split(",") if p.strip()
+    )
+    report = maintain_report(
+        program, goal=goal, instance=instance, parameters=parameters,
+        update_size=args.update_size, append_only=append_only,
+    )
+
+    if args.format == "json":
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    elif args.format == "sarif":
+        from repro.analysis import sarif_report
+
+        analysis = analyze_query(
+            program, source=source, goal=goal, semantic=True
+        )
+        findings = [
+            d for d in analysis.diagnostics if d.code in MAINTAIN_CODES
         ]
         print(json.dumps(
             sarif_report(findings, args.query), indent=2, sort_keys=True,
@@ -616,7 +691,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     analyze = sub.add_parser(
         "analyze",
-        help="standalone static analyses (currently: cost)",
+        help="standalone static analyses (cost, maintain)",
     )
     analyze_sub = analyze.add_subparsers(dest="analysis", required=True)
     cost = analyze_sub.add_parser(
@@ -635,6 +710,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="sarif emits only the cost diagnostics (I209, W112-W114)",
     )
     cost.set_defaults(func=cmd_analyze_cost)
+
+    maintain = analyze_sub.add_parser(
+        "maintain",
+        help="certified maintainability classification and delta bounds",
+    )
+    maintain.add_argument("query", help="Datalog query file")
+    maintain.add_argument(
+        "--instance",
+        help="instance file parameterizing the bounds (default: "
+        "assumed parameters, every EDB at 16 facts)",
+    )
+    maintain.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="sarif emits only the maintenance diagnostics "
+        "(I210-I212, W115-W117)",
+    )
+    maintain.add_argument(
+        "--update-size", type=int, default=1, metavar="N",
+        help="base facts one round may change (default 1); delta "
+        "bounds are functions of this",
+    )
+    maintain.add_argument(
+        "--append-only", metavar="PREDS",
+        help="comma-separated base predicates promised never to be "
+        "retracted from (they stop counting as retraction sources)",
+    )
+    maintain.set_defaults(func=cmd_analyze_maintain)
 
     from repro.harness.cli import add_evidence_parser
 

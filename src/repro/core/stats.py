@@ -52,6 +52,9 @@ _SUMMED_FIELDS = frozenset({
     "ivm_deleted",
     "ivm_rederived",
     "ivm_rounds",
+    "maintain_counting_strata",
+    "maintain_dred_strata",
+    "maintain_skipped_rederive",
 })
 
 
@@ -86,6 +89,9 @@ class EngineStats:
     ivm_deleted: int = 0          # facts removed by maintenance rounds
     ivm_rederived: int = 0        # DRed suspects saved by rederivation
     ivm_rounds: int = 0           # incremental maintenance rounds run
+    maintain_counting_strata: int = 0  # strata maintained by counting
+    maintain_dred_strata: int = 0      # strata maintained by DRed
+    maintain_skipped_rederive: int = 0  # DRed deletion phases skipped
     phase_seconds: dict[str, float] = field(default_factory=dict)
 
     @contextmanager
@@ -204,6 +210,9 @@ class EngineStats:
             ("ivm facts deleted", self.ivm_deleted),
             ("ivm facts rederived", self.ivm_rederived),
             ("ivm maintenance rounds", self.ivm_rounds),
+            ("maintain: counting strata", self.maintain_counting_strata),
+            ("maintain: dred strata", self.maintain_dred_strata),
+            ("maintain: skipped rederive", self.maintain_skipped_rederive),
         ]
         lines = ["engine stats:"]
         for label, value in rows:

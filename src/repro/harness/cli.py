@@ -60,6 +60,7 @@ def cmd_evidence_run(args: argparse.Namespace) -> int:
     optimize = getattr(args, "optimize", False)
     backend = getattr(args, "backend", "interpreted")
     check_cost = getattr(args, "check_cost", False)
+    check_maintenance = getattr(args, "check_maintenance", False)
     fingerprint = code_fingerprint()
     # results depend on the evaluation mode, not just the code: key the
     # cache on a structured mode dict so runs in different modes never
@@ -70,6 +71,8 @@ def cmd_evidence_run(args: argparse.Namespace) -> int:
         # apart so plain runs never surface a result without one (and
         # plain cache keys stay byte-identical to earlier schemas)
         run_mode["check_cost"] = True
+    if check_maintenance:
+        run_mode["check_maintenance"] = True
     cache = (
         None if args.no_cache
         else ResultCache(Path(args.cache_dir), fingerprint, run_mode)
@@ -94,6 +97,7 @@ def cmd_evidence_run(args: argparse.Namespace) -> int:
         optimize=optimize,
         backend=backend,
         check_cost=check_cost,
+        check_maintenance=check_maintenance,
     )
     if not getattr(args, "no_schedule", False):
         from repro.harness.schedule import schedule_jobs
@@ -126,6 +130,7 @@ def cmd_evidence_run(args: argparse.Namespace) -> int:
         optimize=optimize,
         backend=backend,
         check_cost=check_cost,
+        check_maintenance=check_maintenance,
         baseline=baseline,
     )
     write_manifest(manifest, out_dir / "manifest.json")
@@ -212,6 +217,14 @@ def add_evidence_parser(sub: argparse._SubParsersAction) -> None:
         "cardinality bounds (repro.analysis.cost); any measured "
         "relation exceeding its predicted bound makes the run red. "
         "Part of the cache's run-mode key",
+    )
+    erun.add_argument(
+        "--check-maintenance", action="store_true",
+        help="audit every incremental maintenance round against the "
+        "static delta bounds and strategy classification "
+        "(repro.analysis.maintain); any measured delta exceeding its "
+        "predicted bound makes the run red. Part of the cache's "
+        "run-mode key",
     )
     erun.add_argument(
         "--no-schedule", action="store_true",

@@ -119,6 +119,8 @@ class JobResult:
     ivm: Optional[dict[str, Any]] = None  # incremental-maintenance block
     # ({"rounds", "inserted", "deleted", "rederived", ...}) from jobs
     # that drive a repro.ivm.MaterializedView, else None
+    maintain: Optional[dict[str, Any]] = None  # MaintenanceGuard.summary()
+    # under --check-maintenance, else None
 
     @property
     def matched(self) -> bool:
@@ -142,6 +144,7 @@ class JobResult:
             "cost": self.cost,
             "backend_resolution": self.backend_resolution,
             "ivm": self.ivm,
+            "maintain": self.maintain,
         }
 
     @classmethod
@@ -162,4 +165,5 @@ class JobResult:
             cost=data.get("cost"),
             backend_resolution=data.get("backend_resolution"),
             ivm=data.get("ivm"),
+            maintain=data.get("maintain"),
         )

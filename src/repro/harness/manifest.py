@@ -17,13 +17,16 @@ from typing import Any, Mapping, Optional, Sequence
 from repro.core.stats import EngineStats
 from repro.harness.job import Job, JobResult, JobStatus
 
-MANIFEST_SCHEMA = 6  # 2: per-job certificate status; 3: optimize flag
+MANIFEST_SCHEMA = 7  # 2: per-job certificate status; 3: optimize flag
                      # + optional baseline engine delta; 4: backend name
                      # + columnar join counters in the delta; 5: per-job
                      # cost-guard blocks + auto-backend resolutions +
                      # check_cost flag and summary; 6: per-job ivm
                      # maintenance blocks, ivm counters in the delta,
-                     # ivm round totals in the summary
+                     # ivm round totals in the summary; 7: per-job
+                     # maintain-guard blocks + check_maintenance flag,
+                     # maintain counters in the delta, maintain totals
+                     # in the summary
 
 #: EngineStats counters diffed against a baseline manifest
 _DELTA_FIELDS = (
@@ -41,6 +44,9 @@ _DELTA_FIELDS = (
     "ivm_inserted",
     "ivm_deleted",
     "ivm_rederived",
+    "maintain_counting_strata",
+    "maintain_dred_strata",
+    "maintain_skipped_rederive",
 )
 
 
@@ -101,6 +107,7 @@ def build_manifest(
     optimize: bool = False,
     backend: str = "interpreted",
     check_cost: bool = False,
+    check_maintenance: bool = False,
     baseline: Optional[Mapping[str, Any]] = None,
 ) -> dict[str, Any]:
     """Assemble the manifest dict for one finished run.
@@ -117,7 +124,13 @@ def build_manifest(
     fixpoint against the static cardinality bounds: the summary gains
     ``cost_checked`` (jobs that shipped a cost block) and ``cost_ok``
     (those with zero bound violations), and :func:`manifest_exit_code`
-    turns any unsound prediction into a red run.  Jobs that drive a
+    turns any unsound prediction into a red run.  ``check_maintenance``
+    is the incremental analogue: jobs ship ``maintain`` blocks from the
+    :class:`~repro.analysis.maintain.MaintenanceGuard`, the summary
+    gains ``maintain_checked``/``maintain_ok``, and any measured
+    maintenance delta exceeding its static bound (or a counting round
+    where the analysis demands DRed) makes the run red.  Jobs that
+    drive a
     :class:`repro.ivm.MaterializedView` ship an ``ivm`` block; when
     any do, the summary gains ``ivm_jobs`` and ``ivm_rounds`` totals
     (their ``ivm_state`` certificates are validated through the same
@@ -134,10 +147,13 @@ def build_manifest(
     certified = 0
     cost_checked = 0
     cost_ok = 0
+    maintain_checked = 0
+    maintain_ok = 0
     ivm_jobs = 0
     ivm_rounds = 0
     mismatches = []
     cost_violations = []
+    maintain_violations = []
     for job in jobs:
         result = results.get(job.name)
         if result is None:  # defensive: runner always reports every job
@@ -166,6 +182,16 @@ def build_manifest(
                 })
             else:
                 cost_ok += 1
+        if result.maintain is not None:
+            maintain_checked += 1
+            violations = result.maintain.get("violations") or []
+            if violations:
+                maintain_violations.append({
+                    "job": job.name,
+                    "violations": list(violations),
+                })
+            else:
+                maintain_ok += 1
         if result.ivm is not None:
             ivm_jobs += 1
             ivm_rounds += int(result.ivm.get("rounds", 0))
@@ -200,6 +226,9 @@ def build_manifest(
     if check_cost:
         summary["cost_checked"] = cost_checked
         summary["cost_ok"] = cost_ok
+    if check_maintenance:
+        summary["maintain_checked"] = maintain_checked
+        summary["maintain_ok"] = maintain_ok
     if ivm_jobs:
         summary["ivm_jobs"] = ivm_jobs
         summary["ivm_rounds"] = ivm_rounds
@@ -215,9 +244,11 @@ def build_manifest(
         "optimize": optimize,
         "backend": backend,
         "check_cost": check_cost,
+        "check_maintenance": check_maintenance,
         "jobs": job_entries,
         "mismatches": mismatches,
         "cost_violations": cost_violations,
+        "maintain_violations": maintain_violations,
         "engine_totals": engine_totals.to_dict(),
         "summary": summary,
     }
@@ -238,8 +269,10 @@ def build_manifest(
 
 def manifest_exit_code(manifest: dict[str, Any]) -> int:
     """0 iff every job ended OK (matched verdict, no failures/skips),
-    when certificate checking ran every certificate validated, and
-    when cost checking ran no static bound was ever exceeded."""
+    when certificate checking ran every certificate validated, when
+    cost checking ran no static bound was ever exceeded, and when
+    maintenance checking ran every round stayed within its predicted
+    delta bound on the planned strategy."""
     summary = manifest["summary"]
     if summary["ok"] != summary["total"]:
         return 1
@@ -249,6 +282,11 @@ def manifest_exit_code(manifest: dict[str, Any]) -> int:
         if summary["cost_ok"] != summary["cost_checked"]:
             return 1
         if manifest.get("cost_violations"):
+            return 1
+    if "maintain_checked" in summary:
+        if summary["maintain_ok"] != summary["maintain_checked"]:
+            return 1
+        if manifest.get("maintain_violations"):
             return 1
     return 0
 
@@ -287,6 +325,13 @@ def render_manifest(manifest: dict[str, Any], *, verbose: bool = False) -> str:
         ivm = entry.get("ivm")
         if ivm is not None:
             flags.append(f"ivm {ivm.get('rounds', 0)} rounds")
+        maintain = entry.get("maintain")
+        if maintain is not None:
+            violated = len(maintain.get("violations") or [])
+            flags.append(
+                f"maintain {'VIOLATED' if violated else 'ok'} "
+                f"({maintain.get('checks', 0)} rounds)"
+            )
         flag_text = f" ({', '.join(flags)})" if flags else ""
         lines.append(
             f"  {status.upper():<9} {name:<34} "
@@ -310,6 +355,22 @@ def render_manifest(manifest: dict[str, Any], *, verbose: bool = False) -> str:
                     f"{violation['measured']} > bound "
                     f"{violation['bound']} ({violation['basis']})"
                 )
+        if maintain is not None:
+            for violation in maintain.get("violations") or []:
+                if violation.get("kind") == "strategy":
+                    lines.append(
+                        f"            maintain strategy VIOLATED: "
+                        f"{violation['pred']} ran "
+                        f"{violation['actual']} where the analysis "
+                        f"demands {violation['planned']}"
+                    )
+                else:
+                    lines.append(
+                        f"            maintain delta VIOLATED: "
+                        f"{violation['pred']} measured "
+                        f"{violation['measured']} > bound "
+                        f"{violation['bound']} ({violation['basis']})"
+                    )
         resolution = entry.get("backend_resolution")
         if verbose and resolution:
             picks = ", ".join(
@@ -337,6 +398,12 @@ def render_manifest(manifest: dict[str, Any], *, verbose: bool = False) -> str:
             f"cost bounds: {summary['cost_ok']}/"
             f"{summary['cost_checked']} job(s) within the static "
             "cardinality bounds"
+        )
+    if "maintain_checked" in summary:
+        lines.append(
+            f"maintenance: {summary['maintain_ok']}/"
+            f"{summary['maintain_checked']} job(s) within the static "
+            "delta bounds on the planned strategy"
         )
     if "ivm_jobs" in summary:
         lines.append(

@@ -299,4 +299,23 @@ def default_registry() -> JobRegistry:
         inputs={"side": 5, "rounds": 10},
         tags=("ivm", "maintenance"),
     ))
+    registry.add(Job(
+        name="ivm-insert-monotone-chain",
+        fn=f"{_IVM}:ivm_insert_monotone_chain",
+        claim="insert-only rounds into recursive strata skip the DRed "
+              "overdelete machinery, and a recursive-but-counting-safe "
+              "stratum is maintained by counting instead of DRed",
+        expected="maintenance-equivalent",
+        inputs={"nodes": 40, "rounds": 10},
+        tags=("ivm", "maintenance", "analysis"),
+    ))
+    registry.add(Job(
+        name="ivm-retraction-grid-bounds",
+        fn=f"{_IVM}:ivm_retraction_grid_bounds",
+        claim="the measured maintenance delta of every retraction round "
+              "stays within the statically predicted delta bound",
+        expected="maintenance-equivalent",
+        inputs={"side": 4, "rounds": 8},
+        tags=("ivm", "maintenance", "analysis"),
+    ))
     return registry

@@ -46,6 +46,8 @@ class RunnerConfig:
     backend: str = "interpreted"      # evaluation engine for the jobs
     check_cost: bool = False          # audit fixpoints against the
                                       # static cardinality bounds
+    check_maintenance: bool = False   # audit maintenance rounds against
+                                      # the static delta bounds/strategy
 
 
 def _worker(
@@ -55,6 +57,7 @@ def _worker(
     optimize: bool = False,
     backend: str = "interpreted",
     check_cost: bool = False,
+    check_maintenance: bool = False,
 ) -> None:
     """Child-process entry: resolve the job fn, run it, ship the result.
 
@@ -71,10 +74,14 @@ def _worker(
     installs a :class:`repro.analysis.cost.CostGuard` for the job's
     lifetime: every fixpoint the job computes is audited against the
     static cardinality bounds and the tally (checks, bounds, any
-    violations) ships back as the result's ``cost`` block.  When
-    ``backend`` is ``auto``, the per-fixpoint backend choices are
-    shipped as ``backend_resolution`` so the manifest can say why each
-    engine was picked.
+    violations) ships back as the result's ``cost`` block.
+    ``check_maintenance`` does the same for incremental maintenance: a
+    :class:`repro.analysis.maintain.MaintenanceGuard` audits every
+    :meth:`MaterializedView.apply` round against the static delta
+    bounds and strategy classification, shipping the tally back as the
+    result's ``maintain`` block.  When ``backend`` is ``auto``, the
+    per-fixpoint backend choices are shipped as ``backend_resolution``
+    so the manifest can say why each engine was picked.
     """
     import contextlib as _contextlib
 
@@ -99,8 +106,14 @@ def _worker(
             from repro.analysis.cost import cost_checking
 
             guard_ctx = cost_checking()
+        maintain_ctx: Any = _contextlib.nullcontext()
+        if check_maintenance:
+            from repro.analysis.maintain import maintenance_checking
+
+            maintain_ctx = maintenance_checking()
         stats = EngineStats()
-        with guard_ctx as guard, collecting(stats):
+        with guard_ctx as guard, maintain_ctx as mguard, \
+                collecting(stats):
             payload = job_fn(**inputs)
         if not isinstance(payload, dict) or "verdict" not in payload:
             raise TypeError(
@@ -117,6 +130,8 @@ def _worker(
         }
         if guard is not None:
             message["cost"] = guard.summary()
+        if mguard is not None:
+            message["maintain"] = mguard.summary()
         if backend == "auto":
             from repro.core.backend import auto_resolutions
 
@@ -261,6 +276,7 @@ def run_jobs(
             args=(
                 job.fn, dict(job.inputs), send,
                 config.optimize, config.backend, config.check_cost,
+                config.check_maintenance,
             ),
             daemon=True,
             name=f"evidence-{job.name}",
@@ -434,6 +450,7 @@ def run_jobs(
                     cost=payload.get("cost"),
                     backend_resolution=payload.get("backend_resolution"),
                     ivm=payload.get("ivm"),
+                    maintain=payload.get("maintain"),
                 )
                 if cache is not None:
                     cache.store(job, result)

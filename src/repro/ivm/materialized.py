@@ -50,6 +50,12 @@ from dataclasses import dataclass
 from typing import Iterable, Iterator, Mapping, Optional, Sequence, Union
 
 from repro.analysis.dependency import SCC, DependencyGraph
+from repro.analysis.maintain import (
+    MAINTAIN_RULE_LIMIT,
+    MaintainReport,
+    active_maintenance_guard,
+    maintain_report,
+)
 from repro.core import stats as _stats
 from repro.core.atoms import Atom, Fact
 from repro.core.datalog import DatalogProgram, Rule
@@ -195,8 +201,28 @@ class MaterializedView:
         # join plans persist across rounds: the same delta rules replay
         # every round, exactly the semi-naive reuse argument
         self._plans = _PlanCache(None)
-        # derivation counts for facts of non-recursive IDB predicates
+        # derivation counts for facts of counting-maintained predicates
         self._counts: dict[tuple[str, Row], int] = {}
+        # the static maintainability plan decides the per-stratum
+        # strategy: recursive strata the analysis proves counting-safe
+        # are maintained by counting over their effective (non-vacuous)
+        # rules instead of paying the DRed protocol
+        self._maintain_plan: Optional[MaintainReport] = None
+        self._counting_rules: dict[int, tuple[Rule, ...]] = {}
+        self._source_claims: Optional[dict[str, object]] = None
+        if len(program.rules) <= MAINTAIN_RULE_LIMIT:
+            with _stats.suspended():
+                self._maintain_plan = maintain_report(
+                    program, dependency=graph
+                )
+            for stratum in self._maintain_plan.strata:
+                if stratum.recursive and stratum.counting_safe:
+                    self._counting_rules[stratum.index] = tuple(
+                        program.rules[i]
+                        for i in stratum.effective_rule_indices
+                    )
+                    self._recursive -= set(stratum.predicates)
+                    self._counted |= set(stratum.predicates)
         self._initialize()
 
     # ------------------------------------------------------------------
@@ -210,12 +236,26 @@ class MaterializedView:
         counts = self._counts
         counts.clear()
         for scc in self._sccs:
-            if scc.recursive:
+            rules = self._counted_rules_for(scc)
+            if rules is None:
                 continue
-            for rule in scc.rules:
+            for rule in rules:
                 for fact in _rule_derivations(rule, self.state):
                     key = (fact.pred, fact.args)
                     counts[key] = counts.get(key, 0) + 1
+
+    def _counted_rules_for(self, scc: SCC) -> Optional[tuple[Rule, ...]]:
+        """The rules to count for ``scc``, or ``None`` if it runs DRed.
+
+        Non-recursive strata count all their rules; recursive strata
+        the plan proves counting-safe count their effective rules (the
+        vacuous recursive rules derive nothing their subsumers do not,
+        and *must* be excluded from counting symmetrically at
+        initialization and maintenance time).
+        """
+        if not scc.recursive:
+            return scc.rules
+        return self._counting_rules.get(scc.index)
 
     # ------------------------------------------------------------------
     # public surface
@@ -245,6 +285,46 @@ class MaterializedView:
                 backend="interpreted",
             )
 
+    def maintenance_plan(self) -> Optional[MaintainReport]:
+        """The static maintainability report this view was planned from
+        (``None`` when the program exceeds the analysis rule limit)."""
+        return self._maintain_plan
+
+    def maintenance_strategies(self) -> dict[str, str]:
+        """``pred -> "counting" | "dred"`` as actually maintained."""
+        return {
+            pred: ("dred" if pred in self._recursive else "counting")
+            for pred in self._idb
+        }
+
+    def predict_delta(self, update_size: int = 1) -> Optional[int]:
+        """A sound bound on |Δ| for a round changing ``update_size``
+        base facts against the *current* base (admission control)."""
+        if self._maintain_plan is None:
+            return None
+        with _stats.suspended():
+            report = maintain_report(
+                self.program, instance=self.base,
+                update_size=max(0, update_size),
+            )
+        return report.total_delta_bound
+
+    def _maintain_claims(self) -> Optional[dict[str, object]]:
+        """The source program's maintainability classification.
+
+        Cached: strategy/insert-monotone/counting-safe claims are
+        instance-independent, and the certificate must describe the
+        *source* program (what the independent checker re-derives),
+        not the optimized program this view maintains.
+        """
+        if self._source_claims is None:
+            if len(self.source_program.rules) > MAINTAIN_RULE_LIMIT:
+                return None
+            with _stats.suspended():
+                report = maintain_report(self.source_program)
+            self._source_claims = report.classification()
+        return self._source_claims
+
     def certificate(
         self, meta: Optional[dict[str, object]] = None
     ) -> dict[str, object]:
@@ -257,7 +337,10 @@ class MaterializedView:
         from repro.certify.emit import certificate as _certificate
         from repro.certify.emit import claim_ivm_state
 
-        claim = claim_ivm_state(self.source_program, self.base, self.state)
+        claim = claim_ivm_state(
+            self.source_program, self.base, self.state,
+            maintain=self._maintain_claims(),
+        )
         merged: dict[str, object] = {
             "subsystem": "ivm", "rounds": self.rounds,
         }
@@ -284,6 +367,8 @@ class MaterializedView:
         """
         with _stats.maybe_collecting(stats):
             collector = _stats.active()
+            guard = active_maintenance_guard()
+            base_before = self.base.copy() if guard is not None else None
             retract_facts = [_as_fact(f) for f in retracts]
             insert_facts = [_as_fact(f) for f in inserts]
 
@@ -328,13 +413,17 @@ class MaterializedView:
             backend = self._resolve_backend(collector)
             rederived = 0
             for scc in self._sccs:
-                if scc.recursive:
+                counted_rules = self._counted_rules_for(scc)
+                if counted_rules is None:
                     rederived += self._maintain_recursive(
                         scc, plus, minus, old_cache,
                         rec_del, rec_add, backend, collector,
                     )
                 else:
-                    self._maintain_counted(scc, plus, minus, old_cache)
+                    self._maintain_counted(
+                        scc, counted_rules, plus, minus, old_cache,
+                        collector,
+                    )
 
             self.rounds += 1
             inserted = sum(len(rows) for rows in plus.values())
@@ -344,7 +433,7 @@ class MaterializedView:
                 collector.ivm_inserted += inserted
                 collector.ivm_deleted += deleted
                 collector.ivm_rederived += rederived
-            return MaintenanceRound(
+            round_ = MaintenanceRound(
                 index=self.rounds,
                 backend=backend,
                 inserted=inserted,
@@ -353,6 +442,13 @@ class MaterializedView:
                 plus={p: frozenset(r) for p, r in plus.items() if r},
                 minus={p: frozenset(r) for p, r in minus.items() if r},
             )
+            if guard is not None:
+                guard.check_round(
+                    self, round_,
+                    update_size=len(net_removed) + len(net_added),
+                    base_before=base_before,
+                )
+            return round_
 
     # ------------------------------------------------------------------
     # delta bookkeeping
@@ -428,19 +524,22 @@ class MaterializedView:
     # counting maintenance (non-recursive strata)
     # ------------------------------------------------------------------
     def _maintain_counted(
-        self, scc: SCC, plus: Delta, minus: Delta,
+        self, scc: SCC, rules: tuple[Rule, ...], plus: Delta, minus: Delta,
         old_cache: dict[str, Instance],
+        collector: Optional[EngineStats] = None,
     ) -> None:
         changed = {p for p, rows in plus.items() if rows}
         changed |= {p for p, rows in minus.items() if rows}
         if not changed:
             return
+        engaged = False
         delta_counts: dict[Row, int] = {}
-        for rule in scc.rules:
+        for rule in rules:
             body = rule.body
             hit = [i for i, a in enumerate(body) if a.pred in changed]
             if not hit:
                 continue
+            engaged = True
             for i in hit:
                 atom = body[i]
                 rest_atoms: list[Atom] = []
@@ -474,6 +573,8 @@ class MaterializedView:
                             delta_counts[head.args] = (
                                 delta_counts.get(head.args, 0) + sign
                             )
+        if engaged and collector is not None:
+            collector.maintain_counting_strata += 1
         pred = next(iter(scc.predicates))
         for row, change in delta_counts.items():
             if not change:
@@ -523,7 +624,16 @@ class MaterializedView:
 
         suspects: dict[str, set[Row]] = {p: set() for p in preds}
         rederived = 0
-        if ext_minus or any(del_seeds.values()):
+        deletion_work = bool(ext_minus) or any(del_seeds.values())
+        insert_work = bool(ext_plus) or any(add_seeds.values())
+        if collector is not None:
+            if deletion_work or insert_work:
+                collector.maintain_dred_strata += 1
+            if insert_work and not deletion_work:
+                # insert-only round: the overdelete/rederive protocol
+                # is skipped entirely, semi-naive insertion suffices
+                collector.maintain_skipped_rederive += 1
+        if deletion_work:
             changed = {p for p, rows in plus.items() if rows}
             changed |= {p for p, rows in minus.items() if rows}
 
@@ -609,11 +719,16 @@ class MaterializedView:
         # ---- phase C: propagate insertions semi-naively ---------------
         frontier = {p: set(rows) for p, rows in ext_plus.items()}
         for p, rows in add_seeds.items():
+            suspect_rows = suspects.get(p, _EMPTY)
             for row in rows:
                 if self.state.has_tuple(p, row):
-                    # rederived above, or an already-derived base add:
-                    # in state, still a frontier fact for cascades
-                    frontier.setdefault(p, set()).add(row)
+                    # already present: only a rederived suspect still
+                    # cascades (its overdeleted consequences need it);
+                    # a base add of an already-derived fact changes
+                    # nothing downstream — the state is closed under
+                    # the rules, so its consequences are all present
+                    if row in suspect_rows:
+                        frontier.setdefault(p, set()).add(row)
                 elif self._apply_add(p, row, plus, minus):
                     frontier.setdefault(p, set()).add(row)
         frontier = {p: rows for p, rows in frontier.items() if rows}

@@ -53,6 +53,11 @@ def add_serve_parser(sub: Any) -> None:
         help="default evaluation backend for new sessions",
     )
     serve.add_argument(
+        "--max-delta", type=int, default=None, metavar="N",
+        help="reject updates whose statically predicted delta bound "
+        "exceeds N (in-band error, never fatal)",
+    )
+    serve.add_argument(
         "--timeout", type=float, default=300.0,
         help="idle seconds before a connection is dropped and a "
         "session is reaped (socket mode)",
@@ -65,6 +70,7 @@ def _service(args: argparse.Namespace) -> ServeService:
         optimize=bool(args.optimize),
         backend=args.backend,
         certify=bool(args.certify),
+        max_delta=args.max_delta,
     )
 
 
@@ -86,11 +92,15 @@ def run_script(
     optimize: bool = False,
     backend: Optional[str] = None,
     certify: bool = False,
+    max_delta: Optional[int] = None,
 ) -> int:
     """Drive a service through a scripted session; 0 iff all ok."""
     requests = load_script(path)
     service = ServeService(
-        optimize=optimize, backend=backend, certify=certify
+        optimize=optimize,
+        backend=backend,
+        certify=certify,
+        max_delta=max_delta,
     )
 
     async def _drive() -> list[dict[str, Any]]:
@@ -137,6 +147,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             optimize=bool(args.optimize),
             backend=args.backend,
             certify=bool(args.certify),
+            max_delta=args.max_delta,
         )
     try:
         asyncio.run(_serve_socket(args))

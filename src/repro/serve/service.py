@@ -160,6 +160,10 @@ class Session:
         self.last_used = time.monotonic()
         self.pending: list[_PendingUpdate] = []
         self.lock = asyncio.Lock()
+        # the static maintainability report, cached for the session's
+        # lifetime (the classification is instance-independent; only
+        # the numeric delta bounds are re-derived per update)
+        self.maintain = view.maintenance_plan()
 
     def touch(self) -> None:
         self.last_used = time.monotonic()
@@ -219,12 +223,18 @@ class ServeService:
         certify: bool = False,
         session_limit: int = 64,
         cache: Optional[ProgramCache] = None,
+        max_delta: Optional[int] = None,
     ) -> None:
         if backend is not None and backend not in backend_names():
             raise ValueError(f"unknown backend {backend!r}")
+        if max_delta is not None and max_delta < 0:
+            raise ValueError("max_delta must be non-negative")
         self.optimize = bool(optimize)
         self.backend = backend
         self.certify = bool(certify)
+        #: analysis-driven admission: updates whose predicted delta
+        #: bound exceeds this are rejected in-band (None: accept all)
+        self.max_delta = max_delta
         self.session_limit = session_limit
         self.cache = cache if cache is not None else ProgramCache()
         self.sessions: dict[str, Session] = {}
@@ -316,6 +326,7 @@ class ServeService:
             "certify": certify,
             "facts": len(view.state),
             "idb": sorted(view.program.idb_predicates()),
+            "maintain": view.maintenance_strategies(),
         }
 
     async def _op_insert(self, request: dict[str, Any]) -> dict[str, Any]:
@@ -406,6 +417,31 @@ class ServeService:
     ) -> dict[str, Any]:
         try:
             async with self._maintenance:
+                predicted: Optional[int] = None
+                if session.maintain is not None:
+                    predicted = await asyncio.to_thread(
+                        session.view.predict_delta,
+                        len(inserts) + len(retracts),
+                    )
+                if (
+                    self.max_delta is not None
+                    and predicted is not None
+                    and predicted > self.max_delta
+                ):
+                    # admission control: the update is refused in-band
+                    # (never fatal) before any maintenance work runs
+                    return {
+                        "ok": False,
+                        "session": session.name,
+                        "error": (
+                            f"update rejected: predicted delta bound "
+                            f"{predicted} exceeds max-delta "
+                            f"{self.max_delta}"
+                        ),
+                        "rejected": True,
+                        "predicted_delta": predicted,
+                        "coalesced": coalesced,
+                    }
                 round_ = await asyncio.to_thread(
                     session.view.apply, inserts, retracts, session.stats
                 )
@@ -415,6 +451,8 @@ class ServeService:
                 "round": round_.as_dict(),
                 "coalesced": coalesced,
             }
+            if predicted is not None:
+                response["predicted_delta"] = predicted
             if session.certify:
                 response["certificate"] = await asyncio.to_thread(
                     self._certificate_verdict, session

@@ -131,6 +131,8 @@ def test_evidence_run_optimize_with_baseline(tmp_path, capsys):
         "join_build_rows", "join_probe_rows", "join_output_rows",
         "cost_bounds_checked", "cost_violations",
         "ivm_rounds", "ivm_inserted", "ivm_deleted", "ivm_rederived",
+        "maintain_counting_strata", "maintain_dred_strata",
+        "maintain_skipped_rederive",
     }
     assert baseline["backend"] == "interpreted"
     assert manifest["backend"] == "interpreted"

@@ -172,13 +172,13 @@ def test_event_log_round_trip(tmp_path):
     assert len(read_events(path)) == 2
 
 
-def test_manifest_schema_is_six():
+def test_manifest_schema_is_seven():
     from repro.harness.manifest import MANIFEST_SCHEMA
 
     jobs = [_job("a")]
     results = {"a": JobResult("a", JobStatus.OK, "fine", verdict="fine")}
-    assert MANIFEST_SCHEMA == 6
-    assert _build(jobs, results)["schema"] == 6
+    assert MANIFEST_SCHEMA == 7
+    assert _build(jobs, results)["schema"] == 7
 
 
 def _cost_result(name, violations):
@@ -316,3 +316,87 @@ def test_manifest_baseline_delta_covers_ivm_counters():
     delta = incremental["baseline"]["engine_delta"]
     assert delta["ivm_rounds"] == 8
     assert delta["ivm_inserted"] == 32
+
+
+def _maintain_result(name, violations):
+    return JobResult(
+        name, JobStatus.OK, "fine", verdict="fine",
+        maintain={
+            "checks": 4, "predicates": 8,
+            "strategies": {"counting": 2, "dred": 2},
+            "violations": violations,
+        },
+    )
+
+
+def test_manifest_maintain_summary_green():
+    jobs = [_job("a"), _job("b")]
+    results = {
+        "a": _maintain_result("a", []),
+        "b": _maintain_result("b", []),
+    }
+    manifest = build_manifest(
+        jobs, results,
+        wall_seconds=1.0, workers=2, default_timeout=30.0,
+        code_fingerprint="fp", cache_used=False, check_maintenance=True,
+    )
+    assert manifest["check_maintenance"] is True
+    assert manifest["summary"]["maintain_checked"] == 2
+    assert manifest["summary"]["maintain_ok"] == 2
+    assert manifest["maintain_violations"] == []
+    assert manifest_exit_code(manifest) == 0
+    rendered = render_manifest(manifest)
+    assert "maintenance: 2/2" in rendered
+    assert "maintain ok (4 rounds)" in rendered
+
+
+def test_manifest_maintain_delta_violation_gates_the_exit_code():
+    violation = {
+        "kind": "delta", "pred": "Reach", "measured": 40,
+        "bound": 12, "update_size": 1, "basis": "dred churn",
+    }
+    jobs = [_job("a")]
+    results = {"a": _maintain_result("a", [violation])}
+    manifest = build_manifest(
+        jobs, results,
+        wall_seconds=1.0, workers=2, default_timeout=30.0,
+        code_fingerprint="fp", cache_used=False, check_maintenance=True,
+    )
+    assert manifest["summary"]["maintain_ok"] == 0
+    assert manifest["maintain_violations"] == [
+        {"job": "a", "violations": [violation]}
+    ]
+    assert manifest_exit_code(manifest) == 1
+    rendered = render_manifest(manifest)
+    assert "maintain delta VIOLATED" in rendered
+
+
+def test_manifest_maintain_strategy_violation_renders():
+    violation = {
+        "kind": "strategy", "pred": "Reach",
+        "planned": "dred", "actual": "counting",
+    }
+    jobs = [_job("a")]
+    results = {"a": _maintain_result("a", [violation])}
+    manifest = build_manifest(
+        jobs, results,
+        wall_seconds=1.0, workers=2, default_timeout=30.0,
+        code_fingerprint="fp", cache_used=False, check_maintenance=True,
+    )
+    assert manifest_exit_code(manifest) == 1
+    rendered = render_manifest(manifest)
+    assert "maintain strategy VIOLATED" in rendered
+
+
+def test_manifest_without_check_maintenance_has_no_maintain_summary():
+    jobs = [_job("a")]
+    results = {"a": JobResult("a", JobStatus.OK, "fine", verdict="fine")}
+    manifest = _build(jobs, results)
+    assert "maintain_checked" not in manifest["summary"]
+    assert manifest_exit_code(manifest) == 0
+
+
+def test_maintain_block_round_trips_through_job_result():
+    result = _maintain_result("a", [])
+    clone = JobResult.from_dict(result.as_dict())
+    assert clone.maintain == result.maintain

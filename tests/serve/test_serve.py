@@ -320,3 +320,93 @@ def test_once_cli_entry_point(capsys):
 def test_rejects_unknown_backend():
     with pytest.raises(ValueError):
         ServeService(backend="warp-drive")
+
+
+# ---------------------------------------------------------------------------
+# analysis-driven admission (--max-delta)
+# ---------------------------------------------------------------------------
+def test_create_reports_maintenance_strategies():
+    async def drive():
+        service = ServeService()
+        created = await service.handle(_create())
+        assert created["maintain"] == {
+            "Goal": "counting", "Reach": "dred",
+        }
+
+    run(drive())
+
+
+def test_updates_carry_the_predicted_delta_bound():
+    async def drive():
+        service = ServeService()
+        await service.handle(_create())
+        response = await service.handle({
+            "op": "insert", "session": "s",
+            "facts": [["E", ["b", "c"]]],
+        })
+        assert response["ok"]
+        predicted = response["predicted_delta"]
+        assert isinstance(predicted, int)
+        moved = (
+            response["round"]["inserted"] + response["round"]["deleted"]
+        )
+        assert moved <= predicted
+
+    run(drive())
+
+
+def test_over_threshold_update_rejected_in_band_never_fatal():
+    async def drive():
+        service = ServeService(max_delta=0)
+        await service.handle(_create())
+        rejected = await service.handle({
+            "op": "insert", "session": "s",
+            "facts": [["E", ["b", "c"]]],
+        })
+        assert rejected["ok"] is False
+        assert rejected["rejected"] is True
+        assert rejected["predicted_delta"] > 0
+        assert "max-delta" in rejected["error"]
+        # the base was never touched and the session still works
+        rows = await service.handle(
+            {"op": "query", "session": "s", "pred": "Reach"}
+        )
+        assert rows["rows"] == [["a", "b"]]
+
+    run(drive())
+
+
+def test_generous_threshold_admits_updates():
+    async def drive():
+        service = ServeService(max_delta=10**9)
+        await service.handle(_create())
+        response = await service.handle({
+            "op": "insert", "session": "s",
+            "facts": [["E", ["b", "c"]]],
+        })
+        assert response["ok"]
+        assert response["round"]["inserted"] >= 1
+
+    run(drive())
+
+
+def test_negative_max_delta_rejected():
+    with pytest.raises(ValueError):
+        ServeService(max_delta=-1)
+
+
+def test_once_threads_max_delta(tmp_path, capsys):
+    from repro.serve.cli import run_script
+
+    script = tmp_path / "script.json"
+    script.write_text(json.dumps([
+        _create(),
+        {"op": "insert", "session": "s", "facts": [["E", ["b", "c"]]]},
+    ]))
+    assert run_script(script, max_delta=0) == 1
+    lines = [
+        json.loads(line)
+        for line in capsys.readouterr().out.strip().splitlines()
+        if line.startswith("{")
+    ]
+    assert lines[-1]["rejected"] is True
