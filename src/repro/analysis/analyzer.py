@@ -35,6 +35,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.analysis.cost import CostReport
     from repro.analysis.maintain import MaintainReport
     from repro.analysis.optimize import RuleProvenance
+    from repro.analysis.shard import ShardReport
 
 AnalysisPass = Callable[["AnalysisContext"], Iterable[Diagnostic]]
 Analyzable = Union[DatalogQuery, DatalogProgram]
@@ -53,6 +54,7 @@ class AnalysisContext:
     semantics: Optional[SemanticReport] = None
     cost: Optional["CostReport"] = None
     maintain: Optional["MaintainReport"] = None
+    shard: Optional["ShardReport"] = None
     _entries: tuple[Optional[SourceRule], ...] = field(default=())
 
     def __post_init__(self) -> None:
@@ -89,6 +91,7 @@ class AnalysisReport:
     semantics: Optional[SemanticReport] = None
     cost: Optional["CostReport"] = None
     maintain: Optional["MaintainReport"] = None
+    shard: Optional["ShardReport"] = None
 
     def errors(self) -> list[Diagnostic]:
         return [d for d in self.diagnostics if d.severity is Severity.ERROR]
@@ -144,6 +147,8 @@ class AnalysisReport:
             out["cost"] = self.cost.as_dict()
         if self.maintain is not None:
             out["maintain"] = self.maintain.as_dict()
+        if self.shard is not None:
+            out["shard"] = self.shard.as_dict()
         return out
 
 
@@ -192,6 +197,7 @@ class ProgramAnalyzer:
             )
             from repro.analysis.cost import cost_report
             from repro.analysis.maintain import maintain_report
+            from repro.analysis.shard import shard_report
             from repro.core import stats as _stats
 
             with _stats.suspended():
@@ -199,6 +205,9 @@ class ProgramAnalyzer:
                     program, goal=goal, dependency=dependency
                 )
                 ctx.maintain = maintain_report(
+                    program, goal=goal, dependency=dependency
+                )
+                ctx.shard = shard_report(
                     program, goal=goal, dependency=dependency
                 )
         found: list[Diagnostic] = []
@@ -243,7 +252,7 @@ class ProgramAnalyzer:
         found.sort(key=Diagnostic.sort_key)
         return AnalysisReport(
             tuple(found), fragment, dependency, ctx.semantics, ctx.cost,
-            ctx.maintain,
+            ctx.maintain, ctx.shard,
         )
 
 

@@ -60,6 +60,8 @@ CODES: dict[str, tuple[Severity, str]] = {
         "DRed on a stratum provably counting-safe",
     ),
     "W117": (Severity.WARNING, "unbounded delta growth"),
+    "W118": (Severity.WARNING, "exchange-heavy sharded stratum"),
+    "W119": (Severity.WARNING, "sequential bottleneck under sharding"),
     "I201": (Severity.INFO, "fragment classification"),
     "I202": (Severity.INFO, "fragment explanation"),
     "I203": (Severity.INFO, "recursion structure"),
@@ -72,6 +74,9 @@ CODES: dict[str, tuple[Severity, str]] = {
     "I210": (Severity.INFO, "maintenance plan"),
     "I211": (Severity.INFO, "self-maintainable stratum"),
     "I212": (Severity.INFO, "delta bound summary"),
+    "I213": (Severity.INFO, "shard plan summary"),
+    "I214": (Severity.INFO, "communication-free stratum"),
+    "I215": (Severity.INFO, "predicted exchange volume"),
 }
 
 

@@ -652,6 +652,107 @@ def check_maintain_unbounded(ctx: "AnalysisContext") -> Iterable[Diagnostic]:
         )
 
 
+def check_shard_summary(ctx: "AnalysisContext") -> Iterable[Diagnostic]:
+    """I213 — the shard plan in one line."""
+    if ctx.shard is None:
+        return
+    report = ctx.shard
+    yield make(
+        "I213",
+        f"shard plan for {report.workers} worker(s): "
+        f"{report.communication_free} communication-free, "
+        f"{report.exchange_required} exchange-required, "
+        f"{report.sequential} sequential stratum(a); "
+        "`repro analyze shard` prints the full plan",
+    )
+
+
+def check_shard_commfree(ctx: "AnalysisContext") -> Iterable[Diagnostic]:
+    """I214 — strata that parallelize with zero tuple exchange."""
+    if ctx.shard is None:
+        return
+    for stratum in ctx.shard.strata:
+        if stratum.classification != "communication_free":
+            continue
+        keys = ", ".join(
+            f"{pred}[{pos}]" for pred, pos in sorted(stratum.keys.items())
+        )
+        yield make(
+            "I214",
+            f"stratum [{', '.join(stratum.predicates)}] is "
+            f"communication-free: hash-partition {keys} and workers "
+            "never exchange tuples",
+            _cost_anchor(ctx, stratum.rule_indices),
+        )
+
+
+def check_shard_exchange(ctx: "AnalysisContext") -> Iterable[Diagnostic]:
+    """I215 — the predicted per-round exchange volume."""
+    if ctx.shard is None:
+        return
+    from repro.analysis.cost import BOUND_CAP
+
+    report = ctx.shard
+    if not report.exchange_required:
+        return
+    total = report.total_exchange_bound
+    rendered = "saturated" if total >= BOUND_CAP else str(total)
+    yield make(
+        "I215",
+        f"predicted exchange volume <= {rendered} row transfer(s) per "
+        f"round across {report.exchange_required} exchange-required "
+        f"stratum(a) on {report.workers} worker(s)",
+    )
+
+
+def check_shard_exchange_heavy(
+    ctx: "AnalysisContext",
+) -> Iterable[Diagnostic]:
+    """W118 — strata whose exchange bound dwarfs the relation bound.
+
+    Fires when re-shuffling the deltas may move more rows per round
+    than the active domain is wide — the parallel speedup is then easy
+    to lose to communication, and a goal binding (magic sets) that
+    shrinks the deltas matters more than more workers.
+    """
+    if ctx.shard is None:
+        return
+    adom = ctx.shard.parameters.adom
+    for stratum in ctx.shard.strata:
+        if stratum.classification != "exchange_required":
+            continue
+        if stratum.exchange_bound > adom:
+            yield make(
+                "W118",
+                f"stratum [{', '.join(stratum.predicates)}] re-shuffles "
+                f"up to {_fmt_bound(stratum.exchange_bound)} row(s) "
+                "between every semi-naive round; no common partition "
+                "key survives its rules",
+                _cost_anchor(ctx, stratum.rule_indices),
+            )
+
+
+def check_shard_sequential(ctx: "AnalysisContext") -> Iterable[Diagnostic]:
+    """W119 — strata no worker count can help."""
+    if ctx.shard is None:
+        return
+    for stratum in ctx.shard.strata:
+        if stratum.classification != "sequential":
+            continue
+        yield make(
+            "W119",
+            f"stratum [{', '.join(stratum.predicates)}] is a sequential "
+            f"bottleneck under sharding: {stratum.basis}",
+            _cost_anchor(ctx, stratum.rule_indices),
+        )
+
+
+def _fmt_bound(bound: int) -> str:
+    from repro.analysis.cost import BOUND_CAP
+
+    return "saturated" if bound >= BOUND_CAP else str(bound)
+
+
 #: Extra passes run only under ``analyze(..., semantic=True)``.
 SEMANTIC_PASSES = (
     check_binding_patterns,
@@ -670,6 +771,11 @@ SEMANTIC_PASSES = (
     check_maintain_amplification,
     check_maintain_dred_on_safe,
     check_maintain_unbounded,
+    check_shard_summary,
+    check_shard_commfree,
+    check_shard_exchange,
+    check_shard_exchange_heavy,
+    check_shard_sequential,
 )
 
 

@@ -376,6 +376,9 @@ COST_CODES = ("I209", "W112", "W113", "W114")
 #: diagnostic codes produced by the maintainability analysis passes
 MAINTAIN_CODES = ("I210", "I211", "I212", "W115", "W116", "W117")
 
+#: diagnostic codes produced by the shardability analysis passes
+SHARD_CODES = ("I213", "I214", "I215", "W118", "W119")
+
 
 def _load_analyze_query(path: str):
     """Parse an ``analyze`` query file span-aware: (program, source, goal)."""
@@ -393,6 +396,42 @@ def _load_analyze_query(path: str):
     return source.program(), source, goal
 
 
+def _run_analyze(args: argparse.Namespace, codes, build_report) -> int:
+    """Shared plumbing for the ``analyze`` subcommands.
+
+    Parses the query file span-aware, loads ``--instance`` when given
+    (both through the ``ParseError``/``OSError`` handlers in
+    :func:`main`, so malformed input exits 2 with a positioned
+    diagnostic for every subcommand alike), calls ``build_report(
+    program, goal, instance)`` for the analysis-specific report, and
+    emits it in the selected format.  ``--format sarif`` re-runs the
+    full semantic analyzer and keeps only the subcommand's own
+    diagnostic ``codes`` so the artifact stays focused next to the
+    full ``lint`` log.
+    """
+    import json
+
+    program, source, goal = _load_analyze_query(args.query)
+    instance = load_instance(args.instance) if args.instance else None
+    report = build_report(program, goal, instance)
+
+    if args.format == "json":
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    elif args.format == "sarif":
+        from repro.analysis import analyze_query, sarif_report
+
+        analysis = analyze_query(
+            program, source=source, goal=goal, semantic=True
+        )
+        findings = [d for d in analysis.diagnostics if d.code in codes]
+        print(json.dumps(
+            sarif_report(findings, args.query), indent=2, sort_keys=True,
+        ))
+    else:
+        print(report.render_text())
+    return 0
+
+
 def cmd_analyze_cost(args: argparse.Namespace) -> int:
     """Static cost & cardinality analysis of a query file.
 
@@ -404,38 +443,17 @@ def cmd_analyze_cost(args: argparse.Namespace) -> int:
     cost-related diagnostics (I209, W112-W114) so the artifact stays
     focused next to the full ``lint`` log.
     """
-    import json
-
-    from repro.analysis import analyze_query
     from repro.analysis.cost import CostParameters, cost_report
-    from repro.core.parser import parse_program_source
 
-    program, source, goal = _load_analyze_query(args.query)
-    instance = load_instance(args.instance) if args.instance else None
-    parameters = None
-    if instance is None:
-        parameters = CostParameters.assumed_for(program)
-    report = cost_report(
-        program, goal=goal, instance=instance, parameters=parameters
-    )
-
-    if args.format == "json":
-        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
-    elif args.format == "sarif":
-        from repro.analysis import sarif_report
-
-        analysis = analyze_query(
-            program, source=source, goal=goal, semantic=True
+    def build(program, goal, instance):
+        parameters = None
+        if instance is None:
+            parameters = CostParameters.assumed_for(program)
+        return cost_report(
+            program, goal=goal, instance=instance, parameters=parameters
         )
-        findings = [
-            d for d in analysis.diagnostics if d.code in COST_CODES
-        ]
-        print(json.dumps(
-            sarif_report(findings, args.query), indent=2, sort_keys=True,
-        ))
-    else:
-        print(report.render_text())
-    return 0
+
+    return _run_analyze(args, COST_CODES, build)
 
 
 def cmd_analyze_maintain(args: argparse.Namespace) -> int:
@@ -446,42 +464,47 @@ def cmd_analyze_maintain(args: argparse.Namespace) -> int:
     (:mod:`repro.analysis.maintain`).  ``--format sarif`` emits only
     the maintenance diagnostics (I210-I212, W115-W117).
     """
-    import json
-
-    from repro.analysis import analyze_query
     from repro.analysis.cost import CostParameters
     from repro.analysis.maintain import maintain_report
 
-    program, source, goal = _load_analyze_query(args.query)
-    instance = load_instance(args.instance) if args.instance else None
-    parameters = None
-    if instance is None:
-        parameters = CostParameters.assumed_for(program)
     append_only = frozenset(
         p.strip() for p in (args.append_only or "").split(",") if p.strip()
     )
-    report = maintain_report(
-        program, goal=goal, instance=instance, parameters=parameters,
-        update_size=args.update_size, append_only=append_only,
-    )
 
-    if args.format == "json":
-        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
-    elif args.format == "sarif":
-        from repro.analysis import sarif_report
-
-        analysis = analyze_query(
-            program, source=source, goal=goal, semantic=True
+    def build(program, goal, instance):
+        parameters = None
+        if instance is None:
+            parameters = CostParameters.assumed_for(program)
+        return maintain_report(
+            program, goal=goal, instance=instance, parameters=parameters,
+            update_size=args.update_size, append_only=append_only,
         )
-        findings = [
-            d for d in analysis.diagnostics if d.code in MAINTAIN_CODES
-        ]
-        print(json.dumps(
-            sarif_report(findings, args.query), indent=2, sort_keys=True,
-        ))
-    else:
-        print(report.render_text())
-    return 0
+
+    return _run_analyze(args, MAINTAIN_CODES, build)
+
+
+def cmd_analyze_shard(args: argparse.Namespace) -> int:
+    """Static shardability analysis of a query file.
+
+    Classifies every stratum as communication-free, exchange-required
+    or sequential for a hash-partitioned parallel fixpoint, with the
+    surviving partition keys and certified exchange-volume bounds
+    (:mod:`repro.analysis.shard`).  ``--format sarif`` emits only the
+    sharding diagnostics (I213-I215, W118-W119).
+    """
+    from repro.analysis.cost import CostParameters
+    from repro.analysis.shard import shard_report
+
+    def build(program, goal, instance):
+        parameters = None
+        if instance is None:
+            parameters = CostParameters.assumed_for(program)
+        return shard_report(
+            program, goal=goal, instance=instance, parameters=parameters,
+            workers=args.workers,
+        )
+
+    return _run_analyze(args, SHARD_CODES, build)
 
 
 def cmd_optimize(args: argparse.Namespace) -> int:
@@ -691,7 +714,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     analyze = sub.add_parser(
         "analyze",
-        help="standalone static analyses (cost, maintain)",
+        help="standalone static analyses (cost, maintain, shard)",
     )
     analyze_sub = analyze.add_subparsers(dest="analysis", required=True)
     cost = analyze_sub.add_parser(
@@ -737,6 +760,28 @@ def build_parser() -> argparse.ArgumentParser:
         "retracted from (they stop counting as retraction sources)",
     )
     maintain.set_defaults(func=cmd_analyze_maintain)
+
+    shard = analyze_sub.add_parser(
+        "shard",
+        help="certified shardability classification and exchange bounds",
+    )
+    shard.add_argument("query", help="Datalog query file")
+    shard.add_argument(
+        "--instance",
+        help="instance file parameterizing the exchange bounds "
+        "(default: assumed parameters, every EDB at 16 facts)",
+    )
+    shard.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="sarif emits only the sharding diagnostics "
+        "(I213-I215, W118-W119)",
+    )
+    shard.add_argument(
+        "--workers", type=int, default=4, metavar="N",
+        help="worker count the plan assumes (default 4); exchange "
+        "bounds scale with N-1",
+    )
+    shard.set_defaults(func=cmd_analyze_shard)
 
     from repro.harness.cli import add_evidence_parser
 

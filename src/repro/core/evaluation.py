@@ -455,6 +455,7 @@ def fixpoint(
     stats: Optional[EngineStats] = None,
     optimize: Optional[bool] = None,
     backend: Optional[str] = None,
+    shards: Optional[int] = None,
 ) -> Instance:
     """``FPEval(Π, I)`` with a selectable strategy and backend.
 
@@ -473,6 +474,15 @@ def fixpoint(
     :func:`repro.core.backend.default_backend`).  The optimizer passes
     are backend-independent program transforms, so they compose with
     every backend; only the ``ordering`` hint is interpreted-specific.
+
+    ``shards=N`` (or an ambient
+    :func:`repro.core.shard.set_default_shards` default with
+    ``shards=None``) evaluates through the sharded parallel executor
+    planned by :func:`repro.analysis.shard.shard_report` — hash-
+    partitioned worker processes per stratum where the plan proves it
+    communication-free, delta exchange where it does not.  Instances
+    below the executor's size gate stay on the plain path, so the
+    ambient default is safe to leave on.
     """
     from repro.core.backend import resolve_backend
 
@@ -496,9 +506,22 @@ def fixpoint(
                     syntactic_fixpoint_program(program), instance
                 )
             ordering = "static"
-    result = resolve_backend(backend).fixpoint(
-        program, instance, strategy=strategy, stats=stats, ordering=ordering
-    )
+    if shards is None:
+        from repro.core.shard import default_shards
+
+        shards = default_shards()
+    if shards and shards > 1:
+        from repro.core.shard import sharded_fixpoint
+
+        result = sharded_fixpoint(
+            program, instance, shards, strategy=strategy, stats=stats,
+            ordering=ordering, backend=backend,
+        )
+    else:
+        result = resolve_backend(backend).fixpoint(
+            program, instance, strategy=strategy, stats=stats,
+            ordering=ordering,
+        )
     if _COST_GUARD is not None:
         _COST_GUARD(program, instance, result, stats=stats)
     return result

@@ -55,6 +55,9 @@ _SUMMED_FIELDS = frozenset({
     "maintain_counting_strata",
     "maintain_dred_strata",
     "maintain_skipped_rederive",
+    "shard_workers",
+    "shard_exchanged_rows",
+    "shard_local_rounds",
 })
 
 
@@ -92,6 +95,9 @@ class EngineStats:
     maintain_counting_strata: int = 0  # strata maintained by counting
     maintain_dred_strata: int = 0      # strata maintained by DRed
     maintain_skipped_rederive: int = 0  # DRed deletion phases skipped
+    shard_workers: int = 0        # worker processes spawned by sharded runs
+    shard_exchanged_rows: int = 0  # delta rows re-shuffled between rounds
+    shard_local_rounds: int = 0   # per-worker fixpoint rounds (rebased)
     phase_seconds: dict[str, float] = field(default_factory=dict)
 
     @contextmanager
@@ -213,6 +219,9 @@ class EngineStats:
             ("maintain: counting strata", self.maintain_counting_strata),
             ("maintain: dred strata", self.maintain_dred_strata),
             ("maintain: skipped rederive", self.maintain_skipped_rederive),
+            ("shard workers spawned", self.shard_workers),
+            ("shard rows exchanged", self.shard_exchanged_rows),
+            ("shard local rounds", self.shard_local_rounds),
         ]
         lines = ["engine stats:"]
         for label, value in rows:

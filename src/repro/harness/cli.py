@@ -61,6 +61,8 @@ def cmd_evidence_run(args: argparse.Namespace) -> int:
     backend = getattr(args, "backend", "interpreted")
     check_cost = getattr(args, "check_cost", False)
     check_maintenance = getattr(args, "check_maintenance", False)
+    shards = max(0, getattr(args, "shards", 0) or 0)
+    check_sharding = getattr(args, "check_sharding", False)
     fingerprint = code_fingerprint()
     # results depend on the evaluation mode, not just the code: key the
     # cache on a structured mode dict so runs in different modes never
@@ -73,6 +75,12 @@ def cmd_evidence_run(args: argparse.Namespace) -> int:
         run_mode["check_cost"] = True
     if check_maintenance:
         run_mode["check_maintenance"] = True
+    if shards:
+        # sharded runs partition fixpoints across worker processes;
+        # keep their results apart from single-process entries
+        run_mode["shards"] = shards
+    if check_sharding:
+        run_mode["check_sharding"] = True
     cache = (
         None if args.no_cache
         else ResultCache(Path(args.cache_dir), fingerprint, run_mode)
@@ -98,6 +106,8 @@ def cmd_evidence_run(args: argparse.Namespace) -> int:
         backend=backend,
         check_cost=check_cost,
         check_maintenance=check_maintenance,
+        shards=shards,
+        check_sharding=check_sharding,
     )
     if not getattr(args, "no_schedule", False):
         from repro.harness.schedule import schedule_jobs
@@ -131,6 +141,8 @@ def cmd_evidence_run(args: argparse.Namespace) -> int:
         backend=backend,
         check_cost=check_cost,
         check_maintenance=check_maintenance,
+        shards=shards,
+        check_sharding=check_sharding,
         baseline=baseline,
     )
     write_manifest(manifest, out_dir / "manifest.json")
@@ -225,6 +237,19 @@ def add_evidence_parser(sub: argparse._SubParsersAction) -> None:
         "(repro.analysis.maintain); any measured delta exceeding its "
         "predicted bound makes the run red. Part of the cache's "
         "run-mode key",
+    )
+    erun.add_argument(
+        "--shards", type=int, default=0, metavar="N",
+        help="partition every large-enough fixpoint across N worker "
+        "processes per the static shard plan (repro.analysis.shard); "
+        "0 = single-process (default). Part of the cache's run-mode "
+        "key",
+    )
+    erun.add_argument(
+        "--check-sharding", action="store_true",
+        help="audit every communication-free stratum against the shard "
+        "plan (no tuple may land on the wrong worker); any boundary "
+        "violation makes the run red. Part of the cache's run-mode key",
     )
     erun.add_argument(
         "--no-schedule", action="store_true",

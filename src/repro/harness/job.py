@@ -121,6 +121,8 @@ class JobResult:
     # that drive a repro.ivm.MaterializedView, else None
     maintain: Optional[dict[str, Any]] = None  # MaintenanceGuard.summary()
     # under --check-maintenance, else None
+    shard: Optional[dict[str, Any]] = None  # ShardGuard.summary() under
+    # --check-sharding, else None
 
     @property
     def matched(self) -> bool:
@@ -145,6 +147,7 @@ class JobResult:
             "backend_resolution": self.backend_resolution,
             "ivm": self.ivm,
             "maintain": self.maintain,
+            "shard": self.shard,
         }
 
     @classmethod
@@ -166,4 +169,5 @@ class JobResult:
             backend_resolution=data.get("backend_resolution"),
             ivm=data.get("ivm"),
             maintain=data.get("maintain"),
+            shard=data.get("shard"),
         )

@@ -17,7 +17,7 @@ from typing import Any, Mapping, Optional, Sequence
 from repro.core.stats import EngineStats
 from repro.harness.job import Job, JobResult, JobStatus
 
-MANIFEST_SCHEMA = 7  # 2: per-job certificate status; 3: optimize flag
+MANIFEST_SCHEMA = 8  # 2: per-job certificate status; 3: optimize flag
                      # + optional baseline engine delta; 4: backend name
                      # + columnar join counters in the delta; 5: per-job
                      # cost-guard blocks + auto-backend resolutions +
@@ -26,7 +26,9 @@ MANIFEST_SCHEMA = 7  # 2: per-job certificate status; 3: optimize flag
                      # ivm round totals in the summary; 7: per-job
                      # maintain-guard blocks + check_maintenance flag,
                      # maintain counters in the delta, maintain totals
-                     # in the summary
+                     # in the summary; 8: shards/check_sharding flags,
+                     # per-job shard-guard blocks, shard counters in
+                     # the delta, shard totals in the summary
 
 #: EngineStats counters diffed against a baseline manifest
 _DELTA_FIELDS = (
@@ -47,6 +49,9 @@ _DELTA_FIELDS = (
     "maintain_counting_strata",
     "maintain_dred_strata",
     "maintain_skipped_rederive",
+    "shard_workers",
+    "shard_exchanged_rows",
+    "shard_local_rounds",
 )
 
 
@@ -108,6 +113,8 @@ def build_manifest(
     backend: str = "interpreted",
     check_cost: bool = False,
     check_maintenance: bool = False,
+    shards: int = 0,
+    check_sharding: bool = False,
     baseline: Optional[Mapping[str, Any]] = None,
 ) -> dict[str, Any]:
     """Assemble the manifest dict for one finished run.
@@ -134,7 +141,13 @@ def build_manifest(
     :class:`repro.ivm.MaterializedView` ship an ``ivm`` block; when
     any do, the summary gains ``ivm_jobs`` and ``ivm_rounds`` totals
     (their ``ivm_state`` certificates are validated through the same
-    ``certificate_checks`` path as every other claim type).
+    ``certificate_checks`` path as every other claim type).  ``shards``
+    records how many worker processes the run partitioned fixpoints
+    across (0 = single-process); ``check_sharding`` records that a
+    :class:`~repro.analysis.shard.ShardGuard` audited every
+    communication-free stratum for plan conformance: the summary gains
+    ``shard_checked``/``shard_ok`` and any tuple observed on the wrong
+    shard makes the run red.
     ``baseline`` is a previously written manifest to
     diff against: the new manifest gains a ``baseline`` block with
     per-counter engine deltas (current − baseline), the before/after
@@ -149,11 +162,14 @@ def build_manifest(
     cost_ok = 0
     maintain_checked = 0
     maintain_ok = 0
+    shard_checked = 0
+    shard_ok = 0
     ivm_jobs = 0
     ivm_rounds = 0
     mismatches = []
     cost_violations = []
     maintain_violations = []
+    shard_violations = []
     for job in jobs:
         result = results.get(job.name)
         if result is None:  # defensive: runner always reports every job
@@ -192,6 +208,16 @@ def build_manifest(
                 })
             else:
                 maintain_ok += 1
+        if result.shard is not None:
+            shard_checked += 1
+            violations = result.shard.get("violations") or []
+            if violations:
+                shard_violations.append({
+                    "job": job.name,
+                    "violations": list(violations),
+                })
+            else:
+                shard_ok += 1
         if result.ivm is not None:
             ivm_jobs += 1
             ivm_rounds += int(result.ivm.get("rounds", 0))
@@ -229,6 +255,9 @@ def build_manifest(
     if check_maintenance:
         summary["maintain_checked"] = maintain_checked
         summary["maintain_ok"] = maintain_ok
+    if check_sharding:
+        summary["shard_checked"] = shard_checked
+        summary["shard_ok"] = shard_ok
     if ivm_jobs:
         summary["ivm_jobs"] = ivm_jobs
         summary["ivm_rounds"] = ivm_rounds
@@ -245,10 +274,13 @@ def build_manifest(
         "backend": backend,
         "check_cost": check_cost,
         "check_maintenance": check_maintenance,
+        "shards": shards,
+        "check_sharding": check_sharding,
         "jobs": job_entries,
         "mismatches": mismatches,
         "cost_violations": cost_violations,
         "maintain_violations": maintain_violations,
+        "shard_violations": shard_violations,
         "engine_totals": engine_totals.to_dict(),
         "summary": summary,
     }
@@ -287,6 +319,11 @@ def manifest_exit_code(manifest: dict[str, Any]) -> int:
         if summary["maintain_ok"] != summary["maintain_checked"]:
             return 1
         if manifest.get("maintain_violations"):
+            return 1
+    if "shard_checked" in summary:
+        if summary["shard_ok"] != summary["shard_checked"]:
+            return 1
+        if manifest.get("shard_violations"):
             return 1
     return 0
 
@@ -332,6 +369,13 @@ def render_manifest(manifest: dict[str, Any], *, verbose: bool = False) -> str:
                 f"maintain {'VIOLATED' if violated else 'ok'} "
                 f"({maintain.get('checks', 0)} rounds)"
             )
+        shard = entry.get("shard")
+        if shard is not None:
+            violated = len(shard.get("violations") or [])
+            flags.append(
+                f"shard {'VIOLATED' if violated else 'ok'} "
+                f"({shard.get('strata', 0)} strata)"
+            )
         flag_text = f" ({', '.join(flags)})" if flags else ""
         lines.append(
             f"  {status.upper():<9} {name:<34} "
@@ -371,6 +415,15 @@ def render_manifest(manifest: dict[str, Any], *, verbose: bool = False) -> str:
                         f"{violation['measured']} > bound "
                         f"{violation['bound']} ({violation['basis']})"
                     )
+        if shard is not None:
+            for violation in shard.get("violations") or []:
+                lines.append(
+                    f"            shard boundary VIOLATED: "
+                    f"{violation['pred']} fact {violation['fact']} "
+                    f"landed on worker {violation['worker']} but "
+                    f"hashes to {violation['owner']} "
+                    f"(stratum {violation['stratum']})"
+                )
         resolution = entry.get("backend_resolution")
         if verbose and resolution:
             picks = ", ".join(
@@ -404,6 +457,13 @@ def render_manifest(manifest: dict[str, Any], *, verbose: bool = False) -> str:
             f"maintenance: {summary['maintain_ok']}/"
             f"{summary['maintain_checked']} job(s) within the static "
             "delta bounds on the planned strategy"
+        )
+    if "shard_checked" in summary:
+        shards = manifest.get("shards", 0)
+        lines.append(
+            f"sharding: {summary['shard_ok']}/"
+            f"{summary['shard_checked']} job(s) conformant to the "
+            f"shard plan across {shards} worker(s)"
         )
     if "ivm_jobs" in summary:
         lines.append(

@@ -19,6 +19,7 @@ _T1 = "repro.harness.evidence_table1"
 _T2 = "repro.harness.evidence_table2"
 _FIG = "repro.harness.evidence_figures"
 _IVM = "repro.harness.evidence_ivm"
+_SHARD = "repro.harness.evidence_shard"
 
 
 class JobRegistry:
@@ -317,5 +318,27 @@ def default_registry() -> JobRegistry:
         expected="maintenance-equivalent",
         inputs={"side": 4, "rounds": 8},
         tags=("ivm", "maintenance", "analysis"),
+    ))
+
+    # ------------------------------------------------ sharded evaluation
+    registry.add(Job(
+        name="shard-tenant-reachability",
+        fn=f"{_SHARD}:shard_tenant_reachability",
+        claim="a communication-free stratum reaches the identical "
+              "fixpoint hash-partitioned across workers with zero "
+              "exchanged tuples, every fact on its owning shard",
+        expected="shard-equivalent",
+        inputs={"tenants": 12, "nodes": 24, "shards": 2},
+        tags=("shard", "analysis"),
+    ))
+    registry.add(Job(
+        name="shard-grid-exchange",
+        fn=f"{_SHARD}:shard_grid_exchange",
+        claim="an exchange-required stratum reaches the identical "
+              "fixpoint with measured delta traffic within the "
+              "certified exchange bound",
+        expected="shard-equivalent",
+        inputs={"side": 12, "shards": 2},
+        tags=("shard", "analysis"),
     ))
     return registry

@@ -48,6 +48,10 @@ class RunnerConfig:
                                       # static cardinality bounds
     check_maintenance: bool = False   # audit maintenance rounds against
                                       # the static delta bounds/strategy
+    shards: int = 0                   # >1: run job fixpoints sharded
+                                      # across this many worker processes
+    check_sharding: bool = False      # audit communication-free strata
+                                      # against the shard plan
 
 
 def _worker(
@@ -58,6 +62,8 @@ def _worker(
     backend: str = "interpreted",
     check_cost: bool = False,
     check_maintenance: bool = False,
+    shards: int = 0,
+    check_sharding: bool = False,
 ) -> None:
     """Child-process entry: resolve the job fn, run it, ship the result.
 
@@ -79,9 +85,16 @@ def _worker(
     :class:`repro.analysis.maintain.MaintenanceGuard` audits every
     :meth:`MaterializedView.apply` round against the static delta
     bounds and strategy classification, shipping the tally back as the
-    result's ``maintain`` block.  When ``backend`` is ``auto``, the
-    per-fixpoint backend choices are shipped as ``backend_resolution``
-    so the manifest can say why each engine was picked.
+    result's ``maintain`` block.  ``shards > 1`` flips the process-wide
+    sharding default (:func:`repro.core.shard.set_default_shards`) so
+    every fixpoint large enough to qualify runs hash-partitioned across
+    that many worker processes; ``check_sharding`` installs a
+    :class:`repro.analysis.shard.ShardGuard` auditing every
+    communication-free stratum for plan conformance (no tuple on the
+    wrong shard), shipping the tally back as the result's ``shard``
+    block.  When ``backend`` is ``auto``, the per-fixpoint backend
+    choices are shipped as ``backend_resolution`` so the manifest can
+    say why each engine was picked.
     """
     import contextlib as _contextlib
 
@@ -111,9 +124,18 @@ def _worker(
             from repro.analysis.maintain import maintenance_checking
 
             maintain_ctx = maintenance_checking()
+        if shards and shards > 1:
+            from repro.core.shard import set_default_shards
+
+            set_default_shards(shards)
+        shard_ctx: Any = _contextlib.nullcontext()
+        if check_sharding:
+            from repro.analysis.shard import sharding_checking
+
+            shard_ctx = sharding_checking()
         stats = EngineStats()
         with guard_ctx as guard, maintain_ctx as mguard, \
-                collecting(stats):
+                shard_ctx as sguard, collecting(stats):
             payload = job_fn(**inputs)
         if not isinstance(payload, dict) or "verdict" not in payload:
             raise TypeError(
@@ -132,6 +154,8 @@ def _worker(
             message["cost"] = guard.summary()
         if mguard is not None:
             message["maintain"] = mguard.summary()
+        if sguard is not None:
+            message["shard"] = sguard.summary()
         if backend == "auto":
             from repro.core.backend import auto_resolutions
 
@@ -276,9 +300,12 @@ def run_jobs(
             args=(
                 job.fn, dict(job.inputs), send,
                 config.optimize, config.backend, config.check_cost,
-                config.check_maintenance,
+                config.check_maintenance, config.shards,
+                config.check_sharding,
             ),
-            daemon=True,
+            # not daemonic: a daemonic process may not have children,
+            # and sharded fixpoints spawn a worker pool inside the job
+            daemon=False,
             name=f"evidence-{job.name}",
         )
         now = time.monotonic()
@@ -451,6 +478,7 @@ def run_jobs(
                     backend_resolution=payload.get("backend_resolution"),
                     ivm=payload.get("ivm"),
                     maintain=payload.get("maintain"),
+                    shard=payload.get("shard"),
                 )
                 if cache is not None:
                     cache.store(job, result)

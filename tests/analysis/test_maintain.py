@@ -282,7 +282,7 @@ def test_cli_analyze_maintain_parse_error_exits_2(tmp_path, capsys):
     assert "E004" in capsys.readouterr().err
 
 
-@pytest.mark.parametrize("command", ["cost", "maintain"])
+@pytest.mark.parametrize("command", ["cost", "maintain", "shard"])
 def test_cli_analyze_binary_query_file_exits_2(command, tmp_path, capsys):
     """A non-UTF-8 query file is an input error with a position, not a
     traceback (the UnicodeDecodeError regression)."""
@@ -297,7 +297,7 @@ def test_cli_analyze_binary_query_file_exits_2(command, tmp_path, capsys):
     assert "Traceback" not in err
 
 
-@pytest.mark.parametrize("command", ["cost", "maintain"])
+@pytest.mark.parametrize("command", ["cost", "maintain", "shard"])
 def test_cli_analyze_binary_instance_exits_2(command, tmp_path, capsys):
     from repro.cli import main
 
@@ -313,7 +313,7 @@ def test_cli_analyze_binary_instance_exits_2(command, tmp_path, capsys):
     assert "Traceback" not in err
 
 
-@pytest.mark.parametrize("command", ["cost", "maintain"])
+@pytest.mark.parametrize("command", ["cost", "maintain", "shard"])
 def test_cli_analyze_missing_instance_exits_2(command, capsys):
     from repro.cli import main
 

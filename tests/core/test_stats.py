@@ -118,3 +118,20 @@ def test_merge_allow_unknown_skips_unhandled_fields():
 def test_as_dict_alias_kept_for_benchmark_consumers():
     stats = _populated()
     assert stats.as_dict() == stats.to_dict()
+
+
+def test_from_dict_strict_accepts_the_shard_counters():
+    """Shard counters are part of the current schema: strict loaders
+    (worker round-trips, cached results) must take them as-is."""
+    data = {
+        "shard_workers": 4,
+        "shard_exchanged_rows": 120,
+        "shard_local_rounds": 9,
+    }
+    stats = EngineStats.from_dict(data)
+    assert stats.shard_workers == 4
+    assert stats.shard_exchanged_rows == 120
+    assert stats.shard_local_rounds == 9
+    merged = EngineStats()
+    merged.merge(stats)
+    assert merged.shard_exchanged_rows == 120

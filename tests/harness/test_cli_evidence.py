@@ -133,6 +133,7 @@ def test_evidence_run_optimize_with_baseline(tmp_path, capsys):
         "ivm_rounds", "ivm_inserted", "ivm_deleted", "ivm_rederived",
         "maintain_counting_strata", "maintain_dred_strata",
         "maintain_skipped_rederive",
+        "shard_workers", "shard_exchanged_rows", "shard_local_rounds",
     }
     assert baseline["backend"] == "interpreted"
     assert manifest["backend"] == "interpreted"

@@ -172,13 +172,13 @@ def test_event_log_round_trip(tmp_path):
     assert len(read_events(path)) == 2
 
 
-def test_manifest_schema_is_seven():
+def test_manifest_schema_is_eight():
     from repro.harness.manifest import MANIFEST_SCHEMA
 
     jobs = [_job("a")]
     results = {"a": JobResult("a", JobStatus.OK, "fine", verdict="fine")}
-    assert MANIFEST_SCHEMA == 7
-    assert _build(jobs, results)["schema"] == 7
+    assert MANIFEST_SCHEMA == 8
+    assert _build(jobs, results)["schema"] == 8
 
 
 def _cost_result(name, violations):
@@ -400,3 +400,106 @@ def test_maintain_block_round_trips_through_job_result():
     result = _maintain_result("a", [])
     clone = JobResult.from_dict(result.as_dict())
     assert clone.maintain == result.maintain
+
+
+def _shard_result(name, violations):
+    return JobResult(
+        name, JobStatus.OK, "fine", verdict="fine",
+        shard={
+            "checks": 3, "strata": 2, "facts": 400,
+            "violations": violations,
+        },
+    )
+
+
+def test_manifest_shard_summary_green():
+    jobs = [_job("a"), _job("b")]
+    results = {
+        "a": _shard_result("a", []),
+        "b": _shard_result("b", []),
+    }
+    manifest = build_manifest(
+        jobs, results,
+        wall_seconds=1.0, workers=2, default_timeout=30.0,
+        code_fingerprint="fp", cache_used=False,
+        shards=4, check_sharding=True,
+    )
+    assert manifest["shards"] == 4
+    assert manifest["check_sharding"] is True
+    assert manifest["summary"]["shard_checked"] == 2
+    assert manifest["summary"]["shard_ok"] == 2
+    assert manifest["shard_violations"] == []
+    assert manifest_exit_code(manifest) == 0
+    text = render_manifest(manifest)
+    assert "shard ok (2 strata)" in text
+    assert "sharding: 2/2 job(s) conformant" in text
+
+
+def test_manifest_shard_violation_gates_the_exit_code():
+    violation = {
+        "kind": "boundary", "stratum": 0, "pred": "Reach",
+        "fact": "(7, 0, 1)", "worker": 1, "owner": 0,
+    }
+    jobs = [_job("a")]
+    results = {"a": _shard_result("a", [violation])}
+    manifest = build_manifest(
+        jobs, results,
+        wall_seconds=1.0, workers=2, default_timeout=30.0,
+        code_fingerprint="fp", cache_used=False,
+        shards=2, check_sharding=True,
+    )
+    assert manifest["summary"]["shard_ok"] == 0
+    assert manifest["shard_violations"] == [
+        {"job": "a", "violations": [violation]}
+    ]
+    assert manifest_exit_code(manifest) == 1
+    text = render_manifest(manifest)
+    assert "shard VIOLATED" in text
+    assert "shard boundary VIOLATED" in text
+    assert "hashes to 0" in text
+
+
+def test_manifest_without_check_sharding_has_no_shard_summary():
+    jobs = [_job("a")]
+    results = {"a": JobResult("a", JobStatus.OK, "fine", verdict="fine")}
+    manifest = _build(jobs, results)
+    assert manifest["shards"] == 0
+    assert manifest["check_sharding"] is False
+    assert "shard_checked" not in manifest["summary"]
+    assert manifest_exit_code(manifest) == 0
+
+
+def test_shard_block_round_trips_through_job_result():
+    result = _shard_result("a", [])
+    clone = JobResult.from_dict(result.as_dict())
+    assert clone.shard == result.shard
+
+
+def test_manifest_baseline_delta_covers_shard_counters():
+    jobs = [_job("a")]
+
+    def result(exchanged):
+        return {
+            "a": JobResult(
+                "a", JobStatus.OK, "fine", verdict="fine",
+                engine={
+                    "shard_workers": 2,
+                    "shard_exchanged_rows": exchanged,
+                    "shard_local_rounds": exchanged // 10,
+                },
+            ),
+        }
+
+    base = build_manifest(
+        jobs, result(100),
+        wall_seconds=1.0, workers=1, default_timeout=30.0,
+        code_fingerprint="fp", cache_used=False,
+    )
+    sharded = build_manifest(
+        jobs, result(40),
+        wall_seconds=1.0, workers=1, default_timeout=30.0,
+        code_fingerprint="fp", cache_used=False, baseline=base,
+    )
+    delta = sharded["baseline"]["engine_delta"]
+    assert delta["shard_exchanged_rows"] == -60
+    assert delta["shard_local_rounds"] == -6
